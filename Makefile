@@ -1,0 +1,33 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test race cover bench experiments fuzz clean
+
+all: build test
+
+build:
+	go build ./...
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+cover:
+	go test -cover ./...
+
+# One testing.B benchmark per paper table/figure plus ablations.
+bench:
+	go test -bench=. -benchmem .
+
+# The full experiment suite at laptop scale; see -paper for the 2002 sizes.
+experiments:
+	go run ./cmd/apexbench
+
+fuzz:
+	go test -fuzz FuzzParse -fuzztime 30s ./internal/query/
+	go test -fuzz FuzzBuild -fuzztime 30s ./internal/xmlgraph/
+
+clean:
+	go clean ./...

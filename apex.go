@@ -1,0 +1,389 @@
+// Package apex is a workload-adaptive path index for XML data — a Go
+// implementation of APEX (Min, Chung, Shim; ACM SIGMOD 2002).
+//
+// APEX summarizes an XML document (or document graph, via ID/IDREF
+// attributes) into two coupled structures: a summary graph whose nodes
+// carry extents (the edges reachable by a required label path), and a hash
+// tree mapping label-path suffixes to summary nodes in reverse label order.
+// It always answers any label-path query from the index alone — every
+// label path of length two is indexed — and additionally keeps the longer
+// paths that the observed query workload uses frequently, so partial
+// matching queries (the //a/b/c kind) resolve in a hash lookup instead of
+// an index traversal. The index adapts incrementally as the workload
+// drifts.
+//
+// Basic use:
+//
+//	ix, err := apex.Open(xmlFile, nil)
+//	res, err := ix.Query("//actor/name")
+//	...
+//	err = ix.Adapt(0.005) // mine the logged queries, reshape the index
+//
+// The three supported query shapes follow the paper's experiments:
+// partial-matching paths ("//act/scene/line", with "=>" dereferencing
+// ID/IDREF attributes), descendant pairs ("//act//line"), and value
+// queries ("//title[text()=\"Hamlet\"]").
+package apex
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"apex/internal/core"
+	"apex/internal/query"
+	"apex/internal/storage"
+	"apex/internal/xmlgraph"
+)
+
+// Options configures Open.
+type Options struct {
+	// IDAttrs names the attributes that declare element identifiers
+	// (default: "id").
+	IDAttrs []string
+	// IDREFAttrs and IDREFSAttrs name reference attributes; they turn the
+	// document into a graph exactly as the paper's Figure 1 does.
+	IDREFAttrs  []string
+	IDREFSAttrs []string
+	// MinSup is the minimum support used by Adapt when called with no
+	// explicit value (default 0.005, the paper's sweet spot).
+	MinSup float64
+	// DisableQueryLog turns off the built-in workload log (Query calls are
+	// then not recorded for Adapt).
+	DisableQueryLog bool
+}
+
+func (o *Options) minSup() float64 {
+	if o == nil || o.MinSup <= 0 {
+		return 0.005
+	}
+	return o.MinSup
+}
+
+// Index is an APEX index over one document, together with its data table
+// and query processor. An Index is safe for concurrent queries only if no
+// Adapt call runs concurrently; Adapt takes an internal lock but readers
+// are expected to be externally coordinated (matching a single query
+// processor, as in the paper's system).
+type Index struct {
+	mu   sync.Mutex
+	idx  *core.APEX
+	dt   *storage.DataTable
+	eval *query.APEXEvaluator
+	opts Options
+
+	workload []xmlgraph.LabelPath
+}
+
+// Open parses an XML document and builds the initial index APEX⁰.
+func Open(r io.Reader, opts *Options) (*Index, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	g, err := xmlgraph.Build(r, &xmlgraph.BuildOptions{
+		IDAttrs:     opts.IDAttrs,
+		IDREFAttrs:  opts.IDREFAttrs,
+		IDREFSAttrs: opts.IDREFSAttrs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return fromGraph(g, *opts)
+}
+
+// OpenFile is Open over a file path.
+func OpenFile(path string, opts *Options) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Open(f, opts)
+}
+
+func fromGraph(g *xmlgraph.Graph, opts Options) (*Index, error) {
+	dt, err := storage.BuildDataTable(g, 0, 64)
+	if err != nil {
+		return nil, err
+	}
+	idx := core.BuildAPEX0(g)
+	return &Index{
+		idx:  idx,
+		dt:   dt,
+		eval: query.NewAPEXEvaluator(idx, dt),
+		opts: opts,
+	}, nil
+}
+
+// Load reads an index previously written by Save.
+func Load(r io.Reader) (*Index, error) {
+	idx, err := core.Decode(r)
+	if err != nil {
+		return nil, err
+	}
+	dt, err := storage.BuildDataTable(idx.Graph(), 0, 64)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{idx: idx, dt: dt, eval: query.NewAPEXEvaluator(idx, dt)}, nil
+}
+
+// LoadFile is Load over a file path.
+func LoadFile(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// Save writes the index (including the parsed document graph) so it can be
+// reopened with Load without the original XML.
+func (ix *Index) Save(w io.Writer) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.idx.Encode(w)
+}
+
+// Node is a query-result node.
+type Node struct {
+	ID    int32  // node identifier (document order is by construction)
+	Tag   string // element tag or attribute name
+	Value string // character data, if any
+}
+
+// Result is the outcome of one query, in document order.
+type Result struct {
+	Nodes []Node
+}
+
+// Values returns the non-empty node values in document order.
+func (r *Result) Values() []string {
+	var vs []string
+	for _, n := range r.Nodes {
+		if n.Value != "" {
+			vs = append(vs, n.Value)
+		}
+	}
+	return vs
+}
+
+// Len returns the number of result nodes.
+func (r *Result) Len() int { return len(r.Nodes) }
+
+// Query parses and evaluates one query. Supported forms:
+//
+//	//a/b/c                  partial-matching path (QTYPE1)
+//	//movie/@actor=>actor    dereference of an ID/IDREF attribute
+//	//a//b                   descendant pair (QTYPE2)
+//	//a/b[text()="v"]        path plus value predicate (QTYPE3)
+//	//a/b//c/d//e            general mixed-axis path (extension)
+//
+// Path queries are recorded in the workload log for Adapt unless the index
+// was opened with DisableQueryLog.
+func (ix *Index) Query(q string) (*Result, error) {
+	parsed, err := query.Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	nids, err := ix.eval.Evaluate(parsed)
+	if err != nil {
+		return nil, err
+	}
+	if !ix.opts.DisableQueryLog && (parsed.Type == query.QTYPE1 || parsed.Type == query.QTYPE3) {
+		ix.workload = append(ix.workload, parsed.Path)
+	}
+	g := ix.idx.Graph()
+	res := &Result{Nodes: make([]Node, len(nids))}
+	for i, n := range nids {
+		nd := g.Node(n)
+		res.Nodes[i] = Node{ID: int32(n), Tag: nd.Tag, Value: nd.Value}
+	}
+	return res, nil
+}
+
+// Adapt mines the logged query workload for frequently used paths at the
+// given minimum support (pass 0 for the Options default), incrementally
+// restructures the index, and clears the log. This is the paper's Figure 4
+// maintenance cycle.
+func (ix *Index) Adapt(minSup float64) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if minSup <= 0 {
+		minSup = ix.opts.minSup()
+	}
+	if len(ix.workload) == 0 {
+		return fmt.Errorf("apex: no logged queries to adapt to")
+	}
+	ix.idx.ExtractFrequentPaths(ix.workload, minSup)
+	ix.idx.Update()
+	ix.workload = nil
+	return nil
+}
+
+// AdaptTo is Adapt over an explicit workload of query strings instead of
+// the internal log (QTYPE2 queries are rejected, as in the paper only path
+// expressions are mined).
+func (ix *Index) AdaptTo(queries []string, minSup float64) error {
+	var paths []xmlgraph.LabelPath
+	for _, s := range queries {
+		q, err := query.Parse(s)
+		if err != nil {
+			return err
+		}
+		if q.Type == query.QTYPE2 {
+			return fmt.Errorf("apex: workload mining takes path expressions, got %q", s)
+		}
+		paths = append(paths, q.Path)
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if minSup <= 0 {
+		minSup = ix.opts.minSup()
+	}
+	ix.idx.ExtractFrequentPaths(paths, minSup)
+	ix.idx.Update()
+	return nil
+}
+
+// Insert appends an XML fragment under the single element matched by
+// parentQuery (a QTYPE1 path; it must match exactly one element node; "/"
+// addresses the document root, which label paths cannot reach) and
+// refreshes the index: every extent is re-derived under the current
+// required-path set — the paper leaves data updates to future work, and
+// this is the sound baseline (one pass over the data, no re-parse, no
+// re-mining). Reference attributes in the fragment may point at IDs already
+// in the document.
+func (ix *Index) Insert(parentQuery, fragment string) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	g := ix.idx.Graph()
+	var parent xmlgraph.NID
+	if parentQuery == "/" {
+		parent = g.Root()
+	} else {
+		parsed, err := query.Parse(parentQuery)
+		if err != nil {
+			return err
+		}
+		if parsed.Type != query.QTYPE1 {
+			return fmt.Errorf("apex: insert parent must be a path query, got %v", parsed.Type)
+		}
+		nids, err := ix.eval.Evaluate(parsed)
+		if err != nil {
+			return err
+		}
+		if len(nids) != 1 {
+			return fmt.Errorf("apex: insert parent %q matches %d nodes, want exactly 1", parentQuery, len(nids))
+		}
+		parent = nids[0]
+	}
+	if _, err := g.AppendFragment(parent, fragment, &xmlgraph.BuildOptions{
+		IDAttrs:     ix.opts.IDAttrs,
+		IDREFAttrs:  ix.opts.IDREFAttrs,
+		IDREFSAttrs: ix.opts.IDREFSAttrs,
+	}); err != nil {
+		return err
+	}
+	ix.idx.RefreshData()
+	// The data table is rebuilt to include the new values.
+	dt, err := storage.BuildDataTable(g, 0, 64)
+	if err != nil {
+		return err
+	}
+	ix.dt = dt
+	ix.eval = query.NewAPEXEvaluator(ix.idx, dt)
+	return nil
+}
+
+// Delete removes the document subtrees matched by targetQuery (a QTYPE1
+// path; every matched element and its content disappears) and refreshes the
+// index under the current required-path set. References into the deleted
+// subtrees stop dereferencing; their attribute values remain as data.
+// Deleting zero nodes is an error, as is matching the document root.
+func (ix *Index) Delete(targetQuery string) error {
+	parsed, err := query.Parse(targetQuery)
+	if err != nil {
+		return err
+	}
+	if parsed.Type != query.QTYPE1 {
+		return fmt.Errorf("apex: delete target must be a path query, got %v", parsed.Type)
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	nids, err := ix.eval.Evaluate(parsed)
+	if err != nil {
+		return err
+	}
+	if len(nids) == 0 {
+		return fmt.Errorf("apex: delete target %q matches nothing", targetQuery)
+	}
+	g := ix.idx.Graph()
+	removedAny := false
+	for _, n := range nids {
+		if g.Removed(n) {
+			continue // nested inside an already-removed match
+		}
+		if err := g.RemoveSubtree(n); err != nil {
+			return err
+		}
+		removedAny = true
+	}
+	if !removedAny {
+		return fmt.Errorf("apex: delete target %q removed nothing", targetQuery)
+	}
+	ix.idx.RefreshData()
+	dt, err := storage.BuildDataTable(g, 0, 64)
+	if err != nil {
+		return err
+	}
+	ix.dt = dt
+	ix.eval = query.NewAPEXEvaluator(ix.idx, dt)
+	return nil
+}
+
+// Stats describes the current index structure.
+type Stats struct {
+	// Nodes and Edges size the summary graph G_APEX (the paper's Table 2).
+	Nodes, Edges int
+	// ExtentEdges is the total extent volume.
+	ExtentEdges int
+	// RequiredPaths lists the label paths the index currently maintains
+	// (all length-1 labels plus the mined frequent paths).
+	RequiredPaths []string
+	// LoggedQueries is the size of the pending workload log.
+	LoggedQueries int
+}
+
+// Stats snapshots the index structure.
+func (ix *Index) Stats() Stats {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	st := ix.idx.Stats()
+	return Stats{
+		Nodes:         st.Nodes,
+		Edges:         st.Edges,
+		ExtentEdges:   st.ExtentEdges,
+		RequiredPaths: ix.idx.RequiredPaths(),
+		LoggedQueries: len(ix.workload),
+	}
+}
+
+// QueryCost snapshots the accumulated logical cost counters of the query
+// processor (hash lookups, extent scans, join probes, data validations).
+func (ix *Index) QueryCost() string {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.eval.Cost().String()
+}
+
+// ResetQueryCost zeroes the cost counters.
+func (ix *Index) ResetQueryCost() {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.eval.ResetCost()
+}

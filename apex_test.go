@@ -1,0 +1,369 @@
+package apex
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const movieDoc = `<MovieDB>
+  <movie id="m1" actor="a1 a2" director="d1"><title>Waterworld</title></movie>
+  <movie id="m2" actor="a1" director="d2"><title>Postman</title></movie>
+  <actor id="a1" movie="m1 m2"><name>Kevin Costner</name></actor>
+  <actor id="a2" movie="m1"><name>Jeanne Tripplehorn</name></actor>
+  <director id="d1" movie="m1"><name>Kevin Reynolds</name></director>
+  <director id="d2" movie="m2"><name>Kevin Costner D</name></director>
+</MovieDB>`
+
+func openMovie(t *testing.T) *Index {
+	t.Helper()
+	ix, err := Open(strings.NewReader(movieDoc), &Options{
+		IDREFSAttrs: []string{"actor", "movie", "director"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestOpenAndQuery(t *testing.T) {
+	ix := openMovie(t)
+	res, err := ix.Query("//actor/name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"Kevin Costner", "Jeanne Tripplehorn"}
+	if !reflect.DeepEqual(res.Values(), want) {
+		t.Fatalf("values = %v, want %v", res.Values(), want)
+	}
+	if res.Len() != 2 || res.Nodes[0].Tag != "name" {
+		t.Fatalf("nodes = %+v", res.Nodes)
+	}
+}
+
+func TestQueryDereference(t *testing.T) {
+	ix := openMovie(t)
+	res, err := ix.Query("//movie/@director=>director/name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Fatalf("deref result = %+v", res.Nodes)
+	}
+}
+
+func TestQueryDescendantPair(t *testing.T) {
+	ix := openMovie(t)
+	res, err := ix.Query("//movie//title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Fatalf("//movie//title = %+v", res.Nodes)
+	}
+}
+
+func TestQueryMixedAxis(t *testing.T) {
+	ix := openMovie(t)
+	// Dereference into movies, then a descendant gap to their titles.
+	res, err := ix.Query("//actor/@movie=>movie//title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Fatalf("mixed-axis result = %+v", res.Nodes)
+	}
+	// Mixed queries are not mined (they are not simple path expressions).
+	if ix.Stats().LoggedQueries != 0 {
+		t.Fatalf("mixed query was logged: %d", ix.Stats().LoggedQueries)
+	}
+}
+
+func TestQueryValue(t *testing.T) {
+	ix := openMovie(t)
+	res, err := ix.Query(`//movie/title[text()="Waterworld"]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 || res.Nodes[0].Value != "Waterworld" {
+		t.Fatalf("value query = %+v", res.Nodes)
+	}
+}
+
+func TestQueryParseError(t *testing.T) {
+	ix := openMovie(t)
+	if _, err := ix.Query("actor/name"); err == nil {
+		t.Fatal("want parse error")
+	}
+}
+
+func TestAdaptChangesStructure(t *testing.T) {
+	ix := openMovie(t)
+	before := ix.Stats()
+	for i := 0; i < 10; i++ {
+		if _, err := ix.Query("//actor/name"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ix.Stats().LoggedQueries != 10 {
+		t.Fatalf("log size = %d", ix.Stats().LoggedQueries)
+	}
+	if err := ix.Adapt(0.5); err != nil {
+		t.Fatal(err)
+	}
+	after := ix.Stats()
+	if after.LoggedQueries != 0 {
+		t.Fatal("log not cleared")
+	}
+	if after.Nodes <= before.Nodes {
+		t.Fatalf("adaptation should refine the summary: %d -> %d", before.Nodes, after.Nodes)
+	}
+	found := false
+	for _, p := range after.RequiredPaths {
+		if p == "actor.name" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("actor.name not required after adapt: %v", after.RequiredPaths)
+	}
+	// Queries still correct after adaptation.
+	res, err := ix.Query("//actor/name")
+	if err != nil || res.Len() != 2 {
+		t.Fatalf("post-adapt query: %v %+v", err, res)
+	}
+}
+
+func TestAdaptWithoutLogFails(t *testing.T) {
+	ix := openMovie(t)
+	if err := ix.Adapt(0.5); err == nil {
+		t.Fatal("want error on empty log")
+	}
+}
+
+func TestAdaptTo(t *testing.T) {
+	ix := openMovie(t)
+	err := ix.AdaptTo([]string{"//movie/title", "//movie/title"}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range ix.Stats().RequiredPaths {
+		if p == "movie.title" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("movie.title not required")
+	}
+	if err := ix.AdaptTo([]string{"//a//b"}, 0.5); err == nil {
+		t.Fatal("QTYPE2 must be rejected as workload")
+	}
+}
+
+func TestDisableQueryLog(t *testing.T) {
+	ix, err := Open(strings.NewReader(movieDoc), &Options{
+		IDREFSAttrs:     []string{"actor", "movie", "director"},
+		DisableQueryLog: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.Query("//actor/name")
+	if ix.Stats().LoggedQueries != 0 {
+		t.Fatal("log should be disabled")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	ix := openMovie(t)
+	if err := ix.AdaptTo([]string{"//actor/name", "//actor/name"}, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := ix.Stats(), re.Stats()
+	if a.Nodes != b.Nodes || a.Edges != b.Edges || !reflect.DeepEqual(a.RequiredPaths, b.RequiredPaths) {
+		t.Fatalf("stats diverge after reload: %+v vs %+v", a, b)
+	}
+	res, err := re.Query("//actor/name")
+	if err != nil || res.Len() != 2 {
+		t.Fatalf("reloaded query: %v %+v", err, res)
+	}
+}
+
+func TestQueryCostAccumulates(t *testing.T) {
+	ix := openMovie(t)
+	ix.Query("//name")
+	if !strings.Contains(ix.QueryCost(), "queries=1") {
+		t.Fatalf("cost = %s", ix.QueryCost())
+	}
+	ix.ResetQueryCost()
+	if !strings.Contains(ix.QueryCost(), "queries=0") {
+		t.Fatalf("cost after reset = %s", ix.QueryCost())
+	}
+}
+
+func TestInsertFragment(t *testing.T) {
+	ix := openMovie(t)
+	// Note: Insert's parent query must match one node; MovieDB is the root.
+	err := ix.Insert("//MovieDB", `<movie id="m3" director="d1"><title>Twister</title></movie>`)
+	if err == nil {
+		t.Fatal("root has no incoming edge; //MovieDB should match nothing")
+	}
+	// Insert under an actor instead: add an award element.
+	if err := ix.Insert(`//actor/@id`, `<x/>`); err == nil {
+		t.Fatal("attribute parent should fail")
+	}
+	// Unique parent via the movie m1's title? Titles are unique per value,
+	// but //movie/title matches two. Use a value query shape? Insert takes
+	// QTYPE1 only, so pick //director/name — two matches — expect error.
+	if err := ix.Insert("//director/name", `<x/>`); err == nil {
+		t.Fatal("ambiguous parent should fail")
+	}
+}
+
+func TestInsertAndQueryNewData(t *testing.T) {
+	ix, err := Open(strings.NewReader(`<db><list/><person id="p1"><name>Ann</name></person></db>`),
+		&Options{IDREFAttrs: []string{"owner"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.AdaptTo([]string{"//list/item/label", "//list/item/label"}, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Insert("//list", `<item owner="p1"><label>first</label></item>`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ix.Query("//list/item/label")
+	if err != nil || res.Len() != 1 || res.Nodes[0].Value != "first" {
+		t.Fatalf("new data not indexed: %v %+v", err, res)
+	}
+	// The reference into pre-existing data resolves.
+	res, err = ix.Query("//item/@owner=>person/name")
+	if err != nil || res.Len() != 1 || res.Nodes[0].Value != "Ann" {
+		t.Fatalf("cross reference: %v %+v", err, res)
+	}
+	// New values reach the data table.
+	res, err = ix.Query(`//label[text()="first"]`)
+	if err != nil || res.Len() != 1 {
+		t.Fatalf("value query on inserted data: %v %+v", err, res)
+	}
+	// A second insert keeps working (repeated refresh).
+	if err := ix.Insert("//list", `<item><label>second</label></item>`); err != nil {
+		t.Fatal(err)
+	}
+	res, err = ix.Query("//list/item/label")
+	if err != nil || res.Len() != 2 {
+		t.Fatalf("after second insert: %v %+v", err, res)
+	}
+}
+
+func TestDeleteSubtrees(t *testing.T) {
+	ix, err := Open(strings.NewReader(`<db>
+	  <list><item><label>one</label></item><item><label>two</label></item></list>
+	  <keep>v</keep>
+	</db>`), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delete all items at once.
+	if err := ix.Delete("//list/item"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ix.Query("//item/label")
+	if err != nil || res.Len() != 0 {
+		t.Fatalf("deleted data still matches: %v %+v", err, res)
+	}
+	res, err = ix.Query("//keep")
+	if err != nil || res.Len() != 1 {
+		t.Fatalf("survivor lost: %v %+v", err, res)
+	}
+	// Value queries reflect the new data table.
+	res, err = ix.Query(`//label[text()="one"]`)
+	if err != nil || res.Len() != 0 {
+		t.Fatalf("stale value: %v %+v", err, res)
+	}
+	// Error cases.
+	if err := ix.Delete("//item"); err == nil {
+		t.Fatal("deleting nothing should fail")
+	}
+	if err := ix.Delete("//a//b"); err == nil {
+		t.Fatal("non-QTYPE1 target accepted")
+	}
+}
+
+func TestInsertDeleteLifecycle(t *testing.T) {
+	ix, err := Open(strings.NewReader(`<db><box/></db>`), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		if err := ix.Insert("//box", `<thing><w>hi</w></thing>`); err != nil {
+			t.Fatalf("round %d insert: %v", round, err)
+		}
+		res, err := ix.Query("//thing/w")
+		if err != nil || res.Len() != 1 {
+			t.Fatalf("round %d query: %v %+v", round, err, res)
+		}
+		if err := ix.Delete("//box/thing"); err != nil {
+			t.Fatalf("round %d delete: %v", round, err)
+		}
+		res, err = ix.Query("//thing/w")
+		if err != nil || res.Len() != 0 {
+			t.Fatalf("round %d post-delete: %v %+v", round, err, res)
+		}
+	}
+}
+
+func TestOpenMalformed(t *testing.T) {
+	if _, err := Open(strings.NewReader("<a><b></a>"), nil); err == nil {
+		t.Fatal("want parse error")
+	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	ix := openMovie(t)
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			for j := 0; j < 50; j++ {
+				res, err := ix.Query("//actor/name")
+				if err != nil {
+					done <- err
+					return
+				}
+				if res.Len() != 2 {
+					done <- errLen(res.Len())
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+type errLen int
+
+func (e errLen) Error() string { return "unexpected result length" }
+
+func TestOpenFileMissing(t *testing.T) {
+	if _, err := OpenFile("/nonexistent/file.xml", nil); err == nil {
+		t.Fatal("want error")
+	}
+	if _, err := LoadFile("/nonexistent/file.apex"); err == nil {
+		t.Fatal("want error")
+	}
+}

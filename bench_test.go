@@ -1,0 +1,289 @@
+package apex
+
+// One testing.B benchmark per experiment of the paper (Tables 1–2,
+// Figures 13–15) plus the ablations DESIGN.md calls out. Each benchmark
+// re-runs its full experiment batch per iteration and reports the logical
+// weighted cost per query as custom metrics, so `go test -bench=.` prints
+// both wall time and the hardware-independent numbers EXPERIMENTS.md
+// discusses. The data sets are scaled down (see benchConfig); run
+// `cmd/apexbench -paper` for the full-size protocol.
+
+import (
+	"sync"
+	"testing"
+
+	"apex/internal/bench"
+	"apex/internal/core"
+	"apex/internal/datagen"
+	"apex/internal/dataguide"
+	"apex/internal/fabric"
+	"apex/internal/oneindex"
+)
+
+func benchConfig() bench.Config {
+	c := bench.DefaultConfig()
+	c.Scale = 0.03
+	c.NumQ1, c.NumQ2, c.NumQ3 = 300, 40, 80
+	return c
+}
+
+var (
+	benchOnce sync.Once
+	benchE    *bench.Env
+)
+
+func env(b *testing.B) *bench.Env {
+	b.Helper()
+	benchOnce.Do(func() { benchE = bench.NewEnv(benchConfig()) })
+	return benchE
+}
+
+func reportPerQuery(b *testing.B, name string, r bench.RunResult, n int) {
+	b.ReportMetric(float64(r.Cost.WeightedTotal())/float64(n), name+"-wcost/q")
+}
+
+// BenchmarkTable1 regenerates the nine data sets and their statistics.
+func BenchmarkTable1(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := e.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 9 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkTable2 builds every index structure of Table 2 (SDG, APEX⁰,
+// APEX across the minSup sweep, 1-index) for all nine data sets.
+func BenchmarkTable2(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Table2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchFig13(b *testing.B, family string) {
+	e := env(b)
+	cfg := e.Config()
+	for i := 0; i < b.N; i++ {
+		rows, err := e.Fig13(family)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := rows[len(rows)-1] // largest file of the family
+		reportPerQuery(b, "SDG", last.SDG, cfg.NumQ1)
+		reportPerQuery(b, "APEX0", last.APEX0, cfg.NumQ1)
+		reportPerQuery(b, "APEX", last.APEX[cfg.FixedMinSup], cfg.NumQ1)
+	}
+}
+
+// BenchmarkFig13_Plays is Figure 13(a): QTYPE1 over the play corpus.
+func BenchmarkFig13_Plays(b *testing.B) { benchFig13(b, "plays") }
+
+// BenchmarkFig13_FlixML is Figure 13(b): QTYPE1 over FlixML.
+func BenchmarkFig13_FlixML(b *testing.B) { benchFig13(b, "flixml") }
+
+// BenchmarkFig13_GedML is Figure 13(c): QTYPE1 over GedML.
+func BenchmarkFig13_GedML(b *testing.B) { benchFig13(b, "gedml") }
+
+// BenchmarkFig14 is the QTYPE2 comparison of Figure 14.
+func BenchmarkFig14(b *testing.B) {
+	e := env(b)
+	cfg := e.Config()
+	for i := 0; i < b.N; i++ {
+		rows, err := e.Fig14()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ged := rows[len(rows)-1]
+		reportPerQuery(b, "SDG", ged.SDG, cfg.NumQ2)
+		reportPerQuery(b, "APEX0", ged.APEX0, cfg.NumQ2)
+		reportPerQuery(b, "APEX", ged.APEX, cfg.NumQ2)
+	}
+}
+
+// BenchmarkFig15 is the QTYPE3 comparison of Figure 15.
+func BenchmarkFig15(b *testing.B) {
+	e := env(b)
+	cfg := e.Config()
+	for i := 0; i < b.N; i++ {
+		rows, err := e.Fig15()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ged := rows[len(rows)-1]
+		reportPerQuery(b, "Fabric", ged.Fabric, cfg.NumQ3)
+		reportPerQuery(b, "SDG", ged.SDG, cfg.NumQ3)
+		reportPerQuery(b, "APEX", ged.APEX, cfg.NumQ3)
+	}
+}
+
+// --- Ablations -----------------------------------------------------------
+
+// BenchmarkAblationFastPath isolates the hash tree's direct answering.
+func BenchmarkAblationFastPath(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		on, off, err := e.AblationFastPath("Flix02.xml")
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportPerQuery(b, "on", on, e.Config().NumQ1)
+		reportPerQuery(b, "off", off, e.Config().NumQ1)
+	}
+}
+
+// BenchmarkAblationRefinement isolates workload-refined join inputs.
+func BenchmarkAblationRefinement(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		refined, plain, err := e.AblationRefinement("Flix02.xml")
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportPerQuery(b, "refined", refined, e.Config().NumQ1)
+		reportPerQuery(b, "plain", plain, e.Config().NumQ1)
+	}
+}
+
+// BenchmarkAblationQ2Rewriting compares 2002-style rewriting with the
+// linear product on the DataGuide.
+func BenchmarkAblationQ2Rewriting(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		paper, product, err := e.AblationQ2Rewriting("Ged02.xml")
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportPerQuery(b, "rewrite", paper, e.Config().NumQ2)
+		reportPerQuery(b, "product", product, e.Config().NumQ2)
+	}
+}
+
+// BenchmarkAblationFabricScan compares the fabric's whole-trie scan with
+// path-layer probing.
+func BenchmarkAblationFabricScan(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		full, layered, err := e.AblationFabricScan("Ged02.xml")
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportPerQuery(b, "full", full, e.Config().NumQ3)
+		reportPerQuery(b, "layer", layered, e.Config().NumQ3)
+	}
+}
+
+// BenchmarkAblationUpdate compares incremental adaptation with a rebuild.
+func BenchmarkAblationUpdate(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		inc, reb, err := e.AblationUpdate("Flix02.xml")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(inc.Nanoseconds()), "incremental-ns")
+		b.ReportMetric(float64(reb.Nanoseconds()), "rebuild-ns")
+	}
+}
+
+// BenchmarkAblationExtentStorage reports the remainder discipline's
+// storage saving.
+func BenchmarkAblationExtentStorage(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		stored, naive, err := e.AblationExtentStorage("Ged02.xml")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(stored), "stored-edges")
+		b.ReportMetric(float64(naive), "naive-edges")
+	}
+}
+
+// BenchmarkExtensionASR contrasts access support relations (predefined
+// paths, Section 2 of the paper) with APEX on the full QTYPE1 population.
+func BenchmarkExtensionASR(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		cmp, err := e.CompareASR("Flix02.xml")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !cmp.ResultsAgreed {
+			b.Fatal("result mismatch")
+		}
+		b.ReportMetric(float64(cmp.ASRCost)/float64(e.Config().NumQ1), "ASR-cost/q")
+		b.ReportMetric(float64(cmp.APEXCost)/float64(e.Config().NumQ1), "APEX-cost/q")
+		b.ReportMetric(float64(cmp.ASRFallbacks), "ASR-fallbacks")
+	}
+}
+
+// BenchmarkExtensionMixed measures the QMIXED extension (general
+// mixed-axis queries) over APEX and the strong DataGuide.
+func BenchmarkExtensionMixed(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		cmp, err := e.CompareMixed("Ged02.xml", 40)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !cmp.ResultsOK {
+			b.Fatal("result mismatch")
+		}
+		b.ReportMetric(float64(cmp.APEX.Cost.WeightedTotal())/float64(cmp.Queries), "APEX-wcost/q")
+		b.ReportMetric(float64(cmp.SDG.Cost.WeightedTotal())/float64(cmp.Queries), "SDG-wcost/q")
+	}
+}
+
+// --- Construction micro-benchmarks ---------------------------------------
+
+func benchGraph(b *testing.B) *datagen.Dataset {
+	b.Helper()
+	ds, err := datagen.LoadDataset("Flix02.xml", 0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds
+}
+
+// BenchmarkBuildAPEX0 measures initial index construction.
+func BenchmarkBuildAPEX0(b *testing.B) {
+	ds := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.BuildAPEX0(ds.Graph)
+	}
+}
+
+// BenchmarkBuildDataGuide measures strong DataGuide determinization.
+func BenchmarkBuildDataGuide(b *testing.B) {
+	ds := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dataguide.Build(ds.Graph)
+	}
+}
+
+// BenchmarkBuildOneIndex measures bisimulation partition refinement.
+func BenchmarkBuildOneIndex(b *testing.B) {
+	ds := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		oneindex.Build(ds.Graph)
+	}
+}
+
+// BenchmarkBuildFabric measures Patricia-trie construction.
+func BenchmarkBuildFabric(b *testing.B) {
+	ds := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fabric.Build(ds.Graph, nil)
+	}
+}

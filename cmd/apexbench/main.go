@@ -1,0 +1,28 @@
+// Command apexbench regenerates the APEX paper's experiment tables and
+// figures (Table 1, Table 2, Figures 13–15) plus this reproduction's
+// ablations and the access-support-relations extension, over synthetic
+// equivalents of the paper's data sets.
+//
+// Usage:
+//
+//	apexbench [-scale 0.05] [-q1 1000] [-q2 100] [-q3 200] [-seed 1]
+//	          [-experiments table1,table2,fig13,fig14,fig15,ablations,asr]
+//	          [-paper]
+//
+// -paper runs the full-size protocol (5000/500/1000 queries at scale 1.0);
+// expect many-minute runtimes, as the original experiments had.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"apex/internal/cli"
+)
+
+func main() {
+	if err := cli.RunBench(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "apexbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,25 @@
+// Command apexbuild builds an APEX index from an XML document, optionally
+// adapts it to a query workload, prints the index statistics, and saves the
+// index for apexquery.
+//
+// Usage:
+//
+//	apexbuild -in data.xml -out data.apex \
+//	          [-idref director,movie] [-idrefs actor,chil] \
+//	          [-workload data.xml.q1] [-minsup 0.005] \
+//	          [-compare]   # also build SDG/1-index/2-index/Fabric sizes
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"apex/internal/cli"
+)
+
+func main() {
+	if err := cli.RunBuild(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "apexbuild:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,26 @@
+// Command apexgen generates the paper's synthetic data sets and query
+// populations to files.
+//
+// Usage:
+//
+//	apexgen -dataset Ged02.xml -scale 0.1 -out /tmp/data \
+//	        [-q1 1000 -q2 100 -q3 200 -seed 1]
+//	apexgen -list
+//
+// It writes <out>/<dataset> (the XML document) plus three query files
+// (<dataset>.q1/.q2/.q3, one query per line) and prints the Table 1 row.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"apex/internal/cli"
+)
+
+func main() {
+	if err := cli.RunGen(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "apexgen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,27 @@
+// Command apexquery evaluates queries against a saved APEX index.
+//
+// Usage:
+//
+//	apexquery -index data.apex -q "//actor/name"
+//	apexquery -index data.apex -f queries.q1 [-quiet] [-cost]
+//	apexquery -xml data.xml -engine sdg -q "//actor/name"   # ad hoc engines
+//
+// With -xml, the document is indexed on the fly by the chosen engine
+// (apex, apex0, sdg, 1index, 2index; -workload adapts the apex engine).
+// Results print one node per line as "nid tag value". With -cost, the
+// accumulated logical cost counters are printed after the batch.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"apex/internal/cli"
+)
+
+func main() {
+	if err := cli.RunQuery(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "apexquery:", err)
+		os.Exit(1)
+	}
+}

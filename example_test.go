@@ -1,0 +1,92 @@
+package apex_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	apex "apex"
+)
+
+const exampleDoc = `<catalog>
+  <book id="b1" cites="b2"><title>Path Indexing</title><year>2002</year></book>
+  <book id="b2"><title>Semistructured Data</title><year>1999</year></book>
+</catalog>`
+
+func open() *apex.Index {
+	ix, err := apex.Open(strings.NewReader(exampleDoc), &apex.Options{
+		IDREFAttrs: []string{"cites"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return ix
+}
+
+// The basic flow: open a document, ask a partial-matching path query.
+func Example() {
+	ix := open()
+	res, err := ix.Query("//book/title")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Values())
+	// Output: [Path Indexing Semistructured Data]
+}
+
+// Dereferencing ID/IDREF attributes follows graph edges.
+func ExampleIndex_Query_dereference() {
+	ix := open()
+	res, err := ix.Query("//book/@cites=>book/title")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Values())
+	// Output: [Semistructured Data]
+}
+
+// Value predicates validate candidates against the data table.
+func ExampleIndex_Query_value() {
+	ix := open()
+	res, err := ix.Query(`//book/year[text()="2002"]`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Len())
+	// Output: 1
+}
+
+// Adapt mines the logged queries and reshapes the index incrementally.
+func ExampleIndex_Adapt() {
+	ix := open()
+	for i := 0; i < 4; i++ {
+		if _, err := ix.Query("//book/title"); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := ix.Adapt(0.5); err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range ix.Stats().RequiredPaths {
+		if strings.Contains(p, ".") {
+			fmt.Println(p)
+		}
+	}
+	// Output: book.title
+}
+
+// Insert grows the document; the index follows without re-mining.
+func ExampleIndex_Insert() {
+	ix := open()
+	// "/" addresses the document root, which no label path can reach.
+	err := ix.Insert("/", `<book id="b3"><title>New Arrival</title></book>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := ix.Query("//book/title")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Len())
+	// Output: 3
+}

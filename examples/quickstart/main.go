@@ -1,0 +1,80 @@
+// Quickstart: build an APEX index over a small document, run the three
+// query shapes, adapt the index to the observed workload, and inspect the
+// structure — the whole public API in one file.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	apex "apex"
+)
+
+const doc = `<library>
+  <shelf topic="databases">
+    <book id="b1" cites="b2"><title>Path Indexing</title><year>2002</year>
+      <author><name>Min</name></author>
+      <author><name>Chung</name></author>
+    </book>
+    <book id="b2"><title>Semistructured Data</title><year>1999</year>
+      <author><name>Abiteboul</name></author>
+    </book>
+  </shelf>
+  <shelf topic="systems">
+    <book id="b3" cites="b1"><title>Buffer Management</title><year>2001</year>
+      <author><name>Gray</name></author>
+    </book>
+  </shelf>
+</library>`
+
+func main() {
+	// Open parses the XML and builds APEX⁰ (every label and every label
+	// pair indexed). The cites attribute turns the document into a graph.
+	ix, err := apex.Open(strings.NewReader(doc), &apex.Options{
+		IDREFAttrs: []string{"cites"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// QTYPE1: partial-matching path — no need to know the path from the
+	// root.
+	res, err := ix.Query("//book/title")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("//book/title      ->", res.Values())
+
+	// Dereference: follow the cites reference to the cited book's title.
+	res, err = ix.Query("//book/@cites=>book/title")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("//book/@cites=>book/title ->", res.Values())
+
+	// QTYPE2: descendant pair.
+	res, err = ix.Query("//shelf//name")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("//shelf//name     ->", res.Values())
+
+	// QTYPE3: value predicate.
+	res, err = ix.Query(`//book/year[text()="2002"]`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(`//book/year[text()="2002"] ->`, res.Len(), "node(s)")
+
+	// The index logged the path queries above; adapt to them. Frequently
+	// used paths become directly addressable through the hash tree.
+	before := ix.Stats()
+	if err := ix.Adapt(0.3); err != nil {
+		log.Fatal(err)
+	}
+	after := ix.Stats()
+	fmt.Printf("adapted: %d -> %d summary nodes, %d required paths\n",
+		before.Nodes, after.Nodes, len(after.RequiredPaths))
+	fmt.Println("required paths:", after.RequiredPaths)
+}

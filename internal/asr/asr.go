@@ -1,0 +1,279 @@
+// Package asr implements access support relations (Kemper & Moerkotte,
+// SIGMOD 1990), the object-base ancestor the APEX paper contrasts itself
+// with in Section 2: materialized relations over *predefined* reference
+// chains. An ASR for the label path p stores the full extension of p —
+// every (start, end) object pair connected by an instance of p — so a
+// query that exactly matches a materialized path is a single lookup.
+//
+// The limitation the paper points out is structural: "access support
+// relations and the T-index support only predefined subsets of paths". A
+// query outside the predefined set either decomposes into materialized
+// segments joined together, or falls back to scanning the data graph. The
+// extra benchmark in internal/bench quantifies that cliff against APEX's
+// graceful degradation (APEX always has the length-≤2 paths).
+package asr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"apex/internal/xmlgraph"
+)
+
+// Pair is one tuple of a binary access support relation.
+type Pair struct {
+	Start, End xmlgraph.NID
+}
+
+// Relation is the materialized extension of one label path.
+type Relation struct {
+	Path  xmlgraph.LabelPath
+	pairs []Pair // sorted by (Start, End)
+	byEnd map[xmlgraph.NID][]xmlgraph.NID
+}
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.pairs) }
+
+// Ends returns the distinct end objects, in ascending nid order.
+func (r *Relation) Ends() []xmlgraph.NID {
+	var res []xmlgraph.NID
+	seen := make(map[xmlgraph.NID]bool)
+	for _, p := range r.pairs {
+		if !seen[p.End] {
+			seen[p.End] = true
+			res = append(res, p.End)
+		}
+	}
+	sort.Slice(res, func(i, j int) bool { return res[i] < res[j] })
+	return res
+}
+
+// ASR is a set of materialized path relations over one data graph.
+type ASR struct {
+	g    *xmlgraph.Graph
+	rels map[string]*Relation
+}
+
+// Build materializes the given label paths. Unlike APEX, nothing outside
+// this predefined set is indexed.
+func Build(g *xmlgraph.Graph, paths []xmlgraph.LabelPath) *ASR {
+	a := &ASR{g: g, rels: make(map[string]*Relation)}
+	for _, p := range paths {
+		key := p.String()
+		if _, ok := a.rels[key]; ok || len(p) == 0 {
+			continue
+		}
+		a.rels[key] = materialize(g, p)
+	}
+	return a
+}
+
+// materialize computes the full extension of p: all (start, end) pairs such
+// that end is reachable from start via exactly p. Each hop is evaluated
+// relationally, mirroring how ASRs are maintained as join-ordered binary
+// decompositions.
+func materialize(g *xmlgraph.Graph, p xmlgraph.LabelPath) *Relation {
+	// Seed: the first hop's edges.
+	var cur []Pair
+	for v := 0; v < g.NumNodes(); v++ {
+		for _, he := range g.Out(xmlgraph.NID(v)) {
+			if he.Label == p[0] {
+				cur = append(cur, Pair{Start: xmlgraph.NID(v), End: he.To})
+			}
+		}
+	}
+	// Extend hop by hop.
+	for _, l := range p[1:] {
+		var next []Pair
+		seen := make(map[Pair]bool)
+		for _, pr := range cur {
+			for _, he := range g.Out(pr.End) {
+				if he.Label != l {
+					continue
+				}
+				np := Pair{Start: pr.Start, End: he.To}
+				if !seen[np] {
+					seen[np] = true
+					next = append(next, np)
+				}
+			}
+		}
+		cur = next
+	}
+	sort.Slice(cur, func(i, j int) bool {
+		if cur[i].Start != cur[j].Start {
+			return cur[i].Start < cur[j].Start
+		}
+		return cur[i].End < cur[j].End
+	})
+	r := &Relation{Path: p, pairs: cur, byEnd: make(map[xmlgraph.NID][]xmlgraph.NID)}
+	for _, pr := range cur {
+		r.byEnd[pr.End] = append(r.byEnd[pr.End], pr.Start)
+	}
+	return r
+}
+
+// Relations returns the materialized paths, sorted.
+func (a *ASR) Relations() []string {
+	res := make([]string, 0, len(a.rels))
+	for k := range a.rels {
+		res = append(res, k)
+	}
+	sort.Strings(res)
+	return res
+}
+
+// TupleCount returns the total number of materialized tuples (the storage
+// cost the paper's Section 2 alludes to: "materializes access paths of
+// arbitrary lengths").
+func (a *ASR) TupleCount() int {
+	n := 0
+	for _, r := range a.rels {
+		n += len(r.pairs)
+	}
+	return n
+}
+
+// Cost tallies ASR evaluation work.
+type Cost struct {
+	RelationLookups int64 // direct hits on a materialized relation
+	TuplesScanned   int64 // tuples read from relations
+	JoinProbes      int64 // segment-join probes
+	FallbackEdges   int64 // data-graph edges scanned when uncovered
+	Fallbacks       int64 // queries that had to scan the data
+}
+
+// Total is the scalar cost (fallback edges are data-graph work, the
+// expensive path).
+func (c *Cost) Total() int64 {
+	return c.RelationLookups + c.TuplesScanned + c.JoinProbes + c.FallbackEdges
+}
+
+func (c *Cost) String() string {
+	return fmt.Sprintf("rel=%d tuples=%d join=%d fallbackEdges=%d fallbacks=%d total=%d",
+		c.RelationLookups, c.TuplesScanned, c.JoinProbes, c.FallbackEdges, c.Fallbacks, c.Total())
+}
+
+// EvalPath answers //p. Resolution order: an exact materialized relation;
+// otherwise a greedy left-to-right decomposition into materialized
+// segments joined on adjacency; otherwise (some segment has no relation)
+// a full scan of the data graph — the cliff predefined-path schemes face.
+func (a *ASR) EvalPath(p xmlgraph.LabelPath, cost *Cost) []xmlgraph.NID {
+	if len(p) == 0 {
+		return nil
+	}
+	if r, ok := a.rels[p.String()]; ok {
+		if cost != nil {
+			cost.RelationLookups++
+			cost.TuplesScanned += int64(r.Len())
+		}
+		res := r.Ends()
+		a.g.SortByDocumentOrder(res)
+		return res
+	}
+	if segs, ok := a.decompose(p); ok {
+		return a.joinSegments(segs, cost)
+	}
+	if cost != nil {
+		cost.Fallbacks++
+	}
+	return a.fallbackScan(p, cost)
+}
+
+// decompose greedily covers p with materialized relations, longest match
+// first at each position.
+func (a *ASR) decompose(p xmlgraph.LabelPath) ([]*Relation, bool) {
+	var segs []*Relation
+	for i := 0; i < len(p); {
+		var best *Relation
+		for j := len(p); j > i; j-- {
+			if r, ok := a.rels[p[i:j].String()]; ok {
+				best = r
+				break
+			}
+		}
+		if best == nil {
+			return nil, false
+		}
+		segs = append(segs, best)
+		i += best.Path.Len()
+	}
+	return segs, true
+}
+
+// joinSegments chains the segment relations on end = start adjacency.
+func (a *ASR) joinSegments(segs []*Relation, cost *Cost) []xmlgraph.NID {
+	var allowed map[xmlgraph.NID]bool
+	for i, r := range segs {
+		if cost != nil {
+			cost.RelationLookups++
+			cost.TuplesScanned += int64(r.Len())
+		}
+		next := make(map[xmlgraph.NID]bool)
+		for _, pr := range r.pairs {
+			if i > 0 {
+				if cost != nil {
+					cost.JoinProbes++
+				}
+				if !allowed[pr.Start] {
+					continue
+				}
+			}
+			next[pr.End] = true
+		}
+		if len(next) == 0 {
+			return nil
+		}
+		allowed = next
+	}
+	res := make([]xmlgraph.NID, 0, len(allowed))
+	for n := range allowed {
+		res = append(res, n)
+	}
+	a.g.SortByDocumentOrder(res)
+	return res
+}
+
+// fallbackScan evaluates p directly on the data graph (every edge visited
+// per step — the cost of leaving the predefined set).
+func (a *ASR) fallbackScan(p xmlgraph.LabelPath, cost *Cost) []xmlgraph.NID {
+	cur := make(map[xmlgraph.NID]bool)
+	for v := 0; v < a.g.NumNodes(); v++ {
+		for _, he := range a.g.Out(xmlgraph.NID(v)) {
+			if cost != nil {
+				cost.FallbackEdges++
+			}
+			if he.Label == p[0] {
+				cur[he.To] = true
+			}
+		}
+	}
+	for _, l := range p[1:] {
+		next := make(map[xmlgraph.NID]bool)
+		for n := range cur {
+			for _, he := range a.g.Out(n) {
+				if cost != nil {
+					cost.FallbackEdges++
+				}
+				if he.Label == l {
+					next[he.To] = true
+				}
+			}
+		}
+		cur = next
+	}
+	res := make([]xmlgraph.NID, 0, len(cur))
+	for n := range cur {
+		res = append(res, n)
+	}
+	a.g.SortByDocumentOrder(res)
+	return res
+}
+
+// Describe summarizes the ASR for reports.
+func (a *ASR) Describe() string {
+	return fmt.Sprintf("ASR{relations=%d, tuples=%d, paths=[%s]}",
+		len(a.rels), a.TupleCount(), strings.Join(a.Relations(), " "))
+}

@@ -1,0 +1,153 @@
+package asr
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"apex/internal/xmlgraph"
+)
+
+func lp(s string) xmlgraph.LabelPath { return xmlgraph.ParseLabelPath(s) }
+
+func buildGraph(t *testing.T) *xmlgraph.Graph {
+	t.Helper()
+	doc := `<db>
+	  <movie director="d1"><title>T1</title></movie>
+	  <movie director="d2"><title>T2</title></movie>
+	  <director id="d1"><name>N1</name></director>
+	  <director id="d2"><name>N2</name></director>
+	</db>`
+	g, err := xmlgraph.BuildString(doc, &xmlgraph.BuildOptions{IDREFAttrs: []string{"director"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestExactRelationHit(t *testing.T) {
+	g := buildGraph(t)
+	a := Build(g, []xmlgraph.LabelPath{lp("movie.title")})
+	var c Cost
+	got := a.EvalPath(lp("movie.title"), &c)
+	want := g.EvalPartialPath(lp("movie.title"))
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	if c.RelationLookups != 1 || c.Fallbacks != 0 {
+		t.Fatalf("cost = %+v", c)
+	}
+}
+
+func TestDecomposedJoin(t *testing.T) {
+	g := buildGraph(t)
+	a := Build(g, []xmlgraph.LabelPath{lp("movie.@director"), lp("director.name")})
+	var c Cost
+	got := a.EvalPath(lp("movie.@director.director.name"), &c)
+	want := g.EvalPartialPath(lp("movie.@director.director.name"))
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	if c.Fallbacks != 0 || c.JoinProbes == 0 {
+		t.Fatalf("cost = %+v, want a join without fallback", c)
+	}
+}
+
+func TestFallbackWhenUncovered(t *testing.T) {
+	g := buildGraph(t)
+	a := Build(g, []xmlgraph.LabelPath{lp("movie.title")})
+	var c Cost
+	got := a.EvalPath(lp("director.name"), &c)
+	want := g.EvalPartialPath(lp("director.name"))
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	if c.Fallbacks != 1 || c.FallbackEdges == 0 {
+		t.Fatalf("cost = %+v, want a data-graph fallback", c)
+	}
+}
+
+func TestEmptyPathAndEmptyResult(t *testing.T) {
+	g := buildGraph(t)
+	a := Build(g, nil)
+	if a.EvalPath(nil, nil) != nil {
+		t.Fatal("empty path should be nil")
+	}
+	if got := a.EvalPath(lp("nosuch"), nil); len(got) != 0 {
+		t.Fatalf("phantom result %v", got)
+	}
+}
+
+func TestTupleCountAndDescribe(t *testing.T) {
+	g := buildGraph(t)
+	a := Build(g, []xmlgraph.LabelPath{lp("movie.title"), lp("director.name")})
+	// movie.title has 2 instances; director.name has 4 — the director
+	// label occurs both on hierarchy edges (db → director) and on the
+	// reference edges from @director attribute nodes.
+	if a.TupleCount() != 6 {
+		t.Fatalf("TupleCount = %d, want 6", a.TupleCount())
+	}
+	if len(a.Relations()) != 2 {
+		t.Fatalf("Relations = %v", a.Relations())
+	}
+	if a.Describe() == "" {
+		t.Fatal("empty describe")
+	}
+}
+
+func TestMaterializeDeduplicates(t *testing.T) {
+	// Two different mid nodes connecting the same (start, end) must yield
+	// one tuple.
+	g := xmlgraph.NewGraph()
+	r := g.AddNode(xmlgraph.KindElement, "r", "")
+	g.SetRoot(r)
+	m1 := g.AddNode(xmlgraph.KindElement, "m", "")
+	m2 := g.AddNode(xmlgraph.KindElement, "m", "")
+	e := g.AddNode(xmlgraph.KindElement, "e", "")
+	g.AddEdge(r, "m", m1)
+	g.AddEdge(r, "m", m2)
+	g.AddEdge(m1, "e", e)
+	g.AddEdge(m2, "e", e)
+	a := Build(g, []xmlgraph.LabelPath{lp("m.e")})
+	if a.TupleCount() != 1 {
+		t.Fatalf("tuples = %d, want 1 (deduplicated)", a.TupleCount())
+	}
+}
+
+func TestRandomizedAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	labels := []string{"a", "b", "c"}
+	for iter := 0; iter < 20; iter++ {
+		g := xmlgraph.NewGraph()
+		root := g.AddNode(xmlgraph.KindElement, "root", "")
+		g.SetRoot(root)
+		ids := []xmlgraph.NID{root}
+		for i := 0; i < 5+rng.Intn(20); i++ {
+			n := g.AddNode(xmlgraph.KindElement, "e", "")
+			g.AddEdge(ids[rng.Intn(len(ids))], labels[rng.Intn(3)], n)
+			ids = append(ids, n)
+		}
+		roots := g.RootPaths(4)
+		if len(roots) == 0 {
+			continue
+		}
+		// Materialize a random subset of subpaths.
+		var mats []xmlgraph.LabelPath
+		for i := 0; i < 4; i++ {
+			p := roots[rng.Intn(len(roots))]
+			s := rng.Intn(len(p))
+			mats = append(mats, p[s:s+1+rng.Intn(len(p)-s)])
+		}
+		a := Build(g, mats)
+		for i := 0; i < 10; i++ {
+			p := roots[rng.Intn(len(roots))]
+			s := rng.Intn(len(p))
+			q := p[s : s+1+rng.Intn(len(p)-s)]
+			got := a.EvalPath(q, nil)
+			want := g.EvalPartialPath(q)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("iter %d //%s: got %v want %v (mats %v)", iter, q, got, want, a.Relations())
+			}
+		}
+	}
+}

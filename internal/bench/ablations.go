@@ -1,0 +1,168 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"apex/internal/core"
+	"apex/internal/query"
+	"apex/internal/xmlgraph"
+)
+
+// The ablations isolate the design choices DESIGN.md calls out: the hash
+// tree's direct answering, the per-position refinement inside joins, the
+// remainder (T^R) storage discipline, incremental update vs rebuild, the
+// QTYPE2 rewriting procedure, and the fabric's partial-match strategy.
+
+// AblationFastPath compares QTYPE1 with and without the hash-tree fast
+// path on an adapted APEX.
+func (e *Env) AblationFastPath(dataset string) (on, off RunResult, err error) {
+	s, err := e.site(dataset)
+	if err != nil {
+		return on, off, err
+	}
+	idx := s.buildAPEX(e.cfg.FixedMinSup)
+	evOn := query.NewAPEXEvaluator(idx, s.dt)
+	if on, err = runBatch(evOn, s.q1); err != nil {
+		return on, off, err
+	}
+	on.Index = "fast-path on"
+	evOff := query.NewAPEXEvaluator(idx, s.dt)
+	evOff.DisableFastPath = true
+	if off, err = runBatch(evOff, s.q1); err != nil {
+		return on, off, err
+	}
+	off.Index = "fast-path off"
+	return on, off, nil
+}
+
+// AblationRefinement compares QTYPE1 joins with workload-refined versus
+// label-only candidate sets (fast path disabled on both sides so the join
+// inputs are what differs).
+func (e *Env) AblationRefinement(dataset string) (refined, plain RunResult, err error) {
+	s, err := e.site(dataset)
+	if err != nil {
+		return refined, plain, err
+	}
+	idx := s.buildAPEX(e.cfg.FixedMinSup)
+	evR := query.NewAPEXEvaluator(idx, s.dt)
+	evR.DisableFastPath = true
+	if refined, err = runBatch(evR, s.q1); err != nil {
+		return refined, plain, err
+	}
+	refined.Index = "refined joins"
+	evP := query.NewAPEXEvaluator(idx, s.dt)
+	evP.DisableFastPath = true
+	evP.DisableRefinement = true
+	if plain, err = runBatch(evP, s.q1); err != nil {
+		return refined, plain, err
+	}
+	plain.Index = "label-only joins"
+	return refined, plain, nil
+}
+
+// AblationQ2Rewriting compares the paper's DataGuide QTYPE2 procedure
+// (path unfolding + per-path re-navigation) against the linear product.
+func (e *Env) AblationQ2Rewriting(dataset string) (paper, product RunResult, err error) {
+	s, err := e.site(dataset)
+	if err != nil {
+		return paper, product, err
+	}
+	evPaper := query.NewSummaryEvaluator("SDG", s.dataguide(), s.ds.Graph, s.dt)
+	if paper, err = runBatch(evPaper, s.q2); err != nil {
+		return paper, product, err
+	}
+	paper.Index = "rewriting (2002)"
+	evProd := query.NewSummaryEvaluator("SDG", s.dataguide(), s.ds.Graph, s.dt)
+	evProd.UseProductQ2 = true
+	if product, err = runBatch(evProd, s.q2); err != nil {
+		return paper, product, err
+	}
+	product.Index = "product (modern)"
+	return paper, product, nil
+}
+
+// AblationFabricScan compares the fabric's whole-trie partial matching
+// (the 2002 behavior) against probing the distinct-path layer.
+func (e *Env) AblationFabricScan(dataset string) (full, layered RunResult, err error) {
+	s, err := e.site(dataset)
+	if err != nil {
+		return full, layered, err
+	}
+	evFull := query.NewFabricEvaluator(s.fabric())
+	if full, err = runBatch(evFull, s.q3); err != nil {
+		return full, layered, err
+	}
+	full.Index = "full scan (2002)"
+	evLayer := query.NewFabricEvaluator(s.fabric())
+	evLayer.UsePathLayer = true
+	if layered, err = runBatch(evLayer, s.q3); err != nil {
+		return full, layered, err
+	}
+	layered.Index = "path layer"
+	return full, layered, nil
+}
+
+// AblationUpdate compares adapting an existing index incrementally against
+// rebuilding from scratch when the workload shifts.
+func (e *Env) AblationUpdate(dataset string) (incremental, rebuild time.Duration, err error) {
+	s, err := e.site(dataset)
+	if err != nil {
+		return 0, 0, err
+	}
+	// Shifted workload: the second half of the query population.
+	shift := workloadPaths(s.q1[len(s.q1)/2:])
+
+	idx := s.buildAPEX(e.cfg.FixedMinSup)
+	start := time.Now()
+	idx.ExtractFrequentPaths(shift, e.cfg.FixedMinSup)
+	idx.Update()
+	incremental = time.Since(start)
+
+	start = time.Now()
+	core.BuildAPEX(s.ds.Graph, shift, e.cfg.FixedMinSup)
+	rebuild = time.Since(start)
+	return incremental, rebuild, nil
+}
+
+// AblationExtentStorage quantifies the remainder discipline of
+// Definition 9: actual stored extent volume (Σ|T^R(p)|) versus the naive
+// Σ|T(p)| over all required paths, which duplicates every edge under every
+// suffix.
+func (e *Env) AblationExtentStorage(dataset string) (stored, naive int, err error) {
+	s, err := e.site(dataset)
+	if err != nil {
+		return 0, 0, err
+	}
+	idx := s.buildAPEX(e.cfg.FixedMinSup)
+	stored = idx.Stats().ExtentEdges
+	for _, ps := range idx.RequiredPaths() {
+		p := xmlgraph.ParseLabelPath(ps)
+		// |T(p)| = the union of extents of every node covering suffix p.
+		nodes, covered := idx.LookupAll(p)
+		if !covered.Equal(p) {
+			continue
+		}
+		set := core.NewEdgeSet()
+		for _, x := range nodes {
+			x.Extent.Each(func(pr xmlgraph.EdgePair) { set.Add(pr) })
+		}
+		naive += set.Len()
+	}
+	return stored, naive, nil
+}
+
+func workloadPaths(qs []query.Query) []xmlgraph.LabelPath {
+	res := make([]xmlgraph.LabelPath, len(qs))
+	for i, q := range qs {
+		res[i] = q.Path
+	}
+	return res
+}
+
+// RenderAblation prints a two-sided comparison.
+func RenderAblation(title string, a, b RunResult) string {
+	return fmt.Sprintf("%s:\n  %-20s weighted=%d elapsed=%v\n  %-20s weighted=%d elapsed=%v\n",
+		title, a.Index, a.Cost.WeightedTotal(), a.Elapsed.Round(time.Microsecond),
+		b.Index, b.Cost.WeightedTotal(), b.Elapsed.Round(time.Microsecond))
+}

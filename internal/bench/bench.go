@@ -1,0 +1,189 @@
+// Package bench drives the paper's experiments (Section 6): it builds the
+// nine Table 1 data sets, the competing indexes, and the three query
+// populations, runs the measurements behind Table 2 and Figures 13–15, and
+// returns typed rows the CLI and the testing.B benchmarks render.
+//
+// Absolute wall-clock numbers from the paper's 2002 testbed are not
+// reproducible; each run therefore reports both Go wall time and the
+// logical cost counters of the query package, and EXPERIMENTS.md compares
+// shapes (who wins, by what factor) rather than seconds.
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"apex/internal/core"
+	"apex/internal/datagen"
+	"apex/internal/dataguide"
+	"apex/internal/fabric"
+	"apex/internal/oneindex"
+	"apex/internal/query"
+	"apex/internal/storage"
+	"apex/internal/workload"
+	"apex/internal/xmlgraph"
+)
+
+// Config parameterizes an experiment run. The zero value is unusable; use
+// DefaultConfig.
+type Config struct {
+	// Scale multiplies the paper's data set sizes (1.0 ≈ Table 1).
+	Scale float64
+	// NumQ1, NumQ2, NumQ3 size the query populations (paper: 5000, 500,
+	// 1000).
+	NumQ1, NumQ2, NumQ3 int
+	// WorkloadFrac is the share of QTYPE1 queries used as the mining
+	// workload (paper: 0.2).
+	WorkloadFrac float64
+	// MinSups is the minSup sweep of Table 2 and Figure 13.
+	MinSups []float64
+	// FixedMinSup is the single value of Figures 14 and 15 (paper: 0.005).
+	FixedMinSup float64
+	// Seed drives all query sampling.
+	Seed int64
+}
+
+// DefaultConfig mirrors the paper's protocol at a laptop-friendly scale.
+func DefaultConfig() Config {
+	return Config{
+		Scale:        0.05,
+		NumQ1:        1000,
+		NumQ2:        100,
+		NumQ3:        200,
+		WorkloadFrac: 0.2,
+		MinSups:      []float64{0.002, 0.005, 0.01, 0.03, 0.05},
+		FixedMinSup:  0.005,
+		Seed:         1,
+	}
+}
+
+// PaperConfig is the full-size protocol (minutes to hours, like the
+// original experiments).
+func PaperConfig() Config {
+	c := DefaultConfig()
+	c.Scale = 1.0
+	c.NumQ1, c.NumQ2, c.NumQ3 = 5000, 500, 1000
+	return c
+}
+
+// Env caches per-dataset artifacts so the experiments share builds.
+type Env struct {
+	cfg Config
+
+	mu   sync.Mutex
+	data map[string]*siteData
+}
+
+// siteData bundles everything built for one dataset.
+type siteData struct {
+	ds  *datagen.Dataset
+	dt  *storage.DataTable
+	gen *workload.Generator
+
+	q1 []query.Query
+	q2 []query.Query
+	q3 []query.Query
+	wl []xmlgraph.LabelPath
+
+	sdg *dataguide.DataGuide
+	oix *oneindex.OneIndex
+	fab *fabric.Fabric
+}
+
+// NewEnv creates an experiment environment for cfg.
+func NewEnv(cfg Config) *Env {
+	return &Env{cfg: cfg, data: make(map[string]*siteData)}
+}
+
+// Config returns the environment's configuration.
+func (e *Env) Config() Config { return e.cfg }
+
+func (e *Env) site(name string) (*siteData, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if s, ok := e.data[name]; ok {
+		return s, nil
+	}
+	ds, err := datagen.LoadDataset(name, e.cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	dt, err := storage.BuildDataTable(ds.Graph, 0, 64)
+	if err != nil {
+		return nil, err
+	}
+	gen := workload.New(ds.Graph, e.cfg.Seed)
+	s := &siteData{
+		ds:  ds,
+		dt:  dt,
+		gen: gen,
+		q1:  gen.QType1(e.cfg.NumQ1),
+		q2:  gen.QType2(e.cfg.NumQ2),
+		q3:  gen.QType3(e.cfg.NumQ3),
+	}
+	s.wl = workload.SampleWorkload(s.q1, e.cfg.WorkloadFrac, e.cfg.Seed)
+	e.data[name] = s
+	return s, nil
+}
+
+func (s *siteData) dataguide() *dataguide.DataGuide {
+	if s.sdg == nil {
+		s.sdg = dataguide.Build(s.ds.Graph)
+	}
+	return s.sdg
+}
+
+func (s *siteData) oneindex() *oneindex.OneIndex {
+	if s.oix == nil {
+		s.oix = oneindex.Build(s.ds.Graph)
+	}
+	return s.oix
+}
+
+func (s *siteData) fabric() *fabric.Fabric {
+	if s.fab == nil {
+		s.fab = fabric.Build(s.ds.Graph, nil)
+	}
+	return s.fab
+}
+
+// buildAPEX builds an adapted APEX for the site's workload at minSup.
+func (s *siteData) buildAPEX(minSup float64) *core.APEX {
+	return core.BuildAPEX(s.ds.Graph, s.wl, minSup)
+}
+
+// buildAPEX0 builds the workload-free initial index.
+func (s *siteData) buildAPEX0() *core.APEX { return core.BuildAPEX0(s.ds.Graph) }
+
+// RunResult is one (index, query batch) measurement.
+type RunResult struct {
+	Index   string
+	Elapsed time.Duration
+	Cost    query.Cost
+	Results int64
+}
+
+func (r RunResult) String() string {
+	return fmt.Sprintf("%-12s %10v cost=%d results=%d", r.Index, r.Elapsed.Round(time.Microsecond), r.Cost.Total(), r.Results)
+}
+
+// runBatch evaluates a query batch and snapshots cost and wall time.
+func runBatch(ev query.Evaluator, qs []query.Query) (RunResult, error) {
+	ev.ResetCost()
+	start := time.Now()
+	var results int64
+	for _, q := range qs {
+		res, err := ev.Evaluate(q)
+		if err != nil {
+			return RunResult{}, fmt.Errorf("%s on %s: %w", ev.Name(), q, err)
+		}
+		results += int64(len(res))
+	}
+	return RunResult{
+		Index:   ev.Name(),
+		Elapsed: time.Since(start),
+		Cost:    *ev.Cost(),
+		Results: results,
+	}, nil
+}

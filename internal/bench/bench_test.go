@@ -1,0 +1,224 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps driver tests fast.
+func tinyConfig() Config {
+	c := DefaultConfig()
+	c.Scale = 0.01
+	c.NumQ1, c.NumQ2, c.NumQ3 = 60, 10, 15
+	c.MinSups = []float64{0.01, 0.05}
+	return c
+}
+
+func TestTable1AllDatasets(t *testing.T) {
+	env := NewEnv(tinyConfig())
+	rows, err := env.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Stats.Nodes == 0 || r.Stats.Edges == 0 {
+			t.Fatalf("empty dataset %s", r.Dataset)
+		}
+	}
+	out := RenderTable1(rows)
+	if !strings.Contains(out, "Ged03.xml") {
+		t.Fatalf("render missing dataset:\n%s", out)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	env := NewEnv(tinyConfig())
+	rows, err := env.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// APEX0 is the most compact structure (Section 6.2).
+		for ms, ne := range r.APEX {
+			if ne[0] < r.APEX0[0] {
+				t.Fatalf("%s: APEX(%g) nodes %d below APEX0 %d", r.Dataset, ms, ne[0], r.APEX0[0])
+			}
+		}
+		if r.SDG[0] == 0 || r.OneIndex[0] == 0 {
+			t.Fatalf("%s: missing baseline sizes", r.Dataset)
+		}
+	}
+	out := RenderTable2(rows, env.Config().MinSups)
+	if !strings.Contains(out, "Nodes") || !strings.Contains(out, "Edges") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestFig13PlaysRuns(t *testing.T) {
+	env := NewEnv(tinyConfig())
+	rows, err := env.Fig13("plays")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		// All indexes answer the same queries: result counts must agree.
+		if r.SDG.Results != r.APEX0.Results {
+			t.Fatalf("%s: SDG %d results, APEX0 %d", r.Dataset, r.SDG.Results, r.APEX0.Results)
+		}
+		for ms, rr := range r.APEX {
+			if rr.Results != r.SDG.Results {
+				t.Fatalf("%s: APEX(%g) %d results, SDG %d", r.Dataset, ms, rr.Results, r.SDG.Results)
+			}
+		}
+	}
+	_ = RenderFig13("plays", rows, env.Config().MinSups)
+}
+
+func TestFig14AgreesAcrossIndexes(t *testing.T) {
+	env := NewEnv(tinyConfig())
+	rows, err := env.Fig14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.SDG.Results != r.APEX0.Results || r.SDG.Results != r.APEX.Results {
+			t.Fatalf("%s: result mismatch SDG=%d APEX0=%d APEX=%d",
+				r.Dataset, r.SDG.Results, r.APEX0.Results, r.APEX.Results)
+		}
+	}
+	_ = RenderFig14(rows)
+}
+
+func TestFig15AgreesAcrossIndexes(t *testing.T) {
+	env := NewEnv(tinyConfig())
+	rows, err := env.Fig15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Fabric.Results != r.SDG.Results || r.SDG.Results != r.APEX.Results {
+			t.Fatalf("%s: result mismatch Fabric=%d SDG=%d APEX=%d",
+				r.Dataset, r.Fabric.Results, r.SDG.Results, r.APEX.Results)
+		}
+		if r.Fabric.Results == 0 {
+			t.Fatalf("%s: QTYPE3 produced no results at all", r.Dataset)
+		}
+	}
+	_ = RenderFig15(rows)
+}
+
+func TestAblationFastPath(t *testing.T) {
+	env := NewEnv(tinyConfig())
+	on, off, err := env.AblationFastPath("Flix01.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.Results != off.Results {
+		t.Fatalf("result mismatch: %d vs %d", on.Results, off.Results)
+	}
+	if on.Cost.Total() >= off.Cost.Total() {
+		t.Fatalf("fast path should reduce cost: on=%d off=%d", on.Cost.Total(), off.Cost.Total())
+	}
+}
+
+func TestAblationRefinement(t *testing.T) {
+	env := NewEnv(tinyConfig())
+	refined, plain, err := env.AblationRefinement("Flix01.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refined.Results != plain.Results {
+		t.Fatalf("result mismatch: %d vs %d", refined.Results, plain.Results)
+	}
+	if refined.Cost.ExtentEdges > plain.Cost.ExtentEdges {
+		t.Fatalf("refined joins scanned more: %d vs %d", refined.Cost.ExtentEdges, plain.Cost.ExtentEdges)
+	}
+}
+
+func TestAblationQ2Rewriting(t *testing.T) {
+	env := NewEnv(tinyConfig())
+	paper, product, err := env.AblationQ2Rewriting("Ged01.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paper.Results != product.Results {
+		t.Fatalf("result mismatch: %d vs %d", paper.Results, product.Results)
+	}
+	_ = RenderAblation("q2", paper, product)
+}
+
+func TestAblationFabricScan(t *testing.T) {
+	env := NewEnv(tinyConfig())
+	full, layered, err := env.AblationFabricScan("Ged01.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Results != layered.Results {
+		t.Fatalf("result mismatch: %d vs %d", full.Results, layered.Results)
+	}
+}
+
+func TestAblationUpdate(t *testing.T) {
+	env := NewEnv(tinyConfig())
+	inc, reb, err := env.AblationUpdate("Flix01.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc <= 0 || reb <= 0 {
+		t.Fatalf("non-positive durations: %v %v", inc, reb)
+	}
+}
+
+func TestAblationExtentStorage(t *testing.T) {
+	env := NewEnv(tinyConfig())
+	stored, naive, err := env.AblationExtentStorage("Flix01.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stored <= 0 || naive < stored {
+		t.Fatalf("extent accounting odd: stored=%d naive=%d", stored, naive)
+	}
+}
+
+func TestCompareASR(t *testing.T) {
+	env := NewEnv(tinyConfig())
+	cmp, err := env.CompareASR("Flix01.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.ResultsAgreed {
+		t.Fatal("ASR and APEX disagree on QTYPE1 results")
+	}
+	if cmp.Relations == 0 || cmp.Tuples == 0 {
+		t.Fatalf("no relations materialized: %+v", cmp)
+	}
+}
+
+func TestCompareMixed(t *testing.T) {
+	env := NewEnv(tinyConfig())
+	cmp, err := env.CompareMixed("Flix01.xml", 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.ResultsOK {
+		t.Fatalf("APEX %d results, SDG %d on mixed queries", cmp.APEX.Results, cmp.SDG.Results)
+	}
+}
+
+func TestEnvCachesDatasets(t *testing.T) {
+	env := NewEnv(tinyConfig())
+	a, err := env.site("Flix01.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := env.site("Flix01.xml")
+	if a != b {
+		t.Fatal("site not cached")
+	}
+}

@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// CSV emitters for downstream plotting: one file per figure, one row per
+// (dataset, index) series point, mirroring the text renderers.
+
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func runRow(dataset string, r RunResult) []string {
+	return []string{
+		dataset,
+		r.Index,
+		strconv.FormatInt(r.Cost.WeightedTotal(), 10),
+		strconv.FormatInt(r.Cost.Total(), 10),
+		strconv.FormatInt(int64(r.Elapsed/time.Microsecond), 10),
+		strconv.FormatInt(r.Results, 10),
+	}
+}
+
+var runHeader = []string{"dataset", "index", "weighted_cost", "raw_cost", "elapsed_us", "results"}
+
+// WriteFig13CSV emits one family's QTYPE1 series.
+func WriteFig13CSV(w io.Writer, rows []Fig13Row, minSups []float64) error {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, runRow(r.Dataset, r.SDG), runRow(r.Dataset, r.APEX0))
+		for _, ms := range minSups {
+			out = append(out, runRow(r.Dataset, r.APEX[ms]))
+		}
+	}
+	return writeCSV(w, runHeader, out)
+}
+
+// WriteFig14CSV emits the QTYPE2 comparison.
+func WriteFig14CSV(w io.Writer, rows []Fig14Row) error {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, runRow(r.Dataset, r.SDG), runRow(r.Dataset, r.APEX0), runRow(r.Dataset, r.APEX))
+	}
+	return writeCSV(w, runHeader, out)
+}
+
+// WriteFig15CSV emits the QTYPE3 comparison.
+func WriteFig15CSV(w io.Writer, rows []Fig15Row) error {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, runRow(r.Dataset, r.Fabric), runRow(r.Dataset, r.SDG), runRow(r.Dataset, r.APEX))
+	}
+	return writeCSV(w, runHeader, out)
+}
+
+// WriteTable2CSV emits the index size sweep.
+func WriteTable2CSV(w io.Writer, rows []Table2Row, minSups []float64) error {
+	header := []string{"dataset", "index", "nodes", "edges"}
+	var out [][]string
+	put := func(ds, idx string, ne [2]int) {
+		out = append(out, []string{ds, idx, strconv.Itoa(ne[0]), strconv.Itoa(ne[1])})
+	}
+	for _, r := range rows {
+		put(r.Dataset, "SDG", r.SDG)
+		put(r.Dataset, "APEX0", r.APEX0)
+		for _, ms := range minSups {
+			put(r.Dataset, fmt.Sprintf("APEX(%g)", ms), r.APEX[ms])
+		}
+		put(r.Dataset, "1-index", r.OneIndex)
+	}
+	return writeCSV(w, header, out)
+}

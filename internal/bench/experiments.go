@@ -1,0 +1,209 @@
+package bench
+
+import (
+	"fmt"
+
+	"apex/internal/query"
+	"apex/internal/xmlgraph"
+)
+
+// Table1Row is one data set characteristics row (paper Table 1).
+type Table1Row struct {
+	Dataset string
+	Stats   xmlgraph.Stats
+}
+
+// Table1 generates all nine data sets and reports their characteristics.
+func (e *Env) Table1() ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, name := range datasetNames() {
+		s, err := e.site(name)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table1Row{Dataset: name, Stats: s.ds.Graph.Stats()})
+	}
+	return rows, nil
+}
+
+// Table2Row is one index-structure statistics row (paper Table 2): node and
+// edge counts for the strong DataGuide, APEX⁰, and APEX across the minSup
+// sweep.
+type Table2Row struct {
+	Dataset  string
+	SDG      [2]int             // nodes, edges
+	APEX0    [2]int             // nodes, edges
+	APEX     map[float64][2]int // minSup -> nodes, edges
+	OneIndex [2]int             // extra: 1-index size for context
+}
+
+// Table2 reproduces the index-structure statistics.
+func (e *Env) Table2() ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, name := range datasetNames() {
+		s, err := e.site(name)
+		if err != nil {
+			return nil, err
+		}
+		row := Table2Row{Dataset: name, APEX: make(map[float64][2]int)}
+		dg := s.dataguide()
+		row.SDG = [2]int{dg.NumNodes(), dg.NumEdges()}
+		oix := s.oneindex()
+		row.OneIndex = [2]int{oix.NumNodes(), oix.NumEdges()}
+		a0 := s.buildAPEX0()
+		st := a0.Stats()
+		row.APEX0 = [2]int{st.Nodes, st.Edges}
+		for _, ms := range e.cfg.MinSups {
+			a := s.buildAPEX(ms)
+			st := a.Stats()
+			row.APEX[ms] = [2]int{st.Nodes, st.Edges}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig13Row is one dataset's QTYPE1 cost series (paper Figure 13): the
+// strong DataGuide, APEX⁰, and APEX across the minSup sweep.
+type Fig13Row struct {
+	Dataset string
+	SDG     RunResult
+	APEX0   RunResult
+	APEX    map[float64]RunResult // keyed by minSup
+}
+
+// Fig13 measures total QTYPE1 evaluation over one data set family
+// ("plays", "flixml", "gedml"); Figure 13's subfigures (a), (b), (c).
+func (e *Env) Fig13(family string) ([]Fig13Row, error) {
+	var rows []Fig13Row
+	for _, name := range familyDatasets(family) {
+		s, err := e.site(name)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig13Row{Dataset: name, APEX: make(map[float64]RunResult)}
+		sdg := query.NewSummaryEvaluator("SDG", s.dataguide(), s.ds.Graph, s.dt)
+		if row.SDG, err = runBatch(sdg, s.q1); err != nil {
+			return nil, err
+		}
+		a0 := query.NewAPEXEvaluator(s.buildAPEX0(), s.dt)
+		if row.APEX0, err = runBatch(a0, s.q1); err != nil {
+			return nil, err
+		}
+		row.APEX0.Index = "APEX0"
+		for _, ms := range e.cfg.MinSups {
+			ap := query.NewAPEXEvaluator(s.buildAPEX(ms), s.dt)
+			r, err := runBatch(ap, s.q1)
+			if err != nil {
+				return nil, err
+			}
+			r.Index = fmt.Sprintf("APEX(%g)", ms)
+			row.APEX[ms] = r
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig14Row is one dataset's QTYPE2 comparison (paper Figure 14, log scale):
+// SDG vs APEX⁰ vs APEX at the fixed minSup.
+type Fig14Row struct {
+	Dataset string
+	SDG     RunResult
+	APEX0   RunResult
+	APEX    RunResult
+}
+
+// Fig14Datasets are the files the paper shows (one per family, middle
+// size); the others "show similar results".
+func Fig14Datasets() []string { return []string{"shakes_11.xml", "Flix02.xml", "Ged02.xml"} }
+
+// Fig14 measures total QTYPE2 evaluation.
+func (e *Env) Fig14() ([]Fig14Row, error) {
+	var rows []Fig14Row
+	for _, name := range Fig14Datasets() {
+		s, err := e.site(name)
+		if err != nil {
+			return nil, err
+		}
+		var row Fig14Row
+		row.Dataset = name
+		sdg := query.NewSummaryEvaluator("SDG", s.dataguide(), s.ds.Graph, s.dt)
+		if row.SDG, err = runBatch(sdg, s.q2); err != nil {
+			return nil, err
+		}
+		a0 := query.NewAPEXEvaluator(s.buildAPEX0(), s.dt)
+		if row.APEX0, err = runBatch(a0, s.q2); err != nil {
+			return nil, err
+		}
+		row.APEX0.Index = "APEX0"
+		ap := query.NewAPEXEvaluator(s.buildAPEX(e.cfg.FixedMinSup), s.dt)
+		if row.APEX, err = runBatch(ap, s.q2); err != nil {
+			return nil, err
+		}
+		row.APEX.Index = fmt.Sprintf("APEX(%g)", e.cfg.FixedMinSup)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig15Row is one dataset's QTYPE3 comparison (paper Figure 15, log
+// scale): Index Fabric vs SDG vs APEX at the fixed minSup.
+type Fig15Row struct {
+	Dataset string
+	Fabric  RunResult
+	SDG     RunResult
+	APEX    RunResult
+}
+
+// Fig15 measures total QTYPE3 evaluation.
+func (e *Env) Fig15() ([]Fig15Row, error) {
+	var rows []Fig15Row
+	for _, name := range Fig14Datasets() {
+		s, err := e.site(name)
+		if err != nil {
+			return nil, err
+		}
+		var row Fig15Row
+		row.Dataset = name
+		fab := query.NewFabricEvaluator(s.fabric())
+		if row.Fabric, err = runBatch(fab, s.q3); err != nil {
+			return nil, err
+		}
+		sdg := query.NewSummaryEvaluator("SDG", s.dataguide(), s.ds.Graph, s.dt)
+		if row.SDG, err = runBatch(sdg, s.q3); err != nil {
+			return nil, err
+		}
+		ap := query.NewAPEXEvaluator(s.buildAPEX(e.cfg.FixedMinSup), s.dt)
+		if row.APEX, err = runBatch(ap, s.q3); err != nil {
+			return nil, err
+		}
+		row.APEX.Index = fmt.Sprintf("APEX(%g)", e.cfg.FixedMinSup)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func datasetNames() []string {
+	return []string{
+		"four_tragedies.xml", "shakes_11.xml", "shakes_all.xml",
+		"Flix01.xml", "Flix02.xml", "Flix03.xml",
+		"Ged01.xml", "Ged02.xml", "Ged03.xml",
+	}
+}
+
+func familyDatasets(family string) []string {
+	switch family {
+	case "plays":
+		return []string{"four_tragedies.xml", "shakes_11.xml", "shakes_all.xml"}
+	case "flixml":
+		return []string{"Flix01.xml", "Flix02.xml", "Flix03.xml"}
+	case "gedml":
+		return []string{"Ged01.xml", "Ged02.xml", "Ged03.xml"}
+	default:
+		return nil
+	}
+}
+
+// Families lists the three data set families in paper order.
+func Families() []string { return []string{"plays", "flixml", "gedml"} }

@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// RenderTable1 prints Table 1 in the paper's layout.
+func RenderTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: characteristics of the data sets\n")
+	fmt.Fprintf(&b, "%-22s %10s %10s %12s\n", "Data Set", "nodes", "edges", "labels")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-22s %10d %10d %8d(%d)\n",
+			r.Dataset, r.Stats.Nodes, r.Stats.Edges, r.Stats.Labels, r.Stats.IDREFLabels)
+	}
+	return b.String()
+}
+
+// RenderTable2 prints Table 2 in the paper's layout (one row pair per data
+// set: nodes then edges).
+func RenderTable2(rows []Table2Row, minSups []float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: statistics of index structures\n")
+	fmt.Fprintf(&b, "%-22s %-6s %9s %9s", "Data Set", "", "SDG", "APEX0")
+	for _, ms := range minSups {
+		fmt.Fprintf(&b, " %9s", fmt.Sprintf("%g", ms))
+	}
+	fmt.Fprintf(&b, " %9s\n", "1-index")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-22s %-6s %9d %9d", r.Dataset, "Nodes", r.SDG[0], r.APEX0[0])
+		for _, ms := range minSups {
+			fmt.Fprintf(&b, " %9d", r.APEX[ms][0])
+		}
+		fmt.Fprintf(&b, " %9d\n", r.OneIndex[0])
+		fmt.Fprintf(&b, "%-22s %-6s %9d %9d", "", "Edges", r.SDG[1], r.APEX0[1])
+		for _, ms := range minSups {
+			fmt.Fprintf(&b, " %9d", r.APEX[ms][1])
+		}
+		fmt.Fprintf(&b, " %9d\n", r.OneIndex[1])
+	}
+	return b.String()
+}
+
+// RenderFig13 prints one family's QTYPE1 series.
+func RenderFig13(family string, rows []Fig13Row, minSups []float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 13 (%s): total QTYPE1 evaluation\n", family)
+	fmt.Fprintf(&b, "%-22s %-12s %14s %14s %12s\n", "Data Set", "Index", "weighted cost", "elapsed", "results")
+	for _, r := range rows {
+		put(&b, r.Dataset, r.SDG)
+		put(&b, "", r.APEX0)
+		for _, ms := range minSups {
+			put(&b, "", r.APEX[ms])
+		}
+	}
+	return b.String()
+}
+
+// RenderFig14 prints the QTYPE2 comparison.
+func RenderFig14(rows []Fig14Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 14: total QTYPE2 evaluation [log scale in the paper]\n")
+	fmt.Fprintf(&b, "%-22s %-12s %14s %14s %12s\n", "Data Set", "Index", "weighted cost", "elapsed", "results")
+	for _, r := range rows {
+		put(&b, r.Dataset, r.SDG)
+		put(&b, "", r.APEX0)
+		put(&b, "", r.APEX)
+	}
+	return b.String()
+}
+
+// RenderFig15 prints the QTYPE3 comparison.
+func RenderFig15(rows []Fig15Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 15: total QTYPE3 evaluation [log scale in the paper]\n")
+	fmt.Fprintf(&b, "%-22s %-12s %14s %14s %12s\n", "Data Set", "Index", "weighted cost", "elapsed", "results")
+	for _, r := range rows {
+		put(&b, r.Dataset, r.Fabric)
+		put(&b, "", r.SDG)
+		put(&b, "", r.APEX)
+	}
+	return b.String()
+}
+
+func put(b *strings.Builder, dataset string, r RunResult) {
+	fmt.Fprintf(b, "%-22s %-12s %14d %14v %12d\n",
+		dataset, r.Index, r.Cost.WeightedTotal(), r.Elapsed.Round(time.Microsecond), r.Results)
+}

@@ -1,0 +1,174 @@
+package cli
+
+import (
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"apex/internal/bench"
+)
+
+// RunBench implements apexbench: regenerate the paper's tables and figures.
+func RunBench(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("apexbench", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		scale  = fs.Float64("scale", 0.05, "data set scale relative to the paper's sizes")
+		q1     = fs.Int("q1", 1000, "number of QTYPE1 queries")
+		q2     = fs.Int("q2", 100, "number of QTYPE2 queries")
+		q3     = fs.Int("q3", 200, "number of QTYPE3 queries")
+		seed   = fs.Int64("seed", 1, "random seed")
+		exps   = fs.String("experiments", "table1,table2,fig13,fig14,fig15", "comma-separated experiment list (also: ablations, asr)")
+		paper  = fs.Bool("paper", false, "run the full-size paper protocol (slow)")
+		csvDir = fs.String("csv", "", "also write figure series as CSV files into this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := bench.DefaultConfig()
+	cfg.Scale, cfg.NumQ1, cfg.NumQ2, cfg.NumQ3, cfg.Seed = *scale, *q1, *q2, *q3, *seed
+	if *paper {
+		cfg = bench.PaperConfig()
+	}
+	env := bench.NewEnv(cfg)
+	fprintf(stdout, "apexbench: scale=%g q1=%d q2=%d q3=%d seed=%d\n\n",
+		cfg.Scale, cfg.NumQ1, cfg.NumQ2, cfg.NumQ3, cfg.Seed)
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exps, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	var firstErr error
+	run := func(name string, fn func() error) {
+		if !want[name] || firstErr != nil {
+			return
+		}
+		start := time.Now()
+		if err := fn(); err != nil {
+			firstErr = err
+			return
+		}
+		fprintf(stdout, "[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("table1", func() error {
+		rows, err := env.Table1()
+		if err != nil {
+			return err
+		}
+		fprintf(stdout, "%s", bench.RenderTable1(rows))
+		return nil
+	})
+	csvOut := func(name string, write func(io.Writer) error) error {
+		if *csvDir == "" {
+			return nil
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(*csvDir, name))
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	run("table2", func() error {
+		rows, err := env.Table2()
+		if err != nil {
+			return err
+		}
+		fprintf(stdout, "%s", bench.RenderTable2(rows, cfg.MinSups))
+		return csvOut("table2.csv", func(w io.Writer) error {
+			return bench.WriteTable2CSV(w, rows, cfg.MinSups)
+		})
+	})
+	run("fig13", func() error {
+		for _, fam := range bench.Families() {
+			rows, err := env.Fig13(fam)
+			if err != nil {
+				return err
+			}
+			fprintf(stdout, "%s\n", bench.RenderFig13(fam, rows, cfg.MinSups))
+			if err := csvOut("fig13_"+fam+".csv", func(w io.Writer) error {
+				return bench.WriteFig13CSV(w, rows, cfg.MinSups)
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	run("fig14", func() error {
+		rows, err := env.Fig14()
+		if err != nil {
+			return err
+		}
+		fprintf(stdout, "%s", bench.RenderFig14(rows))
+		return csvOut("fig14.csv", func(w io.Writer) error {
+			return bench.WriteFig14CSV(w, rows)
+		})
+	})
+	run("fig15", func() error {
+		rows, err := env.Fig15()
+		if err != nil {
+			return err
+		}
+		fprintf(stdout, "%s", bench.RenderFig15(rows))
+		return csvOut("fig15.csv", func(w io.Writer) error {
+			return bench.WriteFig15CSV(w, rows)
+		})
+	})
+	run("ablations", func() error {
+		on, off, err := env.AblationFastPath("Flix02.xml")
+		if err != nil {
+			return err
+		}
+		fprintf(stdout, "%s", bench.RenderAblation("hash-tree fast path (Flix02, QTYPE1)", on, off))
+		refined, plain, err := env.AblationRefinement("Flix02.xml")
+		if err != nil {
+			return err
+		}
+		fprintf(stdout, "%s", bench.RenderAblation("workload-refined joins (Flix02, QTYPE1)", refined, plain))
+		paperQ2, product, err := env.AblationQ2Rewriting("Ged02.xml")
+		if err != nil {
+			return err
+		}
+		fprintf(stdout, "%s", bench.RenderAblation("SDG QTYPE2 procedure (Ged02)", paperQ2, product))
+		full, layered, err := env.AblationFabricScan("Ged02.xml")
+		if err != nil {
+			return err
+		}
+		fprintf(stdout, "%s", bench.RenderAblation("fabric partial matching (Ged02, QTYPE3)", full, layered))
+		inc, reb, err := env.AblationUpdate("Flix02.xml")
+		if err != nil {
+			return err
+		}
+		fprintf(stdout, "adaptation (Flix02): incremental=%v rebuild=%v\n", inc, reb)
+		stored, naive, err := env.AblationExtentStorage("Ged02.xml")
+		if err != nil {
+			return err
+		}
+		fprintf(stdout, "extent storage (Ged02): T^R stored=%d edges, naive ΣT(p)=%d edges\n", stored, naive)
+		return nil
+	})
+	run("asr", func() error {
+		for _, ds := range []string{"shakes_11.xml", "Flix02.xml", "Ged02.xml"} {
+			cmp, err := env.CompareASR(ds)
+			if err != nil {
+				return err
+			}
+			fprintf(stdout, "%-18s ASR(relations=%d tuples=%d cost=%d fallbacks=%d %v)  APEX(cost=%d %v)  agreed=%v\n",
+				cmp.Dataset, cmp.Relations, cmp.Tuples, cmp.ASRCost, cmp.ASRFallbacks,
+				cmp.ASRElapsed.Round(time.Millisecond), cmp.APEXCost,
+				cmp.APEXElapsed.Round(time.Millisecond), cmp.ResultsAgreed)
+		}
+		return nil
+	})
+	return firstErr
+}

@@ -1,0 +1,93 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"apex/internal/core"
+	"apex/internal/dataguide"
+	"apex/internal/fabric"
+	"apex/internal/oneindex"
+	"apex/internal/xmlgraph"
+)
+
+// RunBuild implements apexbuild: parse XML, build APEX (optionally adapted
+// to a workload), print statistics, optionally compare baselines and save
+// the index.
+func RunBuild(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("apexbuild", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		in      = fs.String("in", "", "input XML document (required)")
+		out     = fs.String("out", "", "output index file (optional)")
+		idref   = fs.String("idref", "", "comma-separated IDREF attribute names")
+		idrefs  = fs.String("idrefs", "", "comma-separated IDREFS attribute names")
+		idattr  = fs.String("id", "id", "ID attribute name")
+		wlPath  = fs.String("workload", "", "query workload file (one query per line)")
+		minSup  = fs.Float64("minsup", 0.005, "minimum support for frequent paths")
+		compare = fs.Bool("compare", false, "also build the baseline indexes and print their sizes")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("apexbuild: -in is required")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	g, err := xmlgraph.Build(f, buildOptions(*idattr, *idref, *idrefs))
+	f.Close()
+	if err != nil {
+		return err
+	}
+	fprintf(stdout, "parsed %s: %s\n", *in, g.Stats())
+
+	idx := core.BuildAPEX0(g)
+	fprintf(stdout, "APEX0: %s\n", idx.Stats())
+
+	if *wlPath != "" {
+		wl, err := readWorkload(*wlPath)
+		if err != nil {
+			return err
+		}
+		idx.ExtractFrequentPaths(wl, *minSup)
+		idx.Update()
+		fprintf(stdout, "APEX(minSup=%g) after %d workload queries: %s\n", *minSup, len(wl), idx.Stats())
+		fprintf(stdout, "required paths: %d\n", len(idx.RequiredPaths()))
+	}
+
+	if *compare {
+		dg := dataguide.Build(g)
+		fprintf(stdout, "strong DataGuide: nodes=%d edges=%d\n", dg.NumNodes(), dg.NumEdges())
+		oi := oneindex.Build(g)
+		fprintf(stdout, "1-index: nodes=%d edges=%d\n", oi.NumNodes(), oi.NumEdges())
+		ti := oneindex.BuildTwoIndex(g)
+		fprintf(stdout, "2-index: nodes=%d edges=%d\n", ti.NumNodes(), ti.NumEdges())
+		fb := fabric.Build(g, nil)
+		fprintf(stdout, "Index Fabric: %s\n", fb.Stats())
+	}
+
+	if *out != "" {
+		of, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		if err := idx.Encode(of); err != nil {
+			of.Close()
+			return err
+		}
+		if err := of.Close(); err != nil {
+			return err
+		}
+		info, err := os.Stat(*out)
+		if err != nil {
+			return err
+		}
+		fprintf(stdout, "saved index to %s (%d bytes)\n", *out, info.Size())
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+// Package cli implements the four command-line tools (apexgen, apexbuild,
+// apexquery, apexbench) as testable functions; the cmd/ mains are thin
+// wrappers. Each Run function parses its own flag set, writes human output
+// to stdout, and returns an error instead of exiting.
+package cli
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"apex/internal/query"
+	"apex/internal/xmlgraph"
+)
+
+// splitList parses a comma-separated flag value.
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+// readQueries reads one query per line, skipping blanks and '#' comments.
+func readQueries(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var res []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line != "" && !strings.HasPrefix(line, "#") {
+			res = append(res, line)
+		}
+	}
+	return res, sc.Err()
+}
+
+// readWorkload parses a query file into minable label paths (QTYPE2
+// entries are skipped; only path expressions are mined).
+func readWorkload(path string) ([]xmlgraph.LabelPath, error) {
+	lines, err := readQueries(path)
+	if err != nil {
+		return nil, err
+	}
+	var res []xmlgraph.LabelPath
+	for _, line := range lines {
+		q, err := query.Parse(line)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if q.Type == query.QTYPE2 {
+			continue
+		}
+		res = append(res, q.Path)
+	}
+	return res, nil
+}
+
+// buildOptions assembles parser options from flag values.
+func buildOptions(idAttr, idref, idrefs string) *xmlgraph.BuildOptions {
+	return &xmlgraph.BuildOptions{
+		IDAttrs:     []string{idAttr},
+		IDREFAttrs:  splitList(idref),
+		IDREFSAttrs: splitList(idrefs),
+	}
+}
+
+func fprintf(w io.Writer, format string, args ...any) {
+	fmt.Fprintf(w, format, args...)
+}

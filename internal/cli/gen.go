@@ -1,0 +1,77 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"apex/internal/datagen"
+	"apex/internal/query"
+	"apex/internal/workload"
+)
+
+// RunGen implements apexgen: generate a named data set and its query files.
+func RunGen(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("apexgen", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		dataset = fs.String("dataset", "four_tragedies.xml", "dataset name (see -list)")
+		scale   = fs.Float64("scale", 0.1, "scale relative to the paper's sizes")
+		out     = fs.String("out", ".", "output directory")
+		q1      = fs.Int("q1", 1000, "number of QTYPE1 queries")
+		q2      = fs.Int("q2", 100, "number of QTYPE2 queries")
+		q3      = fs.Int("q3", 200, "number of QTYPE3 queries")
+		seed    = fs.Int64("seed", 1, "random seed")
+		list    = fs.Bool("list", false, "list dataset names and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, n := range datagen.DatasetNames() {
+			fprintf(stdout, "%s\n", n)
+		}
+		return nil
+	}
+	ds, err := datagen.LoadDataset(*dataset, *scale)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	doc := datagen.RegenerateXML(ds.Name, *scale)
+	xmlPath := filepath.Join(*out, ds.Name)
+	if err := os.WriteFile(xmlPath, []byte(doc), 0o644); err != nil {
+		return err
+	}
+	gen := workload.New(ds.Graph, *seed)
+	write := func(suffix string, qs []query.Query) error {
+		path := xmlPath + suffix
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		for _, q := range qs {
+			fmt.Fprintln(f, q.String())
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fprintf(stdout, "wrote %s (%d queries)\n", path, len(qs))
+		return nil
+	}
+	if err := write(".q1", gen.QType1(*q1)); err != nil {
+		return err
+	}
+	if err := write(".q2", gen.QType2(*q2)); err != nil {
+		return err
+	}
+	if err := write(".q3", gen.QType3(*q3)); err != nil {
+		return err
+	}
+	fprintf(stdout, "wrote %s: %s\n", xmlPath, ds.Graph.Stats())
+	return nil
+}

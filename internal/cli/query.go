@@ -1,0 +1,146 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"apex/internal/core"
+	"apex/internal/dataguide"
+	"apex/internal/oneindex"
+	"apex/internal/query"
+	"apex/internal/storage"
+	"apex/internal/xmlgraph"
+)
+
+// RunQuery implements apexquery: evaluate queries against a saved index,
+// or ad hoc against an XML document with a chosen engine.
+func RunQuery(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("apexquery", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		index  = fs.String("index", "", "index file written by apexbuild")
+		xmlIn  = fs.String("xml", "", "XML document to index on the fly (alternative to -index)")
+		engine = fs.String("engine", "apex", "with -xml: apex, apex0, sdg, 1index, 2index")
+		idref  = fs.String("idref", "", "with -xml: comma-separated IDREF attribute names")
+		idrefs = fs.String("idrefs", "", "with -xml: comma-separated IDREFS attribute names")
+		idattr = fs.String("id", "id", "with -xml: ID attribute name")
+		wlPath = fs.String("workload", "", "with -xml -engine apex: workload file to adapt to")
+		minSup = fs.Float64("minsup", 0.005, "with -workload: minimum support")
+		q      = fs.String("q", "", "single query to evaluate")
+		file   = fs.String("f", "", "file with one query per line")
+		quiet  = fs.Bool("quiet", false, "suppress per-node output")
+		cost   = fs.Bool("cost", false, "print logical cost counters")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*index == "") == (*xmlIn == "") {
+		return fmt.Errorf("apexquery: exactly one of -index/-xml is required")
+	}
+	if *q == "" && *file == "" {
+		return fmt.Errorf("apexquery: one of -q/-f is required")
+	}
+	ev, g, err := buildEvaluator(*index, *xmlIn, *engine, *idattr, *idref, *idrefs, *wlPath, *minSup)
+	if err != nil {
+		return err
+	}
+
+	var queries []string
+	if *q != "" {
+		queries = append(queries, *q)
+	}
+	if *file != "" {
+		more, err := readQueries(*file)
+		if err != nil {
+			return err
+		}
+		queries = append(queries, more...)
+	}
+
+	start := time.Now()
+	total := 0
+	for _, s := range queries {
+		parsed, err := query.Parse(s)
+		if err != nil {
+			return err
+		}
+		nids, err := ev.Evaluate(parsed)
+		if err != nil {
+			return err
+		}
+		total += len(nids)
+		if !*quiet {
+			fprintf(stdout, "# %s (%d nodes)\n", s, len(nids))
+			for _, n := range nids {
+				nd := g.Node(n)
+				fprintf(stdout, "%d %s %s\n", n, nd.Tag, nd.Value)
+			}
+		}
+	}
+	fprintf(stdout, "# %d queries, %d result nodes, %v\n",
+		len(queries), total, time.Since(start).Round(time.Microsecond))
+	if *cost {
+		fprintf(stdout, "# cost: %s\n", ev.Cost().String())
+	}
+	return nil
+}
+
+// buildEvaluator assembles the query engine: either a saved APEX index, or
+// an on-the-fly build of the chosen engine over an XML document.
+func buildEvaluator(index, xmlIn, engine, idattr, idref, idrefs, wlPath string, minSup float64) (query.Evaluator, *xmlgraph.Graph, error) {
+	if index != "" {
+		f, err := os.Open(index)
+		if err != nil {
+			return nil, nil, err
+		}
+		idx, err := core.Decode(f)
+		f.Close()
+		if err != nil {
+			return nil, nil, err
+		}
+		dt, err := storage.BuildDataTable(idx.Graph(), 0, 64)
+		if err != nil {
+			return nil, nil, err
+		}
+		return query.NewAPEXEvaluator(idx, dt), idx.Graph(), nil
+	}
+	f, err := os.Open(xmlIn)
+	if err != nil {
+		return nil, nil, err
+	}
+	g, err := xmlgraph.Build(f, buildOptions(idattr, idref, idrefs))
+	f.Close()
+	if err != nil {
+		return nil, nil, err
+	}
+	dt, err := storage.BuildDataTable(g, 0, 64)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch engine {
+	case "apex", "apex0":
+		idx := core.BuildAPEX0(g)
+		if engine == "apex" && wlPath != "" {
+			wl, err := readWorkload(wlPath)
+			if err != nil {
+				return nil, nil, err
+			}
+			idx.ExtractFrequentPaths(wl, minSup)
+			idx.Update()
+		}
+		return query.NewAPEXEvaluator(idx, dt), g, nil
+	case "sdg":
+		return query.NewSummaryEvaluator("SDG", dataguide.Build(g), g, dt), g, nil
+	case "1index":
+		return query.NewSummaryEvaluator("1-index", oneindex.Build(g), g, dt), g, nil
+	case "2index":
+		ev := query.NewSummaryEvaluator("2-index", oneindex.BuildTwoIndex(g), g, dt)
+		ev.StartAnywhere = true
+		return ev, g, nil
+	default:
+		return nil, nil, fmt.Errorf("apexquery: unknown engine %q (want apex, apex0, sdg, 1index, 2index)", engine)
+	}
+}

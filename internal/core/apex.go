@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"apex/internal/xmlgraph"
+)
+
+// APEX is the adaptive path index: the summary graph G_APEX rooted at xroot
+// plus the hash tree H_APEX rooted at head, both over one data graph.
+type APEX struct {
+	g      *xmlgraph.Graph
+	head   *HNode // HashHead
+	xroot  *XNode
+	nextID int
+	run    int // update-round counter backing the visited flags
+}
+
+// Graph returns the underlying data graph.
+func (a *APEX) Graph() *xmlgraph.Graph { return a.g }
+
+// XRoot returns the root node of G_APEX (incoming pseudo-label 'xroot').
+func (a *APEX) XRoot() *XNode { return a.xroot }
+
+func (a *APEX) newXNode(path string) *XNode {
+	x := newXNodeValue(a.nextID, path)
+	a.nextID++
+	return x
+}
+
+// BuildAPEX0 constructs the initial index APEX⁰ (Figure 6): one G_APEX node
+// per distinct label (all required paths have length one), extents grouping
+// the data edges by incoming label, built by depth-first delta propagation
+// so cyclic data terminates.
+func BuildAPEX0(g *xmlgraph.Graph) *APEX {
+	a := &APEX{g: g, head: newHNode()}
+	a.xroot = a.newXNode("xroot")
+	rootPair := xmlgraph.EdgePair{From: xmlgraph.NullNID, To: g.Root()}
+	a.xroot.Extent.Add(rootPair)
+	a.exploreAPEX0(a.xroot, []xmlgraph.EdgePair{rootPair})
+	return a
+}
+
+// BuildAPEX builds APEX⁰ and immediately adapts it to a workload: extract
+// frequently used paths at minSup, then incrementally update. This is the
+// whole Figure 4 pipeline in one call.
+func BuildAPEX(g *xmlgraph.Graph, workload []xmlgraph.LabelPath, minSup float64) *APEX {
+	a := BuildAPEX0(g)
+	a.ExtractFrequentPaths(workload, minSup)
+	a.Update()
+	return a
+}
+
+func (a *APEX) exploreAPEX0(x *XNode, delta []xmlgraph.EdgePair) {
+	byLabel := a.outgoingByLabel(deltaEnds(delta))
+	labels := make([]string, 0, len(byLabel))
+	for l := range byLabel {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		e, _ := a.head.getOrCreate(l)
+		if e.XNode == nil && e.Next == nil {
+			e.XNode = a.newXNode(l)
+		}
+		y := e.XNode
+		x.makeEdge(l, y)
+		var newDelta []xmlgraph.EdgePair
+		for _, p := range byLabel[l] {
+			if y.Extent.Add(p) {
+				newDelta = append(newDelta, p)
+			}
+		}
+		if len(newDelta) > 0 {
+			a.exploreAPEX0(y, newDelta)
+		}
+	}
+}
+
+// deltaEnds returns the distinct end nodes of the pairs.
+func deltaEnds(delta []xmlgraph.EdgePair) []xmlgraph.NID {
+	seen := make(map[xmlgraph.NID]bool, len(delta))
+	var res []xmlgraph.NID
+	for _, p := range delta {
+		if !seen[p.To] {
+			seen[p.To] = true
+			res = append(res, p.To)
+		}
+	}
+	return res
+}
+
+// outgoingByLabel groups the data edges leaving the given nodes by label.
+func (a *APEX) outgoingByLabel(ends []xmlgraph.NID) map[string][]xmlgraph.EdgePair {
+	res := make(map[string][]xmlgraph.EdgePair)
+	for _, v := range ends {
+		for _, he := range a.g.Out(v) {
+			res[he.Label] = append(res[he.Label], xmlgraph.EdgePair{From: v, To: he.To})
+		}
+	}
+	return res
+}
+
+// Stats describes the live (reachable from xroot) portion of G_APEX, in the
+// shape of the paper's Table 2, plus the total extent volume.
+type Stats struct {
+	Nodes       int
+	Edges       int
+	ExtentEdges int
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("nodes=%d edges=%d extent=%d", s.Nodes, s.Edges, s.ExtentEdges)
+}
+
+// Stats computes reachable node/edge counts of G_APEX. Nodes abandoned by
+// incremental updates are excluded, as they no longer serve queries.
+func (a *APEX) Stats() Stats {
+	var s Stats
+	seen := make(map[*XNode]bool)
+	stack := []*XNode{a.xroot}
+	seen[a.xroot] = true
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		s.Nodes++
+		s.ExtentEdges += x.Extent.Len()
+		for _, l := range x.OutLabels() {
+			s.Edges++
+			y := x.out[l]
+			if !seen[y] {
+				seen[y] = true
+				stack = append(stack, y)
+			}
+		}
+	}
+	return s
+}
+
+// EachNode visits every live G_APEX node once, in BFS order from xroot.
+func (a *APEX) EachNode(fn func(*XNode)) {
+	seen := map[*XNode]bool{a.xroot: true}
+	queue := []*XNode{a.xroot}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		fn(x)
+		for _, l := range x.OutLabels() {
+			y := x.out[l]
+			if !seen[y] {
+				seen[y] = true
+				queue = append(queue, y)
+			}
+		}
+	}
+}
+
+// DumpGraph renders the live G_APEX adjacency with extents; examples use it
+// to print the paper's Figure 2/5 structures.
+func (a *APEX) DumpGraph() string {
+	var b strings.Builder
+	a.EachNode(func(x *XNode) {
+		fmt.Fprintf(&b, "&%d (%s) extent=%s", x.ID, x.Path, x.Extent.String())
+		for _, l := range x.OutLabels() {
+			fmt.Fprintf(&b, " -%s->&%d", l, x.out[l].ID)
+		}
+		b.WriteString("\n")
+	})
+	return b.String()
+}

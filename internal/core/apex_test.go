@@ -1,0 +1,418 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"apex/internal/xmlgraph"
+)
+
+// fig12Graph builds the small data graph of the paper's Figure 12(b):
+// labels A–D with the D label occurring both under A and under A.B.
+//
+//	R(0) -A-> (1) -B-> (2) -D-> (3)
+//	             -C-> (4)
+//	             -D-> (5)
+func fig12Graph(t *testing.T) *xmlgraph.Graph {
+	t.Helper()
+	g, err := xmlgraph.BuildString(`<R><A><B><D/></B><C/><D/></A></R>`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// movieGraph is a small cyclic MovieDB in the spirit of the paper's
+// Figure 1, with @director/@movie IDREF edges forming cycles.
+func movieGraph(t *testing.T) *xmlgraph.Graph {
+	t.Helper()
+	doc := `<MovieDB>
+	  <movie id="m1" director="d1"><title>Waterworld</title></movie>
+	  <movie id="m2" director="d2"><title>Postman</title></movie>
+	  <actor id="a1" movie="m1"><name>Kevin</name></actor>
+	  <actor id="a2" movie="m2"><name>Whitney</name></actor>
+	  <director id="d1" movie="m1"><name>Kevin D</name></director>
+	  <director id="d2" movie="m2"><name>Other D</name></director>
+	</MovieDB>`
+	g, err := xmlgraph.BuildString(doc, &xmlgraph.BuildOptions{
+		IDREFAttrs: []string{"director", "movie", "actor"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBuildAPEX0OneNodePerLabel(t *testing.T) {
+	g := fig12Graph(t)
+	a := BuildAPEX0(g)
+	s := a.Stats()
+	// xroot + one node per label {A,B,C,D}.
+	if s.Nodes != 5 {
+		t.Fatalf("nodes = %d, want 5\n%s", s.Nodes, a.DumpGraph())
+	}
+	// Extents partition the 5 data edges plus the root pseudo-edge.
+	if s.ExtentEdges != g.NumEdges()+1 {
+		t.Fatalf("extent edges = %d, want %d", s.ExtentEdges, g.NumEdges()+1)
+	}
+	// The D node groups both D edges regardless of context.
+	d := a.Lookup(xmlgraph.ParseLabelPath("D"))
+	if d == nil || d.Extent.Len() != 2 {
+		t.Fatalf("T(D) = %v", d)
+	}
+}
+
+func TestAPEX0ExtentsGroupByLabel(t *testing.T) {
+	g := movieGraph(t)
+	a := BuildAPEX0(g)
+	for _, l := range g.Labels() {
+		x := a.Lookup(xmlgraph.LabelPath{l})
+		if x == nil {
+			t.Fatalf("no APEX0 node for label %q", l)
+		}
+		if x.Extent.Len() != g.LabelCount(l) {
+			t.Errorf("label %q: extent %d, want %d edges", l, x.Extent.Len(), g.LabelCount(l))
+		}
+		x.Extent.Each(func(p xmlgraph.EdgePair) {
+			found := false
+			for _, he := range g.Out(p.From) {
+				if he.Label == l && he.To == p.To {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("label %q extent has non-%q edge %v", l, l, p)
+			}
+		})
+	}
+}
+
+// Theorem 1: there is a simulation from G_XML to G_APEX — every data label
+// path can be traversed from xroot.
+func checkSimulation(t *testing.T, a *APEX) {
+	t.Helper()
+	g := a.Graph()
+	type st struct {
+		v xmlgraph.NID
+		x *XNode
+	}
+	seen := map[st]bool{}
+	stack := []st{{g.Root(), a.XRoot()}}
+	seen[stack[0]] = true
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, he := range g.Out(s.v) {
+			x := s.x.Child(he.Label)
+			if x == nil {
+				t.Fatalf("simulation broken: data node %d has %q edge, G_APEX node &%d(%s) does not",
+					s.v, he.Label, s.x.ID, s.x.Path)
+			}
+			n := st{he.To, x}
+			if !seen[n] {
+				seen[n] = true
+				stack = append(stack, n)
+			}
+		}
+	}
+}
+
+// Theorem 2: every label path of length 2 in G_APEX exists in G_XML.
+func checkLengthTwoSound(t *testing.T, a *APEX) {
+	t.Helper()
+	g := a.Graph()
+	// Collect the data's length-2 label pairs.
+	pairs := map[[2]string]bool{}
+	g.EachEdge(func(e1 xmlgraph.Edge) {
+		for _, he := range g.Out(e1.To) {
+			pairs[[2]string{e1.Label, he.Label}] = true
+		}
+	})
+	a.EachNode(func(x *XNode) {
+		for _, l1 := range x.OutLabels() {
+			y := x.Child(l1)
+			for _, l2 := range y.OutLabels() {
+				if x == a.XRoot() {
+					continue // xroot's outgoing label is not a data edge pair
+				}
+				// x is reached by some label; every incoming label of x
+				// pairs with l1 — here we check (l1, l2) of the chain
+				// below x, which requires an incoming edge into y labeled
+				// l1 followed by l2: guaranteed by construction, verify
+				// against the data.
+				if !pairs[[2]string{l1, l2}] {
+					t.Fatalf("G_APEX has label pair %s.%s absent from data", l1, l2)
+				}
+			}
+		}
+	})
+}
+
+func TestTheoremsHoldOnAPEX0(t *testing.T) {
+	for _, g := range []*xmlgraph.Graph{fig12Graph(t), movieGraph(t)} {
+		a := BuildAPEX0(g)
+		checkSimulation(t, a)
+		checkLengthTwoSound(t, a)
+	}
+}
+
+func TestTheoremsHoldAfterWorkloads(t *testing.T) {
+	g := movieGraph(t)
+	w1 := paths("movie.title", "actor.name", "movie.title")
+	w2 := paths("director.name", "@movie.movie.title", "director.name")
+	a := BuildAPEX(g, w1, 0.5)
+	checkSimulation(t, a)
+	checkLengthTwoSound(t, a)
+	a.ExtractFrequentPaths(w2, 0.5)
+	a.Update()
+	checkSimulation(t, a)
+	checkLengthTwoSound(t, a)
+}
+
+func paths(ss ...string) []xmlgraph.LabelPath {
+	res := make([]xmlgraph.LabelPath, len(ss))
+	for i, s := range ss {
+		res[i] = xmlgraph.ParseLabelPath(s)
+	}
+	return res
+}
+
+// referenceExtents recomputes every hash-entry extent from scratch by a
+// windowed BFS over the data graph: the classification of a root path
+// depends only on its last maxDepth labels (the hash tree's depth), so
+// states (node, suffix window) are finite even on cyclic data.
+func referenceExtents(a *APEX, maxDepth int) map[*Entry]*EdgeSet {
+	g := a.Graph()
+	type state struct {
+		v      xmlgraph.NID
+		window string
+	}
+	res := make(map[*Entry]*EdgeSet)
+	start := state{g.Root(), ""}
+	seen := map[state]bool{start: true}
+	queue := []state{start}
+	for len(queue) > 0 {
+		st := queue[0]
+		queue = queue[1:]
+		w := xmlgraph.ParseLabelPath(st.window)
+		for _, he := range g.Out(st.v) {
+			nw := w.Concat(he.Label)
+			if len(nw) > maxDepth {
+				nw = nw[len(nw)-maxDepth:]
+			}
+			e, _ := a.lookupEntryDepth(nw)
+			if e == nil {
+				continue
+			}
+			set := res[e]
+			if set == nil {
+				set = NewEdgeSet()
+				res[e] = set
+			}
+			set.Add(xmlgraph.EdgePair{From: st.v, To: he.To})
+			ns := state{he.To, nw.String()}
+			if !seen[ns] {
+				seen[ns] = true
+				queue = append(queue, ns)
+			}
+		}
+	}
+	return res
+}
+
+func maxRequiredLen(a *APEX) int {
+	m := 1
+	for _, p := range a.RequiredPaths() {
+		if n := xmlgraph.ParseLabelPath(p).Len(); n > m {
+			m = n
+		}
+	}
+	return m
+}
+
+func checkExtentsAgainstReference(t *testing.T, a *APEX) {
+	t.Helper()
+	ref := referenceExtents(a, maxRequiredLen(a)+1)
+	for e, want := range ref {
+		if e.XNode == nil {
+			t.Fatalf("entry %q classified %d edges but has no xnode", e.Label, want.Len())
+		}
+		if !e.XNode.Extent.Equal(want) {
+			t.Fatalf("entry %q (&%d %s): extent %s, reference %s",
+				e.Label, e.XNode.ID, e.XNode.Path, e.XNode.Extent.String(), want.String())
+		}
+	}
+	// Conversely, every populated xnode must be justified by the reference.
+	var walk func(h *HNode)
+	walk = func(h *HNode) {
+		for _, l := range h.sortedLabels() {
+			en := h.entries[l]
+			if en.XNode != nil && en.XNode.Extent.Len() > 0 {
+				if ref[en] == nil {
+					t.Fatalf("entry %q has populated xnode &%d not in reference", l, en.XNode.ID)
+				}
+			}
+			if en.Next != nil {
+				walk(en.Next)
+			}
+		}
+		if h.remainder != nil && h.remainder.XNode != nil && h.remainder.XNode.Extent.Len() > 0 {
+			if ref[h.remainder] == nil {
+				t.Fatalf("remainder has populated xnode &%d not in reference", h.remainder.XNode.ID)
+			}
+		}
+	}
+	walk(a.head)
+}
+
+func TestExtentsMatchReferenceAPEX0(t *testing.T) {
+	for _, g := range []*xmlgraph.Graph{fig12Graph(t), movieGraph(t)} {
+		checkExtentsAgainstReference(t, BuildAPEX0(g))
+	}
+}
+
+func TestExtentsMatchReferenceAfterWorkload(t *testing.T) {
+	g := movieGraph(t)
+	a := BuildAPEX(g, paths("movie.title", "movie.title", "actor.name", "@movie.movie.title"), 0.4)
+	checkExtentsAgainstReference(t, a)
+}
+
+// randomGraph builds a connected random labeled graph: a spanning tree from
+// the root plus extra random edges (possibly cycle-forming).
+func randomGraph(rng *rand.Rand, nodes, extraEdges, labels int) *xmlgraph.Graph {
+	g := xmlgraph.NewGraph()
+	label := func() string { return string(rune('a' + rng.Intn(labels))) }
+	root := g.AddNode(xmlgraph.KindElement, "root", "")
+	g.SetRoot(root)
+	ids := []xmlgraph.NID{root}
+	for i := 1; i < nodes; i++ {
+		n := g.AddNode(xmlgraph.KindElement, "e", "")
+		parent := ids[rng.Intn(len(ids))]
+		g.AddEdge(parent, label(), n)
+		ids = append(ids, n)
+	}
+	for i := 0; i < extraEdges; i++ {
+		from := ids[rng.Intn(len(ids))]
+		to := ids[rng.Intn(len(ids))]
+		g.AddEdge(from, label(), to)
+	}
+	return g
+}
+
+// randomWorkload samples subpaths of actual root paths, mimicking the
+// paper's workload generation.
+func randomWorkload(rng *rand.Rand, g *xmlgraph.Graph, n int) []xmlgraph.LabelPath {
+	roots := g.RootPaths(5)
+	if len(roots) == 0 {
+		return nil
+	}
+	var res []xmlgraph.LabelPath
+	for i := 0; i < n; i++ {
+		p := roots[rng.Intn(len(roots))]
+		i0 := rng.Intn(len(p))
+		j := i0 + 1 + rng.Intn(len(p)-i0)
+		res = append(res, p[i0:j])
+	}
+	return res
+}
+
+func TestExtentsMatchReferenceRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 30; iter++ {
+		g := randomGraph(rng, 4+rng.Intn(20), rng.Intn(8), 2+rng.Intn(3))
+		w := randomWorkload(rng, g, 1+rng.Intn(10))
+		minSup := []float64{0.1, 0.3, 0.6, 1.0}[rng.Intn(4)]
+		a := BuildAPEX(g, w, minSup)
+		checkExtentsAgainstReference(t, a)
+		checkSimulation(t, a)
+	}
+}
+
+// Incremental updates across shifting workloads must land in the same state
+// as building fresh for the final workload.
+func TestIncrementalMatchesFreshBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 20; iter++ {
+		g := randomGraph(rng, 6+rng.Intn(15), rng.Intn(6), 3)
+		w1 := randomWorkload(rng, g, 5)
+		w2 := randomWorkload(rng, g, 5)
+
+		inc := BuildAPEX(g, w1, 0.3)
+		inc.ExtractFrequentPaths(w2, 0.3)
+		inc.Update()
+
+		fresh := BuildAPEX(g, w2, 0.3)
+
+		if got, want := inc.RequiredPaths(), fresh.RequiredPaths(); !equalStrings(got, want) {
+			t.Fatalf("iter %d: required paths diverge\ninc:   %v\nfresh: %v", iter, got, want)
+		}
+		si, sf := inc.Stats(), fresh.Stats()
+		if si.Nodes != sf.Nodes || si.Edges != sf.Edges || si.ExtentEdges != sf.ExtentEdges {
+			t.Fatalf("iter %d: stats diverge inc=%v fresh=%v", iter, si, sf)
+		}
+		// Both must agree with the definition-based reference.
+		checkExtentsAgainstReference(t, inc)
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Long-haul churn: one index lives through many epochs of workload drift
+// interleaved with data growth; every epoch must preserve all invariants.
+func TestChurnEpochs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2025))
+	g := randomGraph(rng, 12, 3, 3)
+	a := BuildAPEX0(g)
+	ids := make([]xmlgraph.NID, g.NumNodes())
+	for i := range ids {
+		ids[i] = xmlgraph.NID(i)
+	}
+	for epoch := 0; epoch < 25; epoch++ {
+		switch epoch % 3 {
+		case 0, 1: // workload drift
+			w := randomWorkload(rng, g, 2+rng.Intn(8))
+			minSup := []float64{0.15, 0.4, 0.8}[rng.Intn(3)]
+			a.ExtractFrequentPaths(w, minSup)
+			a.Update()
+		case 2: // data growth
+			for k := 0; k < 1+rng.Intn(4); k++ {
+				n := g.AddNode(xmlgraph.KindElement, "e", "")
+				g.AddEdge(ids[rng.Intn(len(ids))], string(rune('a'+rng.Intn(3))), n)
+				ids = append(ids, n)
+			}
+			a.RefreshData()
+		}
+		checkExtentsAgainstReference(t, a)
+		checkSimulation(t, a)
+		checkLengthTwoSound(t, a)
+	}
+}
+
+func TestStatsCountsLiveGraphOnly(t *testing.T) {
+	g := fig12Graph(t)
+	a := BuildAPEX0(g)
+	before := a.Stats()
+	// Adapt to a workload, abandoning split nodes, then back to none.
+	a.ExtractFrequentPaths(paths("A.D", "A.D"), 0.5)
+	a.Update()
+	mid := a.Stats()
+	if mid.Nodes <= before.Nodes {
+		t.Fatalf("refinement should add nodes: before=%v mid=%v", before, mid)
+	}
+	a.ExtractFrequentPaths(paths("C", "C"), 0.5)
+	a.Update()
+	after := a.Stats()
+	if after.Nodes != before.Nodes || after.ExtentEdges != before.ExtentEdges {
+		t.Fatalf("retracting workload should restore APEX0 shape: before=%v after=%v", before, after)
+	}
+}

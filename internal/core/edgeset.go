@@ -1,0 +1,120 @@
+// Package core implements APEX, the adaptive path index of Min, Chung and
+// Shim (SIGMOD 2002). APEX couples a structural-summary graph G_APEX, whose
+// nodes carry extents (target edge sets T^R of required label paths,
+// Definitions 7–9), with a hash tree H_APEX that maps label-path suffixes to
+// G_APEX nodes in reverse label order. The index keeps every label path of
+// length ≤ 2 plus the paths frequently used by the query workload, and is
+// updated incrementally when the workload drifts (Figures 6, 8 and 11 of the
+// paper).
+package core
+
+import (
+	"sort"
+	"strings"
+
+	"apex/internal/xmlgraph"
+)
+
+// EdgeSet is a set of <parentNid, nid> pairs — the extent representation of
+// Definition 7. The zero value is not usable; call NewEdgeSet.
+type EdgeSet struct {
+	m map[xmlgraph.EdgePair]struct{}
+}
+
+// NewEdgeSet returns an empty edge set.
+func NewEdgeSet() *EdgeSet {
+	return &EdgeSet{m: make(map[xmlgraph.EdgePair]struct{})}
+}
+
+// Add inserts pair, reporting whether it was new.
+func (s *EdgeSet) Add(p xmlgraph.EdgePair) bool {
+	if _, ok := s.m[p]; ok {
+		return false
+	}
+	s.m[p] = struct{}{}
+	return true
+}
+
+// Contains reports membership of pair.
+func (s *EdgeSet) Contains(p xmlgraph.EdgePair) bool {
+	if s == nil {
+		return false
+	}
+	_, ok := s.m[p]
+	return ok
+}
+
+// Len returns the number of edges in the set.
+func (s *EdgeSet) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.m)
+}
+
+// Each calls fn for every pair, in unspecified order.
+func (s *EdgeSet) Each(fn func(xmlgraph.EdgePair)) {
+	if s == nil {
+		return
+	}
+	for p := range s.m {
+		fn(p)
+	}
+}
+
+// Ends returns the distinct end nids of all pairs.
+func (s *EdgeSet) Ends() []xmlgraph.NID {
+	if s == nil {
+		return nil
+	}
+	seen := make(map[xmlgraph.NID]bool, len(s.m))
+	var res []xmlgraph.NID
+	for p := range s.m {
+		if !seen[p.To] {
+			seen[p.To] = true
+			res = append(res, p.To)
+		}
+	}
+	return res
+}
+
+// Sorted returns the pairs ordered by (From, To); used by tests and dumps.
+func (s *EdgeSet) Sorted() []xmlgraph.EdgePair {
+	if s == nil {
+		return nil
+	}
+	res := make([]xmlgraph.EdgePair, 0, len(s.m))
+	for p := range s.m {
+		res = append(res, p)
+	}
+	sort.Slice(res, func(i, j int) bool {
+		if res[i].From != res[j].From {
+			return res[i].From < res[j].From
+		}
+		return res[i].To < res[j].To
+	})
+	return res
+}
+
+// Equal reports whether s and t contain the same pairs.
+func (s *EdgeSet) Equal(t *EdgeSet) bool {
+	if s.Len() != t.Len() {
+		return false
+	}
+	for p := range s.m {
+		if !t.Contains(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the set in the paper's {<u,v>, …} notation, sorted.
+func (s *EdgeSet) String() string {
+	pairs := s.Sorted()
+	parts := make([]string, len(pairs))
+	for i, p := range pairs {
+		parts[i] = p.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"apex/internal/xmlgraph"
+)
+
+func pair(u, v xmlgraph.NID) xmlgraph.EdgePair { return xmlgraph.EdgePair{From: u, To: v} }
+
+func TestEdgeSetAddContains(t *testing.T) {
+	s := NewEdgeSet()
+	if !s.Add(pair(1, 2)) {
+		t.Fatal("first Add should report new")
+	}
+	if s.Add(pair(1, 2)) {
+		t.Fatal("second Add should report duplicate")
+	}
+	if !s.Contains(pair(1, 2)) || s.Contains(pair(2, 1)) {
+		t.Fatal("Contains wrong")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestEdgeSetNilSafety(t *testing.T) {
+	var s *EdgeSet
+	if s.Len() != 0 || s.Contains(pair(0, 0)) || s.Ends() != nil || s.Sorted() != nil {
+		t.Fatal("nil EdgeSet accessors must be safe")
+	}
+	s.Each(func(xmlgraph.EdgePair) { t.Fatal("nil Each must not call fn") })
+}
+
+func TestEdgeSetEndsDeduplicated(t *testing.T) {
+	s := NewEdgeSet()
+	s.Add(pair(1, 5))
+	s.Add(pair(2, 5))
+	s.Add(pair(3, 6))
+	ends := s.Ends()
+	if len(ends) != 2 {
+		t.Fatalf("Ends = %v", ends)
+	}
+}
+
+func TestEdgeSetSortedAndString(t *testing.T) {
+	s := NewEdgeSet()
+	s.Add(pair(2, 1))
+	s.Add(pair(1, 9))
+	s.Add(pair(1, 3))
+	if got := s.String(); got != "{<1,3>, <1,9>, <2,1>}" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestEdgeSetEqual(t *testing.T) {
+	a, b := NewEdgeSet(), NewEdgeSet()
+	a.Add(pair(1, 2))
+	b.Add(pair(1, 2))
+	if !a.Equal(b) {
+		t.Fatal("equal sets not Equal")
+	}
+	b.Add(pair(3, 4))
+	if a.Equal(b) || b.Equal(a) {
+		t.Fatal("unequal sets Equal")
+	}
+}
+
+func TestEdgeSetProperty(t *testing.T) {
+	f := func(pairs [][2]int16) bool {
+		s := NewEdgeSet()
+		uniq := make(map[xmlgraph.EdgePair]bool)
+		for _, p := range pairs {
+			ep := pair(xmlgraph.NID(p[0]), xmlgraph.NID(p[1]))
+			added := s.Add(ep)
+			if added == uniq[ep] {
+				return false // Add's newness must mirror set semantics
+			}
+			uniq[ep] = true
+		}
+		if s.Len() != len(uniq) {
+			return false
+		}
+		for ep := range uniq {
+			if !s.Contains(ep) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,86 @@
+package core
+
+import "apex/internal/xmlgraph"
+
+// ExtractFrequentPaths runs the frequently-used-path extraction module
+// (Section 5.2, Figure 8) over a query workload: reset counts, count every
+// contiguous subpath of every workload path with the naïve one-scan miner,
+// then prune entries below minSup, keeping all length-1 paths (they are
+// required by Definition 6) and invalidating the xnode pointers whose
+// G_APEX contents the change affects. Call Update afterwards to rebuild
+// G_APEX incrementally.
+//
+// minSup is the paper's ratio: an entry survives when its count is at least
+// minSup × len(workload).
+func (a *APEX) ExtractFrequentPaths(workload []xmlgraph.LabelPath, minSup float64) {
+	// Line 1 of Figure 8: reset all count and new fields.
+	resetEntries(a.head)
+	// frequencyCount: one scan, counting all subpaths. Support is the
+	// number of *queries* containing the subpath (Definition 6), so
+	// repeated windows within one query count once.
+	for _, q := range workload {
+		seen := make(map[string]bool)
+		q.Subpaths(func(s xmlgraph.LabelPath) {
+			key := s.String()
+			if seen[key] {
+				return
+			}
+			seen[key] = true
+			a.insertPath(s).Count++
+		})
+	}
+	threshold := minSup * float64(len(workload))
+	a.pruneHNode(a.head, threshold, true)
+}
+
+func resetEntries(h *HNode) {
+	for _, e := range h.entries {
+		e.Count = 0
+		e.New = false
+		if e.Next != nil {
+			resetEntries(e.Next)
+		}
+	}
+	if h.remainder != nil {
+		h.remainder.Count = 0
+		h.remainder.New = false
+	}
+}
+
+// pruneHNode is Figure 8's pruningHAPEX with the clarifications from
+// DESIGN.md: deleting a previously-required entry also invalidates the
+// sibling remainder (its target edge set absorbs the deleted path's edges).
+// It reports whether the hnode ended up empty of ordinary entries.
+func (a *APEX) pruneHNode(h *HNode, threshold float64, isHead bool) bool {
+	for _, l := range h.sortedLabels() {
+		t := h.entries[l]
+		if float64(t.Count) < threshold {
+			// The whole subtree is infrequent by anti-monotonicity: a
+			// suffix is a subpath of every extension, so no extension can
+			// beat the suffix's support.
+			t.Next = nil
+			if !isHead {
+				wasRequired := !t.New
+				delete(h.entries, l)
+				if wasRequired && h.remainder != nil {
+					h.remainder.XNode = nil
+				}
+			}
+			continue
+		}
+		if t.Next != nil && a.pruneHNode(t.Next, threshold, false) {
+			t.Next = nil
+		}
+		// Case 1 (lines 12–13): the path was a maximal suffix but gained
+		// extensions — its node must be rebuilt as a remainder partition.
+		if t.Next != nil && t.XNode != nil {
+			t.XNode = nil
+		}
+		// Case 2 (lines 14–15): a new frequent sibling path steals edges
+		// from this hnode's remainder.
+		if t.New && h.remainder != nil && h.remainder.XNode != nil {
+			h.remainder.XNode = nil
+		}
+	}
+	return len(h.entries) == 0
+}

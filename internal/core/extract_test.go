@@ -1,0 +1,227 @@
+package core
+
+import (
+	"testing"
+
+	"apex/internal/xmlgraph"
+)
+
+// TestFig7Extraction replays the paper's Figure 7: the required path set
+// {A, B, C, D, B.D} receives the workload {A.D, C, A.D} with minSup 0.6
+// (threshold 1.8 over three queries): B.D is pruned, A.D appears, and the
+// length-1 paths B and C survive by definition.
+func TestFig7Extraction(t *testing.T) {
+	g := fig12Graph(t)
+	a := BuildAPEX0(g)
+
+	// Install the initial epoch: make B.D required.
+	a.ExtractFrequentPaths(paths("B.D"), 1.0)
+	a.Update()
+	if got := a.RequiredPaths(); !equalStrings(got, []string{"A", "B", "B.D", "C", "D"}) {
+		t.Fatalf("epoch 1 required = %v", got)
+	}
+
+	// The workload changes: {A.D, C, A.D}.
+	a.ExtractFrequentPaths(paths("A.D", "C", "A.D"), 0.6)
+	if got := a.RequiredPaths(); !equalStrings(got, []string{"A", "A.D", "B", "C", "D"}) {
+		t.Fatalf("epoch 2 required = %v", got)
+	}
+
+	// Figure 7(b) counts before pruning are observable post-extraction on
+	// the survivors: A and A.D were counted twice, C once.
+	headA := a.head.get("A")
+	if headA.Count != 2 {
+		t.Fatalf("count(A) = %d, want 2", headA.Count)
+	}
+	dEntry := a.head.get("D")
+	if dEntry.Count != 2 || dEntry.Next == nil {
+		t.Fatalf("D entry = %+v", dEntry)
+	}
+	adEntry := dEntry.Next.get("A")
+	if adEntry == nil || adEntry.Count != 2 || !adEntry.New {
+		t.Fatalf("A.D entry = %+v", adEntry)
+	}
+	if cEntry := a.head.get("C"); cEntry.Count != 1 {
+		t.Fatalf("count(C) = %d, want 1", cEntry.Count)
+	}
+	// B survives at HashHead despite count 0 (length-1 rule).
+	if bEntry := a.head.get("B"); bEntry == nil || bEntry.Count != 0 {
+		t.Fatalf("B entry = %+v", a.head.get("B"))
+	}
+	// The D entry's xnode was invalidated: it gained an extension, so its
+	// old node (if any) no longer matches T^R.
+	if dEntry.XNode != nil {
+		t.Fatalf("D.xnode should be nil pending update, got &%d", dEntry.XNode.ID)
+	}
+}
+
+// TestFig12Update continues Figure 7 into Figure 12: after the A.D epoch,
+// G_APEX must hold a dedicated node for A.D edges and a remainder node for
+// the other D edges.
+func TestFig12Update(t *testing.T) {
+	g := fig12Graph(t)
+	// nids per parse order: R=0, A=1, B=2, D(under B)=3, C=4, D(under A)=5.
+	a := BuildAPEX0(g)
+	a.ExtractFrequentPaths(paths("B.D"), 1.0)
+	a.Update()
+
+	// Epoch 1 sanity: B.D node holds <2,3>, remainder D holds <1,5>.
+	bd := a.Lookup(lp("B.D"))
+	if bd == nil || bd.Extent.String() != "{<2,3>}" {
+		t.Fatalf("epoch1 T^R(B.D) = %v", bd)
+	}
+	remD := a.Lookup(lp("A.D")) // falls to remainder
+	if remD == nil || remD.Extent.String() != "{<1,5>}" {
+		t.Fatalf("epoch1 remainder D = %v", remD)
+	}
+
+	a.ExtractFrequentPaths(paths("A.D", "C", "A.D"), 0.6)
+	a.Update()
+
+	ad := a.Lookup(lp("A.D"))
+	if ad == nil || ad.Extent.String() != "{<1,5>}" {
+		t.Fatalf("epoch2 T^R(A.D) = %s", ad.Extent)
+	}
+	rem := a.Lookup(lp("B.D"))
+	if rem == nil || rem.Extent.String() != "{<2,3>}" {
+		t.Fatalf("epoch2 remainder = %v", rem)
+	}
+	if ad == rem {
+		t.Fatal("A.D and remainder collapsed")
+	}
+	// The A node's D edge must point at the A.D partition, the B node's D
+	// edge at the remainder (Figure 12(d)).
+	aNode := a.Lookup(lp("A"))
+	bNode := a.Lookup(lp("B"))
+	if aNode.Child("D") != ad {
+		t.Fatalf("A -D-> &%d, want A.D node &%d", aNode.Child("D").ID, ad.ID)
+	}
+	if bNode.Child("D") != rem {
+		t.Fatalf("B -D-> &%d, want remainder &%d", bNode.Child("D").ID, rem.ID)
+	}
+	checkExtentsAgainstReference(t, a)
+	checkSimulation(t, a)
+}
+
+// Dropping a required path must grow the sibling remainder back (the
+// hnode.delete clarification in DESIGN.md).
+func TestRemainderAbsorbsDeletedPath(t *testing.T) {
+	g := fig12Graph(t)
+	a := BuildAPEX0(g)
+	a.ExtractFrequentPaths(paths("A.D", "B.D"), 0.5)
+	a.Update()
+	// Both partitions exist.
+	if a.Lookup(lp("A.D")) == a.Lookup(lp("B.D")) {
+		t.Fatal("expected distinct partitions")
+	}
+	// New epoch: only A.D stays frequent.
+	a.ExtractFrequentPaths(paths("A.D", "A.D"), 0.6)
+	a.Update()
+	rem := a.Lookup(lp("B.D"))
+	if rem == nil || rem.Extent.String() != "{<2,3>}" {
+		t.Fatalf("remainder after B.D removal = %v", rem)
+	}
+	checkExtentsAgainstReference(t, a)
+}
+
+// A required path longer than any data path must not corrupt the index: it
+// simply gets no extent.
+func TestRequiredPathAbsentFromData(t *testing.T) {
+	g := fig12Graph(t)
+	a := BuildAPEX(g, paths("C.C.C.C", "C.C.C.C"), 0.5)
+	if got := a.Lookup(lp("C.C.C.C")); got != nil && got.Extent.Len() != 0 {
+		t.Fatalf("phantom extent %v", got.Extent)
+	}
+	checkExtentsAgainstReference(t, a)
+	checkSimulation(t, a)
+}
+
+// Counting is windowed: A.B.C contributes A.C nowhere (Section 5.2's
+// departure from classic sequential-pattern mining).
+func TestSubpathCountingNoGaps(t *testing.T) {
+	g := fig12Graph(t)
+	a := BuildAPEX0(g)
+	a.ExtractFrequentPaths(paths("A.B.D"), 1.0)
+	req := a.RequiredPaths()
+	for _, r := range req {
+		if r == "A.D" {
+			t.Fatalf("gapped subpath A.D became required: %v", req)
+		}
+	}
+	want := []string{"A", "A.B", "A.B.D", "B", "B.D", "C", "D"}
+	if !equalStrings(req, want) {
+		t.Fatalf("required = %v, want %v", req, want)
+	}
+}
+
+// minSup at the boundary: count == threshold survives (sup ≥ minSup).
+func TestMinSupBoundary(t *testing.T) {
+	g := fig12Graph(t)
+	a := BuildAPEX0(g)
+	// 2 of 4 queries contain A.D; minSup 0.5 → threshold exactly 2.
+	a.ExtractFrequentPaths(paths("A.D", "A.D", "C", "B"), 0.5)
+	found := false
+	for _, r := range a.RequiredPaths() {
+		if r == "A.D" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("A.D at exactly minSup should survive")
+	}
+	// One epsilon above and it is pruned.
+	a2 := BuildAPEX0(g)
+	a2.ExtractFrequentPaths(paths("A.D", "A.D", "C", "B"), 0.51)
+	for _, r := range a2.RequiredPaths() {
+		if r == "A.D" {
+			t.Fatal("A.D below minSup should be pruned")
+		}
+	}
+}
+
+// Repeated extraction with the same workload must be idempotent.
+func TestExtractionIdempotent(t *testing.T) {
+	g := movieGraph(t)
+	w := paths("movie.title", "actor.name", "movie.title")
+	a := BuildAPEX(g, w, 0.5)
+	req1 := a.RequiredPaths()
+	s1 := a.Stats()
+	for i := 0; i < 3; i++ {
+		a.ExtractFrequentPaths(w, 0.5)
+		a.Update()
+	}
+	if !equalStrings(a.RequiredPaths(), req1) {
+		t.Fatalf("required drifted: %v vs %v", a.RequiredPaths(), req1)
+	}
+	s2 := a.Stats()
+	if s1 != s2 {
+		t.Fatalf("stats drifted: %v vs %v", s1, s2)
+	}
+}
+
+// Workload paths with labels absent from the data create empty required
+// paths but never break lookups of real paths.
+func TestWorkloadWithForeignLabels(t *testing.T) {
+	g := fig12Graph(t)
+	a := BuildAPEX(g, paths("X.Y", "X.Y"), 0.5)
+	if n := a.Lookup(lp("X.Y")); n != nil && n.Extent.Len() != 0 {
+		t.Fatalf("foreign path has extent %v", n.Extent)
+	}
+	d := a.Lookup(lp("D"))
+	if d == nil || d.Extent.Len() != 2 {
+		t.Fatalf("T(D) broken by foreign labels: %v", d)
+	}
+	checkExtentsAgainstReference(t, a)
+}
+
+func TestUpdateIsNoOpWithoutChanges(t *testing.T) {
+	g := movieGraph(t)
+	a := BuildAPEX(g, paths("movie.title", "movie.title"), 0.5)
+	s1 := a.Stats()
+	a.Update() // no extraction in between
+	if s2 := a.Stats(); s1 != s2 {
+		t.Fatalf("plain Update changed the index: %v vs %v", s1, s2)
+	}
+}
+
+var _ = xmlgraph.NullNID // keep import when test list shrinks

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"apex/internal/xmlgraph"
+)
+
+// Entry is one hash-table slot of an hnode (Section 5.2, Figure 7): label is
+// the key, count the workload frequency of the label path the entry
+// represents, new marks entries created by the current extraction round,
+// xnode points into G_APEX, and next points to a deeper hnode holding
+// one-label-longer suffixes. A (non-remainder) entry holds xnode or next but
+// never both once an update round has run.
+type Entry struct {
+	Label string
+	Count int
+	New   bool
+	XNode *XNode
+	Next  *HNode
+}
+
+// isRemainder reports whether this is an hnode's remainder entry.
+func (e *Entry) isRemainder() bool { return e.Label == remainderLabel }
+
+// remainderLabel is the reserved pseudo-label of remainder entries. XML
+// names cannot contain '*', so it cannot collide with a document label.
+const remainderLabel = "*remainder*"
+
+// HNode is a node of the hash tree H_APEX. Label paths are stored in
+// reverse order: HashHead's entries are path-final labels, an entry's next
+// hnode holds the labels that can precede it, and so on.
+type HNode struct {
+	entries   map[string]*Entry
+	remainder *Entry // lazily materialized; nil until first needed
+}
+
+func newHNode() *HNode { return &HNode{entries: make(map[string]*Entry)} }
+
+// get returns the entry for label, or nil.
+func (h *HNode) get(label string) *Entry { return h.entries[label] }
+
+// getOrCreate returns the entry for label, creating it (marked New) if
+// absent. created reports whether a new entry was made.
+func (h *HNode) getOrCreate(label string) (e *Entry, created bool) {
+	if e = h.entries[label]; e != nil {
+		return e, false
+	}
+	e = &Entry{Label: label, New: true}
+	h.entries[label] = e
+	return e, true
+}
+
+// ensureRemainder returns the remainder entry, materializing it if needed.
+func (h *HNode) ensureRemainder() *Entry {
+	if h.remainder == nil {
+		h.remainder = &Entry{Label: remainderLabel}
+	}
+	return h.remainder
+}
+
+// sortedLabels returns the ordinary entry labels in sorted order, for
+// deterministic traversals.
+func (h *HNode) sortedLabels() []string {
+	res := make([]string, 0, len(h.entries))
+	for l := range h.entries {
+		res = append(res, l)
+	}
+	sort.Strings(res)
+	return res
+}
+
+// lookupEntry implements the paper's lookup (Figure 9) but returns the
+// landing entry rather than its xnode, because updateAPEX must be able to
+// assign the xnode field (hash.append). The walk consumes path in reverse.
+//
+// Outcomes:
+//   - the entry of the longest required suffix of path, when that suffix is
+//     maximal (its next is nil);
+//   - the remainder entry of the hnode where the walk fell off (a longer
+//     required path diverges from path there), materialized on demand;
+//   - the remainder entry of the deepest hnode when path is exhausted while
+//     the current entry still has extensions — the paper's pseudo-code
+//     omits this case (see DESIGN.md);
+//   - nil when the final label of path has no entry at HashHead (a label
+//     that occurs neither in the data nor in any workload query).
+func (a *APEX) lookupEntry(path xmlgraph.LabelPath) *Entry {
+	e, _ := a.lookupEntryDepth(path)
+	return e
+}
+
+// lookupEntryDepth is lookupEntry plus the start index of the suffix the
+// landing entry covers: the entry represents path[start:] (for a remainder
+// entry, the suffix it partitions). start is len(path) for a HashHead miss.
+func (a *APEX) lookupEntryDepth(path xmlgraph.LabelPath) (*Entry, int) {
+	hnode := a.head
+	for i := len(path) - 1; i >= 0; i-- {
+		t := hnode.get(path[i])
+		if t == nil {
+			if hnode == a.head {
+				return nil, len(path)
+			}
+			return hnode.ensureRemainder(), i + 1
+		}
+		if t.Next == nil {
+			return t, i
+		}
+		hnode = t.Next
+	}
+	return hnode.ensureRemainder(), 0
+}
+
+// Lookup returns the G_APEX node addressing the longest required suffix of
+// path, or nil when no edges carry that classification. This is Figure 9's
+// lookup as the query processor uses it.
+func (a *APEX) Lookup(path xmlgraph.LabelPath) *XNode {
+	e := a.lookupEntry(path)
+	if e == nil {
+		return nil
+	}
+	return e.XNode
+}
+
+// LookupAll returns every G_APEX node whose extent can contain edges whose
+// incoming label path ends with path, together with the longest required
+// suffix of path that the hash tree matched ("covered"). When covered equals
+// path, the union of the returned extents is exactly T(path) and a QTYPE1
+// query is answerable without joins (the fast path of Section 6.1).
+func (a *APEX) LookupAll(path xmlgraph.LabelPath) (nodes []*XNode, covered xmlgraph.LabelPath) {
+	hnode := a.head
+	for i := len(path) - 1; i >= 0; i-- {
+		t := hnode.get(path[i])
+		if t == nil {
+			if hnode == a.head {
+				return nil, nil
+			}
+			if r := hnode.remainder; r != nil && r.XNode != nil {
+				return []*XNode{r.XNode}, path[i+1:]
+			}
+			return nil, path[i+1:]
+		}
+		if t.Next == nil {
+			if t.XNode != nil {
+				return []*XNode{t.XNode}, path[i:]
+			}
+			return nil, path[i:]
+		}
+		hnode = t.Next
+	}
+	// Path exhausted with extensions below: T(path) is partitioned across
+	// the whole subtree (every extension plus the remainders).
+	return collectSubtree(hnode, nil), path
+}
+
+func collectSubtree(h *HNode, acc []*XNode) []*XNode {
+	for _, l := range h.sortedLabels() {
+		e := h.entries[l]
+		if e.XNode != nil {
+			acc = append(acc, e.XNode)
+		}
+		if e.Next != nil {
+			acc = collectSubtree(e.Next, acc)
+		}
+	}
+	if h.remainder != nil && h.remainder.XNode != nil {
+		acc = append(acc, h.remainder.XNode)
+	}
+	return acc
+}
+
+// insertPath walks path in reverse from HashHead, creating entries and
+// hnodes as needed, and returns the entry representing the full path. Used
+// by the frequency counter; newly created entries carry New = true.
+func (a *APEX) insertPath(path xmlgraph.LabelPath) *Entry {
+	hnode := a.head
+	var e *Entry
+	for i := len(path) - 1; i >= 0; i-- {
+		e, _ = hnode.getOrCreate(path[i])
+		if i == 0 {
+			break
+		}
+		if e.Next == nil {
+			e.Next = newHNode()
+		}
+		hnode = e.Next
+	}
+	return e
+}
+
+// RequiredPaths returns the label paths currently represented by the hash
+// tree (every entry chain), sorted; diagnostic and test helper.
+func (a *APEX) RequiredPaths() []string {
+	var res []string
+	var walk func(h *HNode, suffix []string)
+	walk = func(h *HNode, suffix []string) {
+		for _, l := range h.sortedLabels() {
+			e := h.entries[l]
+			p := append([]string{l}, suffix...)
+			res = append(res, strings.Join(p, "."))
+			if e.Next != nil {
+				walk(e.Next, p)
+			}
+		}
+	}
+	walk(a.head, nil)
+	sort.Strings(res)
+	return res
+}
+
+// DumpHashTree renders H_APEX for examples and debugging.
+func (a *APEX) DumpHashTree() string {
+	var b strings.Builder
+	var walk func(h *HNode, indent string)
+	walk = func(h *HNode, indent string) {
+		for _, l := range h.sortedLabels() {
+			e := h.entries[l]
+			fmt.Fprintf(&b, "%s%s count=%d", indent, l, e.Count)
+			if e.XNode != nil {
+				fmt.Fprintf(&b, " -> &%d", e.XNode.ID)
+			}
+			b.WriteString("\n")
+			if e.Next != nil {
+				walk(e.Next, indent+"  ")
+			}
+		}
+		if h.remainder != nil {
+			fmt.Fprintf(&b, "%sremainder", indent)
+			if h.remainder.XNode != nil {
+				fmt.Fprintf(&b, " -> &%d", h.remainder.XNode.ID)
+			}
+			b.WriteString("\n")
+		}
+	}
+	walk(a.head, "")
+	return b.String()
+}

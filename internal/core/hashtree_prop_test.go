@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"apex/internal/xmlgraph"
+)
+
+// randPathFromSeed derives a short random label path over a tiny alphabet.
+func randPathFromSeed(rng *rand.Rand) xmlgraph.LabelPath {
+	n := 1 + rng.Intn(5)
+	p := make(xmlgraph.LabelPath, n)
+	for i := range p {
+		p[i] = string(rune('a' + rng.Intn(4)))
+	}
+	return p
+}
+
+// Property: after insertPath(p), RequiredPaths contains every suffix chain
+// of p that was walked (the chains are exactly the reverse-order entries),
+// and lookupEntryDepth(p) lands on p itself.
+func TestInsertPathLookupProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := xmlgraph.BuildString(`<r><a/></r>`, nil)
+		if err != nil {
+			return false
+		}
+		a := BuildAPEX0(g)
+		var inserted []xmlgraph.LabelPath
+		for i := 0; i < 1+rng.Intn(8); i++ {
+			p := randPathFromSeed(rng)
+			a.insertPath(p)
+			inserted = append(inserted, p)
+		}
+		req := map[string]bool{}
+		for _, s := range a.RequiredPaths() {
+			req[s] = true
+		}
+		for _, p := range inserted {
+			if !req[p.String()] {
+				return false
+			}
+			// The walk must consume the whole path; the landing entry is
+			// p's own entry, or the remainder under it when longer paths
+			// were also inserted (p's coverage is then partitioned).
+			e, start := a.lookupEntryDepth(p)
+			if e == nil || start != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: extraction with minSup 0 over any workload keeps every counted
+// subpath required, and with minSup above 1 only length-1 paths survive.
+func TestExtractionThresholdProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := xmlgraph.BuildString(`<r><a><b/></a></r>`, nil)
+		if err != nil {
+			return false
+		}
+		var w []xmlgraph.LabelPath
+		for i := 0; i < 1+rng.Intn(6); i++ {
+			w = append(w, randPathFromSeed(rng))
+		}
+		lo := BuildAPEX0(g)
+		lo.ExtractFrequentPaths(w, 0.0000001)
+		loReq := map[string]bool{}
+		for _, s := range lo.RequiredPaths() {
+			loReq[s] = true
+		}
+		for _, q := range w {
+			covered := true
+			q.Subpaths(func(s xmlgraph.LabelPath) {
+				if !loReq[s.String()] {
+					covered = false
+				}
+			})
+			if !covered {
+				return false
+			}
+		}
+		hi := BuildAPEX0(g)
+		hi.ExtractFrequentPaths(w, 1.5)
+		for _, s := range hi.RequiredPaths() {
+			if xmlgraph.ParseLabelPath(s).Len() != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the required-path set is always suffix-closed after extraction
+// (H_APEX's lookup correctness depends on it).
+func TestRequiredSuffixClosureProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := xmlgraph.BuildString(`<r><a/></r>`, nil)
+		if err != nil {
+			return false
+		}
+		a := BuildAPEX0(g)
+		var w []xmlgraph.LabelPath
+		for i := 0; i < 2+rng.Intn(8); i++ {
+			w = append(w, randPathFromSeed(rng))
+		}
+		minSup := []float64{0.1, 0.3, 0.5, 0.9}[rng.Intn(4)]
+		a.ExtractFrequentPaths(w, minSup)
+		req := map[string]bool{}
+		for _, s := range a.RequiredPaths() {
+			req[s] = true
+		}
+		for s := range req {
+			p := xmlgraph.ParseLabelPath(s)
+			for i := 1; i < p.Len(); i++ {
+				if !req[p[i:].String()] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

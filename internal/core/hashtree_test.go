@@ -1,0 +1,145 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"apex/internal/xmlgraph"
+)
+
+func lp(s string) xmlgraph.LabelPath { return xmlgraph.ParseLabelPath(s) }
+
+func TestLookupHeadMiss(t *testing.T) {
+	a := BuildAPEX0(fig12Graph(t))
+	if a.Lookup(lp("nosuch")) != nil {
+		t.Fatal("unknown label should miss")
+	}
+	if nodes, _ := a.LookupAll(lp("nosuch")); nodes != nil {
+		t.Fatal("LookupAll on unknown label should be empty")
+	}
+}
+
+func TestLookupLengthOne(t *testing.T) {
+	a := BuildAPEX0(fig12Graph(t))
+	d := a.Lookup(lp("D"))
+	if d == nil || d.Path != "D" {
+		t.Fatalf("Lookup(D) = %v", d)
+	}
+	// Longer query with only length-1 required paths lands on the suffix.
+	if got := a.Lookup(lp("A.B.D")); got != d {
+		t.Fatalf("Lookup(A.B.D) = %v, want the D node", got)
+	}
+}
+
+func TestLookupWithRequiredPathAndRemainder(t *testing.T) {
+	a := BuildAPEX0(fig12Graph(t))
+	a.ExtractFrequentPaths(paths("A.D", "A.D", "C"), 0.6)
+	a.Update()
+
+	ad := a.Lookup(lp("A.D"))
+	if ad == nil || ad.Extent.Len() != 1 {
+		t.Fatalf("T^R(A.D) = %v", ad)
+	}
+	// B.D falls off at the D-hnode and must land on the remainder.
+	bd := a.Lookup(lp("B.D"))
+	if bd == nil || bd == ad {
+		t.Fatalf("Lookup(B.D) = %v, want remainder node", bd)
+	}
+	if !strings.HasPrefix(bd.Path, "~") {
+		t.Fatalf("remainder path = %q", bd.Path)
+	}
+	if bd.Extent.Len() != 1 {
+		t.Fatalf("remainder extent = %s", bd.Extent)
+	}
+	// The two partitions are disjoint and cover T(D).
+	d0 := BuildAPEX0(fig12Graph(t)).Lookup(lp("D"))
+	union := NewEdgeSet()
+	ad.Extent.Each(func(p xmlgraph.EdgePair) { union.Add(p) })
+	bd.Extent.Each(func(p xmlgraph.EdgePair) { union.Add(p) })
+	if !union.Equal(d0.Extent) {
+		t.Fatalf("partitions do not cover T(D): %s vs %s", union, d0.Extent)
+	}
+}
+
+func TestLookupAllSubtreeCollection(t *testing.T) {
+	a := BuildAPEX0(fig12Graph(t))
+	a.ExtractFrequentPaths(paths("A.D", "A.D", "C"), 0.6)
+	a.Update()
+	// Querying the shorter suffix D must return both partitions.
+	nodes, covered := a.LookupAll(lp("D"))
+	if len(nodes) != 2 {
+		t.Fatalf("LookupAll(D) = %v", nodes)
+	}
+	if !covered.Equal(lp("D")) {
+		t.Fatalf("covered = %v", covered)
+	}
+	// Querying A.D exactly returns the single dedicated node.
+	nodes, covered = a.LookupAll(lp("A.D"))
+	if len(nodes) != 1 || !covered.Equal(lp("A.D")) {
+		t.Fatalf("LookupAll(A.D) = %v covered=%v", nodes, covered)
+	}
+	// Querying B.D returns only the remainder; covered is just D.
+	nodes, covered = a.LookupAll(lp("B.D"))
+	if len(nodes) != 1 || !covered.Equal(lp("D")) {
+		t.Fatalf("LookupAll(B.D) = %v covered=%v", nodes, covered)
+	}
+}
+
+// naiveLongestRequiredSuffix scans the required-path list directly.
+func naiveLongestRequiredSuffix(required []string, q xmlgraph.LabelPath) xmlgraph.LabelPath {
+	var best xmlgraph.LabelPath
+	for _, rs := range required {
+		r := lp(rs)
+		if r.SuffixOf(q) && r.Len() > best.Len() {
+			best = r
+		}
+	}
+	return best
+}
+
+func TestLookupMatchesNaiveLongestSuffix(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 25; iter++ {
+		g := randomGraph(rng, 5+rng.Intn(15), rng.Intn(6), 3)
+		w := randomWorkload(rng, g, 2+rng.Intn(8))
+		a := BuildAPEX(g, w, 0.25)
+		required := a.RequiredPaths()
+		for _, q := range randomWorkload(rng, g, 30) {
+			want := naiveLongestRequiredSuffix(required, q)
+			_, start := a.lookupEntryDepth(q)
+			got := q[min(start, len(q)):]
+			if !got.Equal(want) {
+				t.Fatalf("lookup(%v) matched %q, naive says %q (required=%v)", q, got.String(), want.String(), required)
+			}
+		}
+	}
+}
+
+func TestRequiredPathsAfterBuild(t *testing.T) {
+	a := BuildAPEX0(fig12Graph(t))
+	got := a.RequiredPaths()
+	want := []string{"A", "B", "C", "D"}
+	if !equalStrings(got, want) {
+		t.Fatalf("RequiredPaths = %v, want %v", got, want)
+	}
+}
+
+func TestDumpHashTreeShowsStructure(t *testing.T) {
+	a := BuildAPEX0(fig12Graph(t))
+	a.ExtractFrequentPaths(paths("A.D", "A.D", "C"), 0.6)
+	a.Update()
+	dump := a.DumpHashTree()
+	for _, want := range []string{"A count=2", "D count=2", "remainder"} {
+		if !strings.Contains(dump, want) {
+			t.Fatalf("dump missing %q:\n%s", want, dump)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestXNodeAccessors(t *testing.T) {
+	a := BuildAPEX0(fig12Graph(t))
+	root := a.XRoot()
+	if root.OutDegree() != 1 {
+		t.Fatalf("xroot degree = %d", root.OutDegree())
+	}
+	if !strings.Contains(root.String(), "xroot") {
+		t.Fatalf("String = %q", root.String())
+	}
+	if root.Child("nosuch") != nil {
+		t.Fatal("phantom child")
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := Stats{Nodes: 3, Edges: 2, ExtentEdges: 7}
+	if s.String() != "nodes=3 edges=2 extent=7" {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestDumpGraphMentionsExtents(t *testing.T) {
+	a := BuildAPEX0(fig12Graph(t))
+	dump := a.DumpGraph()
+	for _, want := range []string{"&0 (xroot)", "extent={", "-A->"} {
+		if !strings.Contains(dump, want) {
+			t.Fatalf("dump missing %q:\n%s", want, dump)
+		}
+	}
+}
+
+func TestGraphAccessor(t *testing.T) {
+	g := fig12Graph(t)
+	if BuildAPEX0(g).Graph() != g {
+		t.Fatal("Graph accessor broken")
+	}
+}

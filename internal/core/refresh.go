@@ -1,0 +1,45 @@
+package core
+
+import "apex/internal/xmlgraph"
+
+// RefreshData re-derives every extent and every summary edge from the
+// (possibly mutated) data graph while keeping the hash tree — and hence the
+// required path set — intact. Call it after inserting data (for example
+// xmlgraph.AppendFragment): new edges, new labels, and new paths through
+// existing nodes are classified exactly as a fresh build would, because the
+// rebuild runs the same delta-propagating update against an emptied G_APEX.
+//
+// The paper leaves data updates to future work; rebuilding extents under
+// the existing required paths is the straightforward sound choice — it
+// costs one pass over the data (like building APEX⁰) but avoids both
+// re-parsing and re-mining the workload. Abandoned summary nodes become
+// unreachable and are collected by the runtime.
+func (a *APEX) RefreshData() {
+	// Detach every hash entry from its summary node: the coming update
+	// pass re-creates nodes with freshly computed extents.
+	var scrub func(h *HNode)
+	scrub = func(h *HNode) {
+		for _, e := range h.entries {
+			e.XNode = nil
+			if e.Next != nil {
+				scrub(e.Next)
+			}
+		}
+		if h.remainder != nil {
+			h.remainder.XNode = nil
+		}
+	}
+	scrub(a.head)
+	// Make sure every data label has a HashHead entry: mutations may have
+	// introduced labels APEX⁰ never saw (resolveChild requires them).
+	for _, l := range a.g.Labels() {
+		a.head.getOrCreate(l)
+	}
+	// Fresh root, full delta: updateNode's branch for grown extents
+	// discovers every label group from the data graph itself.
+	rootPair := xmlgraph.EdgePair{From: xmlgraph.NullNID, To: a.g.Root()}
+	a.xroot = a.newXNode("xroot")
+	a.xroot.Extent.Add(rootPair)
+	a.run++
+	a.updateNode(a.xroot, []xmlgraph.EdgePair{rootPair}, nil)
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"apex/internal/xmlgraph"
+)
+
+func TestRefreshDataAfterAppend(t *testing.T) {
+	g := movieGraph(t)
+	a := BuildAPEX(g, paths("movie.title", "movie.title", "actor.name"), 0.5)
+	before := a.Stats()
+
+	// Append a new movie referencing an existing director.
+	frag := `<movie id="m9" director="d1"><title>Sequel</title><rating>PG</rating></movie>`
+	if _, err := g.AppendFragment(g.Root(), frag, &xmlgraph.BuildOptions{
+		IDREFAttrs: []string{"director", "movie", "actor"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	a.RefreshData()
+	after := a.Stats()
+	if after.ExtentEdges <= before.ExtentEdges {
+		t.Fatalf("extents did not grow: %v -> %v", before, after)
+	}
+	// Every invariant of a fresh build must hold.
+	checkExtentsAgainstReference(t, a)
+	checkSimulation(t, a)
+	// The new label "rating" — unseen by APEX0 — must be answerable.
+	r := a.Lookup(lp("rating"))
+	if r == nil || r.Extent.Len() != 1 {
+		t.Fatalf("new label not indexed: %v", r)
+	}
+	// The frequent path movie.title must include the new title.
+	mt := a.Lookup(lp("movie.title"))
+	if mt == nil || mt.Extent.Len() != 3 {
+		t.Fatalf("movie.title extent = %v", mt.Extent)
+	}
+}
+
+func TestRefreshDataKeepsRequiredPaths(t *testing.T) {
+	g := fig12Graph(t)
+	a := BuildAPEX(g, paths("A.D", "A.D"), 0.5)
+	req := a.RequiredPaths()
+	a.RefreshData()
+	if !equalStrings(a.RequiredPaths(), req) {
+		t.Fatalf("required paths changed: %v -> %v", req, a.RequiredPaths())
+	}
+	checkExtentsAgainstReference(t, a)
+}
+
+// RefreshData on an unmodified graph must be a no-op structurally.
+func TestRefreshDataIdempotent(t *testing.T) {
+	g := movieGraph(t)
+	a := BuildAPEX(g, paths("actor.name", "actor.name"), 0.5)
+	s1 := a.Stats()
+	a.RefreshData()
+	if s2 := a.Stats(); s1 != s2 {
+		t.Fatalf("refresh changed a clean index: %v vs %v", s1, s2)
+	}
+}
+
+// Randomized: grow a random graph edge by edge; after each append,
+// RefreshData must match the reference classification.
+func TestRefreshDataRandomizedGrowth(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for iter := 0; iter < 10; iter++ {
+		g := randomGraph(rng, 8, 2, 3)
+		w := randomWorkload(rng, g, 6)
+		a := BuildAPEX(g, w, 0.3)
+		ids := []xmlgraph.NID{g.Root()}
+		for i := 0; i < g.NumNodes(); i++ {
+			ids = append(ids, xmlgraph.NID(i))
+		}
+		for step := 0; step < 8; step++ {
+			// Mutate: add a node under a random parent, sometimes an extra
+			// cross edge.
+			n := g.AddNode(xmlgraph.KindElement, "e", "")
+			parent := ids[rng.Intn(len(ids))]
+			g.AddEdge(parent, string(rune('a'+rng.Intn(3))), n)
+			ids = append(ids, n)
+			if rng.Intn(3) == 0 {
+				g.AddEdge(ids[rng.Intn(len(ids))], string(rune('a'+rng.Intn(3))), ids[rng.Intn(len(ids))])
+			}
+			a.RefreshData()
+			checkExtentsAgainstReference(t, a)
+			checkSimulation(t, a)
+		}
+	}
+}
+
+func TestRefreshDataAfterRemoval(t *testing.T) {
+	g := movieGraph(t)
+	a := BuildAPEX(g, paths("movie.title", "movie.title", "actor.name"), 0.5)
+	// Remove the first movie (the subtree includes its attributes/title).
+	movies := g.EvalPartialPath(lp("movie"))
+	if err := g.RemoveSubtree(movies[0]); err != nil {
+		t.Fatal(err)
+	}
+	a.RefreshData()
+	checkExtentsAgainstReference(t, a)
+	checkSimulation(t, a)
+	mt := a.Lookup(lp("movie.title"))
+	if mt == nil || mt.Extent.Len() != 1 {
+		t.Fatalf("movie.title after removal = %v", mt.Extent)
+	}
+	// No extent may reference a removed node.
+	a.EachNode(func(x *XNode) {
+		x.Extent.Each(func(p xmlgraph.EdgePair) {
+			if g.Removed(p.To) || (p.From != xmlgraph.NullNID && g.Removed(p.From)) {
+				t.Fatalf("extent of &%d references removed node: %v", x.ID, p)
+			}
+		})
+	})
+}
+
+func TestRefreshDataRandomizedRemovals(t *testing.T) {
+	rng := rand.New(rand.NewSource(333))
+	for iter := 0; iter < 8; iter++ {
+		g := randomGraph(rng, 20, 4, 3)
+		w := randomWorkload(rng, g, 6)
+		a := BuildAPEX(g, w, 0.3)
+		for step := 0; step < 4; step++ {
+			// Pick a random live non-root node to remove.
+			var cands []xmlgraph.NID
+			for i := 1; i < g.NumNodes(); i++ {
+				if !g.Removed(xmlgraph.NID(i)) {
+					cands = append(cands, xmlgraph.NID(i))
+				}
+			}
+			if len(cands) == 0 {
+				break
+			}
+			if err := g.RemoveSubtree(cands[rng.Intn(len(cands))]); err != nil {
+				t.Fatal(err)
+			}
+			a.RefreshData()
+			checkExtentsAgainstReference(t, a)
+			checkSimulation(t, a)
+		}
+	}
+}
+
+// After RefreshData the index must behave exactly like a fresh build with
+// the same required paths.
+func TestRefreshMatchesFreshBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for iter := 0; iter < 10; iter++ {
+		g := randomGraph(rng, 10, 3, 3)
+		w := randomWorkload(rng, g, 5)
+		a := BuildAPEX(g, w, 0.3)
+		// Mutate.
+		n := g.AddNode(xmlgraph.KindElement, "e", "")
+		g.AddEdge(g.Root(), "z", n)
+		a.RefreshData()
+		fresh := BuildAPEX(g, w, 0.3)
+		sa, sf := a.Stats(), fresh.Stats()
+		if sa.ExtentEdges != sf.ExtentEdges || sa.Edges != sf.Edges {
+			t.Fatalf("iter %d: refresh %v vs fresh %v", iter, sa, sf)
+		}
+	}
+}

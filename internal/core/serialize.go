@@ -1,0 +1,198 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"apex/internal/xmlgraph"
+)
+
+// The gob wire form flattens the two linked structures: G_APEX nodes become
+// indexed records, H_APEX becomes a tree of entry records referencing node
+// indexes. The data graph is embedded so a decoded index is self-contained.
+
+type gobAPEX struct {
+	NextID int
+	Run    int
+	XRoot  int
+	Nodes  []gobXNode
+	Head   gobHNode
+}
+
+type gobXNode struct {
+	ID     int
+	Path   string
+	Extent []xmlgraph.EdgePair
+	Out    map[string]int // label -> index into Nodes
+}
+
+type gobHNode struct {
+	Entries   map[string]gobEntry
+	Remainder *gobEntry
+}
+
+type gobEntry struct {
+	Label string
+	Count int
+	XNode int // index into Nodes, -1 for nil
+	Next  *gobHNode
+}
+
+// Encode writes the index (including its data graph) in gob form.
+func (a *APEX) Encode(w io.Writer) error {
+	idx := make(map[*XNode]int)
+	var nodes []*XNode
+	collect := func(x *XNode) {
+		if x == nil {
+			return
+		}
+		if _, ok := idx[x]; !ok {
+			idx[x] = len(nodes)
+			nodes = append(nodes, x)
+		}
+	}
+	// Reachable graph nodes first, then any hash-referenced stragglers.
+	a.EachNode(collect)
+	var walkH func(h *HNode)
+	walkH = func(h *HNode) {
+		for _, l := range h.sortedLabels() {
+			e := h.entries[l]
+			collect(e.XNode)
+			if e.Next != nil {
+				walkH(e.Next)
+			}
+		}
+		if h.remainder != nil {
+			collect(h.remainder.XNode)
+		}
+	}
+	walkH(a.head)
+
+	wire := gobAPEX{NextID: a.nextID, Run: a.run, XRoot: idx[a.xroot]}
+	for _, x := range nodes {
+		gx := gobXNode{ID: x.ID, Path: x.Path, Extent: x.Extent.Sorted(), Out: make(map[string]int)}
+		for l, y := range x.out {
+			yi, ok := idx[y]
+			if !ok {
+				// A child not reachable from xroot nor the hash tree can
+				// only be stale garbage; intern it for fidelity.
+				yi = len(nodes)
+				idx[y] = yi
+				nodes = append(nodes, y)
+			}
+			gx.Out[l] = yi
+		}
+		wire.Nodes = append(wire.Nodes, gx)
+	}
+	var encodeH func(h *HNode) gobHNode
+	encodeH = func(h *HNode) gobHNode {
+		gh := gobHNode{Entries: make(map[string]gobEntry)}
+		for l, e := range h.entries {
+			ge := gobEntry{Label: e.Label, Count: e.Count, XNode: -1}
+			if e.XNode != nil {
+				ge.XNode = idx[e.XNode]
+			}
+			if e.Next != nil {
+				next := encodeH(e.Next)
+				ge.Next = &next
+			}
+			gh.Entries[l] = ge
+		}
+		if h.remainder != nil {
+			ge := gobEntry{Label: remainderLabel, XNode: -1}
+			if h.remainder.XNode != nil {
+				ge.XNode = idx[h.remainder.XNode]
+			}
+			gh.Remainder = &ge
+		}
+		return gh
+	}
+	wire.Head = encodeH(a.head)
+
+	enc := gob.NewEncoder(w)
+	if err := a.g.Encode(w); err != nil {
+		return err
+	}
+	if err := enc.Encode(&wire); err != nil {
+		return fmt.Errorf("core: encode: %w", err)
+	}
+	return nil
+}
+
+// Decode reads an index written by Encode, reconstructing both the data
+// graph and the two index structures.
+func Decode(r io.Reader) (*APEX, error) {
+	g, err := xmlgraph.DecodeGraph(r)
+	if err != nil {
+		return nil, err
+	}
+	var wire gobAPEX
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("core: decode: %w", err)
+	}
+	nodes := make([]*XNode, len(wire.Nodes))
+	for i, gx := range wire.Nodes {
+		x := newXNodeValue(gx.ID, gx.Path)
+		for _, p := range gx.Extent {
+			x.Extent.Add(p)
+		}
+		nodes[i] = x
+	}
+	at := func(i int) (*XNode, error) {
+		if i < 0 {
+			return nil, nil
+		}
+		if i >= len(nodes) {
+			return nil, fmt.Errorf("core: decode: node index %d out of range", i)
+		}
+		return nodes[i], nil
+	}
+	for i, gx := range wire.Nodes {
+		for l, yi := range gx.Out {
+			y, err := at(yi)
+			if err != nil {
+				return nil, err
+			}
+			nodes[i].makeEdge(l, y)
+		}
+	}
+	var decodeH func(gh gobHNode) (*HNode, error)
+	decodeH = func(gh gobHNode) (*HNode, error) {
+		h := newHNode()
+		for l, ge := range gh.Entries {
+			e := &Entry{Label: ge.Label, Count: ge.Count}
+			x, err := at(ge.XNode)
+			if err != nil {
+				return nil, err
+			}
+			e.XNode = x
+			if ge.Next != nil {
+				if e.Next, err = decodeH(*ge.Next); err != nil {
+					return nil, err
+				}
+			}
+			h.entries[l] = e
+		}
+		if gh.Remainder != nil {
+			x, err := at(gh.Remainder.XNode)
+			if err != nil {
+				return nil, err
+			}
+			h.remainder = &Entry{Label: remainderLabel, XNode: x}
+		}
+		return h, nil
+	}
+	head, err := decodeH(wire.Head)
+	if err != nil {
+		return nil, err
+	}
+	xroot, err := at(wire.XRoot)
+	if err != nil {
+		return nil, err
+	}
+	if xroot == nil {
+		return nil, fmt.Errorf("core: decode: missing xroot")
+	}
+	return &APEX{g: g, head: head, xroot: xroot, nextID: wire.NextID, run: wire.Run}, nil
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"apex/internal/xmlgraph"
+)
+
+func roundTrip(t *testing.T, a *APEX) *APEX {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := a.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestSerializeRoundTripAPEX0(t *testing.T) {
+	a := BuildAPEX0(movieGraph(t))
+	b := roundTrip(t, a)
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverge: %v vs %v", a.Stats(), b.Stats())
+	}
+	if !equalStrings(a.RequiredPaths(), b.RequiredPaths()) {
+		t.Fatalf("required paths diverge")
+	}
+	// Extents must match per hash classification.
+	for _, p := range []string{"movie", "title", "actor.name", "@movie.movie"} {
+		lp := xmlgraph.ParseLabelPath(p)
+		xa, xb := a.Lookup(lp), b.Lookup(lp)
+		if (xa == nil) != (xb == nil) {
+			t.Fatalf("lookup(%s) nil mismatch", p)
+		}
+		if xa != nil && !xa.Extent.Equal(xb.Extent) {
+			t.Fatalf("lookup(%s) extents diverge: %s vs %s", p, xa.Extent, xb.Extent)
+		}
+	}
+}
+
+func TestSerializeRoundTripAdapted(t *testing.T) {
+	g := movieGraph(t)
+	a := BuildAPEX(g, paths("actor.name", "actor.name", "movie.title"), 0.4)
+	b := roundTrip(t, a)
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverge: %v vs %v", a.Stats(), b.Stats())
+	}
+	// The decoded index keeps adapting: a further workload shift must work.
+	b.ExtractFrequentPaths(paths("@movie.movie.title", "@movie.movie.title"), 0.5)
+	b.Update()
+	checkExtentsAgainstReference(t, b)
+	checkSimulation(t, b)
+}
+
+func TestSerializeEmbedsGraph(t *testing.T) {
+	a := BuildAPEX0(fig12Graph(t))
+	b := roundTrip(t, a)
+	if b.Graph().NumNodes() != a.Graph().NumNodes() || b.Graph().NumEdges() != a.Graph().NumEdges() {
+		t.Fatal("embedded graph lost")
+	}
+	if b.Graph().Node(b.Graph().Root()).Tag != "R" {
+		t.Fatal("root lost")
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := Decode(bytes.NewReader([]byte("not a gob"))); err == nil {
+		t.Fatal("want decode error")
+	}
+}

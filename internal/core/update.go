@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"apex/internal/xmlgraph"
+)
+
+// Update incrementally reshapes G_APEX to match the required paths stored
+// in H_APEX (Section 5.3, Figure 11). It traverses the live summary graph
+// carrying the root label path, validates every child against the hash
+// tree's lookup, and where the lookup disagrees — a required path appeared
+// or disappeared — creates the proper node and recomputes its extent by
+// delta propagation over the data graph. Nodes no longer referenced simply
+// become unreachable.
+func (a *APEX) Update() {
+	a.run++ // fresh visited-flag generation; no global reset needed
+	a.updateNode(a.xroot, nil, nil)
+}
+
+func (a *APEX) updateNode(x *XNode, delta []xmlgraph.EdgePair, path xmlgraph.LabelPath) {
+	if x.visitedRun == a.run && len(delta) == 0 {
+		return // subtree already verified and nothing new to propagate
+	}
+	x.visitedRun = a.run
+
+	if len(delta) == 0 {
+		// Newly visited with an unchanged extent: verify each existing
+		// child against H_APEX (Figure 11, lines 4–22).
+		var byLabel map[string][]xmlgraph.EdgePair // computed lazily, lines 10–13
+		for _, l := range x.OutLabels() {
+			end := x.out[l]
+			newpath := path.Concat(l)
+			xchild, entry := a.resolveChild(newpath)
+			var childDelta []xmlgraph.EdgePair
+			if xchild != end {
+				if byLabel == nil {
+					byLabel = a.outgoingByLabel(x.Extent.Ends())
+				}
+				for _, p := range byLabel[l] {
+					if xchild.Extent.Add(p) {
+						childDelta = append(childDelta, p)
+					}
+				}
+				x.makeEdge(l, xchild)
+				entry.XNode = xchild // hash.append
+			}
+			a.updateNode(xchild, childDelta, newpath)
+		}
+		return
+	}
+
+	// The extent of x grew: propagate the new edges' outgoing data edges
+	// into the children, rewiring against H_APEX (lines 23–37).
+	byLabel := a.outgoingByLabel(deltaEnds(delta))
+	labels := make([]string, 0, len(byLabel))
+	for l := range byLabel {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		newpath := path.Concat(l)
+		xchild, entry := a.resolveChild(newpath)
+		var childDelta []xmlgraph.EdgePair
+		for _, p := range byLabel[l] {
+			if xchild.Extent.Add(p) {
+				childDelta = append(childDelta, p)
+			}
+		}
+		x.makeEdge(l, xchild)
+		entry.XNode = xchild // hash.append
+		a.updateNode(xchild, childDelta, newpath)
+	}
+}
+
+// resolveChild finds (or creates) the G_APEX node that edges with root
+// label path newpath must be classified under, along with the hash entry
+// addressing it.
+func (a *APEX) resolveChild(newpath xmlgraph.LabelPath) (*XNode, *Entry) {
+	entry, start := a.lookupEntryDepth(newpath)
+	if entry == nil {
+		// Every data label has a HashHead entry from APEX⁰ and head
+		// entries are never deleted, so a traversal label cannot miss.
+		panic(fmt.Sprintf("core: no HashHead entry for label %q", newpath[len(newpath)-1]))
+	}
+	if entry.XNode == nil {
+		name := newpath[start:].String()
+		if entry.isRemainder() {
+			name = "~" + name
+		}
+		entry.XNode = a.newXNode(name)
+	}
+	return entry.XNode, entry
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// XNode is a node of G_APEX. Its extent is the target edge set T^R(p) of its
+// incoming required label path p (Definition 9): the incoming edges of the
+// nodes reached by p, excluding those covered by a longer required path that
+// has p as a proper suffix (those live under the hash tree's remainder
+// machinery).
+//
+// Per the paper's make_edge, a node has at most one outgoing edge per label.
+type XNode struct {
+	// ID is a dense identifier assigned at creation, stable for dumps and
+	// serialization. Nodes abandoned by an update keep their IDs.
+	ID int
+	// Path is the required label path (or remainder classification) this
+	// node was created for; diagnostic only — the authoritative addressing
+	// structure is H_APEX.
+	Path string
+	// Extent is T^R(Path).
+	Extent *EdgeSet
+
+	out map[string]*XNode
+	// visitedRun is the Update round that last visited this node; comparing
+	// against the index's run counter replaces the paper's global
+	// visited-flag reset.
+	visitedRun int
+}
+
+func newXNodeValue(id int, path string) *XNode {
+	return &XNode{ID: id, Path: path, Extent: NewEdgeSet(), out: make(map[string]*XNode)}
+}
+
+// Child returns the target of the outgoing edge labeled label, or nil.
+func (x *XNode) Child(label string) *XNode { return x.out[label] }
+
+// OutLabels returns the labels of outgoing edges in sorted order.
+func (x *XNode) OutLabels() []string {
+	res := make([]string, 0, len(x.out))
+	for l := range x.out {
+		res = append(res, l)
+	}
+	sort.Strings(res)
+	return res
+}
+
+// OutDegree returns the number of outgoing edges.
+func (x *XNode) OutDegree() int { return len(x.out) }
+
+// makeEdge installs an edge x --label--> y, replacing any previous target
+// for that label (the paper's make_edge removes a differing existing edge).
+func (x *XNode) makeEdge(label string, y *XNode) { x.out[label] = y }
+
+func (x *XNode) String() string {
+	return fmt.Sprintf("&%d(%s)|extent|=%d", x.ID, x.Path, x.Extent.Len())
+}

@@ -1,0 +1,235 @@
+package datagen
+
+import (
+	"strings"
+	"testing"
+
+	"apex/internal/xmlgraph"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	s := PlaysSchema()
+	a := Generate(s, 42, 500)
+	b := Generate(s, 42, 500)
+	if a != b {
+		t.Fatal("same seed must produce identical documents")
+	}
+	c := Generate(s, 43, 500)
+	if a == c {
+		t.Fatal("different seeds should diverge")
+	}
+}
+
+func TestGenerateParses(t *testing.T) {
+	for _, s := range []*Schema{PlaysSchema(), FlixMLSchema(), GedMLSchema()} {
+		g, err := GenerateGraph(s, 7, 800)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if g.NumNodes() < 100 {
+			t.Fatalf("%s: suspiciously small graph (%d nodes)", s.Name, g.NumNodes())
+		}
+	}
+}
+
+func TestBudgetRoughlyRespected(t *testing.T) {
+	for _, budget := range []int{500, 2000, 8000} {
+		g, err := GenerateGraph(PlaysSchema(), 1, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := g.NumNodes()
+		if n < budget/2 || n > budget*3 {
+			t.Fatalf("budget %d produced %d nodes (outside [%d,%d])", budget, n, budget/2, budget*3)
+		}
+	}
+}
+
+func TestPlaysShape(t *testing.T) {
+	g, err := GenerateGraph(PlaysSchema(), 5, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := g.Stats()
+	// Tree: edges = nodes - 1, no IDREFs, 17..22 labels.
+	if st.Edges != st.Nodes-1 {
+		t.Fatalf("plays should be a tree: %v", st)
+	}
+	if st.IDREFLabels != 0 {
+		t.Fatalf("plays has IDREF labels: %v", st)
+	}
+	if st.Labels < 15 || st.Labels > 23 {
+		t.Fatalf("plays label count %d outside the corpus range", st.Labels)
+	}
+	// Core structure reachable.
+	lines := g.EvalPartialPath(xmlgraph.ParseLabelPath("SPEECH.LINE"))
+	if len(lines) == 0 {
+		t.Fatal("no SPEECH.LINE paths")
+	}
+}
+
+func TestFlixShape(t *testing.T) {
+	g, err := GenerateGraph(FlixMLSchema(), 5, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := g.Stats()
+	if st.IDREFLabels != 3 {
+		t.Fatalf("FlixML must have 3 IDREF labels (Table 1), got %v (%v)", st.IDREFLabels, g.IDREFLabels())
+	}
+	if st.Edges <= st.Nodes-1 {
+		t.Fatalf("FlixML should be graph-shaped: %v", st)
+	}
+	if st.Labels < 55 || st.Labels > 75 {
+		t.Fatalf("FlixML label count %d outside Table 1's 62–70 band", st.Labels)
+	}
+}
+
+func TestGedShape(t *testing.T) {
+	g, err := GenerateGraph(GedMLSchema(), 5, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := g.Stats()
+	if st.IDREFLabels != 14 {
+		t.Fatalf("GedML must have 14 IDREF labels (Table 1), got %d (%v)", st.IDREFLabels, g.IDREFLabels())
+	}
+	// Highly irregular: reference edges well beyond tree edges.
+	if st.Edges < st.Nodes+st.Nodes/20 {
+		t.Fatalf("GedML not irregular enough: %v", st)
+	}
+	if st.Labels < 55 || st.Labels > 90 {
+		t.Fatalf("GedML label count %d outside Table 1's 65–84 band", st.Labels)
+	}
+}
+
+func TestIrregularityGradient(t *testing.T) {
+	// Distinct root paths per node measure structural irregularity; the
+	// paper's ordering is plays < FlixML < GedML.
+	ratio := func(s *Schema) float64 {
+		g, err := GenerateGraph(s, 9, 4000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths := g.RootPaths(6)
+		return float64(len(paths))
+	}
+	plays, flix, ged := ratio(PlaysSchema()), ratio(FlixMLSchema()), ratio(GedMLSchema())
+	if !(plays < flix && flix < ged) {
+		t.Fatalf("irregularity gradient violated: plays=%v flix=%v ged=%v", plays, flix, ged)
+	}
+}
+
+func TestMovieDBMatchesFigure1(t *testing.T) {
+	g, err := MovieDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 1 paths.
+	titles := g.EvalPartialPath(xmlgraph.ParseLabelPath("movie.title"))
+	if len(titles) != 2 {
+		t.Fatalf("movie.title -> %v", titles)
+	}
+	names := g.EvalPartialPath(xmlgraph.ParseLabelPath("actor.name"))
+	if len(names) != 2 {
+		t.Fatalf("actor.name -> %v", names)
+	}
+	// The dereference chain of query q1's discussion: both directors point
+	// at their movie, so both titles are reachable.
+	deep := g.EvalSimplePath(g.Root(), xmlgraph.ParseLabelPath("director.@movie.movie.title"))
+	if len(deep) != 2 {
+		t.Fatalf("director.@movie.movie.title -> %v", deep)
+	}
+	st := g.Stats()
+	if st.IDREFLabels != 3 {
+		t.Fatalf("MovieDB IDREF labels = %v", g.IDREFLabels())
+	}
+}
+
+func TestLoadDataset(t *testing.T) {
+	d, err := LoadDataset("Ged01.xml", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Family != "gedml" || d.Graph.NumNodes() == 0 {
+		t.Fatalf("dataset = %+v", d)
+	}
+	if _, err := LoadDataset("nope.xml", 1); err == nil {
+		t.Fatal("unknown dataset should fail")
+	}
+}
+
+func TestLoadFamilySizesIncrease(t *testing.T) {
+	ds, err := LoadFamily("plays", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 3 {
+		t.Fatalf("plays family has %d files", len(ds))
+	}
+	if !(ds[0].Graph.NumNodes() < ds[1].Graph.NumNodes() && ds[1].Graph.NumNodes() < ds[2].Graph.NumNodes()) {
+		t.Fatalf("sizes not increasing: %d %d %d",
+			ds[0].Graph.NumNodes(), ds[1].Graph.NumNodes(), ds[2].Graph.NumNodes())
+	}
+}
+
+func TestLoadAll(t *testing.T) {
+	ds, err := LoadAll(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 9 {
+		t.Fatalf("LoadAll -> %d datasets", len(ds))
+	}
+	names := map[string]bool{}
+	for _, d := range ds {
+		names[d.Name] = true
+	}
+	for _, want := range DatasetNames() {
+		if !names[want] {
+			t.Fatalf("missing %s", want)
+		}
+	}
+}
+
+func TestRegenerateXMLMatchesLoad(t *testing.T) {
+	doc := RegenerateXML("Flix01.xml", 0.02)
+	d, err := LoadDataset("Flix01.xml", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parsing the regenerated text must produce the identical graph.
+	re, err := xmlgraph.BuildString(doc, d.Schema.BuildOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.NumNodes() != d.Graph.NumNodes() || re.NumEdges() != d.Graph.NumEdges() {
+		t.Fatalf("regenerated graph diverges: %v vs %v", re.Stats(), d.Graph.Stats())
+	}
+}
+
+func TestRegenerateXMLUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	RegenerateXML("nope.xml", 1)
+}
+
+func TestEscape(t *testing.T) {
+	if got := escape(`a<b&c>"d"`); got != "a&lt;b&amp;c&gt;&quot;d&quot;" {
+		t.Fatalf("escape = %q", got)
+	}
+	if !strings.Contains(Generate(PlaysSchema(), 1, 100), "<?xml") {
+		t.Fatal("missing XML declaration")
+	}
+}
+
+func TestSchemaBuildOptions(t *testing.T) {
+	opts := GedMLSchema().BuildOptions()
+	if len(opts.IDREFAttrs)+len(opts.IDREFSAttrs) != 14 {
+		t.Fatalf("GedML declares %d+%d ref attrs, want 14 total",
+			len(opts.IDREFAttrs), len(opts.IDREFSAttrs))
+	}
+}

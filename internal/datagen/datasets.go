@@ -1,0 +1,129 @@
+package datagen
+
+import (
+	"fmt"
+
+	"apex/internal/xmlgraph"
+)
+
+// Dataset is one generated experiment file: the paper's Table 1 rows.
+type Dataset struct {
+	Name   string
+	Family string // "plays", "flixml", "gedml"
+	Schema *Schema
+	Graph  *xmlgraph.Graph
+}
+
+// datasetSpec pins the paper's nine files with their element budgets at
+// scale 1.0. The budgets approximate Table 1's node counts (nodes ≈
+// elements + attribute nodes).
+type datasetSpec struct {
+	name   string
+	family string
+	seed   int64
+	budget int
+}
+
+var specs = []datasetSpec{
+	{"four_tragedies.xml", "plays", 101, 20000},
+	{"shakes_11.xml", "plays", 102, 45000},
+	{"shakes_all.xml", "plays", 103, 170000},
+	{"Flix01.xml", "flixml", 201, 11000},
+	{"Flix02.xml", "flixml", 202, 32000},
+	{"Flix03.xml", "flixml", 203, 260000},
+	{"Ged01.xml", "gedml", 301, 6000},
+	{"Ged02.xml", "gedml", 302, 23000},
+	{"Ged03.xml", "gedml", 303, 290000},
+}
+
+// DatasetNames lists the nine Table 1 files in paper order.
+func DatasetNames() []string {
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.name
+	}
+	return names
+}
+
+// LoadDataset generates one of the nine Table 1 files at the given scale
+// (1.0 ≈ the paper's sizes; benchmarks default to a smaller scale). Unknown
+// names are an error.
+func LoadDataset(name string, scale float64) (*Dataset, error) {
+	for _, s := range specs {
+		if s.name != name {
+			continue
+		}
+		schema := schemaFor(s.family)
+		budget := int(float64(s.budget) * scale)
+		if budget < 50 {
+			budget = 50
+		}
+		g, err := GenerateGraph(schema, s.seed, budget)
+		if err != nil {
+			return nil, fmt.Errorf("datagen: %s: %w", name, err)
+		}
+		return &Dataset{Name: s.name, Family: s.family, Schema: schema, Graph: g}, nil
+	}
+	return nil, fmt.Errorf("datagen: unknown dataset %q (want one of %v)", name, DatasetNames())
+}
+
+// LoadFamily generates the three files of one family at the given scale.
+func LoadFamily(family string, scale float64) ([]*Dataset, error) {
+	var res []*Dataset
+	for _, s := range specs {
+		if s.family != family {
+			continue
+		}
+		d, err := LoadDataset(s.name, scale)
+		if err != nil {
+			return nil, err
+		}
+		res = append(res, d)
+	}
+	if len(res) == 0 {
+		return nil, fmt.Errorf("datagen: unknown family %q", family)
+	}
+	return res, nil
+}
+
+// LoadAll generates all nine Table 1 files at the given scale.
+func LoadAll(scale float64) ([]*Dataset, error) {
+	var res []*Dataset
+	for _, s := range specs {
+		d, err := LoadDataset(s.name, scale)
+		if err != nil {
+			return nil, err
+		}
+		res = append(res, d)
+	}
+	return res, nil
+}
+
+// RegenerateXML produces the XML text of a named dataset at the given
+// scale — the same document LoadDataset parses, byte for byte.
+func RegenerateXML(name string, scale float64) string {
+	for _, s := range specs {
+		if s.name != name {
+			continue
+		}
+		budget := int(float64(s.budget) * scale)
+		if budget < 50 {
+			budget = 50
+		}
+		return Generate(schemaFor(s.family), s.seed, budget)
+	}
+	panic("datagen: unknown dataset " + name)
+}
+
+func schemaFor(family string) *Schema {
+	switch family {
+	case "plays":
+		return PlaysSchema()
+	case "flixml":
+		return FlixMLSchema()
+	case "gedml":
+		return GedMLSchema()
+	default:
+		panic("datagen: unknown family " + family)
+	}
+}

@@ -1,0 +1,179 @@
+package datagen
+
+// FlixMLSchema models the FlixML B-movie review markup the paper generated
+// synthetic data from: graph-shaped with exactly three IDREF-typed labels
+// (@remake, @sequel, @actor — Table 1 reports 3 for all Flix files),
+// moderately irregular (many optional review/distribution/trivia branches),
+// and 60-plus distinct labels (Table 1: 62–70).
+func FlixMLSchema() *Schema {
+	word := func(vs ...string) *TextSpec { return &TextSpec{Vocab: vs, MinWords: 1, MaxWords: 1} }
+	phrase := func(min, max int, vs ...string) *TextSpec {
+		return &TextSpec{Vocab: vs, MinWords: min, MaxWords: max}
+	}
+	titles := []string{"Attack", "Return", "Revenge", "Curse", "Night", "Planet",
+		"Robot", "Swamp", "Creature", "Zombie", "Laser", "Moon"}
+	names := []string{"Lee", "Moreau", "Castle", "Vance", "Corman", "Price",
+		"Steele", "Karloff", "Lugosi", "Chaney"}
+	words := []string{"low", "budget", "classic", "cult", "schlock", "gem",
+		"drive-in", "matinee", "camp", "noir"}
+	years := []string{"1952", "1957", "1959", "1962", "1965", "1968", "1971"}
+
+	els := []*ElementDef{
+		{Tag: "flixml", Children: []ChildSpec{
+			{Tag: "catalog", Min: 1, Max: 1, Prob: 1},
+			{Tag: "people", Min: 1, Max: 1, Prob: 1},
+		}},
+		{Tag: "catalog", Children: []ChildSpec{
+			{Tag: "movie", Min: 1, Max: 100000, Prob: 1, PerBudget: 48},
+		}},
+		{Tag: "people", Children: []ChildSpec{
+			{Tag: "person", Min: 4, Max: 20000, Prob: 1, PerBudget: 250},
+		}},
+		{Tag: "movie",
+			Attrs: []AttrSpec{
+				{Name: "id", Kind: AttrID, Prob: 1},
+				{Name: "remake", Kind: AttrIDREF, Target: "movie", Prob: 0.15},
+				{Name: "sequel", Kind: AttrIDREF, Target: "movie", Prob: 0.2},
+			},
+			Children: []ChildSpec{
+				{Tag: "title", Min: 1, Max: 1, Prob: 1},
+				{Tag: "alttitle", Min: 1, Max: 2, Prob: 0.3},
+				{Tag: "year", Min: 1, Max: 1, Prob: 1},
+				{Tag: "genre", Min: 1, Max: 3, Prob: 1},
+				{Tag: "studio", Min: 1, Max: 1, Prob: 0.7},
+				{Tag: "mpaarating", Min: 1, Max: 1, Prob: 0.5},
+				{Tag: "runtime", Min: 1, Max: 1, Prob: 0.8},
+				{Tag: "cast", Min: 1, Max: 1, Prob: 1},
+				{Tag: "crew", Min: 1, Max: 1, Prob: 0.8},
+				{Tag: "plot", Min: 1, Max: 1, Prob: 0.9},
+				{Tag: "reviews", Min: 1, Max: 1, Prob: 0.6},
+				{Tag: "distribution", Min: 1, Max: 1, Prob: 0.5},
+				{Tag: "trivia", Min: 1, Max: 1, Prob: 0.3},
+				{Tag: "goofs", Min: 1, Max: 1, Prob: 0.2},
+				{Tag: "quotes", Min: 1, Max: 1, Prob: 0.25},
+				{Tag: "soundtrack", Min: 1, Max: 1, Prob: 0.2},
+				{Tag: "awards", Min: 1, Max: 1, Prob: 0.15},
+				{Tag: "boxoffice", Min: 1, Max: 1, Prob: 0.3},
+				{Tag: "locations", Min: 1, Max: 1, Prob: 0.35},
+			}},
+		{Tag: "title", Text: phrase(1, 4, titles...)},
+		{Tag: "alttitle", Text: phrase(1, 4, titles...)},
+		{Tag: "year", Text: word(years...)},
+		{Tag: "genre", Text: word("horror", "scifi", "thriller", "western", "noir", "monster")},
+		{Tag: "studio", Text: word("AIP", "Allied", "Monogram", "Republic", "PRC")},
+		{Tag: "mpaarating", Text: word("G", "PG", "R", "NR")},
+		{Tag: "runtime", Text: word("61", "68", "74", "79", "85", "92")},
+		{Tag: "cast", Children: []ChildSpec{
+			{Tag: "leadcast", Min: 1, Max: 1, Prob: 1},
+			{Tag: "othercast", Min: 1, Max: 1, Prob: 0.6},
+		}},
+		{Tag: "leadcast", Children: []ChildSpec{{Tag: "castmember", Min: 1, Max: 3, Prob: 1}}},
+		{Tag: "othercast", Children: []ChildSpec{{Tag: "castmember", Min: 1, Max: 5, Prob: 1}}},
+		{Tag: "castmember",
+			Attrs: []AttrSpec{{Name: "actor", Kind: AttrIDREF, Target: "person", Prob: 0.9}},
+			Children: []ChildSpec{
+				{Tag: "role", Min: 1, Max: 1, Prob: 1},
+				{Tag: "billing", Min: 1, Max: 1, Prob: 0.4},
+			}},
+		{Tag: "role", Text: phrase(1, 2, "doctor", "sheriff", "monster", "heroine", "pilot", "professor")},
+		{Tag: "billing", Text: word("1", "2", "3", "4")},
+		{Tag: "crew", Children: []ChildSpec{
+			{Tag: "director", Min: 1, Max: 1, Prob: 1},
+			{Tag: "producer", Min: 1, Max: 2, Prob: 0.8},
+			{Tag: "writer", Min: 1, Max: 2, Prob: 0.7},
+			{Tag: "composer", Min: 1, Max: 1, Prob: 0.4},
+			{Tag: "cinematographer", Min: 1, Max: 1, Prob: 0.35},
+		}},
+		{Tag: "director", Text: word(names...)},
+		{Tag: "producer", Text: word(names...)},
+		{Tag: "writer", Text: word(names...)},
+		{Tag: "composer", Text: word(names...)},
+		{Tag: "cinematographer", Text: word(names...)},
+		{Tag: "plot", Children: []ChildSpec{
+			{Tag: "synopsis", Min: 1, Max: 1, Prob: 1},
+			{Tag: "tagline", Min: 1, Max: 1, Prob: 0.5},
+		}},
+		{Tag: "synopsis", Text: phrase(5, 14, words...)},
+		{Tag: "tagline", Text: phrase(3, 7, words...)},
+		{Tag: "reviews", Children: []ChildSpec{{Tag: "review", Min: 1, Max: 4, Prob: 1}}},
+		{Tag: "review", Children: []ChildSpec{
+			{Tag: "reviewer", Min: 1, Max: 1, Prob: 1},
+			{Tag: "reviewtext", Min: 1, Max: 1, Prob: 1},
+			{Tag: "score", Min: 1, Max: 1, Prob: 0.7},
+			{Tag: "pros", Min: 1, Max: 1, Prob: 0.4},
+			{Tag: "cons", Min: 1, Max: 1, Prob: 0.4},
+		}},
+		{Tag: "reviewer", Text: word(names...)},
+		{Tag: "reviewtext", Text: phrase(6, 16, words...)},
+		{Tag: "score", Text: word("1", "2", "3", "4", "5")},
+		{Tag: "pros", Text: phrase(2, 5, words...)},
+		{Tag: "cons", Text: phrase(2, 5, words...)},
+		{Tag: "distribution", Children: []ChildSpec{{Tag: "release", Min: 1, Max: 3, Prob: 1}}},
+		{Tag: "release", Children: []ChildSpec{
+			{Tag: "region", Min: 1, Max: 1, Prob: 1},
+			{Tag: "releasedate", Min: 1, Max: 1, Prob: 0.8},
+			{Tag: "media", Min: 1, Max: 1, Prob: 0.7},
+		}},
+		{Tag: "region", Text: word("US", "UK", "JP", "DE", "FR")},
+		{Tag: "releasedate", Text: word(years...)},
+		{Tag: "media", Children: []ChildSpec{
+			{Tag: "videoformat", Min: 1, Max: 1, Prob: 0.9},
+			{Tag: "audioformat", Min: 1, Max: 1, Prob: 0.5},
+			{Tag: "extras", Min: 1, Max: 1, Prob: 0.3},
+		}},
+		{Tag: "videoformat", Text: word("VHS", "DVD", "LaserDisc", "Beta")},
+		{Tag: "audioformat", Text: word("mono", "stereo")},
+		{Tag: "extras", Children: []ChildSpec{{Tag: "extra", Min: 1, Max: 3, Prob: 1}}},
+		{Tag: "extra", Text: phrase(1, 4, words...)},
+		{Tag: "trivia", Children: []ChildSpec{{Tag: "triviaitem", Min: 1, Max: 4, Prob: 1}}},
+		{Tag: "triviaitem", Text: phrase(4, 10, words...)},
+		{Tag: "goofs", Children: []ChildSpec{{Tag: "goof", Min: 1, Max: 3, Prob: 1}}},
+		{Tag: "goof", Text: phrase(4, 10, words...)},
+		{Tag: "quotes", Children: []ChildSpec{{Tag: "quote", Min: 1, Max: 3, Prob: 1}}},
+		{Tag: "quote", Text: phrase(4, 10, words...)},
+		{Tag: "soundtrack", Children: []ChildSpec{{Tag: "track", Min: 1, Max: 5, Prob: 1}}},
+		{Tag: "track", Children: []ChildSpec{
+			{Tag: "tracktitle", Min: 1, Max: 1, Prob: 1},
+			{Tag: "artist", Min: 1, Max: 1, Prob: 0.8},
+			{Tag: "duration", Min: 1, Max: 1, Prob: 0.5},
+		}},
+		{Tag: "tracktitle", Text: phrase(1, 4, titles...)},
+		{Tag: "artist", Text: word(names...)},
+		{Tag: "duration", Text: word("2:31", "3:05", "4:12")},
+		{Tag: "awards", Children: []ChildSpec{{Tag: "award", Min: 1, Max: 2, Prob: 1}}},
+		{Tag: "award", Children: []ChildSpec{
+			{Tag: "awardname", Min: 1, Max: 1, Prob: 1},
+			{Tag: "awardyear", Min: 1, Max: 1, Prob: 0.8},
+		}},
+		{Tag: "awardname", Text: phrase(1, 3, words...)},
+		{Tag: "awardyear", Text: word(years...)},
+		{Tag: "boxoffice", Children: []ChildSpec{
+			{Tag: "budget", Min: 1, Max: 1, Prob: 0.8},
+			{Tag: "gross", Min: 1, Max: 1, Prob: 0.6},
+		}},
+		{Tag: "budget", Text: word("90000", "120000", "250000", "400000")},
+		{Tag: "gross", Text: word("50000", "300000", "750000", "1200000")},
+		{Tag: "locations", Children: []ChildSpec{{Tag: "location", Min: 1, Max: 3, Prob: 1}}},
+		{Tag: "location", Children: []ChildSpec{
+			{Tag: "country", Min: 1, Max: 1, Prob: 1},
+			{Tag: "city", Min: 1, Max: 1, Prob: 0.7},
+		}},
+		{Tag: "country", Text: word("USA", "Mexico", "Italy", "Japan")},
+		{Tag: "city", Text: word("LA", "Rome", "Tokyo", "Tucson")},
+		{Tag: "person",
+			Attrs: []AttrSpec{{Name: "id", Kind: AttrID, Prob: 1}},
+			Children: []ChildSpec{
+				{Tag: "name", Min: 1, Max: 1, Prob: 1},
+				{Tag: "birthdate", Min: 1, Max: 1, Prob: 0.6},
+				{Tag: "bio", Min: 1, Max: 1, Prob: 0.4},
+			}},
+		{Tag: "name", Text: word(names...)},
+		{Tag: "birthdate", Text: word("1915", "1920", "1923", "1931")},
+		{Tag: "bio", Text: phrase(5, 12, words...)},
+	}
+	m := make(map[string]*ElementDef, len(els))
+	for _, e := range els {
+		m[e.Tag] = e
+	}
+	return &Schema{Name: "flixml", RootTag: "flixml", Elements: m, IDAttr: "id"}
+}

@@ -1,0 +1,227 @@
+package datagen
+
+// GedMLSchema models the GedML genealogy markup, the paper's highly
+// irregular data set: individuals and families densely cross-linked with
+// fourteen IDREF-typed labels (Table 1 reports 14 for all Ged files),
+// events with wildly varying optional substructure, and reference cycles
+// (individual ↔ family). The dense reference graph is what makes the
+// strong DataGuide explode on this family (Table 2's Ged rows).
+func GedMLSchema() *Schema {
+	word := func(vs ...string) *TextSpec { return &TextSpec{Vocab: vs, MinWords: 1, MaxWords: 1} }
+	phrase := func(min, max int, vs ...string) *TextSpec {
+		return &TextSpec{Vocab: vs, MinWords: min, MaxWords: max}
+	}
+	surnames := []string{"Abbott", "Baker", "Clark", "Dalton", "Evans",
+		"Foster", "Grant", "Hayes", "Irwin", "Jones"}
+	given := []string{"Ada", "Ben", "Cora", "Dan", "Eve", "Finn", "Gail",
+		"Hugh", "Iris", "Jack"}
+	places := []string{"Boston", "York", "Salem", "Dover", "Bristol", "Leeds"}
+	dates := []string{"1801", "1823", "1840", "1857", "1869", "1881", "1893"}
+	noteWords := []string{"census", "record", "parish", "register", "witness",
+		"estate", "deed", "will", "probate", "letter"}
+
+	// Events carry deeply variable substructure: dates with qualifiers,
+	// structured places, inline source citations with pages/quality/text,
+	// and inline notes. The variability multiplies distinct document
+	// paths — GEDCOM's notorious irregularity, which Table 2's Ged rows
+	// and Figure 15's path-layer blow-up depend on.
+	event := func(tag string, extra ...ChildSpec) *ElementDef {
+		children := []ChildSpec{
+			{Tag: "date", Min: 1, Max: 1, Prob: 0.8},
+			{Tag: "place", Min: 1, Max: 1, Prob: 0.6},
+			{Tag: "age", Min: 1, Max: 1, Prob: 0.2},
+			{Tag: "cause", Min: 1, Max: 1, Prob: 0.15},
+			{Tag: "sourcecite", Min: 1, Max: 2, Prob: 0.35},
+			{Tag: "inote", Min: 1, Max: 1, Prob: 0.25},
+		}
+		children = append(children, extra...)
+		return &ElementDef{Tag: tag, Children: children, Attrs: []AttrSpec{
+			{Name: "sourceref", Kind: AttrIDREF, Target: "source", Prob: 0.3},
+			{Name: "witness", Kind: AttrIDREF, Target: "individual", Prob: 0.15},
+		}}
+	}
+
+	els := []*ElementDef{
+		{Tag: "gedml", Children: []ChildSpec{
+			{Tag: "header", Min: 1, Max: 1, Prob: 1},
+			{Tag: "submitter", Min: 1, Max: 2, Prob: 1},
+			{Tag: "individual", Min: 4, Max: 200000, Prob: 1, PerBudget: 36},
+			{Tag: "family", Min: 2, Max: 80000, Prob: 1, PerBudget: 110},
+			{Tag: "source", Min: 1, Max: 8000, Prob: 1, PerBudget: 320},
+			{Tag: "repository", Min: 1, Max: 400, Prob: 1, PerBudget: 2200},
+			{Tag: "note", Min: 2, Max: 10000, Prob: 1, PerBudget: 280},
+			{Tag: "media", Min: 1, Max: 4000, Prob: 1, PerBudget: 700},
+		}},
+		{Tag: "header", Children: []ChildSpec{
+			{Tag: "version", Min: 1, Max: 1, Prob: 1},
+			{Tag: "date", Min: 1, Max: 1, Prob: 1},
+			{Tag: "charset", Min: 1, Max: 1, Prob: 0.7},
+		}, Attrs: []AttrSpec{
+			{Name: "submref", Kind: AttrIDREF, Target: "submitter", Prob: 1},
+		}},
+		{Tag: "version", Text: word("5.5", "5.5.1")},
+		{Tag: "charset", Text: word("UTF-8", "ANSEL")},
+		{Tag: "submitter",
+			Attrs: []AttrSpec{{Name: "id", Kind: AttrID, Prob: 1}},
+			Children: []ChildSpec{
+				{Tag: "name", Min: 1, Max: 1, Prob: 1},
+				{Tag: "address", Min: 1, Max: 1, Prob: 0.6},
+			}},
+		{Tag: "individual",
+			Attrs: []AttrSpec{
+				{Name: "id", Kind: AttrID, Prob: 1},
+				{Name: "famc", Kind: AttrIDREF, Target: "family", Prob: 0.6},
+				{Name: "fams", Kind: AttrIDREFS, Target: "family", Prob: 0.5, MaxRef: 2},
+				{Name: "asso", Kind: AttrIDREF, Target: "individual", Prob: 0.2},
+				{Name: "adoptedby", Kind: AttrIDREF, Target: "family", Prob: 0.05},
+				{Name: "noteref", Kind: AttrIDREF, Target: "note", Prob: 0.3},
+				{Name: "mediaref", Kind: AttrIDREF, Target: "media", Prob: 0.15},
+			},
+			Children: []ChildSpec{
+				{Tag: "name", Min: 1, Max: 2, Prob: 1},
+				{Tag: "sex", Min: 1, Max: 1, Prob: 0.9},
+				{Tag: "birth", Min: 1, Max: 1, Prob: 0.85},
+				{Tag: "death", Min: 1, Max: 1, Prob: 0.45},
+				{Tag: "baptism", Min: 1, Max: 1, Prob: 0.3},
+				{Tag: "burial", Min: 1, Max: 1, Prob: 0.25},
+				{Tag: "occupation", Min: 1, Max: 2, Prob: 0.4},
+				{Tag: "residence", Min: 1, Max: 3, Prob: 0.35},
+				{Tag: "education", Min: 1, Max: 1, Prob: 0.15},
+				{Tag: "religion", Min: 1, Max: 1, Prob: 0.2},
+				{Tag: "alias", Min: 1, Max: 1, Prob: 0.1},
+				{Tag: "emigration", Min: 1, Max: 1, Prob: 0.1},
+				{Tag: "naturalization", Min: 1, Max: 1, Prob: 0.05},
+			}},
+		{Tag: "name", Children: []ChildSpec{
+			{Tag: "given", Min: 1, Max: 2, Prob: 1},
+			{Tag: "surname", Min: 1, Max: 1, Prob: 0.95},
+			{Tag: "suffix", Min: 1, Max: 1, Prob: 0.1},
+		}},
+		{Tag: "given", Text: word(given...)},
+		{Tag: "surname", Text: word(surnames...)},
+		{Tag: "suffix", Text: word("Jr", "Sr", "III")},
+		{Tag: "sex", Text: word("M", "F")},
+		event("birth"),
+		event("death"),
+		event("baptism"),
+		event("burial"),
+		event("marriage"),
+		event("divorce"),
+		event("engagement"),
+		event("emigration", ChildSpec{Tag: "destination", Min: 1, Max: 1, Prob: 0.7}),
+		event("naturalization"),
+		{Tag: "destination", Text: word(places...)},
+		{Tag: "date", Text: word(dates...), Children: []ChildSpec{
+			{Tag: "qualifier", Min: 1, Max: 1, Prob: 0.15},
+		}},
+		{Tag: "qualifier", Text: word("about", "before", "after", "estimated")},
+		{Tag: "place", Text: word(places...), Children: []ChildSpec{
+			{Tag: "county", Min: 1, Max: 1, Prob: 0.3},
+			{Tag: "country", Min: 1, Max: 1, Prob: 0.25},
+		}},
+		{Tag: "county", Text: word("Essex", "Kent", "Suffolk")},
+		{Tag: "age", Text: word("19", "23", "31", "44", "58", "72")},
+		{Tag: "cause", Text: word("fever", "accident", "age", "unknown")},
+		{Tag: "sourcecite", Children: []ChildSpec{
+			{Tag: "page", Min: 1, Max: 1, Prob: 0.6},
+			{Tag: "quality", Min: 1, Max: 1, Prob: 0.4},
+			{Tag: "citetext", Min: 1, Max: 1, Prob: 0.3},
+			{Tag: "inote", Min: 1, Max: 1, Prob: 0.15},
+		}, Attrs: []AttrSpec{
+			{Name: "sourceref", Kind: AttrIDREF, Target: "source", Prob: 0.7},
+		}},
+		{Tag: "page", Text: word("12", "47", "103", "211")},
+		{Tag: "quality", Text: word("0", "1", "2", "3")},
+		{Tag: "citetext", Text: phrase(3, 8, noteWords...)},
+		{Tag: "inote", Text: phrase(3, 9, noteWords...), Children: []ChildSpec{
+			{Tag: "inote", Min: 1, Max: 1, Prob: 0.1}, // nested continuation
+		}},
+		{Tag: "occupation", Text: word("farmer", "smith", "clerk", "weaver", "miller")},
+		{Tag: "residence", Children: []ChildSpec{
+			{Tag: "date", Min: 1, Max: 1, Prob: 0.6},
+			{Tag: "place", Min: 1, Max: 1, Prob: 1},
+		}},
+		{Tag: "education", Text: phrase(1, 3, noteWords...)},
+		{Tag: "religion", Text: word("Quaker", "Baptist", "Catholic", "Anglican")},
+		{Tag: "alias", Text: word(given...)},
+		{Tag: "family",
+			Attrs: []AttrSpec{
+				{Name: "id", Kind: AttrID, Prob: 1},
+				{Name: "husb", Kind: AttrIDREF, Target: "individual", Prob: 0.9},
+				{Name: "wife", Kind: AttrIDREF, Target: "individual", Prob: 0.9},
+				{Name: "chil", Kind: AttrIDREFS, Target: "individual", Prob: 0.8, MaxRef: 5},
+				{Name: "noteref", Kind: AttrIDREF, Target: "note", Prob: 0.25},
+				{Name: "sourceref", Kind: AttrIDREF, Target: "source", Prob: 0.3},
+			},
+			Children: []ChildSpec{
+				{Tag: "marriage", Min: 1, Max: 1, Prob: 0.8},
+				{Tag: "divorce", Min: 1, Max: 1, Prob: 0.1},
+				{Tag: "engagement", Min: 1, Max: 1, Prob: 0.15},
+				{Tag: "numchildren", Min: 1, Max: 1, Prob: 0.3},
+			}},
+		{Tag: "numchildren", Text: word("1", "2", "3", "4", "6", "9")},
+		{Tag: "source",
+			Attrs: []AttrSpec{
+				{Name: "id", Kind: AttrID, Prob: 1},
+				{Name: "reporef", Kind: AttrIDREF, Target: "repository", Prob: 0.7},
+				{Name: "noteref", Kind: AttrIDREF, Target: "note", Prob: 0.2},
+			},
+			Children: []ChildSpec{
+				{Tag: "author", Min: 1, Max: 1, Prob: 0.7},
+				{Tag: "stitle", Min: 1, Max: 1, Prob: 1},
+				{Tag: "publication", Min: 1, Max: 1, Prob: 0.5},
+				{Tag: "callnumber", Min: 1, Max: 1, Prob: 0.3},
+			}},
+		{Tag: "author", Text: word(surnames...)},
+		{Tag: "stitle", Text: phrase(2, 5, noteWords...)},
+		{Tag: "publication", Text: phrase(2, 4, noteWords...)},
+		{Tag: "callnumber", Text: word("A-12", "B-7", "C-3")},
+		{Tag: "repository",
+			Attrs: []AttrSpec{{Name: "id", Kind: AttrID, Prob: 1}},
+			Children: []ChildSpec{
+				{Tag: "name", Min: 1, Max: 1, Prob: 1},
+				{Tag: "address", Min: 1, Max: 1, Prob: 0.8},
+			}},
+		{Tag: "address", Children: []ChildSpec{
+			{Tag: "street", Min: 1, Max: 1, Prob: 0.8},
+			{Tag: "city", Min: 1, Max: 1, Prob: 1},
+			{Tag: "state", Min: 1, Max: 1, Prob: 0.6},
+			{Tag: "postal", Min: 1, Max: 1, Prob: 0.4},
+			{Tag: "country", Min: 1, Max: 1, Prob: 0.5},
+			{Tag: "phone", Min: 1, Max: 1, Prob: 0.3},
+		}},
+		{Tag: "street", Text: phrase(2, 3, places...)},
+		{Tag: "city", Text: word(places...)},
+		{Tag: "state", Text: word("MA", "NY", "PA", "VA")},
+		{Tag: "postal", Text: word("01020", "10301", "19104")},
+		{Tag: "country", Text: word("USA", "England", "Ireland")},
+		{Tag: "phone", Text: word("555-0101", "555-0199")},
+		{Tag: "note",
+			Attrs: []AttrSpec{
+				{Name: "id", Kind: AttrID, Prob: 1},
+				{Name: "continuation", Kind: AttrIDREF, Target: "note", Prob: 0.15},
+			},
+			Children: []ChildSpec{
+				{Tag: "text", Min: 1, Max: 3, Prob: 1},
+			}},
+		{Tag: "text", Text: phrase(4, 12, noteWords...)},
+		{Tag: "media",
+			Attrs: []AttrSpec{
+				{Name: "id", Kind: AttrID, Prob: 1},
+				{Name: "noteref", Kind: AttrIDREF, Target: "note", Prob: 0.2},
+			},
+			Children: []ChildSpec{
+				{Tag: "file", Min: 1, Max: 1, Prob: 1},
+				{Tag: "format", Min: 1, Max: 1, Prob: 0.8},
+				{Tag: "mtitle", Min: 1, Max: 1, Prob: 0.5},
+			}},
+		{Tag: "file", Text: word("img001", "img002", "scan07", "scan12")},
+		{Tag: "format", Text: word("jpeg", "tiff", "png")},
+		{Tag: "mtitle", Text: phrase(1, 3, noteWords...)},
+	}
+	m := make(map[string]*ElementDef, len(els))
+	for _, e := range els {
+		m[e.Tag] = e
+	}
+	return &Schema{Name: "gedml", RootTag: "gedml", Elements: m, IDAttr: "id"}
+}

@@ -1,0 +1,29 @@
+package datagen
+
+import "apex/internal/xmlgraph"
+
+// MovieDBXML is the running example of the paper's Figure 1: a MovieDB
+// with movies, actors and directors cross-linked through IDREF attributes
+// (@actor/@director on movies, @movie on people), forming a cyclic graph.
+const MovieDBXML = `<?xml version="1.0"?>
+<MovieDB>
+  <movie id="m1" actor="a1 a2" director="d1"><title>Waterworld</title></movie>
+  <movie id="m2" actor="a1" director="d2"><title>Postman</title></movie>
+  <actor id="a1" movie="m1 m2"><name>Kevin Costner</name></actor>
+  <actor id="a2" movie="m1"><name>Jeanne Tripplehorn</name></actor>
+  <director id="d1" movie="m1"><name>Kevin Reynolds</name></director>
+  <director id="d2" movie="m2"><name>Kevin Costner D</name></director>
+</MovieDB>`
+
+// MovieDBOptions are the parser options for MovieDBXML.
+func MovieDBOptions() *xmlgraph.BuildOptions {
+	return &xmlgraph.BuildOptions{
+		IDAttrs:     []string{"id"},
+		IDREFSAttrs: []string{"actor", "movie", "director"},
+	}
+}
+
+// MovieDB parses the Figure 1 example into its data graph.
+func MovieDB() (*xmlgraph.Graph, error) {
+	return xmlgraph.BuildString(MovieDBXML, MovieDBOptions())
+}

@@ -1,0 +1,90 @@
+package datagen
+
+// PlaysSchema models the Shakespeare play corpus [10]: tree-structured,
+// 17–22 distinct labels, no ID/IDREF attributes, minor irregularity (a few
+// optional slots such as stage directions, inductions and prologues). The
+// paper's four_tragedies/shakes_11/shakes_all files are concatenations of
+// plays under one root, which the PLAYS root tag mirrors.
+func PlaysSchema() *Schema {
+	speechVocab := []string{
+		"love", "death", "crown", "night", "ghost", "honour", "sword",
+		"blood", "king", "queen", "fool", "storm", "heart", "grave",
+		"heaven", "mercy", "fortune", "vengeance", "sleep", "dream",
+	}
+	nameVocab := []string{
+		"HAMLET", "MACBETH", "OTHELLO", "LEAR", "IAGO", "BANQUO",
+		"CORDELIA", "OPHELIA", "DUNCAN", "GONERIL", "KENT", "HORATIO",
+	}
+	titleVocab := []string{
+		"The", "Tragedy", "of", "Denmark", "Scotland", "Venice", "Moor",
+		"King", "Prince", "First", "Second",
+	}
+	els := []*ElementDef{
+		{Tag: "PLAYS", Children: []ChildSpec{
+			{Tag: "PLAY", Min: 1, Max: 500, Prob: 1, PerBudget: 1500},
+		}},
+		{Tag: "PLAY", Children: []ChildSpec{
+			{Tag: "TITLE", Min: 1, Max: 1, Prob: 1},
+			{Tag: "FM", Min: 1, Max: 1, Prob: 1},
+			{Tag: "PERSONAE", Min: 1, Max: 1, Prob: 1},
+			{Tag: "SCNDESCR", Min: 1, Max: 1, Prob: 1},
+			{Tag: "PLAYSUBT", Min: 1, Max: 1, Prob: 1},
+			{Tag: "INDUCT", Min: 1, Max: 1, Prob: 0.1},
+			{Tag: "PROLOGUE", Min: 1, Max: 1, Prob: 0.25},
+			{Tag: "ACT", Min: 3, Max: 5, Prob: 1},
+			{Tag: "EPILOGUE", Min: 1, Max: 1, Prob: 0.2},
+		}},
+		{Tag: "TITLE", Text: &TextSpec{Vocab: titleVocab, MinWords: 2, MaxWords: 5}},
+		{Tag: "FM", Children: []ChildSpec{{Tag: "P", Min: 1, Max: 4, Prob: 1}}},
+		{Tag: "P", Text: &TextSpec{Vocab: titleVocab, MinWords: 3, MaxWords: 8}},
+		{Tag: "PERSONAE", Children: []ChildSpec{
+			{Tag: "TITLE", Min: 1, Max: 1, Prob: 1},
+			{Tag: "PERSONA", Min: 4, Max: 12, Prob: 1},
+			{Tag: "PGROUP", Min: 1, Max: 3, Prob: 0.7},
+		}},
+		{Tag: "PGROUP", Children: []ChildSpec{
+			{Tag: "PERSONA", Min: 2, Max: 4, Prob: 1},
+			{Tag: "GRPDESCR", Min: 1, Max: 1, Prob: 1},
+		}},
+		{Tag: "PERSONA", Text: &TextSpec{Vocab: nameVocab, MinWords: 1, MaxWords: 2}},
+		{Tag: "GRPDESCR", Text: &TextSpec{Vocab: titleVocab, MinWords: 1, MaxWords: 3}},
+		{Tag: "SCNDESCR", Text: &TextSpec{Vocab: titleVocab, MinWords: 3, MaxWords: 6}},
+		{Tag: "PLAYSUBT", Text: &TextSpec{Vocab: titleVocab, MinWords: 1, MaxWords: 3}},
+		{Tag: "INDUCT", Children: []ChildSpec{
+			{Tag: "TITLE", Min: 1, Max: 1, Prob: 1},
+			{Tag: "SCENE", Min: 1, Max: 2, Prob: 1},
+		}},
+		{Tag: "PROLOGUE", Children: []ChildSpec{
+			{Tag: "TITLE", Min: 1, Max: 1, Prob: 1},
+			{Tag: "SPEECH", Min: 1, Max: 2, Prob: 1},
+		}},
+		{Tag: "EPILOGUE", Children: []ChildSpec{
+			{Tag: "TITLE", Min: 1, Max: 1, Prob: 1},
+			{Tag: "SPEECH", Min: 1, Max: 2, Prob: 1},
+		}},
+		{Tag: "ACT", Children: []ChildSpec{
+			{Tag: "TITLE", Min: 1, Max: 1, Prob: 1},
+			{Tag: "SCENE", Min: 2, Max: 7, Prob: 1},
+		}},
+		{Tag: "SCENE", Children: []ChildSpec{
+			{Tag: "TITLE", Min: 1, Max: 1, Prob: 1},
+			{Tag: "STAGEDIR", Min: 1, Max: 2, Prob: 0.8},
+			{Tag: "SPEECH", Min: 3, Max: 20, Prob: 1},
+			{Tag: "SUBHEAD", Min: 1, Max: 1, Prob: 0.05},
+		}},
+		{Tag: "SPEECH", Children: []ChildSpec{
+			{Tag: "SPEAKER", Min: 1, Max: 2, Prob: 1},
+			{Tag: "LINE", Min: 1, Max: 8, Prob: 1},
+			{Tag: "STAGEDIR", Min: 1, Max: 1, Prob: 0.15},
+		}},
+		{Tag: "SPEAKER", Text: &TextSpec{Vocab: nameVocab, MinWords: 1, MaxWords: 1}},
+		{Tag: "LINE", Text: &TextSpec{Vocab: speechVocab, MinWords: 4, MaxWords: 9}},
+		{Tag: "STAGEDIR", Text: &TextSpec{Vocab: speechVocab, MinWords: 2, MaxWords: 5}},
+		{Tag: "SUBHEAD", Text: &TextSpec{Vocab: titleVocab, MinWords: 1, MaxWords: 3}},
+	}
+	m := make(map[string]*ElementDef, len(els))
+	for _, e := range els {
+		m[e.Tag] = e
+	}
+	return &Schema{Name: "plays", RootTag: "PLAYS", Elements: m, IDAttr: "id"}
+}

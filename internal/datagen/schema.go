@@ -1,0 +1,347 @@
+// Package datagen synthesizes the experiment data sets of the APEX paper.
+//
+// The paper evaluates on (a) the Shakespeare play corpus (tree-shaped,
+// minor irregularity), and on synthetic documents produced by the IBM XML
+// Generator from two real DTDs: FlixML (moderately irregular B-movie
+// reviews, 3 IDREF-typed labels) and GedML (highly irregular genealogy
+// data, 14 IDREF-typed labels). Neither the generator nor the exact
+// corpora are available, so this package implements a probabilistic-DTD
+// engine and schema instances that reproduce the structural statistics
+// Table 1 reports — label counts, IDREF label counts, and the irregularity
+// gradient plays → FlixML → GedML — at configurable scale (see DESIGN.md's
+// substitution table).
+//
+// Generation is fully deterministic given a seed: an in-memory element tree
+// is grown under a node budget, IDs are assigned, reference attributes are
+// resolved against the generated population, and the result is serialized
+// to XML and re-parsed through xmlgraph.Build, so synthetic data flows
+// through the exact code path real documents use.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"apex/internal/xmlgraph"
+)
+
+// AttrKind classifies schema attributes.
+type AttrKind int
+
+const (
+	// AttrCDATA is plain character data.
+	AttrCDATA AttrKind = iota
+	// AttrID declares the element's identifier.
+	AttrID
+	// AttrIDREF references one element.
+	AttrIDREF
+	// AttrIDREFS references a space-separated list of elements.
+	AttrIDREFS
+)
+
+// AttrSpec declares one attribute of an element definition.
+type AttrSpec struct {
+	Name   string
+	Kind   AttrKind
+	Target string  // element tag the reference points at (IDREF/IDREFS)
+	Prob   float64 // probability the attribute is emitted (1 = always)
+	MaxRef int     // IDREFS: maximum list length (default 3)
+}
+
+// ChildSpec declares one child slot in an element's content model.
+type ChildSpec struct {
+	Tag  string
+	Min  int     // minimum occurrences
+	Max  int     // maximum occurrences (≥ Min)
+	Prob float64 // probability the slot is expanded at all (1 = required)
+	// PerBudget, when positive, makes the occurrence count scale with the
+	// document budget: count = clamp(budget/PerBudget, Min, Max). Top-level
+	// record collections use it so a requested size is actually reached —
+	// the knob the IBM XML Generator exposed as its size parameter.
+	PerBudget int
+}
+
+// TextSpec declares leaf character data.
+type TextSpec struct {
+	Vocab    []string
+	MinWords int
+	MaxWords int
+}
+
+// ElementDef is one element type of a schema.
+type ElementDef struct {
+	Tag      string
+	Attrs    []AttrSpec
+	Children []ChildSpec
+	Text     *TextSpec
+}
+
+// Schema is a probabilistic DTD.
+type Schema struct {
+	Name     string
+	RootTag  string
+	Elements map[string]*ElementDef
+	IDAttr   string // attribute name carrying IDs, usually "id"
+}
+
+// BuildOptions derives the xmlgraph parser options from the schema's
+// attribute declarations.
+func (s *Schema) BuildOptions() *xmlgraph.BuildOptions {
+	opts := &xmlgraph.BuildOptions{IDAttrs: []string{s.IDAttr}}
+	seenRef := map[string]bool{}
+	seenRefs := map[string]bool{}
+	for _, el := range s.Elements {
+		for _, a := range el.Attrs {
+			switch a.Kind {
+			case AttrIDREF:
+				if !seenRef[a.Name] {
+					seenRef[a.Name] = true
+					opts.IDREFAttrs = append(opts.IDREFAttrs, a.Name)
+				}
+			case AttrIDREFS:
+				if !seenRefs[a.Name] {
+					seenRefs[a.Name] = true
+					opts.IDREFSAttrs = append(opts.IDREFSAttrs, a.Name)
+				}
+			}
+		}
+	}
+	return opts
+}
+
+// genNode is the in-memory element tree grown before serialization.
+type genNode struct {
+	tag      string
+	id       string
+	attrs    []genAttr
+	text     string
+	children []*genNode
+}
+
+type genAttr struct {
+	name  string
+	value string
+}
+
+type generator struct {
+	s             *Schema
+	rng           *rand.Rand
+	budget        int // remaining element allowance
+	initialBudget int
+	created       int // elements expanded so far
+	nextID        int
+	byTag         map[string][]*genNode // ID-carrying population per tag
+	refs          []pendingRef
+}
+
+type pendingRef struct {
+	node *genNode
+	spec AttrSpec
+	// pos is the element counter at creation time; reference targets are
+	// drawn from a window around the proportional position in the target
+	// population. Real corpora link locally (a family references nearby
+	// individuals), and without locality the strong DataGuide's
+	// determinization degenerates from the paper's ~linear blow-up into an
+	// exponential one.
+	pos int
+}
+
+// Generate grows a document of roughly budget elements and returns its XML
+// serialization. The same (schema, seed, budget) triple always yields the
+// same document.
+func Generate(s *Schema, seed int64, budget int) string {
+	g := &generator{
+		s:             s,
+		rng:           rand.New(rand.NewSource(seed)),
+		budget:        budget,
+		initialBudget: budget,
+		byTag:         make(map[string][]*genNode),
+	}
+	root := g.expand(s.RootTag, 0)
+	g.resolveRefs()
+	var b strings.Builder
+	b.WriteString("<?xml version=\"1.0\"?>\n")
+	g.serialize(&b, root, 0)
+	return b.String()
+}
+
+// GenerateGraph generates and parses in one step.
+func GenerateGraph(s *Schema, seed int64, budget int) (*xmlgraph.Graph, error) {
+	doc := Generate(s, seed, budget)
+	return xmlgraph.BuildString(doc, s.BuildOptions())
+}
+
+// maxDepth guards against runaway recursion in schemas with recursive
+// content models; real documents of the modeled DTDs stay well below it.
+const maxDepth = 24
+
+func (g *generator) expand(tag string, depth int) *genNode {
+	def := g.s.Elements[tag]
+	if def == nil {
+		panic(fmt.Sprintf("datagen: schema %s has no element %q", g.s.Name, tag))
+	}
+	g.budget--
+	g.created++
+	n := &genNode{tag: tag}
+	for _, a := range def.Attrs {
+		if a.Prob < 1 && g.rng.Float64() >= a.Prob {
+			continue
+		}
+		switch a.Kind {
+		case AttrID:
+			g.nextID++
+			n.id = fmt.Sprintf("%s%d", strings.ToLower(tag), g.nextID)
+			n.attrs = append(n.attrs, genAttr{g.s.IDAttr, n.id})
+			g.byTag[tag] = append(g.byTag[tag], n)
+		case AttrIDREF, AttrIDREFS:
+			g.refs = append(g.refs, pendingRef{node: n, spec: a, pos: g.created})
+		default:
+			n.attrs = append(n.attrs, genAttr{a.Name, g.word(def.Text)})
+		}
+	}
+	if def.Text != nil {
+		n.text = g.phrase(def.Text)
+	}
+	if depth >= maxDepth {
+		return n
+	}
+	for _, c := range def.Children {
+		if c.Prob < 1 && g.rng.Float64() >= c.Prob {
+			continue
+		}
+		count := c.Min
+		switch {
+		case c.PerBudget > 0:
+			if n := g.initialBudget / c.PerBudget; n > count {
+				count = n
+			}
+			if c.Max > 0 && count > c.Max {
+				count = c.Max
+			}
+		case c.Max > c.Min:
+			count += g.rng.Intn(c.Max - c.Min + 1)
+		}
+		for i := 0; i < count; i++ {
+			// Once the budget is spent, stop expanding beyond the
+			// content model's required minimum.
+			if g.budget <= 0 && i >= c.Min {
+				break
+			}
+			n.children = append(n.children, g.expand(c.Tag, depth+1))
+		}
+	}
+	return n
+}
+
+func (g *generator) word(t *TextSpec) string {
+	vocab := defaultVocab
+	if t != nil && len(t.Vocab) > 0 {
+		vocab = t.Vocab
+	}
+	return vocab[g.rng.Intn(len(vocab))]
+}
+
+func (g *generator) phrase(t *TextSpec) string {
+	vocab := t.Vocab
+	if len(vocab) == 0 {
+		vocab = defaultVocab
+	}
+	n := t.MinWords
+	if t.MaxWords > t.MinWords {
+		n += g.rng.Intn(t.MaxWords - t.MinWords + 1)
+	}
+	if n <= 0 {
+		n = 1
+	}
+	words := make([]string, n)
+	for i := range words {
+		words[i] = vocab[g.rng.Intn(len(vocab))]
+	}
+	return strings.Join(words, " ")
+}
+
+var defaultVocab = []string{
+	"alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf",
+	"hotel", "india", "juliet", "kilo", "lima", "mike", "november",
+	"oscar", "papa", "quebec", "romeo", "sierra", "tango",
+}
+
+// resolveRefs fills reference attributes from the generated ID population;
+// a reference whose target population is empty is dropped (as a validating
+// generator would).
+func (g *generator) resolveRefs() {
+	for _, pr := range g.refs {
+		pop := g.byTag[pr.spec.Target]
+		if len(pop) == 0 {
+			continue
+		}
+		pick := func() *genNode {
+			// Locality window around the proportional document position.
+			center := pr.pos * len(pop) / max(g.created, 1)
+			w := len(pop) / 40
+			if w < 4 {
+				w = 4
+			}
+			i := center + g.rng.Intn(2*w+1) - w
+			if i < 0 {
+				i = 0
+			}
+			if i >= len(pop) {
+				i = len(pop) - 1
+			}
+			return pop[i]
+		}
+		if pr.spec.Kind == AttrIDREF {
+			pr.node.attrs = append(pr.node.attrs, genAttr{pr.spec.Name, pick().id})
+			continue
+		}
+		maxRef := pr.spec.MaxRef
+		if maxRef <= 0 {
+			maxRef = 3
+		}
+		count := 1 + g.rng.Intn(maxRef)
+		seen := map[string]bool{}
+		var ids []string
+		for i := 0; i < count; i++ {
+			t := pick()
+			if !seen[t.id] {
+				seen[t.id] = true
+				ids = append(ids, t.id)
+			}
+		}
+		pr.node.attrs = append(pr.node.attrs, genAttr{pr.spec.Name, strings.Join(ids, " ")})
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (g *generator) serialize(b *strings.Builder, n *genNode, depth int) {
+	b.WriteString("<")
+	b.WriteString(n.tag)
+	for _, a := range n.attrs {
+		fmt.Fprintf(b, ` %s="%s"`, a.name, escape(a.value))
+	}
+	if n.text == "" && len(n.children) == 0 {
+		b.WriteString("/>")
+		return
+	}
+	b.WriteString(">")
+	b.WriteString(escape(n.text))
+	for _, c := range n.children {
+		g.serialize(b, c, depth+1)
+	}
+	b.WriteString("</")
+	b.WriteString(n.tag)
+	b.WriteString(">")
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

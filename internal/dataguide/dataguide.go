@@ -1,0 +1,208 @@
+// Package dataguide implements the strong DataGuide of Goldman and Widom
+// (VLDB 1997), the primary baseline of the APEX paper. A strong DataGuide
+// is the deterministic summary of all root label paths: its construction
+// emulates NFA→DFA conversion, each index node being the target set of data
+// nodes reachable by one (or more) root label paths. It is exact for
+// root-anchored simple path expressions but partial-matching queries must
+// exhaustively navigate the structure (Section 2 of the APEX paper), which
+// is the cost APEX removes.
+package dataguide
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+
+	"apex/internal/xmlgraph"
+)
+
+// Node is a DataGuide node: a DFA state whose extent is the target set — the
+// data nodes reachable by every root label path leading to this state.
+type Node struct {
+	ID     int
+	Extent []xmlgraph.NID // sorted target set
+	out    map[string]*Node
+}
+
+// Child returns the unique child reached by label, or nil.
+func (n *Node) Child(label string) *Node { return n.out[label] }
+
+// OutLabels returns the outgoing labels in sorted order.
+func (n *Node) OutLabels() []string {
+	res := make([]string, 0, len(n.out))
+	for l := range n.out {
+		res = append(res, l)
+	}
+	sort.Strings(res)
+	return res
+}
+
+// DataGuide is the strong DataGuide of one data graph.
+type DataGuide struct {
+	g     *xmlgraph.Graph
+	root  *Node
+	nodes []*Node
+}
+
+// Build constructs the strong DataGuide by target-set determinization. The
+// memo table is keyed by the canonical encoding of the target set, so
+// shared sets collapse to one node; graph data can, in the worst case, take
+// exponential time and space (the paper's GedML rows show the blow-up).
+func Build(g *xmlgraph.Graph) *DataGuide {
+	dg, err := BuildLimited(g, 0)
+	if err != nil {
+		// Unreachable: limit 0 never errs.
+		panic(err)
+	}
+	return dg
+}
+
+// BuildLimited is Build with a safety valve: determinization aborts with an
+// error once more than maxNodes DataGuide nodes exist (0 = unlimited).
+// Production systems should prefer it — Goldman and Widom's conversion is
+// exponential in the worst case, and on reference-dense data the guide can
+// exhaust memory long before it finishes (the blow-up the APEX paper
+// leverages in Table 2).
+func BuildLimited(g *xmlgraph.Graph, maxNodes int) (*DataGuide, error) {
+	dg := &DataGuide{g: g}
+	memo := make(map[string]*Node)
+	dg.root = dg.newNode([]xmlgraph.NID{g.Root()})
+	memo[setKey([]xmlgraph.NID{g.Root()})] = dg.root
+
+	type frame struct{ node *Node }
+	stack := []frame{{dg.root}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for label, targets := range groupTargets(g, f.node.Extent) {
+			key := setKey(targets)
+			child, ok := memo[key]
+			if !ok {
+				if maxNodes > 0 && len(dg.nodes) >= maxNodes {
+					return nil, fmt.Errorf("dataguide: determinization exceeded %d nodes (data graph has %d)",
+						maxNodes, g.NumNodes())
+				}
+				child = dg.newNode(targets)
+				memo[key] = child
+				stack = append(stack, frame{child})
+			}
+			f.node.out[label] = child
+		}
+	}
+	return dg, nil
+}
+
+func (dg *DataGuide) newNode(extent []xmlgraph.NID) *Node {
+	n := &Node{ID: len(dg.nodes), Extent: extent, out: make(map[string]*Node)}
+	dg.nodes = append(dg.nodes, n)
+	return n
+}
+
+// groupTargets groups the outgoing edges of the members by label, returning
+// the sorted, deduplicated target set per label.
+func groupTargets(g *xmlgraph.Graph, members []xmlgraph.NID) map[string][]xmlgraph.NID {
+	sets := make(map[string]map[xmlgraph.NID]bool)
+	for _, v := range members {
+		for _, he := range g.Out(v) {
+			s := sets[he.Label]
+			if s == nil {
+				s = make(map[xmlgraph.NID]bool)
+				sets[he.Label] = s
+			}
+			s[he.To] = true
+		}
+	}
+	res := make(map[string][]xmlgraph.NID, len(sets))
+	for l, s := range sets {
+		ts := make([]xmlgraph.NID, 0, len(s))
+		for n := range s {
+			ts = append(ts, n)
+		}
+		sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+		res[l] = ts
+	}
+	return res
+}
+
+// setKey canonically encodes a sorted nid set.
+func setKey(set []xmlgraph.NID) string {
+	buf := make([]byte, 0, 4*len(set))
+	var tmp [binary.MaxVarintLen32]byte
+	for _, n := range set {
+		k := binary.PutUvarint(tmp[:], uint64(n))
+		buf = append(buf, tmp[:k]...)
+	}
+	return string(buf)
+}
+
+// Root returns the DataGuide root.
+func (dg *DataGuide) Root() *Node { return dg.root }
+
+// Graph returns the underlying data graph.
+func (dg *DataGuide) Graph() *xmlgraph.Graph { return dg.g }
+
+// NumNodes returns the number of DataGuide nodes (Table 2's "Nodes").
+func (dg *DataGuide) NumNodes() int { return len(dg.nodes) }
+
+// NumEdges returns the number of DataGuide edges (Table 2's "Edges").
+func (dg *DataGuide) NumEdges() int {
+	e := 0
+	for _, n := range dg.nodes {
+		e += len(n.out)
+	}
+	return e
+}
+
+// EachNode visits all DataGuide nodes in creation (BFS-ish) order.
+func (dg *DataGuide) EachNode(fn func(*Node)) {
+	for _, n := range dg.nodes {
+		fn(n)
+	}
+}
+
+// LookupSimple navigates a root-anchored simple path and returns the target
+// set (nil if the path does not exist). Each step costs one edge lookup,
+// counted into lookups if non-nil.
+func (dg *DataGuide) LookupSimple(p xmlgraph.LabelPath, lookups *int64) []xmlgraph.NID {
+	cur := dg.root
+	for _, l := range p {
+		if lookups != nil {
+			*lookups++
+		}
+		cur = cur.out[l]
+		if cur == nil {
+			return nil
+		}
+	}
+	return cur.Extent
+}
+
+// RootID returns the id of the root node (always 0; it is created first).
+func (dg *DataGuide) RootID() int { return dg.root.ID }
+
+// EachOutEdge visits node id's outgoing (label, node id) pairs in sorted
+// label order; part of the summary-graph interface the query processor
+// evaluates over.
+func (dg *DataGuide) EachOutEdge(id int, fn func(label string, to int)) {
+	n := dg.nodes[id]
+	for _, l := range n.OutLabels() {
+		fn(l, n.out[l].ID)
+	}
+}
+
+// Extent returns the target set of node id.
+func (dg *DataGuide) Extent(id int) []xmlgraph.NID { return dg.nodes[id].Extent }
+
+// Dump renders the DataGuide adjacency for examples (Figure 3(a)).
+func (dg *DataGuide) Dump() string {
+	var b strings.Builder
+	for _, n := range dg.nodes {
+		fmt.Fprintf(&b, "g%d extent=%v", n.ID, n.Extent)
+		for _, l := range n.OutLabels() {
+			fmt.Fprintf(&b, " -%s->g%d", l, n.out[l].ID)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,191 @@
+package dataguide
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"apex/internal/xmlgraph"
+)
+
+func mustBuild(t *testing.T, doc string, opts *xmlgraph.BuildOptions) *xmlgraph.Graph {
+	t.Helper()
+	g, err := xmlgraph.BuildString(doc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBuildTree(t *testing.T) {
+	g := mustBuild(t, `<r><a><b/></a><a><c/></a><d><b/></d></r>`, nil)
+	dg := Build(g)
+	// Distinct root paths: a, a.b, a.c, d, d.b → 5 nodes + root = 6.
+	if dg.NumNodes() != 6 {
+		t.Fatalf("NumNodes = %d, want 6\n%s", dg.NumNodes(), dg.Dump())
+	}
+	if dg.NumEdges() != 5 {
+		t.Fatalf("NumEdges = %d, want 5", dg.NumEdges())
+	}
+}
+
+func TestLookupSimpleMatchesOracle(t *testing.T) {
+	doc := `<db>
+	  <movie id="m1" director="d1"><title>T1</title></movie>
+	  <movie id="m2" director="d1"><title>T2</title></movie>
+	  <director id="d1" movie="m1"><name>N</name></director>
+	</db>`
+	g := mustBuild(t, doc, &xmlgraph.BuildOptions{IDREFAttrs: []string{"director", "movie"}})
+	dg := Build(g)
+	var lookups int64
+	for _, p := range g.RootPaths(6) {
+		got := dg.LookupSimple(p, &lookups)
+		want := g.EvalSimplePath(g.Root(), p)
+		sorted := append([]xmlgraph.NID(nil), got...)
+		g.SortByDocumentOrder(sorted)
+		if !reflect.DeepEqual(sorted, want) {
+			t.Fatalf("path %s: dg=%v oracle=%v", p, sorted, want)
+		}
+	}
+	if lookups == 0 {
+		t.Fatal("lookup counter not incremented")
+	}
+	if dg.LookupSimple(xmlgraph.ParseLabelPath("movie.nosuch"), nil) != nil {
+		t.Fatal("nonexistent path should be nil")
+	}
+}
+
+// On graph data, a DataGuide node can be shared by several root paths and
+// the guide can exceed the data in size; at minimum the determinization
+// must terminate and stay exact on a cyclic graph.
+func TestBuildCyclicTerminatesAndExact(t *testing.T) {
+	g := xmlgraph.NewGraph()
+	root := g.AddNode(xmlgraph.KindElement, "r", "")
+	g.SetRoot(root)
+	a := g.AddNode(xmlgraph.KindElement, "a", "")
+	b := g.AddNode(xmlgraph.KindElement, "b", "")
+	g.AddEdge(root, "a", a)
+	g.AddEdge(a, "b", b)
+	g.AddEdge(b, "a", a) // cycle a->b->a
+	dg := Build(g)
+	if dg.NumNodes() == 0 || dg.NumNodes() > 4 {
+		t.Fatalf("NumNodes = %d", dg.NumNodes())
+	}
+	for _, p := range g.RootPaths(7) {
+		got := dg.LookupSimple(p, nil)
+		want := g.EvalSimplePath(g.Root(), p)
+		sorted := append([]xmlgraph.NID(nil), got...)
+		g.SortByDocumentOrder(sorted)
+		if !reflect.DeepEqual(sorted, want) {
+			t.Fatalf("path %s: dg=%v oracle=%v", p, sorted, want)
+		}
+	}
+}
+
+// The DFA property: shared target sets collapse into one node.
+func TestSharedTargetSetsCollapse(t *testing.T) {
+	// Both x and y lead to the same single node via l.
+	g := xmlgraph.NewGraph()
+	root := g.AddNode(xmlgraph.KindElement, "r", "")
+	g.SetRoot(root)
+	x := g.AddNode(xmlgraph.KindElement, "x", "")
+	y := g.AddNode(xmlgraph.KindElement, "y", "")
+	z := g.AddNode(xmlgraph.KindElement, "z", "")
+	g.AddEdge(root, "x", x)
+	g.AddEdge(root, "y", y)
+	g.AddEdge(x, "l", z)
+	g.AddEdge(y, "l", z)
+	dg := Build(g)
+	xl := dg.Root().Child("x").Child("l")
+	yl := dg.Root().Child("y").Child("l")
+	if xl != yl {
+		t.Fatal("identical target sets should share a DataGuide node")
+	}
+	// 4 nodes: root-set, {x}, {y}, {z}.
+	if dg.NumNodes() != 4 {
+		t.Fatalf("NumNodes = %d, want 4", dg.NumNodes())
+	}
+}
+
+func randomGraph(rng *rand.Rand, nodes, extra, labels int) *xmlgraph.Graph {
+	g := xmlgraph.NewGraph()
+	root := g.AddNode(xmlgraph.KindElement, "root", "")
+	g.SetRoot(root)
+	ids := []xmlgraph.NID{root}
+	lab := func() string { return string(rune('a' + rng.Intn(labels))) }
+	for i := 1; i < nodes; i++ {
+		n := g.AddNode(xmlgraph.KindElement, "e", "")
+		g.AddEdge(ids[rng.Intn(len(ids))], lab(), n)
+		ids = append(ids, n)
+	}
+	for i := 0; i < extra; i++ {
+		g.AddEdge(ids[rng.Intn(len(ids))], lab(), ids[rng.Intn(len(ids))])
+	}
+	return g
+}
+
+func TestBuildLimited(t *testing.T) {
+	g := mustBuild(t, `<r><a><b/></a><a><c/></a><d><b/></d></r>`, nil)
+	if _, err := BuildLimited(g, 3); err == nil {
+		t.Fatal("limit should trip")
+	}
+	dg, err := BuildLimited(g, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dg.NumNodes() != 6 {
+		t.Fatalf("NumNodes = %d", dg.NumNodes())
+	}
+}
+
+func TestSummaryInterface(t *testing.T) {
+	g := mustBuild(t, `<r><a><b/></a></r>`, nil)
+	dg := Build(g)
+	if dg.RootID() != 0 {
+		t.Fatalf("RootID = %d", dg.RootID())
+	}
+	if dg.Graph() != g {
+		t.Fatal("Graph accessor broken")
+	}
+	var labels []string
+	dg.EachOutEdge(dg.RootID(), func(l string, to int) {
+		labels = append(labels, l)
+		if len(dg.Extent(to)) == 0 {
+			t.Fatalf("empty extent for child %d", to)
+		}
+	})
+	if len(labels) != 1 || labels[0] != "a" {
+		t.Fatalf("root edges = %v", labels)
+	}
+	count := 0
+	dg.EachNode(func(*Node) { count++ })
+	if count != dg.NumNodes() {
+		t.Fatalf("EachNode visited %d of %d", count, dg.NumNodes())
+	}
+	if !strings.Contains(dg.Dump(), "-a->") {
+		t.Fatalf("Dump:\n%s", dg.Dump())
+	}
+}
+
+func TestRandomizedExactness(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 25; iter++ {
+		g := randomGraph(rng, 5+rng.Intn(25), rng.Intn(6), 3)
+		dg := Build(g)
+		for _, p := range g.RootPaths(5) {
+			got := dg.LookupSimple(p, nil)
+			want := g.EvalSimplePath(g.Root(), p)
+			sorted := append([]xmlgraph.NID(nil), got...)
+			g.SortByDocumentOrder(sorted)
+			if !reflect.DeepEqual(sorted, want) {
+				t.Fatalf("iter %d path %s: dg=%v oracle=%v", iter, p, sorted, want)
+			}
+		}
+		// Every DataGuide edge chain of length 1 from the root must be a
+		// real root label; spot-check node/edge accounting.
+		if dg.NumEdges() < len(dg.Root().OutLabels()) {
+			t.Fatal("edge accounting broken")
+		}
+	}
+}

@@ -1,0 +1,281 @@
+package fabric
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"apex/internal/xmlgraph"
+)
+
+func TestBitAt(t *testing.T) {
+	key := []byte{0b1010_0001, 0b0000_0001}
+	wants := map[int]byte{0: 1, 1: 0, 2: 1, 7: 1, 15: 1, 14: 0, 99: 0}
+	for i, want := range wants {
+		if got := bitAt(key, i); got != want {
+			t.Errorf("bitAt(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestFirstDiffBit(t *testing.T) {
+	cases := []struct {
+		a, b []byte
+		want int
+	}{
+		{[]byte{0xFF}, []byte{0x7F}, 0},
+		{[]byte{0xF0}, []byte{0xF1}, 7},
+		{[]byte{0x00, 0x80}, []byte{0x00, 0x00}, 8},
+		{[]byte{0xAA}, []byte{0xAA, 0x01}, 15}, // prefix case
+	}
+	for _, c := range cases {
+		if got := firstDiffBit(c.a, c.b); got != c.want {
+			t.Errorf("firstDiffBit(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestTrieInsertLookup(t *testing.T) {
+	var tr trie
+	keys := [][]byte{
+		[]byte("alpha"), []byte("beta"), []byte("alphabet"),
+		[]byte("b"), []byte("gamma"), []byte("alpine"),
+	}
+	for i, k := range keys {
+		tr.insert(k, int32(i))
+	}
+	for i, k := range keys {
+		got := tr.lookup(k, nil)
+		if len(got) != 1 || got[0] != int32(i) {
+			t.Fatalf("lookup(%q) = %v", k, got)
+		}
+	}
+	if tr.lookup([]byte("alp"), nil) != nil {
+		t.Fatal("prefix must not match")
+	}
+	if tr.lookup([]byte("zeta"), nil) != nil {
+		t.Fatal("absent key matched")
+	}
+	if tr.numKeys != len(keys) {
+		t.Fatalf("numKeys = %d", tr.numKeys)
+	}
+}
+
+func TestTrieDuplicateKeysAccumulate(t *testing.T) {
+	var tr trie
+	tr.insert([]byte("k"), 1)
+	tr.insert([]byte("k"), 2)
+	got := tr.lookup([]byte("k"), nil)
+	if len(got) != 2 {
+		t.Fatalf("postings = %v", got)
+	}
+	if tr.numKeys != 1 {
+		t.Fatalf("numKeys = %d", tr.numKeys)
+	}
+}
+
+// Property: a trie behaves like a map from keys to posting multisets.
+func TestTriePropertyVsMap(t *testing.T) {
+	f := func(raw [][]byte) bool {
+		var tr trie
+		want := make(map[string][]int32)
+		for i, k := range raw {
+			if len(k) == 0 {
+				continue
+			}
+			// Make keys prefix-free the same way Fabric does: prepend the
+			// uvarint length (single byte for short keys).
+			key := append([]byte{byte(len(k))}, k...)
+			tr.insert(key, int32(i))
+			want[string(key)] = append(want[string(key)], int32(i))
+		}
+		for k, w := range want {
+			got := tr.lookup([]byte(k), nil)
+			if !reflect.DeepEqual(got, w) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func buildDoc(t *testing.T) *xmlgraph.Graph {
+	t.Helper()
+	doc := `<db>
+	  <movie><title>Waterworld</title><year>1995</year></movie>
+	  <movie><title>Postman</title><year>1997</year></movie>
+	  <actor><name>Kevin</name></actor>
+	  <director><name>Kevin</name></director>
+	</db>`
+	g, err := xmlgraph.BuildString(doc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestExactSearch(t *testing.T) {
+	g := buildDoc(t)
+	f := Build(g, nil)
+	var cost Cost
+	got := f.ExactSearch(xmlgraph.ParseLabelPath("movie.title"), "Waterworld", &cost)
+	if len(got) != 1 || g.Value(got[0]) != "Waterworld" {
+		t.Fatalf("ExactSearch = %v", got)
+	}
+	if cost.TrieNodes == 0 || cost.BlockReads == 0 {
+		t.Fatalf("cost not tracked: %+v", cost)
+	}
+	if f.ExactSearch(xmlgraph.ParseLabelPath("movie.title"), "Missing", nil) != nil {
+		t.Fatal("missing value matched")
+	}
+	if f.ExactSearch(xmlgraph.ParseLabelPath("unknown.label"), "x", nil) != nil {
+		t.Fatal("unknown label matched")
+	}
+}
+
+func TestPartialScan(t *testing.T) {
+	g := buildDoc(t)
+	f := Build(g, nil)
+	var cost Cost
+	// //name[text()="Kevin"] matches under both actor and director.
+	got := f.PartialScan(xmlgraph.ParseLabelPath("name"), "Kevin", &cost)
+	if len(got) != 2 {
+		t.Fatalf("PartialScan = %v", got)
+	}
+	if cost.LeafValidations < int64(f.Stats().Paths) {
+		t.Fatalf("partial scan must validate every path-layer entry: %+v vs %d paths",
+			cost, f.Stats().Paths)
+	}
+	// Suffix filtering: actor.name only.
+	got = f.PartialScan(xmlgraph.ParseLabelPath("actor.name"), "Kevin", nil)
+	if len(got) != 1 {
+		t.Fatalf("suffix-filtered scan = %v", got)
+	}
+	// Value mismatch.
+	if got := f.PartialScan(xmlgraph.ParseLabelPath("name"), "Nobody", nil); len(got) != 0 {
+		t.Fatalf("bogus value matched %v", got)
+	}
+}
+
+func TestKeyCodecRoundTrip(t *testing.T) {
+	g := buildDoc(t)
+	f := Build(g, nil)
+	paths := []string{"movie.title", "a.b.c", "x"}
+	vals := []string{"", "v", "with\x00nul", "longer value with spaces"}
+	for _, p := range paths {
+		for _, v := range vals {
+			key := f.encodeKey(xmlgraph.ParseLabelPath(p), v)
+			gp, gv, err := f.decodeKey(key)
+			if err != nil {
+				t.Fatalf("decode(%s,%q): %v", p, v, err)
+			}
+			if gp.String() != p || gv != v {
+				t.Fatalf("round trip (%s,%q) -> (%s,%q)", p, v, gp, gv)
+			}
+		}
+	}
+}
+
+func TestKeysPrefixFree(t *testing.T) {
+	g := buildDoc(t)
+	f := Build(g, nil)
+	combos := [][2]string{
+		{"a", "x"}, {"a", "xy"}, {"a.b", "x"}, {"a", ""}, {"a.b.c", "x\x00y"},
+	}
+	var keys [][]byte
+	for _, c := range combos {
+		keys = append(keys, f.encodeKey(xmlgraph.ParseLabelPath(c[0]), c[1]))
+	}
+	for i := range keys {
+		for j := range keys {
+			if i == j {
+				continue
+			}
+			if len(keys[i]) <= len(keys[j]) && string(keys[j][:len(keys[i])]) == string(keys[i]) {
+				t.Fatalf("key %d is a prefix of key %d: %v / %v", i, j, keys[i], keys[j])
+			}
+		}
+	}
+}
+
+func TestBlocksPacked(t *testing.T) {
+	// Many keys with a tiny block size must spill into multiple blocks, and
+	// scans must count block transitions.
+	g := xmlgraph.NewGraph()
+	root := g.AddNode(xmlgraph.KindElement, "r", "")
+	g.SetRoot(root)
+	for i := 0; i < 200; i++ {
+		n := g.AddNode(xmlgraph.KindElement, "e", fmt.Sprintf("value-%03d", i))
+		g.AddEdge(root, "e", n)
+	}
+	f := Build(g, &Options{BlockSize: 256, PoolFrames: 4})
+	if f.Stats().Blocks < 10 {
+		t.Fatalf("blocks = %d, want many", f.Stats().Blocks)
+	}
+	var cost Cost
+	f.PartialScanFull(xmlgraph.ParseLabelPath("e"), "value-007", &cost)
+	if cost.BlockReads < int64(f.Stats().Blocks) {
+		t.Fatalf("full scan should touch every block: %+v", cost)
+	}
+	if f.IOStats().Logical == 0 {
+		t.Fatal("buffer pool untouched")
+	}
+	// The path layer collapses the scan to one probe (a single path here).
+	var probe Cost
+	f.PartialScan(xmlgraph.ParseLabelPath("e"), "value-007", &probe)
+	if probe.TrieNodes >= cost.TrieNodes {
+		t.Fatalf("path-layer probing (%d) should beat the full scan (%d)",
+			probe.TrieNodes, cost.TrieNodes)
+	}
+}
+
+func TestPartialScanMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	g := xmlgraph.NewGraph()
+	root := g.AddNode(xmlgraph.KindElement, "r", "")
+	g.SetRoot(root)
+	parents := []xmlgraph.NID{root}
+	values := []string{"a", "b", "c"}
+	for i := 0; i < 120; i++ {
+		v := ""
+		if rng.Intn(2) == 0 {
+			v = values[rng.Intn(len(values))]
+		}
+		n := g.AddNode(xmlgraph.KindElement, "e", v)
+		g.AddEdge(parents[rng.Intn(len(parents))], string(rune('a'+rng.Intn(3))), n)
+		parents = append(parents, n)
+	}
+	f := Build(g, &Options{BlockSize: 512})
+	for _, suffix := range []string{"a", "b", "a.b", "c.a"} {
+		for _, val := range values {
+			got := f.PartialScan(xmlgraph.ParseLabelPath(suffix), val, nil)
+			full := f.PartialScanFull(xmlgraph.ParseLabelPath(suffix), val, nil)
+			want := oracle(g, xmlgraph.ParseLabelPath(suffix), val)
+			sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+			sort.Slice(full, func(i, j int) bool { return full[i] < full[j] })
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("suffix %s val %s: fabric=%v oracle=%v", suffix, val, got, want)
+			}
+			if !reflect.DeepEqual(full, want) {
+				t.Fatalf("suffix %s val %s: full scan=%v oracle=%v", suffix, val, full, want)
+			}
+		}
+	}
+}
+
+func oracle(g *xmlgraph.Graph, suffix xmlgraph.LabelPath, val string) []xmlgraph.NID {
+	var res []xmlgraph.NID
+	for _, n := range g.EvalPartialPath(suffix) {
+		if g.Value(n) == val {
+			res = append(res, n)
+		}
+	}
+	return res
+}

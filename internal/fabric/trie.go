@@ -1,0 +1,179 @@
+// Package fabric implements the Index Fabric of Cooper et al. (VLDB 2001),
+// the third comparator in the APEX paper's experiments: every value-bearing
+// element is indexed under the designator encoding of its root label path
+// concatenated with its data value, stored in a Patricia trie whose nodes
+// are packed into fixed-size blocks (8 KB in the paper's setup).
+//
+// Root-anchored path+value queries are a single key search; partial-match
+// queries must traverse the whole trie and validate each leaf, the "lossy
+// compression" cost Section 6.2 attributes to the Patricia structure.
+package fabric
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// trieNode is a bitwise PATRICIA node: internal nodes test one bit
+// position, leaves carry the full key (needed for validation, because the
+// skipped bits are not stored) and the postings.
+type trieNode struct {
+	bit         int // bit index tested by internal nodes; -1 for leaves
+	left, right *trieNode
+
+	key   []byte
+	nids  []int32
+	block int32 // block assignment, filled by packBlocks
+}
+
+func (n *trieNode) isLeaf() bool { return n.bit < 0 }
+
+// bitAt returns bit i of key (MSB-first within bytes); positions past the
+// end read as zero. Keys are prefix-free by construction, so the zero
+// padding is never the deciding bit between two stored keys.
+func bitAt(key []byte, i int) byte {
+	byteIdx := i >> 3
+	if byteIdx >= len(key) {
+		return 0
+	}
+	return (key[byteIdx] >> (7 - uint(i&7))) & 1
+}
+
+// firstDiffBit returns the first bit position where a and b differ; a and b
+// must be distinct.
+func firstDiffBit(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if x := a[i] ^ b[i]; x != 0 {
+			bit := 0
+			for x&0x80 == 0 {
+				x <<= 1
+				bit++
+			}
+			return i*8 + bit
+		}
+	}
+	// One is a strict prefix of the other: the first extra bit set decides.
+	longer := a
+	if len(b) > len(a) {
+		longer = b
+	}
+	for i := n; i < len(longer); i++ {
+		if longer[i] != 0 {
+			x := longer[i]
+			bit := 0
+			for x&0x80 == 0 {
+				x <<= 1
+				bit++
+			}
+			return i*8 + bit
+		}
+	}
+	panic("fabric: firstDiffBit on equal keys")
+}
+
+// trie is the in-memory PATRICIA trie.
+type trie struct {
+	root     *trieNode
+	numNodes int // internal + leaf
+	numKeys  int
+}
+
+// insert adds key -> nid, appending to the postings of an existing key.
+func (t *trie) insert(key []byte, nid int32) {
+	if t.root == nil {
+		t.root = &trieNode{bit: -1, key: key, nids: []int32{nid}}
+		t.numNodes++
+		t.numKeys++
+		return
+	}
+	// Phase 1: descend to the candidate leaf.
+	x := t.root
+	for !x.isLeaf() {
+		if bitAt(key, x.bit) == 0 {
+			x = x.left
+		} else {
+			x = x.right
+		}
+	}
+	if bytes.Equal(x.key, key) {
+		x.nids = append(x.nids, nid)
+		return
+	}
+	d := firstDiffBit(key, x.key)
+	// Phase 2: re-descend to the insertion point (first node testing a bit
+	// beyond d, or a leaf).
+	var parent *trieNode
+	cur := t.root
+	for !cur.isLeaf() && cur.bit < d {
+		parent = cur
+		if bitAt(key, cur.bit) == 0 {
+			cur = cur.left
+		} else {
+			cur = cur.right
+		}
+	}
+	leaf := &trieNode{bit: -1, key: key, nids: []int32{nid}}
+	internal := &trieNode{bit: d}
+	if bitAt(key, d) == 0 {
+		internal.left, internal.right = leaf, cur
+	} else {
+		internal.left, internal.right = cur, leaf
+	}
+	if parent == nil {
+		t.root = internal
+	} else if parent.left == cur {
+		parent.left = internal
+	} else {
+		parent.right = internal
+	}
+	t.numNodes += 2
+	t.numKeys++
+}
+
+// lookup returns the postings stored under exactly key, or nil.
+// visited, if non-nil, is incremented per node touched.
+func (t *trie) lookup(key []byte, visited *int64) []int32 {
+	x := t.root
+	if x == nil {
+		return nil
+	}
+	for {
+		if visited != nil {
+			*visited++
+		}
+		if x.isLeaf() {
+			break
+		}
+		if bitAt(key, x.bit) == 0 {
+			x = x.left
+		} else {
+			x = x.right
+		}
+	}
+	if bytes.Equal(x.key, key) {
+		return x.nids
+	}
+	return nil
+}
+
+// walk visits every node (pre-order); fn gets each node.
+func (t *trie) walk(fn func(*trieNode)) {
+	var rec func(n *trieNode)
+	rec = func(n *trieNode) {
+		if n == nil {
+			return
+		}
+		fn(n)
+		rec(n.left)
+		rec(n.right)
+	}
+	rec(t.root)
+}
+
+func (t *trie) String() string {
+	return fmt.Sprintf("trie{nodes=%d keys=%d}", t.numNodes, t.numKeys)
+}

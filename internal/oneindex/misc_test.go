@@ -1,0 +1,31 @@
+package oneindex
+
+import "testing"
+
+func TestAccessors(t *testing.T) {
+	g := mustBuild(t, `<r><a><b/></a><a><b/></a></r>`, nil)
+	ix := Build(g)
+	if ix.Graph() != g {
+		t.Fatal("Graph accessor broken")
+	}
+	if ix.NumEdges() == 0 {
+		t.Fatal("no index edges")
+	}
+	if ix.ClassOf(g.Root()) != ix.RootID() {
+		t.Fatal("root class mismatch")
+	}
+	var edges int
+	for i := 0; i < ix.NumNodes(); i++ {
+		ix.EachOutEdge(i, func(string, int) { edges++ })
+	}
+	if edges != ix.NumEdges() {
+		t.Fatalf("EachOutEdge visited %d of %d", edges, ix.NumEdges())
+	}
+	// The two identical <a><b/></a> subtrees must share blocks.
+	as := g.EvalPartialPath(pLP("a"))
+	if ix.ClassOf(as[0]) != ix.ClassOf(as[1]) {
+		t.Fatal("bisimilar nodes in different blocks")
+	}
+}
+
+func pLP(s string) (p []string) { return []string{s} }

@@ -1,0 +1,215 @@
+// Package oneindex implements the 1-index of Milo and Suciu (ICDT 1999),
+// the second classical baseline the APEX paper discusses: the quotient of
+// the data graph under backward bisimulation. All members of a block have
+// exactly the same set of incoming label paths, so path evaluation on the
+// index graph is exact; on tree-structured data the 1-index coincides with
+// the strong DataGuide (Section 2).
+package oneindex
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"apex/internal/xmlgraph"
+)
+
+// Block is a bisimulation equivalence class.
+type Block struct {
+	ID      int
+	Members []xmlgraph.NID // sorted
+	out     map[string]map[int]bool
+}
+
+// OneIndex is the 1-index of one data graph.
+type OneIndex struct {
+	g      *xmlgraph.Graph
+	blocks []*Block
+	class  []int // nid -> block id
+	rootID int
+}
+
+// Build computes the coarsest backward bisimulation by naive signature
+// refinement: each round re-keys every node by its set of (label,
+// predecessor-class) pairs (the root is additionally marked) until the
+// partition stabilizes. This is O(rounds × edges × log) — not Paige-Tarjan,
+// but the experiments' graphs are comfortably within its reach and the
+// result is identical.
+func Build(g *xmlgraph.Graph) *OneIndex {
+	return build(g, true)
+}
+
+// BuildTwoIndex computes the 2-index of the same family: the quotient
+// under backward bisimulation *without* the root marker, so two nodes are
+// equivalent when they share the set of label paths reaching them from any
+// node. The 2-index answers path expressions anchored at arbitrary nodes
+// (the shape of //a//b's suffix legs) and is never finer than the 1-index.
+func BuildTwoIndex(g *xmlgraph.Graph) *OneIndex {
+	return build(g, false)
+}
+
+func build(g *xmlgraph.Graph, markRoot bool) *OneIndex {
+	n := g.NumNodes()
+	class := make([]int, n)
+	numClasses := 1
+	if markRoot {
+		// Round 0: split root from the rest to seed refinement.
+		class[g.Root()] = 1
+		numClasses = 2
+	}
+	for {
+		sigs := make(map[string]int)
+		next := make([]int, n)
+		for v := 0; v < n; v++ {
+			var parts []string
+			if markRoot && xmlgraph.NID(v) == g.Root() {
+				parts = append(parts, "\x01root")
+			}
+			for _, he := range g.In(xmlgraph.NID(v)) {
+				parts = append(parts, he.Label+"\x00"+fmt.Sprint(class[he.To]))
+			}
+			sort.Strings(parts)
+			// Bisimulation is set-based: two same-labeled predecessors in
+			// one class must count once, or we would over-refine.
+			parts = dedupeSorted(parts)
+			key := strings.Join(parts, "\x02")
+			id, ok := sigs[key]
+			if !ok {
+				id = len(sigs)
+				sigs[key] = id
+			}
+			next[v] = id
+		}
+		if len(sigs) == numClasses && samePartition(class, next) {
+			break
+		}
+		class, numClasses = next, len(sigs)
+	}
+
+	idx := &OneIndex{g: g, class: class}
+	blocks := make(map[int]*Block)
+	for v := 0; v < n; v++ {
+		b := blocks[class[v]]
+		if b == nil {
+			b = &Block{ID: class[v], out: make(map[string]map[int]bool)}
+			blocks[class[v]] = b
+		}
+		b.Members = append(b.Members, xmlgraph.NID(v))
+	}
+	// Renumber blocks densely in order of smallest member for stable IDs.
+	ids := make([]*Block, 0, len(blocks))
+	for _, b := range blocks {
+		sort.Slice(b.Members, func(i, j int) bool { return b.Members[i] < b.Members[j] })
+		ids = append(ids, b)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Members[0] < ids[j].Members[0] })
+	remap := make(map[int]int, len(ids))
+	for newID, b := range ids {
+		remap[b.ID] = newID
+		b.ID = newID
+	}
+	for v := range class {
+		class[v] = remap[class[v]]
+	}
+	idx.blocks = ids
+	idx.rootID = class[g.Root()]
+	// Index edges: Block(u) -l-> Block(v) for every data edge u -l-> v.
+	g.EachEdge(func(e xmlgraph.Edge) {
+		from := ids[class[e.From]]
+		s := from.out[e.Label]
+		if s == nil {
+			s = make(map[int]bool)
+			from.out[e.Label] = s
+		}
+		s[class[e.To]] = true
+	})
+	return idx
+}
+
+// dedupeSorted removes adjacent duplicates from a sorted slice, in place.
+func dedupeSorted(parts []string) []string {
+	out := parts[:0]
+	for i, p := range parts {
+		if i == 0 || p != parts[i-1] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// samePartition reports whether a and b induce the same grouping.
+func samePartition(a, b []int) bool {
+	fwd := make(map[int]int)
+	for i := range a {
+		if m, ok := fwd[a[i]]; ok {
+			if m != b[i] {
+				return false
+			}
+		} else {
+			fwd[a[i]] = b[i]
+		}
+	}
+	return true
+}
+
+// Graph returns the underlying data graph.
+func (ix *OneIndex) Graph() *xmlgraph.Graph { return ix.g }
+
+// NumNodes returns the number of blocks.
+func (ix *OneIndex) NumNodes() int { return len(ix.blocks) }
+
+// NumEdges returns the number of index edges (distinct (block, label,
+// block) triples).
+func (ix *OneIndex) NumEdges() int {
+	e := 0
+	for _, b := range ix.blocks {
+		for _, ts := range b.out {
+			e += len(ts)
+		}
+	}
+	return e
+}
+
+// ClassOf returns the block id of a data node.
+func (ix *OneIndex) ClassOf(v xmlgraph.NID) int { return ix.class[v] }
+
+// Block returns the block with the given id.
+func (ix *OneIndex) Block(id int) *Block { return ix.blocks[id] }
+
+// RootID returns the id of the root's block.
+func (ix *OneIndex) RootID() int { return ix.rootID }
+
+// OutEdges returns block id's outgoing (label, block) pairs, sorted.
+func (ix *OneIndex) OutEdges(id int) []SummaryEdge {
+	b := ix.blocks[id]
+	var res []SummaryEdge
+	for l, ts := range b.out {
+		for to := range ts {
+			res = append(res, SummaryEdge{Label: l, To: to})
+		}
+	}
+	sort.Slice(res, func(i, j int) bool {
+		if res[i].Label != res[j].Label {
+			return res[i].Label < res[j].Label
+		}
+		return res[i].To < res[j].To
+	})
+	return res
+}
+
+// SummaryEdge is a labeled edge between summary-graph node ids.
+type SummaryEdge struct {
+	Label string
+	To    int
+}
+
+// EachOutEdge visits block id's outgoing (label, block id) pairs in sorted
+// order; part of the summary-graph interface the query processor uses.
+func (ix *OneIndex) EachOutEdge(id int, fn func(label string, to int)) {
+	for _, e := range ix.OutEdges(id) {
+		fn(e.Label, e.To)
+	}
+}
+
+// Extent returns the members of block id.
+func (ix *OneIndex) Extent(id int) []xmlgraph.NID { return ix.blocks[id].Members }

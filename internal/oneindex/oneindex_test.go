@@ -1,0 +1,271 @@
+package oneindex
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"apex/internal/dataguide"
+	"apex/internal/xmlgraph"
+)
+
+func mustBuild(t *testing.T, doc string, opts *xmlgraph.BuildOptions) *xmlgraph.Graph {
+	t.Helper()
+	g, err := xmlgraph.BuildString(doc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPartitionIsDisjointCover(t *testing.T) {
+	g := mustBuild(t, `<r><a><b/></a><a><b/><c/></a></r>`, nil)
+	ix := Build(g)
+	seen := make(map[xmlgraph.NID]int)
+	for i := 0; i < ix.NumNodes(); i++ {
+		for _, m := range ix.Block(i).Members {
+			if prev, dup := seen[m]; dup {
+				t.Fatalf("node %d in blocks %d and %d", m, prev, i)
+			}
+			seen[m] = i
+		}
+	}
+	if len(seen) != g.NumNodes() {
+		t.Fatalf("partition covers %d of %d nodes", len(seen), g.NumNodes())
+	}
+}
+
+// incomingPathSet computes the set of incoming label paths of a node up to
+// maxLen (over simple traversals with a window bound, sufficient for the
+// small test graphs).
+func incomingPathSet(g *xmlgraph.Graph, v xmlgraph.NID, maxLen int) map[string]bool {
+	res := make(map[string]bool)
+	type state struct {
+		n    xmlgraph.NID
+		path string
+	}
+	var rec func(s state, depth int)
+	rec = func(s state, depth int) {
+		if depth >= maxLen {
+			return
+		}
+		for _, he := range g.In(s.n) {
+			p := he.Label
+			if s.path != "" {
+				p = he.Label + "." + s.path
+			}
+			if !res[p] {
+				res[p] = true
+				rec(state{he.To, p}, depth+1)
+			} else {
+				rec(state{he.To, p}, depth+1)
+			}
+		}
+	}
+	rec(state{v, ""}, 0)
+	return res
+}
+
+// Members of one block must share the same incoming label path language
+// (up to the test window).
+func TestBlocksShareIncomingPaths(t *testing.T) {
+	doc := `<db>
+	  <movie id="m1" director="d1"><title>T1</title></movie>
+	  <movie id="m2" director="d1"><title>T2</title></movie>
+	  <director id="d1" movie="m1"><name>N</name></director>
+	</db>`
+	g := mustBuild(t, doc, &xmlgraph.BuildOptions{IDREFAttrs: []string{"director", "movie"}})
+	ix := Build(g)
+	for i := 0; i < ix.NumNodes(); i++ {
+		b := ix.Block(i)
+		if len(b.Members) < 2 {
+			continue
+		}
+		ref := incomingPathSet(g, b.Members[0], 4)
+		for _, m := range b.Members[1:] {
+			got := incomingPathSet(g, m, 4)
+			if !reflect.DeepEqual(ref, got) {
+				t.Fatalf("block %d: members %d and %d have different path sets\n%v\n%v",
+					i, b.Members[0], m, ref, got)
+			}
+		}
+	}
+}
+
+// On tree data the 1-index coincides with the strong DataGuide (Section 2
+// of the APEX paper).
+func TestCoincidesWithDataGuideOnTrees(t *testing.T) {
+	docs := []string{
+		`<r><a><b/></a><a><c/></a><d><b/></d></r>`,
+		`<r><x><y><z/></y></x><x><y/></x></r>`,
+		`<play><act><scene><speech><line/><line/></speech></scene></act><act><scene/></act></play>`,
+	}
+	for _, doc := range docs {
+		g := mustBuild(t, doc, nil)
+		ix := Build(g)
+		dg := dataguide.Build(g)
+		// Node counts: DataGuide has a root node for {root}; 1-index has a
+		// block for the root too.
+		if ix.NumNodes() != dg.NumNodes() {
+			t.Fatalf("doc %q: 1-index %d blocks, DataGuide %d nodes", doc, ix.NumNodes(), dg.NumNodes())
+		}
+		// And the extents must agree path by path.
+		for _, p := range g.RootPaths(6) {
+			want := dg.LookupSimple(p, nil)
+			got := evalOnOneIndex(ix, p)
+			sortNIDs(want)
+			sortNIDs(got)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("doc %q path %s: 1x=%v dg=%v", doc, p, got, want)
+			}
+		}
+	}
+}
+
+func sortNIDs(ns []xmlgraph.NID) {
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+}
+
+// evalOnOneIndex navigates the (possibly nondeterministic) index graph.
+func evalOnOneIndex(ix *OneIndex, p xmlgraph.LabelPath) []xmlgraph.NID {
+	cur := map[int]bool{ix.RootID(): true}
+	for _, l := range p {
+		next := make(map[int]bool)
+		for id := range cur {
+			for _, e := range ix.OutEdges(id) {
+				if e.Label == l {
+					next[e.To] = true
+				}
+			}
+		}
+		cur = next
+	}
+	var res []xmlgraph.NID
+	for id := range cur {
+		res = append(res, ix.Extent(id)...)
+	}
+	return res
+}
+
+func TestRandomizedExactness(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 20; iter++ {
+		g := randomGraph(rng, 5+rng.Intn(20), rng.Intn(5), 3)
+		ix := Build(g)
+		for _, p := range g.RootPaths(5) {
+			got := evalOnOneIndex(ix, p)
+			want := g.EvalSimplePath(g.Root(), p)
+			sortNIDs(got)
+			sortNIDs(want)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("iter %d path %s: 1x=%v oracle=%v", iter, p, got, want)
+			}
+		}
+	}
+}
+
+func randomGraph(rng *rand.Rand, nodes, extra, labels int) *xmlgraph.Graph {
+	g := xmlgraph.NewGraph()
+	root := g.AddNode(xmlgraph.KindElement, "root", "")
+	g.SetRoot(root)
+	ids := []xmlgraph.NID{root}
+	lab := func() string { return string(rune('a' + rng.Intn(labels))) }
+	for i := 1; i < nodes; i++ {
+		n := g.AddNode(xmlgraph.KindElement, "e", "")
+		g.AddEdge(ids[rng.Intn(len(ids))], lab(), n)
+		ids = append(ids, n)
+	}
+	for i := 0; i < extra; i++ {
+		g.AddEdge(ids[rng.Intn(len(ids))], lab(), ids[rng.Intn(len(ids))])
+	}
+	return g
+}
+
+// The 2-index is never finer than the 1-index: dropping the root marker
+// can only coarsen the coarsest bisimulation.
+func TestTwoIndexCoarserThanOneIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for iter := 0; iter < 15; iter++ {
+		g := randomGraph(rng, 6+rng.Intn(20), rng.Intn(6), 3)
+		one := Build(g)
+		two := BuildTwoIndex(g)
+		if two.NumNodes() > one.NumNodes() {
+			t.Fatalf("iter %d: 2-index (%d) finer than 1-index (%d)", iter, two.NumNodes(), one.NumNodes())
+		}
+		// Every 2-index block must be a union of 1-index blocks.
+		for i := 0; i < one.NumNodes(); i++ {
+			b := one.Block(i)
+			cls := two.ClassOf(b.Members[0])
+			for _, m := range b.Members[1:] {
+				if two.ClassOf(m) != cls {
+					t.Fatalf("iter %d: 1-index block %d split across 2-index classes", iter, i)
+				}
+			}
+		}
+	}
+}
+
+// 2-index blocks share the same incoming path language from any start:
+// evaluate //p by seeding every class and compare against the oracle.
+func TestTwoIndexAnsweresFloatingPaths(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for iter := 0; iter < 15; iter++ {
+		g := randomGraph(rng, 6+rng.Intn(20), rng.Intn(5), 3)
+		two := BuildTwoIndex(g)
+		for _, p := range g.RootPaths(4) {
+			for s := 0; s < len(p); s++ {
+				q := p[s:]
+				got := evalFloating(two, q)
+				want := g.EvalPartialPath(q)
+				sortNIDs(got)
+				sortNIDs(want)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("iter %d //%s: 2x=%v oracle=%v", iter, q, got, want)
+				}
+			}
+		}
+	}
+}
+
+// evalFloating navigates the 2-index from every block.
+func evalFloating(ix *OneIndex, p xmlgraph.LabelPath) []xmlgraph.NID {
+	cur := map[int]bool{}
+	for i := 0; i < ix.NumNodes(); i++ {
+		cur[i] = true
+	}
+	for _, l := range p {
+		next := make(map[int]bool)
+		for id := range cur {
+			for _, e := range ix.OutEdges(id) {
+				if e.Label == l {
+					next[e.To] = true
+				}
+			}
+		}
+		cur = next
+	}
+	var res []xmlgraph.NID
+	seen := map[xmlgraph.NID]bool{}
+	for id := range cur {
+		for _, n := range ix.Extent(id) {
+			if !seen[n] {
+				seen[n] = true
+				res = append(res, n)
+			}
+		}
+	}
+	return res
+}
+
+// The 1-index never exceeds the data in size (unlike the DataGuide).
+func TestSizeBoundedByData(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 10; iter++ {
+		g := randomGraph(rng, 10+rng.Intn(30), rng.Intn(10), 2)
+		ix := Build(g)
+		if ix.NumNodes() > g.NumNodes() {
+			t.Fatalf("1-index larger than data: %d > %d", ix.NumNodes(), g.NumNodes())
+		}
+	}
+}

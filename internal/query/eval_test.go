@@ -1,0 +1,541 @@
+package query
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"apex/internal/core"
+	"apex/internal/dataguide"
+	"apex/internal/fabric"
+	"apex/internal/oneindex"
+	"apex/internal/storage"
+	"apex/internal/xmlgraph"
+)
+
+func movieGraph(t *testing.T) *xmlgraph.Graph {
+	t.Helper()
+	doc := `<MovieDB>
+	  <movie id="m1" director="d1"><title>Waterworld</title></movie>
+	  <movie id="m2" director="d2"><title>Postman</title></movie>
+	  <actor id="a1" movie="m1"><name>Kevin</name></actor>
+	  <actor id="a2" movie="m2"><name>Whitney</name></actor>
+	  <director id="d1" movie="m1"><name>Kevin</name></director>
+	  <director id="d2" movie="m2"><name>Other</name></director>
+	</MovieDB>`
+	g, err := xmlgraph.BuildString(doc, &xmlgraph.BuildOptions{
+		IDREFAttrs: []string{"director", "movie", "actor"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func playGraph(t *testing.T) *xmlgraph.Graph {
+	t.Helper()
+	doc := `<PLAY>
+	  <TITLE>Hamlet</TITLE>
+	  <ACT><SCENE><SPEECH><SPEAKER>HAMLET</SPEAKER><LINE>To be</LINE><LINE>or not</LINE></SPEECH></SCENE></ACT>
+	  <ACT><SCENE><SPEECH><SPEAKER>GHOST</SPEAKER><LINE>Mark me</LINE></SPEECH></SCENE>
+	       <SCENE><SPEECH><SPEAKER>HAMLET</SPEAKER><LINE>Where</LINE></SPEECH></SCENE></ACT>
+	</PLAY>`
+	g, err := xmlgraph.BuildString(doc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// evaluators builds the full comparator set over one graph and workload.
+func evaluators(t *testing.T, g *xmlgraph.Graph, workload []xmlgraph.LabelPath, minSup float64) []Evaluator {
+	t.Helper()
+	dt, err := storage.BuildDataTable(g, 0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap := NewAPEXEvaluator(core.BuildAPEX(g, workload, minSup), dt)
+	ap0 := NewAPEXEvaluator(core.BuildAPEX0(g), dt)
+	ap0name := &renamed{ap0, "APEX0"}
+	sdg := NewSummaryEvaluator("SDG", dataguide.Build(g), g, dt)
+	oix := NewSummaryEvaluator("1-index", oneindex.Build(g), g, dt)
+	return []Evaluator{ap, ap0name, sdg, oix}
+}
+
+type renamed struct {
+	Evaluator
+	name string
+}
+
+func (r *renamed) Name() string { return r.name }
+
+func nidsEqual(a, b []xmlgraph.NID) bool {
+	if len(a) == 0 && len(b) == 0 {
+		return true
+	}
+	return reflect.DeepEqual(a, b)
+}
+
+func checkQ1(t *testing.T, g *xmlgraph.Graph, evals []Evaluator, qs []string) {
+	t.Helper()
+	for _, s := range qs {
+		q := MustParse(s)
+		want := g.EvalPartialPath(q.Path)
+		for _, e := range evals {
+			got, err := e.Evaluate(q)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", e.Name(), s, err)
+			}
+			if !nidsEqual(got, want) {
+				t.Fatalf("%s on %s: got %v want %v", e.Name(), s, got, want)
+			}
+		}
+	}
+}
+
+func TestQ1EquivalenceMovieDB(t *testing.T) {
+	g := movieGraph(t)
+	w := []xmlgraph.LabelPath{
+		xmlgraph.ParseLabelPath("movie.title"),
+		xmlgraph.ParseLabelPath("movie.title"),
+		xmlgraph.ParseLabelPath("actor.name"),
+	}
+	evals := evaluators(t, g, w, 0.5)
+	checkQ1(t, g, evals, []string{
+		"//movie/title",
+		"//actor/name",
+		"//name",
+		"//title",
+		"//movie/@director=>director/name",
+		"//director/@movie=>movie/title",
+		"//actor/@movie=>movie/@director=>director/name",
+		"//nosuch",
+		"//movie/nosuch",
+	})
+}
+
+func TestQ1EquivalencePlay(t *testing.T) {
+	g := playGraph(t)
+	w := []xmlgraph.LabelPath{
+		xmlgraph.ParseLabelPath("SPEECH.LINE"),
+		xmlgraph.ParseLabelPath("SPEECH.LINE"),
+	}
+	evals := evaluators(t, g, w, 0.5)
+	checkQ1(t, g, evals, []string{
+		"//PLAY/TITLE", "//LINE", "//SCENE/SPEECH/LINE", "//ACT/SCENE",
+		"//SPEECH/SPEAKER", "//ACT/SCENE/SPEECH/LINE",
+	})
+}
+
+func TestQ2Equivalence(t *testing.T) {
+	g := playGraph(t)
+	evals := evaluators(t, g, nil, 0.5)
+	for _, pair := range [][2]string{
+		{"ACT", "LINE"}, {"PLAY", "SPEAKER"}, {"SCENE", "LINE"},
+		{"ACT", "ACT"}, {"LINE", "ACT"},
+	} {
+		want := g.EvalDescendantPair(pair[0], pair[1], true)
+		q := Query{Type: QTYPE2, Path: xmlgraph.LabelPath{pair[0], pair[1]}}
+		for _, e := range evals {
+			got, err := e.Evaluate(q)
+			if err != nil {
+				t.Fatalf("%s //%s//%s: %v", e.Name(), pair[0], pair[1], err)
+			}
+			if !nidsEqual(got, want) {
+				t.Fatalf("%s //%s//%s: got %v want %v", e.Name(), pair[0], pair[1], got, want)
+			}
+		}
+	}
+}
+
+func TestQ2EquivalenceCyclicGraph(t *testing.T) {
+	g := movieGraph(t)
+	evals := evaluators(t, g, nil, 0.5)
+	for _, pair := range [][2]string{
+		{"movie", "title"}, {"actor", "name"}, {"movie", "name"}, {"MovieDB", "title"},
+	} {
+		want := g.EvalDescendantPair(pair[0], pair[1], true)
+		q := Query{Type: QTYPE2, Path: xmlgraph.LabelPath{pair[0], pair[1]}}
+		for _, e := range evals {
+			got, err := e.Evaluate(q)
+			if err != nil {
+				t.Fatalf("%s: %v", e.Name(), err)
+			}
+			if !nidsEqual(got, want) {
+				t.Fatalf("%s //%s//%s: got %v want %v", e.Name(), pair[0], pair[1], got, want)
+			}
+		}
+	}
+}
+
+func q3Oracle(g *xmlgraph.Graph, p xmlgraph.LabelPath, value string) []xmlgraph.NID {
+	var res []xmlgraph.NID
+	for _, n := range g.EvalPartialPath(p) {
+		if g.Value(n) == value {
+			res = append(res, n)
+		}
+	}
+	return res
+}
+
+func TestQ3Equivalence(t *testing.T) {
+	g := movieGraph(t)
+	dt, err := storage.BuildDataTable(g, 0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evals := evaluators(t, g, []xmlgraph.LabelPath{xmlgraph.ParseLabelPath("movie.title")}, 0.5)
+	evals = append(evals, NewFabricEvaluator(fabric.Build(g, nil)))
+	_ = dt
+	cases := []struct{ q string }{
+		{`//movie/title[text()="Waterworld"]`},
+		{`//title[text()="Postman"]`},
+		{`//name[text()="Kevin"]`},
+		{`//actor/name[text()="Kevin"]`},
+		{`//name[text()="Nobody"]`},
+	}
+	for _, c := range cases {
+		q := MustParse(c.q)
+		want := q3Oracle(g, q.Path, q.Value)
+		for _, e := range evals {
+			got, err := e.Evaluate(q)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", e.Name(), c.q, err)
+			}
+			if !nidsEqual(got, want) {
+				t.Fatalf("%s on %s: got %v want %v", e.Name(), c.q, got, want)
+			}
+		}
+	}
+}
+
+func TestFabricRejectsQ1Q2(t *testing.T) {
+	g := movieGraph(t)
+	fe := NewFabricEvaluator(fabric.Build(g, nil))
+	if _, err := fe.Evaluate(MustParse("//movie/title")); err == nil {
+		t.Fatal("fabric should reject QTYPE1")
+	}
+	if _, err := fe.Evaluate(Query{Type: QTYPE2, Path: xmlgraph.LabelPath{"a", "b"}}); err == nil {
+		t.Fatal("fabric should reject QTYPE2")
+	}
+}
+
+func TestAPEXFastPathUsesNoJoins(t *testing.T) {
+	g := movieGraph(t)
+	w := []xmlgraph.LabelPath{
+		xmlgraph.ParseLabelPath("actor.name"),
+		xmlgraph.ParseLabelPath("actor.name"),
+	}
+	e := NewAPEXEvaluator(core.BuildAPEX(g, w, 0.5), nil)
+	e.EvalPath(xmlgraph.ParseLabelPath("actor.name"))
+	if c := e.Cost(); c.JoinProbes != 0 {
+		t.Fatalf("required-path query joined: %+v", c)
+	}
+	// The same query on APEX0 must join.
+	e0 := NewAPEXEvaluator(core.BuildAPEX0(g), nil)
+	e0.EvalPath(xmlgraph.ParseLabelPath("actor.name"))
+	if c := e0.Cost(); c.JoinProbes == 0 {
+		t.Fatalf("APEX0 two-label query should join: %+v", c)
+	}
+}
+
+func TestAPEXCheaperThanSDGOnPartialMatch(t *testing.T) {
+	g := movieGraph(t)
+	w := []xmlgraph.LabelPath{
+		xmlgraph.ParseLabelPath("actor.name"),
+		xmlgraph.ParseLabelPath("actor.name"),
+	}
+	dt, _ := storage.BuildDataTable(g, 0, 16)
+	ap := NewAPEXEvaluator(core.BuildAPEX(g, w, 0.5), dt)
+	sdg := NewSummaryEvaluator("SDG", dataguide.Build(g), g, dt)
+	p := xmlgraph.ParseLabelPath("actor.name")
+	ap.EvalPath(p)
+	sdg.EvalPath(p)
+	if ap.Cost().Total() >= sdg.Cost().Total() {
+		t.Fatalf("APEX %d not cheaper than SDG %d on workload query",
+			ap.Cost().Total(), sdg.Cost().Total())
+	}
+}
+
+func TestRandomizedEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	labels := []string{"a", "b", "c", "d"}
+	for iter := 0; iter < 15; iter++ {
+		g := xmlgraph.NewGraph()
+		root := g.AddNode(xmlgraph.KindElement, "root", "")
+		g.SetRoot(root)
+		ids := []xmlgraph.NID{root}
+		for i := 1; i < 6+rng.Intn(25); i++ {
+			n := g.AddNode(xmlgraph.KindElement, "e", "")
+			g.AddEdge(ids[rng.Intn(len(ids))], labels[rng.Intn(len(labels))], n)
+			ids = append(ids, n)
+		}
+		// Cross edges model IDREF references: '@'-labeled, like real XML
+		// graphs, where cycles only arise through references.
+		for i := 0; i < rng.Intn(6); i++ {
+			g.AddEdge(ids[rng.Intn(len(ids))], "@"+labels[rng.Intn(len(labels))], ids[rng.Intn(len(ids))])
+		}
+		roots := g.RootPaths(4)
+		var w []xmlgraph.LabelPath
+		for i := 0; i < 6 && len(roots) > 0; i++ {
+			p := roots[rng.Intn(len(roots))]
+			s := rng.Intn(len(p))
+			w = append(w, p[s:s+1+rng.Intn(len(p)-s)])
+		}
+		evals := evaluators(t, g, w, 0.3)
+		// QTYPE1 queries: random subpaths.
+		for i := 0; i < 10 && len(roots) > 0; i++ {
+			p := roots[rng.Intn(len(roots))]
+			s := rng.Intn(len(p))
+			sub := p[s : s+1+rng.Intn(len(p)-s)]
+			want := g.EvalPartialPath(sub)
+			for _, e := range evals {
+				got, err := e.Evaluate(Query{Type: QTYPE1, Path: sub})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !nidsEqual(got, want) {
+					t.Fatalf("iter %d %s //%s: got %v want %v", iter, e.Name(), sub, got, want)
+				}
+			}
+		}
+		// QTYPE2 queries: random label pairs.
+		for i := 0; i < 6; i++ {
+			a, b := labels[rng.Intn(len(labels))], labels[rng.Intn(len(labels))]
+			want := g.EvalDescendantPair(a, b, true)
+			for _, e := range evals {
+				got, err := e.Evaluate(Query{Type: QTYPE2, Path: xmlgraph.LabelPath{a, b}})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !nidsEqual(got, want) {
+					t.Fatalf("iter %d %s //%s//%s: got %v want %v", iter, e.Name(), a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestEvaluatorMetadata(t *testing.T) {
+	g := movieGraph(t)
+	dt, _ := storage.BuildDataTable(g, 0, 16)
+	evs := []Evaluator{
+		NewAPEXEvaluator(core.BuildAPEX0(g), dt),
+		NewSummaryEvaluator("SDG", dataguide.Build(g), g, dt),
+		NewFabricEvaluator(fabric.Build(g, nil)),
+	}
+	wantNames := []string{"APEX", "SDG", "Fabric"}
+	for i, e := range evs {
+		if e.Name() != wantNames[i] {
+			t.Fatalf("Name = %q, want %q", e.Name(), wantNames[i])
+		}
+		if e.Cost() == nil {
+			t.Fatal("nil cost")
+		}
+		e.ResetCost()
+		if e.Cost().Queries != 0 {
+			t.Fatal("reset failed")
+		}
+	}
+	// Unknown query types are rejected everywhere.
+	bad := Query{Type: Type(9)}
+	for _, e := range evs[:2] {
+		if _, err := e.Evaluate(bad); err == nil {
+			t.Fatalf("%s accepted bad type", e.Name())
+		}
+	}
+	// QTYPE3 without a data table is an error for APEX and SDG.
+	noDT := []Evaluator{
+		NewAPEXEvaluator(core.BuildAPEX0(g), nil),
+		NewSummaryEvaluator("SDG", dataguide.Build(g), g, nil),
+	}
+	q3 := MustParse(`//title[text()="Waterworld"]`)
+	for _, e := range noDT {
+		if _, err := e.Evaluate(q3); err == nil {
+			t.Fatalf("%s accepted QTYPE3 without data table", e.Name())
+		}
+	}
+}
+
+func TestWeightedCost(t *testing.T) {
+	c := Cost{DataLookups: 2, BlockReads: 3, TrieNodes: 5}
+	if c.PageIO() != 5 {
+		t.Fatalf("PageIO = %d", c.PageIO())
+	}
+	want := c.Total() + (PageIOWeight-1)*5
+	if c.WeightedTotal() != want {
+		t.Fatalf("WeightedTotal = %d, want %d", c.WeightedTotal(), want)
+	}
+}
+
+func TestSummaryProductQ2MatchesRewriting(t *testing.T) {
+	g := movieGraph(t)
+	for _, pair := range [][2]string{{"movie", "title"}, {"actor", "name"}, {"MovieDB", "name"}} {
+		a := NewSummaryEvaluator("SDG", dataguide.Build(g), g, nil)
+		b := NewSummaryEvaluator("SDG", dataguide.Build(g), g, nil)
+		b.UseProductQ2 = true
+		ra := a.EvalPair(pair[0], pair[1])
+		rb := b.EvalPair(pair[0], pair[1])
+		if !nidsEqual(ra, rb) {
+			t.Fatalf("//%s//%s: rewriting %v vs product %v", pair[0], pair[1], ra, rb)
+		}
+	}
+}
+
+func TestFabricRootedLookup(t *testing.T) {
+	g := movieGraph(t)
+	fe := NewFabricEvaluator(fabric.Build(g, nil))
+	// Root label paths start at the root's outgoing edges (Definition 2),
+	// so the full path to a title is movie.title.
+	got := fe.EvalRootedPathValue(xmlgraph.ParseLabelPath("movie.title"), "Waterworld")
+	if len(got) != 1 || g.Value(got[0]) != "Waterworld" {
+		t.Fatalf("rooted lookup = %v", got)
+	}
+	if fe.Cost().TrieNodes == 0 {
+		t.Fatal("cost not tracked")
+	}
+	if got := fe.EvalRootedPathValue(xmlgraph.ParseLabelPath("title"), "Waterworld"); len(got) != 0 {
+		t.Fatalf("partial path matched a rooted search: %v", got)
+	}
+}
+
+func TestTwoIndexStartAnywhere(t *testing.T) {
+	g := movieGraph(t)
+	two := oneindex.BuildTwoIndex(g)
+	ev := NewSummaryEvaluator("2-index", two, g, nil)
+	ev.StartAnywhere = true
+	for _, s := range []string{"//movie/title", "//actor/name", "//name", "//@movie=>movie/title"} {
+		q := MustParse(s)
+		got, err := ev.Evaluate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := g.EvalPartialPath(q.Path)
+		if !nidsEqual(got, want) {
+			t.Fatalf("2-index on %s: got %v want %v", s, got, want)
+		}
+	}
+}
+
+func TestQMixedEquivalence(t *testing.T) {
+	g := playGraph(t)
+	evals := evaluators(t, g, nil, 0.5)
+	queries := []string{
+		"//PLAY//SPEECH/LINE",
+		"//ACT/SCENE//LINE",
+		"//PLAY//SCENE//SPEAKER",
+		"//ACT//SPEECH/SPEAKER",
+		"//PLAY/ACT//SPEECH//LINE",
+	}
+	for _, s := range queries {
+		q := MustParse(s)
+		if q.Type != QMIXED {
+			t.Fatalf("%s parsed as %v", s, q.Type)
+		}
+		want := g.EvalMixed(q.Segments, true)
+		for _, e := range evals {
+			got, err := e.Evaluate(q)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", e.Name(), s, err)
+			}
+			if !nidsEqual(got, want) {
+				t.Fatalf("%s on %s: got %v want %v", e.Name(), s, got, want)
+			}
+		}
+	}
+}
+
+func TestQMixedEquivalenceCyclic(t *testing.T) {
+	g := movieGraph(t)
+	evals := evaluators(t, g, []xmlgraph.LabelPath{xmlgraph.ParseLabelPath("actor.name")}, 0.5)
+	nonEmpty := 0
+	for _, s := range []string{
+		"//actor/@movie=>movie//title",
+		"//director/@movie=>movie//title",
+		"//movie//@id/x", // attribute mid-segment: gap ends at @id, then no x
+		"//actor//@movie=>movie/title",
+		// Gap anchored at an '@' label: the leg must cross the reference
+		// edge before descending (regression for the depth+1 truncation).
+		"//actor/@movie//title",
+		"//MovieDB/actor/@movie//title",
+	} {
+		q := MustParse(s)
+		if q.Type != QMIXED {
+			t.Fatalf("%s parsed as %v", s, q.Type)
+		}
+		want := g.EvalMixed(q.Segments, true)
+		if len(want) > 0 {
+			nonEmpty++
+		}
+		for _, e := range evals {
+			got, err := e.Evaluate(q)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", e.Name(), s, err)
+			}
+			if !nidsEqual(got, want) {
+				t.Fatalf("%s on %s: got %v want %v", e.Name(), s, got, want)
+			}
+		}
+	}
+	if nonEmpty == 0 {
+		t.Fatal("every cyclic QMIXED query was vacuously empty")
+	}
+}
+
+func TestQMixedRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	labels := []string{"a", "b", "c"}
+	for iter := 0; iter < 10; iter++ {
+		g := xmlgraph.NewGraph()
+		root := g.AddNode(xmlgraph.KindElement, "root", "")
+		g.SetRoot(root)
+		ids := []xmlgraph.NID{root}
+		for i := 1; i < 8+rng.Intn(20); i++ {
+			n := g.AddNode(xmlgraph.KindElement, "e", "")
+			g.AddEdge(ids[rng.Intn(len(ids))], labels[rng.Intn(len(labels))], n)
+			ids = append(ids, n)
+		}
+		for i := 0; i < rng.Intn(4); i++ {
+			g.AddEdge(ids[rng.Intn(len(ids))], "@"+labels[rng.Intn(len(labels))], ids[rng.Intn(len(ids))])
+		}
+		evals := evaluators(t, g, nil, 0.5)
+		for i := 0; i < 8; i++ {
+			nseg := 2 + rng.Intn(2)
+			var segs []xmlgraph.LabelPath
+			for s := 0; s < nseg; s++ {
+				seg := xmlgraph.LabelPath{labels[rng.Intn(3)]}
+				if rng.Intn(2) == 0 {
+					seg = append(seg, labels[rng.Intn(3)])
+				}
+				segs = append(segs, seg)
+			}
+			q := Query{Type: QMIXED, Segments: segs}
+			want := g.EvalMixed(segs, true)
+			for _, e := range evals {
+				got, err := e.Evaluate(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !nidsEqual(got, want) {
+					t.Fatalf("iter %d %s on %s: got %v want %v", iter, e.Name(), q, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestResultsInDocumentOrder(t *testing.T) {
+	g := playGraph(t)
+	evals := evaluators(t, g, nil, 0.5)
+	for _, e := range evals {
+		got, err := e.Evaluate(MustParse("//LINE"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(got); i++ {
+			if g.Node(got[i-1]).Order >= g.Node(got[i]).Order {
+				t.Fatalf("%s results out of document order: %v", e.Name(), got)
+			}
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package query
+
+import (
+	"fmt"
+
+	"apex/internal/fabric"
+	"apex/internal/xmlgraph"
+)
+
+// FabricEvaluator answers QTYPE3 queries over the Index Fabric. QTYPE1 and
+// QTYPE2 are unsupported: the fabric "does not keep the information of XML
+// elements which do not have data values" (Section 2), which is exactly why
+// the paper compares it on QTYPE3 only.
+type FabricEvaluator struct {
+	f    *fabric.Fabric
+	cost Cost
+
+	// UsePathLayer switches partial matching from the paper's whole-trie
+	// traversal to probing the distinct-path layer (ablation only; the
+	// 2002 system traversed the whole structure, Section 6.2).
+	UsePathLayer bool
+}
+
+// NewFabricEvaluator wires an evaluator over a built fabric.
+func NewFabricEvaluator(f *fabric.Fabric) *FabricEvaluator {
+	return &FabricEvaluator{f: f}
+}
+
+// Name implements Evaluator.
+func (e *FabricEvaluator) Name() string { return "Fabric" }
+
+// Cost implements Evaluator.
+func (e *FabricEvaluator) Cost() *Cost { return &e.cost }
+
+// ResetCost implements Evaluator.
+func (e *FabricEvaluator) ResetCost() { e.cost = Cost{} }
+
+// Evaluate implements Evaluator.
+func (e *FabricEvaluator) Evaluate(q Query) ([]xmlgraph.NID, error) {
+	if q.Type != QTYPE3 {
+		return nil, fmt.Errorf("fabric: only QTYPE3 is supported, got %v", q.Type)
+	}
+	return e.EvalPathValue(q.Path, q.Value), nil
+}
+
+// EvalPathValue answers //p…[text()=value]. Partial-matching searches scan
+// the whole trie and validate every leaf; the answer comes entirely from
+// the index (no data-table I/O), the trade-off Figure 15 explores.
+func (e *FabricEvaluator) EvalPathValue(p xmlgraph.LabelPath, value string) []xmlgraph.NID {
+	e.cost.Queries++
+	var fc fabric.Cost
+	var res []xmlgraph.NID
+	if e.UsePathLayer {
+		res = e.f.PartialScan(p, value, &fc)
+	} else {
+		res = e.f.PartialScanFull(p, value, &fc)
+	}
+	e.cost.TrieNodes += fc.TrieNodes
+	e.cost.LeafValidations += fc.LeafValidations
+	e.cost.BlockReads += fc.BlockReads
+	e.cost.ResultNodes += int64(len(res))
+	return res
+}
+
+// EvalRootedPathValue answers a root-anchored path+value query with a
+// single key search — the fabric's fast case, used by the ablation bench.
+func (e *FabricEvaluator) EvalRootedPathValue(p xmlgraph.LabelPath, value string) []xmlgraph.NID {
+	e.cost.Queries++
+	var fc fabric.Cost
+	res := e.f.ExactSearch(p, value, &fc)
+	e.cost.TrieNodes += fc.TrieNodes
+	e.cost.LeafValidations += fc.LeafValidations
+	e.cost.BlockReads += fc.BlockReads
+	e.cost.ResultNodes += int64(len(res))
+	return res
+}

@@ -1,0 +1,37 @@
+package query
+
+import "testing"
+
+// FuzzParse checks the parser never panics and that successful parses
+// round-trip: rendering the parsed query and re-parsing yields the same
+// rendering (String∘Parse is idempotent).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"//a", "//a/b/c", "//a//b", "//a/b//c/d//e",
+		`//a/b[text()="v"]`, "//movie/@actor=>actor/name",
+		"//", "///", "//a/", "a/b", `//a[text()="x/y"]`,
+		"//a//b//c", "//@x=>y", "//a/b=>c",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		q, err := Parse(s)
+		if err != nil {
+			return
+		}
+		rendered := q.String()
+		q2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q): %v", rendered, s, err)
+		}
+		if q2.String() != rendered {
+			t.Fatalf("render not idempotent: %q -> %q", rendered, q2.String())
+		}
+		if q.Type != q2.Type && !(q.Type == QMIXED && q2.Type == QTYPE2) {
+			// A QMIXED query of two single-label segments renders to the
+			// QTYPE2 syntax; anything else must keep its type.
+			t.Fatalf("type drift: %v -> %v for %q", q.Type, q2.Type, s)
+		}
+	})
+}

@@ -1,0 +1,147 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"apex/internal/xmlgraph"
+)
+
+func TestParseQTYPE1(t *testing.T) {
+	q, err := Parse("//actor/name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Type != QTYPE1 || q.Path.String() != "actor.name" {
+		t.Fatalf("parsed %+v", q)
+	}
+	if q.String() != "//actor/name" {
+		t.Fatalf("String = %q", q.String())
+	}
+}
+
+func TestParseDereference(t *testing.T) {
+	q, err := Parse("//movie/@actor=>actor/name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Path.String() != "movie.@actor.actor.name" {
+		t.Fatalf("path = %s", q.Path)
+	}
+	if got := q.String(); got != "//movie/@actor=>actor/name" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestParseQTYPE2(t *testing.T) {
+	q, err := Parse("//act//line")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Type != QTYPE2 || q.Path[0] != "act" || q.Path[1] != "line" {
+		t.Fatalf("parsed %+v", q)
+	}
+	if q.String() != "//act//line" {
+		t.Fatalf("String = %q", q.String())
+	}
+}
+
+func TestParseQTYPE3(t *testing.T) {
+	q, err := Parse(`//movie/title[text()="Waterworld"]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Type != QTYPE3 || q.Value != "Waterworld" || q.Path.String() != "movie.title" {
+		t.Fatalf("parsed %+v", q)
+	}
+	if q.String() != `//movie/title[text()="Waterworld"]` {
+		t.Fatalf("String = %q", q.String())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"actor/name",           // missing //
+		"//",                   // empty path
+		"//a/",                 // trailing empty step
+		"//a[text()=v]",        // malformed predicate
+		"//a//b[text()=\"v\"]", // predicate on a multi-segment query
+		"//a/=>b",              // dangling dereference
+		"//a/b=>c",             // => after non-attribute
+		"//a////b",             // empty segment
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+func TestParseQMixed(t *testing.T) {
+	q, err := Parse("//act/scene//speech/line//word")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Type != QMIXED || len(q.Segments) != 3 {
+		t.Fatalf("parsed %+v", q)
+	}
+	if q.Segments[0].String() != "act.scene" || q.Segments[2].String() != "word" {
+		t.Fatalf("segments = %v", q.Segments)
+	}
+	if q.String() != "//act/scene//speech/line//word" {
+		t.Fatalf("String = %q", q.String())
+	}
+	// A two-segment query with a multi-label side is QMIXED, not QTYPE2.
+	q, err = Parse("//a//b/c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Type != QMIXED || len(q.Segments) != 2 {
+		t.Fatalf("parsed %+v", q)
+	}
+	if q.String() != "//a//b/c" {
+		t.Fatalf("String = %q", q.String())
+	}
+}
+
+func TestParseValueWithSlash(t *testing.T) {
+	q, err := Parse(`//e[text()="a/b"]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Value != "a/b" || q.Path.String() != "e" {
+		t.Fatalf("parsed %+v", q)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if QTYPE1.String() != "QTYPE1" || QTYPE2.String() != "QTYPE2" || QTYPE3.String() != "QTYPE3" {
+		t.Fatal("Type.String broken")
+	}
+	if !strings.Contains(Type(9).String(), "9") {
+		t.Fatal("unknown type rendering")
+	}
+}
+
+func TestCostTotalAndString(t *testing.T) {
+	c := Cost{HashLookups: 1, IndexEdgeLookups: 2, ExtentEdges: 3, JoinProbes: 4,
+		DataLookups: 5, TrieNodes: 6, LeafValidations: 7, BlockReads: 8}
+	if c.Total() != 36 {
+		t.Fatalf("Total = %d", c.Total())
+	}
+	if !strings.Contains(c.String(), "total=36") {
+		t.Fatalf("String = %q", c.String())
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse should panic on bad input")
+		}
+	}()
+	MustParse("not a query")
+}
+
+var _ = xmlgraph.NullNID

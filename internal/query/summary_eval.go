@@ -1,0 +1,409 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"apex/internal/storage"
+	"apex/internal/xmlgraph"
+)
+
+// Summary is the structural-summary surface shared by the strong DataGuide
+// and the 1-index: a rooted, labeled graph of summary nodes whose extents
+// are data-node sets, exact for root label paths.
+type Summary interface {
+	RootID() int
+	NumNodes() int
+	EachOutEdge(id int, fn func(label string, to int))
+	Extent(id int) []xmlgraph.NID
+}
+
+// SummaryEvaluator evaluates workload queries over a Summary the way the
+// paper describes for the strong DataGuide: partial-matching queries are
+// resolved by exhaustive navigation of the index from the root — a product
+// of the summary graph with a pattern automaton — whose cost grows with the
+// summary size (the inefficiency Figures 13 and 14 show on irregular data).
+type SummaryEvaluator struct {
+	name string
+	s    Summary
+	g    *xmlgraph.Graph
+	dt   *storage.DataTable
+	cost Cost
+
+	// UseProductQ2 switches QTYPE2 from the paper's rewriting procedure to
+	// the linear summary×automaton product (ablation only).
+	UseProductQ2 bool
+	// StartAnywhere seeds traversals at every summary node instead of the
+	// root. Required when evaluating over a 2-index, whose classes are
+	// exact for arbitrarily-anchored paths but not for root-anchored
+	// navigation.
+	StartAnywhere bool
+}
+
+// NewSummaryEvaluator wires an evaluator; name is used in reports ("SDG",
+// "1-index"). dt may be nil if QTYPE3 is not used.
+func NewSummaryEvaluator(name string, s Summary, g *xmlgraph.Graph, dt *storage.DataTable) *SummaryEvaluator {
+	return &SummaryEvaluator{name: name, s: s, g: g, dt: dt}
+}
+
+// Name implements Evaluator.
+func (e *SummaryEvaluator) Name() string { return e.name }
+
+// Cost implements Evaluator.
+func (e *SummaryEvaluator) Cost() *Cost { return &e.cost }
+
+// ResetCost implements Evaluator.
+func (e *SummaryEvaluator) ResetCost() { e.cost = Cost{} }
+
+// Evaluate implements Evaluator.
+func (e *SummaryEvaluator) Evaluate(q Query) ([]xmlgraph.NID, error) {
+	switch q.Type {
+	case QTYPE1:
+		return e.EvalPath(q.Path), nil
+	case QTYPE2:
+		return e.EvalPair(q.Path[0], q.Path[1]), nil
+	case QTYPE3:
+		if e.dt == nil {
+			return nil, fmt.Errorf("%s: QTYPE3 requires a data table", e.name)
+		}
+		return e.EvalPathValue(q.Path, q.Value), nil
+	case QMIXED:
+		return e.EvalMixed(q.Segments), nil
+	default:
+		return nil, fmt.Errorf("%s: unsupported query type %v", e.name, q.Type)
+	}
+}
+
+// EvalMixed answers //s1//…//sn with a product of the summary and the
+// pattern's NFA: gap states loop over (non-reference) labels, segment
+// states advance label by label, and completing the final segment accepts
+// the target's extent. Each (summary node, NFA state) pair is visited once,
+// so the evaluation is linear in the summary size times the pattern size.
+func (e *SummaryEvaluator) EvalMixed(segments []xmlgraph.LabelPath) []xmlgraph.NID {
+	e.cost.Queries++
+	if len(segments) == 0 {
+		return nil
+	}
+	// NFA states: gap(i) = segments[:i+1] matched, scanning for the next
+	// segment (gap(-1)... encoded as i; gap(0) is the leading context and
+	// admits reference edges); seg(i,j) = j labels of segment i matched.
+	type nfa struct {
+		i, j int // segment index and matched position (gap: j == -1)
+		gap  bool
+	}
+	type state struct {
+		node int
+		s    nfa
+	}
+	res := make(map[xmlgraph.NID]bool)
+	var queue []state
+	seen := map[state]bool{}
+	push := func(st state) {
+		if !seen[st] {
+			seen[st] = true
+			queue = append(queue, st)
+		}
+	}
+	var seed []int
+	if e.StartAnywhere {
+		for i := 0; i < e.s.NumNodes(); i++ {
+			seed = append(seed, i)
+		}
+	} else {
+		seed = []int{e.s.RootID()}
+	}
+	for _, n := range seed {
+		push(state{n, nfa{i: 0, j: -1, gap: true}})
+	}
+	accept := func(to int) {
+		ext := e.s.Extent(to)
+		e.cost.ExtentEdges += int64(len(ext))
+		for _, n := range ext {
+			res[n] = true
+		}
+	}
+	for len(queue) > 0 {
+		st := queue[0]
+		queue = queue[1:]
+		e.s.EachOutEdge(st.node, func(label string, to int) {
+			e.cost.IndexEdgeLookups++
+			if st.s.gap {
+				segIdx := st.s.i
+				// The leading context admits anything; later gaps are
+				// reference-free descendant closures.
+				if segIdx == 0 || !strings.HasPrefix(label, "@") {
+					push(state{to, st.s})
+				}
+				if label == segments[segIdx][0] {
+					if len(segments[segIdx]) == 1 {
+						if segIdx == len(segments)-1 {
+							accept(to)
+						} else {
+							push(state{to, nfa{i: segIdx + 1, j: -1, gap: true}})
+						}
+					} else {
+						push(state{to, nfa{i: segIdx, j: 1}})
+					}
+				}
+				return
+			}
+			// In-segment: only the next label advances.
+			if label != segments[st.s.i][st.s.j] {
+				return
+			}
+			if st.s.j+1 == len(segments[st.s.i]) {
+				if st.s.i == len(segments)-1 {
+					accept(to)
+				} else {
+					push(state{to, nfa{i: st.s.i + 1, j: -1, gap: true}})
+				}
+				return
+			}
+			push(state{to, nfa{i: st.s.i, j: st.s.j + 1}})
+		})
+	}
+	out := make([]xmlgraph.NID, 0, len(res))
+	for n := range res {
+		out = append(out, n)
+	}
+	e.g.SortByDocumentOrder(out)
+	e.cost.ResultNodes += int64(len(out))
+	return out
+}
+
+// kmpAutomaton builds the deterministic "ends with p" matcher: state k
+// means the last k labels read are p[:k]; reading label l moves to the
+// longest p-prefix that remains a suffix.
+type kmpAutomaton struct {
+	p    xmlgraph.LabelPath
+	fail []int
+}
+
+func newKMP(p xmlgraph.LabelPath) *kmpAutomaton {
+	fail := make([]int, len(p)+1)
+	for i := 1; i < len(p); i++ {
+		k := fail[i]
+		for k > 0 && p[i] != p[k] {
+			k = fail[k]
+		}
+		if p[i] == p[k] {
+			k++
+		}
+		fail[i+1] = k
+	}
+	return &kmpAutomaton{p: p, fail: fail}
+}
+
+// step advances from state k over label l.
+func (a *kmpAutomaton) step(k int, l string) int {
+	if k == len(a.p) {
+		k = a.fail[k]
+	}
+	for k > 0 && a.p[k] != l {
+		k = a.fail[k]
+	}
+	if a.p[k] == l {
+		k++
+	}
+	return k
+}
+
+// evalPathSet runs the exhaustive product navigation for //p and returns
+// the matched data nodes.
+func (e *SummaryEvaluator) evalPathSet(p xmlgraph.LabelPath) map[xmlgraph.NID]bool {
+	if len(p) == 0 {
+		return nil
+	}
+	auto := newKMP(p)
+	type state struct {
+		node int
+		k    int
+	}
+	res := make(map[xmlgraph.NID]bool)
+	var queue []state
+	seen := map[state]bool{}
+	push0 := func(s state) {
+		if !seen[s] {
+			seen[s] = true
+			queue = append(queue, s)
+		}
+	}
+	if e.StartAnywhere {
+		for i := 0; i < e.s.NumNodes(); i++ {
+			push0(state{i, 0})
+		}
+	} else {
+		push0(state{e.s.RootID(), 0})
+	}
+	for len(queue) > 0 {
+		st := queue[0]
+		queue = queue[1:]
+		e.s.EachOutEdge(st.node, func(label string, to int) {
+			e.cost.IndexEdgeLookups++
+			nk := auto.step(st.k, label)
+			if nk == len(p) {
+				ext := e.s.Extent(to)
+				e.cost.ExtentEdges += int64(len(ext))
+				for _, n := range ext {
+					res[n] = true
+				}
+			}
+			ns := state{to, nk}
+			if !seen[ns] {
+				seen[ns] = true
+				queue = append(queue, ns)
+			}
+		})
+	}
+	return res
+}
+
+// EvalPath answers //p[0]/…/p[n-1].
+func (e *SummaryEvaluator) EvalPath(p xmlgraph.LabelPath) []xmlgraph.NID {
+	e.cost.Queries++
+	res := e.evalPathSet(p)
+	out := make([]xmlgraph.NID, 0, len(res))
+	for n := range res {
+		out = append(out, n)
+	}
+	e.g.SortByDocumentOrder(out)
+	e.cost.ResultNodes += int64(len(out))
+	return out
+}
+
+// EvalPair answers //a//b the way Section 6.1 describes for the strong
+// DataGuide: the query is rewritten into the set of root-anchored simple
+// path expressions l_1…l_i…l_j by exhaustively unfolding the summary from
+// the root (every distinct label path is enumerated, so shared summary
+// nodes are revisited once per path — "the query processor generally
+// traverses the whole index structure from the root several times"), and
+// each rewritten path is then re-navigated to fetch its extent. On
+// irregular data the unfolding explodes with the number of distinct label
+// paths, which is exactly the blow-up Figure 14 measures. Set
+// UseProductQ2 for the modern linear product algorithm (the ablation
+// bench compares both).
+func (e *SummaryEvaluator) EvalPair(a, b string) []xmlgraph.NID {
+	e.cost.Queries++
+	if e.UseProductQ2 {
+		return e.evalPairProduct(a, b)
+	}
+	res := make(map[xmlgraph.NID]bool)
+	prefixCap := e.g.DocDepth() + 1 // witness prefix: tree path (+ ref hop)
+	totalCap := prefixCap + e.g.DocDepth() + 1
+	// DFS over the path unfolding; phase 0 = before the a edge, phase 1 =
+	// inside the a…b segment (reference edges excluded there).
+	var dfs func(node, depth, phase int)
+	dfs = func(node, depth, phase int) {
+		if phase == 0 && depth >= prefixCap {
+			return
+		}
+		if depth >= totalCap {
+			return
+		}
+		e.s.EachOutEdge(node, func(label string, to int) {
+			e.cost.IndexEdgeLookups++
+			if phase == 0 {
+				if label == a {
+					// This occurrence becomes the a of the pattern...
+					dfs(to, depth+1, 1)
+				}
+				// ...and the unfolding also keeps scanning for later a's.
+				dfs(to, depth+1, 0)
+				return
+			}
+			if label == b {
+				// A rewritten simple path ends here: re-navigate it (the
+				// paper evaluates each rewriting from the root) and union
+				// the extent.
+				e.cost.Rewritings++
+				e.cost.IndexEdgeLookups += int64(depth + 1)
+				ext := e.s.Extent(to)
+				e.cost.ExtentEdges += int64(len(ext))
+				for _, n := range ext {
+					res[n] = true
+				}
+			}
+			if !strings.HasPrefix(label, "@") {
+				dfs(to, depth+1, 1)
+			}
+		})
+	}
+	dfs(e.s.RootID(), 0, 0)
+	out := make([]xmlgraph.NID, 0, len(res))
+	for n := range res {
+		out = append(out, n)
+	}
+	e.g.SortByDocumentOrder(out)
+	e.cost.ResultNodes += int64(len(out))
+	return out
+}
+
+// evalPairProduct is the linear-time alternative: a two-phase product of
+// the summary with the //a//b automaton, each (node, phase) state visited
+// once. It is not what 2002's query processors did — the ablation bench
+// uses it to show how much of the DataGuide's Figure 14 cost is the
+// rewriting procedure rather than the structure.
+func (e *SummaryEvaluator) evalPairProduct(a, b string) []xmlgraph.NID {
+	type state struct {
+		node  int
+		phase int
+	}
+	res := make(map[xmlgraph.NID]bool)
+	start := state{e.s.RootID(), 0}
+	seen := map[state]bool{start: true}
+	queue := []state{start}
+	push := func(s state) {
+		if !seen[s] {
+			seen[s] = true
+			queue = append(queue, s)
+		}
+	}
+	for len(queue) > 0 {
+		st := queue[0]
+		queue = queue[1:]
+		e.s.EachOutEdge(st.node, func(label string, to int) {
+			e.cost.IndexEdgeLookups++
+			if st.phase == 0 {
+				push(state{to, 0})
+				if label == a {
+					push(state{to, 1})
+				}
+				return
+			}
+			if label == b {
+				ext := e.s.Extent(to)
+				e.cost.ExtentEdges += int64(len(ext))
+				for _, n := range ext {
+					res[n] = true
+				}
+			}
+			if !strings.HasPrefix(label, "@") {
+				push(state{to, 1})
+			}
+		})
+	}
+	out := make([]xmlgraph.NID, 0, len(res))
+	for n := range res {
+		out = append(out, n)
+	}
+	e.g.SortByDocumentOrder(out)
+	e.cost.ResultNodes += int64(len(out))
+	return out
+}
+
+// EvalPathValue answers //p…[text()=value] by QTYPE1 evaluation plus
+// data-table validation (the second step of Section 6.1's description).
+func (e *SummaryEvaluator) EvalPathValue(p xmlgraph.LabelPath, value string) []xmlgraph.NID {
+	e.cost.Queries++
+	candidates := e.evalPathSet(p)
+	var out []xmlgraph.NID
+	for n := range candidates {
+		e.cost.DataLookups++
+		if v, ok := e.dt.Lookup(n); ok && v == value {
+			out = append(out, n)
+		}
+	}
+	e.g.SortByDocumentOrder(out)
+	e.cost.ResultNodes += int64(len(out))
+	return out
+}

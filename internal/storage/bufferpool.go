@@ -1,0 +1,85 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// IOStats accumulates buffer-pool traffic. Logical = every page request;
+// Physical = requests that missed the pool and hit the pager.
+type IOStats struct {
+	Logical  int64
+	Physical int64
+}
+
+// HitRatio returns the fraction of logical reads served from the pool.
+func (s IOStats) HitRatio() float64 {
+	if s.Logical == 0 {
+		return 0
+	}
+	return 1 - float64(s.Physical)/float64(s.Logical)
+}
+
+func (s IOStats) String() string {
+	return fmt.Sprintf("logical=%d physical=%d hit=%.2f", s.Logical, s.Physical, s.HitRatio())
+}
+
+// BufferPool is a fixed-capacity LRU cache of pages in front of a Pager.
+// It is not safe for concurrent use; evaluators are single-threaded, as in
+// the paper's experiments.
+type BufferPool struct {
+	pager    Pager
+	capacity int
+	frames   map[PageID]*list.Element
+	lru      *list.List // front = most recently used
+	stats    IOStats
+}
+
+type frame struct {
+	id   PageID
+	data []byte
+}
+
+// NewBufferPool creates a pool of capacity frames over pager. A capacity of
+// 0 disables caching (every read is physical), which tests use to expose raw
+// access counts.
+func NewBufferPool(pager Pager, capacity int) *BufferPool {
+	return &BufferPool{
+		pager:    pager,
+		capacity: capacity,
+		frames:   make(map[PageID]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+// ReadPage returns page id through the cache.
+func (b *BufferPool) ReadPage(id PageID) ([]byte, error) {
+	b.stats.Logical++
+	if el, ok := b.frames[id]; ok {
+		b.lru.MoveToFront(el)
+		return el.Value.(*frame).data, nil
+	}
+	data, err := b.pager.ReadPage(id)
+	if err != nil {
+		return nil, err
+	}
+	b.stats.Physical++
+	if b.capacity > 0 {
+		if b.lru.Len() >= b.capacity {
+			oldest := b.lru.Back()
+			b.lru.Remove(oldest)
+			delete(b.frames, oldest.Value.(*frame).id)
+		}
+		b.frames[id] = b.lru.PushFront(&frame{id: id, data: data})
+	}
+	return data, nil
+}
+
+// Stats returns a copy of the accumulated traffic counters.
+func (b *BufferPool) Stats() IOStats { return b.stats }
+
+// ResetStats zeroes the traffic counters (cache contents are kept).
+func (b *BufferPool) ResetStats() { b.stats = IOStats{} }
+
+// Len returns the number of resident frames.
+func (b *BufferPool) Len() int { return b.lru.Len() }

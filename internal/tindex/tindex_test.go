@@ -1,0 +1,106 @@
+package tindex
+
+import (
+	"reflect"
+	"testing"
+
+	"apex/internal/xmlgraph"
+)
+
+func lp(s string) xmlgraph.LabelPath { return xmlgraph.ParseLabelPath(s) }
+
+func playDoc(t *testing.T) *xmlgraph.Graph {
+	t.Helper()
+	g, err := xmlgraph.BuildString(`<PLAY>
+	  <ACT><SCENE><SPEECH><LINE>a</LINE><LINE>b</LINE></SPEECH></SCENE></ACT>
+	  <ACT><SCENE><SPEECH><LINE>c</LINE></SPEECH></SCENE></ACT>
+	</PLAY>`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBuildAndEval(t *testing.T) {
+	g := playDoc(t)
+	template := []xmlgraph.LabelPath{lp("ACT"), lp("SPEECH.LINE")}
+	ix, err := Build(g, template)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The full template.
+	got, ok := ix.Eval(template)
+	if !ok {
+		t.Fatal("template not covered")
+	}
+	want := g.EvalMixed(template, true)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	// A template prefix.
+	got, ok = ix.Eval(template[:1])
+	if !ok || len(got) != 2 {
+		t.Fatalf("prefix eval = %v ok=%v", got, ok)
+	}
+	// Outside the template: unanswerable.
+	if _, ok := ix.Eval([]xmlgraph.LabelPath{lp("SCENE")}); ok {
+		t.Fatal("uncovered query answered")
+	}
+	if _, ok := ix.Eval([]xmlgraph.LabelPath{lp("ACT"), lp("SPEECH.LINE"), lp("X")}); ok {
+		t.Fatal("over-long query answered")
+	}
+	if _, ok := ix.Eval(nil); ok {
+		t.Fatal("empty query answered")
+	}
+}
+
+func TestTemplateAndSize(t *testing.T) {
+	g := playDoc(t)
+	ix, err := Build(g, []xmlgraph.LabelPath{lp("ACT"), lp("SPEECH.LINE")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Template() != "//ACT//SPEECH/LINE" {
+		t.Fatalf("Template = %q", ix.Template())
+	}
+	if ix.Size() != 2+3 {
+		t.Fatalf("Size = %d", ix.Size())
+	}
+}
+
+func TestEvalCopiesResults(t *testing.T) {
+	g := playDoc(t)
+	tmpl := []xmlgraph.LabelPath{lp("ACT")}
+	ix, _ := Build(g, tmpl)
+	res, _ := ix.Eval(tmpl)
+	res[0] = -1
+	res2, _ := ix.Eval(tmpl)
+	if res2[0] == -1 {
+		t.Fatal("Eval aliases internal state")
+	}
+}
+
+func TestRefreshAfterMutation(t *testing.T) {
+	g := playDoc(t)
+	tmpl := []xmlgraph.LabelPath{lp("ACT"), lp("LINE")}
+	ix, err := Build(g, tmpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, _ := ix.Eval(tmpl)
+	acts := g.EvalPartialPath(lp("ACT"))
+	if _, err := g.AppendFragment(acts[0], `<SCENE><SPEECH><LINE>d</LINE></SPEECH></SCENE>`, nil); err != nil {
+		t.Fatal(err)
+	}
+	ix.Refresh()
+	after, _ := ix.Eval(tmpl)
+	if len(after) != len(before)+1 {
+		t.Fatalf("refresh missed the new line: %d -> %d", len(before), len(after))
+	}
+}
+
+func TestBuildEmptyTemplate(t *testing.T) {
+	if _, err := Build(playDoc(t), nil); err == nil {
+		t.Fatal("empty template accepted")
+	}
+}

@@ -1,0 +1,248 @@
+// Package workload generates the three query populations of the paper's
+// experiments (Section 6.1) from a data graph:
+//
+//   - QTYPE1: all simple path expressions of the data are enumerated; a
+//     query picks one at random, takes a random contiguous subsequence and
+//     prefixes it with the descendant axis. About a quarter of the
+//     resulting queries are root-anchored, matching the paper's ~25%.
+//   - QTYPE2: two distinct labels of a random simple path, in order,
+//     become //l_i//l_j. Reference labels are excluded because the QTYPE2
+//     processor does not traverse references.
+//   - QTYPE3: a random value-bearing node contributes a random suffix of
+//     its document path plus its actual value, so results are never empty
+//     (the paper "made sure that the results of the queries are not
+//     empty").
+//
+// The paper's protocol samples 20% of the 5000 QTYPE1 queries as the query
+// workload handed to APEX's frequent-path extraction.
+package workload
+
+import (
+	"math/rand"
+	"strings"
+
+	"apex/internal/query"
+	"apex/internal/xmlgraph"
+)
+
+// Generator produces reproducible query populations for one data graph.
+type Generator struct {
+	g           *xmlgraph.Graph
+	rng         *rand.Rand
+	simplePaths []xmlgraph.LabelPath
+	valueNodes  []xmlgraph.NID
+}
+
+// MaxEnumeratedPaths caps the simple-path store; graph-shaped data has
+// unboundedly many root paths through reference cycles, and the paper's
+// store of "all possible simple path expressions" is necessarily finite.
+const MaxEnumeratedPaths = 100000
+
+// New enumerates the simple-path store of g (root label paths up to the
+// document depth plus a small dereference allowance) and prepares a
+// deterministic generator.
+func New(g *xmlgraph.Graph, seed int64) *Generator {
+	maxLen := g.DocDepth() + 4
+	paths := g.RootPaths(maxLen)
+	if len(paths) > MaxEnumeratedPaths {
+		paths = paths[:MaxEnumeratedPaths]
+	}
+	var values []xmlgraph.NID
+	for i := 0; i < g.NumNodes(); i++ {
+		if g.Value(xmlgraph.NID(i)) != "" {
+			values = append(values, xmlgraph.NID(i))
+		}
+	}
+	return &Generator{
+		g:           g,
+		rng:         rand.New(rand.NewSource(seed)),
+		simplePaths: paths,
+		valueNodes:  values,
+	}
+}
+
+// NumSimplePaths reports the size of the simple-path store.
+func (w *Generator) NumSimplePaths() int { return len(w.simplePaths) }
+
+// QType1 generates n partial-matching path queries.
+func (w *Generator) QType1(n int) []query.Query {
+	res := make([]query.Query, 0, n)
+	for len(res) < n {
+		p := w.simplePaths[w.rng.Intn(len(w.simplePaths))]
+		i := w.rng.Intn(len(p))
+		j := i + 1 + w.rng.Intn(len(p)-i)
+		sub := append(xmlgraph.LabelPath(nil), p[i:j]...)
+		if strings.HasPrefix(sub[len(sub)-1], "@") && j < len(p) {
+			// Avoid ending a query on a dangling reference attribute when
+			// the stored path continues; include the dereferenced label.
+			sub = append(sub, p[j])
+		}
+		res = append(res, query.Query{Type: query.QTYPE1, Path: sub})
+	}
+	return res
+}
+
+// QType2 generates n descendant-pair queries //l_i//l_j over non-reference
+// labels. Queries may have empty results (the paper explicitly allows it).
+func (w *Generator) QType2(n int) []query.Query {
+	res := make([]query.Query, 0, n)
+	for len(res) < n {
+		p := w.simplePaths[w.rng.Intn(len(w.simplePaths))]
+		var idx []int
+		for i, l := range p {
+			if !strings.HasPrefix(l, "@") {
+				idx = append(idx, i)
+			}
+		}
+		if len(idx) < 2 {
+			continue
+		}
+		i := idx[w.rng.Intn(len(idx)-1)]
+		// Pick a later non-reference position.
+		var later []int
+		for _, k := range idx {
+			if k > i {
+				later = append(later, k)
+			}
+		}
+		j := later[w.rng.Intn(len(later))]
+		if p[i] == p[j] {
+			continue // the paper picks two distinct labels
+		}
+		res = append(res, query.Query{Type: query.QTYPE2, Path: xmlgraph.LabelPath{p[i], p[j]}})
+	}
+	return res
+}
+
+// QType3 generates n path-plus-value queries with guaranteed non-empty
+// results and without dereference operators (Section 6.1's constraints for
+// the Index Fabric comparison).
+func (w *Generator) QType3(n int) []query.Query {
+	res := make([]query.Query, 0, n)
+	if len(w.valueNodes) == 0 {
+		return res
+	}
+	for len(res) < n {
+		v := w.valueNodes[w.rng.Intn(len(w.valueNodes))]
+		p := w.docPath(v)
+		if len(p) == 0 {
+			continue
+		}
+		// A random suffix of the document path keeps the query free of
+		// dereferences and guaranteed non-empty.
+		start := w.rng.Intn(len(p))
+		if strings.HasPrefix(p[len(p)-1], "@") {
+			continue // attribute values are queried via text() only on elements
+		}
+		sub := append(xmlgraph.LabelPath(nil), p[start:]...)
+		res = append(res, query.Query{Type: query.QTYPE3, Path: sub, Value: w.g.Value(v)})
+	}
+	return res
+}
+
+// QMixed generates n mixed-axis queries (the QMIXED extension): a random
+// simple path is cut into 2–3 segments, each a contiguous chunk with the
+// in-between labels elided behind descendant axes. Reference labels are
+// avoided at segment boundaries, mirroring the QTYPE2 conventions.
+func (w *Generator) QMixed(n int) []query.Query {
+	res := make([]query.Query, 0, n)
+	for len(res) < n {
+		p := w.simplePaths[w.rng.Intn(len(w.simplePaths))]
+		var idx []int
+		for i, l := range p {
+			if !strings.HasPrefix(l, "@") {
+				idx = append(idx, i)
+			}
+		}
+		if len(idx) < 2 {
+			continue
+		}
+		// Pick 2 or 3 cut positions over non-reference labels, in order.
+		cuts := 2
+		if len(idx) >= 3 && w.rng.Intn(2) == 0 {
+			cuts = 3
+		}
+		chosen := pickSorted(w.rng, idx, cuts)
+		var segs []xmlgraph.LabelPath
+		ok := true
+		for k, start := range chosen {
+			end := start + 1
+			// Extend the segment to the right while staying before the
+			// next cut.
+			limit := len(p)
+			if k+1 < len(chosen) {
+				limit = chosen[k+1]
+			}
+			for end < limit && w.rng.Intn(2) == 0 {
+				end++
+			}
+			seg := append(xmlgraph.LabelPath(nil), p[start:end]...)
+			if strings.HasPrefix(seg[0], "@") {
+				ok = false
+				break
+			}
+			segs = append(segs, seg)
+		}
+		if !ok || len(segs) < 2 {
+			continue
+		}
+		res = append(res, query.Query{Type: query.QMIXED, Segments: segs})
+	}
+	return res
+}
+
+// pickSorted draws k distinct values from sorted candidates, preserving
+// order.
+func pickSorted(rng *rand.Rand, candidates []int, k int) []int {
+	perm := rng.Perm(len(candidates))[:k]
+	vals := make([]int, k)
+	for i, pi := range perm {
+		vals[i] = candidates[pi]
+	}
+	// Insertion sort; k ≤ 3.
+	for i := 1; i < len(vals); i++ {
+		for j := i; j > 0 && vals[j] < vals[j-1]; j-- {
+			vals[j], vals[j-1] = vals[j-1], vals[j]
+		}
+	}
+	return vals
+}
+
+// docPath returns the document-hierarchy label path of v (first-parent
+// chain), mirroring the Index Fabric's encoding.
+func (w *Generator) docPath(v xmlgraph.NID) xmlgraph.LabelPath {
+	var rev []string
+	for v != w.g.Root() {
+		in := w.g.In(v)
+		if len(in) == 0 {
+			break
+		}
+		rev = append(rev, in[0].Label)
+		v = in[0].To
+	}
+	p := make(xmlgraph.LabelPath, len(rev))
+	for i := range rev {
+		p[i] = rev[len(rev)-1-i]
+	}
+	return p
+}
+
+// SampleWorkload draws the paper's query workload: a fraction (20% in the
+// experiments) of the query population, as label paths for APEX's
+// frequent-path extraction.
+func SampleWorkload(qs []query.Query, frac float64, seed int64) []xmlgraph.LabelPath {
+	if len(qs) == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := int(float64(len(qs)) * frac)
+	if n <= 0 {
+		n = 1
+	}
+	perm := rng.Perm(len(qs))
+	var res []xmlgraph.LabelPath
+	for _, i := range perm[:n] {
+		res = append(res, qs[i].Path)
+	}
+	return res
+}

@@ -1,0 +1,184 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"apex/internal/datagen"
+	"apex/internal/query"
+	"apex/internal/xmlgraph"
+)
+
+func gen(t *testing.T) (*Generator, *xmlgraph.Graph) {
+	t.Helper()
+	g, err := datagen.GenerateGraph(datagen.FlixMLSchema(), 3, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(g, 99), g
+}
+
+func TestDeterministic(t *testing.T) {
+	g, err := datagen.MovieDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := New(g, 7).QType1(20)
+	b := New(g, 7).QType1(20)
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("nondeterministic at %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+func TestQType1Shape(t *testing.T) {
+	w, g := gen(t)
+	qs := w.QType1(500)
+	if len(qs) != 500 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	rooted := 0
+	for _, q := range qs {
+		if q.Type != query.QTYPE1 || len(q.Path) == 0 {
+			t.Fatalf("bad query %+v", q)
+		}
+		// Every query must be a contiguous subsequence of some data path:
+		// spot-check that it has at least one match OR is label-valid.
+		for _, l := range q.Path {
+			if g.LabelCount(l) == 0 {
+				t.Fatalf("query %s uses unknown label %s", q, l)
+			}
+		}
+		if len(g.EvalPartialPath(q.Path)) > 0 {
+			// fine — most queries match; exactness is tested elsewhere
+		}
+		if q.Path[0] == "catalog" || q.Path[0] == "people" {
+			rooted++
+		}
+		if strings.HasPrefix(q.Path[len(q.Path)-1], "@") {
+			// Trailing references are allowed only when the stored simple
+			// path genuinely ended there.
+			continue
+		}
+	}
+	if rooted == 0 {
+		t.Fatal("no root-anchored queries at all; subsequence sampling broken")
+	}
+}
+
+func TestQType1MostlyNonEmpty(t *testing.T) {
+	w, g := gen(t)
+	qs := w.QType1(100)
+	nonEmpty := 0
+	for _, q := range qs {
+		if len(g.EvalPartialPath(q.Path)) > 0 {
+			nonEmpty++
+		}
+	}
+	// Subsequences of real paths always match somewhere.
+	if nonEmpty != len(qs) {
+		t.Fatalf("only %d/%d QTYPE1 queries non-empty", nonEmpty, len(qs))
+	}
+}
+
+func TestQType2Shape(t *testing.T) {
+	w, _ := gen(t)
+	qs := w.QType2(200)
+	for _, q := range qs {
+		if q.Type != query.QTYPE2 || len(q.Path) != 2 {
+			t.Fatalf("bad query %+v", q)
+		}
+		if q.Path[0] == q.Path[1] {
+			t.Fatalf("labels must be distinct: %s", q)
+		}
+		if strings.HasPrefix(q.Path[0], "@") || strings.HasPrefix(q.Path[1], "@") {
+			t.Fatalf("QTYPE2 must avoid reference labels: %s", q)
+		}
+	}
+}
+
+func TestQType3NonEmptyAndFabricSafe(t *testing.T) {
+	w, g := gen(t)
+	qs := w.QType3(100)
+	for _, q := range qs {
+		if q.Type != query.QTYPE3 || q.Value == "" {
+			t.Fatalf("bad query %+v", q)
+		}
+		for _, l := range q.Path {
+			if strings.HasPrefix(l, "@") {
+				t.Fatalf("QTYPE3 must not dereference: %s", q)
+			}
+		}
+		found := false
+		for _, n := range g.EvalPartialPath(q.Path) {
+			if g.Value(n) == q.Value {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("QTYPE3 query %s has empty result", q)
+		}
+	}
+}
+
+func TestQMixedShape(t *testing.T) {
+	w, g := gen(t)
+	qs := w.QMixed(100)
+	if len(qs) != 100 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	for _, q := range qs {
+		if q.Type != query.QMIXED || len(q.Segments) < 2 || len(q.Segments) > 3 {
+			t.Fatalf("bad query %+v", q)
+		}
+		for _, seg := range q.Segments {
+			if strings.HasPrefix(seg[0], "@") {
+				t.Fatalf("segment starts at a reference: %s", q)
+			}
+			for _, l := range seg {
+				if g.LabelCount(l) == 0 {
+					t.Fatalf("unknown label %q in %s", l, q)
+				}
+			}
+		}
+		// Round-trip through the parser.
+		back, err := query.Parse(q.String())
+		if err != nil {
+			t.Fatalf("reparse %s: %v", q, err)
+		}
+		if back.String() != q.String() {
+			t.Fatalf("round trip %s -> %s", q, back)
+		}
+	}
+}
+
+func TestSampleWorkload(t *testing.T) {
+	w, _ := gen(t)
+	qs := w.QType1(100)
+	sample := SampleWorkload(qs, 0.2, 1)
+	if len(sample) != 20 {
+		t.Fatalf("sample size %d, want 20", len(sample))
+	}
+	// Samples must be drawn from the population.
+	pop := map[string]bool{}
+	for _, q := range qs {
+		pop[q.Path.String()] = true
+	}
+	for _, p := range sample {
+		if !pop[p.String()] {
+			t.Fatalf("sampled path %s not in population", p)
+		}
+	}
+	if got := SampleWorkload(qs[:1], 0.0001, 1); len(got) != 1 {
+		t.Fatalf("minimum sample size violated: %d", len(got))
+	}
+}
+
+func TestNumSimplePaths(t *testing.T) {
+	w, _ := gen(t)
+	if w.NumSimplePaths() == 0 {
+		t.Fatal("no simple paths enumerated")
+	}
+}

@@ -1,0 +1,198 @@
+package xmlgraph
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// BuildOptions controls how an XML document is mapped onto G_XML.
+//
+// encoding/xml does not read DTDs, so ID/IDREF typing must be declared by
+// the caller (our dataset schemas know their reference attributes). An
+// attribute listed in IDAttrs registers the element under its value; an
+// attribute listed in IDREFAttrs (or IDREFSAttrs, space-separated values)
+// becomes the paper's two-hop reference representation:
+//
+//	element --"@attr"--> attribute node --targetTag--> target element
+type BuildOptions struct {
+	// IDAttrs names attributes that carry element identifiers.
+	// Defaults to {"id"} when nil.
+	IDAttrs []string
+	// IDREFAttrs names attributes whose value references one ID.
+	IDREFAttrs []string
+	// IDREFSAttrs names attributes whose value is a space-separated list
+	// of IDs.
+	IDREFSAttrs []string
+	// KeepTextNodes, when true, materializes element character data as
+	// separate KindText leaf children (edge label "#text"). When false
+	// (the default, matching the paper's figures), text is stored as the
+	// Value of the enclosing element node.
+	KeepTextNodes bool
+}
+
+func (o *BuildOptions) idSet() map[string]bool   { return toSet(o.IDAttrs, "id") }
+func (o *BuildOptions) refSet() map[string]bool  { return toSet(o.IDREFAttrs) }
+func (o *BuildOptions) refsSet() map[string]bool { return toSet(o.IDREFSAttrs) }
+
+func toSet(names []string, defaults ...string) map[string]bool {
+	s := make(map[string]bool, len(names))
+	if names == nil {
+		names = defaults
+	}
+	for _, n := range names {
+		s[n] = true
+	}
+	return s
+}
+
+type pendingRef struct {
+	attrNode NID
+	targetID string
+}
+
+// Build parses an XML document from r and constructs its G_XML graph.
+// It streams via encoding/xml, so arbitrarily large documents need memory
+// proportional to the resulting graph only. ID/IDREF references are resolved
+// in a second pass once all IDs are known; a reference to an undeclared ID
+// is reported as an error (matching validating-parser behavior).
+func Build(r io.Reader, opts *BuildOptions) (*Graph, error) {
+	g, unresolved, err := buildPartial(r, opts)
+	if err != nil {
+		return nil, err
+	}
+	if len(unresolved) > 0 {
+		return nil, fmt.Errorf("xmlgraph: dangling IDREF %q", unresolved[0].targetID)
+	}
+	return g, nil
+}
+
+// buildPartial parses a document and resolves the references it can;
+// references to IDs not declared inside the document are returned for the
+// caller to resolve (AppendFragment resolves them against the host graph).
+func buildPartial(r io.Reader, opts *BuildOptions) (*Graph, []pendingRef, error) {
+	if opts == nil {
+		opts = &BuildOptions{}
+	}
+	idAttrs, refAttrs, refsAttrs := opts.idSet(), opts.refSet(), opts.refsSet()
+
+	g := NewGraph()
+	dec := xml.NewDecoder(r)
+
+	ids := g.ids                   // declared ID value -> element
+	var pending []pendingRef       // references to resolve at EOF
+	var stack []NID                // open elements
+	var textBuf []*strings.Builder // accumulated text per open element
+	order := int32(0)
+
+	nextOrder := func() int32 { order++; return order - 1 }
+
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("xmlgraph: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			tag := t.Name.Local
+			el := g.AddNode(KindElement, tag, "")
+			g.SetOrder(el, nextOrder())
+			if len(stack) == 0 {
+				if g.Root() != NullNID {
+					return nil, nil, fmt.Errorf("xmlgraph: multiple document roots (%s)", tag)
+				}
+				g.SetRoot(el)
+			} else {
+				g.AddEdge(stack[len(stack)-1], tag, el)
+			}
+			for _, a := range t.Attr {
+				name := a.Name.Local
+				if a.Name.Space == "xmlns" || name == "xmlns" {
+					continue
+				}
+				switch {
+				case idAttrs[name]:
+					if prev, dup := ids[a.Value]; dup {
+						return nil, nil, fmt.Errorf("xmlgraph: duplicate ID %q (nodes %d and %d)", a.Value, prev, el)
+					}
+					ids[a.Value] = el
+					// The ID attribute itself is also data: keep it as a
+					// plain attribute node so label paths can address it.
+					an := g.AddNode(KindAttribute, name, a.Value)
+					g.SetOrder(an, nextOrder())
+					g.AddEdge(el, "@"+name, an)
+				case refAttrs[name]:
+					an := g.AddNode(KindAttribute, name, a.Value)
+					g.SetOrder(an, nextOrder())
+					g.AddEdge(el, "@"+name, an)
+					g.MarkIDREFLabel("@" + name)
+					pending = append(pending, pendingRef{attrNode: an, targetID: a.Value})
+				case refsAttrs[name]:
+					an := g.AddNode(KindAttribute, name, a.Value)
+					g.SetOrder(an, nextOrder())
+					g.AddEdge(el, "@"+name, an)
+					g.MarkIDREFLabel("@" + name)
+					for _, tid := range strings.Fields(a.Value) {
+						pending = append(pending, pendingRef{attrNode: an, targetID: tid})
+					}
+				default:
+					an := g.AddNode(KindAttribute, name, a.Value)
+					g.SetOrder(an, nextOrder())
+					g.AddEdge(el, "@"+name, an)
+				}
+			}
+			stack = append(stack, el)
+			textBuf = append(textBuf, &strings.Builder{})
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, nil, fmt.Errorf("xmlgraph: unbalanced end element %s", t.Name.Local)
+			}
+			el := stack[len(stack)-1]
+			text := strings.TrimSpace(textBuf[len(textBuf)-1].String())
+			stack = stack[:len(stack)-1]
+			textBuf = textBuf[:len(textBuf)-1]
+			if text != "" {
+				if opts.KeepTextNodes {
+					tn := g.AddNode(KindText, "", text)
+					g.SetOrder(tn, nextOrder())
+					g.AddEdge(el, "#text", tn)
+				} else {
+					g.SetValue(el, text)
+				}
+			}
+		case xml.CharData:
+			if len(textBuf) > 0 {
+				textBuf[len(textBuf)-1].Write(t)
+			}
+		case xml.Comment, xml.ProcInst, xml.Directive:
+			// Structural summaries ignore these.
+		}
+	}
+	if len(stack) != 0 {
+		return nil, nil, fmt.Errorf("xmlgraph: unexpected EOF with %d open elements", len(stack))
+	}
+	if g.Root() == NullNID {
+		return nil, nil, fmt.Errorf("xmlgraph: empty document")
+	}
+	var unresolved []pendingRef
+	for _, p := range pending {
+		target, ok := ids[p.targetID]
+		if !ok {
+			unresolved = append(unresolved, p)
+			continue
+		}
+		// Reference edge labeled with the target element's tag (Section 3).
+		g.AddEdge(p.attrNode, g.Node(target).Tag, target)
+	}
+	return g, unresolved, nil
+}
+
+// BuildString is Build over an in-memory document; convenient in tests and
+// examples.
+func BuildString(doc string, opts *BuildOptions) (*Graph, error) {
+	return Build(strings.NewReader(doc), opts)
+}

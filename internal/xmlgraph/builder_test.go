@@ -1,0 +1,161 @@
+package xmlgraph
+
+import (
+	"strings"
+	"testing"
+)
+
+const tinyDoc = `<root>
+  <a><b>hello</b><b>world</b></a>
+  <c attr="v">text</c>
+</root>`
+
+func TestBuildTree(t *testing.T) {
+	g, err := BuildString(tinyDoc, nil)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	root := g.Root()
+	if g.Node(root).Tag != "root" {
+		t.Fatalf("root tag = %q", g.Node(root).Tag)
+	}
+	// root, a, b, b, c, @attr-node = 6 nodes
+	if g.NumNodes() != 6 {
+		t.Fatalf("NumNodes = %d, want 6\n%s", g.NumNodes(), g.Dump(0))
+	}
+	if g.NumEdges() != 5 {
+		t.Fatalf("NumEdges = %d, want 5", g.NumEdges())
+	}
+	bs := g.EvalSimplePath(root, ParseLabelPath("a.b"))
+	if len(bs) != 2 {
+		t.Fatalf("a.b reached %v, want 2 nodes", bs)
+	}
+	if g.Value(bs[0]) != "hello" || g.Value(bs[1]) != "world" {
+		t.Fatalf("values = %q,%q (document order violated?)", g.Value(bs[0]), g.Value(bs[1]))
+	}
+}
+
+func TestBuildAttributeNodes(t *testing.T) {
+	g, err := BuildString(`<r><e foo="bar"/></r>`, nil)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	nodes := g.EvalSimplePath(g.Root(), ParseLabelPath("e.@foo"))
+	if len(nodes) != 1 {
+		t.Fatalf("e.@foo -> %v, want 1 node", nodes)
+	}
+	n := g.Node(nodes[0])
+	if n.Kind != KindAttribute || n.Value != "bar" {
+		t.Fatalf("attribute node = %+v", n)
+	}
+}
+
+func TestBuildIDREFMakesGraphEdges(t *testing.T) {
+	doc := `<db>
+	  <movie id="m1" director="d1"><title>T</title></movie>
+	  <director id="d1" movie="m1"><name>N</name></director>
+	</db>`
+	opts := &BuildOptions{IDREFAttrs: []string{"director", "movie"}}
+	g, err := BuildString(doc, opts)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	// movie.@director.director.name traverses the reference edge.
+	names := g.EvalSimplePath(g.Root(), ParseLabelPath("movie.@director.director.name"))
+	if len(names) != 1 || g.Value(names[0]) != "N" {
+		t.Fatalf("dereference path -> %v", names)
+	}
+	// And the reverse reference movie<-director forms a cycle.
+	titles := g.EvalSimplePath(g.Root(), ParseLabelPath("director.@movie.movie.title"))
+	if len(titles) != 1 || g.Value(titles[0]) != "T" {
+		t.Fatalf("reverse dereference -> %v", titles)
+	}
+	refs := g.IDREFLabels()
+	if len(refs) != 2 || refs[0] != "@director" || refs[1] != "@movie" {
+		t.Fatalf("IDREFLabels = %v", refs)
+	}
+}
+
+func TestBuildIDREFS(t *testing.T) {
+	doc := `<db>
+	  <movie id="m1" actors="a1 a2"/>
+	  <actor id="a1"/><actor id="a2"/>
+	</db>`
+	g, err := BuildString(doc, &BuildOptions{IDREFSAttrs: []string{"actors"}})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	actors := g.EvalSimplePath(g.Root(), ParseLabelPath("movie.@actors.actor"))
+	if len(actors) != 2 {
+		t.Fatalf("IDREFS fan-out -> %v, want 2 actors", actors)
+	}
+}
+
+func TestBuildDanglingIDREF(t *testing.T) {
+	doc := `<db><e ref="nope"/></db>`
+	_, err := BuildString(doc, &BuildOptions{IDREFAttrs: []string{"ref"}})
+	if err == nil || !strings.Contains(err.Error(), "dangling IDREF") {
+		t.Fatalf("err = %v, want dangling IDREF", err)
+	}
+}
+
+func TestBuildDuplicateID(t *testing.T) {
+	doc := `<db><e id="x"/><e id="x"/></db>`
+	_, err := BuildString(doc, nil)
+	if err == nil || !strings.Contains(err.Error(), "duplicate ID") {
+		t.Fatalf("err = %v, want duplicate ID", err)
+	}
+}
+
+func TestBuildEmptyDocument(t *testing.T) {
+	if _, err := BuildString("  ", nil); err == nil {
+		t.Fatal("want error for empty document")
+	}
+}
+
+func TestBuildMalformed(t *testing.T) {
+	if _, err := BuildString("<a><b></a>", nil); err == nil {
+		t.Fatal("want error for mismatched tags")
+	}
+}
+
+func TestBuildKeepTextNodes(t *testing.T) {
+	g, err := BuildString(`<r><p>hi</p></r>`, &BuildOptions{KeepTextNodes: true})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	texts := g.EvalSimplePath(g.Root(), ParseLabelPath("p.#text"))
+	if len(texts) != 1 || g.Value(texts[0]) != "hi" {
+		t.Fatalf("#text -> %v", texts)
+	}
+	ps := g.EvalSimplePath(g.Root(), ParseLabelPath("p"))
+	if g.Value(ps[0]) != "" {
+		t.Fatalf("element should not also hold value, got %q", g.Value(ps[0]))
+	}
+}
+
+func TestBuildDocumentOrderMonotone(t *testing.T) {
+	g, err := BuildString(`<r><a/><b/><c><d/></c><e/></r>`, nil)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	// Parse order of elements must be strictly increasing document order.
+	var prev int32 = -1
+	for i := 0; i < g.NumNodes(); i++ {
+		n := g.Node(NID(i))
+		if n.Order <= prev {
+			t.Fatalf("order not monotone at node %d: %d after %d", i, n.Order, prev)
+		}
+		prev = n.Order
+	}
+}
+
+func TestBuildMixedContentConcatenated(t *testing.T) {
+	g, err := BuildString(`<r>one <em>two</em> three</r>`, nil)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if v := g.Value(g.Root()); v != "one  three" {
+		t.Fatalf("mixed content value = %q", v)
+	}
+}

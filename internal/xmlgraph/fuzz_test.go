@@ -1,0 +1,45 @@
+package xmlgraph
+
+import "testing"
+
+// FuzzBuild checks the XML→graph builder never panics and that every
+// successfully built graph satisfies basic structural invariants.
+func FuzzBuild(f *testing.F) {
+	seeds := []string{
+		`<a/>`,
+		`<a><b>x</b></a>`,
+		`<a id="1" ref="1"/>`,
+		`<a><b id="x"/><c ref="x"/></a>`,
+		`<a>text <b/> mixed</a>`,
+		`<a xmlns:x="u" x:y="z"/>`,
+		`<a><![CDATA[raw <stuff>]]></a>`,
+		`<a`, `<a></b>`, `<a/><b/>`, ``,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, doc string) {
+		g, err := BuildString(doc, &BuildOptions{IDREFAttrs: []string{"ref"}})
+		if err != nil {
+			return
+		}
+		if g.Root() == NullNID {
+			t.Fatal("built graph without a root")
+		}
+		// In/out symmetry.
+		inCount, outCount := 0, 0
+		for i := 0; i < g.NumNodes(); i++ {
+			outCount += len(g.Out(NID(i)))
+			inCount += len(g.In(NID(i)))
+		}
+		if inCount != outCount || outCount != g.NumEdges() {
+			t.Fatalf("edge bookkeeping: in=%d out=%d count=%d", inCount, outCount, g.NumEdges())
+		}
+		// Document order strictly increasing by nid (parse order).
+		for i := 1; i < g.NumNodes(); i++ {
+			if g.Node(NID(i)).Order <= g.Node(NID(i-1)).Order {
+				t.Fatalf("order not monotone at %d", i)
+			}
+		}
+	})
+}

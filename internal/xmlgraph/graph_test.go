@@ -1,0 +1,151 @@
+package xmlgraph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAddNodeAssignsDenseNIDs(t *testing.T) {
+	g := NewGraph()
+	a := g.AddNode(KindElement, "a", "")
+	b := g.AddNode(KindElement, "b", "")
+	if a != 0 || b != 1 {
+		t.Fatalf("got nids %d,%d; want 0,1", a, b)
+	}
+	if g.NumNodes() != 2 {
+		t.Fatalf("NumNodes = %d, want 2", g.NumNodes())
+	}
+}
+
+func TestAddEdgeDeduplicates(t *testing.T) {
+	g := NewGraph()
+	a := g.AddNode(KindElement, "a", "")
+	b := g.AddNode(KindElement, "b", "")
+	g.AddEdge(a, "x", b)
+	g.AddEdge(a, "x", b)
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1 after duplicate insert", g.NumEdges())
+	}
+	g.AddEdge(a, "y", b)
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2 with second label", g.NumEdges())
+	}
+}
+
+func TestInOutSymmetry(t *testing.T) {
+	g := NewGraph()
+	a := g.AddNode(KindElement, "a", "")
+	b := g.AddNode(KindElement, "b", "")
+	c := g.AddNode(KindElement, "c", "")
+	g.AddEdge(a, "l", b)
+	g.AddEdge(c, "m", b)
+	in := g.In(b)
+	if len(in) != 2 {
+		t.Fatalf("In(b) = %v, want 2 entries", in)
+	}
+	labels := map[string]NID{}
+	for _, he := range in {
+		labels[he.Label] = he.To
+	}
+	if labels["l"] != a || labels["m"] != c {
+		t.Fatalf("incoming edges wrong: %v", labels)
+	}
+}
+
+func TestOutWithLabel(t *testing.T) {
+	g := NewGraph()
+	a := g.AddNode(KindElement, "a", "")
+	b := g.AddNode(KindElement, "b", "")
+	c := g.AddNode(KindElement, "b", "")
+	g.AddEdge(a, "b", b)
+	g.AddEdge(a, "b", c)
+	g.AddEdge(a, "z", c)
+	got := g.OutWithLabel(a, "b")
+	if len(got) != 2 {
+		t.Fatalf("OutWithLabel = %v, want 2 targets", got)
+	}
+}
+
+func TestLabelsSortedAndCounted(t *testing.T) {
+	g := NewGraph()
+	a := g.AddNode(KindElement, "a", "")
+	b := g.AddNode(KindElement, "b", "")
+	g.AddEdge(a, "zeta", b)
+	g.AddEdge(b, "alpha", a)
+	labels := g.Labels()
+	if len(labels) != 2 || labels[0] != "alpha" || labels[1] != "zeta" {
+		t.Fatalf("Labels = %v, want [alpha zeta]", labels)
+	}
+	if g.LabelCount("zeta") != 1 {
+		t.Fatalf("LabelCount(zeta) = %d", g.LabelCount("zeta"))
+	}
+}
+
+func TestSortByDocumentOrder(t *testing.T) {
+	g := NewGraph()
+	a := g.AddNode(KindElement, "a", "")
+	b := g.AddNode(KindElement, "b", "")
+	c := g.AddNode(KindElement, "c", "")
+	g.SetOrder(a, 5)
+	g.SetOrder(b, 1)
+	g.SetOrder(c, 3)
+	nids := []NID{a, b, c}
+	g.SortByDocumentOrder(nids)
+	if nids[0] != b || nids[1] != c || nids[2] != a {
+		t.Fatalf("sorted = %v, want [b c a] nids", nids)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := Stats{Nodes: 10, Edges: 9, Labels: 4, IDREFLabels: 1}
+	if got := s.String(); got != "nodes=10 edges=9 labels=4(1)" {
+		t.Fatalf("Stats.String() = %q", got)
+	}
+}
+
+func TestDumpTruncates(t *testing.T) {
+	g := NewGraph()
+	for i := 0; i < 5; i++ {
+		g.AddNode(KindElement, "e", "")
+	}
+	out := g.Dump(2)
+	if !strings.Contains(out, "3 more nodes") {
+		t.Fatalf("Dump(2) missing truncation note: %q", out)
+	}
+}
+
+func TestEachEdgeVisitsAll(t *testing.T) {
+	g := NewGraph()
+	a := g.AddNode(KindElement, "a", "")
+	b := g.AddNode(KindElement, "b", "")
+	g.AddEdge(a, "x", b)
+	g.AddEdge(b, "y", a)
+	var n int
+	g.EachEdge(func(Edge) { n++ })
+	if n != 2 {
+		t.Fatalf("EachEdge visited %d edges, want 2", n)
+	}
+}
+
+func TestEdgePairString(t *testing.T) {
+	if got := (EdgePair{From: NullNID, To: 0}).String(); got != "<NULL,0>" {
+		t.Fatalf("root pair = %q", got)
+	}
+	if got := (EdgePair{From: 3, To: 9}).String(); got != "<3,9>" {
+		t.Fatalf("pair = %q", got)
+	}
+}
+
+func TestNodeKindString(t *testing.T) {
+	cases := map[NodeKind]string{
+		KindElement:   "element",
+		KindAttribute: "attribute",
+		KindText:      "text",
+		NodeKind(9):   "NodeKind(9)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("NodeKind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package xmlgraph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// AppendFragment parses an XML fragment and attaches its root element as a
+// child of parent, returning the new element's NID. New nodes receive
+// document orders after all existing ones (an append at the end of the
+// parent's children, the common XML update in the APEX setting, where the
+// paper itself leaves data updates to future work).
+//
+// ID attributes in the fragment register new identifiers; IDREF attributes
+// may reference both pre-existing and fragment-local IDs.
+func (g *Graph) AppendFragment(parent NID, fragment string, opts *BuildOptions) (NID, error) {
+	if parent < 0 || int(parent) >= len(g.nodes) {
+		return NullNID, fmt.Errorf("xmlgraph: append: parent %d out of range", parent)
+	}
+	if g.nodes[parent].Kind != KindElement {
+		return NullNID, fmt.Errorf("xmlgraph: append: parent %d is not an element", parent)
+	}
+	// Parse the fragment into a scratch graph, then splice it in. The
+	// scratch parse reuses the exact builder logic (attributes, IDREFS,
+	// text handling); fragment-local references resolve inside the scratch
+	// graph, and unresolved ones are retried against this graph's IDs.
+	sub, pending, err := buildPartial(strings.NewReader(fragment), opts)
+	if err != nil {
+		return NullNID, err
+	}
+	// Validate everything before touching the host graph so a failed
+	// append leaves no orphaned nodes behind.
+	for idVal := range sub.ids {
+		if prev, dup := g.ids[idVal]; dup {
+			return NullNID, fmt.Errorf("xmlgraph: append: duplicate ID %q (already node %d)", idVal, prev)
+		}
+	}
+	for _, p := range pending {
+		if _, ok := g.ids[p.targetID]; !ok {
+			return NullNID, fmt.Errorf("xmlgraph: append: dangling IDREF %q", p.targetID)
+		}
+	}
+	// Splice: copy nodes with an offset, preserving relative order.
+	offset := NID(len(g.nodes))
+	order := g.maxOrder() + 1
+	for i := 0; i < sub.NumNodes(); i++ {
+		n := sub.Node(NID(i))
+		id := g.AddNode(n.Kind, n.Tag, n.Value)
+		g.SetOrder(id, order)
+		order++
+	}
+	sub.EachEdge(func(e Edge) {
+		g.AddEdge(e.From+offset, e.Label, e.To+offset)
+	})
+	for _, l := range sub.IDREFLabels() {
+		g.MarkIDREFLabel(l)
+	}
+	for idVal, nid := range sub.ids {
+		g.registerID(idVal, nid+offset)
+	}
+	// References that pointed outside the fragment resolve against the
+	// host graph's identifiers.
+	for _, p := range pending {
+		target, _ := g.ids[p.targetID]
+		g.AddEdge(p.attrNode+offset, g.Node(target).Tag, target)
+	}
+	root := sub.Root() + offset
+	g.AddEdge(parent, g.nodes[root].Tag, root)
+	return root, nil
+}
+
+// RemoveSubtree deletes the document subtree rooted at v: v, every node
+// whose first-parent chain runs through v, and every edge touching the
+// removed nodes — including reference edges from surviving nodes into the
+// subtree (their '@attr' nodes survive with the textual value but no longer
+// dereference, like an unvalidated document). Removed nodes become inert:
+// no edges, no value, excluded from Stats. The root cannot be removed.
+func (g *Graph) RemoveSubtree(v NID) error {
+	if v < 0 || int(v) >= len(g.nodes) {
+		return fmt.Errorf("xmlgraph: remove: node %d out of range", v)
+	}
+	if v == g.root {
+		return fmt.Errorf("xmlgraph: remove: cannot remove the document root")
+	}
+	if g.removed[v] {
+		return fmt.Errorf("xmlgraph: remove: node %d already removed", v)
+	}
+	// Collect the document subtree: children are the outgoing-edge targets
+	// whose first (hierarchy) in-edge comes from the node being removed.
+	var list []NID
+	stack := []NID{v}
+	g.removed[v] = true
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		list = append(list, n)
+		for _, he := range g.out[n] {
+			c := he.To
+			if !g.removed[c] && len(g.in[c]) > 0 && g.in[c][0].To == n && g.in[c][0].Label == he.Label {
+				g.removed[c] = true
+				stack = append(stack, c)
+			}
+		}
+	}
+	// Detach every edge with a removed endpoint, charging each edge once.
+	dropEdge := func(label string) {
+		g.labels[label]--
+		if g.labels[label] == 0 {
+			delete(g.labels, label)
+		}
+		g.edgeCount--
+	}
+	for _, n := range list {
+		for _, he := range g.out[n] {
+			dropEdge(he.Label)
+			if !g.removed[he.To] {
+				g.in[he.To] = filterHalfEdges(g.in[he.To], he.Label, n)
+			}
+		}
+		for _, he := range g.in[n] {
+			if !g.removed[he.To] {
+				dropEdge(he.Label)
+				g.out[he.To] = filterHalfEdges(g.out[he.To], he.Label, n)
+			}
+		}
+		g.out[n] = nil
+		g.in[n] = nil
+		g.nodes[n].Value = ""
+	}
+	// Unregister any identifiers declared inside the subtree.
+	for val, nid := range g.ids {
+		if g.removed[nid] {
+			delete(g.ids, val)
+		}
+	}
+	return nil
+}
+
+// filterHalfEdges removes the (label, to) entry, preserving order — the
+// first entry stays the hierarchy edge for surviving nodes.
+func filterHalfEdges(hes []HalfEdge, label string, to NID) []HalfEdge {
+	out := hes[:0]
+	for _, he := range hes {
+		if he.Label == label && he.To == to {
+			continue
+		}
+		out = append(out, he)
+	}
+	return out
+}
+
+// Removed reports whether node v was deleted by RemoveSubtree.
+func (g *Graph) Removed(v NID) bool {
+	return v >= 0 && int(v) < len(g.nodes) && g.removed[v]
+}
+
+func (g *Graph) maxOrder() int32 {
+	var m int32 = -1
+	for i := range g.nodes {
+		if g.nodes[i].Order > m {
+			m = g.nodes[i].Order
+		}
+	}
+	return m
+}

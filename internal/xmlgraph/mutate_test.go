@@ -1,0 +1,128 @@
+package xmlgraph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAppendFragmentBasic(t *testing.T) {
+	g, err := BuildString(`<db><a/></db>`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := g.NumNodes()
+	root, err := g.AppendFragment(g.Root(), `<b><c>hi</c></b>`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != before+2 {
+		t.Fatalf("nodes = %d, want %d", g.NumNodes(), before+2)
+	}
+	if g.Node(root).Tag != "b" {
+		t.Fatalf("fragment root tag = %q", g.Node(root).Tag)
+	}
+	cs := g.EvalSimplePath(g.Root(), ParseLabelPath("b.c"))
+	if len(cs) != 1 || g.Value(cs[0]) != "hi" {
+		t.Fatalf("b.c -> %v", cs)
+	}
+}
+
+func TestAppendFragmentDocumentOrder(t *testing.T) {
+	g, err := BuildString(`<db><a/><a/></db>`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := g.AppendFragment(g.Root(), `<z/>`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < g.NumNodes(); i++ {
+		if NID(i) != root && g.Node(NID(i)).Order >= g.Node(root).Order {
+			t.Fatalf("appended node not last in document order")
+		}
+	}
+}
+
+func TestAppendFragmentResolvesHostIDs(t *testing.T) {
+	g, err := BuildString(`<db><person id="p1"><name>Ann</name></person></db>`,
+		&BuildOptions{IDREFAttrs: []string{"friend"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = g.AppendFragment(g.Root(),
+		`<person id="p2" friend="p1"><name>Bob</name></person>`,
+		&BuildOptions{IDREFAttrs: []string{"friend"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := g.EvalPartialPath(ParseLabelPath("@friend.person.name"))
+	if len(names) != 1 || g.Value(names[0]) != "Ann" {
+		t.Fatalf("cross-fragment reference -> %v", names)
+	}
+}
+
+func TestAppendFragmentLocalIDs(t *testing.T) {
+	g, err := BuildString(`<db/>`, &BuildOptions{IDREFAttrs: []string{"ref"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = g.AppendFragment(g.Root(),
+		`<grp><x id="x1"/><y ref="x1"/></grp>`,
+		&BuildOptions{IDREFAttrs: []string{"ref"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := g.EvalPartialPath(ParseLabelPath("y.@ref.x"))
+	if len(xs) != 1 {
+		t.Fatalf("fragment-local reference -> %v", xs)
+	}
+}
+
+func TestAppendFragmentErrors(t *testing.T) {
+	g, err := BuildString(`<db><e id="dup"/></db>`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AppendFragment(-1, `<a/>`, nil); err == nil {
+		t.Fatal("bad parent accepted")
+	}
+	if _, err := g.AppendFragment(g.Root(), `<a><b></a>`, nil); err == nil {
+		t.Fatal("malformed fragment accepted")
+	}
+	if _, err := g.AppendFragment(g.Root(), `<a id="dup"/>`, nil); err == nil {
+		t.Fatal("duplicate ID accepted")
+	}
+	if _, err := g.AppendFragment(g.Root(), `<a ref="nope"/>`,
+		&BuildOptions{IDREFAttrs: []string{"ref"}}); err == nil {
+		t.Fatal("dangling reference accepted")
+	}
+	// Attribute nodes cannot take children.
+	attrs := g.EvalPartialPath(ParseLabelPath("@id"))
+	if len(attrs) != 1 {
+		t.Fatal("fixture broken")
+	}
+	if _, err := g.AppendFragment(attrs[0], `<a/>`, nil); err == nil {
+		t.Fatal("attribute parent accepted")
+	}
+}
+
+func TestLookupID(t *testing.T) {
+	g, err := BuildString(`<db><e id="e1"/></db>`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, ok := g.LookupID("e1")
+	if !ok || g.Node(n).Tag != "e" {
+		t.Fatalf("LookupID -> %v %v", n, ok)
+	}
+	if _, ok := g.LookupID("missing"); ok {
+		t.Fatal("phantom ID")
+	}
+}
+
+func TestBuildStillRejectsDangling(t *testing.T) {
+	_, err := BuildString(`<db><e ref="ghost"/></db>`, &BuildOptions{IDREFAttrs: []string{"ref"}})
+	if err == nil || !strings.Contains(err.Error(), "dangling") {
+		t.Fatalf("err = %v", err)
+	}
+}

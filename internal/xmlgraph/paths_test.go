@@ -1,0 +1,216 @@
+package xmlgraph
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAndString(t *testing.T) {
+	p := ParseLabelPath("movie.title")
+	if p.Len() != 2 || p[0] != "movie" || p[1] != "title" {
+		t.Fatalf("parsed %v", p)
+	}
+	if p.String() != "movie.title" {
+		t.Fatalf("String = %q", p.String())
+	}
+	if ParseLabelPath("") != nil {
+		t.Fatal("empty parse should be nil")
+	}
+}
+
+func TestContainedIn(t *testing.T) {
+	cases := []struct {
+		p, q string
+		want bool
+	}{
+		{"movie", "movie.title", true},
+		{"title", "movie.title", true},
+		{"movie.title", "movie.title", true},
+		{"title.movie", "movie.title", false},
+		{"a.c", "a.b.c", false}, // Section 5.2: A.C not a subpath of A.B.C
+		{"b.c", "a.b.c", true},
+		{"a.b", "a.b.c", true},
+		{"", "a", true},
+		{"a.b.c.d", "a.b.c", false},
+	}
+	for _, c := range cases {
+		got := ParseLabelPath(c.p).ContainedIn(ParseLabelPath(c.q))
+		if got != c.want {
+			t.Errorf("ContainedIn(%q, %q) = %v, want %v", c.p, c.q, got, c.want)
+		}
+	}
+}
+
+func TestSuffixOf(t *testing.T) {
+	cases := []struct {
+		p, q string
+		want bool
+	}{
+		{"title", "movie.title", true},
+		{"movie.title", "movie.title", true},
+		{"movie", "movie.title", false},
+		{"b.c", "a.b.c", true},
+		{"a.b.c.d", "b.c.d", false},
+	}
+	for _, c := range cases {
+		got := ParseLabelPath(c.p).SuffixOf(ParseLabelPath(c.q))
+		if got != c.want {
+			t.Errorf("SuffixOf(%q, %q) = %v, want %v", c.p, c.q, got, c.want)
+		}
+	}
+}
+
+func TestSubpathsEnumeration(t *testing.T) {
+	var got []string
+	ParseLabelPath("a.b.c").Subpaths(func(p LabelPath) { got = append(got, p.String()) })
+	want := []string{"a", "a.b", "a.b.c", "b", "b.c", "c"}
+	sort.Strings(got)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Subpaths = %v, want %v", got, want)
+	}
+}
+
+func TestSuffixesLongestFirst(t *testing.T) {
+	var got []string
+	ParseLabelPath("a.b.c").Suffixes(func(p LabelPath) { got = append(got, p.String()) })
+	want := []string{"a.b.c", "b.c", "c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Suffixes = %v, want %v", got, want)
+	}
+}
+
+// Property: every suffix is contained; containment is reflexive; a subpath of
+// a subpath is a subpath (transitivity on random paths).
+func TestContainmentProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	randPath := func(n int) LabelPath {
+		p := make(LabelPath, n)
+		for i := range p {
+			p[i] = string(rune('a' + rng.Intn(4)))
+		}
+		return p
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := randPath(1 + r.Intn(8))
+		i := r.Intn(len(q))
+		j := i + 1 + r.Intn(len(q)-i)
+		sub := q[i:j]
+		if !sub.ContainedIn(q) {
+			return false
+		}
+		if !q.Equal(q) || !q.ContainedIn(q) || !q.SuffixOf(q) {
+			return false
+		}
+		suf := q[r.Intn(len(q)):]
+		return suf.SuffixOf(q) && suf.ContainedIn(q)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcatDoesNotAlias(t *testing.T) {
+	p := ParseLabelPath("a.b")
+	q := p.Concat("c")
+	q[0] = "z"
+	if p[0] != "a" {
+		t.Fatal("Concat aliased the original path")
+	}
+}
+
+func buildCyclic(t *testing.T) *Graph {
+	t.Helper()
+	doc := `<db>
+	  <movie id="m1" director="d1"><title>T1</title></movie>
+	  <movie id="m2" director="d1"><title>T2</title></movie>
+	  <director id="d1" movie="m1"><name>N</name></director>
+	</db>`
+	g, err := BuildString(doc, &BuildOptions{IDREFAttrs: []string{"director", "movie"}})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g
+}
+
+func TestRootPathsTerminatesOnCycles(t *testing.T) {
+	g := buildCyclic(t)
+	paths := g.RootPaths(6)
+	seen := map[string]bool{}
+	for _, p := range paths {
+		if seen[p.String()] {
+			t.Fatalf("duplicate root path %s", p)
+		}
+		seen[p.String()] = true
+		if p.Len() > 6 {
+			t.Fatalf("path longer than cap: %s", p)
+		}
+	}
+	if !seen["movie.title"] || !seen["movie.@director.director.name"] {
+		t.Fatalf("expected root paths missing; got %d paths", len(paths))
+	}
+}
+
+func TestRootPathsMatchEvaluation(t *testing.T) {
+	g := buildCyclic(t)
+	for _, p := range g.RootPaths(5) {
+		if res := g.EvalSimplePath(g.Root(), p); len(res) == 0 {
+			t.Fatalf("root path %s has no instances", p)
+		}
+	}
+}
+
+func TestLabelPathsOf(t *testing.T) {
+	g, err := BuildString(`<r><a><b/></a><a><c/></a></r>`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	g.LabelPathsOf(g.Root(), 3, func(p LabelPath) { got = append(got, p.String()) })
+	sort.Strings(got)
+	want := []string{"a", "a.b", "a.c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("LabelPathsOf = %v, want %v", got, want)
+	}
+}
+
+func TestEvalPartialPathOracle(t *testing.T) {
+	g := buildCyclic(t)
+	titles := g.EvalPartialPath(ParseLabelPath("movie.title"))
+	if len(titles) != 2 {
+		t.Fatalf("//movie/title -> %v, want 2", titles)
+	}
+	// Through the cycle: director.@movie.movie.title reaches only T1.
+	deep := g.EvalPartialPath(ParseLabelPath("@movie.movie.title"))
+	if len(deep) != 1 || g.Value(deep[0]) != "T1" {
+		t.Fatalf("//@movie/movie/title -> %v", deep)
+	}
+	if got := g.EvalPartialPath(nil); got != nil {
+		t.Fatalf("empty path -> %v", got)
+	}
+}
+
+func TestEvalDescendantPairOracle(t *testing.T) {
+	g := buildCyclic(t)
+	// //movie//name: names reachable below (or at) a movie via any path.
+	names := g.EvalDescendantPair("movie", "name", false)
+	if len(names) != 1 {
+		t.Fatalf("//movie//name -> %v, want 1", names)
+	}
+	// //db//title would need an incoming db edge; root has none.
+	if got := g.EvalDescendantPair("db", "title", false); len(got) != 0 {
+		t.Fatalf("//db//title -> %v, want empty (no incoming db edge)", got)
+	}
+	// With reference edges excluded, movie cannot reach name at all (the
+	// only route is movie.@director.director.name).
+	if got := g.EvalDescendantPair("movie", "name", true); len(got) != 0 {
+		t.Fatalf("//movie//name skipRefs -> %v, want empty", got)
+	}
+	// But hierarchy-only pairs still match.
+	if got := g.EvalDescendantPair("director", "name", true); len(got) != 1 {
+		t.Fatalf("//director//name skipRefs -> %v, want 1", got)
+	}
+}

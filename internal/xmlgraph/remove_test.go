@@ -1,0 +1,140 @@
+package xmlgraph
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestRemoveSubtreeBasic(t *testing.T) {
+	g, err := BuildString(`<db><a><b>x</b><c/></a><d/></db>`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := g.EvalPartialPath(ParseLabelPath("a"))
+	if err := g.RemoveSubtree(as[0]); err != nil {
+		t.Fatal(err)
+	}
+	// a, b, c gone; db and d remain.
+	st := g.Stats()
+	if st.Nodes != 2 || st.Edges != 1 {
+		t.Fatalf("stats after removal = %v", st)
+	}
+	if got := g.EvalPartialPath(ParseLabelPath("a.b")); len(got) != 0 {
+		t.Fatalf("removed path still matches: %v", got)
+	}
+	if got := g.EvalPartialPath(ParseLabelPath("d")); len(got) != 1 {
+		t.Fatalf("survivor lost: %v", got)
+	}
+	if !g.Removed(as[0]) || g.Removed(g.Root()) {
+		t.Fatal("removed flags wrong")
+	}
+	if g.LabelCount("b") != 0 || g.LabelCount("a") != 0 {
+		t.Fatal("label counts not decremented")
+	}
+}
+
+func TestRemoveSubtreeCutsIncomingReferences(t *testing.T) {
+	doc := `<db>
+	  <person id="p1"><name>Ann</name></person>
+	  <person id="p2" friend="p1"><name>Bob</name></person>
+	</db>`
+	g, err := BuildString(doc, &BuildOptions{IDREFAttrs: []string{"friend"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := g.LookupID("p1")
+	if err := g.RemoveSubtree(p1); err != nil {
+		t.Fatal(err)
+	}
+	// Bob's @friend attribute node survives, but no longer dereferences.
+	if got := g.EvalPartialPath(ParseLabelPath("@friend")); len(got) != 1 {
+		t.Fatalf("@friend attr = %v", got)
+	}
+	if got := g.EvalPartialPath(ParseLabelPath("@friend.person")); len(got) != 0 {
+		t.Fatalf("dangling dereference still resolves: %v", got)
+	}
+	// The freed ID can be reused by an append.
+	if _, err := g.AppendFragment(g.Root(), `<person id="p1"><name>New</name></person>`,
+		&BuildOptions{IDREFAttrs: []string{"friend"}}); err != nil {
+		t.Fatalf("reusing a freed ID: %v", err)
+	}
+}
+
+func TestRemoveSubtreeErrors(t *testing.T) {
+	g, err := BuildString(`<db><a/></db>`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.RemoveSubtree(g.Root()); err == nil {
+		t.Fatal("root removal accepted")
+	}
+	if err := g.RemoveSubtree(-1); err == nil {
+		t.Fatal("bad nid accepted")
+	}
+	a := g.EvalPartialPath(ParseLabelPath("a"))[0]
+	if err := g.RemoveSubtree(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.RemoveSubtree(a); err == nil {
+		t.Fatal("double removal accepted")
+	}
+}
+
+func TestRemoveSubtreeKeepsSharedTargets(t *testing.T) {
+	// A reference from inside the removed subtree into a survivor must not
+	// damage the survivor.
+	doc := `<db>
+	  <group><member ref="x1"/></group>
+	  <item id="x1"><v>keep</v></item>
+	</db>`
+	g, err := BuildString(doc, &BuildOptions{IDREFAttrs: []string{"ref"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grp := g.EvalPartialPath(ParseLabelPath("group"))[0]
+	if err := g.RemoveSubtree(grp); err != nil {
+		t.Fatal(err)
+	}
+	items := g.EvalPartialPath(ParseLabelPath("item.v"))
+	if len(items) != 1 || g.Value(items[0]) != "keep" {
+		t.Fatalf("survivor damaged: %v", items)
+	}
+	// The survivor's in-edges must not contain ghosts.
+	item := g.EvalPartialPath(ParseLabelPath("item"))[0]
+	for _, he := range g.In(item) {
+		if g.Removed(he.To) {
+			t.Fatal("ghost in-edge from removed node")
+		}
+	}
+}
+
+func TestRemoveThenSerializeRoundTrip(t *testing.T) {
+	g, err := BuildString(`<db><a><b/></a><c/></db>`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := g.EvalPartialPath(ParseLabelPath("a"))[0]
+	if err := g.RemoveSubtree(a); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d, err := DecodeGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Removed(a) {
+		t.Fatal("tombstone lost in round trip")
+	}
+	if d.Stats() != g.Stats() {
+		t.Fatalf("stats diverge: %v vs %v", d.Stats(), g.Stats())
+	}
+	want := g.EvalPartialPath(ParseLabelPath("c"))
+	got := d.EvalPartialPath(ParseLabelPath("c"))
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("evaluation diverges after round trip")
+	}
+}

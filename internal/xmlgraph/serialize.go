@@ -1,0 +1,70 @@
+package xmlgraph
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// gobGraph is the flat wire form of a Graph.
+type gobGraph struct {
+	Nodes       []Node
+	Edges       []Edge
+	Root        NID
+	IDREFLabels []string
+	IDs         map[string]NID
+	Removed     []NID
+}
+
+// Encode writes the graph in gob form. The encoding is self-contained:
+// decoding does not need the original document or parser options.
+func (g *Graph) Encode(w io.Writer) error {
+	wire := gobGraph{Nodes: g.nodes, Root: g.root, IDREFLabels: g.IDREFLabels(), IDs: g.ids}
+	for i, r := range g.removed {
+		if r {
+			wire.Removed = append(wire.Removed, NID(i))
+		}
+	}
+	g.EachEdge(func(e Edge) { wire.Edges = append(wire.Edges, e) })
+	if err := gob.NewEncoder(w).Encode(&wire); err != nil {
+		return fmt.Errorf("xmlgraph: encode: %w", err)
+	}
+	return nil
+}
+
+// DecodeGraph reads a graph written by Encode.
+func DecodeGraph(r io.Reader) (*Graph, error) {
+	var wire gobGraph
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("xmlgraph: decode: %w", err)
+	}
+	g := NewGraph()
+	for _, n := range wire.Nodes {
+		id := g.AddNode(n.Kind, n.Tag, n.Value)
+		g.SetOrder(id, n.Order)
+	}
+	for _, e := range wire.Edges {
+		if e.From < 0 || int(e.From) >= len(g.nodes) || e.To < 0 || int(e.To) >= len(g.nodes) {
+			return nil, fmt.Errorf("xmlgraph: decode: edge %v out of range", e)
+		}
+		g.AddEdge(e.From, e.Label, e.To)
+	}
+	if wire.Root != NullNID {
+		if int(wire.Root) >= len(g.nodes) {
+			return nil, fmt.Errorf("xmlgraph: decode: root %d out of range", wire.Root)
+		}
+		g.SetRoot(wire.Root)
+	}
+	for _, l := range wire.IDREFLabels {
+		g.MarkIDREFLabel(l)
+	}
+	for v, n := range wire.IDs {
+		g.registerID(v, n)
+	}
+	for _, n := range wire.Removed {
+		if n >= 0 && int(n) < len(g.removed) {
+			g.removed[n] = true
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,96 @@
+package xmlgraph
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestGraphEncodeDecodeRoundTrip(t *testing.T) {
+	doc := `<db>
+	  <movie id="m1" director="d1"><title>T1</title></movie>
+	  <director id="d1" movie="m1"><name>N</name></director>
+	</db>`
+	g, err := BuildString(doc, &BuildOptions{IDREFAttrs: []string{"director", "movie"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d, err := DecodeGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumNodes() != g.NumNodes() || d.NumEdges() != g.NumEdges() {
+		t.Fatalf("sizes diverge: %v vs %v", d.Stats(), g.Stats())
+	}
+	if d.Root() != g.Root() {
+		t.Fatalf("root %d vs %d", d.Root(), g.Root())
+	}
+	if !reflect.DeepEqual(d.IDREFLabels(), g.IDREFLabels()) {
+		t.Fatalf("idref labels diverge")
+	}
+	// Every node's metadata survives.
+	for i := 0; i < g.NumNodes(); i++ {
+		if g.Node(NID(i)) != d.Node(NID(i)) {
+			t.Fatalf("node %d diverges: %+v vs %+v", i, g.Node(NID(i)), d.Node(NID(i)))
+		}
+	}
+	// Path evaluation agrees.
+	for _, p := range g.RootPaths(5) {
+		want := g.EvalSimplePath(g.Root(), p)
+		got := d.EvalSimplePath(d.Root(), p)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("path %s diverges", p)
+		}
+	}
+	// The ID registry survives (needed for post-load AppendFragment).
+	if _, ok := d.LookupID("m1"); !ok {
+		t.Fatal("IDs lost in round trip")
+	}
+}
+
+func TestDecodeGraphGarbage(t *testing.T) {
+	if _, err := DecodeGraph(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestDocDepth(t *testing.T) {
+	g, err := BuildString(`<r><a><b><c/></b></a><d/></r>`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.DocDepth(); got != 3 {
+		t.Fatalf("DocDepth = %d, want 3", got)
+	}
+	// References do not deepen the document hierarchy.
+	g2, err := BuildString(`<r><a id="x" ref="y"/><b id="y" ref="x"/></r>`,
+		&BuildOptions{IDREFAttrs: []string{"ref"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// r -> a -> @ref (attribute) is the deepest hierarchy chain.
+	if got := g2.DocDepth(); got != 2 {
+		t.Fatalf("DocDepth with refs = %d, want 2", got)
+	}
+}
+
+func TestStatsAndAccessors(t *testing.T) {
+	g, err := BuildString(`<r><a x="1"/></r>`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := g.Stats()
+	if st.Nodes != 3 || st.Edges != 2 || st.Labels != 2 {
+		t.Fatalf("stats = %v", st)
+	}
+	if g.NumLabels() != 2 {
+		t.Fatalf("NumLabels = %d", g.NumLabels())
+	}
+	if len(g.Out(g.Root())) != 1 {
+		t.Fatalf("Out(root) = %v", g.Out(g.Root()))
+	}
+}

@@ -1,6 +1,8 @@
-# Convenience targets; everything is plain `go` underneath.
+# Convenience targets; everything is plain `go` underneath. `ci`, `race`,
+# and `lint` mirror the GitHub Actions jobs in .github/workflows/ci.yml
+# exactly, so a green local run means a green CI run.
 
-.PHONY: all build test race cover bench experiments fuzz clean
+.PHONY: all build test ci race lint cover bench bench-concurrent experiments fuzz clean
 
 all: build test
 
@@ -11,8 +13,24 @@ build:
 test:
 	go test ./...
 
+# What the CI `test` job runs: build, vet, gofmt gate, tests.
+ci: lint
+	go build ./...
+	go test ./...
+
+# What the CI `race` job runs, including the concurrency stress tests.
 race:
 	go test -race ./...
+
+# Static gates only: vet plus the gofmt cleanliness check.
+lint:
+	go vet ./...
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; \
+		echo "$$unformatted" >&2; \
+		exit 1; \
+	fi
 
 cover:
 	go test -cover ./...
@@ -20,6 +38,12 @@ cover:
 # One testing.B benchmark per paper table/figure plus ablations.
 bench:
 	go test -bench=. -benchmem .
+
+# What the CI `bench` job smokes on every PR: the concurrent read-path
+# benchmarks and the worker sweep recorded to BENCH_CONCURRENCY.json.
+bench-concurrent:
+	go test -run '^$$' -bench 'Concurrent' -benchtime=100ms -cpu 1,4 .
+	go run ./cmd/apexbench -experiments concurrency -concurrency-json BENCH_CONCURRENCY.json
 
 # The full experiment suite at laptop scale; see -paper for the 2002 sizes.
 experiments:

@@ -52,6 +52,11 @@ type Options struct {
 	// DisableQueryLog turns off the built-in workload log (Query calls are
 	// then not recorded for Adapt).
 	DisableQueryLog bool
+	// Parallelism bounds the worker pool the query processor uses to fan
+	// out extent scans, join probes, and value validations inside a single
+	// query (0 = GOMAXPROCS, 1 = fully serial evaluation). The pool is
+	// shared by all concurrent queries on the index.
+	Parallelism int
 }
 
 func (o *Options) minSup() float64 {
@@ -62,17 +67,27 @@ func (o *Options) minSup() float64 {
 }
 
 // Index is an APEX index over one document, together with its data table
-// and query processor. An Index is safe for concurrent queries only if no
-// Adapt call runs concurrently; Adapt takes an internal lock but readers
-// are expected to be externally coordinated (matching a single query
-// processor, as in the paper's system).
+// and query processor. An Index is safe for arbitrary concurrent use:
+// queries share a read lock and run fully in parallel (APEX's structures
+// are read-mostly between adaptation rounds — the paper's life cycle is
+// build, serve many queries, occasionally adapt), while Adapt, AdaptTo,
+// Insert, and Delete build their changes under the write lock and publish
+// atomically, so a reader never observes a half-updated G_APEX or H_APEX.
+// See README.md ("Concurrency model") for the exact guarantees.
 type Index struct {
-	mu   sync.Mutex
+	// mu is the reader/writer gate: Query, Stats, Save, and the cost
+	// accessors take the read side; Adapt, AdaptTo, Insert, and Delete take
+	// the write side. Readers never block each other.
+	mu   sync.RWMutex
 	idx  *core.APEX
 	dt   *storage.DataTable
 	eval *query.APEXEvaluator
 	opts Options
 
+	// logMu guards the workload log separately: Query appends to it while
+	// holding only the read side of mu, so concurrent readers need their
+	// own serialization point for the log.
+	logMu    sync.Mutex
 	workload []xmlgraph.LabelPath
 }
 
@@ -102,6 +117,17 @@ func OpenFile(path string, opts *Options) (*Index, error) {
 	return Open(f, opts)
 }
 
+// FromGraph builds the initial index over an already-parsed document graph.
+// It is the in-module bridge for tools and benchmarks that construct graphs
+// directly (the type lives in an internal package, so callers outside this
+// module use Open instead).
+func FromGraph(g *xmlgraph.Graph, opts *Options) (*Index, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	return fromGraph(g, *opts)
+}
+
 func fromGraph(g *xmlgraph.Graph, opts Options) (*Index, error) {
 	dt, err := storage.BuildDataTable(g, 0, 64)
 	if err != nil {
@@ -111,9 +137,18 @@ func fromGraph(g *xmlgraph.Graph, opts Options) (*Index, error) {
 	return &Index{
 		idx:  idx,
 		dt:   dt,
-		eval: query.NewAPEXEvaluator(idx, dt),
+		eval: newEvaluator(idx, dt, opts),
 		opts: opts,
 	}, nil
+}
+
+// newEvaluator wires a query processor with the configured parallelism.
+func newEvaluator(idx *core.APEX, dt *storage.DataTable, opts Options) *query.APEXEvaluator {
+	ev := query.NewAPEXEvaluator(idx, dt)
+	if opts.Parallelism != 0 {
+		ev.SetParallelism(opts.Parallelism)
+	}
+	return ev
 }
 
 // Load reads an index previously written by Save.
@@ -126,7 +161,7 @@ func Load(r io.Reader) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Index{idx: idx, dt: dt, eval: query.NewAPEXEvaluator(idx, dt)}, nil
+	return &Index{idx: idx, dt: dt, eval: newEvaluator(idx, dt, Options{})}, nil
 }
 
 // LoadFile is Load over a file path.
@@ -142,8 +177,8 @@ func LoadFile(path string) (*Index, error) {
 // Save writes the index (including the parsed document graph) so it can be
 // reopened with Load without the original XML.
 func (ix *Index) Save(w io.Writer) error {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	return ix.idx.Encode(w)
 }
 
@@ -183,19 +218,25 @@ func (r *Result) Len() int { return len(r.Nodes) }
 //
 // Path queries are recorded in the workload log for Adapt unless the index
 // was opened with DisableQueryLog.
+//
+// Query is safe to call from any number of goroutines: it holds only the
+// read side of the index lock, so queries evaluate fully in parallel and
+// block only while an Adapt/Insert/Delete publishes its changes.
 func (ix *Index) Query(q string) (*Result, error) {
 	parsed, err := query.Parse(q)
 	if err != nil {
 		return nil, err
 	}
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	nids, err := ix.eval.Evaluate(parsed)
 	if err != nil {
 		return nil, err
 	}
 	if !ix.opts.DisableQueryLog && (parsed.Type == query.QTYPE1 || parsed.Type == query.QTYPE3) {
+		ix.logMu.Lock()
 		ix.workload = append(ix.workload, parsed.Path)
+		ix.logMu.Unlock()
 	}
 	g := ix.idx.Graph()
 	res := &Result{Nodes: make([]Node, len(nids))}
@@ -216,12 +257,15 @@ func (ix *Index) Adapt(minSup float64) error {
 	if minSup <= 0 {
 		minSup = ix.opts.minSup()
 	}
-	if len(ix.workload) == 0 {
+	ix.logMu.Lock()
+	wl := ix.workload
+	ix.workload = nil
+	ix.logMu.Unlock()
+	if len(wl) == 0 {
 		return fmt.Errorf("apex: no logged queries to adapt to")
 	}
-	ix.idx.ExtractFrequentPaths(ix.workload, minSup)
+	ix.idx.ExtractFrequentPaths(wl, minSup)
 	ix.idx.Update()
-	ix.workload = nil
 	return nil
 }
 
@@ -296,7 +340,7 @@ func (ix *Index) Insert(parentQuery, fragment string) error {
 		return err
 	}
 	ix.dt = dt
-	ix.eval = query.NewAPEXEvaluator(ix.idx, dt)
+	ix.eval = newEvaluator(ix.idx, dt, ix.opts)
 	return nil
 }
 
@@ -342,7 +386,7 @@ func (ix *Index) Delete(targetQuery string) error {
 		return err
 	}
 	ix.dt = dt
-	ix.eval = query.NewAPEXEvaluator(ix.idx, dt)
+	ix.eval = newEvaluator(ix.idx, dt, ix.opts)
 	return nil
 }
 
@@ -361,29 +405,32 @@ type Stats struct {
 
 // Stats snapshots the index structure.
 func (ix *Index) Stats() Stats {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	ix.logMu.Lock()
+	logged := len(ix.workload)
+	ix.logMu.Unlock()
 	st := ix.idx.Stats()
 	return Stats{
 		Nodes:         st.Nodes,
 		Edges:         st.Edges,
 		ExtentEdges:   st.ExtentEdges,
 		RequiredPaths: ix.idx.RequiredPaths(),
-		LoggedQueries: len(ix.workload),
+		LoggedQueries: logged,
 	}
 }
 
 // QueryCost snapshots the accumulated logical cost counters of the query
 // processor (hash lookups, extent scans, join probes, data validations).
 func (ix *Index) QueryCost() string {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	return ix.eval.Cost().String()
 }
 
 // ResetQueryCost zeroes the cost counters.
 func (ix *Index) ResetQueryCost() {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	ix.eval.ResetCost()
 }

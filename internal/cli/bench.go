@@ -16,14 +16,15 @@ func RunBench(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("apexbench", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var (
-		scale  = fs.Float64("scale", 0.05, "data set scale relative to the paper's sizes")
-		q1     = fs.Int("q1", 1000, "number of QTYPE1 queries")
-		q2     = fs.Int("q2", 100, "number of QTYPE2 queries")
-		q3     = fs.Int("q3", 200, "number of QTYPE3 queries")
-		seed   = fs.Int64("seed", 1, "random seed")
-		exps   = fs.String("experiments", "table1,table2,fig13,fig14,fig15", "comma-separated experiment list (also: ablations, asr)")
-		paper  = fs.Bool("paper", false, "run the full-size paper protocol (slow)")
-		csvDir = fs.String("csv", "", "also write figure series as CSV files into this directory")
+		scale    = fs.Float64("scale", 0.05, "data set scale relative to the paper's sizes")
+		q1       = fs.Int("q1", 1000, "number of QTYPE1 queries")
+		q2       = fs.Int("q2", 100, "number of QTYPE2 queries")
+		q3       = fs.Int("q3", 200, "number of QTYPE3 queries")
+		seed     = fs.Int64("seed", 1, "random seed")
+		exps     = fs.String("experiments", "table1,table2,fig13,fig14,fig15", "comma-separated experiment list (also: ablations, asr, concurrency)")
+		paper    = fs.Bool("paper", false, "run the full-size paper protocol (slow)")
+		csvDir   = fs.String("csv", "", "also write figure series as CSV files into this directory")
+		concJSON = fs.String("concurrency-json", "", "write the concurrency sweep report to this JSON file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -156,6 +157,27 @@ func RunBench(args []string, stdout io.Writer) error {
 		}
 		fprintf(stdout, "extent storage (Ged02): T^R stored=%d edges, naive ΣT(p)=%d edges\n", stored, naive)
 		return nil
+	})
+	run("concurrency", func() error {
+		rep, err := env.Concurrency("Flix02.xml", []int{1, 2, 4, 8}, 4*cfg.NumQ1)
+		if err != nil {
+			return err
+		}
+		fprintf(stdout, "%s\n", bench.RenderConcurrency(rep))
+		if *concJSON != "" {
+			f, err := os.Create(*concJSON)
+			if err != nil {
+				return err
+			}
+			if err := bench.WriteConcurrencyJSON(f, rep); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+		return csvOut("concurrency.json", func(w io.Writer) error {
+			return bench.WriteConcurrencyJSON(w, rep)
+		})
 	})
 	run("asr", func() error {
 		for _, ds := range []string{"shakes_11.xml", "Flix02.xml", "Ged02.xml"} {

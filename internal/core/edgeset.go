@@ -17,8 +17,15 @@ import (
 
 // EdgeSet is a set of <parentNid, nid> pairs — the extent representation of
 // Definition 7. The zero value is not usable; call NewEdgeSet.
+//
+// Alongside the membership map the set keeps its pairs in a slice, in
+// insertion order: extents are append-only (updates and refreshes build new
+// sets rather than removing pairs), and the slice gives scans a stable order
+// plus a chunkable view that the parallel join in internal/query partitions
+// across workers.
 type EdgeSet struct {
-	m map[xmlgraph.EdgePair]struct{}
+	m     map[xmlgraph.EdgePair]struct{}
+	pairs []xmlgraph.EdgePair
 }
 
 // NewEdgeSet returns an empty edge set.
@@ -32,6 +39,7 @@ func (s *EdgeSet) Add(p xmlgraph.EdgePair) bool {
 		return false
 	}
 	s.m[p] = struct{}{}
+	s.pairs = append(s.pairs, p)
 	return true
 }
 
@@ -52,14 +60,23 @@ func (s *EdgeSet) Len() int {
 	return len(s.m)
 }
 
-// Each calls fn for every pair, in unspecified order.
+// Each calls fn for every pair, in insertion order.
 func (s *EdgeSet) Each(fn func(xmlgraph.EdgePair)) {
 	if s == nil {
 		return
 	}
-	for p := range s.m {
+	for _, p := range s.pairs {
 		fn(p)
 	}
+}
+
+// Pairs returns the pairs in insertion order. The slice is the set's own
+// backing store: callers must treat it as read-only.
+func (s *EdgeSet) Pairs() []xmlgraph.EdgePair {
+	if s == nil {
+		return nil
+	}
+	return s.pairs
 }
 
 // Ends returns the distinct end nids of all pairs.
@@ -69,7 +86,7 @@ func (s *EdgeSet) Ends() []xmlgraph.NID {
 	}
 	seen := make(map[xmlgraph.NID]bool, len(s.m))
 	var res []xmlgraph.NID
-	for p := range s.m {
+	for _, p := range s.pairs {
 		if !seen[p.To] {
 			seen[p.To] = true
 			res = append(res, p.To)
@@ -83,10 +100,7 @@ func (s *EdgeSet) Sorted() []xmlgraph.EdgePair {
 	if s == nil {
 		return nil
 	}
-	res := make([]xmlgraph.EdgePair, 0, len(s.m))
-	for p := range s.m {
-		res = append(res, p)
-	}
+	res := append([]xmlgraph.EdgePair(nil), s.pairs...)
 	sort.Slice(res, func(i, j int) bool {
 		if res[i].From != res[j].From {
 			return res[i].From < res[j].From

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"apex/internal/core"
 	"apex/internal/storage"
@@ -22,10 +24,17 @@ import (
 //     nodes whose incoming label is l_i (no root traversal), then QTYPE1
 //     machinery per rewritten path.
 //   - QTYPE3: QTYPE1 followed by data-table validation of the value.
+//
+// The evaluator is safe for concurrent Evaluate calls as long as the index
+// and data table underneath are not mutated concurrently (the apex facade
+// guarantees that with its reader/writer lock): every evaluation tallies
+// cost into a stack-local Cost merged atomically at the end, and the hot
+// scans fan out to a bounded worker pool shared by all in-flight queries.
 type APEXEvaluator struct {
 	idx  *core.APEX
 	dt   *storage.DataTable
-	cost Cost
+	cost costCounters
+	pool *workerPool
 	// maxRewriteLen caps QTYPE2 rewriting; defaults to the document depth,
 	// the longest reference-free path that can exist.
 	maxRewriteLen int
@@ -40,24 +49,44 @@ type APEXEvaluator struct {
 	DisableRefinement bool
 }
 
+// spanSize is the number of extent pairs per parallel work unit. A variable
+// so the concurrency tests can shrink it (together with parallelThreshold)
+// to force fan-out on small documents.
+var spanSize = 2048
+
 // NewAPEXEvaluator wires an evaluator. dt may be nil if QTYPE3 is not used.
+// The worker pool defaults to GOMAXPROCS; SetParallelism overrides it.
 func NewAPEXEvaluator(idx *core.APEX, dt *storage.DataTable) *APEXEvaluator {
 	// Rewriting legs are reference-free except for their first hops: a leg
 	// anchored at an '@attr' label continues over one reference edge before
 	// descending the hierarchy, so the longest leg is the document depth
 	// plus two (regression: //individual/@fams//page on GedML needed
 	// depth+1 and was silently truncated at depth).
-	return &APEXEvaluator{idx: idx, dt: dt, maxRewriteLen: idx.Graph().DocDepth() + 2}
+	return &APEXEvaluator{
+		idx:           idx,
+		dt:            dt,
+		pool:          newWorkerPool(0),
+		maxRewriteLen: idx.Graph().DocDepth() + 2,
+	}
 }
+
+// SetParallelism resizes the evaluator's worker pool to n (n <= 0 restores
+// the GOMAXPROCS default; 1 makes every evaluation fully serial). It must
+// not be called while evaluations are in flight.
+func (e *APEXEvaluator) SetParallelism(n int) { e.pool = newWorkerPool(n) }
 
 // Name implements Evaluator.
 func (e *APEXEvaluator) Name() string { return "APEX" }
 
-// Cost implements Evaluator.
-func (e *APEXEvaluator) Cost() *Cost { return &e.cost }
+// Cost implements Evaluator. The returned value is a point-in-time snapshot
+// of the atomic counters; it does not track later evaluations.
+func (e *APEXEvaluator) Cost() *Cost {
+	c := e.cost.snapshot()
+	return &c
+}
 
 // ResetCost implements Evaluator.
-func (e *APEXEvaluator) ResetCost() { e.cost = Cost{} }
+func (e *APEXEvaluator) ResetCost() { e.cost.reset() }
 
 // Evaluate implements Evaluator.
 func (e *APEXEvaluator) Evaluate(q Query) ([]xmlgraph.NID, error) {
@@ -80,35 +109,37 @@ func (e *APEXEvaluator) Evaluate(q Query) ([]xmlgraph.NID, error) {
 
 // EvalPath answers //p[0]/…/p[n-1].
 func (e *APEXEvaluator) EvalPath(p xmlgraph.LabelPath) []xmlgraph.NID {
-	e.cost.Queries++
-	res := e.evalPathSet(p)
+	var c Cost
+	defer e.cost.add(&c)
+	c.Queries++
+	res := e.evalPathSet(p, &c)
 	out := make([]xmlgraph.NID, 0, len(res))
 	for n := range res {
 		out = append(out, n)
 	}
 	e.idx.Graph().SortByDocumentOrder(out)
-	e.cost.ResultNodes += int64(len(out))
+	c.ResultNodes += int64(len(out))
 	return out
 }
 
-func (e *APEXEvaluator) evalPathSet(p xmlgraph.LabelPath) map[xmlgraph.NID]bool {
+func (e *APEXEvaluator) evalPathSet(p xmlgraph.LabelPath, c *Cost) map[xmlgraph.NID]bool {
 	if len(p) == 0 {
 		return nil
 	}
 	// Fast path: the hash tree covers the whole query path.
 	nodes, covered := e.idx.LookupAll(p)
-	e.cost.HashLookups += int64(len(p))
+	c.HashLookups += int64(len(p))
 	if covered.Equal(p) && !e.DisableFastPath {
-		res := make(map[xmlgraph.NID]bool)
-		for _, x := range nodes {
-			e.cost.ExtentEdges += int64(x.Extent.Len())
-			x.Extent.Each(func(pr xmlgraph.EdgePair) { res[pr.To] = true })
-		}
-		return res
+		return e.scanSpans(extentSpans(nodes), c,
+			func(pr xmlgraph.EdgePair, out map[xmlgraph.NID]bool, wc *Cost) {
+				out[pr.To] = true
+			})
 	}
 	// Multi-way join over per-position candidate edge sets. Position j's
 	// candidates come from looking up the query prefix p[:j+1]; required
-	// paths shrink these sets below the full T(l_j).
+	// paths shrink these sets below the full T(l_j). Within a position the
+	// probe loop fans out to the worker pool; positions stay sequential
+	// because each consumes the previous one's output set.
 	var allowed map[xmlgraph.NID]bool
 	for j := 1; j <= len(p); j++ {
 		prefix := p[:j]
@@ -116,26 +147,35 @@ func (e *APEXEvaluator) evalPathSet(p xmlgraph.LabelPath) map[xmlgraph.NID]bool 
 			prefix = p[j-1 : j]
 		}
 		nodesJ, _ := e.idx.LookupAll(prefix)
-		e.cost.HashLookups += int64(len(prefix))
-		next := make(map[xmlgraph.NID]bool)
-		for _, x := range nodesJ {
-			e.cost.ExtentEdges += int64(x.Extent.Len())
-			x.Extent.Each(func(pr xmlgraph.EdgePair) {
-				if j > 1 {
-					e.cost.JoinProbes++
-					if !allowed[pr.From] {
+		c.HashLookups += int64(len(prefix))
+		probe := allowed // read-only inside the workers
+		first := j == 1
+		next := e.scanSpans(extentSpans(nodesJ), c,
+			func(pr xmlgraph.EdgePair, out map[xmlgraph.NID]bool, wc *Cost) {
+				if !first {
+					wc.JoinProbes++
+					if !probe[pr.From] {
 						return
 					}
 				}
-				next[pr.To] = true
+				out[pr.To] = true
 			})
-		}
 		if len(next) == 0 {
 			return nil
 		}
 		allowed = next
 	}
 	return allowed
+}
+
+// extentSpans chunks the extents of the given summary nodes into parallel
+// work units.
+func extentSpans(nodes []*core.XNode) []span {
+	var spans []span
+	for _, x := range nodes {
+		spans = chunkPairs(x.Extent.Pairs(), spanSize, spans)
+	}
+	return spans
 }
 
 // EvalPair answers //a//b by rewriting on G_APEX: enumerate the distinct
@@ -150,11 +190,13 @@ func (e *APEXEvaluator) evalPathSet(p xmlgraph.LabelPath) map[xmlgraph.NID]bool 
 // edges), so every reference-free path is no longer than the document
 // depth, which caps the enumeration.
 func (e *APEXEvaluator) EvalPair(a, b string) []xmlgraph.NID {
-	e.cost.Queries++
+	var c Cost
+	defer e.cost.add(&c)
+	c.Queries++
 	res := make(map[xmlgraph.NID]bool)
-	for _, s := range e.enumerateLegs(a, b) {
-		e.cost.Rewritings++
-		for n := range e.evalPathSet(xmlgraph.ParseLabelPath(s)) {
+	for _, s := range e.enumerateLegs(a, b, &c) {
+		c.Rewritings++
+		for n := range e.evalPathSet(xmlgraph.ParseLabelPath(s), &c) {
 			res[n] = true
 		}
 	}
@@ -163,16 +205,16 @@ func (e *APEXEvaluator) EvalPair(a, b string) []xmlgraph.NID {
 		out = append(out, n)
 	}
 	e.idx.Graph().SortByDocumentOrder(out)
-	e.cost.ResultNodes += int64(len(out))
+	c.ResultNodes += int64(len(out))
 	return out
 }
 
 // enumerateLegs lists, in sorted order, the distinct reference-free label
 // sequences a.….b that exist in G_APEX, starting at the summary nodes whose
 // incoming label is a (found via the hash tree).
-func (e *APEXEvaluator) enumerateLegs(a, b string) []string {
+func (e *APEXEvaluator) enumerateLegs(a, b string, c *Cost) []string {
 	starts, _ := e.idx.LookupAll(xmlgraph.LabelPath{a})
-	e.cost.HashLookups++
+	c.HashLookups++
 	seqs := make(map[string]bool)
 	seen := make(map[string]bool) // (node, partial-sequence) visited states
 	var dfs func(x *core.XNode, seq []string)
@@ -181,7 +223,7 @@ func (e *APEXEvaluator) enumerateLegs(a, b string) []string {
 			return
 		}
 		for _, l := range x.OutLabels() {
-			e.cost.IndexEdgeLookups++
+			c.IndexEdgeLookups++
 			next := append(append([]string(nil), seq...), l)
 			joined := strings.Join(next, ".")
 			if l == b {
@@ -221,7 +263,9 @@ const MaxMixedRewritings = 100000
 // the natural generalization of the paper's QTYPE2 processing to arbitrary
 // mixed-axis queries.
 func (e *APEXEvaluator) EvalMixed(segments []xmlgraph.LabelPath) []xmlgraph.NID {
-	e.cost.Queries++
+	var c Cost
+	defer e.cost.add(&c)
+	c.Queries++
 	res := make(map[xmlgraph.NID]bool)
 	if len(segments) == 0 {
 		return nil
@@ -231,7 +275,7 @@ func (e *APEXEvaluator) EvalMixed(segments []xmlgraph.LabelPath) []xmlgraph.NID 
 	for i := 0; i < len(segments)-1; i++ {
 		a := segments[i][len(segments[i])-1]
 		b := segments[i+1][0]
-		legs[i] = e.enumerateLegs(a, b)
+		legs[i] = e.enumerateLegs(a, b, &c)
 		if len(legs[i]) == 0 {
 			return nil // no connection exists for this gap
 		}
@@ -246,8 +290,8 @@ func (e *APEXEvaluator) EvalMixed(segments []xmlgraph.LabelPath) []xmlgraph.NID 
 		}
 		if i == len(segments)-1 {
 			combos++
-			e.cost.Rewritings++
-			for n := range e.evalPathSet(acc) {
+			c.Rewritings++
+			for n := range e.evalPathSet(acc, &c) {
 				res[n] = true
 			}
 			return
@@ -265,23 +309,86 @@ func (e *APEXEvaluator) EvalMixed(segments []xmlgraph.LabelPath) []xmlgraph.NID 
 		out = append(out, n)
 	}
 	e.idx.Graph().SortByDocumentOrder(out)
-	e.cost.ResultNodes += int64(len(out))
+	c.ResultNodes += int64(len(out))
 	return out
 }
 
 // EvalPathValue answers //p…[text()=value]: the QTYPE1 result set is
-// validated against the data table (each check is a counted page read).
+// validated against the data table (each check is a counted page read). The
+// validations fan out to the worker pool — the data table's buffer pool is
+// concurrency-safe — which overlaps the per-candidate page reads.
 func (e *APEXEvaluator) EvalPathValue(p xmlgraph.LabelPath, value string) []xmlgraph.NID {
-	e.cost.Queries++
-	candidates := e.evalPathSet(p)
-	var out []xmlgraph.NID
+	var c Cost
+	defer e.cost.add(&c)
+	c.Queries++
+	candidates := e.evalPathSet(p, &c)
+	cands := make([]xmlgraph.NID, 0, len(candidates))
 	for n := range candidates {
-		e.cost.DataLookups++
-		if v, ok := e.dt.Lookup(n); ok && v == value {
-			out = append(out, n)
+		cands = append(cands, n)
+	}
+	out := e.validateValues(cands, value, &c)
+	e.idx.Graph().SortByDocumentOrder(out)
+	c.ResultNodes += int64(len(out))
+	return out
+}
+
+// validateValues keeps the candidates whose data-table value equals value,
+// splitting the probe loop across the worker pool when it is large enough.
+func (e *APEXEvaluator) validateValues(cands []xmlgraph.NID, value string, c *Cost) []xmlgraph.NID {
+	check := func(n xmlgraph.NID, wc *Cost) bool {
+		wc.DataLookups++
+		v, ok := e.dt.Lookup(n)
+		return ok && v == value
+	}
+	extra := 0
+	if len(cands) >= parallelThreshold {
+		extra = e.pool.acquire((len(cands) - 1) / spanSize)
+	}
+	if extra == 0 {
+		var out []xmlgraph.NID
+		for _, n := range cands {
+			if check(n, c) {
+				out = append(out, n)
+			}
+		}
+		return out
+	}
+	defer e.pool.release(extra)
+
+	var cursor atomic.Int64
+	outs := make([][]xmlgraph.NID, extra+1)
+	shards := make([]Cost, extra+1)
+	work := func(w int) {
+		for {
+			lo := int(cursor.Add(int64(spanSize))) - spanSize
+			if lo >= len(cands) {
+				break
+			}
+			hi := lo + spanSize
+			if hi > len(cands) {
+				hi = len(cands)
+			}
+			for _, n := range cands[lo:hi] {
+				if check(n, &shards[w]) {
+					outs[w] = append(outs[w], n)
+				}
+			}
 		}
 	}
-	e.idx.Graph().SortByDocumentOrder(out)
-	e.cost.ResultNodes += int64(len(out))
+	var wg sync.WaitGroup
+	for w := 1; w <= extra; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			work(w)
+		}(w)
+	}
+	work(0)
+	wg.Wait()
+	var out []xmlgraph.NID
+	for w := range outs {
+		out = append(out, outs[w]...)
+		c.merge(&shards[w])
+	}
 	return out
 }

@@ -1,0 +1,236 @@
+package query
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"apex/internal/xmlgraph"
+)
+
+// costCounters is the race-safe accumulator behind APEXEvaluator's Cost:
+// each Evaluate call tallies into a stack-local Cost (per-worker shards when
+// the join fans out) and merges it here atomically at the end, so concurrent
+// evaluations on one shared evaluator never lose counts and never trip the
+// race detector.
+type costCounters struct {
+	queries          atomic.Int64
+	hashLookups      atomic.Int64
+	indexEdgeLookups atomic.Int64
+	extentEdges      atomic.Int64
+	joinProbes       atomic.Int64
+	rewritings       atomic.Int64
+	dataLookups      atomic.Int64
+	trieNodes        atomic.Int64
+	leafValidations  atomic.Int64
+	blockReads       atomic.Int64
+	resultNodes      atomic.Int64
+}
+
+// add merges one evaluation's local tallies.
+func (cc *costCounters) add(c *Cost) {
+	cc.queries.Add(c.Queries)
+	cc.hashLookups.Add(c.HashLookups)
+	cc.indexEdgeLookups.Add(c.IndexEdgeLookups)
+	cc.extentEdges.Add(c.ExtentEdges)
+	cc.joinProbes.Add(c.JoinProbes)
+	cc.rewritings.Add(c.Rewritings)
+	cc.dataLookups.Add(c.DataLookups)
+	cc.trieNodes.Add(c.TrieNodes)
+	cc.leafValidations.Add(c.LeafValidations)
+	cc.blockReads.Add(c.BlockReads)
+	cc.resultNodes.Add(c.ResultNodes)
+}
+
+// snapshot returns the current totals as a plain Cost value.
+func (cc *costCounters) snapshot() Cost {
+	return Cost{
+		Queries:          cc.queries.Load(),
+		HashLookups:      cc.hashLookups.Load(),
+		IndexEdgeLookups: cc.indexEdgeLookups.Load(),
+		ExtentEdges:      cc.extentEdges.Load(),
+		JoinProbes:       cc.joinProbes.Load(),
+		Rewritings:       cc.rewritings.Load(),
+		DataLookups:      cc.dataLookups.Load(),
+		TrieNodes:        cc.trieNodes.Load(),
+		LeafValidations:  cc.leafValidations.Load(),
+		BlockReads:       cc.blockReads.Load(),
+		ResultNodes:      cc.resultNodes.Load(),
+	}
+}
+
+// reset zeroes every counter.
+func (cc *costCounters) reset() {
+	cc.queries.Store(0)
+	cc.hashLookups.Store(0)
+	cc.indexEdgeLookups.Store(0)
+	cc.extentEdges.Store(0)
+	cc.joinProbes.Store(0)
+	cc.rewritings.Store(0)
+	cc.dataLookups.Store(0)
+	cc.trieNodes.Store(0)
+	cc.leafValidations.Store(0)
+	cc.blockReads.Store(0)
+	cc.resultNodes.Store(0)
+}
+
+// parallelThreshold is the minimum number of extent pairs (or data-table
+// candidates) a scan must have before it is worth fanning out to the worker
+// pool; below it the goroutine handoff costs more than the scan. Tests lower
+// it to force the parallel path on small documents.
+var parallelThreshold = 4096
+
+// workerPool bounds the auxiliary goroutines one evaluator may have in
+// flight across all concurrent evaluations. Callers always work themselves;
+// the pool only hands out *extra* workers (size-1 tokens for a pool of the
+// configured size), degrading gracefully to serial execution when the pool
+// is drained by other queries.
+type workerPool struct {
+	tokens chan struct{}
+}
+
+func newWorkerPool(size int) *workerPool {
+	if size <= 0 {
+		size = runtime.GOMAXPROCS(0)
+	}
+	p := &workerPool{tokens: make(chan struct{}, size)}
+	// Pre-fill size-1 tokens: the calling goroutine is the pool's
+	// first worker, so a pool of size n adds at most n-1 goroutines.
+	for i := 0; i < size-1; i++ {
+		p.tokens <- struct{}{}
+	}
+	return p
+}
+
+// acquire grabs up to want extra-worker tokens without blocking.
+func (p *workerPool) acquire(want int) int {
+	n := 0
+	for n < want {
+		select {
+		case <-p.tokens:
+			n++
+		default:
+			return n
+		}
+	}
+	return n
+}
+
+// release returns n tokens to the pool.
+func (p *workerPool) release(n int) {
+	for i := 0; i < n; i++ {
+		p.tokens <- struct{}{}
+	}
+}
+
+// span is one contiguous slice of extent pairs, the unit of work the
+// parallel scans hand to the pool.
+type span struct {
+	pairs []xmlgraph.EdgePair
+}
+
+// chunkPairs splits a pair slice into spans of roughly chunk pairs each.
+func chunkPairs(pairs []xmlgraph.EdgePair, chunk int, spans []span) []span {
+	for len(pairs) > chunk {
+		spans = append(spans, span{pairs: pairs[:chunk]})
+		pairs = pairs[chunk:]
+	}
+	if len(pairs) > 0 {
+		spans = append(spans, span{pairs: pairs})
+	}
+	return spans
+}
+
+// scanSpans runs visit over every pair of every span, fanning the spans out
+// to the evaluator's worker pool when extra workers are available. Each
+// worker owns a private result set and Cost shard; scanSpans merges the sets
+// into one and the shards into c. ExtentEdges is tallied here (one count per
+// pair scanned), matching the serial accounting.
+func (e *APEXEvaluator) scanSpans(spans []span, c *Cost, visit func(pr xmlgraph.EdgePair, out map[xmlgraph.NID]bool, wc *Cost)) map[xmlgraph.NID]bool {
+	total := 0
+	for _, s := range spans {
+		total += len(s.pairs)
+	}
+	extra := 0
+	if total >= parallelThreshold && len(spans) > 1 {
+		extra = e.pool.acquire(len(spans) - 1)
+	}
+	if extra == 0 {
+		out := make(map[xmlgraph.NID]bool)
+		for _, s := range spans {
+			c.ExtentEdges += int64(len(s.pairs))
+			for _, pr := range s.pairs {
+				visit(pr, out, c)
+			}
+		}
+		return out
+	}
+	defer e.pool.release(extra)
+
+	var cursor atomic.Int64
+	outs := make([]map[xmlgraph.NID]bool, extra+1)
+	shards := make([]Cost, extra+1)
+	work := func(w int) {
+		out := make(map[xmlgraph.NID]bool)
+		wc := &shards[w]
+		for {
+			t := int(cursor.Add(1)) - 1
+			if t >= len(spans) {
+				break
+			}
+			s := spans[t]
+			wc.ExtentEdges += int64(len(s.pairs))
+			for _, pr := range s.pairs {
+				visit(pr, out, wc)
+			}
+		}
+		outs[w] = out
+	}
+	var wg sync.WaitGroup
+	for w := 1; w <= extra; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			work(w)
+		}(w)
+	}
+	work(0)
+	wg.Wait()
+
+	// Merge into the largest worker set to minimize rehashing.
+	big := 0
+	for w, out := range outs {
+		if len(out) > len(outs[big]) {
+			big = w
+		}
+	}
+	res := outs[big]
+	for w, out := range outs {
+		if w == big {
+			continue
+		}
+		for n := range out {
+			res[n] = true
+		}
+	}
+	for w := range shards {
+		c.merge(&shards[w])
+	}
+	return res
+}
+
+// merge adds every counter of o into c; used to fold per-worker shards into
+// an evaluation's local tally.
+func (c *Cost) merge(o *Cost) {
+	c.Queries += o.Queries
+	c.HashLookups += o.HashLookups
+	c.IndexEdgeLookups += o.IndexEdgeLookups
+	c.ExtentEdges += o.ExtentEdges
+	c.JoinProbes += o.JoinProbes
+	c.Rewritings += o.Rewritings
+	c.DataLookups += o.DataLookups
+	c.TrieNodes += o.TrieNodes
+	c.LeafValidations += o.LeafValidations
+	c.BlockReads += o.BlockReads
+	c.ResultNodes += o.ResultNodes
+}

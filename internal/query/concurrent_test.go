@@ -1,0 +1,156 @@
+package query
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"apex/internal/core"
+	"apex/internal/datagen"
+	"apex/internal/storage"
+	"apex/internal/xmlgraph"
+)
+
+// forceParallel shrinks the fan-out knobs so the worker pool engages even on
+// the small test documents, restoring them when the test ends.
+func forceParallel(t *testing.T) {
+	t.Helper()
+	oldThreshold, oldSpan := parallelThreshold, spanSize
+	parallelThreshold, spanSize = 1, 2
+	t.Cleanup(func() { parallelThreshold, spanSize = oldThreshold, oldSpan })
+}
+
+// flixEvaluators builds a parallel and a serial evaluator over the same
+// generated dataset, plus a query population covering every query type
+// (derived from the document's own root paths — the workload package cannot
+// be imported here without a cycle).
+func flixEvaluators(t *testing.T) (par, ser *APEXEvaluator, qs []Query) {
+	t.Helper()
+	ds, err := datagen.LoadDataset("Flix02.xml", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ds.Graph
+	paths := g.RootPaths(4)
+	var wl []xmlgraph.LabelPath
+	for i, p := range paths {
+		// Partial-matching suffix of every root path.
+		suffix := p[i%len(p):]
+		qs = append(qs, Query{Type: QTYPE1, Path: suffix})
+		if i%3 == 0 {
+			wl = append(wl, suffix)
+		}
+		if i%4 == 0 && len(p) >= 2 {
+			qs = append(qs, Query{Type: QTYPE2, Path: xmlgraph.LabelPath{p[0], p[len(p)-1]}})
+		}
+	}
+	// Value queries against real leaf values.
+	added := 0
+	for i := 0; i < g.NumNodes() && added < 20; i++ {
+		n := xmlgraph.NID(i)
+		if v := g.Value(n); v != "" && g.Node(n).Tag != "" {
+			qs = append(qs, Query{Type: QTYPE3, Path: xmlgraph.LabelPath{g.Node(n).Tag}, Value: v})
+			added++
+		}
+	}
+	dt, err := storage.BuildDataTable(g, 0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := core.BuildAPEX(g, wl, 0.01)
+	par = NewAPEXEvaluator(idx, dt)
+	par.SetParallelism(4)
+	ser = NewAPEXEvaluator(idx, dt)
+	ser.SetParallelism(1)
+	return par, ser, qs
+}
+
+// TestParallelEvalMatchesSerial forces the fan-out path and checks that the
+// parallel join produces exactly the serial results and the same
+// deterministic cost counters (every pair is scanned and probed once,
+// regardless of which worker handles it).
+func TestParallelEvalMatchesSerial(t *testing.T) {
+	forceParallel(t)
+	par, ser, qs := flixEvaluators(t)
+	for _, q := range qs {
+		got, err := par.Evaluate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ser.Evaluate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: parallel %v != serial %v", q, got, want)
+		}
+	}
+	if pc, sc := *par.Cost(), *ser.Cost(); pc != sc {
+		t.Fatalf("cost diverged:\nparallel %+v\nserial   %+v", pc, sc)
+	}
+}
+
+// TestConcurrentEvaluateSharedEvaluator hammers one evaluator from many
+// goroutines; the atomic cost merge must neither lose counts nor race.
+func TestConcurrentEvaluateSharedEvaluator(t *testing.T) {
+	forceParallel(t)
+	par, _, qs := flixEvaluators(t)
+	par.ResetCost()
+	const readers = 8
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := r; i < len(qs); i += readers {
+				if _, err := par.Evaluate(qs[i]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	if got := par.Cost().Queries; got != int64(len(qs)) {
+		t.Fatalf("Queries = %d after %d concurrent evaluations", got, len(qs))
+	}
+}
+
+// TestWorkerPoolBounds checks the token accounting: a pool of size n hands
+// out at most n-1 extra workers, and released tokens come back.
+func TestWorkerPoolBounds(t *testing.T) {
+	p := newWorkerPool(4)
+	if got := p.acquire(10); got != 3 {
+		t.Fatalf("acquire(10) = %d, want 3", got)
+	}
+	if got := p.acquire(1); got != 0 {
+		t.Fatalf("drained pool handed out %d workers", got)
+	}
+	p.release(3)
+	if got := p.acquire(2); got != 2 {
+		t.Fatalf("acquire(2) after release = %d, want 2", got)
+	}
+	p.release(2)
+	if got := newWorkerPool(1).acquire(5); got != 0 {
+		t.Fatalf("serial pool handed out %d workers", got)
+	}
+}
+
+// TestEdgeSetPairsMatchesSet guards the slice/map duality the parallel scans
+// rely on.
+func TestEdgeSetPairsMatchesSet(t *testing.T) {
+	s := core.NewEdgeSet()
+	for i := 0; i < 50; i++ {
+		s.Add(xmlgraph.EdgePair{From: xmlgraph.NID(i % 7), To: xmlgraph.NID(i % 13)})
+		s.Add(xmlgraph.EdgePair{From: xmlgraph.NID(i % 7), To: xmlgraph.NID(i % 13)}) // dup
+	}
+	pairs := s.Pairs()
+	if len(pairs) != s.Len() {
+		t.Fatalf("Pairs() has %d entries, set has %d", len(pairs), s.Len())
+	}
+	for _, p := range pairs {
+		if !s.Contains(p) {
+			t.Fatalf("pair %v in slice but not in set", p)
+		}
+	}
+}

@@ -3,6 +3,8 @@ package storage
 import (
 	"container/list"
 	"fmt"
+	"sync"
+	"sync/atomic"
 )
 
 // IOStats accumulates buffer-pool traffic. Logical = every page request;
@@ -25,14 +27,20 @@ func (s IOStats) String() string {
 }
 
 // BufferPool is a fixed-capacity LRU cache of pages in front of a Pager.
-// It is not safe for concurrent use; evaluators are single-threaded, as in
-// the paper's experiments.
+// It is safe for concurrent readers: the LRU structures are guarded by a
+// mutex and the traffic counters are atomic, so parallel query workers can
+// validate values against one shared data table. Page data is immutable once
+// appended, so returned slices stay valid after the lock is released.
 type BufferPool struct {
 	pager    Pager
 	capacity int
-	frames   map[PageID]*list.Element
-	lru      *list.List // front = most recently used
-	stats    IOStats
+
+	mu     sync.Mutex
+	frames map[PageID]*list.Element
+	lru    *list.List // front = most recently used
+
+	logical  atomic.Int64
+	physical atomic.Int64
 }
 
 type frame struct {
@@ -54,16 +62,24 @@ func NewBufferPool(pager Pager, capacity int) *BufferPool {
 
 // ReadPage returns page id through the cache.
 func (b *BufferPool) ReadPage(id PageID) ([]byte, error) {
-	b.stats.Logical++
+	b.logical.Add(1)
+	b.mu.Lock()
 	if el, ok := b.frames[id]; ok {
 		b.lru.MoveToFront(el)
-		return el.Value.(*frame).data, nil
+		data := el.Value.(*frame).data
+		b.mu.Unlock()
+		return data, nil
 	}
+	// Miss: read while holding the lock. The pager is in-memory, so holding
+	// it through the read is cheaper than the double-check a lock/unlock
+	// dance would need; concurrent misses of the same page would otherwise
+	// insert duplicate frames.
 	data, err := b.pager.ReadPage(id)
 	if err != nil {
+		b.mu.Unlock()
 		return nil, err
 	}
-	b.stats.Physical++
+	b.physical.Add(1)
 	if b.capacity > 0 {
 		if b.lru.Len() >= b.capacity {
 			oldest := b.lru.Back()
@@ -72,14 +88,24 @@ func (b *BufferPool) ReadPage(id PageID) ([]byte, error) {
 		}
 		b.frames[id] = b.lru.PushFront(&frame{id: id, data: data})
 	}
+	b.mu.Unlock()
 	return data, nil
 }
 
 // Stats returns a copy of the accumulated traffic counters.
-func (b *BufferPool) Stats() IOStats { return b.stats }
+func (b *BufferPool) Stats() IOStats {
+	return IOStats{Logical: b.logical.Load(), Physical: b.physical.Load()}
+}
 
 // ResetStats zeroes the traffic counters (cache contents are kept).
-func (b *BufferPool) ResetStats() { b.stats = IOStats{} }
+func (b *BufferPool) ResetStats() {
+	b.logical.Store(0)
+	b.physical.Store(0)
+}
 
 // Len returns the number of resident frames.
-func (b *BufferPool) Len() int { return b.lru.Len() }
+func (b *BufferPool) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.lru.Len()
+}

@@ -3,6 +3,7 @@ package storage
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -220,5 +221,40 @@ func TestDataTableRoundTripProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestBufferPoolConcurrentReads(t *testing.T) {
+	p := NewMemPager(8)
+	for i := 0; i < 32; i++ {
+		p.AppendPage([]byte{byte(i)})
+	}
+	bp := NewBufferPool(p, 8)
+	const readers, reads = 8, 400
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < reads; i++ {
+				id := PageID((r*31 + i) % 32)
+				data, err := bp.ReadPage(id)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if data[0] != byte(id) {
+					t.Errorf("page %d returned %d", id, data[0])
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	if s := bp.Stats(); s.Logical != readers*reads {
+		t.Fatalf("logical = %d, want %d", s.Logical, readers*reads)
+	}
+	if bp.Len() > 8 {
+		t.Fatalf("resident frames = %d, capacity 8", bp.Len())
 	}
 }

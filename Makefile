@@ -2,7 +2,11 @@
 # and `lint` mirror the GitHub Actions jobs in .github/workflows/ci.yml
 # exactly, so a green local run means a green CI run.
 
-.PHONY: all build test ci race lint cover bench bench-concurrent experiments fuzz clean
+.PHONY: all build test ci race lint cover cover-check bench bench-concurrent experiments fuzz fuzz-smoke clean
+
+# Minimum total statement coverage enforced by `make cover-check` and the
+# CI coverage job. Ratchet upward when coverage rises; never lower it.
+COVERAGE_BASELINE = 83.0
 
 all: build test
 
@@ -35,6 +39,15 @@ lint:
 cover:
 	go test -cover ./...
 
+# What the CI `coverage` job runs: full profile, then fail if the total
+# statement coverage drops below COVERAGE_BASELINE.
+cover-check:
+	go test -coverprofile=coverage.out ./...
+	@total=$$(go tool cover -func=coverage.out | awk '/^total:/ {gsub("%","",$$3); print $$3}'); \
+	echo "total coverage: $$total% (baseline $(COVERAGE_BASELINE)%)"; \
+	awk -v t=$$total -v b=$(COVERAGE_BASELINE) 'BEGIN { exit (t+0 >= b+0) ? 0 : 1 }' || \
+		{ echo "coverage $$total% fell below baseline $(COVERAGE_BASELINE)%" >&2; exit 1; }
+
 # One testing.B benchmark per paper table/figure plus ablations.
 bench:
 	go test -bench=. -benchmem .
@@ -52,6 +65,12 @@ experiments:
 fuzz:
 	go test -fuzz FuzzParse -fuzztime 30s ./internal/query/
 	go test -fuzz FuzzBuild -fuzztime 30s ./internal/xmlgraph/
+
+# What the CI `fuzz` job smokes on every PR: a short randomized run of each
+# target on top of the checked-in corpora under testdata/fuzz/.
+fuzz-smoke:
+	go test -run '^$$' -fuzz FuzzParse -fuzztime 10s ./internal/query/
+	go test -run '^$$' -fuzz FuzzBuild -fuzztime 10s ./internal/xmlgraph/
 
 clean:
 	go clean ./...

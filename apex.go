@@ -26,6 +26,8 @@
 package apex
 
 import (
+	"bufio"
+	"encoding/gob"
 	"fmt"
 	"io"
 	"os"
@@ -151,9 +153,53 @@ func newEvaluator(idx *core.APEX, dt *storage.DataTable, opts Options) *query.AP
 	return ev
 }
 
-// Load reads an index previously written by Save.
+// FromCore wraps an already-built core index (the in-module bridge for the
+// CLIs, which assemble indexes with explicit workloads before saving them).
+func FromCore(idx *core.APEX, opts *Options) (*Index, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	dt, err := storage.BuildDataTable(idx.Graph(), 0, 64)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{idx: idx, dt: dt, eval: newEvaluator(idx, dt, *opts), opts: *opts}, nil
+}
+
+// saveMagic versions the on-disk format: an envelope (magic + the Options
+// the index was opened with) followed by the core index payload. Bump it
+// when the envelope changes shape.
+const saveMagic = "APEXIDXv2"
+
+// saveEnvelope is the header record written before the index payload, so a
+// loaded index keeps its configured parallelism, minimum support, and
+// reference-attribute names.
+type saveEnvelope struct {
+	Magic   string
+	Options Options
+}
+
+// Load reads an index previously written by Save. The restored index keeps
+// the Options it was saved with (parallelism, minSup, reference attributes).
 func Load(r io.Reader) (*Index, error) {
-	idx, err := core.Decode(r)
+	// One shared buffered reader: the envelope and the core payload are
+	// separate gob streams, and chaining decoders is only exact when they
+	// all read from the same io.ByteReader.
+	br, ok := r.(interface {
+		io.Reader
+		io.ByteReader
+	})
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	var env saveEnvelope
+	if err := gob.NewDecoder(br).Decode(&env); err != nil {
+		return nil, fmt.Errorf("apex: load: %w (not an index file, or written by an incompatible version)", err)
+	}
+	if env.Magic != saveMagic {
+		return nil, fmt.Errorf("apex: load: bad magic %q, want %q", env.Magic, saveMagic)
+	}
+	idx, err := core.Decode(br)
 	if err != nil {
 		return nil, err
 	}
@@ -161,7 +207,7 @@ func Load(r io.Reader) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Index{idx: idx, dt: dt, eval: newEvaluator(idx, dt, Options{})}, nil
+	return &Index{idx: idx, dt: dt, eval: newEvaluator(idx, dt, env.Options), opts: env.Options}, nil
 }
 
 // LoadFile is Load over a file path.
@@ -174,13 +220,27 @@ func LoadFile(path string) (*Index, error) {
 	return Load(f)
 }
 
-// Save writes the index (including the parsed document graph) so it can be
-// reopened with Load without the original XML.
+// Save writes the index (including the parsed document graph and the Options
+// it was opened with) so it can be reopened with Load without the original
+// XML.
 func (ix *Index) Save(w io.Writer) error {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
+	if err := gob.NewEncoder(w).Encode(saveEnvelope{Magic: saveMagic, Options: ix.opts}); err != nil {
+		return fmt.Errorf("apex: save: %w", err)
+	}
 	return ix.idx.Encode(w)
 }
+
+// Evaluator returns the underlying query processor — the in-module bridge
+// for CLIs and benchmarks that need traced or ad hoc evaluation (the type
+// lives in an internal package, so external callers use Query/Explain).
+// Direct evaluator use bypasses the index lock and the workload log.
+func (ix *Index) Evaluator() *query.APEXEvaluator { return ix.eval }
+
+// Graph returns the parsed document graph (in-module bridge, like
+// Evaluator).
+func (ix *Index) Graph() *xmlgraph.Graph { return ix.idx.Graph() }
 
 // Node is a query-result node.
 type Node struct {
@@ -233,18 +293,50 @@ func (ix *Index) Query(q string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	ix.logQuery(parsed)
+	return ix.materialize(nids), nil
+}
+
+// Explain evaluates q exactly like Query and additionally returns the
+// structured evaluation trace (query class, matched H_APEX suffix, chosen
+// strategy, per-stage cost deltas, wall time). The traced evaluation counts
+// toward QueryCost and the workload log just like a plain Query; render the
+// trace with its Text or JSON methods.
+func (ix *Index) Explain(q string) (*Result, *query.Trace, error) {
+	parsed, err := query.Parse(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	nids, tr, err := ix.eval.EvaluateTrace(parsed)
+	if err != nil {
+		return nil, nil, err
+	}
+	ix.logQuery(parsed)
+	return ix.materialize(nids), tr, nil
+}
+
+// logQuery records a path query in the workload log for Adapt. Callers hold
+// the read side of mu.
+func (ix *Index) logQuery(parsed query.Query) {
 	if !ix.opts.DisableQueryLog && (parsed.Type == query.QTYPE1 || parsed.Type == query.QTYPE3) {
 		ix.logMu.Lock()
 		ix.workload = append(ix.workload, parsed.Path)
 		ix.logMu.Unlock()
 	}
+}
+
+// materialize builds the public result from node IDs. Callers hold the read
+// side of mu.
+func (ix *Index) materialize(nids []xmlgraph.NID) *Result {
 	g := ix.idx.Graph()
 	res := &Result{Nodes: make([]Node, len(nids))}
 	for i, n := range nids {
 		nd := g.Node(n)
 		res.Nodes[i] = Node{ID: int32(n), Tag: nd.Tag, Value: nd.Value}
 	}
-	return res, nil
+	return res
 }
 
 // Adapt mines the logged query workload for frequently used paths at the

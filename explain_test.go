@@ -1,0 +1,153 @@
+package apex
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"apex/internal/query"
+)
+
+// TestExplainMatchesQueryCost is the acceptance gate for the trace layer:
+// Explain's per-stage counters sum to the trace total, and that total is
+// exactly what QueryCost reports for the same (single) query.
+func TestExplainMatchesQueryCost(t *testing.T) {
+	for _, q := range []string{
+		"//actor/name",
+		"//movie/@director=>director/name",
+		"//movie//title",
+		`//movie/title[text()="Waterworld"]`,
+		"//MovieDB//movie//title",
+	} {
+		ix := openMovie(t)
+		res, tr, err := ix.Explain(q)
+		if err != nil {
+			t.Fatalf("Explain(%s): %v", q, err)
+		}
+		if sum := tr.StageSum(); sum != tr.Total {
+			t.Errorf("%s: stage sum %+v != trace total %+v", q, sum, tr.Total)
+		}
+		if got, want := tr.Total.String(), ix.QueryCost(); got != want {
+			t.Errorf("%s: trace total %q != QueryCost %q", q, got, want)
+		}
+		if tr.Results != res.Len() {
+			t.Errorf("%s: trace results %d != %d", q, tr.Results, res.Len())
+		}
+		// Explain returns the same answer as Query.
+		plain, err := openMovie(t).Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res.Nodes, plain.Nodes) {
+			t.Errorf("%s: Explain result differs from Query", q)
+		}
+		if !strings.Contains(tr.Text(), "EXPLAIN "+q) {
+			t.Errorf("%s: Text render missing header:\n%s", q, tr.Text())
+		}
+	}
+}
+
+// TestExplainLogsWorkload: traced path queries feed Adapt just like Query.
+func TestExplainLogsWorkload(t *testing.T) {
+	ix := openMovie(t)
+	if _, _, err := ix.Explain("//actor/name"); err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.Stats().LoggedQueries; got != 1 {
+		t.Fatalf("logged queries = %d, want 1", got)
+	}
+	if err := ix.Adapt(0.5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSaveLoadKeepsOptions: the envelope persists the Options an index was
+// opened with, so a reloaded index resolves references and adapts exactly
+// like the original (regression: Load used to rebuild the evaluator with
+// zero-value Options, dropping Parallelism and the reference attributes).
+func TestSaveLoadKeepsOptions(t *testing.T) {
+	ix, err := Open(strings.NewReader(movieDoc), &Options{
+		IDREFSAttrs: []string{"actor", "movie", "director"},
+		MinSup:      0.25,
+		Parallelism: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(re.opts, ix.opts) {
+		t.Fatalf("options diverge after reload: %+v vs %+v", re.opts, ix.opts)
+	}
+	// The restored MinSup drives Adapt's default threshold; the restored
+	// reference attributes flow into Insert's fragment parsing.
+	if _, err := re.Query("//movie/@director=>director/name"); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Adapt(0); err != nil {
+		t.Fatalf("Adapt with restored MinSup default: %v", err)
+	}
+	if err := re.Insert("/", `<movie id="m3" director="d1"><title>New</title></movie>`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := re.Query("//movie/@director=>director/name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Fatalf("post-insert deref = %+v (reference attributes lost?)", res.Nodes)
+	}
+}
+
+// TestLoadRejectsGarbage: loading a non-index stream fails cleanly.
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not an index")); err == nil {
+		t.Fatal("Load accepted garbage")
+	}
+}
+
+// TestLoadFromPlainReader: Load must work from a reader that is not an
+// io.ByteReader (the envelope and payload decoders share one buffered
+// reader; over-reading would corrupt the chained gob streams).
+func TestLoadFromPlainReader(t *testing.T) {
+	ix := openMovie(t)
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Load(struct{ io.Reader }{&buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Stats().Nodes != ix.Stats().Nodes {
+		t.Fatal("reload through plain reader diverged")
+	}
+}
+
+// TestEvaluatorBridge: the in-module bridge exposes the traced evaluator the
+// CLIs use.
+func TestEvaluatorBridge(t *testing.T) {
+	ix := openMovie(t)
+	q, err := query.Parse("//actor/name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nids, tr, err := ix.Evaluator().EvaluateTrace(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nids) != 2 || tr.StageSum() != tr.Total {
+		t.Fatalf("bridge trace: %d results, %+v", len(nids), tr)
+	}
+	if ix.Graph() == nil {
+		t.Fatal("Graph bridge returned nil")
+	}
+}

@@ -1,0 +1,35 @@
+package bench
+
+import (
+	"fmt"
+
+	"apex/internal/query"
+)
+
+// ExplainTraces builds an adapted APEX over the named dataset and returns
+// one EXPLAIN trace per query class (the first sampled QTYPE1, QTYPE2, and
+// QTYPE3 query), for the bench CLI's "explain" experiment and the
+// EXPERIMENTS.md cost discussion.
+func (e *Env) ExplainTraces(name string) ([]*query.Trace, error) {
+	s, err := e.site(name)
+	if err != nil {
+		return nil, err
+	}
+	idx := s.buildAPEX(e.cfg.FixedMinSup)
+	ev := query.NewAPEXEvaluator(idx, s.dt)
+	var qs []query.Query
+	for _, pop := range [][]query.Query{s.q1, s.q2, s.q3} {
+		if len(pop) > 0 {
+			qs = append(qs, pop[0])
+		}
+	}
+	traces := make([]*query.Trace, 0, len(qs))
+	for _, q := range qs {
+		_, tr, err := ev.EvaluateTrace(q)
+		if err != nil {
+			return nil, fmt.Errorf("explain %s on %s: %w", q, name, err)
+		}
+		traces = append(traces, tr)
+	}
+	return traces, nil
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"apex/internal/bench"
+	"apex/internal/metrics"
 )
 
 // RunBench implements apexbench: regenerate the paper's tables and figures.
@@ -21,13 +22,31 @@ func RunBench(args []string, stdout io.Writer) error {
 		q2       = fs.Int("q2", 100, "number of QTYPE2 queries")
 		q3       = fs.Int("q3", 200, "number of QTYPE3 queries")
 		seed     = fs.Int64("seed", 1, "random seed")
-		exps     = fs.String("experiments", "table1,table2,fig13,fig14,fig15", "comma-separated experiment list (also: ablations, asr, concurrency)")
+		exps     = fs.String("experiments", "table1,table2,fig13,fig14,fig15", "comma-separated experiment list (also: ablations, asr, concurrency, explain)")
 		paper    = fs.Bool("paper", false, "run the full-size paper protocol (slow)")
 		csvDir   = fs.String("csv", "", "also write figure series as CSV files into this directory")
 		concJSON = fs.String("concurrency-json", "", "write the concurrency sweep report to this JSON file")
+		metJSON  = fs.String("metrics-json", "", "write a process metrics snapshot (counters/gauges/histograms) to this JSON file after the run")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile to this file after the run")
+		traceOut = fs.String("trace", "", "write a runtime execution trace to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProf != "" {
+		stop, err := startCPUProfile(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer stop()
+	}
+	if *traceOut != "" {
+		stop, err := startTrace(*traceOut)
+		if err != nil {
+			return err
+		}
+		defer stop()
 	}
 	cfg := bench.DefaultConfig()
 	cfg.Scale, cfg.NumQ1, cfg.NumQ2, cfg.NumQ3, cfg.Seed = *scale, *q1, *q2, *q3, *seed
@@ -179,6 +198,16 @@ func RunBench(args []string, stdout io.Writer) error {
 			return bench.WriteConcurrencyJSON(w, rep)
 		})
 	})
+	run("explain", func() error {
+		traces, err := env.ExplainTraces("Flix02.xml")
+		if err != nil {
+			return err
+		}
+		for _, tr := range traces {
+			fprintf(stdout, "%s\n", tr.Text())
+		}
+		return nil
+	})
 	run("asr", func() error {
 		for _, ds := range []string{"shakes_11.xml", "Flix02.xml", "Ged02.xml"} {
 			cmp, err := env.CompareASR(ds)
@@ -192,5 +221,24 @@ func RunBench(args []string, stdout io.Writer) error {
 		}
 		return nil
 	})
+	if firstErr == nil && *metJSON != "" {
+		f, err := os.Create(*metJSON)
+		if err != nil {
+			return err
+		}
+		if err := metrics.Default.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fprintf(stdout, "wrote metrics snapshot to %s\n", *metJSON)
+	}
+	if firstErr == nil && *memProf != "" {
+		if err := writeMemProfile(*memProf); err != nil {
+			return err
+		}
+	}
 	return firstErr
 }

@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 
+	"apex"
 	"apex/internal/core"
 	"apex/internal/dataguide"
 	"apex/internal/fabric"
@@ -72,11 +73,22 @@ func RunBuild(args []string, stdout io.Writer) error {
 	}
 
 	if *out != "" {
+		// Save through the facade so the parser and adaptation options travel
+		// with the index file and apexquery -index restores them.
+		ix, err := apex.FromCore(idx, &apex.Options{
+			IDAttrs:     []string{*idattr},
+			IDREFAttrs:  splitList(*idref),
+			IDREFSAttrs: splitList(*idrefs),
+			MinSup:      *minSup,
+		})
+		if err != nil {
+			return err
+		}
 		of, err := os.Create(*out)
 		if err != nil {
 			return err
 		}
-		if err := idx.Encode(of); err != nil {
+		if err := ix.Save(of); err != nil {
 			of.Close()
 			return err
 		}

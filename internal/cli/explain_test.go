@@ -1,0 +1,151 @@
+package cli
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"apex/internal/metrics"
+)
+
+// writeTestXML drops a small referenced document into dir.
+func writeTestXML(t *testing.T, dir string) string {
+	t.Helper()
+	path := filepath.Join(dir, "movies.xml")
+	doc := `<MovieDB>
+	  <movie id="m1" director="d1"><title>Waterworld</title></movie>
+	  <movie id="m2" director="d2"><title>Postman</title></movie>
+	  <director id="d1"><name>Kevin</name></director>
+	  <director id="d2"><name>Other</name></director>
+	</MovieDB>`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunQueryExplain(t *testing.T) {
+	dir := t.TempDir()
+	xmlPath := writeTestXML(t, dir)
+	var out bytes.Buffer
+	err := RunQuery([]string{
+		"-xml", xmlPath, "-idref", "director",
+		"-q", "//movie/title", "-explain", "-quiet",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"EXPLAIN //movie/title", "class=QTYPE1", "stages:", "total:"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("explain output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunQueryExplainJSON(t *testing.T) {
+	dir := t.TempDir()
+	xmlPath := writeTestXML(t, dir)
+
+	// Build a saved index, then explain through the facade-loaded path.
+	idxPath := filepath.Join(dir, "movies.apex")
+	var out bytes.Buffer
+	if err := RunBuild([]string{"-in", xmlPath, "-idref", "director", "-out", idxPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	err := RunQuery([]string{
+		"-index", idxPath,
+		"-q", "//movie/@director=>director/name", "-explain", "-explain-json", "-quiet",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		Query    string          `json:"query"`
+		Strategy string          `json:"strategy"`
+		Stages   json.RawMessage `json:"stages"`
+	}
+	// The trace is the first JSON document of the output (before the
+	// summary line).
+	dec := json.NewDecoder(strings.NewReader(out.String()))
+	if err := dec.Decode(&tr); err != nil {
+		t.Fatalf("invalid trace JSON: %v\n%s", err, out.String())
+	}
+	if tr.Query != "//movie/@director=>director/name" || tr.Strategy == "" || len(tr.Stages) == 0 {
+		t.Fatalf("trace = %+v", tr)
+	}
+}
+
+func TestRunQueryExplainNeedsAPEX(t *testing.T) {
+	dir := t.TempDir()
+	xmlPath := writeTestXML(t, dir)
+	var out bytes.Buffer
+	err := RunQuery([]string{"-xml", xmlPath, "-engine", "sdg", "-q", "//movie/title", "-explain"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-explain requires an apex engine") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunBenchMetricsJSONAndExplain(t *testing.T) {
+	dir := t.TempDir()
+	metPath := filepath.Join(dir, "metrics.json")
+	var out bytes.Buffer
+	err := RunBench([]string{
+		"-scale", "0.02", "-q1", "30", "-q2", "5", "-q3", "10",
+		"-experiments", "explain",
+		"-metrics-json", metPath,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "EXPLAIN ") {
+		t.Fatalf("explain experiment output:\n%s", out.String())
+	}
+	b, err := os.ReadFile(metPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap metrics.Snapshot
+	if err := json.Unmarshal(b, &snap); err != nil {
+		t.Fatalf("metrics snapshot not JSON: %v", err)
+	}
+	// The run exercised builds and queries, so the core and query
+	// instruments must have fired.
+	if snap.Gauges["core.gapex.nodes"] <= 0 {
+		t.Fatalf("core gauges not wired: %+v", snap.Gauges)
+	}
+	if snap.Histograms["core.hapex.lookup_depth"].Count <= 0 {
+		t.Fatalf("lookup-depth histogram not wired: %+v", snap.Histograms)
+	}
+	if snap.Counters["query.apex.fastpath_total"]+snap.Counters["query.apex.joinpath_total"] <= 0 {
+		t.Fatalf("strategy counters not wired: %+v", snap.Counters)
+	}
+}
+
+func TestRunBenchProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	trc := filepath.Join(dir, "trace.out")
+	var out bytes.Buffer
+	err := RunBench([]string{
+		"-scale", "0.02", "-q1", "10", "-q2", "2", "-q3", "5",
+		"-experiments", "explain",
+		"-cpuprofile", cpu, "-memprofile", mem, "-trace", trc,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The deferred stops run when RunBench returns, so the files exist and
+	// are non-empty afterwards — except the CPU profile, which may be empty
+	// of samples but must still exist.
+	for _, p := range []string{cpu, mem, trc} {
+		if fi, err := os.Stat(p); err != nil || (p != cpu && fi.Size() == 0) {
+			t.Fatalf("profile %s: %v", p, err)
+		}
+	}
+}

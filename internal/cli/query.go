@@ -7,6 +7,7 @@ import (
 	"os"
 	"time"
 
+	"apex"
 	"apex/internal/core"
 	"apex/internal/dataguide"
 	"apex/internal/oneindex"
@@ -21,18 +22,21 @@ func RunQuery(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("apexquery", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var (
-		index  = fs.String("index", "", "index file written by apexbuild")
-		xmlIn  = fs.String("xml", "", "XML document to index on the fly (alternative to -index)")
-		engine = fs.String("engine", "apex", "with -xml: apex, apex0, sdg, 1index, 2index")
-		idref  = fs.String("idref", "", "with -xml: comma-separated IDREF attribute names")
-		idrefs = fs.String("idrefs", "", "with -xml: comma-separated IDREFS attribute names")
-		idattr = fs.String("id", "id", "with -xml: ID attribute name")
-		wlPath = fs.String("workload", "", "with -xml -engine apex: workload file to adapt to")
-		minSup = fs.Float64("minsup", 0.005, "with -workload: minimum support")
-		q      = fs.String("q", "", "single query to evaluate")
-		file   = fs.String("f", "", "file with one query per line")
-		quiet  = fs.Bool("quiet", false, "suppress per-node output")
-		cost   = fs.Bool("cost", false, "print logical cost counters")
+		index   = fs.String("index", "", "index file written by apexbuild")
+		xmlIn   = fs.String("xml", "", "XML document to index on the fly (alternative to -index)")
+		engine  = fs.String("engine", "apex", "with -xml: apex, apex0, sdg, 1index, 2index")
+		idref   = fs.String("idref", "", "with -xml: comma-separated IDREF attribute names")
+		idrefs  = fs.String("idrefs", "", "with -xml: comma-separated IDREFS attribute names")
+		idattr  = fs.String("id", "id", "with -xml: ID attribute name")
+		wlPath  = fs.String("workload", "", "with -xml -engine apex: workload file to adapt to")
+		minSup  = fs.Float64("minsup", 0.005, "with -workload: minimum support")
+		q       = fs.String("q", "", "single query to evaluate")
+		file    = fs.String("f", "", "file with one query per line")
+		quiet   = fs.Bool("quiet", false, "suppress per-node output")
+		cost    = fs.Bool("cost", false, "print logical cost counters")
+		explain = fs.Bool("explain", false, "print the per-stage EXPLAIN trace of each query (apex engines only)")
+		expJSON = fs.Bool("explain-json", false, "with -explain: render traces as JSON instead of text")
+		cpuProf = fs.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -43,9 +47,23 @@ func RunQuery(args []string, stdout io.Writer) error {
 	if *q == "" && *file == "" {
 		return fmt.Errorf("apexquery: one of -q/-f is required")
 	}
+	if *cpuProf != "" {
+		stop, err := startCPUProfile(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer stop()
+	}
 	ev, g, err := buildEvaluator(*index, *xmlIn, *engine, *idattr, *idref, *idrefs, *wlPath, *minSup)
 	if err != nil {
 		return err
+	}
+	var traced *query.APEXEvaluator
+	if *explain {
+		traced, _ = ev.(*query.APEXEvaluator)
+		if traced == nil {
+			return fmt.Errorf("apexquery: -explain requires an apex engine, got %s", ev.Name())
+		}
 	}
 
 	var queries []string
@@ -67,9 +85,27 @@ func RunQuery(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		nids, err := ev.Evaluate(parsed)
-		if err != nil {
-			return err
+		var nids []xmlgraph.NID
+		if traced != nil {
+			var tr *query.Trace
+			nids, tr, err = traced.EvaluateTrace(parsed)
+			if err != nil {
+				return err
+			}
+			if *expJSON {
+				b, err := tr.JSON()
+				if err != nil {
+					return err
+				}
+				fprintf(stdout, "%s\n", b)
+			} else {
+				fprintf(stdout, "%s", tr.Text())
+			}
+		} else {
+			nids, err = ev.Evaluate(parsed)
+			if err != nil {
+				return err
+			}
 		}
 		total += len(nids)
 		if !*quiet {
@@ -88,24 +124,16 @@ func RunQuery(args []string, stdout io.Writer) error {
 	return nil
 }
 
-// buildEvaluator assembles the query engine: either a saved APEX index, or
-// an on-the-fly build of the chosen engine over an XML document.
+// buildEvaluator assembles the query engine: either a saved APEX index
+// (loaded through the facade, so the options it was saved with apply), or an
+// on-the-fly build of the chosen engine over an XML document.
 func buildEvaluator(index, xmlIn, engine, idattr, idref, idrefs, wlPath string, minSup float64) (query.Evaluator, *xmlgraph.Graph, error) {
 	if index != "" {
-		f, err := os.Open(index)
+		ix, err := apex.LoadFile(index)
 		if err != nil {
 			return nil, nil, err
 		}
-		idx, err := core.Decode(f)
-		f.Close()
-		if err != nil {
-			return nil, nil, err
-		}
-		dt, err := storage.BuildDataTable(idx.Graph(), 0, 64)
-		if err != nil {
-			return nil, nil, err
-		}
-		return query.NewAPEXEvaluator(idx, dt), idx.Graph(), nil
+		return ix.Evaluator(), ix.Graph(), nil
 	}
 	f, err := os.Open(xmlIn)
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"apex/internal/xmlgraph"
 )
@@ -35,11 +36,14 @@ func (a *APEX) newXNode(path string) *XNode {
 // the data edges by incoming label, built by depth-first delta propagation
 // so cyclic data terminates.
 func BuildAPEX0(g *xmlgraph.Graph) *APEX {
+	start := time.Now()
 	a := &APEX{g: g, head: newHNode()}
 	a.xroot = a.newXNode("xroot")
 	rootPair := xmlgraph.EdgePair{From: xmlgraph.NullNID, To: g.Root()}
 	a.xroot.Extent.Add(rootPair)
 	a.exploreAPEX0(a.xroot, []xmlgraph.EdgePair{rootPair})
+	observeSince(mBuildNS, start)
+	a.observeStructure()
 	return a
 }
 

@@ -1,0 +1,175 @@
+// Property test for Definition 9: the target edge sets stored in G_APEX
+// extents classify the data edges reachable by every label path of length
+// at most two — after buildAPEX0 and again after each Adapt round.
+//
+// The exact guarantees depend on the data shape. On tree-shaped data every
+// edge has one incoming label path, so the extents returned by LookupAll(p)
+// partition T(p): no edge lost, no edge double-counted across a required
+// path and its remainder. On graph-shaped data (IDREF references give nodes
+// several parents) an edge can be reachable by two different label paths
+// and legitimately lands in the cell of whichever is required, so the test
+// asserts the weaker — but still load-bearing — form: extents never contain
+// a stray edge, and whenever the hash tree covers the full lookup path the
+// union of the returned extents is exactly T(p) (the fast-path guarantee
+// QTYPE1 evaluation relies on).
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"apex/internal/core"
+	"apex/internal/datagen"
+	"apex/internal/workload"
+	"apex/internal/xmlgraph"
+)
+
+// edgeOracle holds T(p) — the set of data edges whose incoming label path
+// ends with p — computed directly from the graph for every label path of
+// length one or two, plus whether any node has more than one parent.
+type edgeOracle struct {
+	T           map[string]map[xmlgraph.EdgePair]bool
+	multiParent bool
+}
+
+// buildOracle walks the graph from the root (the same reachability the
+// index build uses) and classifies every edge by its length-1 label and by
+// every length-2 suffix its incoming paths admit.
+func buildOracle(g *xmlgraph.Graph) *edgeOracle {
+	o := &edgeOracle{T: map[string]map[xmlgraph.EdgePair]bool{}}
+	add := func(p string, e xmlgraph.EdgePair) {
+		s := o.T[p]
+		if s == nil {
+			s = map[xmlgraph.EdgePair]bool{}
+			o.T[p] = s
+		}
+		s[e] = true
+	}
+	visited := map[xmlgraph.NID]bool{g.Root(): true}
+	inLabels := map[xmlgraph.NID]map[string]bool{}
+	indeg := map[xmlgraph.NID]int{}
+	queue := []xmlgraph.NID{g.Root()}
+	var order []xmlgraph.NID
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, e := range g.Out(u) {
+			add(e.Label, xmlgraph.EdgePair{From: u, To: e.To})
+			indeg[e.To]++
+			if inLabels[e.To] == nil {
+				inLabels[e.To] = map[string]bool{}
+			}
+			inLabels[e.To][e.Label] = true
+			if !visited[e.To] {
+				visited[e.To] = true
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	for _, u := range order {
+		for _, e := range g.Out(u) {
+			for l1 := range inLabels[u] {
+				add(l1+"."+e.Label, xmlgraph.EdgePair{From: u, To: e.To})
+			}
+		}
+	}
+	for _, d := range indeg {
+		if d > 1 {
+			o.multiParent = true
+			break
+		}
+	}
+	return o
+}
+
+// checkDef9 runs the partition assertions for every length-≤2 label path.
+func checkDef9(t *testing.T, phase string, a *core.APEX, o *edgeOracle) {
+	t.Helper()
+	for ps, want := range o.T {
+		p := xmlgraph.ParseLabelPath(ps)
+		nodes, covered := a.LookupAll(p)
+		if len(covered) == 0 {
+			t.Fatalf("%s: LookupAll(%s) matched no suffix; T(p) has %d edges", phase, ps, len(want))
+		}
+		if !strings.HasSuffix("."+ps, "."+covered.String()) {
+			t.Fatalf("%s: LookupAll(%s) covered %q is not a suffix of the path", phase, ps, covered)
+		}
+		counts := map[xmlgraph.EdgePair]int{}
+		for _, x := range nodes {
+			for _, e := range x.Extent.Pairs() {
+				counts[e]++
+			}
+		}
+		// Soundness everywhere: an extent returned for the lookup never
+		// holds an edge the covered suffix cannot reach.
+		tc := o.T[covered.String()]
+		for e := range counts {
+			if !tc[e] {
+				t.Fatalf("%s: LookupAll(%s): extent edge %v is not reachable by covered path %q",
+					phase, ps, e, covered)
+			}
+		}
+		if covered.Equal(p) {
+			// Fast-path completeness: the returned extents union to T(p).
+			for e := range want {
+				if counts[e] == 0 {
+					t.Fatalf("%s: LookupAll(%s): edge %v lost from the covering extents", phase, ps, e)
+				}
+			}
+		}
+		if !o.multiParent {
+			// Tree data: incoming label paths are unique, so Definition 9's
+			// classification is a true partition — complete even when the
+			// covered suffix is shorter than p, and free of double counts
+			// across a required cell and its sibling remainder.
+			for e := range want {
+				if counts[e] == 0 {
+					t.Fatalf("%s: LookupAll(%s): edge %v lost (tree data must not drop edges)", phase, ps, e)
+				}
+			}
+			for e, c := range counts {
+				if c != 1 {
+					t.Fatalf("%s: LookupAll(%s): edge %v appears in %d extent cells, want 1", phase, ps, e, c)
+				}
+			}
+		}
+	}
+}
+
+// TestDef9PartitionAllDatasets checks the extent-partition property on all
+// nine seed datasets through build and two adaptation rounds.
+func TestDef9PartitionAllDatasets(t *testing.T) {
+	const scale = 0.02
+	for _, name := range datagen.DatasetNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			ds, err := datagen.LoadDataset(name, scale)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := ds.Graph
+			o := buildOracle(g)
+			if len(o.T) == 0 {
+				t.Fatal("oracle found no label paths")
+			}
+
+			a := core.BuildAPEX0(g)
+			checkDef9(t, "apex0", a, o)
+
+			gen := workload.New(g, 11)
+			wl := workload.SampleWorkload(gen.QType1(60), 0.5, 11)
+			a.ExtractFrequentPaths(wl, 0.01)
+			a.Update()
+			checkDef9(t, "adapt1", a, o)
+
+			// A second round with a different workload and a stricter
+			// threshold demotes some paths promoted by the first round.
+			wl = workload.SampleWorkload(workload.New(g, 23).QType1(30), 1.0, 23)
+			a.ExtractFrequentPaths(wl, 0.2)
+			a.Update()
+			checkDef9(t, "adapt2", a, o)
+		})
+	}
+}

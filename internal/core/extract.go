@@ -1,6 +1,10 @@
 package core
 
-import "apex/internal/xmlgraph"
+import (
+	"time"
+
+	"apex/internal/xmlgraph"
+)
 
 // ExtractFrequentPaths runs the frequently-used-path extraction module
 // (Section 5.2, Figure 8) over a query workload: reset counts, count every
@@ -13,6 +17,7 @@ import "apex/internal/xmlgraph"
 // minSup is the paper's ratio: an entry survives when its count is at least
 // minSup × len(workload).
 func (a *APEX) ExtractFrequentPaths(workload []xmlgraph.LabelPath, minSup float64) {
+	defer func(start time.Time) { observeSince(mExtractNS, start) }(time.Now())
 	// Line 1 of Figure 8: reset all count and new fields.
 	resetEntries(a.head)
 	// frequencyCount: one scan, counting all subpaths. Support is the

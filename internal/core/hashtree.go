@@ -133,6 +133,7 @@ func (a *APEX) LookupAll(path xmlgraph.LabelPath) (nodes []*XNode, covered xmlgr
 	for i := len(path) - 1; i >= 0; i-- {
 		t := hnode.get(path[i])
 		if t == nil {
+			mLookupDepth.Observe(int64(len(path) - i))
 			if hnode == a.head {
 				return nil, nil
 			}
@@ -142,6 +143,7 @@ func (a *APEX) LookupAll(path xmlgraph.LabelPath) (nodes []*XNode, covered xmlgr
 			return nil, path[i+1:]
 		}
 		if t.Next == nil {
+			mLookupDepth.Observe(int64(len(path) - i))
 			if t.XNode != nil {
 				return []*XNode{t.XNode}, path[i:]
 			}
@@ -149,6 +151,7 @@ func (a *APEX) LookupAll(path xmlgraph.LabelPath) (nodes []*XNode, covered xmlgr
 		}
 		hnode = t.Next
 	}
+	mLookupDepth.Observe(int64(len(path)))
 	// Path exhausted with extensions below: T(path) is partitioned across
 	// the whole subtree (every extension plus the remainders).
 	return collectSubtree(hnode, nil), path

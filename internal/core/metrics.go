@@ -1,0 +1,43 @@
+package core
+
+import (
+	"time"
+
+	"apex/internal/metrics"
+)
+
+// Index-maintenance instruments on the process-wide registry: build and
+// adaptation timings, the H_APEX walk depth per query lookup, and the
+// structure sizes the paper's Table 2 reports.
+var (
+	mBuildNS   = metrics.Default.Histogram("core.build_ns")
+	mExtractNS = metrics.Default.Histogram("core.adapt.extract_ns")
+	mUpdateNS  = metrics.Default.Histogram("core.adapt.update_ns")
+	mRefreshNS = metrics.Default.Histogram("core.refresh_ns")
+
+	// mLookupDepth is the number of hash-tree levels a LookupAll walk
+	// visited — 1 for a plain label, more when required paths cover a
+	// longer suffix of the query.
+	mLookupDepth = metrics.Default.Histogram("core.hapex.lookup_depth")
+
+	mExtentSize  = metrics.Default.Histogram("core.gapex.extent_size")
+	mNodes       = metrics.Default.Gauge("core.gapex.nodes")
+	mEdges       = metrics.Default.Gauge("core.gapex.edges")
+	mExtentEdges = metrics.Default.Gauge("core.gapex.extent_edges")
+)
+
+// observeSince records the elapsed nanoseconds since start.
+func observeSince(h *metrics.Histogram, start time.Time) {
+	h.Observe(time.Since(start).Nanoseconds())
+}
+
+// observeStructure publishes the live structure sizes and the per-node
+// extent-size distribution; called after builds and maintenance rounds (not
+// on the query path).
+func (a *APEX) observeStructure() {
+	st := a.Stats()
+	mNodes.Set(int64(st.Nodes))
+	mEdges.Set(int64(st.Edges))
+	mExtentEdges.Set(int64(st.ExtentEdges))
+	a.EachNode(func(x *XNode) { mExtentSize.Observe(int64(x.Extent.Len())) })
+}

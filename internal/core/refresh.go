@@ -1,6 +1,10 @@
 package core
 
-import "apex/internal/xmlgraph"
+import (
+	"time"
+
+	"apex/internal/xmlgraph"
+)
 
 // RefreshData re-derives every extent and every summary edge from the
 // (possibly mutated) data graph while keeping the hash tree — and hence the
@@ -15,6 +19,7 @@ import "apex/internal/xmlgraph"
 // re-parsing and re-mining the workload. Abandoned summary nodes become
 // unreachable and are collected by the runtime.
 func (a *APEX) RefreshData() {
+	start := time.Now()
 	// Detach every hash entry from its summary node: the coming update
 	// pass re-creates nodes with freshly computed extents.
 	var scrub func(h *HNode)
@@ -42,4 +47,6 @@ func (a *APEX) RefreshData() {
 	a.xroot.Extent.Add(rootPair)
 	a.run++
 	a.updateNode(a.xroot, []xmlgraph.EdgePair{rootPair}, nil)
+	observeSince(mRefreshNS, start)
+	a.observeStructure()
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"apex/internal/xmlgraph"
 )
@@ -15,8 +16,11 @@ import (
 // delta propagation over the data graph. Nodes no longer referenced simply
 // become unreachable.
 func (a *APEX) Update() {
+	start := time.Now()
 	a.run++ // fresh visited-flag generation; no global reset needed
 	a.updateNode(a.xroot, nil, nil)
+	observeSince(mUpdateNS, start)
+	a.observeStructure()
 }
 
 func (a *APEX) updateNode(x *XNode, delta []xmlgraph.EdgePair, path xmlgraph.LabelPath) {

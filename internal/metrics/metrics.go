@@ -1,0 +1,314 @@
+// Package metrics is the repo's observability substrate: a race-safe
+// registry of named counters, gauges, and histograms that every layer
+// (query processor, buffer pool, index maintenance) records into, and that
+// CLIs snapshot as JSON or publish through expvar.
+//
+// The design follows the paper's evaluation style: what matters are logical
+// quantities per query class (node accesses, extent joins, page I/O), so
+// the primitives are integer-valued and cheap enough to live on hot paths —
+// a counter increment is one atomic add, a histogram observation is two
+// atomic adds plus a bit-length bucket index. Components register their
+// instruments once at package init against the Default registry; tests that
+// need exact values build private registries.
+package metrics
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer (resettable for tests and
+// benchmark runs).
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n may be negative only when correcting overcounts; prefer
+// Gauge for values that go both ways).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.v.Store(0) }
+
+// Gauge is an instantaneous integer level (queue depth, workers in use,
+// structure sizes).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the level.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the level by n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Reset zeroes the gauge.
+func (g *Gauge) Reset() { g.v.Store(0) }
+
+// histBuckets is the number of power-of-two histogram buckets: bucket i
+// counts observations v with bit-length i, i.e. 2^(i-1) <= v < 2^i (bucket
+// 0 counts v <= 0). 64 buckets cover every int64, including nanosecond
+// latencies.
+const histBuckets = 64
+
+// Histogram is a fixed-bucket power-of-two histogram over int64
+// observations. It trades per-bucket resolution for a lock-free hot path,
+// which is all the per-query latency/cost distributions need.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	h.count.Add(1)
+	h.sum.Add(v)
+	i := 0
+	if v > 0 {
+		i = bits.Len64(uint64(v))
+	}
+	h.buckets[i].Add(1)
+}
+
+// HistogramSnapshot is a point-in-time view of a Histogram. Quantiles are
+// upper bounds of the containing power-of-two bucket — accurate to 2×,
+// which is enough to tell a hash lookup from an extent join.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P90   int64   `json:"p90"`
+	P99   int64   `json:"p99"`
+	Max   int64   `json:"max"` // upper bound of the highest non-empty bucket
+}
+
+// Snapshot returns the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	if s.Count > 0 {
+		s.Mean = float64(s.Sum) / float64(s.Count)
+	}
+	// Walk buckets once, resolving the three quantile thresholds and max.
+	var cum int64
+	q50, q90, q99 := quantileRank(s.Count, 0.50), quantileRank(s.Count, 0.90), quantileRank(s.Count, 0.99)
+	for i := 0; i < histBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		upper := bucketUpper(i)
+		if cum < q50 && cum+n >= q50 {
+			s.P50 = upper
+		}
+		if cum < q90 && cum+n >= q90 {
+			s.P90 = upper
+		}
+		if cum < q99 && cum+n >= q99 {
+			s.P99 = upper
+		}
+		s.Max = upper
+		cum += n
+	}
+	return s
+}
+
+// Reset zeroes every bucket and the totals.
+func (h *Histogram) Reset() {
+	h.count.Store(0)
+	h.sum.Store(0)
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
+
+// bucketUpper returns the inclusive upper bound of bucket i.
+func bucketUpper(i int) int64 {
+	if i == 0 {
+		return 0
+	}
+	if i >= 63 {
+		return int64(^uint64(0) >> 1) // MaxInt64
+	}
+	return int64(1)<<i - 1
+}
+
+// quantileRank converts a quantile to a 1-based rank in a population of n
+// (ceiling, so e.g. p99 of 7 observations is the 7th).
+func quantileRank(n int64, q float64) int64 {
+	r := int64(math.Ceil(float64(n) * q))
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+// Registry holds named instruments. Instruments are created on first use
+// and live forever; the per-name lookup is amortized away by components
+// caching the returned pointer in a package variable.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	published  sync.Once
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Default is the process-wide registry the packages of this module record
+// into.
+var Default = NewRegistry()
+
+// Counter returns the counter registered under name, creating it if absent.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if absent.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it if
+// absent.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot is a consistent-enough point-in-time view of a registry (each
+// instrument is read atomically; the set is read under the registry lock).
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures every instrument's current value.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.histograms)),
+	}
+	for n, c := range r.counters {
+		s.Counters[n] = c.Value()
+	}
+	for n, g := range r.gauges {
+		s.Gauges[n] = g.Value()
+	}
+	for n, h := range r.histograms {
+		s.Histograms[n] = h.Snapshot()
+	}
+	return s
+}
+
+// Reset zeroes every registered instrument (names stay registered). Used by
+// benchmark runs that want per-run snapshots from the shared registry.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.Reset()
+	}
+	for _, g := range r.gauges {
+		g.Reset()
+	}
+	for _, h := range r.histograms {
+		h.Reset()
+	}
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(append(b, '\n')); err != nil {
+		return err
+	}
+	return nil
+}
+
+// PublishExpvar exposes the registry under the given expvar name (served by
+// net/http's /debug/vars alongside the pprof endpoints). Safe to call more
+// than once; only the first call publishes.
+func (r *Registry) PublishExpvar(name string) {
+	r.published.Do(func() {
+		expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+	})
+}
+
+// Names returns every registered instrument name, sorted, with a kind
+// prefix ("counter:", "gauge:", "histogram:"); diagnostic helper.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var res []string
+	for n := range r.counters {
+		res = append(res, "counter:"+n)
+	}
+	for n := range r.gauges {
+		res = append(res, "gauge:"+n)
+	}
+	for n := range r.histograms {
+		res = append(res, "histogram:"+n)
+	}
+	sort.Strings(res)
+	return res
+}
+
+// String renders a compact one-line summary; debugging helper.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("counters=%d gauges=%d histograms=%d", len(s.Counters), len(s.Gauges), len(s.Histograms))
+}

@@ -1,0 +1,136 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("c") != c {
+		t.Fatal("Counter not idempotent per name")
+	}
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatal("counter reset")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 2, 3, 100, 1000, 1 << 40} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 7 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if want := int64(0 + 1 + 2 + 3 + 100 + 1000 + 1<<40); s.Sum != want {
+		t.Fatalf("sum = %d, want %d", s.Sum, want)
+	}
+	// p50 of 7 observations is rank 3 (value 2, bucket upper 3).
+	if s.P50 != 3 {
+		t.Fatalf("p50 = %d, want 3", s.P50)
+	}
+	// Max bucket upper bound for 2^40 is 2^41-1.
+	if s.Max != 1<<41-1 {
+		t.Fatalf("max = %d, want %d", s.Max, int64(1)<<41-1)
+	}
+	if s.P99 != s.Max {
+		t.Fatalf("p99 = %d, want %d", s.P99, s.Max)
+	}
+	h.Reset()
+	if s := h.Snapshot(); s.Count != 0 || s.Sum != 0 || s.Max != 0 {
+		t.Fatalf("reset snapshot = %+v", s)
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	var h Histogram
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i)
+	}
+	s := h.Snapshot()
+	if !(s.P50 <= s.P90 && s.P90 <= s.P99 && s.P99 <= s.Max) {
+		t.Fatalf("quantiles not monotone: %+v", s)
+	}
+	// p50 of 1..1000 is 500, bucket upper 511.
+	if s.P50 != 511 {
+		t.Fatalf("p50 = %d, want 511", s.P50)
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits").Add(3)
+	r.Gauge("depth").Set(2)
+	r.Histogram("lat").Observe(10)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if s.Counters["hits"] != 3 || s.Gauges["depth"] != 2 || s.Histograms["lat"].Count != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if len(r.Names()) != 3 {
+		t.Fatalf("names = %v", r.Names())
+	}
+	r.Reset()
+	if got := r.Snapshot(); got.Counters["hits"] != 0 || got.Histograms["lat"].Count != 0 {
+		t.Fatalf("after reset: %+v", got)
+	}
+}
+
+// TestConcurrentUse is exercised under -race in CI: all instrument
+// operations and snapshots must be safe from any number of goroutines.
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h").Observe(int64(i))
+				if i%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h").Snapshot().Count; got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}
+
+func TestPublishExpvarIdempotent(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x").Inc()
+	// Double publish must not panic (expvar.Publish panics on reuse).
+	r.PublishExpvar("metrics_test_registry")
+	r.PublishExpvar("metrics_test_registry")
+}

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"apex/internal/core"
 	"apex/internal/storage"
@@ -90,18 +91,51 @@ func (e *APEXEvaluator) ResetCost() { e.cost.reset() }
 
 // Evaluate implements Evaluator.
 func (e *APEXEvaluator) Evaluate(q Query) ([]xmlgraph.NID, error) {
+	return e.evaluateTimed(q, nil)
+}
+
+// EvaluateTrace evaluates q like Evaluate and additionally returns the
+// structured per-stage trace (the EXPLAIN record). The traced evaluation
+// still merges into the cumulative cost counters, so the trace's Total is
+// exactly what this query contributed to Cost().
+func (e *APEXEvaluator) EvaluateTrace(q Query) ([]xmlgraph.NID, *Trace, error) {
+	t := &Trace{Query: q.String(), Type: q.Type.String(), Index: e.Name()}
+	nids, err := e.evaluateTimed(q, t)
+	if err != nil {
+		return nil, nil, err
+	}
+	return nids, t, nil
+}
+
+// evaluateTimed dispatches on the query class, stamping wall time and
+// per-class latency metrics around the evaluation.
+func (e *APEXEvaluator) evaluateTimed(q Query, t *Trace) ([]xmlgraph.NID, error) {
+	start := time.Now()
+	nids, err := e.evaluate(q, t)
+	wall := time.Since(start)
+	if err == nil {
+		observeLatency(q.Type, wall)
+	}
+	if t != nil {
+		t.WallNS = wall.Nanoseconds()
+		t.Results = len(nids)
+	}
+	return nids, err
+}
+
+func (e *APEXEvaluator) evaluate(q Query, t *Trace) ([]xmlgraph.NID, error) {
 	switch q.Type {
 	case QTYPE1:
-		return e.EvalPath(q.Path), nil
+		return e.evalPath(q.Path, t), nil
 	case QTYPE2:
-		return e.EvalPair(q.Path[0], q.Path[1]), nil
+		return e.evalPair(q.Path[0], q.Path[1], t), nil
 	case QTYPE3:
 		if e.dt == nil {
 			return nil, fmt.Errorf("apex: QTYPE3 requires a data table")
 		}
-		return e.EvalPathValue(q.Path, q.Value), nil
+		return e.evalPathValue(q.Path, q.Value, t), nil
 	case QMIXED:
-		return e.EvalMixed(q.Segments), nil
+		return e.evalMixed(q.Segments, t), nil
 	default:
 		return nil, fmt.Errorf("apex: unsupported query type %v", q.Type)
 	}
@@ -109,32 +143,50 @@ func (e *APEXEvaluator) Evaluate(q Query) ([]xmlgraph.NID, error) {
 
 // EvalPath answers //p[0]/…/p[n-1].
 func (e *APEXEvaluator) EvalPath(p xmlgraph.LabelPath) []xmlgraph.NID {
+	return e.evalPath(p, nil)
+}
+
+func (e *APEXEvaluator) evalPath(p xmlgraph.LabelPath, t *Trace) []xmlgraph.NID {
 	var c Cost
 	defer e.cost.add(&c)
+	tr := newTracer(t, &c)
 	c.Queries++
-	res := e.evalPathSet(p, &c)
+	tr.stage("plan", fmt.Sprintf("path length %d", len(p)))
+	res := e.evalPathSet(p, &c, tr)
 	out := make([]xmlgraph.NID, 0, len(res))
 	for n := range res {
 		out = append(out, n)
 	}
 	e.idx.Graph().SortByDocumentOrder(out)
 	c.ResultNodes += int64(len(out))
+	tr.stage("finalize", "sort by document order")
+	tr.finish()
+	observeEvalCost(QTYPE1, &c)
 	return out
 }
 
-func (e *APEXEvaluator) evalPathSet(p xmlgraph.LabelPath, c *Cost) map[xmlgraph.NID]bool {
+func (e *APEXEvaluator) evalPathSet(p xmlgraph.LabelPath, c *Cost, tr *tracer) map[xmlgraph.NID]bool {
 	if len(p) == 0 {
 		return nil
 	}
 	// Fast path: the hash tree covers the whole query path.
 	nodes, covered := e.idx.LookupAll(p)
 	c.HashLookups += int64(len(p))
+	tr.setCovered(covered.String())
 	if covered.Equal(p) && !e.DisableFastPath {
-		return e.scanSpans(extentSpans(nodes), c,
+		mFastPath.Inc()
+		tr.setStrategy("fast-path")
+		tr.stage("hash-lookup", fmt.Sprintf("covered=%s nodes=%d", covered, len(nodes)))
+		out := e.scanSpans(extentSpans(nodes), c,
 			func(pr xmlgraph.EdgePair, out map[xmlgraph.NID]bool, wc *Cost) {
 				out[pr.To] = true
 			})
+		tr.stage("extent-scan", fmt.Sprintf("targets=%d", len(out)))
+		return out
 	}
+	mJoinPath.Inc()
+	tr.setStrategy("join")
+	tr.stage("hash-lookup", fmt.Sprintf("covered=%s, join required", covered))
 	// Multi-way join over per-position candidate edge sets. Position j's
 	// candidates come from looking up the query prefix p[:j+1]; required
 	// paths shrink these sets below the full T(l_j). Within a position the
@@ -160,6 +212,7 @@ func (e *APEXEvaluator) evalPathSet(p xmlgraph.LabelPath, c *Cost) map[xmlgraph.
 				}
 				out[pr.To] = true
 			})
+		tr.stage(fmt.Sprintf("join[%d]", j), fmt.Sprintf("prefix=%s candidates=%d", prefix, len(next)))
 		if len(next) == 0 {
 			return nil
 		}
@@ -190,15 +243,27 @@ func extentSpans(nodes []*core.XNode) []span {
 // edges), so every reference-free path is no longer than the document
 // depth, which caps the enumeration.
 func (e *APEXEvaluator) EvalPair(a, b string) []xmlgraph.NID {
+	return e.evalPair(a, b, nil)
+}
+
+func (e *APEXEvaluator) evalPair(a, b string, t *Trace) []xmlgraph.NID {
 	var c Cost
 	defer e.cost.add(&c)
+	tr := newTracer(t, &c)
+	tr.setStrategy("rewrite+join")
 	c.Queries++
+	tr.stage("plan", fmt.Sprintf("descendant pair %s//%s", a, b))
 	res := make(map[xmlgraph.NID]bool)
-	for _, s := range e.enumerateLegs(a, b, &c) {
+	legs := e.enumerateLegs(a, b, &c)
+	tr.stage("rewrite-enum", fmt.Sprintf("%d rewritings", len(legs)))
+	for _, s := range legs {
 		c.Rewritings++
-		for n := range e.evalPathSet(xmlgraph.ParseLabelPath(s), &c) {
-			res[n] = true
-		}
+		tr.rewriting(s)
+		tr.withPrefix("rw["+s+"]/", func() {
+			for n := range e.evalPathSet(xmlgraph.ParseLabelPath(s), &c, tr) {
+				res[n] = true
+			}
+		})
 	}
 	out := make([]xmlgraph.NID, 0, len(res))
 	for n := range res {
@@ -206,6 +271,9 @@ func (e *APEXEvaluator) EvalPair(a, b string) []xmlgraph.NID {
 	}
 	e.idx.Graph().SortByDocumentOrder(out)
 	c.ResultNodes += int64(len(out))
+	tr.stage("finalize", "union and sort")
+	tr.finish()
+	observeEvalCost(QTYPE2, &c)
 	return out
 }
 
@@ -263,11 +331,19 @@ const MaxMixedRewritings = 100000
 // the natural generalization of the paper's QTYPE2 processing to arbitrary
 // mixed-axis queries.
 func (e *APEXEvaluator) EvalMixed(segments []xmlgraph.LabelPath) []xmlgraph.NID {
+	return e.evalMixed(segments, nil)
+}
+
+func (e *APEXEvaluator) evalMixed(segments []xmlgraph.LabelPath, t *Trace) []xmlgraph.NID {
 	var c Cost
 	defer e.cost.add(&c)
+	tr := newTracer(t, &c)
+	tr.setStrategy("rewrite+join")
 	c.Queries++
+	tr.stage("plan", fmt.Sprintf("%d segments", len(segments)))
 	res := make(map[xmlgraph.NID]bool)
 	if len(segments) == 0 {
+		tr.finish()
 		return nil
 	}
 	// Per-gap legs: sequences last(s_i) … first(s_{i+1}).
@@ -276,7 +352,9 @@ func (e *APEXEvaluator) EvalMixed(segments []xmlgraph.LabelPath) []xmlgraph.NID 
 		a := segments[i][len(segments[i])-1]
 		b := segments[i+1][0]
 		legs[i] = e.enumerateLegs(a, b, &c)
+		tr.stage(fmt.Sprintf("rewrite-enum[%d]", i), fmt.Sprintf("%s//%s: %d legs", a, b, len(legs[i])))
 		if len(legs[i]) == 0 {
+			tr.finish()
 			return nil // no connection exists for this gap
 		}
 	}
@@ -291,9 +369,12 @@ func (e *APEXEvaluator) EvalMixed(segments []xmlgraph.LabelPath) []xmlgraph.NID 
 		if i == len(segments)-1 {
 			combos++
 			c.Rewritings++
-			for n := range e.evalPathSet(acc, &c) {
-				res[n] = true
-			}
+			tr.rewriting(acc.String())
+			tr.withPrefix("rw["+acc.String()+"]/", func() {
+				for n := range e.evalPathSet(acc, &c, tr) {
+					res[n] = true
+				}
+			})
 			return
 		}
 		for _, leg := range legs[i] {
@@ -310,6 +391,9 @@ func (e *APEXEvaluator) EvalMixed(segments []xmlgraph.LabelPath) []xmlgraph.NID 
 	}
 	e.idx.Graph().SortByDocumentOrder(out)
 	c.ResultNodes += int64(len(out))
+	tr.stage("finalize", "union and sort")
+	tr.finish()
+	observeEvalCost(QMIXED, &c)
 	return out
 }
 
@@ -318,17 +402,28 @@ func (e *APEXEvaluator) EvalMixed(segments []xmlgraph.LabelPath) []xmlgraph.NID 
 // validations fan out to the worker pool — the data table's buffer pool is
 // concurrency-safe — which overlaps the per-candidate page reads.
 func (e *APEXEvaluator) EvalPathValue(p xmlgraph.LabelPath, value string) []xmlgraph.NID {
+	return e.evalPathValue(p, value, nil)
+}
+
+func (e *APEXEvaluator) evalPathValue(p xmlgraph.LabelPath, value string, t *Trace) []xmlgraph.NID {
 	var c Cost
 	defer e.cost.add(&c)
+	tr := newTracer(t, &c)
 	c.Queries++
-	candidates := e.evalPathSet(p, &c)
+	tr.stage("plan", fmt.Sprintf("path length %d + value predicate", len(p)))
+	candidates := e.evalPathSet(p, &c, tr)
 	cands := make([]xmlgraph.NID, 0, len(candidates))
 	for n := range candidates {
 		cands = append(cands, n)
 	}
 	out := e.validateValues(cands, value, &c)
+	tr.stage("validate", fmt.Sprintf("candidates=%d matched=%d", len(cands), len(out)))
+	tr.appendStrategy("+validate")
 	e.idx.Graph().SortByDocumentOrder(out)
 	c.ResultNodes += int64(len(out))
+	tr.stage("finalize", "sort by document order")
+	tr.finish()
+	observeEvalCost(QTYPE3, &c)
 	return out
 }
 

@@ -110,14 +110,30 @@ func (p *workerPool) acquire(want int) int {
 		case <-p.tokens:
 			n++
 		default:
+			n = p.record(want, n)
 			return n
 		}
 	}
-	return n
+	return p.record(want, n)
+}
+
+// record updates the pool-pressure instruments for one acquire outcome.
+func (p *workerPool) record(want, got int) int {
+	if got > 0 {
+		mPoolInUse.Add(int64(got))
+		mPoolAcquired.Add(int64(got))
+	}
+	if want > 0 && got == 0 {
+		mPoolExhausted.Inc()
+	}
+	return got
 }
 
 // release returns n tokens to the pool.
 func (p *workerPool) release(n int) {
+	if n > 0 {
+		mPoolInUse.Add(int64(-n))
+	}
 	for i := 0; i < n; i++ {
 		p.tokens <- struct{}{}
 	}

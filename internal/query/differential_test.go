@@ -1,0 +1,161 @@
+// Differential correctness harness: on every seed dataset, random workloads
+// must produce set-equal results from the APEX evaluator and the summary
+// baselines (strong DataGuide and 1-index) — before adaptation, after
+// adaptation, and after data mutations (insert and delete followed by
+// RefreshData). The three engines share no evaluation machinery, so
+// agreement across random queries is strong evidence each is right.
+package query_test
+
+import (
+	"strings"
+	"testing"
+
+	"apex/internal/core"
+	"apex/internal/datagen"
+	"apex/internal/dataguide"
+	"apex/internal/oneindex"
+	"apex/internal/query"
+	"apex/internal/storage"
+	"apex/internal/workload"
+	"apex/internal/xmlgraph"
+)
+
+// diffScale keeps the nine-dataset sweep CI-fast; the generators clamp to a
+// minimum budget so every dataset still has its full label structure.
+const diffScale = 0.02
+
+const diffSeed = 7
+
+// diffQueries samples a mixed random workload over g.
+func diffQueries(g *xmlgraph.Graph) []query.Query {
+	gen := workload.New(g, diffSeed)
+	qs := gen.QType1(40)
+	qs = append(qs, gen.QType2(8)...)
+	qs = append(qs, gen.QType3(12)...)
+	qs = append(qs, gen.QMixed(5)...)
+	return qs
+}
+
+// baselines builds the comparator evaluators fresh over the graph's current
+// state.
+func baselines(g *xmlgraph.Graph, dt *storage.DataTable) []query.Evaluator {
+	return []query.Evaluator{
+		query.NewSummaryEvaluator("SDG", dataguide.Build(g), g, dt),
+		query.NewSummaryEvaluator("1-index", oneindex.Build(g), g, dt),
+	}
+}
+
+func toSet(nids []xmlgraph.NID) map[xmlgraph.NID]bool {
+	s := make(map[xmlgraph.NID]bool, len(nids))
+	for _, n := range nids {
+		s[n] = true
+	}
+	return s
+}
+
+// assertAgree checks set-equality of APEX and every baseline on every query.
+func assertAgree(t *testing.T, phase string, ap query.Evaluator, base []query.Evaluator, qs []query.Query) {
+	t.Helper()
+	for _, q := range qs {
+		want, err := ap.Evaluate(q)
+		if err != nil {
+			t.Fatalf("%s: APEX on %s: %v", phase, q, err)
+		}
+		wantSet := toSet(want)
+		for _, ev := range base {
+			got, err := ev.Evaluate(q)
+			if err != nil {
+				t.Fatalf("%s: %s on %s: %v", phase, ev.Name(), q, err)
+			}
+			gotSet := toSet(got)
+			if len(gotSet) != len(wantSet) {
+				t.Fatalf("%s: %s: APEX %d nodes, %s %d nodes",
+					phase, q, len(wantSet), ev.Name(), len(gotSet))
+			}
+			for n := range wantSet {
+				if !gotSet[n] {
+					t.Fatalf("%s: %s: node %d in APEX result only", phase, q, n)
+				}
+			}
+		}
+	}
+}
+
+// removeOriginalSubtree deletes one pre-existing element subtree (not the
+// root, not an attribute): the first removable child-of-root subtree.
+func removeOriginalSubtree(t *testing.T, g *xmlgraph.Graph) {
+	t.Helper()
+	for _, e := range g.Out(g.Root()) {
+		if strings.HasPrefix(e.Label, "@") || g.Removed(e.To) {
+			continue
+		}
+		if err := g.RemoveSubtree(e.To); err == nil {
+			return
+		}
+	}
+	t.Fatal("no removable subtree under the root")
+}
+
+func TestDifferentialAllDatasets(t *testing.T) {
+	for _, name := range datagen.DatasetNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			ds, err := datagen.LoadDataset(name, diffScale)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := ds.Graph
+			dt, err := storage.BuildDataTable(g, 0, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			qs := diffQueries(g)
+			wl := workload.SampleWorkload(workload.New(g, diffSeed).QType1(60), 0.5, diffSeed)
+
+			// Phase 1: the initial index APEX0.
+			idx := core.BuildAPEX0(g)
+			ap := query.NewAPEXEvaluator(idx, dt)
+			assertAgree(t, "apex0", ap, baselines(g, dt), qs)
+
+			// Phase 2: after adaptation (mine the workload, update).
+			idx.ExtractFrequentPaths(wl, 0.01)
+			idx.Update()
+			assertAgree(t, "adapted", ap, baselines(g, dt), qs)
+
+			// Phase 3: after an insert plus refresh. The fragment introduces
+			// labels the initial build never saw.
+			if _, err := g.AppendFragment(g.Root(),
+				`<difftest><diffchild>diffvalue</diffchild></difftest>`, nil); err != nil {
+				t.Fatal(err)
+			}
+			idx.RefreshData()
+			dt, err = storage.BuildDataTable(g, 0, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ap = query.NewAPEXEvaluator(idx, dt)
+			qs = append(qs, mustParse(t, "//difftest/diffchild"))
+			assertAgree(t, "inserted", ap, baselines(g, dt), qs)
+
+			// Phase 4: after deleting an original subtree plus refresh.
+			removeOriginalSubtree(t, g)
+			idx.RefreshData()
+			dt, err = storage.BuildDataTable(g, 0, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ap = query.NewAPEXEvaluator(idx, dt)
+			assertAgree(t, "deleted", ap, baselines(g, dt), qs)
+		})
+	}
+}
+
+func mustParse(t *testing.T, s string) query.Query {
+	t.Helper()
+	q, err := query.Parse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}

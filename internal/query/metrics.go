@@ -1,0 +1,61 @@
+package query
+
+import (
+	"time"
+
+	"apex/internal/metrics"
+)
+
+// Query-processor instruments on the process-wide registry. Latency and
+// logical cost are recorded per query class — the paper's evaluation slices
+// every figure by QTYPE — and the strategy counters say how often H_APEX
+// answered directly versus falling back to the extent join.
+var (
+	mFastPath = metrics.Default.Counter("query.apex.fastpath_total")
+	mJoinPath = metrics.Default.Counter("query.apex.joinpath_total")
+
+	// Worker-pool pressure: extra workers currently lent out, total grants,
+	// and how often a scan wanted extra workers but the pool was drained.
+	mPoolInUse     = metrics.Default.Gauge("query.pool.extra_workers_in_use")
+	mPoolAcquired  = metrics.Default.Counter("query.pool.acquired_total")
+	mPoolExhausted = metrics.Default.Counter("query.pool.exhausted_total")
+
+	mLatencyQ1 = metrics.Default.Histogram("query.latency_ns.qtype1")
+	mLatencyQ2 = metrics.Default.Histogram("query.latency_ns.qtype2")
+	mLatencyQ3 = metrics.Default.Histogram("query.latency_ns.qtype3")
+	mLatencyQM = metrics.Default.Histogram("query.latency_ns.qmixed")
+
+	mCostQ1 = metrics.Default.Histogram("query.cost_total.qtype1")
+	mCostQ2 = metrics.Default.Histogram("query.cost_total.qtype2")
+	mCostQ3 = metrics.Default.Histogram("query.cost_total.qtype3")
+	mCostQM = metrics.Default.Histogram("query.cost_total.qmixed")
+)
+
+// observeLatency records one evaluation's wall time under its query class.
+func observeLatency(t Type, d time.Duration) {
+	switch t {
+	case QTYPE1:
+		mLatencyQ1.Observe(d.Nanoseconds())
+	case QTYPE2:
+		mLatencyQ2.Observe(d.Nanoseconds())
+	case QTYPE3:
+		mLatencyQ3.Observe(d.Nanoseconds())
+	case QMIXED:
+		mLatencyQM.Observe(d.Nanoseconds())
+	}
+}
+
+// observeEvalCost records one evaluation's total logical cost under its
+// query class.
+func observeEvalCost(t Type, c *Cost) {
+	switch t {
+	case QTYPE1:
+		mCostQ1.Observe(c.Total())
+	case QTYPE2:
+		mCostQ2.Observe(c.Total())
+	case QTYPE3:
+		mCostQ3.Observe(c.Total())
+	case QMIXED:
+		mCostQM.Observe(c.Total())
+	}
+}

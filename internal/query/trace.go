@@ -1,0 +1,252 @@
+package query
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Trace is the structured record of one query evaluation — the EXPLAIN
+// output of the APEX query processor. Its per-stage costs are exact deltas
+// of the same logical counters QueryCost aggregates, so the stage costs sum
+// to the evaluation's total (asserted by tests): the trace is the cost
+// model made per-query and per-stage instead of cumulative.
+type Trace struct {
+	// Query is the rendered query text; Type its workload class.
+	Query string `json:"query"`
+	Type  string `json:"type"`
+	// Index names the evaluator ("APEX").
+	Index string `json:"index"`
+	// Strategy is the chosen evaluation plan: "fast-path" (H_APEX covers
+	// the whole path), "join" (multi-way extent join), "rewrite+join"
+	// (QTYPE2/QMIXED gap rewriting), with "+validate" appended for QTYPE3.
+	Strategy string `json:"strategy"`
+	// Covered is the longest required suffix H_APEX matched for the primary
+	// path lookup (empty for pure rewriting queries).
+	Covered string `json:"covered,omitempty"`
+	// Rewritings lists the G_APEX label-path rewritings evaluated (QTYPE2
+	// and QMIXED), capped at maxTraceRewritings.
+	Rewritings []string `json:"rewritings,omitempty"`
+	// Stages are the per-stage cost deltas, in execution order.
+	Stages []TraceStage `json:"stages"`
+	// Total is the evaluation's cost delta — exactly what the evaluation
+	// merged into the evaluator's cumulative counters.
+	Total Cost `json:"total"`
+	// WallNS is the wall-clock evaluation time in nanoseconds.
+	WallNS int64 `json:"wall_ns"`
+	// Results is the result cardinality.
+	Results int `json:"results"`
+}
+
+// TraceStage is one stage of an evaluation with its logical cost delta.
+type TraceStage struct {
+	// Name identifies the stage: "plan", "hash-lookup", "extent-scan",
+	// "join[j]", "rewrite-enum", "validate", "finalize". Rewriting legs are
+	// prefixed "rw[path]/".
+	Name string `json:"name"`
+	// Detail carries stage-specific context (matched suffix, rewriting
+	// path, candidate counts).
+	Detail string `json:"detail,omitempty"`
+	// Cost is the logical counter delta of this stage alone.
+	Cost Cost `json:"cost"`
+}
+
+// maxTraceStages caps the recorded stages; beyond it, further stage costs
+// are merged into one trailing aggregate stage so the stage sum is still
+// exact for arbitrarily many rewritings.
+const maxTraceStages = 64
+
+// maxTraceRewritings caps the recorded rewriting strings.
+const maxTraceRewritings = 32
+
+// addStage appends a stage, aggregating past the cap.
+func (t *Trace) addStage(name, detail string, c Cost) {
+	if len(t.Stages) >= maxTraceStages {
+		last := &t.Stages[len(t.Stages)-1]
+		if last.Name != "(aggregated)" {
+			t.Stages = append(t.Stages, TraceStage{Name: "(aggregated)", Cost: c})
+			return
+		}
+		last.Cost.merge(&c)
+		return
+	}
+	t.Stages = append(t.Stages, TraceStage{Name: name, Detail: detail, Cost: c})
+}
+
+// addRewriting records one rewriting path, capped.
+func (t *Trace) addRewriting(s string) {
+	if len(t.Rewritings) < maxTraceRewritings {
+		t.Rewritings = append(t.Rewritings, s)
+	}
+}
+
+// StageSum returns the sum of all stage costs; it equals Total by
+// construction (every counter mutation happens inside exactly one stage).
+func (t *Trace) StageSum() Cost {
+	var sum Cost
+	for i := range t.Stages {
+		sum.merge(&t.Stages[i].Cost)
+	}
+	return sum
+}
+
+// Wall returns the evaluation wall time.
+func (t *Trace) Wall() time.Duration { return time.Duration(t.WallNS) }
+
+// JSON renders the trace as indented JSON.
+func (t *Trace) JSON() ([]byte, error) {
+	return json.MarshalIndent(t, "", "  ")
+}
+
+// Text renders the trace in a human-readable EXPLAIN layout.
+func (t *Trace) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "EXPLAIN %s\n", t.Query)
+	fmt.Fprintf(&b, "  class=%s index=%s strategy=%s", t.Type, t.Index, t.Strategy)
+	if t.Covered != "" {
+		fmt.Fprintf(&b, " covered=%s", t.Covered)
+	}
+	fmt.Fprintf(&b, "\n  results=%d wall=%v\n", t.Results, t.Wall().Round(time.Microsecond))
+	if len(t.Rewritings) > 0 {
+		fmt.Fprintf(&b, "  rewritings (%d shown):\n", len(t.Rewritings))
+		for _, r := range t.Rewritings {
+			fmt.Fprintf(&b, "    %s\n", r)
+		}
+	}
+	b.WriteString("  stages:\n")
+	for _, s := range t.Stages {
+		fmt.Fprintf(&b, "    %-24s %s", s.Name, costLine(s.Cost))
+		if s.Detail != "" {
+			fmt.Fprintf(&b, "  (%s)", s.Detail)
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "  total: %s (weighted=%d, pageIO=%d)\n",
+		costLine(t.Total), t.Total.WeightedTotal(), t.Total.PageIO())
+	return b.String()
+}
+
+// costLine renders the non-zero counters of c compactly.
+func costLine(c Cost) string {
+	type field struct {
+		name string
+		v    int64
+	}
+	fields := []field{
+		{"hash", c.HashLookups}, {"edge", c.IndexEdgeLookups},
+		{"extent", c.ExtentEdges}, {"join", c.JoinProbes},
+		{"rewr", c.Rewritings}, {"data", c.DataLookups},
+		{"trie", c.TrieNodes}, {"leaf", c.LeafValidations},
+		{"block", c.BlockReads}, {"results", c.ResultNodes},
+	}
+	var parts []string
+	for _, f := range fields {
+		if f.v != 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", f.name, f.v))
+		}
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, " ")
+}
+
+// diff returns c minus o, field by field.
+func (c Cost) diff(o Cost) Cost {
+	return Cost{
+		Queries:          c.Queries - o.Queries,
+		HashLookups:      c.HashLookups - o.HashLookups,
+		IndexEdgeLookups: c.IndexEdgeLookups - o.IndexEdgeLookups,
+		ExtentEdges:      c.ExtentEdges - o.ExtentEdges,
+		JoinProbes:       c.JoinProbes - o.JoinProbes,
+		Rewritings:       c.Rewritings - o.Rewritings,
+		DataLookups:      c.DataLookups - o.DataLookups,
+		TrieNodes:        c.TrieNodes - o.TrieNodes,
+		LeafValidations:  c.LeafValidations - o.LeafValidations,
+		BlockReads:       c.BlockReads - o.BlockReads,
+		ResultNodes:      c.ResultNodes - o.ResultNodes,
+	}
+}
+
+// tracer threads a Trace through an evaluation, snapshotting the
+// evaluation-local Cost at stage boundaries. A nil tracer is inert, so the
+// untraced hot path pays only nil checks.
+type tracer struct {
+	t      *Trace
+	c      *Cost
+	mark   Cost
+	prefix string // stage-name prefix for rewriting legs
+}
+
+// newTracer starts tracing the evaluation tallying into c; returns nil when
+// t is nil.
+func newTracer(t *Trace, c *Cost) *tracer {
+	if t == nil {
+		return nil
+	}
+	return &tracer{t: t, c: c}
+}
+
+// stage closes the current stage: it records the cost accumulated in c
+// since the previous boundary under the given name.
+func (tr *tracer) stage(name, detail string) {
+	if tr == nil {
+		return
+	}
+	tr.t.addStage(tr.prefix+name, detail, tr.c.diff(tr.mark))
+	tr.mark = *tr.c
+}
+
+// setStrategy records the evaluation strategy if none was set yet (wrappers
+// set composite strategies up front; the path machinery fills in the
+// fast-path/join decision).
+func (tr *tracer) setStrategy(s string) {
+	if tr != nil && tr.t.Strategy == "" {
+		tr.t.Strategy = s
+	}
+}
+
+// setCovered records the matched required suffix of the primary path
+// lookup (rewriting legs, which run prefixed, do not overwrite it).
+func (tr *tracer) setCovered(s string) {
+	if tr != nil && tr.prefix == "" && tr.t.Covered == "" {
+		tr.t.Covered = s
+	}
+}
+
+// appendStrategy appends a suffix to the recorded strategy (QTYPE3 composes
+// the path strategy with its validation step).
+func (tr *tracer) appendStrategy(s string) {
+	if tr != nil {
+		tr.t.Strategy += s
+	}
+}
+
+// rewriting records a rewriting path on the trace.
+func (tr *tracer) rewriting(s string) {
+	if tr != nil {
+		tr.t.addRewriting(s)
+	}
+}
+
+// withPrefix runs fn with the stage-name prefix set (nested prefixes
+// concatenate).
+func (tr *tracer) withPrefix(p string, fn func()) {
+	if tr == nil {
+		fn()
+		return
+	}
+	old := tr.prefix
+	tr.prefix = old + p
+	fn()
+	tr.prefix = old
+}
+
+// finish stamps the trace totals from the evaluation-local cost.
+func (tr *tracer) finish() {
+	if tr == nil {
+		return
+	}
+	tr.t.Total = *tr.c
+}

@@ -1,0 +1,215 @@
+package query
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"apex/internal/core"
+	"apex/internal/storage"
+	"apex/internal/xmlgraph"
+)
+
+// TestTraceStageSumsEqualTotal is the tracer's core invariant: every cost
+// counter mutation happens inside exactly one stage, so the per-stage deltas
+// sum to the evaluation total, which in turn is exactly what the evaluation
+// merged into the cumulative counters.
+func TestTraceStageSumsEqualTotal(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		graph   func(*testing.T) *xmlgraph.Graph
+		queries []string
+	}{
+		{"movies", movieGraph, []string{
+			"//movie/title",
+			"//actor/@movie=>movie/title",
+			"//MovieDB//name",
+			`//movie/title[text()="Waterworld"]`,
+			"//MovieDB//movie//title",
+		}},
+		{"plays", playGraph, []string{
+			"//ACT/SCENE/SPEECH/LINE",
+			"//ACT//LINE",
+			`//SPEECH/SPEAKER[text()="HAMLET"]`,
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g := tc.graph(t)
+			dt, err := storage.BuildDataTable(g, 0, 16)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ev := NewAPEXEvaluator(core.BuildAPEX0(g), dt)
+			for _, s := range tc.queries {
+				q, err := Parse(s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ev.ResetCost()
+				nids, tr, err := ev.EvaluateTrace(q)
+				if err != nil {
+					t.Fatalf("%s: %v", s, err)
+				}
+				if sum := tr.StageSum(); sum != tr.Total {
+					t.Errorf("%s: stage sum %+v != total %+v", s, sum, tr.Total)
+				}
+				// The trace total is exactly this query's contribution to the
+				// evaluator's cumulative counters (QueryCost on the facade).
+				if cum := *ev.Cost(); cum != tr.Total {
+					t.Errorf("%s: cumulative cost %+v != trace total %+v", s, cum, tr.Total)
+				}
+				if tr.Results != len(nids) {
+					t.Errorf("%s: trace results %d != %d", s, tr.Results, len(nids))
+				}
+				if tr.WallNS < 0 {
+					t.Errorf("%s: negative wall time", s)
+				}
+				// Traced and untraced evaluations agree.
+				plain, err := ev.Evaluate(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(nids, plain) {
+					t.Errorf("%s: traced results differ from Evaluate", s)
+				}
+			}
+		})
+	}
+}
+
+func TestTraceStrategies(t *testing.T) {
+	g := playGraph(t)
+	dt, err := storage.BuildDataTable(g, 0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := []xmlgraph.LabelPath{xmlgraph.ParseLabelPath("ACT.SCENE.SPEECH.LINE")}
+	adapted := NewAPEXEvaluator(core.BuildAPEX(g, wl, 0.5), dt)
+	plain := NewAPEXEvaluator(core.BuildAPEX0(g), dt)
+
+	q, err := Parse("//ACT/SCENE/SPEECH/LINE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tr, err := adapted.EvaluateTrace(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Strategy != "fast-path" {
+		t.Errorf("adapted strategy = %q, want fast-path", tr.Strategy)
+	}
+	if tr.Covered != "ACT.SCENE.SPEECH.LINE" {
+		t.Errorf("adapted covered = %q", tr.Covered)
+	}
+	_, tr, err = plain.EvaluateTrace(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Strategy != "join" {
+		t.Errorf("APEX0 strategy = %q, want join", tr.Strategy)
+	}
+	if tr.Covered != "LINE" {
+		t.Errorf("APEX0 covered = %q, want the length-1 suffix", tr.Covered)
+	}
+
+	q, err = Parse("//ACT//LINE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tr, err = plain.EvaluateTrace(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Strategy != "rewrite+join" {
+		t.Errorf("QTYPE2 strategy = %q", tr.Strategy)
+	}
+	if len(tr.Rewritings) == 0 {
+		t.Error("QTYPE2 trace has no rewritings")
+	}
+
+	q, err = Parse(`//SPEECH/SPEAKER[text()="HAMLET"]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tr, err = plain.EvaluateTrace(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(tr.Strategy, "+validate") {
+		t.Errorf("QTYPE3 strategy = %q, want +validate suffix", tr.Strategy)
+	}
+}
+
+func TestTraceRenderers(t *testing.T) {
+	g := movieGraph(t)
+	dt, err := storage.BuildDataTable(g, 0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := NewAPEXEvaluator(core.BuildAPEX0(g), dt)
+	q, err := Parse("//movie/title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tr, err := ev.EvaluateTrace(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := tr.Text()
+	for _, want := range []string{"EXPLAIN //movie/title", "class=QTYPE1", "stages:", "total:"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Text() missing %q:\n%s", want, text)
+		}
+	}
+	b, err := tr.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Trace
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("JSON round-trip: %v", err)
+	}
+	if back.Query != tr.Query || back.Total != tr.Total || len(back.Stages) != len(tr.Stages) {
+		t.Errorf("JSON round-trip mismatch: %+v vs %+v", back, tr)
+	}
+}
+
+// TestTraceStageAggregation: past maxTraceStages, stage costs merge into one
+// trailing aggregate so the stage-sum invariant survives unbounded rewriting
+// fan-out.
+func TestTraceStageAggregation(t *testing.T) {
+	tr := &Trace{}
+	var want Cost
+	for i := 0; i < maxTraceStages+10; i++ {
+		c := Cost{HashLookups: int64(i)}
+		want.merge(&c)
+		tr.addStage("s", "", c)
+	}
+	if len(tr.Stages) != maxTraceStages+1 {
+		t.Fatalf("stages = %d, want %d", len(tr.Stages), maxTraceStages+1)
+	}
+	if last := tr.Stages[len(tr.Stages)-1]; last.Name != "(aggregated)" {
+		t.Fatalf("last stage = %q", last.Name)
+	}
+	if sum := tr.StageSum(); sum != want {
+		t.Fatalf("stage sum %+v != %+v", sum, want)
+	}
+}
+
+// TestNilTracerInert: the untraced hot path must behave identically with a
+// nil tracer (all methods are nil-receiver safe).
+func TestNilTracerInert(t *testing.T) {
+	var tr *tracer
+	tr.stage("x", "")
+	tr.setStrategy("x")
+	tr.setCovered("x")
+	tr.appendStrategy("x")
+	tr.rewriting("x")
+	tr.finish()
+	ran := false
+	tr.withPrefix("p/", func() { ran = true })
+	if !ran {
+		t.Fatal("withPrefix skipped fn on nil tracer")
+	}
+}

@@ -5,6 +5,17 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"apex/internal/metrics"
+)
+
+// Process-wide buffer-pool instruments, aggregated across every pool in the
+// process (per-pool numbers stay available through Stats).
+var (
+	mPageReads = metrics.Default.Counter("storage.bufferpool.page_reads_total")
+	mHits      = metrics.Default.Counter("storage.bufferpool.hits_total")
+	mMisses    = metrics.Default.Counter("storage.bufferpool.misses_total")
+	mEvictions = metrics.Default.Counter("storage.bufferpool.evictions_total")
 )
 
 // IOStats accumulates buffer-pool traffic. Logical = every page request;
@@ -63,11 +74,13 @@ func NewBufferPool(pager Pager, capacity int) *BufferPool {
 // ReadPage returns page id through the cache.
 func (b *BufferPool) ReadPage(id PageID) ([]byte, error) {
 	b.logical.Add(1)
+	mPageReads.Inc()
 	b.mu.Lock()
 	if el, ok := b.frames[id]; ok {
 		b.lru.MoveToFront(el)
 		data := el.Value.(*frame).data
 		b.mu.Unlock()
+		mHits.Inc()
 		return data, nil
 	}
 	// Miss: read while holding the lock. The pager is in-memory, so holding
@@ -80,11 +93,13 @@ func (b *BufferPool) ReadPage(id PageID) ([]byte, error) {
 		return nil, err
 	}
 	b.physical.Add(1)
+	mMisses.Inc()
 	if b.capacity > 0 {
 		if b.lru.Len() >= b.capacity {
 			oldest := b.lru.Back()
 			b.lru.Remove(oldest)
 			delete(b.frames, oldest.Value.(*frame).id)
+			mEvictions.Inc()
 		}
 		b.frames[id] = b.lru.PushFront(&frame{id: id, data: data})
 	}

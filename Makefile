@@ -2,7 +2,7 @@
 # and `lint` mirror the GitHub Actions jobs in .github/workflows/ci.yml
 # exactly, so a green local run means a green CI run.
 
-.PHONY: all build test ci race lint cover cover-check bench bench-concurrent experiments fuzz fuzz-smoke clean
+.PHONY: all build test ci race lint cover cover-check bench bench-concurrent bench-join experiments fuzz fuzz-smoke clean
 
 # Minimum total statement coverage enforced by `make cover-check` and the
 # CI coverage job. Ratchet upward when coverage rises; never lower it.
@@ -57,6 +57,14 @@ bench:
 bench-concurrent:
 	go test -run '^$$' -bench 'Concurrent' -benchtime=100ms -cpu 1,4 .
 	go run ./cmd/apexbench -experiments concurrency -concurrency-json BENCH_CONCURRENCY.json
+
+# The join-kernel ablation (sort-merge over frozen columnar extents vs the
+# hash-join fallback) across all nine seed datasets, recorded to
+# BENCH_JOIN.json, plus the allocation-parity gate the CI bench job runs.
+bench-join:
+	go test -run TestMergeJoinAllocsNotWorse -v ./internal/query/
+	go test -run '^$$' -bench 'JoinKernel|EdgeSetEnds' -benchtime=100ms -benchmem ./internal/core/ ./internal/query/
+	go run ./cmd/apexbench -experiments join-kernel -join-json BENCH_JOIN.json
 
 # The full experiment suite at laptop scale; see -paper for the 2002 sizes.
 experiments:

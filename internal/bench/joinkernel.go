@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"apex/internal/datagen"
+	"apex/internal/query"
+)
+
+// The join-kernel ablation isolates the QTYPE1 execution kernel: the
+// sort-merge join over frozen columnar extents against the hash-join
+// fallback (DisableMergeJoin), on the same adapted index and queries. Each
+// dataset runs two workloads — the full QTYPE1 population (most queries take
+// the hash-tree fast path) and a join-heavy variant with the fast path
+// disabled, where the kernel does all the work. The logical cost counters
+// are kernel-independent by design, so the report asserts they match and the
+// comparison rests on wall time and allocations.
+
+// JoinKernelCell is one (kernel) measurement within a workload.
+type JoinKernelCell struct {
+	Kernel     string        `json:"kernel"` // "merge" or "hash"
+	Elapsed    time.Duration `json:"elapsed_ns"`
+	QPS        float64       `json:"qps"`
+	CostTotal  int64         `json:"cost_total"`
+	Results    int64         `json:"results"`
+	AllocsPerQ float64       `json:"allocs_per_query"`
+	BytesPerQ  float64       `json:"bytes_per_query"`
+}
+
+// JoinKernelRow is one (dataset, workload) comparison.
+type JoinKernelRow struct {
+	Dataset  string         `json:"dataset"`
+	Workload string         `json:"workload"` // "qtype1" or "join-heavy"
+	Queries  int            `json:"queries"`
+	Merge    JoinKernelCell `json:"merge"`
+	Hash     JoinKernelCell `json:"hash"`
+	// Speedup is hash elapsed over merge elapsed (>1 means merge wins).
+	Speedup float64 `json:"speedup"`
+	// Agreed records that both kernels returned the same result volume and
+	// identical logical cost totals.
+	Agreed bool `json:"agreed"`
+}
+
+// JoinKernelReport is the full nine-dataset sweep.
+type JoinKernelReport struct {
+	Scale   float64         `json:"scale"`
+	Queries int             `json:"queries_per_dataset"`
+	Rows    []JoinKernelRow `json:"rows"`
+}
+
+// JoinKernel runs the kernel ablation over the named datasets (all seed
+// datasets when names is empty).
+func (e *Env) JoinKernel(names []string) (JoinKernelReport, error) {
+	if len(names) == 0 {
+		names = datagen.DatasetNames()
+	}
+	rep := JoinKernelReport{Scale: e.cfg.Scale, Queries: e.cfg.NumQ1}
+	for _, name := range names {
+		s, err := e.site(name)
+		if err != nil {
+			return rep, err
+		}
+		idx := s.buildAPEX(e.cfg.FixedMinSup)
+		for _, wl := range []string{"qtype1", "join-heavy"} {
+			row := JoinKernelRow{Dataset: name, Workload: wl, Queries: len(s.q1)}
+			for _, kernel := range []string{"merge", "hash"} {
+				// Parallelism 1 keeps the allocation deltas attributable to
+				// the measured goroutine.
+				ev := query.NewAPEXEvaluator(idx, s.dt)
+				ev.SetParallelism(1)
+				ev.DisableFastPath = wl == "join-heavy"
+				ev.DisableMergeJoin = kernel == "hash"
+				cell, err := runKernelCell(ev, s.q1)
+				if err != nil {
+					return rep, err
+				}
+				cell.Kernel = kernel
+				if kernel == "merge" {
+					row.Merge = cell
+				} else {
+					row.Hash = cell
+				}
+			}
+			if row.Merge.Elapsed > 0 {
+				row.Speedup = float64(row.Hash.Elapsed) / float64(row.Merge.Elapsed)
+			}
+			row.Agreed = row.Merge.Results == row.Hash.Results &&
+				row.Merge.CostTotal == row.Hash.CostTotal
+			if !row.Agreed {
+				return rep, fmt.Errorf("bench: join kernels disagree on %s/%s: merge(results=%d cost=%d) hash(results=%d cost=%d)",
+					name, wl, row.Merge.Results, row.Merge.CostTotal, row.Hash.Results, row.Hash.CostTotal)
+			}
+			rep.Rows = append(rep.Rows, row)
+		}
+	}
+	return rep, nil
+}
+
+// runKernelCell times one kernel over the query batch, measuring allocations
+// via the runtime's malloc counters (the batch runs once warm before the
+// measured pass so pooled scratch is in steady state).
+func runKernelCell(ev *query.APEXEvaluator, qs []query.Query) (JoinKernelCell, error) {
+	pass := func() (int64, error) {
+		var results int64
+		for _, q := range qs {
+			res, err := ev.Evaluate(q)
+			if err != nil {
+				return 0, err
+			}
+			results += int64(len(res))
+		}
+		return results, nil
+	}
+	if _, err := pass(); err != nil { // warm-up
+		return JoinKernelCell{}, err
+	}
+	ev.ResetCost()
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	results, err := pass()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return JoinKernelCell{}, err
+	}
+	n := float64(len(qs))
+	return JoinKernelCell{
+		Elapsed:    elapsed,
+		QPS:        n / elapsed.Seconds(),
+		CostTotal:  ev.Cost().Total(),
+		Results:    results,
+		AllocsPerQ: float64(after.Mallocs-before.Mallocs) / n,
+		BytesPerQ:  float64(after.TotalAlloc-before.TotalAlloc) / n,
+	}, nil
+}
+
+// RenderJoinKernel prints the sweep as a table.
+func RenderJoinKernel(rep JoinKernelReport) string {
+	var b []byte
+	b = fmt.Appendf(b, "Join-kernel ablation (scale=%g, %d QTYPE1 queries per dataset)\n",
+		rep.Scale, rep.Queries)
+	b = fmt.Appendf(b, "%-16s %-10s %12s %12s %9s %11s %11s %7s\n",
+		"dataset", "workload", "merge", "hash", "speedup", "allocs/q(m)", "allocs/q(h)", "agreed")
+	for _, r := range rep.Rows {
+		b = fmt.Appendf(b, "%-16s %-10s %12v %12v %8.2fx %11.0f %11.0f %7v\n",
+			r.Dataset, r.Workload,
+			r.Merge.Elapsed.Round(time.Microsecond), r.Hash.Elapsed.Round(time.Microsecond),
+			r.Speedup, r.Merge.AllocsPerQ, r.Hash.AllocsPerQ, r.Agreed)
+	}
+	return string(b)
+}
+
+// WriteJoinKernelJSON records the report (the CI benchmark job uploads it as
+// BENCH_JOIN.json).
+func WriteJoinKernelJSON(w io.Writer, rep JoinKernelReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -22,10 +22,11 @@ func RunBench(args []string, stdout io.Writer) error {
 		q2       = fs.Int("q2", 100, "number of QTYPE2 queries")
 		q3       = fs.Int("q3", 200, "number of QTYPE3 queries")
 		seed     = fs.Int64("seed", 1, "random seed")
-		exps     = fs.String("experiments", "table1,table2,fig13,fig14,fig15", "comma-separated experiment list (also: ablations, asr, concurrency, explain)")
+		exps     = fs.String("experiments", "table1,table2,fig13,fig14,fig15", "comma-separated experiment list (also: ablations, asr, concurrency, explain, join-kernel)")
 		paper    = fs.Bool("paper", false, "run the full-size paper protocol (slow)")
 		csvDir   = fs.String("csv", "", "also write figure series as CSV files into this directory")
 		concJSON = fs.String("concurrency-json", "", "write the concurrency sweep report to this JSON file")
+		joinJSON = fs.String("join-json", "", "write the join-kernel ablation report to this JSON file")
 		metJSON  = fs.String("metrics-json", "", "write a process metrics snapshot (counters/gauges/histograms) to this JSON file after the run")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = fs.String("memprofile", "", "write a heap profile to this file after the run")
@@ -196,6 +197,27 @@ func RunBench(args []string, stdout io.Writer) error {
 		}
 		return csvOut("concurrency.json", func(w io.Writer) error {
 			return bench.WriteConcurrencyJSON(w, rep)
+		})
+	})
+	run("join-kernel", func() error {
+		rep, err := env.JoinKernel(nil)
+		if err != nil {
+			return err
+		}
+		fprintf(stdout, "%s\n", bench.RenderJoinKernel(rep))
+		if *joinJSON != "" {
+			f, err := os.Create(*joinJSON)
+			if err != nil {
+				return err
+			}
+			if err := bench.WriteJoinKernelJSON(f, rep); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+		return csvOut("joinkernel.json", func(w io.Writer) error {
+			return bench.WriteJoinKernelJSON(w, rep)
 		})
 	})
 	run("explain", func() error {

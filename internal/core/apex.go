@@ -17,6 +17,11 @@ type APEX struct {
 	xroot  *XNode
 	nextID int
 	run    int // update-round counter backing the visited flags
+	// hashGen is the hash-tree publication generation: FreezeExtents bumps
+	// it and stamps every HNode's subtree cache with the new value, so a
+	// cache is valid exactly when its stamp matches (entries added by later
+	// maintenance rounds carry older stamps until the next freeze).
+	hashGen int
 }
 
 // Graph returns the underlying data graph.
@@ -42,9 +47,49 @@ func BuildAPEX0(g *xmlgraph.Graph) *APEX {
 	rootPair := xmlgraph.EdgePair{From: xmlgraph.NullNID, To: g.Root()}
 	a.xroot.Extent.Add(rootPair)
 	a.exploreAPEX0(a.xroot, []xmlgraph.EdgePair{rootPair})
+	a.FreezeExtents()
 	observeSince(mBuildNS, start)
 	a.observeStructure()
 	return a
+}
+
+// FreezeExtents publishes every extent in its columnar serving form (sorted,
+// deduplicated, distinct-ends precomputed — see EdgeSet.Freeze). It walks
+// both the live summary graph and the hash tree, because lookups can land on
+// remainder nodes that are not reachable from xroot. The same walk stamps
+// every hnode's subtree cache with a fresh generation, so LookupAll's
+// exhausted-path case reads a precollected node list instead of re-walking
+// the tree per query. Every build and maintenance entry point calls this
+// last, so the query processor always sees frozen extents between adaptation
+// rounds.
+func (a *APEX) FreezeExtents() {
+	start := time.Now()
+	frozen := 0
+	freeze := func(x *XNode) {
+		if x != nil && !x.Extent.Frozen() {
+			x.Extent.Freeze()
+			frozen++
+		}
+	}
+	a.EachNode(freeze)
+	a.hashGen++
+	var walkH func(h *HNode)
+	walkH = func(h *HNode) {
+		for _, e := range h.entries {
+			freeze(e.XNode)
+			if e.Next != nil {
+				walkH(e.Next)
+			}
+		}
+		if h.remainder != nil {
+			freeze(h.remainder.XNode)
+		}
+		h.subtree = collectSubtree(h, make([]*XNode, 0))
+		h.cacheGen = a.hashGen
+	}
+	walkH(a.head)
+	observeSince(mFreezeNS, start)
+	mFrozenExtents.Add(int64(frozen))
 }
 
 // BuildAPEX builds APEX⁰ and immediately adapts it to a workload: extract

@@ -18,14 +18,30 @@ import (
 // EdgeSet is a set of <parentNid, nid> pairs — the extent representation of
 // Definition 7. The zero value is not usable; call NewEdgeSet.
 //
-// Alongside the membership map the set keeps its pairs in a slice, in
-// insertion order: extents are append-only (updates and refreshes build new
-// sets rather than removing pairs), and the slice gives scans a stable order
-// plus a chunkable view that the parallel join in internal/query partitions
-// across workers.
+// An EdgeSet has two states:
+//
+//   - Mutable (building): membership is a map, pairs accumulate in a slice.
+//     This is the state builds, updates, and refreshes work in.
+//   - Frozen (serving): the pairs live in two deduplicated sorted columns —
+//     byFrom ordered by (From, To) and byTo ordered by (To, From) — plus a
+//     precomputed distinct-ends slice. The map and staging slice are
+//     dropped; Contains becomes a binary search, scans read the sorted
+//     column, and the merge-join kernel in internal/query consumes byFrom
+//     and ends directly.
+//
+// Extents are append-only between adaptation rounds, so the index freezes
+// every extent once at each publication point (after BuildAPEX0, Update,
+// RefreshData, Decode — the moments the facade's write lock ends). Add on a
+// frozen set thaws it back to the mutable state first, which only happens
+// under that same write lock.
 type EdgeSet struct {
-	m     map[xmlgraph.EdgePair]struct{}
-	pairs []xmlgraph.EdgePair
+	m     map[xmlgraph.EdgePair]struct{} // nil while frozen
+	pairs []xmlgraph.EdgePair            // staging, insertion order; nil while frozen
+
+	frozen bool
+	byFrom []xmlgraph.EdgePair // sorted by (From, To), deduplicated
+	byTo   []xmlgraph.EdgePair // sorted by (To, From), deduplicated
+	ends   []xmlgraph.NID      // distinct To values, ascending
 }
 
 // NewEdgeSet returns an empty edge set.
@@ -33,8 +49,12 @@ func NewEdgeSet() *EdgeSet {
 	return &EdgeSet{m: make(map[xmlgraph.EdgePair]struct{})}
 }
 
-// Add inserts pair, reporting whether it was new.
+// Add inserts pair, reporting whether it was new. Adding to a frozen set
+// thaws it back to the mutable state.
 func (s *EdgeSet) Add(p xmlgraph.EdgePair) bool {
+	if s.frozen {
+		s.thaw()
+	}
 	if _, ok := s.m[p]; ok {
 		return false
 	}
@@ -43,13 +63,68 @@ func (s *EdgeSet) Add(p xmlgraph.EdgePair) bool {
 	return true
 }
 
-// Contains reports membership of pair.
+// Freeze publishes the set in its columnar serving form. Idempotent; a
+// frozen set stays frozen until the next Add.
+func (s *EdgeSet) Freeze() {
+	if s == nil || s.frozen {
+		return
+	}
+	s.byFrom = append([]xmlgraph.EdgePair(nil), s.pairs...)
+	sort.Slice(s.byFrom, func(i, j int) bool { return lessFromTo(s.byFrom[i], s.byFrom[j]) })
+	s.byTo = append([]xmlgraph.EdgePair(nil), s.pairs...)
+	sort.Slice(s.byTo, func(i, j int) bool { return lessToFrom(s.byTo[i], s.byTo[j]) })
+	s.ends = s.ends[:0]
+	for i, p := range s.byTo {
+		if i == 0 || p.To != s.byTo[i-1].To {
+			s.ends = append(s.ends, p.To)
+		}
+	}
+	s.m = nil
+	s.pairs = nil
+	s.frozen = true
+}
+
+// thaw rebuilds the mutable state from the frozen columns. The staging order
+// after a thaw is the (From, To) sorted order.
+func (s *EdgeSet) thaw() {
+	s.pairs = s.byFrom
+	s.m = make(map[xmlgraph.EdgePair]struct{}, len(s.pairs))
+	for _, p := range s.pairs {
+		s.m[p] = struct{}{}
+	}
+	s.byFrom, s.byTo, s.ends = nil, nil, nil
+	s.frozen = false
+}
+
+// Frozen reports whether the set is in its columnar serving form.
+func (s *EdgeSet) Frozen() bool { return s != nil && s.frozen }
+
+func lessFromTo(a, b xmlgraph.EdgePair) bool {
+	if a.From != b.From {
+		return a.From < b.From
+	}
+	return a.To < b.To
+}
+
+func lessToFrom(a, b xmlgraph.EdgePair) bool {
+	if a.To != b.To {
+		return a.To < b.To
+	}
+	return a.From < b.From
+}
+
+// Contains reports membership of pair: a map hit while mutable, a binary
+// search over the (To, From) column while frozen.
 func (s *EdgeSet) Contains(p xmlgraph.EdgePair) bool {
 	if s == nil {
 		return false
 	}
-	_, ok := s.m[p]
-	return ok
+	if !s.frozen {
+		_, ok := s.m[p]
+		return ok
+	}
+	i := sort.Search(len(s.byTo), func(i int) bool { return !lessToFrom(s.byTo[i], p) })
+	return i < len(s.byTo) && s.byTo[i] == p
 }
 
 // Len returns the number of edges in the set.
@@ -57,32 +132,60 @@ func (s *EdgeSet) Len() int {
 	if s == nil {
 		return 0
 	}
+	if s.frozen {
+		return len(s.byFrom)
+	}
 	return len(s.m)
 }
 
-// Each calls fn for every pair, in insertion order.
+// Each calls fn for every pair: in (From, To) order when frozen, in
+// insertion order while mutable.
 func (s *EdgeSet) Each(fn func(xmlgraph.EdgePair)) {
 	if s == nil {
 		return
 	}
-	for _, p := range s.pairs {
+	for _, p := range s.Pairs() {
 		fn(p)
 	}
 }
 
-// Pairs returns the pairs in insertion order. The slice is the set's own
-// backing store: callers must treat it as read-only.
+// Pairs returns the pairs — the frozen (From, To) column, or the staging
+// slice in insertion order while mutable. The slice is the set's own backing
+// store: callers must treat it as read-only.
 func (s *EdgeSet) Pairs() []xmlgraph.EdgePair {
 	if s == nil {
 		return nil
 	}
+	if s.frozen {
+		return s.byFrom
+	}
 	return s.pairs
 }
 
-// Ends returns the distinct end nids of all pairs.
+// PairsByFrom returns the pairs sorted by (From, To) — the frozen column
+// when available (no copy, read-only), a freshly sorted copy otherwise. The
+// merge-join kernel requires this order.
+func (s *EdgeSet) PairsByFrom() []xmlgraph.EdgePair {
+	if s == nil {
+		return nil
+	}
+	if s.frozen {
+		return s.byFrom
+	}
+	res := append([]xmlgraph.EdgePair(nil), s.pairs...)
+	sort.Slice(res, func(i, j int) bool { return lessFromTo(res[i], res[j]) })
+	return res
+}
+
+// Ends returns the distinct end nids of all pairs. Frozen sets serve the
+// precomputed ascending slice (no copy, read-only); mutable sets pay one map
+// pass per call, in first-seen order.
 func (s *EdgeSet) Ends() []xmlgraph.NID {
 	if s == nil {
 		return nil
+	}
+	if s.frozen {
+		return s.ends
 	}
 	seen := make(map[xmlgraph.NID]bool, len(s.m))
 	var res []xmlgraph.NID
@@ -95,27 +198,30 @@ func (s *EdgeSet) Ends() []xmlgraph.NID {
 	return res
 }
 
-// Sorted returns the pairs ordered by (From, To); used by tests and dumps.
+// Sorted returns a copy of the pairs ordered by (From, To); used by tests,
+// dumps, and the serializer.
 func (s *EdgeSet) Sorted() []xmlgraph.EdgePair {
 	if s == nil {
 		return nil
 	}
-	res := append([]xmlgraph.EdgePair(nil), s.pairs...)
-	sort.Slice(res, func(i, j int) bool {
-		if res[i].From != res[j].From {
-			return res[i].From < res[j].From
+	if s.frozen {
+		if len(s.byFrom) == 0 {
+			return nil
 		}
-		return res[i].To < res[j].To
-	})
+		return append([]xmlgraph.EdgePair(nil), s.byFrom...)
+	}
+	res := append([]xmlgraph.EdgePair(nil), s.pairs...)
+	sort.Slice(res, func(i, j int) bool { return lessFromTo(res[i], res[j]) })
 	return res
 }
 
-// Equal reports whether s and t contain the same pairs.
+// Equal reports whether s and t contain the same pairs, in any mix of
+// frozen and mutable states.
 func (s *EdgeSet) Equal(t *EdgeSet) bool {
 	if s.Len() != t.Len() {
 		return false
 	}
-	for p := range s.m {
+	for _, p := range s.Pairs() {
 		if !t.Contains(p) {
 			return false
 		}

@@ -35,6 +35,15 @@ const remainderLabel = "*remainder*"
 type HNode struct {
 	entries   map[string]*Entry
 	remainder *Entry // lazily materialized; nil until first needed
+
+	// subtree caches collectSubtree's result at publication time (stamped
+	// with the owning index's hashGen), so the exhausted-path case of
+	// LookupAll — the per-position lookups of every join — skips the
+	// map-iterate-and-sort walk on the query path. An HNode created after
+	// the stamp's generation falls back to the fresh walk until the next
+	// FreezeExtents.
+	subtree  []*XNode
+	cacheGen int
 }
 
 func newHNode() *HNode { return &HNode{entries: make(map[string]*Entry)} }
@@ -153,7 +162,13 @@ func (a *APEX) LookupAll(path xmlgraph.LabelPath) (nodes []*XNode, covered xmlgr
 	}
 	mLookupDepth.Observe(int64(len(path)))
 	// Path exhausted with extensions below: T(path) is partitioned across
-	// the whole subtree (every extension plus the remainders).
+	// the whole subtree (every extension plus the remainders). Serve the
+	// publication-time collection when it is current (callers treat the
+	// slice as read-only); an hnode grown since the last FreezeExtents
+	// falls back to the fresh walk.
+	if hnode.subtree != nil && hnode.cacheGen == a.hashGen {
+		return hnode.subtree, path
+	}
 	return collectSubtree(hnode, nil), path
 }
 

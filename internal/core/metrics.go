@@ -15,6 +15,11 @@ var (
 	mUpdateNS  = metrics.Default.Histogram("core.adapt.update_ns")
 	mRefreshNS = metrics.Default.Histogram("core.refresh_ns")
 
+	// Extent freezing: time spent building the columnar serving form at
+	// each publication point, and how many extents were (re)frozen.
+	mFreezeNS      = metrics.Default.Histogram("core.freeze_ns")
+	mFrozenExtents = metrics.Default.Counter("core.gapex.frozen_extents_total")
+
 	// mLookupDepth is the number of hash-tree levels a LookupAll walk
 	// visited — 1 for a plain label, more when required paths cover a
 	// longer suffix of the query.

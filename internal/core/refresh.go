@@ -47,6 +47,7 @@ func (a *APEX) RefreshData() {
 	a.xroot.Extent.Add(rootPair)
 	a.run++
 	a.updateNode(a.xroot, []xmlgraph.EdgePair{rootPair}, nil)
+	a.FreezeExtents()
 	observeSince(mRefreshNS, start)
 	a.observeStructure()
 }

@@ -194,5 +194,9 @@ func Decode(r io.Reader) (*APEX, error) {
 	if xroot == nil {
 		return nil, fmt.Errorf("core: decode: missing xroot")
 	}
-	return &APEX{g: g, head: head, xroot: xroot, nextID: wire.NextID, run: wire.Run}, nil
+	a := &APEX{g: g, head: head, xroot: xroot, nextID: wire.NextID, run: wire.Run}
+	// A decoded index goes straight into serving, so publish the columnar
+	// extent form exactly like the build and maintenance paths do.
+	a.FreezeExtents()
+	return a, nil
 }

@@ -19,6 +19,7 @@ func (a *APEX) Update() {
 	start := time.Now()
 	a.run++ // fresh visited-flag generation; no global reset needed
 	a.updateNode(a.xroot, nil, nil)
+	a.FreezeExtents()
 	observeSince(mUpdateNS, start)
 	a.observeStructure()
 }

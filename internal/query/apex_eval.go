@@ -48,12 +48,28 @@ type APEXEvaluator struct {
 	// edge set T(l_j) instead of the workload-refined prefix lookup
 	// (ablation: isolates the benefit of required paths inside joins).
 	DisableRefinement bool
+	// DisableMergeJoin falls back to the hash-join kernel (per-position
+	// map materialization) instead of the sort-merge kernel over frozen
+	// columnar extents (ablation: isolates the kernel; also exercised by
+	// the differential harness with both settings).
+	DisableMergeJoin bool
+
+	// spanSize is the number of extent pairs per parallel work unit;
+	// parallelThreshold is the minimum scan size before fanning out to the
+	// worker pool. Evaluator fields (not package globals) so tests can
+	// shrink them per instance without racing live evaluations on other
+	// evaluators.
+	spanSize          int
+	parallelThreshold int
 }
 
-// spanSize is the number of extent pairs per parallel work unit. A variable
-// so the concurrency tests can shrink it (together with parallelThreshold)
-// to force fan-out on small documents.
-var spanSize = 2048
+// Default fan-out knobs: pairs per parallel work unit, and the minimum
+// number of extent pairs (or data-table candidates) a scan must have before
+// the goroutine handoff beats running serially.
+const (
+	defaultSpanSize          = 2048
+	defaultParallelThreshold = 4096
+)
 
 // NewAPEXEvaluator wires an evaluator. dt may be nil if QTYPE3 is not used.
 // The worker pool defaults to GOMAXPROCS; SetParallelism overrides it.
@@ -64,10 +80,12 @@ func NewAPEXEvaluator(idx *core.APEX, dt *storage.DataTable) *APEXEvaluator {
 	// plus two (regression: //individual/@fams//page on GedML needed
 	// depth+1 and was silently truncated at depth).
 	return &APEXEvaluator{
-		idx:           idx,
-		dt:            dt,
-		pool:          newWorkerPool(0),
-		maxRewriteLen: idx.Graph().DocDepth() + 2,
+		idx:               idx,
+		dt:                dt,
+		pool:              newWorkerPool(0),
+		maxRewriteLen:     idx.Graph().DocDepth() + 2,
+		spanSize:          defaultSpanSize,
+		parallelThreshold: defaultParallelThreshold,
 	}
 }
 
@@ -151,12 +169,8 @@ func (e *APEXEvaluator) evalPath(p xmlgraph.LabelPath, t *Trace) []xmlgraph.NID 
 	defer e.cost.add(&c)
 	tr := newTracer(t, &c)
 	c.Queries++
-	tr.stage("plan", fmt.Sprintf("path length %d", len(p)))
-	res := e.evalPathSet(p, &c, tr)
-	out := make([]xmlgraph.NID, 0, len(res))
-	for n := range res {
-		out = append(out, n)
-	}
+	tr.stage("plan", "path length %d", len(p))
+	out := e.evalPathSet(p, &c, tr)
 	e.idx.Graph().SortByDocumentOrder(out)
 	c.ResultNodes += int64(len(out))
 	tr.stage("finalize", "sort by document order")
@@ -165,7 +179,13 @@ func (e *APEXEvaluator) evalPath(p xmlgraph.LabelPath, t *Trace) []xmlgraph.NID 
 	return out
 }
 
-func (e *APEXEvaluator) evalPathSet(p xmlgraph.LabelPath, c *Cost, tr *tracer) map[xmlgraph.NID]bool {
+// evalPathSet answers //p[0]/…/p[n-1] as a freshly allocated slice of
+// distinct node ids, dispatching between the two join kernels. Both kernels
+// tally identical logical Cost counters — one ExtentEdges per extent pair
+// consulted, one JoinProbes per pair at a join position — so the cost model
+// is kernel-independent; the merge kernel's savings show up in wall time,
+// allocations, and the gallop-skip metrics instead.
+func (e *APEXEvaluator) evalPathSet(p xmlgraph.LabelPath, c *Cost, tr *tracer) []xmlgraph.NID {
 	if len(p) == 0 {
 		return nil
 	}
@@ -176,22 +196,39 @@ func (e *APEXEvaluator) evalPathSet(p xmlgraph.LabelPath, c *Cost, tr *tracer) m
 	if covered.Equal(p) && !e.DisableFastPath {
 		mFastPath.Inc()
 		tr.setStrategy("fast-path")
-		tr.stage("hash-lookup", fmt.Sprintf("covered=%s nodes=%d", covered, len(nodes)))
-		out := e.scanSpans(extentSpans(nodes), c,
-			func(pr xmlgraph.EdgePair, out map[xmlgraph.NID]bool, wc *Cost) {
-				out[pr.To] = true
-			})
-		tr.stage("extent-scan", fmt.Sprintf("targets=%d", len(out)))
+		tr.stage("hash-lookup", "covered=%s nodes=%d", covered, len(nodes))
+		var out []xmlgraph.NID
+		if e.DisableMergeJoin {
+			mKernelHash.Inc()
+			out = sortedNIDs(e.scanSpans(extentSpans(nodes, e.spanSize), c,
+				func(pr xmlgraph.EdgePair, out map[xmlgraph.NID]bool, wc *Cost) {
+					out[pr.To] = true
+				}))
+		} else {
+			mKernelMerge.Inc()
+			out = e.fastPathEnds(nodes, c)
+		}
+		tr.stage("extent-scan", "targets=%d", len(out))
 		return out
 	}
 	mJoinPath.Inc()
 	tr.setStrategy("join")
-	tr.stage("hash-lookup", fmt.Sprintf("covered=%s, join required", covered))
-	// Multi-way join over per-position candidate edge sets. Position j's
-	// candidates come from looking up the query prefix p[:j+1]; required
-	// paths shrink these sets below the full T(l_j). Within a position the
-	// probe loop fans out to the worker pool; positions stay sequential
-	// because each consumes the previous one's output set.
+	tr.stage("hash-lookup", "covered=%s, join required", covered)
+	if e.DisableMergeJoin {
+		mKernelHash.Inc()
+		return e.evalPathJoinHash(p, c, tr)
+	}
+	mKernelMerge.Inc()
+	return e.evalPathJoinMerge(p, c, tr)
+}
+
+// evalPathJoinHash is the hash-join kernel: a multi-way join over
+// per-position candidate edge sets materialized as hash maps. Position j's
+// candidates come from looking up the query prefix p[:j+1]; required paths
+// shrink these sets below the full T(l_j). Within a position the probe loop
+// fans out to the worker pool; positions stay sequential because each
+// consumes the previous one's output set.
+func (e *APEXEvaluator) evalPathJoinHash(p xmlgraph.LabelPath, c *Cost, tr *tracer) []xmlgraph.NID {
 	var allowed map[xmlgraph.NID]bool
 	for j := 1; j <= len(p); j++ {
 		prefix := p[:j]
@@ -202,7 +239,7 @@ func (e *APEXEvaluator) evalPathSet(p xmlgraph.LabelPath, c *Cost, tr *tracer) m
 		c.HashLookups += int64(len(prefix))
 		probe := allowed // read-only inside the workers
 		first := j == 1
-		next := e.scanSpans(extentSpans(nodesJ), c,
+		next := e.scanSpans(extentSpans(nodesJ, e.spanSize), c,
 			func(pr xmlgraph.EdgePair, out map[xmlgraph.NID]bool, wc *Cost) {
 				if !first {
 					wc.JoinProbes++
@@ -212,21 +249,34 @@ func (e *APEXEvaluator) evalPathSet(p xmlgraph.LabelPath, c *Cost, tr *tracer) m
 				}
 				out[pr.To] = true
 			})
-		tr.stage(fmt.Sprintf("join[%d]", j), fmt.Sprintf("prefix=%s candidates=%d", prefix, len(next)))
+		if tr != nil {
+			tr.stage(fmt.Sprintf("join[%d]", j), "prefix=%s candidates=%d", prefix, len(next))
+		}
 		if len(next) == 0 {
 			return nil
 		}
 		allowed = next
 	}
-	return allowed
+	return sortedNIDs(allowed)
+}
+
+// sortedNIDs flattens a node set into an ascending slice (the common
+// currency of the two kernels).
+func sortedNIDs(m map[xmlgraph.NID]bool) []xmlgraph.NID {
+	out := make([]xmlgraph.NID, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // extentSpans chunks the extents of the given summary nodes into parallel
 // work units.
-func extentSpans(nodes []*core.XNode) []span {
+func extentSpans(nodes []*core.XNode, chunk int) []span {
 	var spans []span
 	for _, x := range nodes {
-		spans = chunkPairs(x.Extent.Pairs(), spanSize, spans)
+		spans = chunkPairs(x.Extent.Pairs(), chunk, spans)
 	}
 	return spans
 }
@@ -252,15 +302,19 @@ func (e *APEXEvaluator) evalPair(a, b string, t *Trace) []xmlgraph.NID {
 	tr := newTracer(t, &c)
 	tr.setStrategy("rewrite+join")
 	c.Queries++
-	tr.stage("plan", fmt.Sprintf("descendant pair %s//%s", a, b))
+	tr.stage("plan", "descendant pair %s//%s", a, b)
 	res := make(map[xmlgraph.NID]bool)
 	legs := e.enumerateLegs(a, b, &c)
-	tr.stage("rewrite-enum", fmt.Sprintf("%d rewritings", len(legs)))
+	tr.stage("rewrite-enum", "%d rewritings", len(legs))
 	for _, s := range legs {
 		c.Rewritings++
 		tr.rewriting(s)
-		tr.withPrefix("rw["+s+"]/", func() {
-			for n := range e.evalPathSet(xmlgraph.ParseLabelPath(s), &c, tr) {
+		prefix := ""
+		if tr != nil {
+			prefix = "rw[" + s + "]/"
+		}
+		tr.withPrefix(prefix, func() {
+			for _, n := range e.evalPathSet(xmlgraph.ParseLabelPath(s), &c, tr) {
 				res[n] = true
 			}
 		})
@@ -340,7 +394,7 @@ func (e *APEXEvaluator) evalMixed(segments []xmlgraph.LabelPath, t *Trace) []xml
 	tr := newTracer(t, &c)
 	tr.setStrategy("rewrite+join")
 	c.Queries++
-	tr.stage("plan", fmt.Sprintf("%d segments", len(segments)))
+	tr.stage("plan", "%d segments", len(segments))
 	res := make(map[xmlgraph.NID]bool)
 	if len(segments) == 0 {
 		tr.finish()
@@ -352,7 +406,9 @@ func (e *APEXEvaluator) evalMixed(segments []xmlgraph.LabelPath, t *Trace) []xml
 		a := segments[i][len(segments[i])-1]
 		b := segments[i+1][0]
 		legs[i] = e.enumerateLegs(a, b, &c)
-		tr.stage(fmt.Sprintf("rewrite-enum[%d]", i), fmt.Sprintf("%s//%s: %d legs", a, b, len(legs[i])))
+		if tr != nil {
+			tr.stage(fmt.Sprintf("rewrite-enum[%d]", i), "%s//%s: %d legs", a, b, len(legs[i]))
+		}
 		if len(legs[i]) == 0 {
 			tr.finish()
 			return nil // no connection exists for this gap
@@ -369,9 +425,14 @@ func (e *APEXEvaluator) evalMixed(segments []xmlgraph.LabelPath, t *Trace) []xml
 		if i == len(segments)-1 {
 			combos++
 			c.Rewritings++
-			tr.rewriting(acc.String())
-			tr.withPrefix("rw["+acc.String()+"]/", func() {
-				for n := range e.evalPathSet(acc, &c, tr) {
+			prefix := ""
+			if tr != nil {
+				s := acc.String()
+				tr.rewriting(s)
+				prefix = "rw[" + s + "]/"
+			}
+			tr.withPrefix(prefix, func() {
+				for _, n := range e.evalPathSet(acc, &c, tr) {
 					res[n] = true
 				}
 			})
@@ -410,14 +471,10 @@ func (e *APEXEvaluator) evalPathValue(p xmlgraph.LabelPath, value string, t *Tra
 	defer e.cost.add(&c)
 	tr := newTracer(t, &c)
 	c.Queries++
-	tr.stage("plan", fmt.Sprintf("path length %d + value predicate", len(p)))
-	candidates := e.evalPathSet(p, &c, tr)
-	cands := make([]xmlgraph.NID, 0, len(candidates))
-	for n := range candidates {
-		cands = append(cands, n)
-	}
+	tr.stage("plan", "path length %d + value predicate", len(p))
+	cands := e.evalPathSet(p, &c, tr)
 	out := e.validateValues(cands, value, &c)
-	tr.stage("validate", fmt.Sprintf("candidates=%d matched=%d", len(cands), len(out)))
+	tr.stage("validate", "candidates=%d matched=%d", len(cands), len(out))
 	tr.appendStrategy("+validate")
 	e.idx.Graph().SortByDocumentOrder(out)
 	c.ResultNodes += int64(len(out))
@@ -436,8 +493,8 @@ func (e *APEXEvaluator) validateValues(cands []xmlgraph.NID, value string, c *Co
 		return ok && v == value
 	}
 	extra := 0
-	if len(cands) >= parallelThreshold {
-		extra = e.pool.acquire((len(cands) - 1) / spanSize)
+	if len(cands) >= e.parallelThreshold {
+		extra = e.pool.acquire((len(cands) - 1) / e.spanSize)
 	}
 	if extra == 0 {
 		var out []xmlgraph.NID
@@ -455,11 +512,11 @@ func (e *APEXEvaluator) validateValues(cands []xmlgraph.NID, value string, c *Co
 	shards := make([]Cost, extra+1)
 	work := func(w int) {
 		for {
-			lo := int(cursor.Add(int64(spanSize))) - spanSize
+			lo := int(cursor.Add(int64(e.spanSize))) - e.spanSize
 			if lo >= len(cands) {
 				break
 			}
-			hi := lo + spanSize
+			hi := lo + e.spanSize
 			if hi > len(cands) {
 				hi = len(cands)
 			}

@@ -74,12 +74,6 @@ func (cc *costCounters) reset() {
 	cc.resultNodes.Store(0)
 }
 
-// parallelThreshold is the minimum number of extent pairs (or data-table
-// candidates) a scan must have before it is worth fanning out to the worker
-// pool; below it the goroutine handoff costs more than the scan. Tests lower
-// it to force the parallel path on small documents.
-var parallelThreshold = 4096
-
 // workerPool bounds the auxiliary goroutines one evaluator may have in
 // flight across all concurrent evaluations. Callers always work themselves;
 // the pool only hands out *extra* workers (size-1 tokens for a pool of the
@@ -168,7 +162,7 @@ func (e *APEXEvaluator) scanSpans(spans []span, c *Cost, visit func(pr xmlgraph.
 		total += len(s.pairs)
 	}
 	extra := 0
-	if total >= parallelThreshold && len(spans) > 1 {
+	if total >= e.parallelThreshold && len(spans) > 1 {
 		extra = e.pool.acquire(len(spans) - 1)
 	}
 	if extra == 0 {

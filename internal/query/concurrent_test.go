@@ -11,13 +11,13 @@ import (
 	"apex/internal/xmlgraph"
 )
 
-// forceParallel shrinks the fan-out knobs so the worker pool engages even on
-// the small test documents, restoring them when the test ends.
-func forceParallel(t *testing.T) {
-	t.Helper()
-	oldThreshold, oldSpan := parallelThreshold, spanSize
-	parallelThreshold, spanSize = 1, 2
-	t.Cleanup(func() { parallelThreshold, spanSize = oldThreshold, oldSpan })
+// forceParallel shrinks an evaluator's fan-out knobs so the worker pool
+// engages even on the small test documents. The knobs are per-evaluator
+// fields now, so no global state needs restoring.
+func forceParallel(evs ...*APEXEvaluator) {
+	for _, e := range evs {
+		e.parallelThreshold, e.spanSize = 1, 2
+	}
 }
 
 // flixEvaluators builds a parallel and a serial evaluator over the same
@@ -70,8 +70,8 @@ func flixEvaluators(t *testing.T) (par, ser *APEXEvaluator, qs []Query) {
 // deterministic cost counters (every pair is scanned and probed once,
 // regardless of which worker handles it).
 func TestParallelEvalMatchesSerial(t *testing.T) {
-	forceParallel(t)
 	par, ser, qs := flixEvaluators(t)
+	forceParallel(par, ser)
 	for _, q := range qs {
 		got, err := par.Evaluate(q)
 		if err != nil {
@@ -93,8 +93,8 @@ func TestParallelEvalMatchesSerial(t *testing.T) {
 // TestConcurrentEvaluateSharedEvaluator hammers one evaluator from many
 // goroutines; the atomic cost merge must neither lose counts nor race.
 func TestConcurrentEvaluateSharedEvaluator(t *testing.T) {
-	forceParallel(t)
 	par, _, qs := flixEvaluators(t)
+	forceParallel(par)
 	par.ResetCost()
 	const readers = 8
 	var wg sync.WaitGroup

@@ -53,13 +53,32 @@ func toSet(nids []xmlgraph.NID) map[xmlgraph.NID]bool {
 	return s
 }
 
-// assertAgree checks set-equality of APEX and every baseline on every query.
-func assertAgree(t *testing.T, phase string, ap query.Evaluator, base []query.Evaluator, qs []query.Query) {
+// assertAgree checks that the APEX evaluator produces identical results under
+// both join kernels (sort-merge over frozen extents, and the hash fallback)
+// and that those results are set-equal to every baseline, on every query.
+func assertAgree(t *testing.T, phase string, ap *query.APEXEvaluator, base []query.Evaluator, qs []query.Query) {
 	t.Helper()
 	for _, q := range qs {
+		ap.DisableMergeJoin = false
 		want, err := ap.Evaluate(q)
 		if err != nil {
 			t.Fatalf("%s: APEX on %s: %v", phase, q, err)
+		}
+		ap.DisableMergeJoin = true
+		hashed, err := ap.Evaluate(q)
+		if err != nil {
+			t.Fatalf("%s: APEX (hash kernel) on %s: %v", phase, q, err)
+		}
+		ap.DisableMergeJoin = false
+		if len(hashed) != len(want) {
+			t.Fatalf("%s: %s: merge kernel %d nodes, hash kernel %d nodes",
+				phase, q, len(want), len(hashed))
+		}
+		for i := range want {
+			if want[i] != hashed[i] {
+				t.Fatalf("%s: %s: kernels diverge at position %d: merge %d, hash %d",
+					phase, q, i, want[i], hashed[i])
+			}
 		}
 		wantSet := toSet(want)
 		for _, ev := range base {

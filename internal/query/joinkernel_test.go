@@ -1,0 +1,90 @@
+// Join-kernel comparison: the sort-merge kernel over frozen columnar extents
+// versus the hash-join fallback, on the same index and workload. The CI
+// benchmark-smoke step runs TestMergeJoinAllocsNotWorse to hold the kernel's
+// allocation advantage; the benchmarks feed manual investigation.
+package query_test
+
+import (
+	"testing"
+
+	"apex/internal/core"
+	"apex/internal/datagen"
+	"apex/internal/query"
+	"apex/internal/workload"
+)
+
+// kernelFixture builds an adapted index over one seed dataset plus a
+// join-heavy QTYPE1 workload: the fast path is disabled on the returned
+// evaluator, so every query exercises the multi-way join.
+func kernelFixture(tb testing.TB, dataset string) (*query.APEXEvaluator, []query.Query) {
+	tb.Helper()
+	ds, err := datagen.LoadDataset(dataset, 0.05)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	gen := workload.New(ds.Graph, 11)
+	wl := workload.SampleWorkload(gen.QType1(60), 0.5, 11)
+	idx := core.BuildAPEX(ds.Graph, wl, 0.01)
+	ev := query.NewAPEXEvaluator(idx, nil)
+	ev.DisableFastPath = true
+	qs := gen.QType1(40)
+	return ev, qs
+}
+
+// TestMergeJoinAllocsNotWorse asserts the merge kernel's steady-state
+// allocations per query never exceed the hash kernel's on the same join
+// workload — the point of the columnar extents and pooled scratch buffers.
+func TestMergeJoinAllocsNotWorse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement is not short")
+	}
+	ev, qs := kernelFixture(t, "Flix02.xml")
+	run := func(disableMerge bool) float64 {
+		ev.DisableMergeJoin = disableMerge
+		// Warm the scratch pools before measuring.
+		for _, q := range qs {
+			if _, err := ev.Evaluate(q); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return testing.AllocsPerRun(5, func() {
+			for _, q := range qs {
+				if _, err := ev.Evaluate(q); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+	merge := run(false)
+	hash := run(true)
+	t.Logf("allocs per workload pass: merge=%.0f hash=%.0f", merge, hash)
+	if merge > hash {
+		t.Fatalf("merge kernel allocates more than hash kernel: %.0f > %.0f", merge, hash)
+	}
+}
+
+// BenchmarkJoinKernel times a join-heavy QTYPE1 workload pass under each
+// kernel; run with -benchmem to see the allocation gap.
+func BenchmarkJoinKernel(b *testing.B) {
+	for _, bc := range []struct {
+		name         string
+		disableMerge bool
+	}{
+		{"merge", false},
+		{"hash", true},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			ev, qs := kernelFixture(b, "Flix02.xml")
+			ev.DisableMergeJoin = bc.disableMerge
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, q := range qs {
+					if _, err := ev.Evaluate(q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}

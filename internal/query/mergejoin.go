@@ -1,0 +1,341 @@
+package query
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"apex/internal/core"
+	"apex/internal/xmlgraph"
+)
+
+// The sort-merge join kernel. It serves the same QTYPE1 machinery as
+// evalPathJoinHash but runs over the frozen columnar extent form that
+// internal/core publishes after every build and maintenance round: pairs
+// deduplicated and sorted by (From, To), with a precomputed distinct-ends
+// slice. The running candidate set is an ascending slice of node ids instead
+// of a hash map, each join position is a linear merge of that slice against
+// the sorted pairs with galloping (exponential-search) skips over the longer
+// side, and the per-position scratch comes from a sync.Pool, so steady-state
+// evaluations allocate only their final result slice.
+//
+// The kernel tallies exactly the same logical Cost counters as the hash
+// kernel (one ExtentEdges per extent pair consulted, one JoinProbes per pair
+// at a join position), keeping the paper's cost model kernel-independent;
+// the pairs the merge actually skipped are visible in the gallop-skip
+// metrics instead.
+
+// joinScratch is the reusable per-evaluation buffer pair: the running
+// allowed set and the next position's collection buffer, swapped each
+// position so both retain their grown capacity across pooled reuses.
+type joinScratch struct {
+	a, b []xmlgraph.NID
+}
+
+var joinScratchPool = sync.Pool{New: func() any { return new(joinScratch) }}
+
+// workerBufPool recycles the per-worker match buffers of the parallel merge
+// scan.
+var workerBufPool = sync.Pool{New: func() any { return new([]xmlgraph.NID) }}
+
+// seenPool recycles node-id bitmaps used to deduplicate join output while it
+// is collected, so each position sorts only distinct ids instead of one
+// entry per matching pair (extents repeat a To under many Froms; sorting the
+// raw matches dominated the kernel's profile). Pool invariant: every user
+// clears exactly the marks it set, so a pooled bitmap is all-false across
+// its full capacity.
+var seenPool = sync.Pool{New: func() any { return new([]bool) }}
+
+// getSeen returns an all-false bitmap of at least n entries.
+func getSeen(n int) *[]bool {
+	sp := seenPool.Get().(*[]bool)
+	if cap(*sp) < n {
+		*sp = make([]bool, n)
+	}
+	*sp = (*sp)[:n]
+	return sp
+}
+
+// putSeen clears the marks recorded in marked and returns the bitmap to the
+// pool.
+func putSeen(sp *[]bool, marked []xmlgraph.NID) {
+	seen := *sp
+	for _, n := range marked {
+		seen[n] = false
+	}
+	seenPool.Put(sp)
+}
+
+// evalPathJoinMerge is the merge-join kernel's multi-way join: position 1
+// seeds the allowed set from the distinct ends of its extents, every later
+// position merge-joins its sorted pairs against the allowed slice and emits
+// the surviving ends. Positions stay sequential (each consumes the previous
+// output); within a position the scan fans out to the worker pool over
+// From-aligned ranges of the sorted pairs.
+func (e *APEXEvaluator) evalPathJoinMerge(p xmlgraph.LabelPath, c *Cost, tr *tracer) []xmlgraph.NID {
+	sc := joinScratchPool.Get().(*joinScratch)
+	defer func() {
+		joinScratchPool.Put(sc)
+	}()
+	allowed, spare := sc.a[:0], sc.b[:0]
+	defer func() {
+		sc.a, sc.b = allowed, spare
+	}()
+	for j := 1; j <= len(p); j++ {
+		prefix := p[:j]
+		if e.DisableRefinement {
+			prefix = p[j-1 : j]
+		}
+		nodesJ, _ := e.idx.LookupAll(prefix)
+		c.HashLookups += int64(len(prefix))
+		if j == 1 {
+			allowed = e.unionEndsInto(nodesJ, allowed, c)
+		} else {
+			spare = e.mergePosition(nodesJ, allowed, spare[:0], c)
+			allowed, spare = spare, allowed
+		}
+		if tr != nil {
+			tr.stage(fmt.Sprintf("join[%d]", j), "prefix=%s candidates=%d kernel=merge", prefix, len(allowed))
+		}
+		if len(allowed) == 0 {
+			return nil
+		}
+	}
+	return append([]xmlgraph.NID(nil), allowed...)
+}
+
+// fastPathEnds answers a fully covered path straight from the frozen
+// distinct-ends columns (the hash tree named the extents; their ends are the
+// answer).
+func (e *APEXEvaluator) fastPathEnds(nodes []*core.XNode, c *Cost) []xmlgraph.NID {
+	sc := joinScratchPool.Get().(*joinScratch)
+	buf := e.unionEndsInto(nodes, sc.a[:0], c)
+	out := append([]xmlgraph.NID(nil), buf...)
+	sc.a = buf
+	joinScratchPool.Put(sc)
+	return out
+}
+
+// unionEndsInto appends the distinct end ids of the nodes' extents to out,
+// ascending. A single frozen extent serves its precomputed slice with a
+// plain copy; multiple extents dedup through a pooled bitmap so only the
+// distinct ids are sorted (each frozen Ends slice is already distinct, but
+// extents overlap across nodes).
+func (e *APEXEvaluator) unionEndsInto(nodes []*core.XNode, out []xmlgraph.NID, c *Cost) []xmlgraph.NID {
+	for _, x := range nodes {
+		c.ExtentEdges += int64(x.Extent.Len())
+	}
+	if len(nodes) == 1 && nodes[0].Extent.Frozen() {
+		return append(out, nodes[0].Extent.Ends()...)
+	}
+	sp := getSeen(e.idx.Graph().NumNodes())
+	seen := *sp
+	for _, x := range nodes {
+		for _, n := range x.Extent.Ends() {
+			if !seen[n] {
+				seen[n] = true
+				out = append(out, n)
+			}
+		}
+	}
+	putSeen(sp, out)
+	slices.Sort(out)
+	return out
+}
+
+// mergePosition computes the next allowed set: the distinct To of every pair
+// whose From survives in allowed. Large positions fan out to the worker pool
+// over From-aligned spans of the sorted pairs (a From run never splits
+// across workers, so every worker's probe cursor stays monotone).
+func (e *APEXEvaluator) mergePosition(nodes []*core.XNode, allowed []xmlgraph.NID, out []xmlgraph.NID, c *Cost) []xmlgraph.NID {
+	total := 0
+	for _, x := range nodes {
+		n := x.Extent.Len()
+		total += n
+		c.ExtentEdges += int64(n)
+		c.JoinProbes += int64(n)
+	}
+	extra := 0
+	var spans []span
+	if total >= e.parallelThreshold {
+		spans = mergeSpans(nodes, e.spanSize)
+		if len(spans) > 1 {
+			extra = e.pool.acquire(len(spans) - 1)
+		}
+	}
+	numNodes := e.idx.Graph().NumNodes()
+	if extra == 0 {
+		sp := getSeen(numNodes)
+		var skips int64
+		for _, x := range nodes {
+			out = mergeJoinInto(x.Extent.PairsByFrom(), allowed, out, *sp, &skips)
+		}
+		putSeen(sp, out)
+		mGallopSkips.Add(skips)
+		slices.Sort(out)
+		return out
+	}
+	defer e.pool.release(extra)
+
+	var cursor atomic.Int64
+	var skips atomic.Int64
+	outs := make([][]xmlgraph.NID, extra+1)
+	bufs := make([]*[]xmlgraph.NID, extra+1)
+	work := func(w int) {
+		bufs[w] = workerBufPool.Get().(*[]xmlgraph.NID)
+		buf := (*bufs[w])[:0]
+		sp := getSeen(numNodes)
+		var s int64
+		for {
+			t := int(cursor.Add(1)) - 1
+			if t >= len(spans) {
+				break
+			}
+			pairs := spans[t].pairs
+			// Narrow the probe side to the span's From range before merging.
+			k := gallopNIDs(allowed, 0, pairs[0].From)
+			buf = mergeJoinInto(pairs, allowed[k:], buf, *sp, &s)
+		}
+		putSeen(sp, buf)
+		outs[w] = buf
+		skips.Add(s)
+	}
+	var wg sync.WaitGroup
+	for w := 1; w <= extra; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			work(w)
+		}(w)
+	}
+	work(0)
+	wg.Wait()
+	mGallopSkips.Add(skips.Load())
+	for w, buf := range outs {
+		out = append(out, buf...)
+		*bufs[w] = buf[:0]
+		workerBufPool.Put(bufs[w])
+	}
+	return sortDedupNIDs(out)
+}
+
+// mergeSpans chunks the sorted pairs of the nodes' extents into parallel
+// work units of roughly chunk pairs, extending each cut to the end of its
+// From run.
+func mergeSpans(nodes []*core.XNode, chunk int) []span {
+	var spans []span
+	for _, x := range nodes {
+		pairs := x.Extent.PairsByFrom()
+		for len(pairs) > chunk {
+			cut := chunk
+			f := pairs[cut-1].From
+			for cut < len(pairs) && pairs[cut].From == f {
+				cut++
+			}
+			spans = append(spans, span{pairs: pairs[:cut]})
+			pairs = pairs[cut:]
+		}
+		if len(pairs) > 0 {
+			spans = append(spans, span{pairs: pairs})
+		}
+	}
+	return spans
+}
+
+// gallopStreak is how many single-step misses a merge cursor takes before it
+// switches to galloping. Interleaved sides (no skew) stay at plain-merge
+// cost; once a side falls behind by the streak, the remaining gap is crossed
+// in logarithmic steps.
+const gallopStreak = 8
+
+// mergeJoinInto merge-joins pairs (sorted by From) against allowed
+// (ascending) and appends the To of every matching pair to out, deduplicated
+// through the seen bitmap (marks are left set for the caller to clear via
+// putSeen). A lagging side advances linearly while the gap is small and
+// switches to galloping — exponential probes followed by a binary search —
+// after gallopStreak misses, so a small side skips over a large one in
+// logarithmic steps (the skew between a workload-refined extent and a full
+// T(l) extent is exactly where that pays). skips accumulates the elements a
+// gallop stepped over without an individual comparison.
+func mergeJoinInto(pairs []xmlgraph.EdgePair, allowed []xmlgraph.NID, out []xmlgraph.NID, seen []bool, skips *int64) []xmlgraph.NID {
+	i, k := 0, 0
+	for i < len(pairs) && k < len(allowed) {
+		f, a := pairs[i].From, allowed[k]
+		switch {
+		case f == a:
+			if to := pairs[i].To; !seen[to] {
+				seen[to] = true
+				out = append(out, to)
+			}
+			i++
+		case f < a:
+			i++
+			for s := 1; i < len(pairs) && pairs[i].From < a; i++ {
+				if s++; s >= gallopStreak {
+					j := gallopPairs(pairs, i, a)
+					*skips += int64(j - i)
+					i = j
+					break
+				}
+			}
+		default:
+			k++
+			for s := 1; k < len(allowed) && allowed[k] < f; k++ {
+				if s++; s >= gallopStreak {
+					j := gallopNIDs(allowed, k, f)
+					*skips += int64(j - k)
+					k = j
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// gallopPairs returns the first index ≥ lo with pairs[index].From ≥ target,
+// by exponential expansion from lo followed by a binary search inside the
+// final doubling window. Precondition: pairs[lo].From < target.
+func gallopPairs(pairs []xmlgraph.EdgePair, lo int, target xmlgraph.NID) int {
+	n := len(pairs)
+	bound := 1
+	for lo+bound < n && pairs[lo+bound].From < target {
+		bound <<= 1
+	}
+	base := lo + bound>>1 // last probe known < target
+	hi := lo + bound
+	if hi > n {
+		hi = n
+	}
+	return base + sort.Search(hi-base, func(k int) bool { return pairs[base+k].From >= target })
+}
+
+// gallopNIDs is gallopPairs over a plain id slice: the first index ≥ lo with
+// nids[index] ≥ target. Precondition: lo == 0 or nids[lo] < target.
+func gallopNIDs(nids []xmlgraph.NID, lo int, target xmlgraph.NID) int {
+	n := len(nids)
+	if lo >= n || nids[lo] >= target {
+		return lo
+	}
+	bound := 1
+	for lo+bound < n && nids[lo+bound] < target {
+		bound <<= 1
+	}
+	base := lo + bound>>1
+	hi := lo + bound
+	if hi > n {
+		hi = n
+	}
+	return base + sort.Search(hi-base, func(k int) bool { return nids[base+k] >= target })
+}
+
+// sortDedupNIDs sorts out ascending and removes duplicates in place.
+func sortDedupNIDs(out []xmlgraph.NID) []xmlgraph.NID {
+	if len(out) < 2 {
+		return out
+	}
+	slices.Sort(out)
+	return slices.Compact(out)
+}

@@ -14,6 +14,13 @@ var (
 	mFastPath = metrics.Default.Counter("query.apex.fastpath_total")
 	mJoinPath = metrics.Default.Counter("query.apex.joinpath_total")
 
+	// Join-kernel choice per QTYPE1 path-set evaluation, and how many sorted
+	// pairs the merge kernel's galloping cursors stepped over without an
+	// individual comparison (the work the columnar layout saves).
+	mKernelMerge = metrics.Default.Counter("query.apex.kernel.merge_total")
+	mKernelHash  = metrics.Default.Counter("query.apex.kernel.hash_total")
+	mGallopSkips = metrics.Default.Counter("query.apex.merge.gallop_skips_total")
+
 	// Worker-pool pressure: extra workers currently lent out, total grants,
 	// and how often a scan wanted extra workers but the pool was drained.
 	mPoolInUse     = metrics.Default.Gauge("query.pool.extra_workers_in_use")

@@ -189,10 +189,17 @@ func newTracer(t *Trace, c *Cost) *tracer {
 }
 
 // stage closes the current stage: it records the cost accumulated in c
-// since the previous boundary under the given name.
-func (tr *tracer) stage(name, detail string) {
+// since the previous boundary under the given name. The detail is a format
+// string expanded only when tracing is on, so untraced evaluations never pay
+// for the formatting (call sites that must build the stage *name* guard on
+// tr != nil themselves).
+func (tr *tracer) stage(name, format string, args ...any) {
 	if tr == nil {
 		return
+	}
+	detail := format
+	if len(args) > 0 {
+		detail = fmt.Sprintf(format, args...)
 	}
 	tr.t.addStage(tr.prefix+name, detail, tr.c.diff(tr.mark))
 	tr.mark = *tr.c

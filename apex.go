@@ -31,9 +31,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sync"
 
 	"apex/internal/core"
+	"apex/internal/metrics"
 	"apex/internal/query"
 	"apex/internal/storage"
 	"apex/internal/xmlgraph"
@@ -54,10 +56,19 @@ type Options struct {
 	// DisableQueryLog turns off the built-in workload log (Query calls are
 	// then not recorded for Adapt).
 	DisableQueryLog bool
+	// MaxWorkloadLog bounds the workload log. When the log is full, the
+	// oldest entries are evicted first (recent queries are what the next
+	// Adapt should mine anyway); evictions are counted on the
+	// "apex.workload_log_evicted_total" metric. 0 applies a generous default
+	// (see defaultMaxWorkloadLog); a negative value removes the bound.
+	MaxWorkloadLog int
 	// Parallelism bounds the worker pool the query processor uses to fan
 	// out extent scans, join probes, and value validations inside a single
-	// query (0 = GOMAXPROCS, 1 = fully serial evaluation). The pool is
-	// shared by all concurrent queries on the index.
+	// query, and equally the goroutines a maintenance pass (build, Adapt,
+	// Insert, Delete) fans its data-graph scans and extent freezing out to
+	// (0 = GOMAXPROCS, 1 = fully serial). The query pool is shared by all
+	// concurrent queries on the index; maintenance parallelism never changes
+	// the built structure — parallel builds are bit-identical to serial ones.
 	Parallelism int
 }
 
@@ -68,29 +79,76 @@ func (o *Options) minSup() float64 {
 	return o.MinSup
 }
 
+// defaultMaxWorkloadLog is the workload-log bound when Options.MaxWorkloadLog
+// is zero: one million logged paths, far beyond what one Adapt round needs,
+// but a hard stop against unbounded growth on an index that serves queries
+// for a long time without ever adapting.
+const defaultMaxWorkloadLog = 1 << 20
+
+// maxWorkloadLog resolves the configured log bound: 0 means unbounded.
+func (o *Options) maxWorkloadLog() int {
+	switch {
+	case o == nil || o.MaxWorkloadLog == 0:
+		return defaultMaxWorkloadLog
+	case o.MaxWorkloadLog < 0:
+		return 0
+	default:
+		return o.MaxWorkloadLog
+	}
+}
+
+// buildWorkers resolves Options.Parallelism to the maintenance fan-out bound.
+func (o *Options) buildWorkers() int {
+	if o == nil || o.Parallelism == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if o.Parallelism < 1 {
+		return 1
+	}
+	return o.Parallelism
+}
+
+// mWorkloadEvicted counts workload-log entries dropped by the
+// MaxWorkloadLog bound (oldest first).
+var mWorkloadEvicted = metrics.Default.Counter("apex.workload_log_evicted_total")
+
 // Index is an APEX index over one document, together with its data table
 // and query processor. An Index is safe for arbitrary concurrent use:
-// queries share a read lock and run fully in parallel (APEX's structures
-// are read-mostly between adaptation rounds — the paper's life cycle is
-// build, serve many queries, occasionally adapt), while Adapt, AdaptTo,
-// Insert, and Delete build their changes under the write lock and publish
-// atomically, so a reader never observes a half-updated G_APEX or H_APEX.
-// See README.md ("Concurrency model") for the exact guarantees.
+// queries share a read lock and run fully in parallel, and maintenance
+// (Adapt, AdaptTo, Insert, Delete) is off the critical path — it clones the
+// published index, rebuilds the clone without holding the index lock, and
+// swaps the finished structure in under a briefly-held write lock. A reader
+// is therefore never stalled for longer than a pointer swap, and it always
+// observes either the complete old index or the complete new one, never a
+// blend. See README.md ("Concurrency model" and "The write path") for the
+// exact guarantees.
 type Index struct {
-	// mu is the reader/writer gate: Query, Stats, Save, and the cost
-	// accessors take the read side; Adapt, AdaptTo, Insert, and Delete take
-	// the write side. Readers never block each other.
+	// mu gates the published state below it: Query, Stats, Save, and the
+	// cost accessors take the read side; publish takes the write side only
+	// for the swap. Published structures are immutable — maintenance never
+	// mutates them in place — so holding the read side is enough to use them
+	// for arbitrarily long.
 	mu   sync.RWMutex
 	idx  *core.APEX
 	dt   *storage.DataTable
 	eval *query.APEXEvaluator
+
 	opts Options
+
+	// maintMu serializes maintenance passes: one shadow rebuild at a time.
+	// Readers never take it, so a long rebuild does not block queries.
+	maintMu sync.Mutex
 
 	// logMu guards the workload log separately: Query appends to it while
 	// holding only the read side of mu, so concurrent readers need their
 	// own serialization point for the log.
 	logMu    sync.Mutex
 	workload []xmlgraph.LabelPath
+
+	// shadowHook, when non-nil, is called at the stages of a shadow
+	// maintenance pass ("rebuild" after cloning, "publish" before the swap).
+	// Test instrumentation only; set it before any concurrent use.
+	shadowHook func(stage string)
 }
 
 // Open parses an XML document and builds the initial index APEX⁰.
@@ -135,7 +193,7 @@ func fromGraph(g *xmlgraph.Graph, opts Options) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	idx := core.BuildAPEX0(g)
+	idx := core.BuildAPEX0Workers(g, opts.buildWorkers())
 	return &Index{
 		idx:  idx,
 		dt:   dt,
@@ -163,6 +221,7 @@ func FromCore(idx *core.APEX, opts *Options) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
+	idx.SetWorkers(opts.buildWorkers())
 	return &Index{idx: idx, dt: dt, eval: newEvaluator(idx, dt, *opts), opts: *opts}, nil
 }
 
@@ -207,6 +266,7 @@ func Load(r io.Reader) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
+	idx.SetWorkers(env.Options.buildWorkers())
 	return &Index{idx: idx, dt: dt, eval: newEvaluator(idx, dt, env.Options), opts: env.Options}, nil
 }
 
@@ -235,12 +295,52 @@ func (ix *Index) Save(w io.Writer) error {
 // Evaluator returns the underlying query processor — the in-module bridge
 // for CLIs and benchmarks that need traced or ad hoc evaluation (the type
 // lives in an internal package, so external callers use Query/Explain).
-// Direct evaluator use bypasses the index lock and the workload log.
-func (ix *Index) Evaluator() *query.APEXEvaluator { return ix.eval }
+// Direct evaluator use bypasses the index lock and the workload log, and the
+// returned evaluator stays bound to the index state current at the call: a
+// later Adapt/Insert/Delete publishes a new evaluator.
+func (ix *Index) Evaluator() *query.APEXEvaluator {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.eval
+}
 
 // Graph returns the parsed document graph (in-module bridge, like
-// Evaluator).
-func (ix *Index) Graph() *xmlgraph.Graph { return ix.idx.Graph() }
+// Evaluator). Like Evaluator, the returned graph is the published snapshot:
+// a later Insert/Delete publishes a new one.
+func (ix *Index) Graph() *xmlgraph.Graph {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.idx.Graph()
+}
+
+// snapshot returns the currently published state. Published structures are
+// immutable — maintenance rebuilds clones and swaps — so callers may keep
+// using the returned values after the lock is released; they just won't see
+// later publications.
+func (ix *Index) snapshot() (*core.APEX, *storage.DataTable, *query.APEXEvaluator) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.idx, ix.dt, ix.eval
+}
+
+// publish atomically swaps a rebuilt shadow in as the serving state. The
+// write lock is held only for the swap and the O(1) cost carry-over —
+// independent of how long the rebuild took — so this is the only moment a
+// reader can be stalled by maintenance.
+func (ix *Index) publish(idx *core.APEX, dt *storage.DataTable) {
+	ev := newEvaluator(idx, dt, ix.opts)
+	ix.hook("publish")
+	ix.mu.Lock()
+	ev.CarryCostFrom(ix.eval)
+	ix.idx, ix.dt, ix.eval = idx, dt, ev
+	ix.mu.Unlock()
+}
+
+func (ix *Index) hook(stage string) {
+	if ix.shadowHook != nil {
+		ix.shadowHook(stage)
+	}
+}
 
 // Node is a query-result node.
 type Node struct {
@@ -280,8 +380,9 @@ func (r *Result) Len() int { return len(r.Nodes) }
 // was opened with DisableQueryLog.
 //
 // Query is safe to call from any number of goroutines: it holds only the
-// read side of the index lock, so queries evaluate fully in parallel and
-// block only while an Adapt/Insert/Delete publishes its changes.
+// read side of the index lock, queries evaluate fully in parallel, and
+// maintenance rebuilds off to the side — a query blocks only for the
+// pointer swap that publishes an Adapt/Insert/Delete.
 func (ix *Index) Query(q string) (*Result, error) {
 	parsed, err := query.Parse(q)
 	if err != nil {
@@ -317,14 +418,32 @@ func (ix *Index) Explain(q string) (*Result, *query.Trace, error) {
 	return ix.materialize(nids), tr, nil
 }
 
-// logQuery records a path query in the workload log for Adapt. Callers hold
-// the read side of mu.
+// logQuery records a path query in the workload log for Adapt, evicting the
+// oldest entries when the MaxWorkloadLog bound is hit. Callers hold the read
+// side of mu.
 func (ix *Index) logQuery(parsed query.Query) {
-	if !ix.opts.DisableQueryLog && (parsed.Type == query.QTYPE1 || parsed.Type == query.QTYPE3) {
-		ix.logMu.Lock()
-		ix.workload = append(ix.workload, parsed.Path)
-		ix.logMu.Unlock()
+	if ix.opts.DisableQueryLog || (parsed.Type != query.QTYPE1 && parsed.Type != query.QTYPE3) {
+		return
 	}
+	ix.logMu.Lock()
+	defer ix.logMu.Unlock()
+	if max := ix.opts.maxWorkloadLog(); max > 0 && len(ix.workload) >= max {
+		// Evict in batches of a quarter of the bound (at least one) so the
+		// front-shift cost amortizes to O(1) per logged query at steady state.
+		drop := max / 4
+		if drop < 1 {
+			drop = 1
+		}
+		if over := len(ix.workload) - max + 1; drop < over {
+			drop = over
+		}
+		if drop > len(ix.workload) {
+			drop = len(ix.workload)
+		}
+		ix.workload = append(ix.workload[:0], ix.workload[drop:]...)
+		mWorkloadEvicted.Add(int64(drop))
+	}
+	ix.workload = append(ix.workload, parsed.Path)
 }
 
 // materialize builds the public result from node IDs. Callers hold the read
@@ -342,10 +461,14 @@ func (ix *Index) materialize(nids []xmlgraph.NID) *Result {
 // Adapt mines the logged query workload for frequently used paths at the
 // given minimum support (pass 0 for the Options default), incrementally
 // restructures the index, and clears the log. This is the paper's Figure 4
-// maintenance cycle.
+// maintenance cycle, run off the critical path: the restructuring happens on
+// a clone of the published index (frozen extents are shared, not copied,
+// until the rebuild actually touches them) and queries keep serving the old
+// structure until the one-pointer-swap publication. Queries logged while the
+// rebuild runs stay in the log for the next Adapt.
 func (ix *Index) Adapt(minSup float64) error {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
+	ix.maintMu.Lock()
+	defer ix.maintMu.Unlock()
 	if minSup <= 0 {
 		minSup = ix.opts.minSup()
 	}
@@ -356,14 +479,19 @@ func (ix *Index) Adapt(minSup float64) error {
 	if len(wl) == 0 {
 		return fmt.Errorf("apex: no logged queries to adapt to")
 	}
-	ix.idx.ExtractFrequentPaths(wl, minSup)
-	ix.idx.Update()
+	cur, dt, _ := ix.snapshot()
+	shadow := cur.Clone()
+	ix.hook("rebuild")
+	shadow.ExtractFrequentPaths(wl, minSup)
+	shadow.Update()
+	ix.publish(shadow, dt)
 	return nil
 }
 
 // AdaptTo is Adapt over an explicit workload of query strings instead of
 // the internal log (QTYPE2 queries are rejected, as in the paper only path
-// expressions are mined).
+// expressions are mined). Like Adapt, the restructuring runs on a shadow
+// clone and publishes with one atomic swap.
 func (ix *Index) AdaptTo(queries []string, minSup float64) error {
 	var paths []xmlgraph.LabelPath
 	for _, s := range queries {
@@ -376,13 +504,17 @@ func (ix *Index) AdaptTo(queries []string, minSup float64) error {
 		}
 		paths = append(paths, q.Path)
 	}
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
+	ix.maintMu.Lock()
+	defer ix.maintMu.Unlock()
 	if minSup <= 0 {
 		minSup = ix.opts.minSup()
 	}
-	ix.idx.ExtractFrequentPaths(paths, minSup)
-	ix.idx.Update()
+	cur, dt, _ := ix.snapshot()
+	shadow := cur.Clone()
+	ix.hook("rebuild")
+	shadow.ExtractFrequentPaths(paths, minSup)
+	shadow.Update()
+	ix.publish(shadow, dt)
 	return nil
 }
 
@@ -394,10 +526,16 @@ func (ix *Index) AdaptTo(queries []string, minSup float64) error {
 // this is the sound baseline (one pass over the data, no re-parse, no
 // re-mining). Reference attributes in the fragment may point at IDs already
 // in the document.
+//
+// The mutation and refresh run on clones of the document graph and index
+// (node IDs are stable across the clone, so resolved positions stay valid);
+// readers serve the pre-insert state until the atomic publication, and a
+// failed insert publishes nothing.
 func (ix *Index) Insert(parentQuery, fragment string) error {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	g := ix.idx.Graph()
+	ix.maintMu.Lock()
+	defer ix.maintMu.Unlock()
+	cur, _, eval := ix.snapshot()
+	g := cur.Graph()
 	var parent xmlgraph.NID
 	if parentQuery == "/" {
 		parent = g.Root()
@@ -409,7 +547,7 @@ func (ix *Index) Insert(parentQuery, fragment string) error {
 		if parsed.Type != query.QTYPE1 {
 			return fmt.Errorf("apex: insert parent must be a path query, got %v", parsed.Type)
 		}
-		nids, err := ix.eval.Evaluate(parsed)
+		nids, err := eval.Evaluate(parsed)
 		if err != nil {
 			return err
 		}
@@ -418,21 +556,23 @@ func (ix *Index) Insert(parentQuery, fragment string) error {
 		}
 		parent = nids[0]
 	}
-	if _, err := g.AppendFragment(parent, fragment, &xmlgraph.BuildOptions{
+	shadowG := g.Clone()
+	shadow := cur.CloneWithGraph(shadowG)
+	ix.hook("rebuild")
+	if _, err := shadowG.AppendFragment(parent, fragment, &xmlgraph.BuildOptions{
 		IDAttrs:     ix.opts.IDAttrs,
 		IDREFAttrs:  ix.opts.IDREFAttrs,
 		IDREFSAttrs: ix.opts.IDREFSAttrs,
 	}); err != nil {
 		return err
 	}
-	ix.idx.RefreshData()
+	shadow.RefreshData()
 	// The data table is rebuilt to include the new values.
-	dt, err := storage.BuildDataTable(g, 0, 64)
+	dt, err := storage.BuildDataTable(shadowG, 0, 64)
 	if err != nil {
 		return err
 	}
-	ix.dt = dt
-	ix.eval = newEvaluator(ix.idx, dt, ix.opts)
+	ix.publish(shadow, dt)
 	return nil
 }
 
@@ -441,6 +581,9 @@ func (ix *Index) Insert(parentQuery, fragment string) error {
 // index under the current required-path set. References into the deleted
 // subtrees stop dereferencing; their attribute values remain as data.
 // Deleting zero nodes is an error, as is matching the document root.
+//
+// Like Insert, the removal and refresh run on shadow clones and publish
+// atomically; a failed delete publishes nothing.
 func (ix *Index) Delete(targetQuery string) error {
 	parsed, err := query.Parse(targetQuery)
 	if err != nil {
@@ -449,22 +592,25 @@ func (ix *Index) Delete(targetQuery string) error {
 	if parsed.Type != query.QTYPE1 {
 		return fmt.Errorf("apex: delete target must be a path query, got %v", parsed.Type)
 	}
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	nids, err := ix.eval.Evaluate(parsed)
+	ix.maintMu.Lock()
+	defer ix.maintMu.Unlock()
+	cur, _, eval := ix.snapshot()
+	nids, err := eval.Evaluate(parsed)
 	if err != nil {
 		return err
 	}
 	if len(nids) == 0 {
 		return fmt.Errorf("apex: delete target %q matches nothing", targetQuery)
 	}
-	g := ix.idx.Graph()
+	shadowG := cur.Graph().Clone()
+	shadow := cur.CloneWithGraph(shadowG)
+	ix.hook("rebuild")
 	removedAny := false
 	for _, n := range nids {
-		if g.Removed(n) {
+		if shadowG.Removed(n) {
 			continue // nested inside an already-removed match
 		}
-		if err := g.RemoveSubtree(n); err != nil {
+		if err := shadowG.RemoveSubtree(n); err != nil {
 			return err
 		}
 		removedAny = true
@@ -472,13 +618,12 @@ func (ix *Index) Delete(targetQuery string) error {
 	if !removedAny {
 		return fmt.Errorf("apex: delete target %q removed nothing", targetQuery)
 	}
-	ix.idx.RefreshData()
-	dt, err := storage.BuildDataTable(g, 0, 64)
+	shadow.RefreshData()
+	dt, err := storage.BuildDataTable(shadowG, 0, 64)
 	if err != nil {
 		return err
 	}
-	ix.dt = dt
-	ix.eval = newEvaluator(ix.idx, dt, ix.opts)
+	ix.publish(shadow, dt)
 	return nil
 }
 
@@ -514,6 +659,7 @@ func (ix *Index) Stats() Stats {
 
 // QueryCost snapshots the accumulated logical cost counters of the query
 // processor (hash lookups, extent scans, join probes, data validations).
+// The counters are cumulative across maintenance publications.
 func (ix *Index) QueryCost() string {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()

@@ -1,0 +1,91 @@
+// In-module bridge constructors: FromGraph and FromCore skip the XML parse
+// but must hand back an Index indistinguishable from one Open built over the
+// same document.
+package apex
+
+import (
+	"strings"
+	"testing"
+
+	"apex/internal/core"
+	"apex/internal/xmlgraph"
+)
+
+const bridgeDoc = `<lib><book><title>apex</title></book><book><title>paths</title></book></lib>`
+
+func TestFromGraphMatchesOpen(t *testing.T) {
+	viaOpen, err := Open(strings.NewReader(bridgeDoc), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := xmlgraph.BuildString(bridgeDoc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaGraph, err := FromGraph(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{"//book/title", "//lib/book"} {
+		a, err := viaOpen.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := viaGraph.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Len() != b.Len() {
+			t.Fatalf("%s: Open found %d nodes, FromGraph %d", q, a.Len(), b.Len())
+		}
+	}
+	if viaGraph.Graph() != g {
+		t.Fatalf("FromGraph did not adopt the caller's graph")
+	}
+}
+
+func TestFromCoreWrapsBuiltIndex(t *testing.T) {
+	g, err := xmlgraph.BuildString(bridgeDoc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := core.BuildAPEX0(g)
+	ix, err := FromCore(idx, &Options{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ix.Query("//book/title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Fatalf("//book/title over FromCore index found %d nodes, want 2", res.Len())
+	}
+	if got := idx.Workers(); got != 2 {
+		t.Fatalf("FromCore did not propagate Parallelism to the core index: workers=%d", got)
+	}
+	// The wrapped index must still be adaptable and publish like any other.
+	if err := ix.AdaptTo([]string{"//book/title"}, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	res, err = ix.Query("//book/title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Fatalf("post-adapt query found %d nodes, want 2", res.Len())
+	}
+}
+
+func TestOptionsMinSupDefault(t *testing.T) {
+	var o *Options
+	if got := o.minSup(); got != 0.005 {
+		t.Fatalf("nil options minSup = %v, want 0.005", got)
+	}
+	if got := (&Options{MinSup: -1}).minSup(); got != 0.005 {
+		t.Fatalf("non-positive minSup = %v, want default 0.005", got)
+	}
+	if got := (&Options{MinSup: 0.2}).minSup(); got != 0.2 {
+		t.Fatalf("explicit minSup = %v, want 0.2", got)
+	}
+}

@@ -1,0 +1,256 @@
+package apex
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"apex/internal/metrics"
+)
+
+// TestPublicationAtomicity is the shadow-publication property test: readers
+// race maintenance, and every read must observe either the complete
+// pre-maintenance index or the complete post-maintenance one, never a blend.
+// The writer inserts and removes a wing of exactly two books as ONE
+// maintenance operation, so any intermediate book count is a torn read; the
+// adaptation writer must not change results at all.
+func TestPublicationAtomicity(t *testing.T) {
+	ix, err := Open(strings.NewReader(concurrentDoc(4)), &Options{
+		IDREFAttrs: []string{"shelf"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := ix.Query("//book/title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := base.Len()
+
+	const readers = 6
+	const rounds = 20
+	var wgReaders, wgWriters sync.WaitGroup
+	stop := make(chan struct{})
+
+	for r := 0; r < readers; r++ {
+		wgReaders.Add(1)
+		go func() {
+			defer wgReaders.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := ix.Query("//book/title")
+				if err != nil {
+					t.Errorf("Query: %v", err)
+					return
+				}
+				// The wing adds exactly two books atomically: n+1 (or any
+				// other count) means a reader saw a half-published index.
+				if got := res.Len(); got != n && got != n+2 {
+					t.Errorf("torn read: %d titles, want %d or %d", got, n, n+2)
+					return
+				}
+			}
+		}()
+	}
+
+	// Writer 1: data churn in two-book units.
+	wgWriters.Add(1)
+	go func() {
+		defer wgWriters.Done()
+		for i := 0; i < rounds; i++ {
+			frag := fmt.Sprintf(`<wing><book><title>W%da</title></book><book><title>W%db</title></book></wing>`, i, i)
+			if err := ix.Insert("/", frag); err != nil {
+				t.Errorf("Insert: %v", err)
+				return
+			}
+			if err := ix.Delete("//wing"); err != nil {
+				t.Errorf("Delete: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Writer 2: adaptation churn — reshapes the index without changing any
+	// query answer, so the readers' invariant doubles as a correctness check
+	// on the adapted structures.
+	wgWriters.Add(1)
+	go func() {
+		defer wgWriters.Done()
+		workloads := [][]string{
+			{"//shelf/book/title", "//book/year"},
+			{"//book/title"},
+			{"//library/shelf/book"},
+		}
+		for i := 0; i < rounds; i++ {
+			if err := ix.AdaptTo(workloads[i%len(workloads)], 0.01); err != nil {
+				t.Errorf("AdaptTo: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Readers run for the full life of the churn, then drain.
+	wgWriters.Wait()
+	close(stop)
+	wgReaders.Wait()
+}
+
+// TestReaderNotBlockedDuringShadowRebuild is the regression test pinning the
+// tentpole guarantee: the index write lock is NOT held while a maintenance
+// pass rebuilds its shadow. The shadow hook pauses each rebuild indefinitely;
+// queries must still complete while it is paused.
+func TestReaderNotBlockedDuringShadowRebuild(t *testing.T) {
+	ops := []struct {
+		name string
+		run  func(ix *Index) error
+	}{
+		{"AdaptTo", func(ix *Index) error {
+			return ix.AdaptTo([]string{"//shelf/book/title"}, 0.01)
+		}},
+		{"Insert", func(ix *Index) error {
+			return ix.Insert("/", `<annex><book><title>A</title></book></annex>`)
+		}},
+		{"Delete", func(ix *Index) error {
+			return ix.Delete("//book")
+		}},
+	}
+	for _, op := range ops {
+		t.Run(op.name, func(t *testing.T) {
+			ix, err := Open(strings.NewReader(concurrentDoc(2)), &Options{
+				IDREFAttrs: []string{"shelf"},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			entered := make(chan struct{})
+			release := make(chan struct{})
+			var stages []string
+			ix.shadowHook = func(stage string) {
+				stages = append(stages, stage)
+				if stage == "rebuild" {
+					close(entered)
+					<-release
+				}
+			}
+			done := make(chan error, 1)
+			go func() { done <- op.run(ix) }()
+			<-entered
+
+			// The rebuild is now parked mid-maintenance. Queries and stats
+			// must go through; with the old build-under-write-lock scheme
+			// this deadlocks and the watchdog fires.
+			qdone := make(chan error, 1)
+			go func() {
+				_, err := ix.Query("//shelf/book/title")
+				_ = ix.Stats()
+				qdone <- err
+			}()
+			select {
+			case err := <-qdone:
+				if err != nil {
+					t.Fatalf("query during rebuild: %v", err)
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatal("reader blocked while maintenance rebuilds its shadow")
+			}
+
+			close(release)
+			if err := <-done; err != nil {
+				t.Fatalf("%s: %v", op.name, err)
+			}
+			if len(stages) < 2 || stages[0] != "rebuild" || stages[len(stages)-1] != "publish" {
+				t.Fatalf("hook stages = %v, want rebuild ... publish", stages)
+			}
+		})
+	}
+}
+
+// TestWorkloadLogBounded pins MaxWorkloadLog: the log never exceeds the
+// bound, eviction drops the oldest entries first, and drops are counted on
+// the apex.workload_log_evicted_total metric.
+func TestWorkloadLogBounded(t *testing.T) {
+	ix, err := Open(strings.NewReader(concurrentDoc(2)), &Options{
+		IDREFAttrs:     []string{"shelf"},
+		MaxWorkloadLog: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evicted := metrics.Default.Counter("apex.workload_log_evicted_total")
+	before := evicted.Value()
+
+	queries := []string{"//shelf/book/title", "//book/year", "//shelf/book"}
+	const total = 300
+	for i := 0; i < total; i++ {
+		if _, err := ix.Query(queries[i%len(queries)]); err != nil {
+			t.Fatal(err)
+		}
+		if got := ix.Stats().LoggedQueries; got > 50 {
+			t.Fatalf("log grew to %d entries, bound is 50", got)
+		}
+	}
+	if got := ix.Stats().LoggedQueries; got == 0 || got > 50 {
+		t.Fatalf("LoggedQueries = %d, want in (0, 50]", got)
+	}
+	// Oldest-first: the newest query is always retained.
+	ix.logMu.Lock()
+	last := ix.workload[len(ix.workload)-1].String()
+	ix.logMu.Unlock()
+	if want := "shelf.book"; last != want {
+		t.Fatalf("newest log entry = %q, want %q", last, want)
+	}
+	dropped := evicted.Value() - before
+	if kept := int64(ix.Stats().LoggedQueries); dropped+kept != total {
+		t.Fatalf("evicted %d + kept %d != logged %d", dropped, kept, total)
+	}
+
+	// A negative bound disables eviction entirely.
+	unbounded, err := Open(strings.NewReader(concurrentDoc(2)), &Options{
+		IDREFAttrs:     []string{"shelf"},
+		MaxWorkloadLog: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := unbounded.Query("//book/year"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := unbounded.Stats().LoggedQueries; got != 100 {
+		t.Fatalf("unbounded log kept %d of 100", got)
+	}
+}
+
+// TestQueryCostSurvivesPublication pins the carry-over: publishing a rebuilt
+// index must not reset the facade's cumulative query-cost counters.
+func TestQueryCostSurvivesPublication(t *testing.T) {
+	ix, err := Open(strings.NewReader(concurrentDoc(2)), &Options{
+		IDREFAttrs: []string{"shelf"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.ResetQueryCost()
+	for i := 0; i < 7; i++ {
+		if _, err := ix.Query("//shelf/book/title"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ix.AdaptTo([]string{"//shelf/book/title"}, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	var got int64
+	if _, err := fmt.Sscanf(ix.QueryCost(), "queries=%d", &got); err != nil {
+		t.Fatalf("unparseable cost %q: %v", ix.QueryCost(), err)
+	}
+	if got < 7 {
+		t.Fatalf("cost counters lost across publication: queries=%d, want >= 7", got)
+	}
+}

@@ -1,0 +1,256 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"apex"
+	"apex/internal/core"
+	"apex/internal/metrics"
+	"apex/internal/query"
+)
+
+// AdaptStallReport measures the three claims of the off-critical-path
+// maintenance design on one dataset:
+//
+//   - Shadow publication: reader latency while adaptation rounds churn in the
+//     background. The interesting column is ReaderMax against MaintMax — a
+//     reader used to stall for a whole rebuild; now it stalls only for the
+//     publication swap, so StallRatio collapses far below 1.
+//   - Parallel maintenance: the wall time of the same build+adapt cycle with
+//     the fan-out bound at 1 versus NumCPU (identical output structures).
+//   - Dirty-extent freezing: across the incremental rounds, the fraction of
+//     extents actually re-sorted and subtree caches actually recollected,
+//     from the process metrics deltas.
+type AdaptStallReport struct {
+	Dataset    string `json:"dataset"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"numcpu"`
+	Readers    int    `json:"readers"`
+	Rounds     int    `json:"maintenance_rounds"`
+	Queries    int    `json:"reader_queries"`
+
+	ReaderP50 time.Duration `json:"reader_p50_ns"`
+	ReaderP99 time.Duration `json:"reader_p99_ns"`
+	ReaderMax time.Duration `json:"reader_max_ns"`
+
+	MaintP50   time.Duration `json:"maint_p50_ns"`
+	MaintMax   time.Duration `json:"maint_max_ns"`
+	StallRatio float64       `json:"stall_ratio"` // ReaderMax / MaintMax
+
+	SerialMaint   time.Duration `json:"serial_maint_ns"`
+	ParallelMaint time.Duration `json:"parallel_maint_ns"`
+	MaintSpeedup  float64       `json:"maint_speedup"`
+
+	FrozenExtents       int64   `json:"frozen_extents"`
+	ConsideredExtents   int64   `json:"considered_extents"`
+	RefreezeFraction    float64 `json:"refreeze_fraction"`
+	SubtreesRecollected int64   `json:"subtrees_recollected"`
+	SubtreesConsidered  int64   `json:"subtrees_considered"`
+	RecollectFraction   float64 `json:"recollect_fraction"`
+}
+
+// AdaptStall runs the off-critical-path maintenance experiment: readers
+// hammer the index while rounds of adaptation alternate between two drifted
+// workloads, then the same maintenance cycle is re-timed serially and with
+// the full worker pool.
+func (e *Env) AdaptStall(dataset string, readers, rounds int) (AdaptStallReport, error) {
+	s, err := e.site(dataset)
+	if err != nil {
+		return AdaptStallReport{}, err
+	}
+	qs := make([]string, len(s.q1))
+	for i, q := range s.q1 {
+		qs[i] = q.String()
+	}
+	// Two drifted workloads: adaptation between them is incremental but not
+	// a no-op, which is exactly the regime dirty freezing targets.
+	var wlA, wlB []string
+	for i, p := range s.wl {
+		q := query.Query{Type: query.QTYPE1, Path: p}.String()
+		if i%2 == 0 {
+			wlA = append(wlA, q)
+		} else {
+			wlB = append(wlB, q)
+		}
+	}
+	if len(wlA) == 0 || len(wlB) == 0 {
+		return AdaptStallReport{}, fmt.Errorf("bench: workload too small to split for %s", dataset)
+	}
+
+	ix, err := apex.FromGraph(s.ds.Graph, &apex.Options{
+		Parallelism:     0, // GOMAXPROCS for both queries and maintenance
+		DisableQueryLog: true,
+	})
+	if err != nil {
+		return AdaptStallReport{}, err
+	}
+	// Warm-up round outside every measurement window: the first adaptation
+	// after APEX0 restructures far more than a drift round does.
+	if err := ix.AdaptTo(wlA, e.cfg.FixedMinSup); err != nil {
+		return AdaptStallReport{}, err
+	}
+
+	frozen := metrics.Default.Counter("core.gapex.frozen_extents_total")
+	considered := metrics.Default.Counter("core.gapex.freeze_considered_total")
+	recollected := metrics.Default.Counter("core.hapex.subtrees_recollected_total")
+	subtrees := metrics.Default.Counter("core.hapex.subtrees_considered_total")
+	frozen0, considered0 := frozen.Value(), considered.Value()
+	recollected0, subtrees0 := recollected.Value(), subtrees.Value()
+
+	// Readers run for the whole maintenance churn, recording per-query wall
+	// times; any stall the publication path imposes shows up as a latency
+	// outlier here.
+	stop := make(chan struct{})
+	lats := make([][]time.Duration, readers)
+	errs := make([]error, readers)
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				t0 := time.Now()
+				if _, err := ix.Query(qs[(r+i)%len(qs)]); err != nil {
+					errs[r] = err
+					return
+				}
+				lats[r] = append(lats[r], time.Since(t0))
+			}
+		}(r)
+	}
+
+	maintWalls := make([]time.Duration, 0, rounds)
+	var maintErr error
+	for i := 0; i < rounds; i++ {
+		wl := wlA
+		if i%2 == 0 {
+			wl = wlB
+		}
+		t0 := time.Now()
+		if maintErr = ix.AdaptTo(wl, e.cfg.FixedMinSup); maintErr != nil {
+			break
+		}
+		maintWalls = append(maintWalls, time.Since(t0))
+		// Let readers breathe between rounds so the sample includes both
+		// quiescent and mid-rebuild latencies.
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	if maintErr != nil {
+		return AdaptStallReport{}, maintErr
+	}
+	for _, err := range errs {
+		if err != nil {
+			return AdaptStallReport{}, err
+		}
+	}
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	if len(all) == 0 {
+		return AdaptStallReport{}, fmt.Errorf("bench: readers recorded no queries on %s", dataset)
+	}
+
+	rep := AdaptStallReport{
+		Dataset:    dataset,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Readers:    readers,
+		Rounds:     len(maintWalls),
+		Queries:    len(all),
+		ReaderP50:  percentileDuration(all, 0.50),
+		ReaderP99:  percentileDuration(all, 0.99),
+		ReaderMax:  percentileDuration(all, 1.0),
+		MaintP50:   percentileDuration(maintWalls, 0.50),
+		MaintMax:   percentileDuration(maintWalls, 1.0),
+	}
+	if rep.MaintMax > 0 {
+		rep.StallRatio = float64(rep.ReaderMax) / float64(rep.MaintMax)
+	}
+
+	rep.FrozenExtents = frozen.Value() - frozen0
+	rep.ConsideredExtents = considered.Value() - considered0
+	if rep.ConsideredExtents > 0 {
+		rep.RefreezeFraction = float64(rep.FrozenExtents) / float64(rep.ConsideredExtents)
+	}
+	rep.SubtreesRecollected = recollected.Value() - recollected0
+	rep.SubtreesConsidered = subtrees.Value() - subtrees0
+	if rep.SubtreesConsidered > 0 {
+		rep.RecollectFraction = float64(rep.SubtreesRecollected) / float64(rep.SubtreesConsidered)
+	}
+
+	// Serial vs parallel maintenance wall: the same build+adapt cycle on
+	// private core indexes (the structures come out bit-identical, so the
+	// comparison is pure wall time).
+	rep.SerialMaint = timeMaintCycle(s, e.cfg.FixedMinSup, 1)
+	rep.ParallelMaint = timeMaintCycle(s, e.cfg.FixedMinSup, runtime.NumCPU())
+	if rep.ParallelMaint > 0 {
+		rep.MaintSpeedup = float64(rep.SerialMaint) / float64(rep.ParallelMaint)
+	}
+	return rep, nil
+}
+
+// timeMaintCycle times one full build+adapt maintenance cycle at the given
+// worker bound.
+func timeMaintCycle(s *siteData, minSup float64, workers int) time.Duration {
+	t0 := time.Now()
+	a := core.BuildAPEX0Workers(s.ds.Graph, workers)
+	a.ExtractFrequentPaths(s.wl, minSup)
+	a.Update()
+	return time.Since(t0)
+}
+
+// percentileDuration returns the q-quantile (0 ≤ q ≤ 1) of ds by sorting a
+// copy; q = 1 is the maximum.
+func percentileDuration(ds []time.Duration, q float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// RenderAdaptStall prints the report as a small table.
+func RenderAdaptStall(rep AdaptStallReport) string {
+	var b []byte
+	b = fmt.Appendf(b, "Off-critical-path maintenance (%s, GOMAXPROCS=%d, NumCPU=%d)\n",
+		rep.Dataset, rep.GoMaxProcs, rep.NumCPU)
+	b = fmt.Appendf(b, "readers=%d queries=%d maintenance rounds=%d\n", rep.Readers, rep.Queries, rep.Rounds)
+	b = fmt.Appendf(b, "reader latency: p50=%v p99=%v max=%v\n",
+		rep.ReaderP50, rep.ReaderP99, rep.ReaderMax)
+	b = fmt.Appendf(b, "maintenance wall: p50=%v max=%v  stall ratio (reader max / maint max) = %.3f\n",
+		rep.MaintP50, rep.MaintMax, rep.StallRatio)
+	b = fmt.Appendf(b, "maintenance cycle: serial=%v parallel=%v speedup=%.2fx\n",
+		rep.SerialMaint, rep.ParallelMaint, rep.MaintSpeedup)
+	b = fmt.Appendf(b, "dirty freezing: refroze %d of %d extents (%.1f%%), recollected %d of %d subtree caches (%.1f%%)\n",
+		rep.FrozenExtents, rep.ConsideredExtents, 100*rep.RefreezeFraction,
+		rep.SubtreesRecollected, rep.SubtreesConsidered, 100*rep.RecollectFraction)
+	return string(b)
+}
+
+// WriteAdaptStallJSON records the report for per-PR trajectory tracking (the
+// CI benchmark job uploads it as BENCH_ADAPT.json).
+func WriteAdaptStallJSON(w io.Writer, rep AdaptStallReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

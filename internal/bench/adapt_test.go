@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAdaptStallShape(t *testing.T) {
+	env := NewEnv(tinyConfig())
+	rep, err := env.AdaptStall("Flix02.xml", 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Dataset != "Flix02.xml" || rep.Readers != 2 {
+		t.Fatalf("report misidentifies its run: %+v", rep)
+	}
+	if rep.Rounds != 3 {
+		t.Fatalf("maintenance rounds = %d, want 3", rep.Rounds)
+	}
+	if rep.Queries <= 0 {
+		t.Fatalf("readers recorded no queries: %+v", rep)
+	}
+	if rep.ReaderP50 <= 0 || rep.ReaderP99 < rep.ReaderP50 || rep.ReaderMax < rep.ReaderP99 {
+		t.Fatalf("reader percentiles not monotone: p50=%v p99=%v max=%v",
+			rep.ReaderP50, rep.ReaderP99, rep.ReaderMax)
+	}
+	if rep.MaintP50 <= 0 || rep.MaintMax < rep.MaintP50 {
+		t.Fatalf("maintenance percentiles not monotone: p50=%v max=%v", rep.MaintP50, rep.MaintMax)
+	}
+	if rep.StallRatio <= 0 {
+		t.Fatalf("stall ratio not computed: %+v", rep)
+	}
+	if rep.SerialMaint <= 0 || rep.ParallelMaint <= 0 || rep.MaintSpeedup <= 0 {
+		t.Fatalf("maintenance cycle timings not recorded: %+v", rep)
+	}
+	if rep.GoMaxProcs <= 0 || rep.NumCPU <= 0 {
+		t.Fatalf("host parallelism not recorded: %+v", rep)
+	}
+	// The churn rounds alternate two drifted workloads, so every round is
+	// incremental: dirty freezing must refreeze something, but never
+	// everything the pass considered.
+	if rep.FrozenExtents <= 0 || rep.ConsideredExtents <= rep.FrozenExtents {
+		t.Fatalf("dirty freezing did not skip clean extents: refroze %d of %d",
+			rep.FrozenExtents, rep.ConsideredExtents)
+	}
+	if rep.RefreezeFraction <= 0 || rep.RefreezeFraction >= 1 {
+		t.Fatalf("refreeze fraction out of (0,1): %v", rep.RefreezeFraction)
+	}
+	if rep.SubtreesRecollected < 0 || rep.SubtreesConsidered < rep.SubtreesRecollected {
+		t.Fatalf("subtree recollection counts inconsistent: %d of %d",
+			rep.SubtreesRecollected, rep.SubtreesConsidered)
+	}
+
+	out := RenderAdaptStall(rep)
+	for _, want := range []string{"reader latency", "stall ratio", "dirty freezing", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WriteAdaptStallJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var back AdaptStallReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != rep {
+		t.Fatalf("JSON round trip mangled the report:\n got %+v\nwant %+v", back, rep)
+	}
+}
+
+func TestPercentileDuration(t *testing.T) {
+	ds := []time.Duration{50, 10, 40, 20, 30}
+	if got := percentileDuration(ds, 0); got != 10 {
+		t.Fatalf("q=0: got %v, want 10", got)
+	}
+	if got := percentileDuration(ds, 0.5); got != 30 {
+		t.Fatalf("q=0.5: got %v, want 30", got)
+	}
+	if got := percentileDuration(ds, 1.0); got != 50 {
+		t.Fatalf("q=1: got %v, want 50", got)
+	}
+	if got := percentileDuration(nil, 0.5); got != 0 {
+		t.Fatalf("empty: got %v, want 0", got)
+	}
+	// The input must come back untouched: percentile sorts a copy.
+	if ds[0] != 50 || ds[4] != 30 {
+		t.Fatalf("input mutated: %v", ds)
+	}
+}

@@ -22,10 +22,11 @@ func RunBench(args []string, stdout io.Writer) error {
 		q2       = fs.Int("q2", 100, "number of QTYPE2 queries")
 		q3       = fs.Int("q3", 200, "number of QTYPE3 queries")
 		seed     = fs.Int64("seed", 1, "random seed")
-		exps     = fs.String("experiments", "table1,table2,fig13,fig14,fig15", "comma-separated experiment list (also: ablations, asr, concurrency, explain, join-kernel)")
+		exps     = fs.String("experiments", "table1,table2,fig13,fig14,fig15", "comma-separated experiment list (also: ablations, adapt-stall, asr, concurrency, explain, join-kernel)")
 		paper    = fs.Bool("paper", false, "run the full-size paper protocol (slow)")
 		csvDir   = fs.String("csv", "", "also write figure series as CSV files into this directory")
 		concJSON = fs.String("concurrency-json", "", "write the concurrency sweep report to this JSON file")
+		adptJSON = fs.String("adapt-json", "", "write the adapt-stall report to this JSON file")
 		joinJSON = fs.String("join-json", "", "write the join-kernel ablation report to this JSON file")
 		metJSON  = fs.String("metrics-json", "", "write a process metrics snapshot (counters/gauges/histograms) to this JSON file after the run")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -197,6 +198,27 @@ func RunBench(args []string, stdout io.Writer) error {
 		}
 		return csvOut("concurrency.json", func(w io.Writer) error {
 			return bench.WriteConcurrencyJSON(w, rep)
+		})
+	})
+	run("adapt-stall", func() error {
+		rep, err := env.AdaptStall("shakes_all.xml", 4, 8)
+		if err != nil {
+			return err
+		}
+		fprintf(stdout, "%s\n", bench.RenderAdaptStall(rep))
+		if *adptJSON != "" {
+			f, err := os.Create(*adptJSON)
+			if err != nil {
+				return err
+			}
+			if err := bench.WriteAdaptStallJSON(f, rep); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+		return csvOut("adaptstall.json", func(w io.Writer) error {
+			return bench.WriteAdaptStallJSON(w, rep)
 		})
 	})
 	run("join-kernel", func() error {

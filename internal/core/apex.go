@@ -17,15 +17,40 @@ type APEX struct {
 	xroot  *XNode
 	nextID int
 	run    int // update-round counter backing the visited flags
-	// hashGen is the hash-tree publication generation: FreezeExtents bumps
-	// it and stamps every HNode's subtree cache with the new value, so a
-	// cache is valid exactly when its stamp matches (entries added by later
-	// maintenance rounds carry older stamps until the next freeze).
-	hashGen int
+	// workers bounds the goroutines maintenance fans out (data-graph scans
+	// in exploreAPEX0/updateNode, extent freezing). 0 or 1 keeps every pass
+	// fully serial; parallel passes produce bit-identical structures, so the
+	// setting is pure throughput. See SetWorkers.
+	workers int
+	// lastFreeze records what the most recent FreezeExtents actually did —
+	// how many extents it (re)sorted and how many subtree caches it
+	// recollected versus the totals — pinning that incremental maintenance
+	// touches strictly less than everything.
+	lastFreeze FreezeStats
 }
 
 // Graph returns the underlying data graph.
 func (a *APEX) Graph() *xmlgraph.Graph { return a.g }
+
+// SetWorkers bounds the worker goroutines maintenance passes may fan out to
+// (n <= 1 keeps builds, updates, and freezes fully serial; the default). The
+// parallel passes partition pure scans and merge per-worker buffers in
+// deterministic order, so the resulting index is bit-identical to a serial
+// build. Not safe to call while a maintenance pass is running.
+func (a *APEX) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	a.workers = n
+}
+
+// Workers returns the configured maintenance fan-out bound (≥ 1).
+func (a *APEX) Workers() int {
+	if a.workers < 1 {
+		return 1
+	}
+	return a.workers
+}
 
 // XRoot returns the root node of G_APEX (incoming pseudo-label 'xroot').
 func (a *APEX) XRoot() *XNode { return a.xroot }
@@ -40,9 +65,16 @@ func (a *APEX) newXNode(path string) *XNode {
 // per distinct label (all required paths have length one), extents grouping
 // the data edges by incoming label, built by depth-first delta propagation
 // so cyclic data terminates.
-func BuildAPEX0(g *xmlgraph.Graph) *APEX {
+func BuildAPEX0(g *xmlgraph.Graph) *APEX { return BuildAPEX0Workers(g, 1) }
+
+// BuildAPEX0Workers is BuildAPEX0 with the maintenance fan-out bound set
+// before the build runs, so the data-graph scans of the initial delta
+// propagation already use the worker pool. The built structure is
+// bit-identical to the serial build for every workers value.
+func BuildAPEX0Workers(g *xmlgraph.Graph, workers int) *APEX {
 	start := time.Now()
 	a := &APEX{g: g, head: newHNode()}
+	a.SetWorkers(workers)
 	a.xroot = a.newXNode("xroot")
 	rootPair := xmlgraph.EdgePair{From: xmlgraph.NullNID, To: g.Root()}
 	a.xroot.Extent.Add(rootPair)
@@ -53,43 +85,83 @@ func BuildAPEX0(g *xmlgraph.Graph) *APEX {
 	return a
 }
 
+// FreezeStats records what one FreezeExtents pass did: Refrozen of Total
+// extents were (re)sorted into columnar form, and Recollected of Subtrees
+// hnode caches were rebuilt. On an incremental update that touches a strict
+// subset of the index, both ratios are strictly below one — the dirty bits
+// confine the publication cost to what maintenance actually changed.
+type FreezeStats struct {
+	Refrozen    int
+	Total       int
+	Recollected int
+	Subtrees    int
+}
+
+// LastFreeze returns the stats of the most recent FreezeExtents pass.
+func (a *APEX) LastFreeze() FreezeStats { return a.lastFreeze }
+
 // FreezeExtents publishes every extent in its columnar serving form (sorted,
 // deduplicated, distinct-ends precomputed — see EdgeSet.Freeze). It walks
 // both the live summary graph and the hash tree, because lookups can land on
-// remainder nodes that are not reachable from xroot. The same walk stamps
-// every hnode's subtree cache with a fresh generation, so LookupAll's
-// exhausted-path case reads a precollected node list instead of re-walking
-// the tree per query. Every build and maintenance entry point calls this
-// last, so the query processor always sees frozen extents between adaptation
-// rounds.
-func (a *APEX) FreezeExtents() {
+// remainder nodes that are not reachable from xroot. The walk is
+// dirty-guided: only extents thawed by the maintenance pass are re-sorted
+// (Add thaws, so an untouched extent stays frozen and costs nothing), and
+// only hnodes whose entry set changed — or with a changed descendant, since
+// a subtree cache spans the whole subtree — have their LookupAll cache
+// recollected. Extent sorting fans out over the configured worker bound.
+// Every build and maintenance entry point calls this last, so the query
+// processor always sees frozen extents between adaptation rounds.
+func (a *APEX) FreezeExtents() FreezeStats {
 	start := time.Now()
-	frozen := 0
-	freeze := func(x *XNode) {
-		if x != nil && !x.Extent.Frozen() {
-			x.Extent.Freeze()
-			frozen++
+	var st FreezeStats
+	seen := make(map[*XNode]bool)
+	var toFreeze []*EdgeSet
+	consider := func(x *XNode) {
+		if x == nil || seen[x] {
+			return
+		}
+		seen[x] = true
+		st.Total++
+		if !x.Extent.Frozen() {
+			toFreeze = append(toFreeze, x.Extent)
 		}
 	}
-	a.EachNode(freeze)
-	a.hashGen++
-	var walkH func(h *HNode)
-	walkH = func(h *HNode) {
+	a.EachNode(consider)
+	// Post-order over H_APEX: collect freezable extents, and recollect the
+	// subtree caches along dirty spines (an hnode must recollect when itself
+	// or any descendant changed, because its cache includes the descendants'
+	// xnodes).
+	var walkH func(h *HNode) bool
+	walkH = func(h *HNode) bool {
+		changed := h.dirty
 		for _, e := range h.entries {
-			freeze(e.XNode)
-			if e.Next != nil {
-				walkH(e.Next)
+			consider(e.XNode)
+			if e.Next != nil && walkH(e.Next) {
+				changed = true
 			}
 		}
 		if h.remainder != nil {
-			freeze(h.remainder.XNode)
+			consider(h.remainder.XNode)
 		}
-		h.subtree = collectSubtree(h, make([]*XNode, 0))
-		h.cacheGen = a.hashGen
+		st.Subtrees++
+		if changed || h.subtree == nil {
+			h.subtree = collectSubtree(h, make([]*XNode, 0))
+			h.dirty = false
+			st.Recollected++
+			changed = true
+		}
+		return changed
 	}
 	walkH(a.head)
+	st.Refrozen = len(toFreeze)
+	freezeAll(toFreeze, a.Workers())
+	a.lastFreeze = st
 	observeSince(mFreezeNS, start)
-	mFrozenExtents.Add(int64(frozen))
+	mFrozenExtents.Add(int64(st.Refrozen))
+	mFreezeConsidered.Add(int64(st.Total))
+	mSubtreesRecollected.Add(int64(st.Recollected))
+	mSubtreesConsidered.Add(int64(st.Subtrees))
+	return st
 }
 
 // BuildAPEX builds APEX⁰ and immediately adapts it to a workload: extract
@@ -112,7 +184,7 @@ func (a *APEX) exploreAPEX0(x *XNode, delta []xmlgraph.EdgePair) {
 	for _, l := range labels {
 		e, _ := a.head.getOrCreate(l)
 		if e.XNode == nil && e.Next == nil {
-			e.XNode = a.newXNode(l)
+			a.head.setEntryXNode(e, a.newXNode(l))
 		}
 		y := e.XNode
 		x.makeEdge(l, y)
@@ -141,8 +213,15 @@ func deltaEnds(delta []xmlgraph.EdgePair) []xmlgraph.NID {
 	return res
 }
 
-// outgoingByLabel groups the data edges leaving the given nodes by label.
+// outgoingByLabel groups the data edges leaving the given nodes by label —
+// the data-graph scan that dominates build, update, and refresh cost. Large
+// scans fan out over the configured worker bound with per-worker buffers
+// merged in chunk order, which keeps the per-label pair order (and hence the
+// whole built structure) identical to the serial scan.
 func (a *APEX) outgoingByLabel(ends []xmlgraph.NID) map[string][]xmlgraph.EdgePair {
+	if a.workers > 1 && len(ends) >= parallelScanThreshold {
+		return a.outgoingByLabelParallel(ends)
+	}
 	res := make(map[string][]xmlgraph.EdgePair)
 	for _, v := range ends {
 		for _, he := range a.g.Out(v) {

@@ -1,0 +1,79 @@
+package core
+
+import "apex/internal/xmlgraph"
+
+// Clone and CloneWithGraph produce the private shadow copies that the facade
+// rebuilds against while readers keep serving the original (shadow-build
+// publication). The summary graph and hash tree are always copied node for
+// node — maintenance rewires both in place — but extents use EdgeSet's
+// structure-sharing clone: a frozen extent costs O(1) and shares its columns
+// with the original until the shadow's first Add copies them (copy-on-thaw).
+// An incremental adaptation that touches a small part of the index therefore
+// clones in roughly O(|G_APEX| + |H_APEX|), not O(total extent volume).
+
+// Clone returns a deep copy of the index sharing the (immutable-under-this-
+// operation) data graph. Use for workload adaptation, which rewires the
+// summary structures but never mutates the data graph.
+func (a *APEX) Clone() *APEX {
+	return a.CloneWithGraph(a.g)
+}
+
+// CloneWithGraph is Clone with the copy bound to g — pass a xmlgraph.Clone
+// of the data graph when the maintenance pass will mutate data (Insert,
+// Delete, RefreshData). Node IDs are stable across xmlgraph.Clone, so the
+// cloned extents' edge pairs remain valid against g.
+func (a *APEX) CloneWithGraph(g *xmlgraph.Graph) *APEX {
+	c := &APEX{
+		g:          g,
+		nextID:     a.nextID,
+		run:        a.run,
+		workers:    a.workers,
+		lastFreeze: a.lastFreeze,
+	}
+	xmap := make(map[*XNode]*XNode)
+	var cloneX func(x *XNode) *XNode
+	cloneX = func(x *XNode) *XNode {
+		if x == nil {
+			return nil
+		}
+		if cx, ok := xmap[x]; ok {
+			return cx
+		}
+		cx := &XNode{
+			ID:         x.ID,
+			Path:       x.Path,
+			Extent:     x.Extent.CloneShared(),
+			out:        make(map[string]*XNode, len(x.out)),
+			visitedRun: x.visitedRun,
+		}
+		xmap[x] = cx // memoize before recursing: G_APEX can be cyclic
+		for l, y := range x.out {
+			cx.out[l] = cloneX(y)
+		}
+		return cx
+	}
+	var cloneH func(h *HNode) *HNode
+	cloneH = func(h *HNode) *HNode {
+		ch := &HNode{entries: make(map[string]*Entry, len(h.entries)), dirty: h.dirty}
+		for l, e := range h.entries {
+			ce := &Entry{Label: e.Label, Count: e.Count, New: e.New, XNode: cloneX(e.XNode)}
+			if e.Next != nil {
+				ce.Next = cloneH(e.Next)
+			}
+			ch.entries[l] = ce
+		}
+		if h.remainder != nil {
+			ch.remainder = &Entry{Label: remainderLabel, Count: h.remainder.Count, XNode: cloneX(h.remainder.XNode)}
+		}
+		if h.subtree != nil {
+			ch.subtree = make([]*XNode, len(h.subtree))
+			for i, x := range h.subtree {
+				ch.subtree[i] = cloneX(x)
+			}
+		}
+		return ch
+	}
+	c.xroot = cloneX(a.xroot)
+	c.head = cloneH(a.head)
+	return c
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"testing"
+
+	"apex/internal/xmlgraph"
+)
+
+// Clone must be observationally independent: adapting the clone leaves every
+// dump of the original byte-identical, and the clone ends up equivalent to a
+// fresh build of the new workload.
+func TestCloneIndependentAdaptation(t *testing.T) {
+	g := movieGraph(t)
+	a := BuildAPEX(g, paths("actor.name"), 0.5)
+
+	gDump, hDump := a.DumpGraph(), a.DumpHashTree()
+	req := a.RequiredPaths()
+
+	c := a.Clone()
+	c.ExtractFrequentPaths(paths("movie.title", "director.name"), 0.5)
+	c.Update()
+
+	if a.DumpGraph() != gDump || a.DumpHashTree() != hDump {
+		t.Fatalf("adapting the clone mutated the original:\n%s\n%s", a.DumpGraph(), a.DumpHashTree())
+	}
+	if got := a.RequiredPaths(); !equalStrings(got, req) {
+		t.Fatalf("original required paths changed: %v -> %v", req, got)
+	}
+	checkExtentsAgainstReference(t, a)
+	checkExtentsAgainstReference(t, c)
+
+	fresh := BuildAPEX(g, paths("movie.title", "director.name"), 0.5)
+	if got, want := c.RequiredPaths(), fresh.RequiredPaths(); !equalStrings(got, want) {
+		t.Fatalf("adapted clone diverges from fresh build:\nclone: %v\nfresh: %v", got, want)
+	}
+	sc, sf := c.Stats(), fresh.Stats()
+	if sc.Nodes != sf.Nodes || sc.Edges != sf.Edges || sc.ExtentEdges != sf.ExtentEdges {
+		t.Fatalf("adapted clone stats diverge: clone=%v fresh=%v", sc, sf)
+	}
+}
+
+// A clone of a published index shares frozen extent columns with the
+// original (O(1) per extent) until the clone's first mutation copies them.
+func TestCloneSharesFrozenColumnsUntilThaw(t *testing.T) {
+	g := movieGraph(t)
+	a := BuildAPEX0(g)
+	x := a.Lookup(xmlgraph.ParseLabelPath("movie"))
+	if x == nil || !x.Extent.Frozen() {
+		t.Fatal("movie extent should be frozen after build")
+	}
+
+	c := a.Clone()
+	cx := c.Lookup(xmlgraph.ParseLabelPath("movie"))
+	if cx == x {
+		t.Fatal("clone returned the original xnode")
+	}
+	if !cx.Extent.shared || &cx.Extent.byFrom[0] != &x.Extent.byFrom[0] {
+		t.Fatal("cloned frozen extent should alias the original's columns")
+	}
+
+	// Copy-on-thaw: mutating the clone's extent must not touch the aliased
+	// column the original is still serving.
+	before := x.Extent.String()
+	cx.Extent.Add(xmlgraph.EdgePair{From: 0, To: 1})
+	cx.Extent.Add(xmlgraph.EdgePair{From: 7, To: 0})
+	cx.Extent.Freeze()
+	if got := x.Extent.String(); got != before {
+		t.Fatalf("thawing the clone mutated the original extent:\n%s\n%s", before, got)
+	}
+	if cx.Extent.Len() == x.Extent.Len() {
+		t.Fatal("clone extent did not grow")
+	}
+}
+
+// CloneWithGraph binds the shadow to a cloned data graph so data updates can
+// rebuild off to the side; the original index and graph stay untouched.
+func TestCloneWithGraphIsolatesDataUpdates(t *testing.T) {
+	g := movieGraph(t)
+	a := BuildAPEX(g, paths("movie.title"), 0.5)
+	gDump, hDump := a.DumpGraph(), a.DumpHashTree()
+	dataDump := g.Dump(0)
+
+	g2 := g.Clone()
+	c := a.CloneWithGraph(g2)
+	if _, err := g2.AppendFragment(g2.Root(), `<movie id="m3"><title>Sequel</title></movie>`, nil); err != nil {
+		t.Fatal(err)
+	}
+	c.RefreshData()
+
+	if g.Dump(0) != dataDump {
+		t.Fatal("shadow data update mutated the original graph")
+	}
+	if a.DumpGraph() != gDump || a.DumpHashTree() != hDump {
+		t.Fatal("shadow data update mutated the original index")
+	}
+	checkExtentsAgainstReference(t, c)
+	if want := g.LabelCount("movie") + 1; c.Lookup(xmlgraph.ParseLabelPath("movie")).Extent.Len() != want {
+		t.Fatalf("refreshed clone movie extent = %d, want %d",
+			c.Lookup(xmlgraph.ParseLabelPath("movie")).Extent.Len(), want)
+	}
+}

@@ -39,6 +39,10 @@ type EdgeSet struct {
 	pairs []xmlgraph.EdgePair            // staging, insertion order; nil while frozen
 
 	frozen bool
+	// shared marks a frozen set whose columns alias another EdgeSet's (a
+	// structure-sharing clone, see CloneShared): thawing such a set must copy
+	// before mutating, because the original may still be serving readers.
+	shared bool
 	byFrom []xmlgraph.EdgePair // sorted by (From, To), deduplicated
 	byTo   []xmlgraph.EdgePair // sorted by (To, From), deduplicated
 	ends   []xmlgraph.NID      // distinct To values, ascending
@@ -82,18 +86,48 @@ func (s *EdgeSet) Freeze() {
 	s.m = nil
 	s.pairs = nil
 	s.frozen = true
+	s.shared = false // freshly built columns are private
 }
 
 // thaw rebuilds the mutable state from the frozen columns. The staging order
-// after a thaw is the (From, To) sorted order.
+// after a thaw is the (From, To) sorted order. A shared set copies its column
+// first: the aliased original may be serving concurrent readers, and the
+// staging slice is about to be appended to.
 func (s *EdgeSet) thaw() {
-	s.pairs = s.byFrom
+	if s.shared {
+		s.pairs = append([]xmlgraph.EdgePair(nil), s.byFrom...)
+		s.shared = false
+	} else {
+		s.pairs = s.byFrom
+	}
 	s.m = make(map[xmlgraph.EdgePair]struct{}, len(s.pairs))
 	for _, p := range s.pairs {
 		s.m[p] = struct{}{}
 	}
 	s.byFrom, s.byTo, s.ends = nil, nil, nil
 	s.frozen = false
+}
+
+// CloneShared returns a copy of the set for shadow maintenance. A frozen set
+// clones in O(1) by sharing the columnar storage (copy-on-thaw: the first Add
+// to the clone copies before mutating); a mutable set is deep-copied. Either
+// way, no subsequent operation on the clone can be observed through the
+// original.
+func (s *EdgeSet) CloneShared() *EdgeSet {
+	if s == nil {
+		return nil
+	}
+	if s.frozen {
+		return &EdgeSet{frozen: true, shared: true, byFrom: s.byFrom, byTo: s.byTo, ends: s.ends}
+	}
+	c := &EdgeSet{
+		m:     make(map[xmlgraph.EdgePair]struct{}, len(s.m)),
+		pairs: append([]xmlgraph.EdgePair(nil), s.pairs...),
+	}
+	for p := range s.m {
+		c.m[p] = struct{}{}
+	}
+	return c
 }
 
 // Frozen reports whether the set is in its columnar serving form.

@@ -63,28 +63,33 @@ func (a *APEX) pruneHNode(h *HNode, threshold float64, isHead bool) bool {
 			// The whole subtree is infrequent by anti-monotonicity: a
 			// suffix is a subpath of every extension, so no extension can
 			// beat the suffix's support.
-			t.Next = nil
+			if t.Next != nil {
+				t.Next = nil
+				h.dirty = true
+			}
 			if !isHead {
 				wasRequired := !t.New
 				delete(h.entries, l)
+				h.dirty = true
 				if wasRequired && h.remainder != nil {
-					h.remainder.XNode = nil
+					h.setEntryXNode(h.remainder, nil)
 				}
 			}
 			continue
 		}
 		if t.Next != nil && a.pruneHNode(t.Next, threshold, false) {
 			t.Next = nil
+			h.dirty = true
 		}
 		// Case 1 (lines 12–13): the path was a maximal suffix but gained
 		// extensions — its node must be rebuilt as a remainder partition.
 		if t.Next != nil && t.XNode != nil {
-			t.XNode = nil
+			h.setEntryXNode(t, nil)
 		}
 		// Case 2 (lines 14–15): a new frequent sibling path steals edges
 		// from this hnode's remainder.
 		if t.New && h.remainder != nil && h.remainder.XNode != nil {
-			h.remainder.XNode = nil
+			h.setEntryXNode(h.remainder, nil)
 		}
 	}
 	return len(h.entries) == 0

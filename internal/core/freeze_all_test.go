@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"apex/internal/xmlgraph"
+)
+
+// freezeAll's parallel branch must produce exactly what serial freezing
+// does: every set frozen, contents untouched.
+func TestFreezeAllParallelFreezesEverySet(t *testing.T) {
+	const n = 3 * freezeAllThreshold
+	sets := make([]*EdgeSet, n)
+	for i := range sets {
+		sets[i] = NewEdgeSet()
+		for j := 0; j <= i%5; j++ {
+			sets[i].Add(xmlgraph.EdgePair{From: xmlgraph.NID(i), To: xmlgraph.NID(100 + j)})
+		}
+	}
+	freezeAll(sets, 4)
+	for i, s := range sets {
+		if !s.Frozen() {
+			t.Fatalf("set %d not frozen after parallel freezeAll", i)
+		}
+		if want := i%5 + 1; s.Len() != want {
+			t.Fatalf("set %d has %d pairs after freeze, want %d", i, s.Len(), want)
+		}
+		if !s.Contains(xmlgraph.EdgePair{From: xmlgraph.NID(i), To: 100}) {
+			t.Fatalf("set %d lost its first pair across parallel freeze", i)
+		}
+	}
+}
+
+// Below the fan-out threshold, or with a single worker, freezeAll must stay
+// on the serial path and still freeze everything.
+func TestFreezeAllSerialFallbacks(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		n       int
+		workers int
+	}{
+		{"small batch", freezeAllThreshold - 1, 4},
+		{"single worker", 2 * freezeAllThreshold, 1},
+		{"more workers than sets", 2, 16},
+	} {
+		sets := make([]*EdgeSet, tc.n)
+		for i := range sets {
+			sets[i] = NewEdgeSet()
+			sets[i].Add(xmlgraph.EdgePair{From: 1, To: xmlgraph.NID(i)})
+		}
+		freezeAll(sets, tc.workers)
+		for i, s := range sets {
+			if !s.Frozen() {
+				t.Fatalf("%s: set %d not frozen", tc.name, i)
+			}
+		}
+	}
+}
+
+// CloneShared on a mutable (thawed) set must deep-copy: mutations on either
+// side stay invisible to the other.
+func TestCloneSharedMutableSetIsDeepCopy(t *testing.T) {
+	s := NewEdgeSet()
+	s.Add(xmlgraph.EdgePair{From: 1, To: 2})
+	s.Add(xmlgraph.EdgePair{From: 1, To: 3})
+
+	c := s.CloneShared()
+	if c.Len() != 2 || !c.Contains(xmlgraph.EdgePair{From: 1, To: 2}) {
+		t.Fatalf("clone lost contents: len=%d", c.Len())
+	}
+	c.Add(xmlgraph.EdgePair{From: 9, To: 9})
+	if s.Contains(xmlgraph.EdgePair{From: 9, To: 9}) {
+		t.Fatal("mutating the clone leaked into the original")
+	}
+	s.Add(xmlgraph.EdgePair{From: 8, To: 8})
+	if c.Contains(xmlgraph.EdgePair{From: 8, To: 8}) {
+		t.Fatal("mutating the original leaked into the clone")
+	}
+
+	if got := (*EdgeSet)(nil).CloneShared(); got != nil {
+		t.Fatalf("nil.CloneShared() = %v, want nil", got)
+	}
+}

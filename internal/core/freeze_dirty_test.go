@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+
+	"apex/internal/xmlgraph"
+)
+
+// A fresh build has no history: every extent is sorted and every subtree
+// cache collected, so both ratios are exactly 1.
+func TestFreshBuildFreezesEverything(t *testing.T) {
+	a := BuildAPEX0(movieGraph(t))
+	st := a.LastFreeze()
+	if st.Refrozen != st.Total || st.Total == 0 {
+		t.Fatalf("fresh build: refrozen=%d total=%d, want equal and nonzero", st.Refrozen, st.Total)
+	}
+	if st.Recollected != st.Subtrees || st.Subtrees == 0 {
+		t.Fatalf("fresh build: recollected=%d subtrees=%d, want equal and nonzero", st.Recollected, st.Subtrees)
+	}
+}
+
+// The pinned dirty-freezing guarantee: an incremental adaptation that adds
+// one required path re-freezes strictly fewer extents than exist, and
+// recollects strictly fewer subtree caches than exist — publication cost is
+// confined to what the maintenance pass actually changed.
+func TestIncrementalUpdateRefreezesStrictSubset(t *testing.T) {
+	g := movieGraph(t)
+	a := BuildAPEX(g, paths("actor.name"), 0.5)
+
+	a.ExtractFrequentPaths(paths("actor.name", "movie.title"), 0.5)
+	a.Update()
+
+	st := a.LastFreeze()
+	if st.Refrozen == 0 {
+		t.Fatal("adding movie.title must create at least one new extent to freeze")
+	}
+	if st.Refrozen >= st.Total {
+		t.Fatalf("incremental update refroze %d of %d extents; dirty freezing must leave untouched extents frozen", st.Refrozen, st.Total)
+	}
+	if st.Recollected >= st.Subtrees {
+		t.Fatalf("incremental update recollected %d of %d subtree caches; clean subtrees must keep their cache", st.Recollected, st.Subtrees)
+	}
+	checkExtentsAgainstReference(t, a)
+}
+
+// A no-op adaptation (same workload again) must not re-freeze any extent:
+// nothing thaws, nothing rebinds, only the root verification walk runs.
+func TestNoopUpdateRefreezesNothing(t *testing.T) {
+	g := movieGraph(t)
+	a := BuildAPEX(g, paths("actor.name"), 0.5)
+
+	a.ExtractFrequentPaths(paths("actor.name"), 0.5)
+	a.Update()
+
+	if st := a.LastFreeze(); st.Refrozen != 0 {
+		t.Fatalf("no-op adaptation refroze %d extents, want 0 (stats %+v)", st.Refrozen, st)
+	}
+}
+
+// The LookupAll subtree cache must never serve stale xnodes: after pruning
+// removes a required path, the exhausted-path lookup reflects the new
+// partition both before (dirty fallback) and after (recollected cache) the
+// freeze.
+func TestSubtreeCacheInvalidatedByPruning(t *testing.T) {
+	g := movieGraph(t)
+	a := BuildAPEX(g, paths("movie.title", "director.name"), 0.5)
+
+	nodes, covered := a.LookupAll(xmlgraph.ParseLabelPath("name"))
+	if len(covered) != 1 || len(nodes) < 2 {
+		t.Fatalf("expected name partitioned across >=2 nodes, got %d (covered %v)", len(nodes), covered)
+	}
+
+	// Drop director.name; the name partition collapses back.
+	a.ExtractFrequentPaths(paths("movie.title"), 0.5)
+	a.Update()
+	nodes2, _ := a.LookupAll(xmlgraph.ParseLabelPath("name"))
+	union := NewEdgeSet()
+	for _, x := range nodes2 {
+		x.Extent.Each(func(p xmlgraph.EdgePair) { union.Add(p) })
+	}
+	if want := g.LabelCount("name"); union.Len() != want {
+		t.Fatalf("post-prune LookupAll(name) union = %d edges, want %d", union.Len(), want)
+	}
+}
+
+// Serving-path sanity for the dirty flag itself: a published index answers
+// exhausted-path lookups from the cache, and mutating an hnode flips it back
+// to the fresh walk until the next publication.
+func TestLookupAllCacheLifecycle(t *testing.T) {
+	a := BuildAPEX(movieGraph(t), paths("movie.title"), 0.5)
+	e := a.head.get("title")
+	if e == nil || e.Next == nil {
+		t.Fatal("expected title to have a deeper hnode")
+	}
+	h := e.Next
+	if h.dirty || h.subtree == nil {
+		t.Fatal("published hnode should be clean with a collected cache")
+	}
+	cached, _ := a.LookupAll(xmlgraph.ParseLabelPath("title"))
+	fresh := collectSubtree(h, nil)
+	if len(cached) != len(fresh) {
+		t.Fatalf("cache (%d nodes) disagrees with fresh walk (%d nodes)", len(cached), len(fresh))
+	}
+	for i := range cached {
+		if cached[i] != fresh[i] {
+			t.Fatalf("cache order diverges from collectSubtree at %d", i)
+		}
+	}
+}

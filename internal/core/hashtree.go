@@ -36,17 +36,22 @@ type HNode struct {
 	entries   map[string]*Entry
 	remainder *Entry // lazily materialized; nil until first needed
 
-	// subtree caches collectSubtree's result at publication time (stamped
-	// with the owning index's hashGen), so the exhausted-path case of
-	// LookupAll — the per-position lookups of every join — skips the
-	// map-iterate-and-sort walk on the query path. An HNode created after
-	// the stamp's generation falls back to the fresh walk until the next
-	// FreezeExtents.
-	subtree  []*XNode
-	cacheGen int
+	// subtree caches collectSubtree's result at publication time, so the
+	// exhausted-path case of LookupAll — the per-position lookups of every
+	// join — skips the map-iterate-and-sort walk on the query path. dirty
+	// marks an hnode whose own entry set (or an entry's xnode binding)
+	// changed since the cache was collected; FreezeExtents recollects only
+	// the dirty spines — a clean hnode whose descendants are also clean
+	// keeps its cache across publications, so an incremental update that
+	// touches a strict subset of the tree restamps a strict subset of the
+	// caches.
+	subtree []*XNode
+	dirty   bool
 }
 
-func newHNode() *HNode { return &HNode{entries: make(map[string]*Entry)} }
+// newHNode returns an empty hash node, born dirty: its subtree cache has
+// never been collected.
+func newHNode() *HNode { return &HNode{entries: make(map[string]*Entry), dirty: true} }
 
 // get returns the entry for label, or nil.
 func (h *HNode) get(label string) *Entry { return h.entries[label] }
@@ -59,6 +64,7 @@ func (h *HNode) getOrCreate(label string) (e *Entry, created bool) {
 	}
 	e = &Entry{Label: label, New: true}
 	h.entries[label] = e
+	h.dirty = true
 	return e, true
 }
 
@@ -66,8 +72,19 @@ func (h *HNode) getOrCreate(label string) (e *Entry, created bool) {
 func (h *HNode) ensureRemainder() *Entry {
 	if h.remainder == nil {
 		h.remainder = &Entry{Label: remainderLabel}
+		h.dirty = true
 	}
 	return h.remainder
+}
+
+// setEntryXNode rebinds e (an entry of h) to x, marking h dirty when the
+// binding actually changes. All maintenance-path xnode assignments go through
+// this so the freeze pass knows which subtree caches to recollect.
+func (h *HNode) setEntryXNode(e *Entry, x *XNode) {
+	if e.XNode != x {
+		e.XNode = x
+		h.dirty = true
+	}
 }
 
 // sortedLabels returns the ordinary entry labels in sorted order, for
@@ -96,7 +113,7 @@ func (h *HNode) sortedLabels() []string {
 //   - nil when the final label of path has no entry at HashHead (a label
 //     that occurs neither in the data nor in any workload query).
 func (a *APEX) lookupEntry(path xmlgraph.LabelPath) *Entry {
-	e, _ := a.lookupEntryDepth(path)
+	e, _, _ := a.lookupEntryLoc(path)
 	return e
 }
 
@@ -104,21 +121,29 @@ func (a *APEX) lookupEntry(path xmlgraph.LabelPath) *Entry {
 // landing entry covers: the entry represents path[start:] (for a remainder
 // entry, the suffix it partitions). start is len(path) for a HashHead miss.
 func (a *APEX) lookupEntryDepth(path xmlgraph.LabelPath) (*Entry, int) {
+	e, start, _ := a.lookupEntryLoc(path)
+	return e, start
+}
+
+// lookupEntryLoc is lookupEntryDepth plus the hnode owning the landing entry
+// (nil for a HashHead miss), so maintenance can mark the owner dirty when it
+// rebinds the entry's xnode.
+func (a *APEX) lookupEntryLoc(path xmlgraph.LabelPath) (*Entry, int, *HNode) {
 	hnode := a.head
 	for i := len(path) - 1; i >= 0; i-- {
 		t := hnode.get(path[i])
 		if t == nil {
 			if hnode == a.head {
-				return nil, len(path)
+				return nil, len(path), nil
 			}
-			return hnode.ensureRemainder(), i + 1
+			return hnode.ensureRemainder(), i + 1, hnode
 		}
 		if t.Next == nil {
-			return t, i
+			return t, i, hnode
 		}
 		hnode = t.Next
 	}
-	return hnode.ensureRemainder(), 0
+	return hnode.ensureRemainder(), 0, hnode
 }
 
 // Lookup returns the G_APEX node addressing the longest required suffix of
@@ -164,9 +189,9 @@ func (a *APEX) LookupAll(path xmlgraph.LabelPath) (nodes []*XNode, covered xmlgr
 	// Path exhausted with extensions below: T(path) is partitioned across
 	// the whole subtree (every extension plus the remainders). Serve the
 	// publication-time collection when it is current (callers treat the
-	// slice as read-only); an hnode grown since the last FreezeExtents
-	// falls back to the fresh walk.
-	if hnode.subtree != nil && hnode.cacheGen == a.hashGen {
+	// slice as read-only); an hnode mutated or created since the last
+	// FreezeExtents falls back to the fresh walk.
+	if hnode.subtree != nil && !hnode.dirty {
 		return hnode.subtree, path
 	}
 	return collectSubtree(hnode, nil), path

@@ -16,9 +16,16 @@ var (
 	mRefreshNS = metrics.Default.Histogram("core.refresh_ns")
 
 	// Extent freezing: time spent building the columnar serving form at
-	// each publication point, and how many extents were (re)frozen.
-	mFreezeNS      = metrics.Default.Histogram("core.freeze_ns")
-	mFrozenExtents = metrics.Default.Counter("core.gapex.frozen_extents_total")
+	// each publication point, how many extents were actually (re)frozen
+	// versus considered, and how many hnode subtree caches were recollected
+	// versus walked. The frozen/considered and recollected/walked ratios are
+	// the dirty-guided freeze's effectiveness: well below 1 on incremental
+	// maintenance, exactly 1 on a fresh build.
+	mFreezeNS            = metrics.Default.Histogram("core.freeze_ns")
+	mFrozenExtents       = metrics.Default.Counter("core.gapex.frozen_extents_total")
+	mFreezeConsidered    = metrics.Default.Counter("core.gapex.freeze_considered_total")
+	mSubtreesRecollected = metrics.Default.Counter("core.hapex.subtrees_recollected_total")
+	mSubtreesConsidered  = metrics.Default.Counter("core.hapex.subtrees_considered_total")
 
 	// mLookupDepth is the number of hash-tree levels a LookupAll walk
 	// visited — 1 for a plain label, more when required paths cover a

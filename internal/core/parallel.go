@@ -1,0 +1,101 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"apex/internal/xmlgraph"
+)
+
+// Maintenance parallelism. The two hot passes of build/update/refresh are
+// embarrassingly parallel *scans*: grouping outgoing data edges by label, and
+// sorting extents into their columnar serving form. Both are parallelized
+// here under the index's worker bound (APEX.SetWorkers) in a way that is
+// bit-identical to the serial pass — contiguous input chunks with per-worker
+// buffers merged in input order — so node IDs, extent columns, and dump
+// output do not depend on the workers setting. The graph-shaping recursion
+// itself stays serial: it is cheap relative to the scans and its visit order
+// determines node identity.
+
+// parallelScanThreshold is the minimum number of scan sources (extent end
+// nodes) before outgoingByLabel fans out. Below it, goroutine startup and the
+// merge dominate any win.
+const parallelScanThreshold = 2048
+
+// outgoingByLabelParallel is outgoingByLabel over ≥ parallelScanThreshold end
+// nodes: the ends are split into one contiguous chunk per worker and the
+// per-chunk groupings are appended in chunk order, reproducing the serial
+// per-label pair order exactly.
+func (a *APEX) outgoingByLabelParallel(ends []xmlgraph.NID) map[string][]xmlgraph.EdgePair {
+	workers := a.Workers()
+	if workers > len(ends) {
+		workers = len(ends)
+	}
+	parts := make([]map[string][]xmlgraph.EdgePair, workers)
+	var wg sync.WaitGroup
+	chunk := (len(ends) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(ends) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(ends) {
+			hi = len(ends)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			part := make(map[string][]xmlgraph.EdgePair)
+			for _, v := range ends[lo:hi] {
+				for _, he := range a.g.Out(v) {
+					part[he.Label] = append(part[he.Label], xmlgraph.EdgePair{From: v, To: he.To})
+				}
+			}
+			parts[w] = part
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	res := make(map[string][]xmlgraph.EdgePair)
+	for _, part := range parts {
+		for l, ps := range part {
+			res[l] = append(res[l], ps...)
+		}
+	}
+	return res
+}
+
+// freezeAllThreshold is the minimum number of thawed extents before
+// FreezeExtents fans the per-extent sorts out to the worker pool.
+const freezeAllThreshold = 8
+
+// freezeAll freezes every set, fanning out over at most workers goroutines.
+// Each Freeze touches only its own set, so the only coordination is an atomic
+// work cursor; the result is identical to freezing serially.
+func freezeAll(sets []*EdgeSet, workers int) {
+	if workers > len(sets) {
+		workers = len(sets)
+	}
+	if workers <= 1 || len(sets) < freezeAllThreshold {
+		for _, s := range sets {
+			s.Freeze()
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(sets) {
+					return
+				}
+				sets[i].Freeze()
+			}
+		}()
+	}
+	wg.Wait()
+}

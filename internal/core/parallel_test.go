@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"apex/internal/xmlgraph"
+)
+
+// wideGraph builds a data graph whose label extents exceed the parallel-scan
+// threshold: root -> fanout nodes labeled "x", each with one child cycling
+// through labels a/b/c.
+func wideGraph(fanout int) *xmlgraph.Graph {
+	g := xmlgraph.NewGraph()
+	root := g.AddNode(xmlgraph.KindElement, "root", "")
+	g.SetRoot(root)
+	for i := 0; i < fanout; i++ {
+		mid := g.AddNode(xmlgraph.KindElement, "e", "")
+		g.AddEdge(root, "x", mid)
+		leaf := g.AddNode(xmlgraph.KindElement, "e", "")
+		g.AddEdge(mid, string(rune('a'+i%3)), leaf)
+	}
+	return g
+}
+
+// The parallel scan path must be bit-identical to the serial build: same node
+// IDs, same adjacency, same extent columns, same hash tree.
+func TestParallelBuildBitIdentical(t *testing.T) {
+	g := wideGraph(parallelScanThreshold * 2)
+	serial := BuildAPEX0(g)
+	for _, workers := range []int{2, 3, 8} {
+		par := BuildAPEX0Workers(g, workers)
+		if got, want := par.DumpGraph(), serial.DumpGraph(); got != want {
+			t.Fatalf("workers=%d: G_APEX diverges from serial build", workers)
+		}
+		if got, want := par.DumpHashTree(), serial.DumpHashTree(); got != want {
+			t.Fatalf("workers=%d: H_APEX diverges from serial build", workers)
+		}
+	}
+}
+
+// Same property through the whole adapt cycle on irregular random graphs,
+// with the threshold effectively disabled so small extents take the parallel
+// path too (the chunk/merge logic must not depend on size).
+func TestParallelAdaptMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for iter := 0; iter < 10; iter++ {
+		g := randomGraph(rng, 20+rng.Intn(30), rng.Intn(10), 3)
+		w := randomWorkload(rng, g, 6)
+
+		serial := BuildAPEX(g, w, 0.3)
+		par := BuildAPEX0Workers(g, 4)
+		par.ExtractFrequentPaths(w, 0.3)
+		par.Update()
+
+		if got, want := par.DumpGraph(), serial.DumpGraph(); got != want {
+			t.Fatalf("iter %d: parallel adapt diverges:\n--- parallel\n%s\n--- serial\n%s", iter, got, want)
+		}
+		if got, want := par.DumpHashTree(), serial.DumpHashTree(); got != want {
+			t.Fatalf("iter %d: parallel hash tree diverges", iter)
+		}
+		checkExtentsAgainstReference(t, par)
+	}
+}
+
+// outgoingByLabelParallel must reproduce the serial grouping exactly,
+// including per-label pair order, for awkward worker/size combinations.
+func TestOutgoingByLabelParallelOrder(t *testing.T) {
+	g := wideGraph(97)
+	a := BuildAPEX0(g)
+	ends := a.Lookup(xmlgraph.LabelPath{"x"}).Extent.Ends()
+	want := map[string][]xmlgraph.EdgePair{}
+	for _, v := range ends {
+		for _, he := range g.Out(v) {
+			want[he.Label] = append(want[he.Label], xmlgraph.EdgePair{From: v, To: he.To})
+		}
+	}
+	for _, workers := range []int{1, 2, 5, 96, 97, 200} {
+		a.SetWorkers(workers)
+		got := a.outgoingByLabelParallel(ends)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d labels, want %d", workers, len(got), len(want))
+		}
+		for l, ps := range want {
+			if len(got[l]) != len(ps) {
+				t.Fatalf("workers=%d label %q: %d pairs, want %d", workers, l, len(got[l]), len(ps))
+			}
+			for i := range ps {
+				if got[l][i] != ps[i] {
+					t.Fatalf("workers=%d label %q: pair order diverges at %d", workers, l, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSetWorkersClamps(t *testing.T) {
+	a := BuildAPEX0(wideGraph(3))
+	a.SetWorkers(0)
+	if a.Workers() != 1 {
+		t.Fatalf("Workers() = %d, want 1", a.Workers())
+	}
+	a.SetWorkers(-5)
+	if a.Workers() != 1 {
+		t.Fatalf("Workers() = %d, want 1", a.Workers())
+	}
+}

@@ -25,13 +25,13 @@ func (a *APEX) RefreshData() {
 	var scrub func(h *HNode)
 	scrub = func(h *HNode) {
 		for _, e := range h.entries {
-			e.XNode = nil
+			h.setEntryXNode(e, nil)
 			if e.Next != nil {
 				scrub(e.Next)
 			}
 		}
 		if h.remainder != nil {
-			h.remainder.XNode = nil
+			h.setEntryXNode(h.remainder, nil)
 		}
 	}
 	scrub(a.head)

@@ -37,7 +37,7 @@ func (a *APEX) updateNode(x *XNode, delta []xmlgraph.EdgePair, path xmlgraph.Lab
 		for _, l := range x.OutLabels() {
 			end := x.out[l]
 			newpath := path.Concat(l)
-			xchild, entry := a.resolveChild(newpath)
+			xchild, entry, owner := a.resolveChild(newpath)
 			var childDelta []xmlgraph.EdgePair
 			if xchild != end {
 				if byLabel == nil {
@@ -49,7 +49,7 @@ func (a *APEX) updateNode(x *XNode, delta []xmlgraph.EdgePair, path xmlgraph.Lab
 					}
 				}
 				x.makeEdge(l, xchild)
-				entry.XNode = xchild // hash.append
+				owner.setEntryXNode(entry, xchild) // hash.append
 			}
 			a.updateNode(xchild, childDelta, newpath)
 		}
@@ -66,7 +66,7 @@ func (a *APEX) updateNode(x *XNode, delta []xmlgraph.EdgePair, path xmlgraph.Lab
 	sort.Strings(labels)
 	for _, l := range labels {
 		newpath := path.Concat(l)
-		xchild, entry := a.resolveChild(newpath)
+		xchild, entry, owner := a.resolveChild(newpath)
 		var childDelta []xmlgraph.EdgePair
 		for _, p := range byLabel[l] {
 			if xchild.Extent.Add(p) {
@@ -74,16 +74,17 @@ func (a *APEX) updateNode(x *XNode, delta []xmlgraph.EdgePair, path xmlgraph.Lab
 			}
 		}
 		x.makeEdge(l, xchild)
-		entry.XNode = xchild // hash.append
+		owner.setEntryXNode(entry, xchild) // hash.append
 		a.updateNode(xchild, childDelta, newpath)
 	}
 }
 
 // resolveChild finds (or creates) the G_APEX node that edges with root
 // label path newpath must be classified under, along with the hash entry
-// addressing it.
-func (a *APEX) resolveChild(newpath xmlgraph.LabelPath) (*XNode, *Entry) {
-	entry, start := a.lookupEntryDepth(newpath)
+// addressing it and the hnode owning that entry (so callers can mark the
+// owner dirty when rebinding the entry).
+func (a *APEX) resolveChild(newpath xmlgraph.LabelPath) (*XNode, *Entry, *HNode) {
+	entry, start, owner := a.lookupEntryLoc(newpath)
 	if entry == nil {
 		// Every data label has a HashHead entry from APEX⁰ and head
 		// entries are never deleted, so a traversal label cannot miss.
@@ -94,7 +95,7 @@ func (a *APEX) resolveChild(newpath xmlgraph.LabelPath) (*XNode, *Entry) {
 		if entry.isRemainder() {
 			name = "~" + name
 		}
-		entry.XNode = a.newXNode(name)
+		owner.setEntryXNode(entry, a.newXNode(name))
 	}
-	return entry.XNode, entry
+	return entry.XNode, entry, owner
 }

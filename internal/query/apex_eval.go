@@ -107,6 +107,18 @@ func (e *APEXEvaluator) Cost() *Cost {
 // ResetCost implements Evaluator.
 func (e *APEXEvaluator) ResetCost() { e.cost.reset() }
 
+// CarryCostFrom folds prev's accumulated cost totals into e. The index
+// facade publishes a rebuilt index together with a fresh evaluator; carrying
+// the counters over keeps the facade's QueryCost cumulative across
+// shadow-build swaps.
+func (e *APEXEvaluator) CarryCostFrom(prev *APEXEvaluator) {
+	if prev == nil || prev == e {
+		return
+	}
+	c := prev.cost.snapshot()
+	e.cost.add(&c)
+}
+
 // Evaluate implements Evaluator.
 func (e *APEXEvaluator) Evaluate(q Query) ([]xmlgraph.NID, error) {
 	return e.evaluateTimed(q, nil)

@@ -1,0 +1,143 @@
+// Differential harness for shadow-build publication: on every seed dataset,
+// each maintenance phase (adapt, insert, delete) is run twice — once mutating
+// the index in place (the pre-publication legacy path, still exercised by the
+// core tests) and once the way the facade now does it, on a structure-sharing
+// clone. The two must end extent-identical and structurally byte-identical,
+// and a from-scratch BuildAPEX over the same inputs must agree too; query
+// results must be position-identical across all of them.
+package query_test
+
+import (
+	"testing"
+
+	"apex/internal/core"
+	"apex/internal/datagen"
+	"apex/internal/query"
+	"apex/internal/storage"
+	"apex/internal/workload"
+)
+
+// assertSameIndex requires a and b to be byte-identical in both dumps —
+// same node IDs, same adjacency, same extent contents, same hash tree. This
+// is stronger than extent set-equality: the shadow path replays the exact
+// deterministic maintenance sequence, so nothing may diverge.
+func assertSameIndex(t *testing.T, phase string, a, b *core.APEX) {
+	t.Helper()
+	if ga, gb := a.DumpGraph(), b.DumpGraph(); ga != gb {
+		t.Fatalf("%s: G_APEX diverges between publication paths:\n--- in-place\n%s\n--- shadow\n%s", phase, ga, gb)
+	}
+	if ha, hb := a.DumpHashTree(), b.DumpHashTree(); ha != hb {
+		t.Fatalf("%s: H_APEX diverges between publication paths:\n--- in-place\n%s\n--- shadow\n%s", phase, ha, hb)
+	}
+}
+
+// assertSameResults requires position-identical evaluation on every query.
+func assertSameResults(t *testing.T, phase string, a, b *query.APEXEvaluator, qs []query.Query) {
+	t.Helper()
+	for _, q := range qs {
+		ra, err := a.Evaluate(q)
+		if err != nil {
+			t.Fatalf("%s: in-place evaluator on %s: %v", phase, q, err)
+		}
+		rb, err := b.Evaluate(q)
+		if err != nil {
+			t.Fatalf("%s: shadow evaluator on %s: %v", phase, q, err)
+		}
+		if len(ra) != len(rb) {
+			t.Fatalf("%s: %s: in-place %d nodes, shadow %d nodes", phase, q, len(ra), len(rb))
+		}
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatalf("%s: %s: results diverge at position %d: %d vs %d", phase, q, i, ra[i], rb[i])
+			}
+		}
+	}
+}
+
+func TestDifferentialShadowPublication(t *testing.T) {
+	for _, name := range datagen.DatasetNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			ds, err := datagen.LoadDataset(name, diffScale)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := ds.Graph
+			dt, err := storage.BuildDataTable(g, 0, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			qs := diffQueries(g)
+			wl := workload.SampleWorkload(workload.New(g, diffSeed).QType1(60), 0.5, diffSeed)
+
+			idx := core.BuildAPEX0(g)
+
+			// Phase adapt: in-place vs shadow clone vs from-scratch.
+			shadow := idx.Clone()
+			shadow.ExtractFrequentPaths(wl, 0.01)
+			shadow.Update()
+
+			idx.ExtractFrequentPaths(wl, 0.01)
+			idx.Update()
+
+			assertSameIndex(t, "adapt", idx, shadow)
+			fresh := core.BuildAPEX(g, wl, 0.01)
+			assertSameIndex(t, "adapt-vs-scratch", idx, fresh)
+			assertSameResults(t, "adapt", query.NewAPEXEvaluator(idx, dt),
+				query.NewAPEXEvaluator(shadow, dt), qs)
+
+			// Phase insert: the shadow track mutates a cloned graph; node IDs
+			// are stable across the clone, so both tracks must stay in
+			// lockstep.
+			g2 := g.Clone()
+			shadow = idx.CloneWithGraph(g2)
+			if _, err := g2.AppendFragment(g2.Root(),
+				`<difftest><diffchild>diffvalue</diffchild></difftest>`, nil); err != nil {
+				t.Fatal(err)
+			}
+			shadow.RefreshData()
+
+			if _, err := g.AppendFragment(g.Root(),
+				`<difftest><diffchild>diffvalue</diffchild></difftest>`, nil); err != nil {
+				t.Fatal(err)
+			}
+			idx.RefreshData()
+
+			assertSameIndex(t, "insert", idx, shadow)
+			dt, err = storage.BuildDataTable(g, 0, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dt2, err := storage.BuildDataTable(g2, 0, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			qs = append(qs, mustParse(t, "//difftest/diffchild"))
+			assertSameResults(t, "insert", query.NewAPEXEvaluator(idx, dt),
+				query.NewAPEXEvaluator(shadow, dt2), qs)
+
+			// Phase delete: same subtree removed on both tracks (the helper
+			// picks deterministically, and the graphs are identical).
+			g3 := g.Clone()
+			shadow = idx.CloneWithGraph(g3)
+			removeOriginalSubtree(t, g3)
+			shadow.RefreshData()
+
+			removeOriginalSubtree(t, g)
+			idx.RefreshData()
+
+			assertSameIndex(t, "delete", idx, shadow)
+			dt, err = storage.BuildDataTable(g, 0, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dt3, err := storage.BuildDataTable(g3, 0, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameResults(t, "delete", query.NewAPEXEvaluator(idx, dt),
+				query.NewAPEXEvaluator(shadow, dt3), qs)
+		})
+	}
+}

@@ -1,0 +1,45 @@
+package xmlgraph
+
+// Clone returns a deep copy of the graph: mutating the copy (AppendFragment,
+// RemoveSubtree) never touches the original, and vice versa. This is the
+// substrate of the index facade's shadow-build publication — a data update
+// mutates a private clone while readers keep serving from the original, and
+// the finished clone is swapped in atomically.
+//
+// The copy is deep where mutation can reach (node table, adjacency slices,
+// label/ID registries, tombstones) because RemoveSubtree compacts half-edge
+// slices in place and AppendFragment appends to them; sharing backing arrays
+// with a live reader would race.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		nodes:       append([]Node(nil), g.nodes...),
+		out:         make([][]HalfEdge, len(g.out)),
+		in:          make([][]HalfEdge, len(g.in)),
+		root:        g.root,
+		edgeCount:   g.edgeCount,
+		labels:      make(map[string]int, len(g.labels)),
+		idrefLabels: make(map[string]bool, len(g.idrefLabels)),
+		ids:         make(map[string]NID, len(g.ids)),
+		removed:     append([]bool(nil), g.removed...),
+	}
+	for i := range g.out {
+		if len(g.out[i]) > 0 {
+			c.out[i] = append([]HalfEdge(nil), g.out[i]...)
+		}
+	}
+	for i := range g.in {
+		if len(g.in[i]) > 0 {
+			c.in[i] = append([]HalfEdge(nil), g.in[i]...)
+		}
+	}
+	for l, n := range g.labels {
+		c.labels[l] = n
+	}
+	for l := range g.idrefLabels {
+		c.idrefLabels[l] = true
+	}
+	for v, n := range g.ids {
+		c.ids[v] = n
+	}
+	return c
+}

@@ -1,0 +1,111 @@
+package xmlgraph
+
+import (
+	"strings"
+	"testing"
+)
+
+const cloneDoc = `<lib>
+  <shelf id="s1"><book id="b1" loc="s1"><title>A</title></book></shelf>
+  <shelf id="s2"><book id="b2" loc="s2"><title>B</title></book></shelf>
+</lib>`
+
+func buildCloneDoc(t *testing.T) *Graph {
+	t.Helper()
+	g, err := Build(strings.NewReader(cloneDoc), &BuildOptions{IDREFAttrs: []string{"loc"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func graphsEqual(a, b *Graph) bool {
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() || a.Root() != b.Root() {
+		return false
+	}
+	for i := 0; i < a.NumNodes(); i++ {
+		id := NID(i)
+		if a.Node(id) != b.Node(id) || a.Removed(id) != b.Removed(id) {
+			return false
+		}
+		ao, bo := a.Out(id), b.Out(id)
+		if len(ao) != len(bo) {
+			return false
+		}
+		for j := range ao {
+			if ao[j] != bo[j] {
+				return false
+			}
+		}
+	}
+	as, bs := a.Labels(), b.Labels()
+	if len(as) != len(bs) {
+		return false
+	}
+	for i := range as {
+		if as[i] != bs[i] || a.LabelCount(as[i]) != b.LabelCount(bs[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := buildCloneDoc(t)
+	c := g.Clone()
+	if !graphsEqual(g, c) {
+		t.Fatal("clone differs from original before any mutation")
+	}
+
+	// Mutating the clone must leave the original untouched.
+	before := g.Dump(0)
+	if _, err := c.AppendFragment(c.Root(), `<shelf id="s3"><book id="b3"><title>C</title></book></shelf>`, nil); err != nil {
+		t.Fatal(err)
+	}
+	var victim NID = NullNID
+	for _, he := range c.Out(c.Root()) {
+		if he.Label == "shelf" {
+			victim = he.To
+			break
+		}
+	}
+	if victim == NullNID {
+		t.Fatal("no shelf to remove")
+	}
+	if err := c.RemoveSubtree(victim); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Dump(0); got != before {
+		t.Fatalf("original mutated through clone:\nbefore:\n%s\nafter:\n%s", before, got)
+	}
+	if g.NumEdges() == c.NumEdges() && g.NumNodes() == c.NumNodes() {
+		t.Fatal("clone mutation had no effect on the clone")
+	}
+
+	// And the original stays independently mutable too.
+	if _, err := g.AppendFragment(g.Root(), `<annex/>`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.LabelCount("annex") != 0 {
+		t.Fatal("original mutation leaked into the clone")
+	}
+}
+
+func TestCloneIDRegistryIndependent(t *testing.T) {
+	g := buildCloneDoc(t)
+	c := g.Clone()
+	// Removing a subtree unregisters its IDs only on the mutated graph.
+	var shelf NID = NullNID
+	for _, he := range c.Out(c.Root()) {
+		if he.Label == "shelf" {
+			shelf = he.To
+			break
+		}
+	}
+	if err := c.RemoveSubtree(shelf); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.LookupID("b1"); !ok {
+		t.Fatal("original lost an ID after clone mutation")
+	}
+}

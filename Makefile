@@ -2,7 +2,7 @@
 # and `lint` mirror the GitHub Actions jobs in .github/workflows/ci.yml
 # exactly, so a green local run means a green CI run.
 
-.PHONY: all build test ci race lint cover cover-check bench bench-concurrent bench-join bench-adapt experiments fuzz fuzz-smoke clean
+.PHONY: all build test ci race lint cover cover-check bench bench-concurrent bench-join bench-adapt bench-serve bench-check serve experiments fuzz fuzz-smoke clean
 
 # Minimum total statement coverage enforced by `make cover-check` and the
 # CI coverage job. Ratchet upward when coverage rises; never lower it.
@@ -74,19 +74,43 @@ bench-adapt:
 	go test -race -run 'TestPublicationAtomicity|TestReaderNotBlockedDuringShadowRebuild' -v .
 	go run ./cmd/apexbench -experiments adapt-stall -adapt-json BENCH_ADAPT.json
 
+# The serving-layer experiment: concurrent HTTP clients replay a bounded
+# workload against apexd's handler while an adapt publishes mid-run,
+# recorded to BENCH_SERVE.json. The server e2e tests run first.
+bench-serve:
+	go test -run 'TestServe|TestQueryRoundTrip|TestAdaptInvalidates' -v ./internal/server/ ./internal/bench/
+	go run ./cmd/apexbench -experiments serve -serve-json BENCH_SERVE.json
+
+# The benchmark regression gate the CI bench job enforces: regenerate every
+# BENCH_*.json artifact, then fail if any headline metric (speedups, cache
+# hit rate, refreeze fraction — machine-portable ratios, not wall times)
+# regressed more than 20% against the checked-in bench/baselines/.
+bench-check:
+	mkdir -p bench-artifacts
+	go run ./cmd/apexbench -experiments concurrency,adapt-stall,join-kernel,serve \
+		-concurrency-json bench-artifacts/BENCH_CONCURRENCY.json \
+		-adapt-json bench-artifacts/BENCH_ADAPT.json \
+		-join-json bench-artifacts/BENCH_JOIN.json \
+		-serve-json bench-artifacts/BENCH_SERVE.json
+	go run ./cmd/benchcheck -baselines bench/baselines -current bench-artifacts
+
+# Run the query-serving daemon over a synthetic dataset (Ctrl-C drains).
+serve:
+	go run ./cmd/apexd -dataset shakes_11.xml -access-log -
+
 # The full experiment suite at laptop scale; see -paper for the 2002 sizes.
 experiments:
 	go run ./cmd/apexbench
 
+# The fuzz-target list lives in scripts/fuzz.sh; every consumer (these two
+# targets, the CI fuzz job, the nightly workflow) shares it.
 fuzz:
-	go test -fuzz FuzzParse -fuzztime 30s ./internal/query/
-	go test -fuzz FuzzBuild -fuzztime 30s ./internal/xmlgraph/
+	./scripts/fuzz.sh 30s
 
 # What the CI `fuzz` job smokes on every PR: a short randomized run of each
 # target on top of the checked-in corpora under testdata/fuzz/.
 fuzz-smoke:
-	go test -run '^$$' -fuzz FuzzParse -fuzztime 10s ./internal/query/
-	go test -run '^$$' -fuzz FuzzBuild -fuzztime 10s ./internal/xmlgraph/
+	./scripts/fuzz.sh 10s
 
 clean:
 	go clean ./...

@@ -27,12 +27,14 @@ package apex
 
 import (
 	"bufio"
+	"context"
 	"encoding/gob"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"apex/internal/core"
 	"apex/internal/metrics"
@@ -132,6 +134,14 @@ type Index struct {
 	idx  *core.APEX
 	dt   *storage.DataTable
 	eval *query.APEXEvaluator
+
+	// gen is the published-snapshot generation: 0 for the freshly built (or
+	// loaded) index, bumped by every publication. Because published
+	// structures are immutable, the generation is a complete identity for
+	// the serving state — two reads seeing the same generation saw the very
+	// same index, extents, and data table, which is what lets a result cache
+	// key on it without any coherence protocol (see QueryGen).
+	gen atomic.Uint64
 
 	opts Options
 
@@ -333,8 +343,16 @@ func (ix *Index) publish(idx *core.APEX, dt *storage.DataTable) {
 	ix.mu.Lock()
 	ev.CarryCostFrom(ix.eval)
 	ix.idx, ix.dt, ix.eval = idx, dt, ev
+	ix.gen.Add(1)
 	ix.mu.Unlock()
 }
+
+// Generation returns the generation of the currently published snapshot: 0
+// for a freshly built index, +1 per Adapt/AdaptTo/Insert/Delete publication.
+// Results cached under an older generation are never results of the current
+// index — comparing generations is the whole invalidation protocol a
+// snapshot-keyed cache needs.
+func (ix *Index) Generation() uint64 { return ix.gen.Load() }
 
 func (ix *Index) hook(stage string) {
 	if ix.shadowHook != nil {
@@ -384,18 +402,42 @@ func (r *Result) Len() int { return len(r.Nodes) }
 // maintenance rebuilds off to the side — a query blocks only for the
 // pointer swap that publishes an Adapt/Insert/Delete.
 func (ix *Index) Query(q string) (*Result, error) {
+	res, _, err := ix.queryGen(nil, q)
+	return res, err
+}
+
+// QueryContext is Query under a cancellation context: the evaluation observes
+// ctx at its internal checkpoints (between join positions and rewriting legs)
+// and returns ctx.Err() once the context is done — the serving layer's
+// per-request timeout, threaded all the way into the join loop.
+func (ix *Index) QueryContext(ctx context.Context, q string) (*Result, error) {
+	res, _, err := ix.queryGen(ctx, q)
+	return res, err
+}
+
+// QueryGen is QueryContext plus the generation of the published snapshot the
+// query actually evaluated against. The generation is read under the same
+// read lock as the evaluation snapshot, so a result can never be attributed
+// to a publication it did not see — the property a snapshot-keyed result
+// cache relies on when it stores the result under the returned generation.
+func (ix *Index) QueryGen(ctx context.Context, q string) (*Result, uint64, error) {
+	return ix.queryGen(ctx, q)
+}
+
+func (ix *Index) queryGen(ctx context.Context, q string) (*Result, uint64, error) {
 	parsed, err := query.Parse(q)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	nids, err := ix.eval.Evaluate(parsed)
+	gen := ix.gen.Load()
+	nids, err := ix.eval.EvaluateContext(ctx, parsed)
 	if err != nil {
-		return nil, err
+		return nil, gen, err
 	}
 	ix.logQuery(parsed)
-	return ix.materialize(nids), nil
+	return ix.materialize(nids), gen, nil
 }
 
 // Explain evaluates q exactly like Query and additionally returns the
@@ -404,18 +446,40 @@ func (ix *Index) Query(q string) (*Result, error) {
 // toward QueryCost and the workload log just like a plain Query; render the
 // trace with its Text or JSON methods.
 func (ix *Index) Explain(q string) (*Result, *query.Trace, error) {
+	return ix.ExplainContext(nil, q)
+}
+
+// ExplainContext is Explain under a cancellation context, with
+// QueryContext's checkpoint semantics.
+func (ix *Index) ExplainContext(ctx context.Context, q string) (*Result, *query.Trace, error) {
 	parsed, err := query.Parse(q)
 	if err != nil {
 		return nil, nil, err
 	}
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	nids, tr, err := ix.eval.EvaluateTrace(parsed)
+	nids, tr, err := ix.eval.EvaluateTraceContext(ctx, parsed)
 	if err != nil {
 		return nil, nil, err
 	}
 	ix.logQuery(parsed)
 	return ix.materialize(nids), tr, nil
+}
+
+// RecordWorkload logs q in the workload log exactly as a served Query would,
+// without evaluating it. The serving layer's result cache calls it on cache
+// hits: a hit bypasses evaluation, but the query is still workload — exactly
+// the frequent-path evidence the next Adapt should mine. Parse errors are
+// returned; non-minable query classes are a silent no-op, as in Query.
+func (ix *Index) RecordWorkload(q string) error {
+	parsed, err := query.Parse(q)
+	if err != nil {
+		return err
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	ix.logQuery(parsed)
+	return nil
 }
 
 // logQuery records a path query in the workload log for Adapt, evicting the

@@ -1,0 +1,101 @@
+package apex
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestGenerationBumpsPerPublication(t *testing.T) {
+	ix := openMovie(t)
+	if g := ix.Generation(); g != 0 {
+		t.Fatalf("fresh index generation = %d, want 0", g)
+	}
+	if _, err := ix.Query("//actor/name"); err != nil {
+		t.Fatal(err)
+	}
+	if g := ix.Generation(); g != 0 {
+		t.Fatalf("generation moved on a read: %d", g)
+	}
+	if err := ix.Adapt(0.001); err != nil {
+		t.Fatal(err)
+	}
+	if g := ix.Generation(); g != 1 {
+		t.Fatalf("generation after Adapt = %d, want 1", g)
+	}
+	if err := ix.Insert("/", `<movie id="m9"><title>Nine</title></movie>`); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Delete("//movie/title"); err != nil {
+		t.Fatal(err)
+	}
+	if g := ix.Generation(); g != 3 {
+		t.Fatalf("generation after Insert+Delete = %d, want 3", g)
+	}
+}
+
+func TestQueryGenConsistentWithResult(t *testing.T) {
+	ix := openMovie(t)
+	res, gen, err := ix.QueryGen(context.Background(), "//actor/name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 0 || res.Len() != 2 {
+		t.Fatalf("gen=%d len=%d, want generation-0 2-node result", gen, res.Len())
+	}
+	if err := ix.AdaptTo([]string{"//actor/name"}, 0.001); err != nil {
+		t.Fatal(err)
+	}
+	if _, gen, err = ix.QueryGen(nil, "//actor/name"); err != nil || gen != 1 {
+		t.Fatalf("gen=%d err=%v, want generation 1", gen, err)
+	}
+}
+
+func TestQueryContextCanceled(t *testing.T) {
+	ix := openMovie(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ix.QueryContext(ctx, "//actor/name"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if _, _, err := ix.ExplainContext(ctx, "//actor/name"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("explain err = %v, want context.Canceled", err)
+	}
+	// The canceled evaluation must not poison later queries.
+	res, err := ix.Query("//actor/name")
+	if err != nil || res.Len() != 2 {
+		t.Fatalf("follow-up query: len=%d err=%v", res.Len(), err)
+	}
+}
+
+func TestRecordWorkloadFeedsAdapt(t *testing.T) {
+	ix := openMovie(t)
+	if err := ix.RecordWorkload("//actor/name"); err != nil {
+		t.Fatal(err)
+	}
+	if n := ix.Stats().LoggedQueries; n != 1 {
+		t.Fatalf("logged = %d, want 1", n)
+	}
+	// Non-minable classes are a silent no-op; parse errors are not.
+	if err := ix.RecordWorkload("//a//b"); err != nil {
+		t.Fatal(err)
+	}
+	if n := ix.Stats().LoggedQueries; n != 1 {
+		t.Fatalf("QTYPE2 was logged: %d", n)
+	}
+	if err := ix.RecordWorkload("///"); err == nil {
+		t.Fatal("parse error not surfaced")
+	}
+	if err := ix.Adapt(0.001); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range ix.Stats().RequiredPaths {
+		if p == "actor.name" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("recorded workload not mined: %v", ix.Stats().RequiredPaths)
+	}
+}

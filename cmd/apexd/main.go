@@ -1,0 +1,28 @@
+// Command apexd serves an APEX index over HTTP: POST /query and /explain on
+// the hot path (behind a snapshot-keyed result cache and bounded admission),
+// POST /adapt to restructure the index online, GET /stats and /metrics for
+// observability, and /debug/pprof. SIGINT/SIGTERM drains gracefully.
+//
+// Usage:
+//
+//	apexd -in doc.xml [-addr 127.0.0.1:8080]
+//	apexd -index saved.apex
+//	apexd -dataset shakes_11.xml [-scale 0.05]
+//
+// Exactly one of -index, -in, -dataset selects the serving index; see
+// -help for cache, admission, timeout, and access-log knobs.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"apex/internal/cli"
+)
+
+func main() {
+	if err := cli.RunServe(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "apexd:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,25 @@
+// Command benchcheck is the benchmark regression gate: it compares freshly
+// generated BENCH_*.json artifacts against the baselines checked in under
+// bench/baselines/ and exits non-zero when an artifact's headline metric
+// regressed past the tolerance (default 20%). Headline metrics are ratios
+// and fractions (speedups, hit rates), not absolute wall times, so the
+// baselines transfer across machines.
+//
+// Usage:
+//
+//	benchcheck [-baselines bench/baselines] [-current .] [-tolerance 0.20]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"apex/internal/cli"
+)
+
+func main() {
+	if err := cli.RunBenchCheck(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,212 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The benchmark regression gate. Each benchmark artifact (the BENCH_*.json
+// files apexbench writes) has one headline metric chosen for cross-machine
+// stability: ratios and fractions rather than absolute wall times, so a
+// baseline recorded on one box is meaningful on another. The gate compares a
+// current artifact against the checked-in baseline and fails on a
+// worse-than-tolerance move in the bad direction; moves in the good
+// direction only raise a note (refresh the baseline to lock them in).
+
+// headlineSpec describes how to extract one artifact's headline metric.
+type headlineSpec struct {
+	// Metric names the extracted value in reports.
+	Metric string
+	// HigherIsBetter orients the regression test.
+	HigherIsBetter bool
+	// Extract pulls the metric out of the decoded artifact.
+	Extract func(data []byte) (float64, error)
+}
+
+// headlines maps an artifact's base filename to its headline metric.
+var headlines = map[string]headlineSpec{
+	"BENCH_CONCURRENCY.json": {
+		Metric:         "max read-only speedup",
+		HigherIsBetter: true,
+		Extract: func(data []byte) (float64, error) {
+			var rep ConcurrencyReport
+			if err := json.Unmarshal(data, &rep); err != nil {
+				return 0, err
+			}
+			best := 0.0
+			for _, r := range rep.Rows {
+				if r.Scenario == "read-only" && r.Speedup > best {
+					best = r.Speedup
+				}
+			}
+			if best == 0 {
+				return 0, fmt.Errorf("no read-only rows")
+			}
+			return best, nil
+		},
+	},
+	"BENCH_ADAPT.json": {
+		Metric:         "refreeze fraction",
+		HigherIsBetter: false,
+		Extract: func(data []byte) (float64, error) {
+			var rep AdaptStallReport
+			if err := json.Unmarshal(data, &rep); err != nil {
+				return 0, err
+			}
+			if rep.ConsideredExtents == 0 {
+				return 0, fmt.Errorf("no extents considered")
+			}
+			return rep.RefreezeFraction, nil
+		},
+	},
+	"BENCH_JOIN.json": {
+		Metric:         "geomean merge-vs-hash speedup",
+		HigherIsBetter: true,
+		Extract: func(data []byte) (float64, error) {
+			var rep JoinKernelReport
+			if err := json.Unmarshal(data, &rep); err != nil {
+				return 0, err
+			}
+			logSum, n := 0.0, 0
+			for _, r := range rep.Rows {
+				if r.Speedup > 0 {
+					logSum += math.Log(r.Speedup)
+					n++
+				}
+			}
+			if n == 0 {
+				return 0, fmt.Errorf("no speedup rows")
+			}
+			return math.Exp(logSum / float64(n)), nil
+		},
+	},
+	"BENCH_SERVE.json": {
+		Metric:         "cache hit rate",
+		HigherIsBetter: true,
+		Extract: func(data []byte) (float64, error) {
+			var rep ServeReport
+			if err := json.Unmarshal(data, &rep); err != nil {
+				return 0, err
+			}
+			if rep.Requests == 0 {
+				return 0, fmt.Errorf("no requests recorded")
+			}
+			return rep.HitRate, nil
+		},
+	},
+}
+
+// Comparison is one artifact's baseline-versus-current verdict.
+type Comparison struct {
+	Artifact       string  `json:"artifact"`
+	Metric         string  `json:"metric"`
+	HigherIsBetter bool    `json:"higher_is_better"`
+	Baseline       float64 `json:"baseline"`
+	Current        float64 `json:"current"`
+	// Change is the relative move in the metric's bad direction: positive
+	// values are regressions, negative improvements.
+	Change    float64 `json:"change"`
+	Regressed bool    `json:"regressed"`
+}
+
+func (c Comparison) String() string {
+	verdict := "ok"
+	if c.Regressed {
+		verdict = "REGRESSED"
+	} else if c.Change < 0 {
+		verdict = "improved"
+	}
+	return fmt.Sprintf("%-22s %-28s baseline=%.4f current=%.4f change=%+.1f%% %s",
+		c.Artifact, c.Metric, c.Baseline, c.Current, 100*c.Change, verdict)
+}
+
+// CompareArtifact judges one artifact: tolerance is the allowed relative
+// regression (0.20 = one fifth worse than baseline fails).
+func CompareArtifact(name string, baseline, current []byte, tolerance float64) (Comparison, error) {
+	spec, ok := headlines[name]
+	if !ok {
+		known := make([]string, 0, len(headlines))
+		for k := range headlines {
+			known = append(known, k)
+		}
+		sort.Strings(known)
+		return Comparison{}, fmt.Errorf("bench: no headline metric for %q (known: %s)", name, strings.Join(known, ", "))
+	}
+	base, err := spec.Extract(baseline)
+	if err != nil {
+		return Comparison{}, fmt.Errorf("bench: baseline %s: %w", name, err)
+	}
+	cur, err := spec.Extract(current)
+	if err != nil {
+		return Comparison{}, fmt.Errorf("bench: current %s: %w", name, err)
+	}
+	if base <= 0 {
+		return Comparison{}, fmt.Errorf("bench: baseline %s: non-positive headline %g", name, base)
+	}
+	c := Comparison{
+		Artifact:       name,
+		Metric:         spec.Metric,
+		HigherIsBetter: spec.HigherIsBetter,
+		Baseline:       base,
+		Current:        cur,
+	}
+	if spec.HigherIsBetter {
+		c.Change = (base - cur) / base
+	} else {
+		c.Change = (cur - base) / base
+	}
+	c.Regressed = c.Change > tolerance
+	return c, nil
+}
+
+// CompareDirs judges every baseline artifact in baselineDir against its
+// counterpart in currentDir. A baseline whose current artifact is missing is
+// a hard error — a benchmark silently dropped from the run must fail the
+// gate, not pass it — and an empty baseline directory is equally an error.
+func CompareDirs(baselineDir, currentDir string, tolerance float64) ([]Comparison, error) {
+	entries, err := os.ReadDir(baselineDir)
+	if err != nil {
+		return nil, err
+	}
+	var comps []Comparison
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		baseline, err := os.ReadFile(filepath.Join(baselineDir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		current, err := os.ReadFile(filepath.Join(currentDir, e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("bench: baseline %s has no current artifact in %s (benchmark dropped from the run?): %w",
+				e.Name(), currentDir, err)
+		}
+		c, err := CompareArtifact(e.Name(), baseline, current, tolerance)
+		if err != nil {
+			return nil, err
+		}
+		comps = append(comps, c)
+	}
+	if len(comps) == 0 {
+		return nil, fmt.Errorf("bench: no baseline artifacts in %s", baselineDir)
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i].Artifact < comps[j].Artifact })
+	return comps, nil
+}
+
+// Regressions filters the failed comparisons.
+func Regressions(comps []Comparison) []Comparison {
+	var bad []Comparison
+	for _, c := range comps {
+		if c.Regressed {
+			bad = append(bad, c)
+		}
+	}
+	return bad
+}

@@ -1,0 +1,169 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func serveArtifact(t *testing.T, hitRate float64) []byte {
+	t.Helper()
+	data, err := json.Marshal(ServeReport{Requests: 100, HitRate: hitRate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func adaptArtifact(t *testing.T, refreeze float64) []byte {
+	t.Helper()
+	data, err := json.Marshal(AdaptStallReport{ConsideredExtents: 10, RefreezeFraction: refreeze})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestCompareHigherIsBetter(t *testing.T) {
+	base := serveArtifact(t, 0.90)
+	for _, tc := range []struct {
+		current   float64
+		regressed bool
+	}{
+		{0.90, false}, // unchanged
+		{0.95, false}, // improved
+		{0.75, false}, // worse but inside 20%
+		{0.70, true},  // past tolerance
+	} {
+		c, err := CompareArtifact("BENCH_SERVE.json", base, serveArtifact(t, tc.current), 0.20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Regressed != tc.regressed {
+			t.Fatalf("current %.2f: regressed=%v, want %v (%+v)", tc.current, c.Regressed, tc.regressed, c)
+		}
+	}
+}
+
+func TestCompareLowerIsBetter(t *testing.T) {
+	base := adaptArtifact(t, 0.50)
+	// A lower refreeze fraction is an improvement, a higher one regresses.
+	c, err := CompareArtifact("BENCH_ADAPT.json", base, adaptArtifact(t, 0.30), 0.20)
+	if err != nil || c.Regressed {
+		t.Fatalf("improvement flagged: %+v err=%v", c, err)
+	}
+	if c.Change >= 0 {
+		t.Fatalf("improvement should have negative change: %+v", c)
+	}
+	c, err = CompareArtifact("BENCH_ADAPT.json", base, adaptArtifact(t, 0.65), 0.20)
+	if err != nil || !c.Regressed {
+		t.Fatalf("30%% worse refreeze not flagged: %+v err=%v", c, err)
+	}
+}
+
+func TestCompareRejectsUnknownAndMalformed(t *testing.T) {
+	if _, err := CompareArtifact("BENCH_NOPE.json", nil, nil, 0.2); err == nil || !strings.Contains(err.Error(), "no headline metric") {
+		t.Fatalf("unknown artifact: err = %v", err)
+	}
+	if _, err := CompareArtifact("BENCH_SERVE.json", []byte("{"), serveArtifact(t, 0.9), 0.2); err == nil {
+		t.Fatal("malformed baseline accepted")
+	}
+	empty, _ := json.Marshal(ServeReport{})
+	if _, err := CompareArtifact("BENCH_SERVE.json", empty, serveArtifact(t, 0.9), 0.2); err == nil {
+		t.Fatal("baseline with no requests accepted")
+	}
+}
+
+func TestCompareJoinGeomean(t *testing.T) {
+	mk := func(speedups ...float64) []byte {
+		rep := JoinKernelReport{}
+		for _, s := range speedups {
+			rep.Rows = append(rep.Rows, JoinKernelRow{Speedup: s})
+		}
+		data, _ := json.Marshal(rep)
+		return data
+	}
+	// geomean(2, 8) = 4; geomean(2, 2) = 2 → a 50% regression.
+	c, err := CompareArtifact("BENCH_JOIN.json", mk(2, 8), mk(2, 2), 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Regressed || c.Baseline != 4 || c.Current != 2 {
+		t.Fatalf("geomean comparison = %+v", c)
+	}
+}
+
+func TestCompareConcurrencyHeadline(t *testing.T) {
+	mk := func(rows ...ConcurrencyRow) []byte {
+		data, _ := json.Marshal(ConcurrencyReport{Rows: rows})
+		return data
+	}
+	base := mk(
+		ConcurrencyRow{Scenario: "read-only", Speedup: 1.0},
+		ConcurrencyRow{Scenario: "read-only", Speedup: 2.4},
+		ConcurrencyRow{Scenario: "read+adapt", Speedup: 9.9}, // ignored
+	)
+	c, err := CompareArtifact("BENCH_CONCURRENCY.json", base, base, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Baseline != 2.4 {
+		t.Fatalf("headline = %g, want the max read-only speedup 2.4", c.Baseline)
+	}
+}
+
+func TestCompareDirs(t *testing.T) {
+	baseDir, curDir := t.TempDir(), t.TempDir()
+	write := func(dir, name string, data []byte) {
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(baseDir, "BENCH_SERVE.json", serveArtifact(t, 0.90))
+	write(baseDir, "BENCH_ADAPT.json", adaptArtifact(t, 0.50))
+	write(curDir, "BENCH_SERVE.json", serveArtifact(t, 0.60))
+
+	// A baseline without a current artifact is a dropped benchmark: hard error.
+	if _, err := CompareDirs(baseDir, curDir, 0.20); err == nil || !strings.Contains(err.Error(), "dropped") {
+		t.Fatalf("missing current artifact: err = %v", err)
+	}
+
+	write(curDir, "BENCH_ADAPT.json", adaptArtifact(t, 0.45))
+	comps, err := CompareDirs(baseDir, curDir, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 2 || comps[0].Artifact != "BENCH_ADAPT.json" {
+		t.Fatalf("comps = %+v", comps)
+	}
+	bad := Regressions(comps)
+	if len(bad) != 1 || bad[0].Artifact != "BENCH_SERVE.json" {
+		t.Fatalf("regressions = %+v", bad)
+	}
+
+	// An empty baseline directory cannot pass the gate.
+	if _, err := CompareDirs(t.TempDir(), curDir, 0.20); err == nil {
+		t.Fatal("empty baseline dir accepted")
+	}
+}
+
+// TestCheckedInBaselinesAreValid guards the real artifacts under
+// bench/baselines/: every file must have an extractable headline, so a
+// malformed check-in fails here rather than in CI's gate step.
+func TestCheckedInBaselinesAreValid(t *testing.T) {
+	dir := filepath.Join("..", "..", "bench", "baselines")
+	comps, err := CompareDirs(dir, dir, 0.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) < 4 {
+		t.Fatalf("only %d baseline artifacts, want the four BENCH_* files", len(comps))
+	}
+	for _, c := range comps {
+		if c.Regressed {
+			t.Fatalf("self-comparison regressed: %+v", c)
+		}
+	}
+}

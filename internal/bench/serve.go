@@ -1,0 +1,205 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"apex"
+	"apex/internal/server"
+)
+
+// ServeReport measures the serving layer end to end: concurrent clients
+// replay a bounded query set over real HTTP against apexd's handler while
+// one POST /adapt restructures the index mid-run. The headline number is the
+// cache hit rate — a bounded replayed workload should be absorbed almost
+// entirely by the snapshot-keyed result cache, paying evaluation only for
+// first sights and for the re-misses right after the publication — plus the
+// client-observed hit/miss latency split.
+type ServeReport struct {
+	Dataset  string `json:"dataset"`
+	Clients  int    `json:"clients"`
+	Rounds   int    `json:"rounds"`
+	Distinct int    `json:"distinct_queries"`
+
+	Requests    int64   `json:"requests"`
+	Errors      int64   `json:"errors"`
+	CacheHits   int64   `json:"cache_hits"`
+	CacheMisses int64   `json:"cache_misses"`
+	HitRate     float64 `json:"hit_rate"`
+	Invalidated int64   `json:"invalidated"`
+	Generation  uint64  `json:"final_generation"`
+
+	P50     time.Duration `json:"p50_ns"`
+	P99     time.Duration `json:"p99_ns"`
+	HitP50  time.Duration `json:"hit_p50_ns"`
+	MissP50 time.Duration `json:"miss_p50_ns"`
+}
+
+// Serve runs the serving-layer experiment on one dataset: clients goroutines
+// each replay the same distinct QTYPE1 queries for rounds passes; halfway
+// through, one client issues POST /adapt, bumping the generation and
+// invalidating the cache, after which every distinct query misses exactly
+// once more. Everything travels over a real HTTP listener, so the measured
+// latencies include the serving stack, not just evaluation.
+func (e *Env) Serve(name string, clients, rounds, distinct int) (ServeReport, error) {
+	s, err := e.site(name)
+	if err != nil {
+		return ServeReport{}, err
+	}
+	ix, err := apex.FromGraph(s.ds.Graph, &apex.Options{})
+	if err != nil {
+		return ServeReport{}, err
+	}
+	srv := server.New(ix, server.Config{MaxInflight: 4 * clients})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	queries := make([]string, 0, distinct)
+	for _, q := range s.q1 {
+		if len(queries) == cap(queries) {
+			break
+		}
+		queries = append(queries, q.String())
+	}
+	if len(queries) == 0 {
+		return ServeReport{}, fmt.Errorf("bench: serve: dataset %s yielded no queries", name)
+	}
+
+	type sample struct {
+		wall   time.Duration
+		cached bool
+	}
+	var (
+		mu          sync.Mutex
+		samples     []sample
+		errs        int64
+		invalidated int64
+	)
+	adaptAfter := rounds / 2
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := ts.Client()
+			local := make([]sample, 0, rounds*len(queries))
+			var localErrs int64
+			for r := 0; r < rounds; r++ {
+				if c == 0 && r == adaptAfter {
+					inv, err := postAdapt(client, ts.URL, queries)
+					mu.Lock()
+					if err != nil {
+						errs++
+					} else {
+						invalidated = inv
+					}
+					mu.Unlock()
+				}
+				for _, q := range queries {
+					body, _ := json.Marshal(map[string]string{"query": q})
+					start := time.Now()
+					resp, err := client.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+					if err != nil {
+						localErrs++
+						continue
+					}
+					var qr struct {
+						Cached bool `json:"cached"`
+					}
+					decErr := json.NewDecoder(resp.Body).Decode(&qr)
+					resp.Body.Close()
+					if decErr != nil || resp.StatusCode != http.StatusOK {
+						localErrs++
+						continue
+					}
+					local = append(local, sample{wall: time.Since(start), cached: qr.Cached})
+				}
+			}
+			mu.Lock()
+			samples = append(samples, local...)
+			errs += localErrs
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+
+	st := srv.Cache().Stats()
+	rep := ServeReport{
+		Dataset:     name,
+		Clients:     clients,
+		Rounds:      rounds,
+		Distinct:    len(queries),
+		Requests:    int64(len(samples)) + errs,
+		Errors:      errs,
+		CacheHits:   st.Hits,
+		CacheMisses: st.Misses,
+		Invalidated: invalidated,
+		Generation:  ix.Generation(),
+	}
+	if total := st.Hits + st.Misses; total > 0 {
+		rep.HitRate = float64(st.Hits) / float64(total)
+	}
+	var all, hits, misses []time.Duration
+	for _, s := range samples {
+		all = append(all, s.wall)
+		if s.cached {
+			hits = append(hits, s.wall)
+		} else {
+			misses = append(misses, s.wall)
+		}
+	}
+	rep.P50 = percentileDuration(all, 0.50)
+	rep.P99 = percentileDuration(all, 0.99)
+	rep.HitP50 = percentileDuration(hits, 0.50)
+	rep.MissP50 = percentileDuration(misses, 0.50)
+	return rep, nil
+}
+
+// postAdapt issues the mid-run restructuring and returns how many cache
+// entries the publication invalidated.
+func postAdapt(client *http.Client, base string, queries []string) (int64, error) {
+	body, _ := json.Marshal(map[string]any{"queries": queries, "min_sup": 0.01})
+	resp, err := client.Post(base+"/adapt", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var ar struct {
+		Invalidated int64 `json:"invalidated"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("bench: serve: adapt status %d", resp.StatusCode)
+	}
+	return ar.Invalidated, nil
+}
+
+// RenderServe formats the serving report.
+func RenderServe(rep ServeReport) string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "serving layer (%s): %d clients x %d rounds x %d distinct queries, adapt mid-run\n",
+		rep.Dataset, rep.Clients, rep.Rounds, rep.Distinct)
+	fmt.Fprintf(&b, "  requests=%d errors=%d generation=%d invalidated=%d\n",
+		rep.Requests, rep.Errors, rep.Generation, rep.Invalidated)
+	fmt.Fprintf(&b, "  cache: hits=%d misses=%d hit-rate=%.1f%%\n",
+		rep.CacheHits, rep.CacheMisses, 100*rep.HitRate)
+	fmt.Fprintf(&b, "  latency: p50=%v p99=%v  hit-p50=%v miss-p50=%v\n",
+		rep.P50, rep.P99, rep.HitP50, rep.MissP50)
+	return b.String()
+}
+
+// WriteServeJSON writes the report as indented JSON (the BENCH_SERVE.json
+// artifact the regression gate reads).
+func WriteServeJSON(w io.Writer, rep ServeReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestServeShape runs a scaled-down serving experiment and checks the
+// acceptance shape: a bounded replayed workload is mostly absorbed by the
+// cache (hit rate well past one half), the mid-run adapt publishes a new
+// generation and invalidates, and no request errors.
+func TestServeShape(t *testing.T) {
+	env := NewEnv(DefaultConfig())
+	rep, err := env.Serve("Flix01.xml", 2, 6, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d request errors", rep.Errors)
+	}
+	if want := int64(2 * 6 * rep.Distinct); rep.Requests != want {
+		t.Fatalf("requests = %d, want %d", rep.Requests, want)
+	}
+	if rep.HitRate < 0.5 {
+		t.Fatalf("hit rate = %.2f, want >= 0.5 (hits=%d misses=%d)", rep.HitRate, rep.CacheHits, rep.CacheMisses)
+	}
+	if rep.Generation != 1 || rep.Invalidated == 0 {
+		t.Fatalf("generation=%d invalidated=%d, want a mid-run publication with invalidations", rep.Generation, rep.Invalidated)
+	}
+	if rep.P50 <= 0 || rep.P99 < rep.P50 {
+		t.Fatalf("latency percentiles out of order: p50=%v p99=%v", rep.P50, rep.P99)
+	}
+
+	out := RenderServe(rep)
+	if !strings.Contains(out, "hit-rate") {
+		t.Fatalf("render:\n%s", out)
+	}
+	var buf bytes.Buffer
+	if err := WriteServeJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var back ServeReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.HitRate != rep.HitRate || back.Requests != rep.Requests {
+		t.Fatalf("JSON round-trip mismatch: %+v vs %+v", back, rep)
+	}
+}

@@ -1,0 +1,36 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"apex/internal/bench"
+)
+
+// RunBenchCheck implements benchcheck: compare current benchmark artifacts
+// against the checked-in baselines and fail on headline-metric regressions.
+func RunBenchCheck(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchcheck", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		baselineDir = fs.String("baselines", "bench/baselines", "directory of baseline BENCH_*.json artifacts")
+		currentDir  = fs.String("current", ".", "directory of freshly generated BENCH_*.json artifacts")
+		tolerance   = fs.Float64("tolerance", 0.20, "allowed relative regression of a headline metric")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	comps, err := bench.CompareDirs(*baselineDir, *currentDir, *tolerance)
+	if err != nil {
+		return err
+	}
+	for _, c := range comps {
+		fprintf(stdout, "%s\n", c)
+	}
+	if bad := bench.Regressions(comps); len(bad) > 0 {
+		return fmt.Errorf("benchcheck: %d of %d headline metrics regressed past %.0f%%", len(bad), len(comps), 100**tolerance)
+	}
+	fprintf(stdout, "benchcheck: %d headline metrics within %.0f%% of baseline\n", len(comps), 100**tolerance)
+	return nil
+}

@@ -1,0 +1,51 @@
+package cli
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunBenchCheck(t *testing.T) {
+	baseDir, curDir := t.TempDir(), t.TempDir()
+	good := `{"requests": 100, "hit_rate": 0.9}`
+	bad := `{"requests": 100, "hit_rate": 0.4}`
+	if err := os.WriteFile(filepath.Join(baseDir, "BENCH_SERVE.json"), []byte(good), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(curDir, "BENCH_SERVE.json"), []byte(good), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if err := RunBenchCheck([]string{"-baselines", baseDir, "-current", curDir}, &out); err != nil {
+		t.Fatalf("matching artifacts failed the gate: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "within 20%") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+
+	if err := os.WriteFile(filepath.Join(curDir, "BENCH_SERVE.json"), []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	err := RunBenchCheck([]string{"-baselines", baseDir, "-current", curDir}, &out)
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("halved hit rate passed the gate: err=%v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSED") {
+		t.Fatalf("output does not flag the artifact:\n%s", out.String())
+	}
+
+	// A generous tolerance lets the same regression through.
+	out.Reset()
+	if err := RunBenchCheck([]string{"-baselines", baseDir, "-current", curDir, "-tolerance", "0.9"}, &out); err != nil {
+		t.Fatalf("tolerance flag not applied: %v", err)
+	}
+
+	if err := RunBenchCheck([]string{"-baselines", t.TempDir(), "-current", curDir}, &out); err == nil {
+		t.Fatal("empty baseline dir passed")
+	}
+}

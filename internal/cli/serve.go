@@ -1,0 +1,141 @@
+package cli
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"apex"
+	"apex/internal/datagen"
+	"apex/internal/server"
+)
+
+// RunServe implements apexd: load (or build) an index and serve it over
+// HTTP until SIGINT/SIGTERM, then drain gracefully.
+func RunServe(args []string, stdout io.Writer) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return runServe(ctx, args, stdout)
+}
+
+// runServe is RunServe under an explicit lifetime context (tests cancel it
+// instead of sending signals).
+func runServe(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("apexd", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		addr        = fs.String("addr", "127.0.0.1:8080", "listen address")
+		indexPath   = fs.String("index", "", "saved index file (from apexbuild -out)")
+		in          = fs.String("in", "", "XML document to build an index from")
+		dataset     = fs.String("dataset", "", fmt.Sprintf("synthetic dataset to build from, one of %v", datagen.DatasetNames()))
+		scale       = fs.Float64("scale", 0.05, "synthetic dataset scale (with -dataset)")
+		idattr      = fs.String("id", "id", "ID attribute name (with -in)")
+		idref       = fs.String("idref", "", "comma-separated IDREF attribute names (with -in)")
+		idrefs      = fs.String("idrefs", "", "comma-separated IDREFS attribute names (with -in)")
+		minSup      = fs.Float64("minsup", 0.005, "default minimum support for POST /adapt")
+		parallelism = fs.Int("parallelism", 0, "query/maintenance parallelism (0 = GOMAXPROCS)")
+		cacheSize   = fs.Int("cache", 4096, "result cache capacity in entries (<=0 disables)")
+		maxInflight = fs.Int("max-inflight", 0, "admission bound on in-flight queries (0 = 4x GOMAXPROCS)")
+		timeout     = fs.Duration("timeout", 30*time.Second, "per-query evaluation timeout (<=0 disables)")
+		drain       = fs.Duration("drain", 10*time.Second, "graceful shutdown drain bound")
+		accessLog   = fs.String("access-log", "", "access log file ('-' for stdout, empty disables)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ix, err := serveIndex(*indexPath, *in, *dataset, *scale, *idattr, *idref, *idrefs, *minSup, *parallelism, stdout)
+	if err != nil {
+		return err
+	}
+
+	cfg := server.Config{
+		MaxInflight:  *maxInflight,
+		QueryTimeout: *timeout,
+		DrainTimeout: *drain,
+	}
+	if *cacheSize <= 0 {
+		cfg.CacheSize = -1
+	} else {
+		cfg.CacheSize = *cacheSize
+	}
+	if *timeout <= 0 {
+		cfg.QueryTimeout = -1
+	}
+	switch *accessLog {
+	case "":
+	case "-":
+		cfg.AccessLog = stdout
+	default:
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		cfg.AccessLog = f
+	}
+
+	srv := server.New(ix, cfg)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fprintf(stdout, "apexd: serving on http://%s (generation %d)\n", ln.Addr(), ix.Generation())
+	if err := srv.Serve(ctx, ln); err != nil {
+		return err
+	}
+	fprintf(stdout, "apexd: drained, bye\n")
+	return nil
+}
+
+// serveIndex resolves exactly one of -index / -in / -dataset into an index.
+func serveIndex(indexPath, in, dataset string, scale float64, idattr, idref, idrefs string, minSup float64, parallelism int, stdout io.Writer) (*apex.Index, error) {
+	sources := 0
+	for _, s := range []string{indexPath, in, dataset} {
+		if s != "" {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return nil, fmt.Errorf("apexd: exactly one of -index, -in, -dataset is required")
+	}
+	opts := &apex.Options{
+		IDAttrs:     []string{idattr},
+		IDREFAttrs:  splitList(idref),
+		IDREFSAttrs: splitList(idrefs),
+		MinSup:      minSup,
+		Parallelism: parallelism,
+	}
+	switch {
+	case indexPath != "":
+		ix, err := apex.LoadFile(indexPath)
+		if err != nil {
+			return nil, err
+		}
+		fprintf(stdout, "apexd: loaded index %s\n", indexPath)
+		return ix, nil
+	case in != "":
+		ix, err := apex.OpenFile(in, opts)
+		if err != nil {
+			return nil, err
+		}
+		fprintf(stdout, "apexd: built index from %s\n", in)
+		return ix, nil
+	default:
+		ds, err := datagen.LoadDataset(dataset, scale)
+		if err != nil {
+			return nil, err
+		}
+		ix, err := apex.FromGraph(ds.Graph, opts)
+		if err != nil {
+			return nil, err
+		}
+		fprintf(stdout, "apexd: built index from dataset %s (scale %g)\n", dataset, scale)
+		return ix, nil
+	}
+}

@@ -1,0 +1,137 @@
+package cli
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe bytes.Buffer: runServe writes to it from
+// the serving goroutine while the test polls it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// serveAddr polls the startup banner for the bound address.
+func serveAddr(t *testing.T, out *syncBuffer) string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, line := range strings.Split(out.String(), "\n") {
+			if i := strings.Index(line, "http://"); i >= 0 {
+				addr := line[i:]
+				if j := strings.IndexByte(addr, ' '); j >= 0 {
+					addr = addr[:j]
+				}
+				return strings.TrimSpace(addr)
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("server never announced its address; output:\n%s", out.String())
+	return ""
+}
+
+func TestRunServeSourceValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := runServe(context.Background(), nil, &out); err == nil {
+		t.Fatal("no source flag: want error")
+	}
+	if err := runServe(context.Background(), []string{"-in", "a.xml", "-dataset", "Flix01.xml"}, &out); err == nil {
+		t.Fatal("two source flags: want error")
+	}
+	if err := runServe(context.Background(), []string{"-dataset", "nope.xml"}, &out); err == nil {
+		t.Fatal("unknown dataset: want error")
+	}
+	if err := runServe(context.Background(), []string{"-index", filepath.Join(t.TempDir(), "missing.apex")}, &out); err == nil {
+		t.Fatal("missing index file: want error")
+	}
+}
+
+// TestRunServeEndToEnd boots apexd on an ephemeral port from a synthetic
+// dataset, round-trips the endpoints over real TCP, then cancels the
+// lifetime context and expects a clean drain.
+func TestRunServeEndToEnd(t *testing.T) {
+	logPath := filepath.Join(t.TempDir(), "access.log")
+	out := &syncBuffer{}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- runServe(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-dataset", "shakes_11.xml", "-scale", "0.05",
+			"-cache", "64", "-timeout", "5s", "-drain", "5s",
+			"-access-log", logPath,
+		}, out)
+	}()
+	base := serveAddr(t, out)
+
+	resp, err := http.Post(base+"/query", "application/json", strings.NewReader(`{"query":"//ACT/SCENE"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qr struct {
+		Cached bool `json:"cached"`
+		Count  int  `json:"count"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&qr)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: status=%d err=%v", resp.StatusCode, err)
+	}
+	if qr.Count == 0 || qr.Cached {
+		t.Fatalf("query response = %+v, want fresh non-empty result", qr)
+	}
+
+	resp, err = http.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		Cache struct {
+			Capacity int `json:"capacity"`
+		} `json:"cache"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil || st.Cache.Capacity != 64 {
+		t.Fatalf("stats: err=%v capacity=%d, want the -cache flag applied", err, st.Cache.Capacity)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("runServe returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("runServe did not drain")
+	}
+	if !strings.Contains(out.String(), "drained") {
+		t.Fatalf("no drain banner:\n%s", out.String())
+	}
+	logData, err := os.ReadFile(logPath)
+	if err != nil || !strings.Contains(string(logData), `"path":"/query"`) {
+		t.Fatalf("access log missing query record: err=%v content=%q", err, logData)
+	}
+}

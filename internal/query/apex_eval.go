@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -121,7 +122,17 @@ func (e *APEXEvaluator) CarryCostFrom(prev *APEXEvaluator) {
 
 // Evaluate implements Evaluator.
 func (e *APEXEvaluator) Evaluate(q Query) ([]xmlgraph.NID, error) {
-	return e.evaluateTimed(q, nil)
+	return e.evaluateTimed(nil, q, nil)
+}
+
+// EvaluateContext is Evaluate under a cancellation context: the evaluation
+// observes ctx at its checkpoints (between join positions, between rewriting
+// legs, before data validation) and returns ctx.Err() once the context is
+// done. Work already fanned out to the worker pool for the current position
+// finishes before the next checkpoint fires, so cancellation latency is one
+// position's scan, not the whole query.
+func (e *APEXEvaluator) EvaluateContext(ctx context.Context, q Query) ([]xmlgraph.NID, error) {
+	return e.evaluateTimed(ctx, q, nil)
 }
 
 // EvaluateTrace evaluates q like Evaluate and additionally returns the
@@ -129,8 +140,14 @@ func (e *APEXEvaluator) Evaluate(q Query) ([]xmlgraph.NID, error) {
 // still merges into the cumulative cost counters, so the trace's Total is
 // exactly what this query contributed to Cost().
 func (e *APEXEvaluator) EvaluateTrace(q Query) ([]xmlgraph.NID, *Trace, error) {
+	return e.EvaluateTraceContext(nil, q)
+}
+
+// EvaluateTraceContext is EvaluateTrace under a cancellation context, with
+// EvaluateContext's checkpoint semantics.
+func (e *APEXEvaluator) EvaluateTraceContext(ctx context.Context, q Query) ([]xmlgraph.NID, *Trace, error) {
 	t := &Trace{Query: q.String(), Type: q.Type.String(), Index: e.Name()}
-	nids, err := e.evaluateTimed(q, t)
+	nids, err := e.evaluateTimed(ctx, q, t)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -138,10 +155,24 @@ func (e *APEXEvaluator) EvaluateTrace(q Query) ([]xmlgraph.NID, *Trace, error) {
 }
 
 // evaluateTimed dispatches on the query class, stamping wall time and
-// per-class latency metrics around the evaluation.
-func (e *APEXEvaluator) evaluateTimed(q Query, t *Trace) ([]xmlgraph.NID, error) {
+// per-class latency metrics around the evaluation. It is the single recovery
+// point for the cancellation checkpoints: an evaluation aborted mid-join
+// surfaces here as the context's error.
+func (e *APEXEvaluator) evaluateTimed(ctx context.Context, q Query, t *Trace) (nids []xmlgraph.NID, err error) {
 	start := time.Now()
-	nids, err := e.evaluate(q, t)
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ec, ok := r.(evalCanceled)
+				if !ok {
+					panic(r)
+				}
+				mCanceled.Inc()
+				nids, err = nil, ec.err
+			}
+		}()
+		nids, err = e.evaluate(ctx, q, t)
+	}()
 	wall := time.Since(start)
 	if err == nil {
 		observeLatency(q.Type, wall)
@@ -153,19 +184,20 @@ func (e *APEXEvaluator) evaluateTimed(q Query, t *Trace) ([]xmlgraph.NID, error)
 	return nids, err
 }
 
-func (e *APEXEvaluator) evaluate(q Query, t *Trace) ([]xmlgraph.NID, error) {
+func (e *APEXEvaluator) evaluate(ctx context.Context, q Query, t *Trace) ([]xmlgraph.NID, error) {
+	checkCancel(ctx)
 	switch q.Type {
 	case QTYPE1:
-		return e.evalPath(q.Path, t), nil
+		return e.evalPath(ctx, q.Path, t), nil
 	case QTYPE2:
-		return e.evalPair(q.Path[0], q.Path[1], t), nil
+		return e.evalPair(ctx, q.Path[0], q.Path[1], t), nil
 	case QTYPE3:
 		if e.dt == nil {
 			return nil, fmt.Errorf("apex: QTYPE3 requires a data table")
 		}
-		return e.evalPathValue(q.Path, q.Value, t), nil
+		return e.evalPathValue(ctx, q.Path, q.Value, t), nil
 	case QMIXED:
-		return e.evalMixed(q.Segments, t), nil
+		return e.evalMixed(ctx, q.Segments, t), nil
 	default:
 		return nil, fmt.Errorf("apex: unsupported query type %v", q.Type)
 	}
@@ -173,16 +205,16 @@ func (e *APEXEvaluator) evaluate(q Query, t *Trace) ([]xmlgraph.NID, error) {
 
 // EvalPath answers //p[0]/…/p[n-1].
 func (e *APEXEvaluator) EvalPath(p xmlgraph.LabelPath) []xmlgraph.NID {
-	return e.evalPath(p, nil)
+	return e.evalPath(nil, p, nil)
 }
 
-func (e *APEXEvaluator) evalPath(p xmlgraph.LabelPath, t *Trace) []xmlgraph.NID {
+func (e *APEXEvaluator) evalPath(ctx context.Context, p xmlgraph.LabelPath, t *Trace) []xmlgraph.NID {
 	var c Cost
 	defer e.cost.add(&c)
 	tr := newTracer(t, &c)
 	c.Queries++
 	tr.stage("plan", "path length %d", len(p))
-	out := e.evalPathSet(p, &c, tr)
+	out := e.evalPathSet(ctx, p, &c, tr)
 	e.idx.Graph().SortByDocumentOrder(out)
 	c.ResultNodes += int64(len(out))
 	tr.stage("finalize", "sort by document order")
@@ -197,7 +229,7 @@ func (e *APEXEvaluator) evalPath(p xmlgraph.LabelPath, t *Trace) []xmlgraph.NID 
 // consulted, one JoinProbes per pair at a join position — so the cost model
 // is kernel-independent; the merge kernel's savings show up in wall time,
 // allocations, and the gallop-skip metrics instead.
-func (e *APEXEvaluator) evalPathSet(p xmlgraph.LabelPath, c *Cost, tr *tracer) []xmlgraph.NID {
+func (e *APEXEvaluator) evalPathSet(ctx context.Context, p xmlgraph.LabelPath, c *Cost, tr *tracer) []xmlgraph.NID {
 	if len(p) == 0 {
 		return nil
 	}
@@ -228,10 +260,10 @@ func (e *APEXEvaluator) evalPathSet(p xmlgraph.LabelPath, c *Cost, tr *tracer) [
 	tr.stage("hash-lookup", "covered=%s, join required", covered)
 	if e.DisableMergeJoin {
 		mKernelHash.Inc()
-		return e.evalPathJoinHash(p, c, tr)
+		return e.evalPathJoinHash(ctx, p, c, tr)
 	}
 	mKernelMerge.Inc()
-	return e.evalPathJoinMerge(p, c, tr)
+	return e.evalPathJoinMerge(ctx, p, c, tr)
 }
 
 // evalPathJoinHash is the hash-join kernel: a multi-way join over
@@ -240,9 +272,10 @@ func (e *APEXEvaluator) evalPathSet(p xmlgraph.LabelPath, c *Cost, tr *tracer) [
 // shrink these sets below the full T(l_j). Within a position the probe loop
 // fans out to the worker pool; positions stay sequential because each
 // consumes the previous one's output set.
-func (e *APEXEvaluator) evalPathJoinHash(p xmlgraph.LabelPath, c *Cost, tr *tracer) []xmlgraph.NID {
+func (e *APEXEvaluator) evalPathJoinHash(ctx context.Context, p xmlgraph.LabelPath, c *Cost, tr *tracer) []xmlgraph.NID {
 	var allowed map[xmlgraph.NID]bool
 	for j := 1; j <= len(p); j++ {
+		checkCancel(ctx)
 		prefix := p[:j]
 		if e.DisableRefinement {
 			prefix = p[j-1 : j]
@@ -305,10 +338,10 @@ func extentSpans(nodes []*core.XNode, chunk int) []span {
 // edges), so every reference-free path is no longer than the document
 // depth, which caps the enumeration.
 func (e *APEXEvaluator) EvalPair(a, b string) []xmlgraph.NID {
-	return e.evalPair(a, b, nil)
+	return e.evalPair(nil, a, b, nil)
 }
 
-func (e *APEXEvaluator) evalPair(a, b string, t *Trace) []xmlgraph.NID {
+func (e *APEXEvaluator) evalPair(ctx context.Context, a, b string, t *Trace) []xmlgraph.NID {
 	var c Cost
 	defer e.cost.add(&c)
 	tr := newTracer(t, &c)
@@ -319,6 +352,7 @@ func (e *APEXEvaluator) evalPair(a, b string, t *Trace) []xmlgraph.NID {
 	legs := e.enumerateLegs(a, b, &c)
 	tr.stage("rewrite-enum", "%d rewritings", len(legs))
 	for _, s := range legs {
+		checkCancel(ctx)
 		c.Rewritings++
 		tr.rewriting(s)
 		prefix := ""
@@ -326,7 +360,7 @@ func (e *APEXEvaluator) evalPair(a, b string, t *Trace) []xmlgraph.NID {
 			prefix = "rw[" + s + "]/"
 		}
 		tr.withPrefix(prefix, func() {
-			for _, n := range e.evalPathSet(xmlgraph.ParseLabelPath(s), &c, tr) {
+			for _, n := range e.evalPathSet(ctx, xmlgraph.ParseLabelPath(s), &c, tr) {
 				res[n] = true
 			}
 		})
@@ -397,10 +431,10 @@ const MaxMixedRewritings = 100000
 // the natural generalization of the paper's QTYPE2 processing to arbitrary
 // mixed-axis queries.
 func (e *APEXEvaluator) EvalMixed(segments []xmlgraph.LabelPath) []xmlgraph.NID {
-	return e.evalMixed(segments, nil)
+	return e.evalMixed(nil, segments, nil)
 }
 
-func (e *APEXEvaluator) evalMixed(segments []xmlgraph.LabelPath, t *Trace) []xmlgraph.NID {
+func (e *APEXEvaluator) evalMixed(ctx context.Context, segments []xmlgraph.LabelPath, t *Trace) []xmlgraph.NID {
 	var c Cost
 	defer e.cost.add(&c)
 	tr := newTracer(t, &c)
@@ -435,6 +469,7 @@ func (e *APEXEvaluator) evalMixed(segments []xmlgraph.LabelPath, t *Trace) []xml
 			return
 		}
 		if i == len(segments)-1 {
+			checkCancel(ctx)
 			combos++
 			c.Rewritings++
 			prefix := ""
@@ -444,7 +479,7 @@ func (e *APEXEvaluator) evalMixed(segments []xmlgraph.LabelPath, t *Trace) []xml
 				prefix = "rw[" + s + "]/"
 			}
 			tr.withPrefix(prefix, func() {
-				for _, n := range e.evalPathSet(acc, &c, tr) {
+				for _, n := range e.evalPathSet(ctx, acc, &c, tr) {
 					res[n] = true
 				}
 			})
@@ -475,16 +510,17 @@ func (e *APEXEvaluator) evalMixed(segments []xmlgraph.LabelPath, t *Trace) []xml
 // validations fan out to the worker pool — the data table's buffer pool is
 // concurrency-safe — which overlaps the per-candidate page reads.
 func (e *APEXEvaluator) EvalPathValue(p xmlgraph.LabelPath, value string) []xmlgraph.NID {
-	return e.evalPathValue(p, value, nil)
+	return e.evalPathValue(nil, p, value, nil)
 }
 
-func (e *APEXEvaluator) evalPathValue(p xmlgraph.LabelPath, value string, t *Trace) []xmlgraph.NID {
+func (e *APEXEvaluator) evalPathValue(ctx context.Context, p xmlgraph.LabelPath, value string, t *Trace) []xmlgraph.NID {
 	var c Cost
 	defer e.cost.add(&c)
 	tr := newTracer(t, &c)
 	c.Queries++
 	tr.stage("plan", "path length %d + value predicate", len(p))
-	cands := e.evalPathSet(p, &c, tr)
+	cands := e.evalPathSet(ctx, p, &c, tr)
+	checkCancel(ctx)
 	out := e.validateValues(cands, value, &c)
 	tr.stage("validate", "candidates=%d matched=%d", len(cands), len(out))
 	tr.appendStrategy("+validate")

@@ -1,0 +1,35 @@
+package query
+
+import (
+	"context"
+
+	"apex/internal/metrics"
+)
+
+// mCanceled counts evaluations aborted by context cancellation or deadline
+// expiry (the serving layer's per-request timeouts land here).
+var mCanceled = metrics.Default.Counter("query.canceled_total")
+
+// evalCanceled carries a context error out of the evaluation call stack. The
+// join machinery threads result slices, not errors, through a dozen internal
+// functions; a typed panic recovered at the single evaluateTimed entry point
+// keeps the cancellation checkpoints cheap without widening every signature.
+// The type never escapes the package.
+type evalCanceled struct{ err error }
+
+// checkCancel aborts the evaluation if ctx is done (nil ctx — the untraced
+// library entry points — checks nothing). It must only run on the
+// evaluation's coordinating goroutine while no worker-pool goroutines are in
+// flight, which is why the checkpoints sit between join positions and
+// rewriting legs rather than inside the fanned-out scans: a panic there
+// would strand pool workers.
+func checkCancel(ctx context.Context) {
+	if ctx == nil {
+		return
+	}
+	select {
+	case <-ctx.Done():
+		panic(evalCanceled{err: ctx.Err()})
+	default:
+	}
+}

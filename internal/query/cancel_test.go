@@ -1,0 +1,159 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"apex/internal/core"
+	"apex/internal/datagen"
+	"apex/internal/storage"
+	"apex/internal/xmlgraph"
+)
+
+// countdownCtx is a context whose Done channel reports done starting with
+// the n-th observation: checkCancel consults Done() exactly once per
+// checkpoint, so the countdown pins cancellation to a specific checkpoint —
+// deep inside the evaluation, past the entry check — deterministically.
+type countdownCtx struct {
+	context.Context
+	remaining int
+	closed    chan struct{}
+	fired     bool
+}
+
+func newCountdownCtx(n int) *countdownCtx {
+	c := &countdownCtx{Context: context.Background(), remaining: n, closed: make(chan struct{})}
+	close(c.closed)
+	return c
+}
+
+func (c *countdownCtx) Done() <-chan struct{} {
+	c.remaining--
+	if c.remaining <= 0 {
+		c.fired = true
+		return c.closed
+	}
+	return nil
+}
+
+func (c *countdownCtx) Err() error {
+	if c.fired {
+		return context.Canceled
+	}
+	return nil
+}
+
+func cancelEvaluator(t *testing.T) (*APEXEvaluator, Query) {
+	t.Helper()
+	ds, err := datagen.LoadDataset("Flix02.xml", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ds.Graph
+	var longest xmlgraph.LabelPath
+	for _, p := range g.RootPaths(6) {
+		if len(p) > len(longest) {
+			longest = p
+		}
+	}
+	if len(longest) < 3 {
+		t.Fatalf("dataset has no path deep enough for a mid-join cancel: %v", longest)
+	}
+	dt, err := storage.BuildDataTable(g, 0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := NewAPEXEvaluator(core.BuildAPEX0(g), dt)
+	ev.SetParallelism(1)
+	return ev, Query{Type: QTYPE1, Path: longest}
+}
+
+func TestEvaluateContextNilAndBackground(t *testing.T) {
+	ev, q := cancelEvaluator(t)
+	want, err := ev.Evaluate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ev.EvaluateContext(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("context evaluation returned %d nodes, want %d", len(got), len(want))
+	}
+}
+
+func TestEvaluateContextCanceledUpFront(t *testing.T) {
+	ev, q := cancelEvaluator(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ev.EvaluateContext(ctx, q); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestEvaluateContextDeadline(t *testing.T) {
+	ev, q := cancelEvaluator(t)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := ev.EvaluateContext(ctx, q); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestEvaluateContextCancelsMidJoin proves the checkpoint inside the join
+// loop observes cancellation: the countdown context stays live through the
+// evaluation-entry checkpoint and fires on a later one, which only exists
+// inside the per-position loop.
+func TestEvaluateContextCancelsMidJoin(t *testing.T) {
+	ev, q := cancelEvaluator(t)
+	for _, n := range []int{2, 3} {
+		ctx := newCountdownCtx(n)
+		_, err := ev.EvaluateContext(ctx, q)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("countdown %d: err = %v, want context.Canceled", n, err)
+		}
+		if !ctx.fired {
+			t.Fatalf("countdown %d: evaluation finished without reaching checkpoint", n)
+		}
+	}
+	// Sanity: with a countdown far beyond the checkpoint count, evaluation
+	// completes normally.
+	ctx := newCountdownCtx(1 << 20)
+	if _, err := ev.EvaluateContext(ctx, q); err != nil {
+		t.Fatalf("generous countdown: err = %v", err)
+	}
+}
+
+// TestEvaluateTraceContextCanceled covers the traced entry point's recovery
+// path.
+func TestEvaluateTraceContextCanceled(t *testing.T) {
+	ev, q := cancelEvaluator(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := ev.EvaluateTraceContext(ctx, q); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestCancelAllQueryTypes drives an expired context through every query
+// class so each evaluation strategy's checkpoints recover cleanly.
+func TestCancelAllQueryTypes(t *testing.T) {
+	ev, q1 := cancelEvaluator(t)
+	p := q1.Path
+	queries := []Query{
+		q1,
+		{Type: QTYPE2, Path: xmlgraph.LabelPath{p[0], p[len(p)-1]}},
+		{Type: QTYPE3, Path: p, Value: "x"},
+		{Type: QMIXED, Segments: []xmlgraph.LabelPath{{p[0]}, {p[len(p)-1]}}},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, q := range queries {
+		if _, err := ev.EvaluateContext(ctx, q); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%v: err = %v, want context.Canceled", q.Type, err)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"slices"
 	"sort"
@@ -74,7 +75,7 @@ func putSeen(sp *[]bool, marked []xmlgraph.NID) {
 // the surviving ends. Positions stay sequential (each consumes the previous
 // output); within a position the scan fans out to the worker pool over
 // From-aligned ranges of the sorted pairs.
-func (e *APEXEvaluator) evalPathJoinMerge(p xmlgraph.LabelPath, c *Cost, tr *tracer) []xmlgraph.NID {
+func (e *APEXEvaluator) evalPathJoinMerge(ctx context.Context, p xmlgraph.LabelPath, c *Cost, tr *tracer) []xmlgraph.NID {
 	sc := joinScratchPool.Get().(*joinScratch)
 	defer func() {
 		joinScratchPool.Put(sc)
@@ -84,6 +85,7 @@ func (e *APEXEvaluator) evalPathJoinMerge(p xmlgraph.LabelPath, c *Cost, tr *tra
 		sc.a, sc.b = allowed, spare
 	}()
 	for j := 1; j <= len(p); j++ {
+		checkCancel(ctx)
 		prefix := p[:j]
 		if e.DisableRefinement {
 			prefix = p[j-1 : j]

@@ -1,0 +1,190 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"apex"
+	"apex/internal/metrics"
+)
+
+// Result-cache instruments on the process-wide registry. Multiple caches
+// (tests, embedded servers) share them, so the entries gauge moves by deltas.
+var (
+	mCacheHits        = metrics.Default.Counter("server.cache.hits_total")
+	mCacheMisses      = metrics.Default.Counter("server.cache.misses_total")
+	mCacheEvictions   = metrics.Default.Counter("server.cache.evictions_total")
+	mCacheInvalidated = metrics.Default.Counter("server.cache.invalidated_total")
+	mCacheEntries     = metrics.Default.Gauge("server.cache.entries")
+)
+
+// cacheKey identifies one cached result: the snapshot generation it was
+// computed against plus the query's class and canonical label path. Because
+// apex.Index publishes immutable state by pointer swap and stamps each
+// publication with a new generation, equality of the generation component IS
+// snapshot identity: a key minted under generation g can never name a result
+// of any other publication. Invalidation therefore needs no TTLs and no
+// version vectors — entries from superseded generations simply stop matching,
+// and Sweep reclaims them eagerly after a publication.
+type cacheKey struct {
+	gen   uint64
+	qtype string
+	query string // canonical rendering of the parsed query
+}
+
+// entry is one LRU node.
+type entry struct {
+	key cacheKey
+	res *apex.Result
+}
+
+// Cache is a snapshot-keyed LRU result cache. All methods are safe for
+// concurrent use; a nil *Cache is a valid always-miss cache (caching
+// disabled).
+//
+// Results are stored by pointer and shared between the index and every hit —
+// apex.Result is never mutated after materialization, so sharing is safe and
+// a hit costs one map lookup plus a list splice.
+type Cache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[cacheKey]*list.Element
+
+	hits, misses, evictions, invalidated int64
+}
+
+// NewCache returns a cache bounded to capacity entries; capacity <= 0 returns
+// nil (the always-miss cache).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &Cache{cap: capacity, ll: list.New(), m: make(map[cacheKey]*list.Element)}
+}
+
+// Get returns the result cached for the query under the given snapshot
+// generation, marking it most recently used. A miss is counted whether the
+// query was never cached or was cached against a superseded snapshot.
+func (c *Cache) Get(gen uint64, qtype, query string) (*apex.Result, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[cacheKey{gen: gen, qtype: qtype, query: query}]
+	if !ok {
+		c.misses++
+		mCacheMisses.Inc()
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	mCacheHits.Inc()
+	return el.Value.(*entry).res, true
+}
+
+// Peek reports whether a result is cached for the query under the given
+// generation without touching recency or the hit/miss counters (the
+// cache-aware EXPLAIN path observes without distorting).
+func (c *Cache) Peek(gen uint64, qtype, query string) bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.m[cacheKey{gen: gen, qtype: qtype, query: query}]
+	return ok
+}
+
+// Put stores a result computed against the given snapshot generation,
+// evicting the least recently used entry when the cache is full.
+func (c *Cache) Put(gen uint64, qtype, query string, res *apex.Result) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := cacheKey{gen: gen, qtype: qtype, query: query}
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*entry).res = res
+		return
+	}
+	c.m[key] = c.ll.PushFront(&entry{key: key, res: res})
+	mCacheEntries.Add(1)
+	if c.ll.Len() > c.cap {
+		c.removeLocked(c.ll.Back())
+		c.evictions++
+		mCacheEvictions.Inc()
+	}
+}
+
+// Sweep drops every entry whose generation differs from current, returning
+// how many were dropped. Correctness never depends on it — superseded keys
+// can no longer match a Get — but sweeping right after a publication returns
+// the memory immediately instead of waiting for LRU churn.
+func (c *Cache) Sweep(current uint64) int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var dropped int
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		if el.Value.(*entry).key.gen != current {
+			c.removeLocked(el)
+			dropped++
+		}
+		el = next
+	}
+	c.invalidated += int64(dropped)
+	mCacheInvalidated.Add(int64(dropped))
+	return dropped
+}
+
+// removeLocked unlinks one element; callers hold c.mu.
+func (c *Cache) removeLocked(el *list.Element) {
+	c.ll.Remove(el)
+	delete(c.m, el.Value.(*entry).key)
+	mCacheEntries.Add(-1)
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// CacheStats is a point-in-time view of one cache's counters (the /stats
+// payload; the process-wide metrics aggregate across caches).
+type CacheStats struct {
+	Capacity    int   `json:"capacity"`
+	Entries     int   `json:"entries"`
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Evictions   int64 `json:"evictions"`
+	Invalidated int64 `json:"invalidated"`
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Capacity:    c.cap,
+		Entries:     c.ll.Len(),
+		Hits:        c.hits,
+		Misses:      c.misses,
+		Evictions:   c.evictions,
+		Invalidated: c.invalidated,
+	}
+}

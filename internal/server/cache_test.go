@@ -1,0 +1,149 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+
+	"apex"
+)
+
+func res(n int) *apex.Result {
+	r := &apex.Result{Nodes: make([]apex.Node, n)}
+	for i := range r.Nodes {
+		r.Nodes[i] = apex.Node{ID: int32(i), Tag: "t"}
+	}
+	return r
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c := NewCache(8)
+	if _, ok := c.Get(0, "QTYPE1", "//a/b"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(0, "QTYPE1", "//a/b", res(3))
+	got, ok := c.Get(0, "QTYPE1", "//a/b")
+	if !ok || got.Len() != 3 {
+		t.Fatalf("want hit with 3 nodes, got ok=%v res=%v", ok, got)
+	}
+	// Any key component mismatch is a miss.
+	if _, ok := c.Get(1, "QTYPE1", "//a/b"); ok {
+		t.Fatal("hit across generations")
+	}
+	if _, ok := c.Get(0, "QTYPE3", "//a/b"); ok {
+		t.Fatal("hit across query types")
+	}
+	if _, ok := c.Get(0, "QTYPE1", "//a/c"); ok {
+		t.Fatal("hit across queries")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 4 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 4 misses / 1 entry", st)
+	}
+}
+
+func TestCachePutReplaces(t *testing.T) {
+	c := NewCache(8)
+	c.Put(0, "QTYPE1", "//a", res(1))
+	c.Put(0, "QTYPE1", "//a", res(2))
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	got, _ := c.Get(0, "QTYPE1", "//a")
+	if got.Len() != 2 {
+		t.Fatalf("replacement not visible: %d nodes", got.Len())
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	c.Put(0, "QTYPE1", "//a", res(1))
+	c.Put(0, "QTYPE1", "//b", res(1))
+	c.Get(0, "QTYPE1", "//a") // //a most recent; //b is eviction victim
+	c.Put(0, "QTYPE1", "//c", res(1))
+	if _, ok := c.Get(0, "QTYPE1", "//b"); ok {
+		t.Fatal("LRU victim //b survived")
+	}
+	if _, ok := c.Get(0, "QTYPE1", "//a"); !ok {
+		t.Fatal("recently used //a evicted")
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+}
+
+func TestCacheSweep(t *testing.T) {
+	c := NewCache(8)
+	c.Put(0, "QTYPE1", "//a", res(1))
+	c.Put(0, "QTYPE1", "//b", res(1))
+	c.Put(1, "QTYPE1", "//a", res(1))
+	if dropped := c.Sweep(1); dropped != 2 {
+		t.Fatalf("Sweep dropped %d, want 2", dropped)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d after sweep, want 1", c.Len())
+	}
+	if _, ok := c.Get(1, "QTYPE1", "//a"); !ok {
+		t.Fatal("current-generation entry swept")
+	}
+	if st := c.Stats(); st.Invalidated != 2 {
+		t.Fatalf("invalidated = %d, want 2", st.Invalidated)
+	}
+}
+
+func TestCachePeekDoesNotCount(t *testing.T) {
+	c := NewCache(2)
+	c.Put(0, "QTYPE1", "//a", res(1))
+	c.Put(0, "QTYPE1", "//b", res(1))
+	if !c.Peek(0, "QTYPE1", "//a") || c.Peek(0, "QTYPE1", "//x") {
+		t.Fatal("Peek membership wrong")
+	}
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("Peek moved counters: %+v", st)
+	}
+	// Peek must not refresh recency: //a stays the LRU victim.
+	c.Put(0, "QTYPE1", "//c", res(1))
+	if c.Peek(0, "QTYPE1", "//a") {
+		t.Fatal("Peek refreshed recency of //a")
+	}
+}
+
+func TestNilCacheIsAlwaysMiss(t *testing.T) {
+	var c *Cache // = NewCache(0)
+	if NewCache(0) != nil || NewCache(-1) != nil {
+		t.Fatal("non-positive capacity should disable the cache")
+	}
+	c.Put(0, "QTYPE1", "//a", res(1))
+	if _, ok := c.Get(0, "QTYPE1", "//a"); ok {
+		t.Fatal("nil cache hit")
+	}
+	if c.Peek(0, "QTYPE1", "//a") || c.Len() != 0 || c.Sweep(1) != 0 {
+		t.Fatal("nil cache not inert")
+	}
+	if st := c.Stats(); st != (CacheStats{}) {
+		t.Fatalf("nil cache stats = %+v", st)
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(64)
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				q := fmt.Sprintf("//q%d", i%100)
+				c.Put(uint64(i%3), "QTYPE1", q, res(1))
+				c.Get(uint64(i%3), "QTYPE1", q)
+				if i%50 == 0 {
+					c.Sweep(uint64(i % 3))
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	if c.Len() > 64 {
+		t.Fatalf("cache exceeded capacity: %d", c.Len())
+	}
+}

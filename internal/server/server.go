@@ -1,0 +1,492 @@
+// Package server is the query-serving daemon behind cmd/apexd: an HTTP front
+// end over one apex.Index that adds the production plumbing the library
+// leaves out — a snapshot-keyed LRU result cache, bounded admission with
+// load shedding, per-request evaluation timeouts threaded into the join
+// loop, structured access logs, and graceful drain.
+//
+// The cache-coherence argument is the package's load-bearing idea. The index
+// publishes immutable snapshots by pointer swap and stamps each publication
+// with a generation; results are cached under (generation, query class,
+// canonical path). A publication does not need to notify the cache: entries
+// minted under the old generation stop matching the moment Generation()
+// moves, so a cached result is served only while the snapshot it was
+// computed from is still the serving snapshot — no TTLs, no stale reads, by
+// construction.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sync"
+	"time"
+
+	"apex"
+	"apex/internal/metrics"
+	"apex/internal/query"
+)
+
+// Serving instruments on the process-wide registry.
+var (
+	mRequests  = metrics.Default.Counter("server.requests_total")
+	mShed      = metrics.Default.Counter("server.shed_total")
+	mInflight  = metrics.Default.Gauge("server.inflight")
+	mHitNS     = metrics.Default.Histogram("server.latency_ns.cache_hit")
+	mMissNS    = metrics.Default.Histogram("server.latency_ns.cache_miss")
+	mExplainNS = metrics.Default.Histogram("server.latency_ns.explain")
+)
+
+// Config parameterizes a Server. The zero value serves with the documented
+// defaults.
+type Config struct {
+	// CacheSize bounds the result cache in entries (0 = 4096; negative
+	// disables caching).
+	CacheSize int
+	// MaxInflight bounds concurrently evaluating /query and /explain
+	// requests; requests beyond the bound are shed with 429 instead of
+	// queueing behind a convoy (0 = 4×GOMAXPROCS).
+	MaxInflight int
+	// QueryTimeout bounds one evaluation; the deadline is threaded into the
+	// join loop, so a runaway query stops at its next checkpoint instead of
+	// holding a worker for the full scan (0 = 30s; negative disables).
+	QueryTimeout time.Duration
+	// DrainTimeout bounds graceful shutdown: how long in-flight requests get
+	// to finish after the listener closes (0 = 10s).
+	DrainTimeout time.Duration
+	// AccessLog, when non-nil, receives one JSON line per request.
+	AccessLog io.Writer
+}
+
+func (c Config) cacheSize() int {
+	if c.CacheSize == 0 {
+		return 4096
+	}
+	return c.CacheSize
+}
+
+func (c Config) maxInflight() int {
+	if c.MaxInflight <= 0 {
+		return 4 * runtime.GOMAXPROCS(0)
+	}
+	return c.MaxInflight
+}
+
+func (c Config) queryTimeout() time.Duration {
+	if c.QueryTimeout == 0 {
+		return 30 * time.Second
+	}
+	if c.QueryTimeout < 0 {
+		return 0
+	}
+	return c.QueryTimeout
+}
+
+func (c Config) drainTimeout() time.Duration {
+	if c.DrainTimeout <= 0 {
+		return 10 * time.Second
+	}
+	return c.DrainTimeout
+}
+
+// Server serves one apex.Index over HTTP. Create with New; Handler returns
+// the routed endpoints, ListenAndServe runs them with graceful drain.
+type Server struct {
+	ix    *apex.Index
+	cfg   Config
+	cache *Cache
+	sem   chan struct{}
+
+	logMu sync.Mutex
+
+	// testHookEvaluating, when non-nil, runs on the /query path after
+	// admission and before evaluation. Test instrumentation only (it lets a
+	// test hold the admission slots deterministically); set before serving.
+	testHookEvaluating func()
+}
+
+// New wires a server over ix.
+func New(ix *apex.Index, cfg Config) *Server {
+	return &Server{
+		ix:    ix,
+		cfg:   cfg,
+		cache: NewCache(cfg.cacheSize()),
+		sem:   make(chan struct{}, cfg.maxInflight()),
+	}
+}
+
+// Cache returns the server's result cache (nil when disabled).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Handler returns the routed endpoints:
+//
+//	POST /query    {"query": "//a/b"} → result (cache-first)
+//	POST /explain  {"query": "//a/b"} → result + EXPLAIN trace (never cached)
+//	POST /adapt    {"min_sup": 0.005, "queries": [...]} → restructure
+//	GET  /stats    index + cache + admission snapshot
+//	GET  /metrics  process metrics registry as JSON
+//	GET  /debug/vars, /debug/pprof/*
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /explain", s.handleExplain)
+	mux.HandleFunc("POST /adapt", s.handleAdapt)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	metrics.Default.PublishExpvar("apex") // idempotent
+	return s.accessLogged(mux)
+}
+
+// ListenAndServe serves Handler on addr until ctx is canceled (cmd/apexd
+// cancels on SIGTERM/SIGINT), then drains: the listener closes immediately,
+// in-flight requests get DrainTimeout to finish, and only then does the call
+// return. A clean drain returns nil.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln)
+}
+
+// Serve is ListenAndServe over an existing listener (which it takes
+// ownership of), letting callers bind port 0 and learn the address first.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err // listener failed before shutdown was requested
+	case <-ctx.Done():
+	}
+	dctx, cancel := context.WithTimeout(context.Background(), s.cfg.drainTimeout())
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		return fmt.Errorf("server: drain: %w", err)
+	}
+	<-errc // http.ErrServerClosed
+	return nil
+}
+
+// queryRequest is the body of POST /query and POST /explain.
+type queryRequest struct {
+	Query string `json:"query"`
+}
+
+// nodeJSON is one result node on the wire.
+type nodeJSON struct {
+	ID    int32  `json:"id"`
+	Tag   string `json:"tag"`
+	Value string `json:"value,omitempty"`
+}
+
+// queryResponse is the body of a POST /query answer.
+type queryResponse struct {
+	Query      string     `json:"query"` // canonical form served (and cached)
+	Generation uint64     `json:"generation"`
+	Cached     bool       `json:"cached"`
+	Count      int        `json:"count"`
+	WallNS     int64      `json:"wall_ns"`
+	Nodes      []nodeJSON `json:"nodes"`
+}
+
+// explainResponse is the body of a POST /explain answer. Cached reports
+// whether the result cache holds this query for the serving snapshot — the
+// trace itself always comes from a fresh evaluation.
+type explainResponse struct {
+	Query      string       `json:"query"`
+	Generation uint64       `json:"generation"`
+	Cached     bool         `json:"cached"`
+	Count      int          `json:"count"`
+	Trace      *query.Trace `json:"trace"`
+}
+
+// adaptRequest is the body of POST /adapt: explicit queries run AdaptTo,
+// otherwise the index's own workload log is mined.
+type adaptRequest struct {
+	MinSup  float64  `json:"min_sup"`
+	Queries []string `json:"queries"`
+}
+
+// adaptResponse is the body of a POST /adapt answer.
+type adaptResponse struct {
+	Generation  uint64     `json:"generation"`
+	Invalidated int        `json:"invalidated"`
+	Stats       apex.Stats `json:"stats"`
+}
+
+// statsResponse is the body of GET /stats.
+type statsResponse struct {
+	Generation  uint64     `json:"generation"`
+	Index       apex.Stats `json:"index"`
+	Cache       CacheStats `json:"cache"`
+	Inflight    int        `json:"inflight"`
+	MaxInflight int        `json:"max_inflight"`
+}
+
+// errorResponse is every non-2xx body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// handleQuery serves the hot path: admission, cache probe against the
+// current generation, and only on a miss a context-bounded evaluation whose
+// result is stored under the generation it actually ran against.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	parsed, ok := s.decodeQuery(w, r)
+	if !ok {
+		return
+	}
+	qtype, canonical := parsed.Type.String(), parsed.String()
+	release, ok := s.admit()
+	if !ok {
+		shed(w)
+		return
+	}
+	defer release()
+	if s.testHookEvaluating != nil {
+		s.testHookEvaluating()
+	}
+	if res, ok := s.cache.Get(s.ix.Generation(), qtype, canonical); ok {
+		// The hit bypasses evaluation but is still workload: record it so
+		// the next Adapt mines the paths the cache is absorbing.
+		if err := s.ix.RecordWorkload(canonical); err == nil {
+			s.respondQuery(w, canonical, s.ix.Generation(), true, res, start)
+			mHitNS.Observe(time.Since(start).Nanoseconds())
+			return
+		}
+	}
+	ctx, cancel := s.evalContext(r)
+	defer cancel()
+	res, gen, err := s.ix.QueryGen(ctx, canonical)
+	if err != nil {
+		s.evalError(w, err)
+		return
+	}
+	s.cache.Put(gen, qtype, canonical, res)
+	s.respondQuery(w, canonical, gen, false, res, start)
+	mMissNS.Observe(time.Since(start).Nanoseconds())
+}
+
+// handleExplain always evaluates (a trace cannot come from a cache) but
+// reports whether the result cache would have answered — the cache-aware
+// EXPLAIN view — without touching the cache's recency or counters.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	parsed, ok := s.decodeQuery(w, r)
+	if !ok {
+		return
+	}
+	qtype, canonical := parsed.Type.String(), parsed.String()
+	release, ok := s.admit()
+	if !ok {
+		shed(w)
+		return
+	}
+	defer release()
+	ctx, cancel := s.evalContext(r)
+	defer cancel()
+	res, tr, err := s.ix.ExplainContext(ctx, canonical)
+	if err != nil {
+		s.evalError(w, err)
+		return
+	}
+	gen := s.ix.Generation()
+	writeJSON(w, http.StatusOK, explainResponse{
+		Query:      canonical,
+		Generation: gen,
+		Cached:     s.cache.Peek(gen, qtype, canonical),
+		Count:      res.Len(),
+		Trace:      tr,
+	})
+	mExplainNS.Observe(time.Since(start).Nanoseconds())
+}
+
+// handleAdapt restructures the index (shadow rebuild, atomic publication)
+// and sweeps the cache entries the superseded snapshot had minted.
+func (s *Server) handleAdapt(w http.ResponseWriter, r *http.Request) {
+	var req adaptRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad adapt request: " + err.Error()})
+		return
+	}
+	var err error
+	if len(req.Queries) > 0 {
+		err = s.ix.AdaptTo(req.Queries, req.MinSup)
+	} else {
+		err = s.ix.Adapt(req.MinSup)
+	}
+	if err != nil {
+		// "no logged queries" is a state conflict, not a malformed request.
+		writeJSON(w, http.StatusConflict, errorResponse{Error: err.Error()})
+		return
+	}
+	gen := s.ix.Generation()
+	writeJSON(w, http.StatusOK, adaptResponse{
+		Generation:  gen,
+		Invalidated: s.cache.Sweep(gen),
+		Stats:       s.ix.Stats(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, statsResponse{
+		Generation:  s.ix.Generation(),
+		Index:       s.ix.Stats(),
+		Cache:       s.cache.Stats(),
+		Inflight:    len(s.sem),
+		MaxInflight: cap(s.sem),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := metrics.Default.WriteJSON(w); err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+	}
+}
+
+// decodeQuery parses the request body and the query text, answering 400 on
+// either failure.
+func (s *Server) decodeQuery(w http.ResponseWriter, r *http.Request) (query.Query, bool) {
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad query request: " + err.Error()})
+		return query.Query{}, false
+	}
+	parsed, err := query.Parse(req.Query)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return query.Query{}, false
+	}
+	return parsed, true
+}
+
+// admit takes one admission slot without blocking; the false return is the
+// load-shedding path.
+func (s *Server) admit() (release func(), ok bool) {
+	select {
+	case s.sem <- struct{}{}:
+		mInflight.Add(1)
+		return func() { <-s.sem; mInflight.Add(-1) }, true
+	default:
+		mShed.Inc()
+		return nil, false
+	}
+}
+
+// shed answers an over-admission request.
+func shed(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "server saturated, retry"})
+}
+
+// evalContext derives the evaluation context from the request: the client
+// disconnecting or the configured timeout expiring cancels the join loop at
+// its next checkpoint.
+func (s *Server) evalContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if t := s.cfg.queryTimeout(); t > 0 {
+		return context.WithTimeout(r.Context(), t)
+	}
+	return context.WithCancel(r.Context())
+}
+
+// evalError maps an evaluation error to its status: deadline → 504,
+// client-gone → 499 (nginx's convention; Go has no constant), anything else
+// (unsupported query shape, bad dereference) → 422.
+func (s *Server) evalError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "query timeout: " + err.Error()})
+	case errors.Is(err, context.Canceled):
+		writeJSON(w, 499, errorResponse{Error: "client canceled"})
+	default:
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
+	}
+}
+
+func (s *Server) respondQuery(w http.ResponseWriter, canonical string, gen uint64, cached bool, res *apex.Result, start time.Time) {
+	resp := queryResponse{
+		Query:      canonical,
+		Generation: gen,
+		Cached:     cached,
+		Count:      res.Len(),
+		WallNS:     time.Since(start).Nanoseconds(),
+		Nodes:      make([]nodeJSON, len(res.Nodes)),
+	}
+	for i, n := range res.Nodes {
+		resp.Nodes[i] = nodeJSON{ID: n.ID, Tag: n.Tag, Value: n.Value}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// accessLogged wraps next with the structured access log and the request
+// counter. One JSON object per line, written atomically under a lock so
+// concurrent requests do not interleave.
+func (s *Server) accessLogged(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mRequests.Inc()
+		if s.cfg.AccessLog == nil {
+			next.ServeHTTP(w, r)
+			return
+		}
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		line, err := json.Marshal(accessRecord{
+			Time:   start.UTC().Format(time.RFC3339Nano),
+			Remote: r.RemoteAddr,
+			Method: r.Method,
+			Path:   r.URL.Path,
+			Status: rec.status,
+			WallNS: time.Since(start).Nanoseconds(),
+		})
+		if err != nil {
+			return
+		}
+		s.logMu.Lock()
+		_, _ = s.cfg.AccessLog.Write(append(line, '\n'))
+		s.logMu.Unlock()
+	})
+}
+
+// accessRecord is one access-log line.
+type accessRecord struct {
+	Time   string `json:"time"`
+	Remote string `json:"remote"`
+	Method string `json:"method"`
+	Path   string `json:"path"`
+	Status int    `json:"status"`
+	WallNS int64  `json:"wall_ns"`
+}
+
+// statusRecorder captures the response status for the access log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}

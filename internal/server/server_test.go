@@ -1,0 +1,381 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"apex"
+)
+
+const movieDoc = `<MovieDB>
+  <movie id="m1" actor="a1 a2"><title>Waterworld</title></movie>
+  <movie id="m2" actor="a1"><title>Postman</title></movie>
+  <actor id="a1" movie="m1 m2"><name>Kevin Costner</name></actor>
+  <actor id="a2" movie="m1"><name>Jeanne Tripplehorn</name></actor>
+</MovieDB>`
+
+func openMovie(t *testing.T) *apex.Index {
+	t.Helper()
+	ix, err := apex.Open(strings.NewReader(movieDoc), &apex.Options{
+		IDREFSAttrs: []string{"actor", "movie"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+// newTestServer wires an httptest server over a fresh movie index.
+func newTestServer(t *testing.T, cfg Config) (*apex.Index, *Server, *httptest.Server) {
+	t.Helper()
+	ix := openMovie(t)
+	s := New(ix, cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ix, s, ts
+}
+
+// postJSON posts body to url and decodes the response into out, returning
+// the status code.
+func postJSON(t *testing.T, url, body string, out any) int {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s response: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestQueryRoundTripAndCacheHit(t *testing.T) {
+	_, _, ts := newTestServer(t, Config{})
+
+	var first queryResponse
+	if code := postJSON(t, ts.URL+"/query", `{"query":"//actor/name"}`, &first); code != http.StatusOK {
+		t.Fatalf("first query status = %d", code)
+	}
+	if first.Cached || first.Count != 2 || first.Generation != 0 {
+		t.Fatalf("first = %+v, want fresh 2-node generation-0 result", first)
+	}
+	if first.Query != "//actor/name" || first.Nodes[0].Tag != "name" {
+		t.Fatalf("payload = %+v", first)
+	}
+
+	var second queryResponse
+	postJSON(t, ts.URL+"/query", `{"query":"//actor/name"}`, &second)
+	if !second.Cached {
+		t.Fatal("identical re-query not served from cache")
+	}
+	if second.Count != first.Count || len(second.Nodes) != len(first.Nodes) {
+		t.Fatalf("cached result differs: %+v vs %+v", second, first)
+	}
+}
+
+func TestExplainRoundTripCacheAware(t *testing.T) {
+	_, _, ts := newTestServer(t, Config{})
+
+	var ex explainResponse
+	if code := postJSON(t, ts.URL+"/explain", `{"query":"//movie/title"}`, &ex); code != http.StatusOK {
+		t.Fatalf("explain status = %d", code)
+	}
+	if ex.Trace == nil || ex.Count != 2 || ex.Cached {
+		t.Fatalf("explain = %+v, want uncached traced 2-node result", ex)
+	}
+
+	// A served query populates the cache; EXPLAIN reports so without
+	// consuming the entry.
+	postJSON(t, ts.URL+"/query", `{"query":"//movie/title"}`, nil)
+	postJSON(t, ts.URL+"/explain", `{"query":"//movie/title"}`, &ex)
+	if !ex.Cached || ex.Trace == nil {
+		t.Fatalf("explain after query = %+v, want cached=true with trace", ex)
+	}
+}
+
+// TestAdaptInvalidatesCache is the coherence e2e: cached before the
+// publication, recomputed — never stale — after it.
+func TestAdaptInvalidatesCache(t *testing.T) {
+	_, srv, ts := newTestServer(t, Config{})
+
+	var before queryResponse
+	postJSON(t, ts.URL+"/query", `{"query":"//actor/name"}`, &before)
+	postJSON(t, ts.URL+"/query", `{"query":"//actor/name"}`, &before)
+	if !before.Cached || before.Generation != 0 {
+		t.Fatalf("precondition: want generation-0 cache hit, got %+v", before)
+	}
+
+	var ad adaptResponse
+	if code := postJSON(t, ts.URL+"/adapt", `{"queries":["//actor/name"],"min_sup":0.001}`, &ad); code != http.StatusOK {
+		t.Fatalf("adapt status = %d", code)
+	}
+	if ad.Generation != 1 || ad.Invalidated < 1 {
+		t.Fatalf("adapt = %+v, want generation 1 with invalidations", ad)
+	}
+
+	var after queryResponse
+	postJSON(t, ts.URL+"/query", `{"query":"//actor/name"}`, &after)
+	if after.Cached {
+		t.Fatal("query served a superseded snapshot's cache entry after publication")
+	}
+	if after.Generation != 1 || after.Count != before.Count {
+		t.Fatalf("after = %+v, want recomputed generation-1 result with %d nodes", after, before.Count)
+	}
+	if srv.Cache().Stats().Invalidated < 1 {
+		t.Fatal("cache invalidation not counted")
+	}
+}
+
+// TestNeverStaleAfterInsert changes the document itself between two
+// identical queries: the second answer must reflect the new data.
+func TestNeverStaleAfterInsert(t *testing.T) {
+	ix, _, ts := newTestServer(t, Config{})
+
+	var before queryResponse
+	postJSON(t, ts.URL+"/query", `{"query":"//movie/title"}`, &before)
+	postJSON(t, ts.URL+"/query", `{"query":"//movie/title"}`, &before)
+	if !before.Cached || before.Count != 2 {
+		t.Fatalf("precondition: want cached 2-title result, got %+v", before)
+	}
+
+	if err := ix.Insert("/", `<movie id="m3"><title>Extra</title></movie>`); err != nil {
+		t.Fatal(err)
+	}
+
+	var after queryResponse
+	postJSON(t, ts.URL+"/query", `{"query":"//movie/title"}`, &after)
+	if after.Cached || after.Count != 3 {
+		t.Fatalf("post-insert query = %+v, want fresh 3-title result", after)
+	}
+	if after.Generation != before.Generation+1 {
+		t.Fatalf("generation = %d, want %d", after.Generation, before.Generation+1)
+	}
+}
+
+func TestShedsWhenSaturated(t *testing.T) {
+	_, srv, ts := newTestServer(t, Config{MaxInflight: 1})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	srv.testHookEvaluating = func() {
+		once.Do(func() { close(entered) })
+		<-release
+	}
+
+	done := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader(`{"query":"//actor/name"}`))
+		if err != nil {
+			done <- 0
+			return
+		}
+		resp.Body.Close()
+		done <- resp.StatusCode
+	}()
+	<-entered // the one admission slot is now held
+
+	resp, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader(`{"query":"//actor/name"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+
+	close(release)
+	if code := <-done; code != http.StatusOK {
+		t.Fatalf("blocked request finished with %d, want 200", code)
+	}
+}
+
+// TestQueryTimeout drives the deadline into the evaluator: an expired
+// context cancels at the first checkpoint inside evaluation and surfaces as
+// 504.
+func TestQueryTimeout(t *testing.T) {
+	_, _, ts := newTestServer(t, Config{QueryTimeout: time.Nanosecond})
+	var errResp errorResponse
+	if code := postJSON(t, ts.URL+"/query", `{"query":"//actor/name"}`, &errResp); code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d (%+v), want 504", code, errResp)
+	}
+	if !strings.Contains(errResp.Error, "timeout") {
+		t.Fatalf("error = %q, want a timeout message", errResp.Error)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, _, ts := newTestServer(t, Config{})
+	if code := postJSON(t, ts.URL+"/query", `{not json`, nil); code != http.StatusBadRequest {
+		t.Fatalf("malformed body status = %d, want 400", code)
+	}
+	if code := postJSON(t, ts.URL+"/query", `{"query":"///"}`, nil); code != http.StatusBadRequest {
+		t.Fatalf("unparsable query status = %d, want 400", code)
+	}
+	if code := postJSON(t, ts.URL+"/adapt", `{not json`, nil); code != http.StatusBadRequest {
+		t.Fatalf("malformed adapt status = %d, want 400", code)
+	}
+	// Adapt with nothing logged and no explicit queries is a state conflict.
+	if code := postJSON(t, ts.URL+"/adapt", `{}`, nil); code != http.StatusConflict {
+		t.Fatalf("empty adapt status = %d, want 409", code)
+	}
+}
+
+// TestConcurrentQueriesDuringAdapt exercises the acceptance scenario:
+// queries keep being served, correctly, while POST /adapt restructures and
+// publishes.
+func TestConcurrentQueriesDuringAdapt(t *testing.T) {
+	_, _, ts := newTestServer(t, Config{MaxInflight: 64})
+
+	const workers, rounds = 4, 25
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				resp, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader(`{"query":"//actor/name"}`))
+				if err != nil {
+					errs <- err
+					return
+				}
+				var qr queryResponse
+				err = json.NewDecoder(resp.Body).Decode(&qr)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK || qr.Count != 2 {
+					errs <- fmt.Errorf("round %d: status=%d count=%d", i, resp.StatusCode, qr.Count)
+					return
+				}
+			}
+		}()
+	}
+
+	var ad adaptResponse
+	if code := postJSON(t, ts.URL+"/adapt", `{"queries":["//actor/name"],"min_sup":0.001}`, &ad); code != http.StatusOK {
+		t.Fatalf("adapt during load: status %d", code)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if ad.Generation != 1 {
+		t.Fatalf("generation = %d, want 1", ad.Generation)
+	}
+}
+
+func TestStatsAndMetrics(t *testing.T) {
+	_, _, ts := newTestServer(t, Config{})
+	postJSON(t, ts.URL+"/query", `{"query":"//actor/name"}`, nil)
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st statsResponse
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Index.Nodes == 0 || st.Cache.Capacity != 4096 || st.MaxInflight == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Cache.Entries != 1 {
+		t.Fatalf("cache entries = %d, want 1", st.Cache.Entries)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]json.RawMessage
+	err = json.NewDecoder(resp.Body).Decode(&m)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m["counters"]; !ok {
+		t.Fatalf("metrics payload keys = %v, want counters", m)
+	}
+}
+
+func TestAccessLogAndMethodRouting(t *testing.T) {
+	var buf bytes.Buffer
+	ix := openMovie(t)
+	s := New(ix, Config{AccessLog: &buf})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	postJSON(t, ts.URL+"/query", `{"query":"//actor/name"}`, nil)
+	resp, err := http.Get(ts.URL + "/query") // wrong method
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /query status = %d, want 405", resp.StatusCode)
+	}
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("access log has %d lines, want 2: %q", len(lines), buf.String())
+	}
+	var rec accessRecord
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("access line not JSON: %v", err)
+	}
+	if rec.Method != "POST" || rec.Path != "/query" || rec.Status != http.StatusOK {
+		t.Fatalf("access record = %+v", rec)
+	}
+}
+
+func TestServeGracefulDrain(t *testing.T) {
+	ix := openMovie(t)
+	s := New(ix, Config{DrainTimeout: 2 * time.Second})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(ctx, ln) }()
+
+	url := "http://" + ln.Addr().String()
+	var qr queryResponse
+	if code := postJSON(t, url+"/query", `{"query":"//actor/name"}`, &qr); code != http.StatusOK {
+		t.Fatalf("query status = %d", code)
+	}
+
+	cancel()
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("drain returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not drain")
+	}
+	if _, err := http.Post(url+"/query", "application/json", strings.NewReader(`{"query":"//actor/name"}`)); err == nil {
+		t.Fatal("listener still accepting after drain")
+	}
+}

@@ -81,17 +81,25 @@ bench-serve:
 	go test -run 'TestServe|TestQueryRoundTrip|TestAdaptInvalidates' -v ./internal/server/ ./internal/bench/
 	go run ./cmd/apexbench -experiments serve -serve-json BENCH_SERVE.json
 
+# The crash-recovery experiment: restart from the last checkpoint plus WAL
+# tail raced against a cold rebuild that re-applies the same writes,
+# recorded to BENCH_RECOVERY.json. The crash-injection harness runs first.
+bench-recovery:
+	go test -run 'TestCrashInjection|TestRecover|TestPersist' -v .
+	go run ./cmd/apexbench -experiments recovery -recovery-json BENCH_RECOVERY.json
+
 # The benchmark regression gate the CI bench job enforces: regenerate every
 # BENCH_*.json artifact, then fail if any headline metric (speedups, cache
 # hit rate, refreeze fraction — machine-portable ratios, not wall times)
 # regressed more than 20% against the checked-in bench/baselines/.
 bench-check:
 	mkdir -p bench-artifacts
-	go run ./cmd/apexbench -experiments concurrency,adapt-stall,join-kernel,serve \
+	go run ./cmd/apexbench -experiments concurrency,adapt-stall,join-kernel,serve,recovery \
 		-concurrency-json bench-artifacts/BENCH_CONCURRENCY.json \
 		-adapt-json bench-artifacts/BENCH_ADAPT.json \
 		-join-json bench-artifacts/BENCH_JOIN.json \
-		-serve-json bench-artifacts/BENCH_SERVE.json
+		-serve-json bench-artifacts/BENCH_SERVE.json \
+		-recovery-json bench-artifacts/BENCH_RECOVERY.json
 	go run ./cmd/benchcheck -baselines bench/baselines -current bench-artifacts
 
 # Run the query-serving daemon over a synthetic dataset (Ctrl-C drains).

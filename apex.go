@@ -72,6 +72,16 @@ type Options struct {
 	// concurrent queries on the index; maintenance parallelism never changes
 	// the built structure — parallel builds are bit-identical to serial ones.
 	Parallelism int
+	// AllowLegacyDump re-enables the deprecated monolithic Save path.
+	// Persist/RecoverDir (manifest + WAL + segment files) is the supported
+	// way to put an index on disk; Save remains for one release behind this
+	// flag so existing dump-based tooling can migrate. Load still reads old
+	// dumps unconditionally — they are the migration input.
+	AllowLegacyDump bool
+	// NoSync disables the per-commit WAL fsync on a durable index. Writes
+	// stay ordered and CRC-framed, but a crash may lose the buffered tail;
+	// a throughput knob for bulk loads, never a correctness one.
+	NoSync bool
 }
 
 func (o *Options) minSup() float64 {
@@ -159,6 +169,11 @@ type Index struct {
 	// maintenance pass ("rebuild" after cloning, "publish" before the swap).
 	// Test instrumentation only; set it before any concurrent use.
 	shadowHook func(stage string)
+
+	// dur is the persistence attachment (see durable.go): nil for a purely
+	// in-memory index, set once by Persist or RecoverDir. Write paths append
+	// to its WAL before publishing.
+	dur *durableState
 }
 
 // Open parses an XML document and builds the initial index APEX⁰.
@@ -293,7 +308,16 @@ func LoadFile(path string) (*Index, error) {
 // Save writes the index (including the parsed document graph and the Options
 // it was opened with) so it can be reopened with Load without the original
 // XML.
+//
+// Deprecated: the monolithic dump is superseded by the durable checkpoint
+// directory (Persist / Checkpoint / RecoverDir), which restarts from frozen
+// segments plus a WAL tail instead of re-deriving everything. Save now
+// requires Options.AllowLegacyDump and will be removed next release; Load
+// keeps reading existing dumps, and RecoverDir migrates them.
 func (ix *Index) Save(w io.Writer) error {
+	if !ix.opts.AllowLegacyDump {
+		return fmt.Errorf("apex: Save is deprecated in favor of Persist/RecoverDir (manifest + WAL + segments); set Options.AllowLegacyDump to write a monolithic dump anyway")
+	}
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	if err := gob.NewEncoder(w).Encode(saveEnvelope{Magic: saveMagic, Options: ix.opts}); err != nil {
@@ -548,6 +572,14 @@ func (ix *Index) Adapt(minSup float64) error {
 	ix.hook("rebuild")
 	shadow.ExtractFrequentPaths(wl, minSup)
 	shadow.Update()
+	if err := ix.journal(storage.WALRecord{Op: storage.WALAdapt, MinSup: minSup, Paths: wl}); err != nil {
+		// The workload was consumed above; put it back so the queries are
+		// not lost to the next Adapt just because journaling failed.
+		ix.logMu.Lock()
+		ix.workload = append(wl, ix.workload...)
+		ix.logMu.Unlock()
+		return err
+	}
 	ix.publish(shadow, dt)
 	return nil
 }
@@ -578,6 +610,9 @@ func (ix *Index) AdaptTo(queries []string, minSup float64) error {
 	ix.hook("rebuild")
 	shadow.ExtractFrequentPaths(paths, minSup)
 	shadow.Update()
+	if err := ix.journal(storage.WALRecord{Op: storage.WALAdapt, MinSup: minSup, Paths: paths}); err != nil {
+		return err
+	}
 	ix.publish(shadow, dt)
 	return nil
 }
@@ -636,6 +671,14 @@ func (ix *Index) Insert(parentQuery, fragment string) error {
 	if err != nil {
 		return err
 	}
+	// Journal the resolved parent NID, not the query: node IDs are stable
+	// across clones and deterministic under replay, so recovery re-applies
+	// the fragment without needing an evaluator mid-replay.
+	if err := ix.journal(storage.WALRecord{
+		Op: storage.WALInsert, Parent: parent, ParentQuery: parentQuery, Fragment: fragment,
+	}); err != nil {
+		return err
+	}
 	ix.publish(shadow, dt)
 	return nil
 }
@@ -685,6 +728,11 @@ func (ix *Index) Delete(targetQuery string) error {
 	shadow.RefreshData()
 	dt, err := storage.BuildDataTable(shadowG, 0, 64)
 	if err != nil {
+		return err
+	}
+	if err := ix.journal(storage.WALRecord{
+		Op: storage.WALDelete, Targets: nids, TargetQuery: targetQuery,
+	}); err != nil {
 		return err
 	}
 	ix.publish(shadow, dt)

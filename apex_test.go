@@ -19,7 +19,8 @@ const movieDoc = `<MovieDB>
 func openMovie(t *testing.T) *Index {
 	t.Helper()
 	ix, err := Open(strings.NewReader(movieDoc), &Options{
-		IDREFSAttrs: []string{"actor", "movie", "director"},
+		IDREFSAttrs:     []string{"actor", "movie", "director"},
+		AllowLegacyDump: true, // several tests exercise the deprecated Save path
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -69,9 +69,10 @@ func TestExplainLogsWorkload(t *testing.T) {
 // zero-value Options, dropping Parallelism and the reference attributes).
 func TestSaveLoadKeepsOptions(t *testing.T) {
 	ix, err := Open(strings.NewReader(movieDoc), &Options{
-		IDREFSAttrs: []string{"actor", "movie", "director"},
-		MinSup:      0.25,
-		Parallelism: 2,
+		IDREFSAttrs:     []string{"actor", "movie", "director"},
+		MinSup:          0.25,
+		Parallelism:     2,
+		AllowLegacyDump: true,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -99,6 +99,23 @@ var headlines = map[string]headlineSpec{
 			return rep.HitRate, nil
 		},
 	},
+	"BENCH_RECOVERY.json": {
+		Metric:         "restart speedup",
+		HigherIsBetter: true,
+		Extract: func(data []byte) (float64, error) {
+			var rep RecoveryReport
+			if err := json.Unmarshal(data, &rep); err != nil {
+				return 0, err
+			}
+			if !rep.Identical {
+				return 0, fmt.Errorf("recovered index diverged from the reference rebuild")
+			}
+			if rep.Speedup <= 0 {
+				return 0, fmt.Errorf("no speedup recorded")
+			}
+			return rep.Speedup, nil
+		},
+	},
 }
 
 // Comparison is one artifact's baseline-versus-current verdict.

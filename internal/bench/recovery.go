@@ -1,0 +1,169 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"apex"
+	"apex/internal/datagen"
+)
+
+// RecoveryReport measures the durable storage engine's reason for existing:
+// how much faster a restart is when the process reopens the last checkpoint
+// and replays the WAL tail instead of rebuilding the index from the source
+// data. The headline number is the restart speedup (cold rebuild wall time
+// over durable open wall time); the report also prices the checkpoint on
+// disk in bytes per extent edge and proves the shortcut is exact by
+// fingerprint comparison against a cold reference rebuild.
+type RecoveryReport struct {
+	Dataset     string `json:"dataset"`
+	GraphEdges  int    `json:"graph_edges"`
+	ExtentEdges int    `json:"extent_edges"`
+	TailRecords int64  `json:"tail_records"`
+
+	ColdRebuild time.Duration `json:"cold_rebuild_ns"`
+	DurableOpen time.Duration `json:"durable_open_ns"`
+	Speedup     float64       `json:"speedup"`
+
+	CheckpointBytes int64   `json:"checkpoint_bytes"`
+	SegmentBytes    int64   `json:"segment_bytes"`
+	BytesPerEdge    float64 `json:"bytes_per_edge"`
+
+	ReplayedRecords int64 `json:"replayed_records"`
+	Identical       bool  `json:"identical"`
+}
+
+// Recovery runs the restart experiment on one dataset: build and persist a
+// durable index, journal tailAdapts restructurings into the WAL without
+// checkpointing (the daemon's state right after a crash), then race the two
+// ways back to a serving index — apex.RecoverDir against a cold rebuild
+// that re-applies the same writes. Both paths start from an already-loaded
+// data graph, which is conservative: a real cold start would also re-parse
+// the source document.
+func (e *Env) Recovery(name string, tailAdapts int) (RecoveryReport, error) {
+	s, err := e.site(name)
+	if err != nil {
+		return RecoveryReport{}, err
+	}
+	// The tail restructurings, as query batches drawn from the site's
+	// QTYPE1 population (what POST /adapt journals in production).
+	batches := make([][]string, tailAdapts)
+	for i := range batches {
+		for j := i * 8; j < (i+1)*8 && j < len(s.q1); j++ {
+			batches[i] = append(batches[i], s.q1[j].String())
+		}
+		if len(batches[i]) == 0 {
+			return RecoveryReport{}, fmt.Errorf("bench: recovery: dataset %s yielded too few queries", name)
+		}
+	}
+	// Private graph loads: journaled writes may mutate them, and the cached
+	// site graph is shared with the other experiments.
+	load := func() (*apex.Index, error) {
+		ds, err := datagen.LoadDataset(name, e.cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		return apex.FromGraph(ds.Graph, &apex.Options{NoSync: true})
+	}
+
+	dir, err := os.MkdirTemp("", "apexbench-recovery-")
+	if err != nil {
+		return RecoveryReport{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	// The crashed process: persisted once, then journaled writes it never
+	// got to checkpoint.
+	ix, err := load()
+	if err != nil {
+		return RecoveryReport{}, err
+	}
+	if err := ix.Persist(dir); err != nil {
+		return RecoveryReport{}, err
+	}
+	for i, qs := range batches {
+		if err := ix.AdaptTo(qs, e.cfg.MinSups[0]); err != nil {
+			return RecoveryReport{}, fmt.Errorf("bench: recovery: adapt %d: %w", i, err)
+		}
+	}
+	wantFP := ix.Fingerprint()
+	if err := ix.Close(); err != nil {
+		return RecoveryReport{}, err
+	}
+
+	// Cold path: rebuild from the data graph and re-apply the writes.
+	coldStart := time.Now()
+	cold, err := load()
+	if err != nil {
+		return RecoveryReport{}, err
+	}
+	for _, qs := range batches {
+		if err := cold.AdaptTo(qs, e.cfg.MinSups[0]); err != nil {
+			return RecoveryReport{}, err
+		}
+	}
+	coldElapsed := time.Since(coldStart)
+	coldFP := cold.Fingerprint()
+
+	// Durable path: open the directory, replay the tail. RecoverDir also
+	// folds the replayed tail into a fresh checkpoint before returning, so
+	// the measured time is the full restart cost, not just the read.
+	openStart := time.Now()
+	re, err := apex.RecoverDir(dir, "", nil)
+	if err != nil {
+		return RecoveryReport{}, fmt.Errorf("bench: recovery: open: %w", err)
+	}
+	openElapsed := time.Since(openStart)
+	defer re.Close()
+
+	st, ok := re.DurabilityStats()
+	if !ok {
+		return RecoveryReport{}, fmt.Errorf("bench: recovery: recovered index not durable")
+	}
+	ixStats := re.Stats()
+	rep := RecoveryReport{
+		Dataset:         name,
+		GraphEdges:      ixStats.Edges,
+		ExtentEdges:     ixStats.ExtentEdges,
+		TailRecords:     int64(tailAdapts),
+		ColdRebuild:     coldElapsed,
+		DurableOpen:     openElapsed,
+		CheckpointBytes: st.CheckpointBytes,
+		SegmentBytes:    st.SegmentBytes,
+		ReplayedRecords: st.ReplayedRecords,
+		Identical:       re.Fingerprint() == wantFP && coldFP == wantFP,
+	}
+	if openElapsed > 0 {
+		rep.Speedup = float64(coldElapsed) / float64(openElapsed)
+	}
+	if ixStats.ExtentEdges > 0 {
+		rep.BytesPerEdge = float64(st.SegmentBytes) / float64(ixStats.ExtentEdges)
+	}
+	return rep, nil
+}
+
+// RenderRecovery formats the recovery report.
+func RenderRecovery(rep RecoveryReport) string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "crash recovery (%s): %d-record WAL tail over the last checkpoint\n",
+		rep.Dataset, rep.TailRecords)
+	fmt.Fprintf(&b, "  restart: durable-open=%v cold-rebuild=%v speedup=%.1fx identical=%v\n",
+		rep.DurableOpen.Round(time.Millisecond), rep.ColdRebuild.Round(time.Millisecond),
+		rep.Speedup, rep.Identical)
+	fmt.Fprintf(&b, "  disk: checkpoint=%d B segments=%d B (%.2f B/extent-edge, %d extent edges)\n",
+		rep.CheckpointBytes, rep.SegmentBytes, rep.BytesPerEdge, rep.ExtentEdges)
+	fmt.Fprintf(&b, "  replayed %d journaled writes\n", rep.ReplayedRecords)
+	return b.String()
+}
+
+// WriteRecoveryJSON writes the report as indented JSON (the
+// BENCH_RECOVERY.json artifact the regression gate reads).
+func WriteRecoveryJSON(w io.Writer, rep RecoveryReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

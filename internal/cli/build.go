@@ -74,12 +74,17 @@ func RunBuild(args []string, stdout io.Writer) error {
 
 	if *out != "" {
 		// Save through the facade so the parser and adaptation options travel
-		// with the index file and apexquery -index restores them.
+		// with the index file and apexquery -index restores them. The
+		// monolithic dump is deprecated in favor of the durable directory
+		// (apexd -dir); it stays supported for one release as the migration
+		// input.
+		fprintf(stdout, "note: -out writes the deprecated monolithic dump; apexd -dir serves and checkpoints a durable directory, and migrates dumps via -dir + -index\n")
 		ix, err := apex.FromCore(idx, &apex.Options{
-			IDAttrs:     []string{*idattr},
-			IDREFAttrs:  splitList(*idref),
-			IDREFSAttrs: splitList(*idrefs),
-			MinSup:      *minSup,
+			IDAttrs:         []string{*idattr},
+			IDREFAttrs:      splitList(*idref),
+			IDREFSAttrs:     splitList(*idrefs),
+			MinSup:          *minSup,
+			AllowLegacyDump: true,
 		})
 		if err != nil {
 			return err

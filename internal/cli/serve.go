@@ -2,6 +2,7 @@ package cli
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -45,14 +46,27 @@ func runServe(ctx context.Context, args []string, stdout io.Writer) error {
 		timeout     = fs.Duration("timeout", 30*time.Second, "per-query evaluation timeout (<=0 disables)")
 		drain       = fs.Duration("drain", 10*time.Second, "graceful shutdown drain bound")
 		accessLog   = fs.String("access-log", "", "access log file ('-' for stdout, empty disables)")
+		dir         = fs.String("dir", "", "durable index directory (WAL + checkpoints); recovered if it has a manifest, seeded otherwise")
+		ckptEvery   = fs.Duration("checkpoint-interval", 0, "fold journaled writes into a checkpoint this often (with -dir; 0 disables)")
+		noSync      = fs.Bool("no-sync", false, "skip WAL fsyncs (with -dir; faster writes, crash may lose the latest ones)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	ix, err := serveIndex(*indexPath, *in, *dataset, *scale, *idattr, *idref, *idrefs, *minSup, *parallelism, stdout)
+	// Index-shaping flags override the Options recorded in a recovered
+	// manifest only when the operator actually set them.
+	optsSet := false
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "id", "idref", "idrefs", "minsup", "parallelism", "no-sync":
+			optsSet = true
+		}
+	})
+	ix, err := serveIndex(*dir, *noSync, optsSet, *indexPath, *in, *dataset, *scale, *idattr, *idref, *idrefs, *minSup, *parallelism, stdout)
 	if err != nil {
 		return err
 	}
+	defer ix.Close()
 
 	cfg := server.Config{
 		MaxInflight:  *maxInflight,
@@ -80,6 +94,23 @@ func runServe(ctx context.Context, args []string, stdout io.Writer) error {
 		cfg.AccessLog = f
 	}
 
+	if ix.Durable() && *ckptEvery > 0 {
+		go func() {
+			t := time.NewTicker(*ckptEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					if err := ix.Checkpoint(); err != nil {
+						fprintf(stdout, "apexd: checkpoint: %v\n", err)
+					}
+				}
+			}
+		}()
+	}
+
 	srv := server.New(ix, cfg)
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -89,20 +120,29 @@ func runServe(ctx context.Context, args []string, stdout io.Writer) error {
 	if err := srv.Serve(ctx, ln); err != nil {
 		return err
 	}
+	if ix.Durable() {
+		// Fold whatever the session journaled into a final checkpoint so the
+		// next start replays nothing.
+		if err := ix.Checkpoint(); err != nil {
+			return fmt.Errorf("apexd: final checkpoint: %w", err)
+		}
+	}
 	fprintf(stdout, "apexd: drained, bye\n")
 	return nil
 }
 
-// serveIndex resolves exactly one of -index / -in / -dataset into an index.
-func serveIndex(indexPath, in, dataset string, scale float64, idattr, idref, idrefs string, minSup float64, parallelism int, stdout io.Writer) (*apex.Index, error) {
+// serveIndex resolves the index to serve. Without -dir, exactly one of
+// -index / -in / -dataset is loaded or built in memory, as before. With
+// -dir, the directory is authoritative: an existing manifest is recovered
+// (replaying the WAL tail), a -index dump is migrated into a fresh
+// directory, and -in / -dataset seed a fresh directory with an initial
+// checkpoint.
+func serveIndex(dir string, noSync, optsSet bool, indexPath, in, dataset string, scale float64, idattr, idref, idrefs string, minSup float64, parallelism int, stdout io.Writer) (*apex.Index, error) {
 	sources := 0
 	for _, s := range []string{indexPath, in, dataset} {
 		if s != "" {
 			sources++
 		}
-	}
-	if sources != 1 {
-		return nil, fmt.Errorf("apexd: exactly one of -index, -in, -dataset is required")
 	}
 	opts := &apex.Options{
 		IDAttrs:     []string{idattr},
@@ -110,32 +150,82 @@ func serveIndex(indexPath, in, dataset string, scale float64, idattr, idref, idr
 		IDREFSAttrs: splitList(idrefs),
 		MinSup:      minSup,
 		Parallelism: parallelism,
+		NoSync:      noSync,
 	}
+	if dir == "" {
+		if sources != 1 {
+			return nil, fmt.Errorf("apexd: exactly one of -index, -in, -dataset is required")
+		}
+		if indexPath != "" {
+			ix, err := apex.LoadFile(indexPath)
+			if err != nil {
+				return nil, err
+			}
+			fprintf(stdout, "apexd: loaded index %s (ephemeral; use -dir for durable serving)\n", indexPath)
+			return ix, nil
+		}
+		return buildServeIndex(in, dataset, scale, opts, stdout)
+	}
+
+	if sources > 1 {
+		return nil, fmt.Errorf("apexd: at most one of -index, -in, -dataset may accompany -dir")
+	}
+	var recoverOpts *apex.Options
+	if optsSet {
+		recoverOpts = opts
+	}
+	ix, err := apex.RecoverDir(dir, indexPath, recoverOpts)
 	switch {
-	case indexPath != "":
-		ix, err := apex.LoadFile(indexPath)
+	case err == nil:
+		if in != "" || dataset != "" {
+			fprintf(stdout, "apexd: %s already has a manifest; ignoring the build source and recovering\n", dir)
+		}
+		if st, ok := ix.DurabilityStats(); ok {
+			fprintf(stdout, "apexd: recovered %s (checkpoint %d, replayed %d journaled writes)\n",
+				dir, st.CheckpointSeq, st.ReplayedRecords)
+			if st.WALTailTruncated {
+				fprintf(stdout, "apexd: dropped a torn WAL tail (normal crash residue)\n")
+			}
+		}
+		return ix, nil
+	case errors.Is(err, apex.ErrNoManifest):
+		// Fresh directory and no legacy dump to migrate: seed it from the
+		// build source, then persist the initial checkpoint.
+		if sources == 0 {
+			return nil, fmt.Errorf("apexd: %s has no manifest yet; seed it with -in, -dataset, or -index", dir)
+		}
+		ix, err := buildServeIndex(in, dataset, scale, opts, stdout)
 		if err != nil {
 			return nil, err
 		}
-		fprintf(stdout, "apexd: loaded index %s\n", indexPath)
+		if err := ix.Persist(dir); err != nil {
+			return nil, err
+		}
+		fprintf(stdout, "apexd: wrote initial checkpoint in %s\n", dir)
 		return ix, nil
-	case in != "":
+	default:
+		return nil, err
+	}
+}
+
+// buildServeIndex builds an index from -in or -dataset.
+func buildServeIndex(in, dataset string, scale float64, opts *apex.Options, stdout io.Writer) (*apex.Index, error) {
+	if in != "" {
 		ix, err := apex.OpenFile(in, opts)
 		if err != nil {
 			return nil, err
 		}
 		fprintf(stdout, "apexd: built index from %s\n", in)
 		return ix, nil
-	default:
-		ds, err := datagen.LoadDataset(dataset, scale)
-		if err != nil {
-			return nil, err
-		}
-		ix, err := apex.FromGraph(ds.Graph, opts)
-		if err != nil {
-			return nil, err
-		}
-		fprintf(stdout, "apexd: built index from dataset %s (scale %g)\n", dataset, scale)
-		return ix, nil
 	}
+	ds, err := datagen.LoadDataset(dataset, scale)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := apex.FromGraph(ds.Graph, opts)
+	if err != nil {
+		return nil, err
+	}
+	fprintf(stdout, "apexd: built index from dataset %s (scale %g)\n", dataset, scale)
+	return ix, nil
 }

@@ -135,3 +135,104 @@ func TestRunServeEndToEnd(t *testing.T) {
 		t.Fatalf("access log missing query record: err=%v content=%q", err, logData)
 	}
 }
+
+// TestRunServeDurableLifecycle seeds a durable directory from a dataset,
+// checkpoints over HTTP, drains, and restarts from the directory alone —
+// the recover path an operator's systemd unit exercises on every boot.
+func TestRunServeDurableLifecycle(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "idx")
+
+	// An empty directory with no seed source must refuse, not serve nothing.
+	var vout bytes.Buffer
+	if err := runServe(context.Background(), []string{"-dir", dir}, &vout); err == nil {
+		t.Fatal("fresh -dir with no source: want error")
+	}
+
+	run := func(args ...string) (*syncBuffer, context.CancelFunc, chan error) {
+		out := &syncBuffer{}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() { done <- runServe(ctx, args, out) }()
+		return out, cancel, done
+	}
+	stop := func(cancel context.CancelFunc, done chan error) {
+		t.Helper()
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("runServe returned %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("runServe did not drain")
+		}
+	}
+
+	// First boot: seed from the dataset, then checkpoint over HTTP.
+	out, cancel, done := run("-addr", "127.0.0.1:0", "-dir", dir, "-dataset", "shakes_11.xml", "-scale", "0.05")
+	base := serveAddr(t, out)
+	resp, err := http.Post(base+"/checkpoint", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cp struct {
+		Durability struct {
+			CheckpointSeq int64 `json:"checkpoint_seq"`
+		} `json:"durability"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&cp)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint: status=%d err=%v", resp.StatusCode, err)
+	}
+	if cp.Durability.CheckpointSeq < 2 {
+		t.Fatalf("checkpoint_seq = %d, want >= 2 after an explicit checkpoint", cp.Durability.CheckpointSeq)
+	}
+	stop(cancel, done)
+	if !strings.Contains(out.String(), "wrote initial checkpoint") {
+		t.Fatalf("no seed banner:\n%s", out.String())
+	}
+
+	// Second boot: the directory alone is enough, and /stats reports the
+	// durability attachment.
+	out, cancel, done = run("-addr", "127.0.0.1:0", "-dir", dir)
+	base = serveAddr(t, out)
+	resp, err = http.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		Durability *struct {
+			Dir string `json:"dir"`
+		} `json:"durability"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil || st.Durability == nil || st.Durability.Dir != dir {
+		t.Fatalf("stats durability = %+v (err=%v), want dir %s", st.Durability, err, dir)
+	}
+	resp, err = http.Post(base+"/query", "application/json", strings.NewReader(`{"query":"//ACT/SCENE"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qr struct {
+		Count int `json:"count"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&qr)
+	resp.Body.Close()
+	if err != nil || qr.Count == 0 {
+		t.Fatalf("recovered index query: count=%d err=%v", qr.Count, err)
+	}
+	stop(cancel, done)
+	if !strings.Contains(out.String(), "recovered "+dir) {
+		t.Fatalf("no recovery banner:\n%s", out.String())
+	}
+
+	// A build source alongside an existing manifest is ignored with a notice.
+	out, cancel, done = run("-addr", "127.0.0.1:0", "-dir", dir, "-dataset", "shakes_11.xml")
+	serveAddr(t, out)
+	stop(cancel, done)
+	if !strings.Contains(out.String(), "ignoring the build source") {
+		t.Fatalf("no ignore notice:\n%s", out.String())
+	}
+}

@@ -133,6 +133,25 @@ func (s *EdgeSet) CloneShared() *EdgeSet {
 // Frozen reports whether the set is in its columnar serving form.
 func (s *EdgeSet) Frozen() bool { return s != nil && s.frozen }
 
+// FrozenColumns exposes the three serving columns of a frozen set for
+// serialization. The slices are the set's own backing store — read-only.
+// ok is false while the set is mutable.
+func (s *EdgeSet) FrozenColumns() (byFrom, byTo []xmlgraph.EdgePair, ends []xmlgraph.NID, ok bool) {
+	if s == nil || !s.frozen {
+		return nil, nil, nil, false
+	}
+	return s.byFrom, s.byTo, s.ends, true
+}
+
+// NewFrozenEdgeSet constructs a set directly in its frozen serving form from
+// externally decoded columns (the segment loader's path): byFrom sorted by
+// (From, To), byTo sorted by (To, From), ends the distinct To values
+// ascending. The caller owns validation — the decoder enforces order and
+// cross-column consistency before this is reached — and cedes the slices.
+func NewFrozenEdgeSet(byFrom, byTo []xmlgraph.EdgePair, ends []xmlgraph.NID) *EdgeSet {
+	return &EdgeSet{frozen: true, byFrom: byFrom, byTo: byTo, ends: ends}
+}
+
 func lessFromTo(a, b xmlgraph.EdgePair) bool {
 	if a.From != b.From {
 		return a.From < b.From

@@ -4,13 +4,22 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"sort"
 
 	"apex/internal/xmlgraph"
 )
 
 // The gob wire form flattens the two linked structures: G_APEX nodes become
 // indexed records, H_APEX becomes a tree of entry records referencing node
-// indexes. The data graph is embedded so a decoded index is self-contained.
+// indexes. Two framings share it:
+//
+//   - Encode/Decode — the legacy monolithic dump: data graph embedded,
+//     extents inlined per node. Self-contained, but every open re-sorts
+//     everything.
+//   - EncodeStructure/DecodeStructure — the durable-checkpoint form: no
+//     graph, no extents. The graph and the frozen extent columns travel in
+//     their own checkpoint files (see internal/storage), and DecodeStructure
+//     stitches decoded columns back onto the nodes by ID.
 
 type gobAPEX struct {
 	NextID int
@@ -23,8 +32,8 @@ type gobAPEX struct {
 type gobXNode struct {
 	ID     int
 	Path   string
-	Extent []xmlgraph.EdgePair
-	Out    map[string]int // label -> index into Nodes
+	Extent []xmlgraph.EdgePair // nil in the structure-only framing
+	Out    map[string]int      // label -> index into Nodes
 }
 
 type gobHNode struct {
@@ -39,8 +48,13 @@ type gobEntry struct {
 	Next  *gobHNode
 }
 
-// Encode writes the index (including its data graph) in gob form.
-func (a *APEX) Encode(w io.Writer) error {
+// wireNodes flattens every live XNode to a stable index: nodes reachable
+// from xroot first (BFS order), then hash-referenced nodes, then the
+// transitive out-edge closure — a child reachable from neither xroot nor
+// the hash tree can only be stale garbage, but it is interned for fidelity.
+// The closure loop iterates by index because collecting a straggler may
+// grow the slice.
+func (a *APEX) wireNodes() ([]*XNode, map[*XNode]int) {
 	idx := make(map[*XNode]int)
 	var nodes []*XNode
 	collect := func(x *XNode) {
@@ -52,7 +66,6 @@ func (a *APEX) Encode(w io.Writer) error {
 			nodes = append(nodes, x)
 		}
 	}
-	// Reachable graph nodes first, then any hash-referenced stragglers.
 	a.EachNode(collect)
 	var walkH func(h *HNode)
 	walkH = func(h *HNode) {
@@ -68,20 +81,26 @@ func (a *APEX) Encode(w io.Writer) error {
 		}
 	}
 	walkH(a.head)
+	for i := 0; i < len(nodes); i++ {
+		for _, l := range nodes[i].OutLabels() {
+			collect(nodes[i].out[l])
+		}
+	}
+	return nodes, idx
+}
 
+// wireForm renders the index in its flattened gob shape. withExtents selects
+// the monolithic framing; the structure-only framing leaves every Extent nil.
+func (a *APEX) wireForm(withExtents bool) gobAPEX {
+	nodes, idx := a.wireNodes()
 	wire := gobAPEX{NextID: a.nextID, Run: a.run, XRoot: idx[a.xroot]}
 	for _, x := range nodes {
-		gx := gobXNode{ID: x.ID, Path: x.Path, Extent: x.Extent.Sorted(), Out: make(map[string]int)}
+		gx := gobXNode{ID: x.ID, Path: x.Path, Out: make(map[string]int)}
+		if withExtents {
+			gx.Extent = x.Extent.Sorted()
+		}
 		for l, y := range x.out {
-			yi, ok := idx[y]
-			if !ok {
-				// A child not reachable from xroot nor the hash tree can
-				// only be stale garbage; intern it for fidelity.
-				yi = len(nodes)
-				idx[y] = yi
-				nodes = append(nodes, y)
-			}
-			gx.Out[l] = yi
+			gx.Out[l] = idx[y]
 		}
 		wire.Nodes = append(wire.Nodes, gx)
 	}
@@ -109,33 +128,81 @@ func (a *APEX) Encode(w io.Writer) error {
 		return gh
 	}
 	wire.Head = encodeH(a.head)
+	return wire
+}
 
-	enc := gob.NewEncoder(w)
+// Encode writes the index (including its data graph) in gob form.
+func (a *APEX) Encode(w io.Writer) error {
+	wire := a.wireForm(true)
 	if err := a.g.Encode(w); err != nil {
 		return err
 	}
-	if err := enc.Encode(&wire); err != nil {
+	if err := gob.NewEncoder(w).Encode(&wire); err != nil {
 		return fmt.Errorf("core: encode: %w", err)
 	}
 	return nil
 }
 
-// Decode reads an index written by Encode, reconstructing both the data
-// graph and the two index structures.
-func Decode(r io.Reader) (*APEX, error) {
-	g, err := xmlgraph.DecodeGraph(r)
-	if err != nil {
-		return nil, err
+// EncodeStructure writes the index skeleton — nodes, edges, hash tree — with
+// no data graph and no extents. The durable checkpoint stores the graph and
+// the frozen extent columns in separate files; this is everything else.
+func (a *APEX) EncodeStructure(w io.Writer) error {
+	wire := a.wireForm(false)
+	if err := gob.NewEncoder(w).Encode(&wire); err != nil {
+		return fmt.Errorf("core: encode structure: %w", err)
 	}
-	var wire gobAPEX
-	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
-		return nil, fmt.Errorf("core: decode: %w", err)
+	return nil
+}
+
+// ExtentColumns is one node's frozen extent in columnar form, keyed by the
+// node's ID — the unit a storage segment persists.
+type ExtentColumns struct {
+	ID     int
+	ByFrom []xmlgraph.EdgePair
+	ByTo   []xmlgraph.EdgePair
+	Ends   []xmlgraph.NID
+}
+
+// FrozenExtents exports every live node's extent columns, ordered by node
+// ID. It fails if any extent is mutable (checkpoints only happen at
+// publication points, where FreezeExtents has run) or if two nodes share an
+// ID (the ID is the join key segments decode against).
+func (a *APEX) FrozenExtents() ([]ExtentColumns, error) {
+	nodes, _ := a.wireNodes()
+	res := make([]ExtentColumns, 0, len(nodes))
+	seen := make(map[int]bool, len(nodes))
+	for _, x := range nodes {
+		if seen[x.ID] {
+			return nil, fmt.Errorf("core: frozen extents: duplicate node id %d", x.ID)
+		}
+		seen[x.ID] = true
+		byFrom, byTo, ends, ok := x.Extent.FrozenColumns()
+		if !ok {
+			return nil, fmt.Errorf("core: frozen extents: node %d (%s) extent not frozen", x.ID, x.Path)
+		}
+		res = append(res, ExtentColumns{ID: x.ID, ByFrom: byFrom, ByTo: byTo, Ends: ends})
 	}
+	sort.Slice(res, func(i, j int) bool { return res[i].ID < res[j].ID })
+	return res, nil
+}
+
+// decodeWire rebuilds the two index structures from the flattened form.
+// extents supplies pre-built frozen extents by node ID for the
+// structure-only framing; nil means the inlined Extent pairs are used.
+func decodeWire(g *xmlgraph.Graph, wire gobAPEX, extents map[int]*EdgeSet) (*APEX, error) {
 	nodes := make([]*XNode, len(wire.Nodes))
 	for i, gx := range wire.Nodes {
 		x := newXNodeValue(gx.ID, gx.Path)
-		for _, p := range gx.Extent {
-			x.Extent.Add(p)
+		if extents != nil {
+			ext, ok := extents[gx.ID]
+			if !ok {
+				return nil, fmt.Errorf("core: decode: no segment extent for node %d (%s)", gx.ID, gx.Path)
+			}
+			x.Extent = ext
+		} else {
+			for _, p := range gx.Extent {
+				x.Extent.Add(p)
+			}
 		}
 		nodes[i] = x
 	}
@@ -196,7 +263,36 @@ func Decode(r io.Reader) (*APEX, error) {
 	}
 	a := &APEX{g: g, head: head, xroot: xroot, nextID: wire.NextID, run: wire.Run}
 	// A decoded index goes straight into serving, so publish the columnar
-	// extent form exactly like the build and maintenance paths do.
+	// extent form exactly like the build and maintenance paths do. In the
+	// structure-only framing every extent arrives frozen and this pass only
+	// rebuilds the hash-tree subtree caches.
 	a.FreezeExtents()
 	return a, nil
+}
+
+// Decode reads an index written by Encode, reconstructing both the data
+// graph and the two index structures.
+func Decode(r io.Reader) (*APEX, error) {
+	g, err := xmlgraph.DecodeGraph(r)
+	if err != nil {
+		return nil, err
+	}
+	var wire gobAPEX
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("core: decode: %w", err)
+	}
+	return decodeWire(g, wire, nil)
+}
+
+// DecodeStructure reads a skeleton written by EncodeStructure and stitches
+// it onto an externally decoded data graph and extent set. Every node must
+// find its extent in extents — a missing entry means the checkpoint's
+// structure and segment files disagree, which is corruption, not a state to
+// repair silently.
+func DecodeStructure(r io.Reader, g *xmlgraph.Graph, extents map[int]*EdgeSet) (*APEX, error) {
+	var wire gobAPEX
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("core: decode structure: %w", err)
+	}
+	return decodeWire(g, wire, extents)
 }

@@ -129,7 +129,8 @@ func (s *Server) Cache() *Cache { return s.cache }
 //	POST /query    {"query": "//a/b"} → result (cache-first)
 //	POST /explain  {"query": "//a/b"} → result + EXPLAIN trace (never cached)
 //	POST /adapt    {"min_sup": 0.005, "queries": [...]} → restructure
-//	GET  /stats    index + cache + admission snapshot
+//	POST /checkpoint  fold journaled writes into a checkpoint (durable index only)
+//	GET  /stats    index + cache + admission + durability snapshot
 //	GET  /metrics  process metrics registry as JSON
 //	GET  /debug/vars, /debug/pprof/*
 func (s *Server) Handler() http.Handler {
@@ -137,6 +138,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("POST /explain", s.handleExplain)
 	mux.HandleFunc("POST /adapt", s.handleAdapt)
+	if s.ix.Durable() {
+		mux.HandleFunc("POST /checkpoint", s.handleCheckpoint)
+	}
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.Handle("GET /debug/vars", expvar.Handler())
@@ -228,13 +232,21 @@ type adaptResponse struct {
 	Stats       apex.Stats `json:"stats"`
 }
 
-// statsResponse is the body of GET /stats.
+// statsResponse is the body of GET /stats. Durability is present only when
+// the served index journals to a durable directory.
 type statsResponse struct {
-	Generation  uint64     `json:"generation"`
-	Index       apex.Stats `json:"index"`
-	Cache       CacheStats `json:"cache"`
-	Inflight    int        `json:"inflight"`
-	MaxInflight int        `json:"max_inflight"`
+	Generation  uint64                `json:"generation"`
+	Index       apex.Stats            `json:"index"`
+	Cache       CacheStats            `json:"cache"`
+	Inflight    int                   `json:"inflight"`
+	MaxInflight int                   `json:"max_inflight"`
+	Durability  *apex.DurabilityStats `json:"durability,omitempty"`
+}
+
+// checkpointResponse is the body of a POST /checkpoint answer.
+type checkpointResponse struct {
+	Generation uint64               `json:"generation"`
+	Durability apex.DurabilityStats `json:"durability"`
 }
 
 // errorResponse is every non-2xx body.
@@ -344,12 +356,31 @@ func (s *Server) handleAdapt(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, statsResponse{
+	resp := statsResponse{
 		Generation:  s.ix.Generation(),
 		Index:       s.ix.Stats(),
 		Cache:       s.cache.Stats(),
 		Inflight:    len(s.sem),
 		MaxInflight: cap(s.sem),
+	}
+	if st, ok := s.ix.DurabilityStats(); ok {
+		resp.Durability = &st
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleCheckpoint folds the journaled writes into a fresh checkpoint on
+// demand (operators call it before planned restarts so recovery replays
+// nothing). Routed only when the served index is durable.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if err := s.ix.Checkpoint(); err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	st, _ := s.ix.DurabilityStats()
+	writeJSON(w, http.StatusOK, checkpointResponse{
+		Generation: s.ix.Generation(),
+		Durability: st,
 	})
 }
 

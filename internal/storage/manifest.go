@@ -1,0 +1,273 @@
+package storage
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// The manifest is the durability root: a small JSON document naming every
+// file of the last published checkpoint (graph, structure, segments, WAL)
+// with sizes and CRCs. Publication is a single atomic rename —
+//
+//	write MANIFEST.json.tmp → fsync file → rename over MANIFEST.json →
+//	fsync directory
+//
+// so a reader opening the directory sees either the old checkpoint or the
+// new one, never a mix. Files are written before the manifest that
+// references them and deleted only after the manifest that dropped them is
+// durable; any file not named by the current manifest is an orphan from an
+// interrupted checkpoint and is ignored by recovery, then swept by the next
+// successful checkpoint.
+
+// ManifestName is the manifest file name inside a durable index directory.
+const ManifestName = "MANIFEST.json"
+
+// manifestFormatVersion guards against opening directories written by an
+// incompatible future layout.
+const manifestFormatVersion = 1
+
+// FileRef names one checkpoint file with enough redundancy to detect any
+// corruption before its content is trusted.
+type FileRef struct {
+	Name  string `json:"name"`
+	Bytes int64  `json:"bytes"`
+	CRC   uint32 `json:"crc32"`
+}
+
+// Manifest describes one published checkpoint.
+type Manifest struct {
+	FormatVersion int    `json:"format_version"`
+	Generation    uint64 `json:"generation"`
+	// Checkpoint is the checkpoint sequence number; file names embed it.
+	Checkpoint int64 `json:"checkpoint"`
+	// Graph is the data graph in the xmlgraph binary wire form; Structure
+	// is the extent-less index structure (nodes, hash tree, gob-encoded);
+	// Segments hold the frozen extents.
+	Graph     FileRef   `json:"graph"`
+	Structure FileRef   `json:"structure"`
+	Segments  []FileRef `json:"segments"`
+	// WAL names the live log; its tail is replayed on open, so it carries
+	// no size/CRC — the record framing validates it instead.
+	WAL string `json:"wal"`
+	// LegacyDump records the monolithic Save dump this directory was
+	// migrated from, if any, so recovery can detect a dump that diverged
+	// from the manifest lineage instead of silently preferring either.
+	LegacyDump *FileRef `json:"legacy_dump,omitempty"`
+	// Options preserves the facade options the index was persisted with.
+	Options json.RawMessage `json:"options,omitempty"`
+}
+
+// CheckpointFileNames returns the file names a checkpoint with sequence seq
+// uses for its graph, structure, segment, and WAL files.
+func CheckpointFileNames(seq int64) (graph, structure, segment, wal string) {
+	return fmt.Sprintf("graph-%08d.bin", seq),
+		fmt.Sprintf("structure-%08d.gob", seq),
+		fmt.Sprintf("extents-%08d.seg", seq),
+		fmt.Sprintf("wal-%08d.log", seq)
+}
+
+// FileCRC computes the size and IEEE CRC32 of a file's content.
+func FileCRC(path string) (int64, uint32, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	return int64(len(data)), crc32.ChecksumIEEE(data), nil
+}
+
+// RefFile stats and checksums path into a FileRef.
+func RefFile(path string) (FileRef, error) {
+	n, crc, err := FileCRC(path)
+	if err != nil {
+		return FileRef{}, err
+	}
+	return FileRef{Name: filepath.Base(path), Bytes: n, CRC: crc}, nil
+}
+
+// WriteFileDurable writes data to dir/name via a temp file, fsyncs it, and
+// renames it into place. The directory itself is NOT fsynced — callers
+// batch that into the manifest swap that publishes the file.
+func WriteFileDurable(dir, name string, data []byte) error {
+	tmp := filepath.Join(dir, name+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, name))
+}
+
+// syncDir fsyncs a directory so completed renames inside it survive a
+// crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if closeErr := d.Close(); err == nil {
+		err = closeErr
+	}
+	return err
+}
+
+// WriteManifest atomically publishes m as dir's manifest: temp write, file
+// fsync, rename over ManifestName, directory fsync. After it returns, a
+// crash at any point leaves either the previous manifest or this one.
+func WriteManifest(dir string, m *Manifest) error {
+	m.FormatVersion = manifestFormatVersion
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := WriteFileDurable(dir, ManifestName, data); err != nil {
+		return fmt.Errorf("storage: manifest: publish: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// LoadManifest reads and validates dir's manifest. A missing manifest is
+// reported via os.IsNotExist so callers can distinguish "fresh directory"
+// from corruption.
+func LoadManifest(dir string) (*Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("storage: manifest: parse %s: %w", ManifestName, err)
+	}
+	if m.FormatVersion != manifestFormatVersion {
+		return nil, fmt.Errorf("storage: manifest: format version %d not supported (want %d)",
+			m.FormatVersion, manifestFormatVersion)
+	}
+	for _, ref := range m.refs() {
+		if !validManifestName(ref.Name) {
+			return nil, fmt.Errorf("storage: manifest: invalid file name %q", ref.Name)
+		}
+	}
+	if m.WAL != "" && !validManifestName(m.WAL) {
+		return nil, fmt.Errorf("storage: manifest: invalid wal name %q", m.WAL)
+	}
+	return &m, nil
+}
+
+// refs lists every checksummed file the manifest references.
+func (m *Manifest) refs() []FileRef {
+	refs := []FileRef{m.Graph, m.Structure}
+	refs = append(refs, m.Segments...)
+	if m.LegacyDump != nil {
+		refs = append(refs, *m.LegacyDump)
+	}
+	return refs
+}
+
+// Files lists every file name the manifest keeps alive, ManifestName
+// included. Checkpoint sweeps delete everything else.
+func (m *Manifest) Files() map[string]bool {
+	alive := map[string]bool{ManifestName: true}
+	alive[m.Graph.Name] = true
+	alive[m.Structure.Name] = true
+	for _, s := range m.Segments {
+		alive[s.Name] = true
+	}
+	if m.WAL != "" {
+		alive[m.WAL] = true
+	}
+	if m.LegacyDump != nil {
+		alive[m.LegacyDump.Name] = true
+	}
+	return alive
+}
+
+// validManifestName rejects names that would escape the index directory.
+func validManifestName(name string) bool {
+	return name != "" && name == filepath.Base(name) && !strings.HasPrefix(name, ".")
+}
+
+// VerifyFiles checks size and CRC of every checkpoint file the manifest
+// references. The WAL is excluded — its tail is allowed to be torn — and so
+// is the legacy dump: it typically lives outside the directory (or has been
+// deleted after migration), and recovery compares it against the recorded
+// ref explicitly when the caller still points at one.
+func (m *Manifest) VerifyFiles(dir string) error {
+	refs := append([]FileRef{m.Graph, m.Structure}, m.Segments...)
+	for _, ref := range refs {
+		if ref.Name == "" {
+			continue
+		}
+		n, crc, err := FileCRC(filepath.Join(dir, ref.Name))
+		if err != nil {
+			return fmt.Errorf("storage: manifest: %s: %w", ref.Name, err)
+		}
+		if n != ref.Bytes || crc != ref.CRC {
+			return fmt.Errorf("storage: manifest: %s: size/CRC mismatch (have %d bytes crc %08x, manifest says %d bytes crc %08x)",
+				ref.Name, n, crc, ref.Bytes, ref.CRC)
+		}
+	}
+	return nil
+}
+
+// SweepOrphans removes files in dir that the manifest does not keep alive —
+// leftovers of interrupted checkpoints (.tmp files, unreferenced segment or
+// WAL generations). Returns the removed names.
+func SweepOrphans(dir string, m *Manifest) ([]string, error) {
+	alive := m.Files()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var removed []string
+	for _, e := range entries {
+		if e.IsDir() || alive[e.Name()] {
+			continue
+		}
+		if !ownedName(e.Name()) {
+			continue // never delete files we did not write
+		}
+		if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+			return removed, err
+		}
+		removed = append(removed, e.Name())
+	}
+	return removed, nil
+}
+
+// ownedName reports whether a file name matches the patterns this engine
+// writes: checkpoint files, WAL generations, and their temp shadows.
+func ownedName(name string) bool {
+	base := strings.TrimSuffix(name, ".tmp")
+	if base == ManifestName {
+		return true
+	}
+	for _, p := range []struct{ prefix, suffix string }{
+		{"graph-", ".bin"},
+		{"structure-", ".gob"},
+		{"extents-", ".seg"},
+		{"wal-", ".log"},
+	} {
+		if strings.HasPrefix(base, p.prefix) && strings.HasSuffix(base, p.suffix) {
+			return true
+		}
+	}
+	return false
+}

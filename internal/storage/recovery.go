@@ -1,0 +1,90 @@
+package storage
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"apex/internal/metrics"
+)
+
+// Recovery, at the storage layer, is everything that happens before index
+// types enter the picture: find the last published manifest, prove every
+// checkpoint file it references is intact, decode the segment columns, and
+// replay the WAL tail into records. The facade stitches the results into a
+// live index and republishes (see the recovery sequence in DESIGN.md).
+
+var (
+	mRecoverOpens       = metrics.Default.Counter("storage.recovery.opens_total")
+	mRecoverTailRecords = metrics.Default.Counter("storage.recovery.tail_records_total")
+	mRecoverTruncations = metrics.Default.Counter("storage.recovery.torn_tails_total")
+)
+
+// RecoveredState is what a durable index directory yields on open: the
+// manifest, the decoded segment extents, and the journaled operations that
+// post-date the checkpoint, in append order.
+type RecoveredState struct {
+	Dir      string
+	Manifest *Manifest
+	Segments []SegmentExtent
+	Tail     []WALRecord
+	TailInfo WALReplayInfo
+}
+
+// GraphPath returns the absolute path of the checkpoint's graph file.
+func (s *RecoveredState) GraphPath() string {
+	return filepath.Join(s.Dir, s.Manifest.Graph.Name)
+}
+
+// StructurePath returns the absolute path of the checkpoint's structure
+// file.
+func (s *RecoveredState) StructurePath() string {
+	return filepath.Join(s.Dir, s.Manifest.Structure.Name)
+}
+
+// WALPath returns the absolute path of the checkpoint's live WAL, or "".
+func (s *RecoveredState) WALPath() string {
+	if s.Manifest.WAL == "" {
+		return ""
+	}
+	return filepath.Join(s.Dir, s.Manifest.WAL)
+}
+
+// OpenDir opens a durable index directory: loads the manifest (a missing
+// one surfaces as os.IsNotExist so callers can treat the directory as
+// fresh), verifies the size and CRC of every referenced checkpoint file,
+// decodes the segments, and replays the WAL tail. A torn WAL tail is
+// normal — that is what a crash leaves — and is reported, not failed;
+// damage to any manifest-referenced file is corruption and is an error.
+// Orphaned files from an interrupted checkpoint are ignored entirely.
+func OpenDir(dir string) (*RecoveredState, error) {
+	m, err := LoadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.VerifyFiles(dir); err != nil {
+		return nil, err
+	}
+	st := &RecoveredState{Dir: dir, Manifest: m}
+	for _, ref := range m.Segments {
+		exts, err := ReadSegmentFile(filepath.Join(dir, ref.Name))
+		if err != nil {
+			return nil, fmt.Errorf("storage: recovery: %w", err)
+		}
+		st.Segments = append(st.Segments, exts...)
+	}
+	if m.WAL != "" {
+		st.TailInfo, err = ReplayWALFile(st.WALPath(), func(r WALRecord) error {
+			st.Tail = append(st.Tail, r)
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("storage: recovery: wal replay: %w", err)
+		}
+	}
+	mRecoverOpens.Inc()
+	mRecoverTailRecords.Add(int64(len(st.Tail)))
+	if st.TailInfo.Truncated {
+		mRecoverTruncations.Inc()
+	}
+	return st, nil
+}

@@ -1,0 +1,379 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"apex/internal/metrics"
+	"apex/internal/xmlgraph"
+)
+
+// Segment files persist the frozen columnar extents of a published index.
+// A segment is immutable once written: a fixed header followed by one
+// CRC-framed block per extent,
+//
+//	header: "APEXSEG1" (8 bytes)
+//	block:  u32 payload length (LE) | u32 IEEE CRC32 of payload (LE) | payload
+//
+// Each block carries one extent's three columns in the exact shape the
+// serving path needs — byFrom sorted by (From, To), byTo sorted by
+// (To, From), and the distinct-ends column — so loading a segment feeds the
+// galloping binary search without re-sorting. Columns are delta-encoded:
+// sorted, deduplicated pairs compress to varuints that are mostly one byte.
+//
+// The framing is deliberately block-wise: a reader can decode one extent at
+// a time from a mapped or streamed file without materializing the rest,
+// and a torn block is caught by its own CRC before any column is trusted.
+
+// segMagic versions the segment file format.
+const segMagic = "APEXSEG1"
+
+// maxSegmentBlockLen bounds one block's payload; larger frames are treated
+// as corruption rather than allocated.
+const maxSegmentBlockLen = 1 << 30
+
+var (
+	mSegBlocksWritten = metrics.Default.Counter("storage.segment.blocks_written_total")
+	mSegBytesWritten  = metrics.Default.Counter("storage.segment.bytes_written_total")
+	mSegBlocksRead    = metrics.Default.Counter("storage.segment.blocks_read_total")
+	mSegBytesRead     = metrics.Default.Counter("storage.segment.bytes_read_total")
+)
+
+// SegmentExtent is one frozen extent as stored in a segment: the XNode it
+// belongs to plus its three serving columns.
+type SegmentExtent struct {
+	ID     int
+	ByFrom []xmlgraph.EdgePair // sorted by (From, To), strictly increasing
+	ByTo   []xmlgraph.EdgePair // sorted by (To, From), strictly increasing
+	Ends   []xmlgraph.NID      // distinct To values, ascending
+}
+
+func zigzag(v xmlgraph.NID) int64 { return int64(v) }
+
+// appendPairsByFrom delta-encodes a (From, To)-sorted column. The first
+// pair is absolute (both zigzag varints — From may be NullNID = -1). Each
+// later pair stores dFrom as a uvarint; when dFrom is zero the To advance
+// is a uvarint delta (≥ 1, enforcing strict order), otherwise To restarts
+// as an absolute zigzag varint.
+func appendPairsByFrom(b []byte, pairs []xmlgraph.EdgePair) ([]byte, error) {
+	for i, p := range pairs {
+		if i == 0 {
+			b = binary.AppendVarint(b, zigzag(p.From))
+			b = binary.AppendVarint(b, zigzag(p.To))
+			continue
+		}
+		prev := pairs[i-1]
+		if !lessFromTo(prev, p) {
+			return nil, fmt.Errorf("storage: segment: byFrom column not strictly sorted at %d", i)
+		}
+		b = binary.AppendUvarint(b, uint64(int64(p.From)-int64(prev.From)))
+		if p.From == prev.From {
+			b = binary.AppendUvarint(b, uint64(int64(p.To)-int64(prev.To)))
+		} else {
+			b = binary.AppendVarint(b, zigzag(p.To))
+		}
+	}
+	return b, nil
+}
+
+// appendPairsByTo mirrors appendPairsByFrom for the (To, From) order.
+func appendPairsByTo(b []byte, pairs []xmlgraph.EdgePair) ([]byte, error) {
+	for i, p := range pairs {
+		if i == 0 {
+			b = binary.AppendVarint(b, zigzag(p.To))
+			b = binary.AppendVarint(b, zigzag(p.From))
+			continue
+		}
+		prev := pairs[i-1]
+		if !lessToFrom(prev, p) {
+			return nil, fmt.Errorf("storage: segment: byTo column not strictly sorted at %d", i)
+		}
+		b = binary.AppendUvarint(b, uint64(int64(p.To)-int64(prev.To)))
+		if p.To == prev.To {
+			b = binary.AppendUvarint(b, uint64(int64(p.From)-int64(prev.From)))
+		} else {
+			b = binary.AppendVarint(b, zigzag(p.From))
+		}
+	}
+	return b, nil
+}
+
+func lessFromTo(a, b xmlgraph.EdgePair) bool {
+	if a.From != b.From {
+		return a.From < b.From
+	}
+	return a.To < b.To
+}
+
+func lessToFrom(a, b xmlgraph.EdgePair) bool {
+	if a.To != b.To {
+		return a.To < b.To
+	}
+	return a.From < b.From
+}
+
+// pairChecksum is an order-independent accumulator used to cross-check that
+// the two independently decoded columns hold the same pair multiset.
+func pairChecksum(pairs []xmlgraph.EdgePair) uint64 {
+	var sum uint64
+	for _, p := range pairs {
+		v := uint64(uint32(p.From))<<32 | uint64(uint32(p.To))
+		v *= 0x9e3779b97f4a7c15 // Fibonacci hashing spreads adjacent pairs
+		sum += v ^ (v >> 29)
+	}
+	return sum
+}
+
+// EncodeSegmentBlock renders one extent's block payload (unframed).
+func EncodeSegmentBlock(ext SegmentExtent) ([]byte, error) {
+	if len(ext.ByFrom) != len(ext.ByTo) {
+		return nil, fmt.Errorf("storage: segment: extent %d column lengths differ (%d vs %d)",
+			ext.ID, len(ext.ByFrom), len(ext.ByTo))
+	}
+	b := binary.AppendUvarint(nil, uint64(ext.ID))
+	b = binary.AppendUvarint(b, uint64(len(ext.ByFrom)))
+	var err error
+	if b, err = appendPairsByFrom(b, ext.ByFrom); err != nil {
+		return nil, err
+	}
+	if b, err = appendPairsByTo(b, ext.ByTo); err != nil {
+		return nil, err
+	}
+	// The ends column is derivable from byTo; storing it explicitly keeps
+	// the on-disk shape self-describing and gives decode one more
+	// consistency check. First value zigzag, then ascending uvarint deltas.
+	b = binary.AppendUvarint(b, uint64(len(ext.Ends)))
+	for i, e := range ext.Ends {
+		if i == 0 {
+			b = binary.AppendVarint(b, zigzag(e))
+			continue
+		}
+		if e <= ext.Ends[i-1] {
+			return nil, fmt.Errorf("storage: segment: extent %d ends column not ascending at %d", ext.ID, i)
+		}
+		b = binary.AppendUvarint(b, uint64(int64(e)-int64(ext.Ends[i-1])))
+	}
+	return b, nil
+}
+
+// DecodeSegmentBlock parses one block payload, validating column order,
+// cross-column consistency, and the ends column.
+func DecodeSegmentBlock(payload []byte) (SegmentExtent, error) {
+	c := &byteCursor{b: payload}
+	var ext SegmentExtent
+	id, err := c.uvarint()
+	if err != nil {
+		return ext, fmt.Errorf("storage: segment: block id: %w", err)
+	}
+	if id > math.MaxInt32 {
+		return ext, fmt.Errorf("storage: segment: implausible extent id %d", id)
+	}
+	ext.ID = int(id)
+	n, err := c.uvarint()
+	if err != nil {
+		return ext, fmt.Errorf("storage: segment: pair count: %w", err)
+	}
+	// Each pair costs at least one byte per column; reject counts the
+	// remaining payload cannot possibly hold before allocating.
+	if n > uint64(len(c.b)) {
+		return ext, fmt.Errorf("storage: segment: pair count %d exceeds payload", n)
+	}
+
+	decodeColumn := func(byTo bool) ([]xmlgraph.EdgePair, error) {
+		if n == 0 {
+			return nil, nil
+		}
+		pairs := make([]xmlgraph.EdgePair, n)
+		maj, err := c.varint() // major key: From for byFrom, To for byTo
+		if err != nil {
+			return nil, err
+		}
+		min, err := c.varint()
+		if err != nil {
+			return nil, err
+		}
+		set := func(i int, major, minor int64) error {
+			if major < int64(xmlgraph.NullNID) || major > math.MaxInt32 || minor < int64(xmlgraph.NullNID) || minor > math.MaxInt32 {
+				return fmt.Errorf("storage: segment: nid out of range at pair %d", i)
+			}
+			if byTo {
+				pairs[i] = xmlgraph.EdgePair{From: xmlgraph.NID(minor), To: xmlgraph.NID(major)}
+			} else {
+				pairs[i] = xmlgraph.EdgePair{From: xmlgraph.NID(major), To: xmlgraph.NID(minor)}
+			}
+			return nil
+		}
+		if err := set(0, maj, min); err != nil {
+			return nil, err
+		}
+		for i := 1; i < int(n); i++ {
+			d, err := c.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			maj += int64(d)
+			if d == 0 {
+				dm, err := c.uvarint()
+				if err != nil {
+					return nil, err
+				}
+				if dm == 0 {
+					return nil, fmt.Errorf("storage: segment: duplicate pair at %d", i)
+				}
+				min += int64(dm)
+			} else {
+				if min, err = c.varint(); err != nil {
+					return nil, err
+				}
+			}
+			if err := set(i, maj, min); err != nil {
+				return nil, err
+			}
+		}
+		return pairs, nil
+	}
+
+	if ext.ByFrom, err = decodeColumn(false); err != nil {
+		return ext, fmt.Errorf("storage: segment: extent %d byFrom: %w", ext.ID, err)
+	}
+	if ext.ByTo, err = decodeColumn(true); err != nil {
+		return ext, fmt.Errorf("storage: segment: extent %d byTo: %w", ext.ID, err)
+	}
+	if pairChecksum(ext.ByFrom) != pairChecksum(ext.ByTo) {
+		return ext, fmt.Errorf("storage: segment: extent %d columns disagree", ext.ID)
+	}
+
+	ne, err := c.uvarint()
+	if err != nil {
+		return ext, fmt.Errorf("storage: segment: ends count: %w", err)
+	}
+	if ne > n {
+		return ext, fmt.Errorf("storage: segment: extent %d has %d ends for %d pairs", ext.ID, ne, n)
+	}
+	if ne > 0 {
+		ext.Ends = make([]xmlgraph.NID, ne)
+		v, err := c.varint()
+		if err != nil {
+			return ext, fmt.Errorf("storage: segment: ends column: %w", err)
+		}
+		for i := 0; i < int(ne); i++ {
+			if i > 0 {
+				d, err := c.uvarint()
+				if err != nil {
+					return ext, fmt.Errorf("storage: segment: ends column: %w", err)
+				}
+				if d == 0 {
+					return ext, fmt.Errorf("storage: segment: extent %d ends not strictly ascending", ext.ID)
+				}
+				v += int64(d)
+			}
+			if v < int64(xmlgraph.NullNID) || v > math.MaxInt32 {
+				return ext, fmt.Errorf("storage: segment: extent %d end nid out of range", ext.ID)
+			}
+			ext.Ends[i] = xmlgraph.NID(v)
+		}
+	}
+	// The stored ends must be exactly the distinct To values of byTo.
+	j := 0
+	for i, p := range ext.ByTo {
+		if i == 0 || p.To != ext.ByTo[i-1].To {
+			if j >= len(ext.Ends) || ext.Ends[j] != p.To {
+				return ext, fmt.Errorf("storage: segment: extent %d ends column inconsistent with byTo", ext.ID)
+			}
+			j++
+		}
+	}
+	if j != len(ext.Ends) {
+		return ext, fmt.Errorf("storage: segment: extent %d ends column has %d extra entries", ext.ID, len(ext.Ends)-j)
+	}
+	if len(c.b) != 0 {
+		return ext, fmt.Errorf("storage: segment: extent %d has %d trailing bytes", ext.ID, len(c.b))
+	}
+	return ext, nil
+}
+
+// WriteSegment writes a segment file body (header + framed blocks) to w,
+// returning the bytes written.
+func WriteSegment(w io.Writer, extents []SegmentExtent) (int64, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(segMagic); err != nil {
+		return 0, err
+	}
+	total := int64(len(segMagic))
+	var frame [8]byte
+	for _, ext := range extents {
+		payload, err := EncodeSegmentBlock(ext)
+		if err != nil {
+			return total, err
+		}
+		binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+		if _, err := bw.Write(frame[:]); err != nil {
+			return total, err
+		}
+		if _, err := bw.Write(payload); err != nil {
+			return total, err
+		}
+		total += int64(8 + len(payload))
+		mSegBlocksWritten.Inc()
+	}
+	if err := bw.Flush(); err != nil {
+		return total, err
+	}
+	mSegBytesWritten.Add(total)
+	return total, nil
+}
+
+// DecodeSegment parses a full segment image (as written by WriteSegment),
+// returning the extents in file order. Any framing or CRC failure is an
+// error: segments are immutable and manifest-verified, so damage here is
+// corruption, never an expected torn tail.
+func DecodeSegment(data []byte) ([]SegmentExtent, error) {
+	if len(data) < len(segMagic) || string(data[:len(segMagic)]) != segMagic {
+		return nil, errors.New("storage: segment: bad magic")
+	}
+	data = data[len(segMagic):]
+	var extents []SegmentExtent
+	for len(data) > 0 {
+		if len(data) < 8 {
+			return nil, errors.New("storage: segment: torn block frame")
+		}
+		n := binary.LittleEndian.Uint32(data[0:4])
+		crc := binary.LittleEndian.Uint32(data[4:8])
+		if n > maxSegmentBlockLen || uint64(n) > uint64(len(data)-8) {
+			return nil, fmt.Errorf("storage: segment: block length %d exceeds file", n)
+		}
+		payload := data[8 : 8+n]
+		if crc32.ChecksumIEEE(payload) != crc {
+			return nil, errors.New("storage: segment: block CRC mismatch")
+		}
+		ext, err := DecodeSegmentBlock(payload)
+		if err != nil {
+			return nil, err
+		}
+		extents = append(extents, ext)
+		mSegBlocksRead.Inc()
+		data = data[8+n:]
+	}
+	return extents, nil
+}
+
+// ReadSegmentFile loads and decodes a segment file.
+func ReadSegmentFile(path string) ([]SegmentExtent, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	mSegBytesRead.Add(int64(len(data)))
+	exts, err := DecodeSegment(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return exts, nil
+}

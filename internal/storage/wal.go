@@ -1,0 +1,534 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"sync"
+	"time"
+
+	"apex/internal/metrics"
+	"apex/internal/xmlgraph"
+)
+
+// The write-ahead log journals the facade's structural writes (Insert,
+// Delete, Adapt/AdaptTo) so a crashed process can rebuild the published
+// state from the last checkpoint instead of from the data. The format is a
+// fixed file header followed by CRC-framed records:
+//
+//	header: "APEXWAL1" (8 bytes)
+//	record: u32 payload length (LE) | u32 IEEE CRC32 of payload (LE) | payload
+//
+// A record is valid only if its frame is complete and the CRC matches, so a
+// torn write at the tail — the only kind of damage an fsynced append-only
+// file can suffer — presents as an invalid final record. Replay stops there
+// and reports the log truncated; everything before the tear is intact.
+//
+// Appends group-commit: every Append returns only after its record is
+// fsynced, but concurrent appenders coalesce onto one fsync — whoever
+// arrives while a sync is in flight waits for the next one, which covers
+// every record buffered in the meantime. Under a serialized writer this
+// degrades gracefully to one fsync per record.
+
+// walMagic versions the WAL file format.
+const walMagic = "APEXWAL1"
+
+// walFrameLen is the per-record framing overhead: length + CRC.
+const walFrameLen = 8
+
+// maxWALRecordLen bounds a single record's payload; larger frames are
+// treated as corruption rather than allocated.
+const maxWALRecordLen = 1 << 28
+
+var (
+	mWALAppendRecords = metrics.Default.Counter("storage.wal.appended_records_total")
+	mWALAppendBytes   = metrics.Default.Counter("storage.wal.appended_bytes_total")
+	mWALFsyncNS       = metrics.Default.Histogram("storage.wal.fsync_ns")
+	mWALFsyncs        = metrics.Default.Counter("storage.wal.fsyncs_total")
+	mWALGroupSize     = metrics.Default.Histogram("storage.wal.group_commit_records")
+	mWALReplayRecords = metrics.Default.Counter("storage.wal.replayed_records_total")
+)
+
+// WALOp tags a WAL record with the facade operation it journals.
+type WALOp uint8
+
+// The journaled operations. Adapt covers both Adapt (with the mined
+// workload resolved to explicit paths) and AdaptTo.
+const (
+	WALInsert WALOp = 1
+	WALDelete WALOp = 2
+	WALAdapt  WALOp = 3
+)
+
+func (op WALOp) String() string {
+	switch op {
+	case WALInsert:
+		return "insert"
+	case WALDelete:
+		return "delete"
+	case WALAdapt:
+		return "adapt"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+}
+
+// WALRecord is one journaled write. Node identifiers are resolved before
+// journaling — NIDs are deterministic across an identical replay history, so
+// recovery applies them directly without re-evaluating the original queries
+// (which are kept for diagnostics).
+type WALRecord struct {
+	Op WALOp
+
+	// Insert fields.
+	Parent      xmlgraph.NID
+	ParentQuery string
+	Fragment    string
+
+	// Delete fields.
+	Targets     []xmlgraph.NID
+	TargetQuery string
+
+	// Adapt fields.
+	MinSup float64
+	Paths  []xmlgraph.LabelPath
+}
+
+// appendString encodes a length-prefixed string.
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// EncodeWALRecord renders the record payload (the framed body, without
+// length/CRC).
+func EncodeWALRecord(r WALRecord) ([]byte, error) {
+	b := []byte{byte(r.Op)}
+	switch r.Op {
+	case WALInsert:
+		b = binary.AppendVarint(b, int64(r.Parent))
+		b = appendString(b, r.ParentQuery)
+		b = appendString(b, r.Fragment)
+	case WALDelete:
+		b = binary.AppendUvarint(b, uint64(len(r.Targets)))
+		for _, t := range r.Targets {
+			b = binary.AppendVarint(b, int64(t))
+		}
+		b = appendString(b, r.TargetQuery)
+	case WALAdapt:
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(r.MinSup))
+		b = binary.AppendUvarint(b, uint64(len(r.Paths)))
+		for _, p := range r.Paths {
+			b = binary.AppendUvarint(b, uint64(len(p)))
+			for _, l := range p {
+				b = appendString(b, l)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("storage: wal: unknown op %d", r.Op)
+	}
+	return b, nil
+}
+
+// byteCursor walks a payload during decode.
+type byteCursor struct {
+	b []byte
+}
+
+var errWALShort = errors.New("storage: wal: truncated payload")
+
+func (c *byteCursor) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(c.b)
+	if n <= 0 {
+		return 0, errWALShort
+	}
+	c.b = c.b[n:]
+	return v, nil
+}
+
+func (c *byteCursor) varint() (int64, error) {
+	v, n := binary.Varint(c.b)
+	if n <= 0 {
+		return 0, errWALShort
+	}
+	c.b = c.b[n:]
+	return v, nil
+}
+
+func (c *byteCursor) str() (string, error) {
+	n, err := c.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(len(c.b)) {
+		return "", errWALShort
+	}
+	s := string(c.b[:n])
+	c.b = c.b[n:]
+	return s, nil
+}
+
+func (c *byteCursor) u64() (uint64, error) {
+	if len(c.b) < 8 {
+		return 0, errWALShort
+	}
+	v := binary.LittleEndian.Uint64(c.b)
+	c.b = c.b[8:]
+	return v, nil
+}
+
+// DecodeWALRecord parses a record payload written by EncodeWALRecord.
+func DecodeWALRecord(payload []byte) (WALRecord, error) {
+	if len(payload) == 0 {
+		return WALRecord{}, errWALShort
+	}
+	c := &byteCursor{b: payload[1:]}
+	r := WALRecord{Op: WALOp(payload[0])}
+	var err error
+	switch r.Op {
+	case WALInsert:
+		var p int64
+		if p, err = c.varint(); err != nil {
+			return r, err
+		}
+		r.Parent = xmlgraph.NID(p)
+		if r.ParentQuery, err = c.str(); err != nil {
+			return r, err
+		}
+		if r.Fragment, err = c.str(); err != nil {
+			return r, err
+		}
+	case WALDelete:
+		var n uint64
+		if n, err = c.uvarint(); err != nil {
+			return r, err
+		}
+		if n > uint64(len(c.b)) { // each target costs at least one byte
+			return r, errWALShort
+		}
+		if n > 0 {
+			r.Targets = make([]xmlgraph.NID, n)
+		}
+		for i := range r.Targets {
+			var t int64
+			if t, err = c.varint(); err != nil {
+				return r, err
+			}
+			r.Targets[i] = xmlgraph.NID(t)
+		}
+		if r.TargetQuery, err = c.str(); err != nil {
+			return r, err
+		}
+	case WALAdapt:
+		var bits uint64
+		if bits, err = c.u64(); err != nil {
+			return r, err
+		}
+		r.MinSup = math.Float64frombits(bits)
+		var n uint64
+		if n, err = c.uvarint(); err != nil {
+			return r, err
+		}
+		if n > uint64(len(c.b)) {
+			return r, errWALShort
+		}
+		if n > 0 {
+			r.Paths = make([]xmlgraph.LabelPath, n)
+		}
+		for i := range r.Paths {
+			var m uint64
+			if m, err = c.uvarint(); err != nil {
+				return r, err
+			}
+			if m > uint64(len(c.b)) {
+				return r, errWALShort
+			}
+			p := make(xmlgraph.LabelPath, m)
+			for j := range p {
+				if p[j], err = c.str(); err != nil {
+					return r, err
+				}
+			}
+			r.Paths[i] = p
+		}
+	default:
+		return r, fmt.Errorf("storage: wal: unknown op %d", r.Op)
+	}
+	if len(c.b) != 0 {
+		return r, fmt.Errorf("storage: wal: %d trailing bytes in record", len(c.b))
+	}
+	return r, nil
+}
+
+// WAL is an open write-ahead log accepting appends. Safe for concurrent use.
+type WAL struct {
+	path   string
+	noSync bool
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	f    *os.File
+	bw   *bufio.Writer
+	// appended/synced are record sequence numbers; a record is durable once
+	// synced covers its sequence. syncing marks an fsync in flight, so
+	// late arrivals wait and share the next one (group commit).
+	appended, synced int64
+	syncing          bool
+	err              error // sticky: a failed flush/fsync poisons the log
+
+	records int64 // records appended since open
+	bytes   int64 // bytes appended since open, framing included
+}
+
+// CreateWAL creates (truncating any previous content) a WAL at path and
+// syncs the header. noSync disables the per-commit fsync: appends are still
+// ordered and CRC-framed, but a crash may lose the buffered tail — a
+// throughput knob for bulk loads and benchmarks, never a correctness one.
+func CreateWAL(path string, noSync bool) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.WriteString(walMagic); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if !noSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	w := &WAL{path: path, noSync: noSync, f: f, bw: bufio.NewWriter(f)}
+	w.cond = sync.NewCond(&w.mu)
+	return w, nil
+}
+
+// Path returns the file path the WAL writes to.
+func (w *WAL) Path() string { return w.path }
+
+// Stats returns the records and bytes appended since the log was opened.
+func (w *WAL) Stats() (records, bytes int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.records, w.bytes
+}
+
+// Append journals one record and returns once it is durable (fsynced, or
+// merely buffered under noSync). Concurrent appenders share fsyncs.
+func (w *WAL) Append(rec WALRecord) error {
+	payload, err := EncodeWALRecord(rec)
+	if err != nil {
+		return err
+	}
+	var frame [walFrameLen]byte
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+
+	w.mu.Lock()
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	if _, err := w.bw.Write(frame[:]); err != nil {
+		w.fail(err)
+		w.mu.Unlock()
+		return err
+	}
+	if _, err := w.bw.Write(payload); err != nil {
+		w.fail(err)
+		w.mu.Unlock()
+		return err
+	}
+	w.appended++
+	seq := w.appended
+	w.records++
+	w.bytes += int64(walFrameLen + len(payload))
+	mWALAppendRecords.Inc()
+	mWALAppendBytes.Add(int64(walFrameLen + len(payload)))
+	err = w.syncTo(seq)
+	w.mu.Unlock()
+	return err
+}
+
+// fail records the first error and wakes every waiter; callers hold mu.
+func (w *WAL) fail(err error) {
+	if w.err == nil {
+		w.err = err
+	}
+	w.cond.Broadcast()
+}
+
+// syncTo blocks until records up to seq are durable; callers hold mu. One
+// caller at a time becomes the leader, flushes the shared buffer, and
+// fsyncs with the lock released so appends keep accumulating behind it.
+func (w *WAL) syncTo(seq int64) error {
+	for {
+		if w.err != nil {
+			return w.err
+		}
+		if w.synced >= seq {
+			return nil
+		}
+		if w.syncing {
+			w.cond.Wait()
+			continue
+		}
+		w.syncing = true
+		upTo := w.appended
+		if err := w.bw.Flush(); err != nil {
+			w.syncing = false
+			w.fail(err)
+			return err
+		}
+		if w.noSync {
+			w.syncing = false
+			w.synced = upTo
+			w.cond.Broadcast()
+			continue
+		}
+		w.mu.Unlock()
+		start := time.Now()
+		err := w.f.Sync()
+		mWALFsyncNS.Observe(time.Since(start).Nanoseconds())
+		mWALFsyncs.Inc()
+		w.mu.Lock()
+		w.syncing = false
+		if err != nil {
+			w.fail(err)
+			return err
+		}
+		mWALGroupSize.Observe(upTo - w.synced)
+		w.synced = upTo
+		w.cond.Broadcast()
+	}
+}
+
+// Close flushes, syncs, and closes the log file.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	flushErr := w.bw.Flush()
+	var syncErr error
+	if flushErr == nil && !w.noSync {
+		syncErr = w.f.Sync()
+	}
+	closeErr := w.f.Close()
+	w.f = nil
+	w.fail(errors.New("storage: wal: closed"))
+	if flushErr != nil {
+		return flushErr
+	}
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}
+
+// WALReplayInfo describes what a replay pass found.
+type WALReplayInfo struct {
+	// Records is the number of valid records replayed.
+	Records int64
+	// Bytes is the length of the valid prefix, header included.
+	Bytes int64
+	// Offsets[i] is the file offset just past record i — the truncation
+	// points at which the log is a valid shorter history.
+	Offsets []int64
+	// Truncated reports that the file continued past the valid prefix with
+	// an incomplete or corrupt record (a torn tail), which replay dropped.
+	Truncated bool
+	// TailErr describes the tear when Truncated is set.
+	TailErr error
+}
+
+// ReplayWAL reads records from r, calling fn for each valid record in
+// order. A malformed or CRC-failing record ends the replay: the remainder
+// is reported as a torn tail, not an error — that is the expected shape of
+// a crash. An error from fn aborts the replay and is returned as-is.
+func ReplayWAL(r io.Reader, fn func(WALRecord) error) (WALReplayInfo, error) {
+	br := bufio.NewReader(r)
+	var info WALReplayInfo
+	hdr := make([]byte, len(walMagic))
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		info.Truncated = true
+		info.TailErr = fmt.Errorf("storage: wal: short header: %w", err)
+		return info, nil
+	}
+	if string(hdr) != walMagic {
+		info.Truncated = true
+		info.TailErr = fmt.Errorf("storage: wal: bad magic %q", hdr)
+		return info, nil
+	}
+	info.Bytes = int64(len(walMagic))
+	var frame [walFrameLen]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(br, frame[:]); err != nil {
+			if err != io.EOF {
+				info.Truncated = true
+				info.TailErr = fmt.Errorf("storage: wal: torn frame: %w", err)
+			}
+			return info, nil
+		}
+		n := binary.LittleEndian.Uint32(frame[0:4])
+		crc := binary.LittleEndian.Uint32(frame[4:8])
+		if n > maxWALRecordLen {
+			info.Truncated = true
+			info.TailErr = fmt.Errorf("storage: wal: implausible record length %d", n)
+			return info, nil
+		}
+		if uint32(cap(payload)) < n {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			info.Truncated = true
+			info.TailErr = fmt.Errorf("storage: wal: torn payload: %w", err)
+			return info, nil
+		}
+		if crc32.ChecksumIEEE(payload) != crc {
+			info.Truncated = true
+			info.TailErr = errors.New("storage: wal: record CRC mismatch")
+			return info, nil
+		}
+		rec, err := DecodeWALRecord(payload)
+		if err != nil {
+			info.Truncated = true
+			info.TailErr = fmt.Errorf("storage: wal: undecodable record: %w", err)
+			return info, nil
+		}
+		if fn != nil {
+			if err := fn(rec); err != nil {
+				return info, err
+			}
+		}
+		info.Records++
+		info.Bytes += int64(walFrameLen) + int64(n)
+		info.Offsets = append(info.Offsets, info.Bytes)
+		mWALReplayRecords.Inc()
+	}
+}
+
+// ReplayWALFile is ReplayWAL over a file path. A missing file replays as an
+// empty (truncated) log, because a crash can land between manifest
+// publication and the first WAL write.
+func ReplayWALFile(path string, fn func(WALRecord) error) (WALReplayInfo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return WALReplayInfo{Truncated: true, TailErr: err}, nil
+		}
+		return WALReplayInfo{}, err
+	}
+	defer f.Close()
+	return ReplayWAL(f, fn)
+}

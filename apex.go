@@ -683,6 +683,93 @@ func (ix *Index) Insert(parentQuery, fragment string) error {
 	return nil
 }
 
+// InsertAtNode is Insert with the parent already resolved to a node id — the
+// in-module bridge the shard router uses to broadcast one insert to every
+// shard index: node ids are aligned across shards (each shard keeps the full
+// global node table), so the coordinator resolves the parent query once and
+// applies the same fragment at the same NID everywhere, exactly as WAL
+// replay re-applies a journaled insert. The parent must be a live element
+// node; like Insert, the mutation runs on shadow clones and publishes
+// atomically.
+func (ix *Index) InsertAtNode(parent xmlgraph.NID, fragment string) error {
+	ix.maintMu.Lock()
+	defer ix.maintMu.Unlock()
+	cur, _, _ := ix.snapshot()
+	g := cur.Graph()
+	if parent < 0 || int(parent) >= g.NumNodes() {
+		return fmt.Errorf("apex: insert parent %d out of range", parent)
+	}
+	if g.Removed(parent) {
+		return fmt.Errorf("apex: insert parent %d was removed", parent)
+	}
+	shadowG := g.Clone()
+	shadow := cur.CloneWithGraph(shadowG)
+	ix.hook("rebuild")
+	if _, err := shadowG.AppendFragment(parent, fragment, &xmlgraph.BuildOptions{
+		IDAttrs:     ix.opts.IDAttrs,
+		IDREFAttrs:  ix.opts.IDREFAttrs,
+		IDREFSAttrs: ix.opts.IDREFSAttrs,
+	}); err != nil {
+		return err
+	}
+	shadow.RefreshData()
+	dt, err := storage.BuildDataTable(shadowG, 0, 64)
+	if err != nil {
+		return err
+	}
+	if err := ix.journal(storage.WALRecord{
+		Op: storage.WALInsert, Parent: parent, Fragment: fragment,
+	}); err != nil {
+		return err
+	}
+	ix.publish(shadow, dt)
+	return nil
+}
+
+// DeleteNodes removes the document subtrees rooted at the given node ids —
+// the in-module bridge the shard router uses to apply one coordinated
+// delete: the router unions the shards' match sets into the global target
+// set and removes the same NIDs on every shard, mirroring how WAL replay
+// re-applies a journaled delete by its resolved targets. Targets nested
+// inside other targets (or already removed) are skipped; removing nothing at
+// all is an error, as in Delete.
+func (ix *Index) DeleteNodes(targets []xmlgraph.NID) error {
+	if len(targets) == 0 {
+		return fmt.Errorf("apex: delete with no targets")
+	}
+	ix.maintMu.Lock()
+	defer ix.maintMu.Unlock()
+	cur, _, _ := ix.snapshot()
+	shadowG := cur.Graph().Clone()
+	shadow := cur.CloneWithGraph(shadowG)
+	ix.hook("rebuild")
+	removedAny := false
+	for _, n := range targets {
+		if shadowG.Removed(n) {
+			continue
+		}
+		if err := shadowG.RemoveSubtree(n); err != nil {
+			return err
+		}
+		removedAny = true
+	}
+	if !removedAny {
+		return fmt.Errorf("apex: delete targets already removed")
+	}
+	shadow.RefreshData()
+	dt, err := storage.BuildDataTable(shadowG, 0, 64)
+	if err != nil {
+		return err
+	}
+	if err := ix.journal(storage.WALRecord{
+		Op: storage.WALDelete, Targets: targets,
+	}); err != nil {
+		return err
+	}
+	ix.publish(shadow, dt)
+	return nil
+}
+
 // Delete removes the document subtrees matched by targetQuery (a QTYPE1
 // path; every matched element and its content disappears) and refreshes the
 // index under the current required-path set. References into the deleted

@@ -8,9 +8,17 @@
 //	apexd -in doc.xml [-addr 127.0.0.1:8080]
 //	apexd -index saved.apex
 //	apexd -dataset shakes_11.xml [-scale 0.05]
+//	apexd -in doc.xml -shards 4 [-shard-timeout 2s]
+//	apexd -backends http://10.0.0.1:8080,http://10.0.0.2:8080
 //
 // Exactly one of -index, -in, -dataset selects the serving index; see
 // -help for cache, admission, timeout, and access-log knobs.
+//
+// -shards N partitions the document into N shards served by one
+// scatter-gather router in this process (per-shard result caches keyed by a
+// generation vector; a single shard's adapt invalidates only its own cache
+// entries). -backends routes over already-running apexd daemons instead;
+// that mode serves reads and adapts only.
 package main
 
 import (

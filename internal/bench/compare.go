@@ -99,6 +99,20 @@ var headlines = map[string]headlineSpec{
 			return rep.HitRate, nil
 		},
 	},
+	"BENCH_SHARD.json": {
+		Metric:         "4-shard cache hit rate",
+		HigherIsBetter: true,
+		Extract: func(data []byte) (float64, error) {
+			var rep ShardReport
+			if err := json.Unmarshal(data, &rep); err != nil {
+				return 0, err
+			}
+			if rep.HitRate4 <= 0 {
+				return 0, fmt.Errorf("no 4-shard run recorded")
+			}
+			return rep.HitRate4, nil
+		},
+	},
 	"BENCH_RECOVERY.json": {
 		Metric:         "restart speedup",
 		HigherIsBetter: true,

@@ -71,63 +71,8 @@ func (e *Env) Serve(name string, clients, rounds, distinct int) (ServeReport, er
 		return ServeReport{}, fmt.Errorf("bench: serve: dataset %s yielded no queries", name)
 	}
 
-	type sample struct {
-		wall   time.Duration
-		cached bool
-	}
-	var (
-		mu          sync.Mutex
-		samples     []sample
-		errs        int64
-		invalidated int64
-	)
-	adaptAfter := rounds / 2
-	var wg sync.WaitGroup
-	for c := 0; c < clients; c++ {
-		wg.Add(1)
-		go func(c int) {
-			defer wg.Done()
-			client := ts.Client()
-			local := make([]sample, 0, rounds*len(queries))
-			var localErrs int64
-			for r := 0; r < rounds; r++ {
-				if c == 0 && r == adaptAfter {
-					inv, err := postAdapt(client, ts.URL, queries)
-					mu.Lock()
-					if err != nil {
-						errs++
-					} else {
-						invalidated = inv
-					}
-					mu.Unlock()
-				}
-				for _, q := range queries {
-					body, _ := json.Marshal(map[string]string{"query": q})
-					start := time.Now()
-					resp, err := client.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
-					if err != nil {
-						localErrs++
-						continue
-					}
-					var qr struct {
-						Cached bool `json:"cached"`
-					}
-					decErr := json.NewDecoder(resp.Body).Decode(&qr)
-					resp.Body.Close()
-					if decErr != nil || resp.StatusCode != http.StatusOK {
-						localErrs++
-						continue
-					}
-					local = append(local, sample{wall: time.Since(start), cached: qr.Cached})
-				}
-			}
-			mu.Lock()
-			samples = append(samples, local...)
-			errs += localErrs
-			mu.Unlock()
-		}(c)
-	}
-	wg.Wait()
+	samples, errs, invalidated := replay(ts.Client, []string{ts.URL}, clients, rounds, queries,
+		func(client *http.Client) (int64, error) { return postAdapt(client, ts.URL, queries) })
 
 	st := srv.Cache().Stats()
 	rep := ServeReport{
@@ -180,6 +125,71 @@ func postAdapt(client *http.Client, base string, queries []string) (int64, error
 		return 0, fmt.Errorf("bench: serve: adapt status %d", resp.StatusCode)
 	}
 	return ar.Invalidated, nil
+}
+
+// sample is one replayed request's client-side observation.
+type sample struct {
+	wall   time.Duration
+	cached bool
+}
+
+// replay drives the serving workload shared by the serve and shard
+// experiments: clients goroutines each replay queries for rounds passes
+// against their target (clients round-robin over the target list, so the
+// same loop exercises one daemon or a fleet), and client 0 fires adapt —
+// when non-nil — halfway through. It returns the client-side samples, the
+// error count, and whatever the adapt call reported as invalidated.
+func replay(newClient func() *http.Client, targets []string, clients, rounds int, queries []string, adapt func(*http.Client) (int64, error)) (samples []sample, errs, invalidated int64) {
+	var mu sync.Mutex
+	adaptAfter := rounds / 2
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := newClient()
+			base := targets[c%len(targets)]
+			local := make([]sample, 0, rounds*len(queries))
+			var localErrs int64
+			for r := 0; r < rounds; r++ {
+				if c == 0 && r == adaptAfter && adapt != nil {
+					inv, err := adapt(client)
+					mu.Lock()
+					if err != nil {
+						errs++
+					} else {
+						invalidated = inv
+					}
+					mu.Unlock()
+				}
+				for _, q := range queries {
+					body, _ := json.Marshal(map[string]string{"query": q})
+					start := time.Now()
+					resp, err := client.Post(base+"/query", "application/json", bytes.NewReader(body))
+					if err != nil {
+						localErrs++
+						continue
+					}
+					var qr struct {
+						Cached bool `json:"cached"`
+					}
+					decErr := json.NewDecoder(resp.Body).Decode(&qr)
+					resp.Body.Close()
+					if decErr != nil || resp.StatusCode != http.StatusOK {
+						localErrs++
+						continue
+					}
+					local = append(local, sample{wall: time.Since(start), cached: qr.Cached})
+				}
+			}
+			mu.Lock()
+			samples = append(samples, local...)
+			errs += localErrs
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	return samples, errs, invalidated
 }
 
 // RenderServe formats the serving report.

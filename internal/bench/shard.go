@@ -1,0 +1,204 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"apex"
+	"apex/internal/server"
+	"apex/internal/shard"
+)
+
+// ShardRun measures the scatter-gather serving stack at one shard count.
+// The cache rates count per-shard probes (one query over N shards moves the
+// counters by N); ColdQPS is the single-client, all-miss pass — the number
+// that exposes gather parallelism over 1/N-size extents — and SteadyQPS is
+// the concurrent cached replay with a single-shard adapt fired mid-run.
+type ShardRun struct {
+	Shards      int     `json:"shards"`
+	ReplicaUnit int     `json:"replica_units"`
+	Requests    int64   `json:"requests"`
+	Errors      int64   `json:"errors"`
+	CacheHits   int64   `json:"cache_hits"`
+	CacheMisses int64   `json:"cache_misses"`
+	HitRate     float64 `json:"hit_rate"`
+	Invalidated int64   `json:"invalidated"`
+
+	ColdQPS   float64       `json:"cold_qps"`
+	SteadyQPS float64       `json:"steady_qps"`
+	P50       time.Duration `json:"p50_ns"`
+	P99       time.Duration `json:"p99_ns"`
+}
+
+// ShardReport is the BENCH_SHARD.json artifact: the same serving workload
+// replayed against 1, 2, 4, and 8 document-partitioned shards. The headline
+// is the generation-vector cache hit rate at 4 shards — a mid-run adapt
+// routed to one shard must invalidate only that shard's cached partials, so
+// the rate stays close to the single-index serve experiment's instead of
+// collapsing by a factor of N.
+type ShardReport struct {
+	Dataset  string     `json:"dataset"`
+	Clients  int        `json:"clients"`
+	Rounds   int        `json:"rounds"`
+	Distinct int        `json:"distinct_queries"`
+	Runs     []ShardRun `json:"runs"`
+
+	HitRate4     float64 `json:"hit_rate_4shards"`
+	ColdSpeedup4 float64 `json:"cold_speedup_4shards"` // ColdQPS(4) / ColdQPS(1)
+}
+
+// Shard runs the sharded serving experiment on one dataset for each shard
+// count: partition, index each shard, serve through the router, replay the
+// workload (a cold single-client pass first, then the concurrent cached
+// replay with POST /adapt routed to one shard mid-run).
+func (e *Env) Shard(name string, shardCounts []int, clients, rounds, distinct int) (ShardReport, error) {
+	s, err := e.site(name)
+	if err != nil {
+		return ShardReport{}, err
+	}
+	queries := make([]string, 0, distinct)
+	for _, q := range s.q1 {
+		if len(queries) == cap(queries) {
+			break
+		}
+		queries = append(queries, q.String())
+	}
+	if len(queries) == 0 {
+		return ShardReport{}, fmt.Errorf("bench: shard: dataset %s yielded no queries", name)
+	}
+
+	rep := ShardReport{Dataset: name, Clients: clients, Rounds: rounds, Distinct: len(queries)}
+	for _, n := range shardCounts {
+		run, err := e.shardRun(s, n, clients, rounds, queries)
+		if err != nil {
+			return ShardReport{}, fmt.Errorf("bench: shard: %d shards: %w", n, err)
+		}
+		rep.Runs = append(rep.Runs, run)
+	}
+	var cold1 float64
+	for _, r := range rep.Runs {
+		switch r.Shards {
+		case 1:
+			cold1 = r.ColdQPS
+		case 4:
+			rep.HitRate4 = r.HitRate
+			if cold1 > 0 {
+				rep.ColdSpeedup4 = r.ColdQPS / cold1
+			}
+		}
+	}
+	return rep, nil
+}
+
+// shardRun measures one shard count. Each shard evaluates single-threaded
+// (Parallelism 1) so the cold pass isolates gather parallelism — N shards
+// scanning 1/N-size extents concurrently — instead of intra-shard fan-out.
+func (e *Env) shardRun(s *siteData, n, clients, rounds int, queries []string) (ShardRun, error) {
+	local, plan, err := shard.BuildLocal(s.ds.Graph, n, &apex.Options{Parallelism: 1})
+	if err != nil {
+		return ShardRun{}, err
+	}
+	rt := shard.NewRouter(shard.Backends(local), 0)
+	srv := server.NewRouterServer(rt, server.Config{MaxInflight: 4 * clients})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Cold pass: one client, one round, nothing cached yet. Every query pays
+	// a full scatter-gather, so wall clock here is evaluation throughput.
+	coldStart := time.Now()
+	coldSamples, coldErrs, _ := replay(ts.Client, []string{ts.URL}, 1, 1, queries, nil)
+	coldWall := time.Since(coldStart)
+	if coldErrs > 0 {
+		return ShardRun{}, fmt.Errorf("cold pass: %d errors", coldErrs)
+	}
+
+	// Steady replay: the serve experiment's concurrent workload, with the
+	// mid-run adapt routed to a single shard so only that shard's cache
+	// entries are invalidated.
+	adaptShard := 2
+	if adaptShard > n-1 {
+		adaptShard = n - 1
+	}
+	steadyStart := time.Now()
+	samples, errs, invalidated := replay(ts.Client, []string{ts.URL}, clients, rounds, queries,
+		func(client *http.Client) (int64, error) {
+			return postShardAdapt(client, ts.URL, queries, adaptShard)
+		})
+	steadyWall := time.Since(steadyStart)
+
+	st := srv.CacheStats()
+	run := ShardRun{
+		Shards:      n,
+		ReplicaUnit: plan.Replicated(),
+		Requests:    int64(len(samples)+len(coldSamples)) + errs,
+		Errors:      errs,
+		CacheHits:   st.Hits,
+		CacheMisses: st.Misses,
+		Invalidated: invalidated,
+	}
+	if total := st.Hits + st.Misses; total > 0 {
+		run.HitRate = float64(st.Hits) / float64(total)
+	}
+	if sec := coldWall.Seconds(); sec > 0 {
+		run.ColdQPS = float64(len(coldSamples)) / sec
+	}
+	if sec := steadyWall.Seconds(); sec > 0 {
+		run.SteadyQPS = float64(len(samples)) / sec
+	}
+	var all []time.Duration
+	for _, sm := range samples {
+		all = append(all, sm.wall)
+	}
+	run.P50 = percentileDuration(all, 0.50)
+	run.P99 = percentileDuration(all, 0.99)
+	return run, nil
+}
+
+// postShardAdapt issues the mid-run restructuring of one shard and returns
+// how many cached partials the router invalidated (only that shard's).
+func postShardAdapt(client *http.Client, base string, queries []string, shardIdx int) (int64, error) {
+	body, _ := json.Marshal(map[string]any{"queries": queries, "min_sup": 0.01, "shard": shardIdx})
+	resp, err := client.Post(base+"/adapt", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var ar struct {
+		Invalidated int64 `json:"invalidated"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("bench: shard: adapt status %d", resp.StatusCode)
+	}
+	return ar.Invalidated, nil
+}
+
+// RenderShard formats the sharded serving report.
+func RenderShard(rep ShardReport) string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "sharded serving (%s): %d clients x %d rounds x %d distinct queries, single-shard adapt mid-run\n",
+		rep.Dataset, rep.Clients, rep.Rounds, rep.Distinct)
+	for _, r := range rep.Runs {
+		fmt.Fprintf(&b, "  shards=%d replicas=%d requests=%d errors=%d hit-rate=%.1f%% invalidated=%d cold=%.0f q/s steady=%.0f q/s p50=%v p99=%v\n",
+			r.Shards, r.ReplicaUnit, r.Requests, r.Errors, 100*r.HitRate, r.Invalidated,
+			r.ColdQPS, r.SteadyQPS, r.P50, r.P99)
+	}
+	fmt.Fprintf(&b, "  headline: hit-rate@4=%.1f%% cold-speedup@4=%.2fx\n",
+		100*rep.HitRate4, rep.ColdSpeedup4)
+	return b.String()
+}
+
+// WriteShardJSON writes the report as indented JSON (the BENCH_SHARD.json
+// artifact the regression gate reads).
+func WriteShardJSON(w io.Writer, rep ShardReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

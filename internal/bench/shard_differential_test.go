@@ -1,0 +1,186 @@
+// Shard-vs-single differential harness: on every seed dataset, a random
+// mixed workload must produce position-identical results from a 3-shard
+// scatter-gather router and a single index built over the same document —
+// after the initial build, after adaptation, after an insert, and after a
+// delete. The router shares no evaluation state with the single index (each
+// shard evaluates its own subgraph and the merge reassembles document
+// order), so agreement across random queries exercises the partitioning,
+// the reference closure, the write broadcast, and the k-way merge at once.
+// The summed per-shard logical costs must also stay consistent with the
+// single evaluator: sharding splits and replicates work, it never loses it,
+// so the shard sum can only meet or exceed the single-index cost.
+package bench
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"apex"
+	"apex/internal/datagen"
+	"apex/internal/shard"
+	"apex/internal/workload"
+	"apex/internal/xmlgraph"
+)
+
+const (
+	shardDiffScale  = 0.02
+	shardDiffSeed   = 7
+	shardDiffShards = 3
+)
+
+// shardDiffQueries samples the mixed random workload as canonical strings.
+func shardDiffQueries(g *xmlgraph.Graph) []string {
+	gen := workload.New(g, shardDiffSeed)
+	qs := gen.QType1(40)
+	qs = append(qs, gen.QType2(8)...)
+	qs = append(qs, gen.QType3(12)...)
+	qs = append(qs, gen.QMixed(5)...)
+	out := make([]string, len(qs))
+	for i, q := range qs {
+		out[i] = q.String()
+	}
+	return out
+}
+
+// shardCostTotal sums the cumulative logical cost over every shard
+// evaluator (CarryCostFrom keeps each cumulative across publications).
+func shardCostTotal(local []*shard.LocalBackend) int64 {
+	var total int64
+	for _, b := range local {
+		total += b.Index().Evaluator().Cost().Total()
+	}
+	return total
+}
+
+// assertShardAgree evaluates every query on both sides and requires
+// position-identical materialized results, then checks the phase's cost
+// deltas: the shard sum must be at least the single-index cost (per-shard
+// traversal overhead and closure replication add work, never remove it).
+func assertShardAgree(t *testing.T, phase string, single *apex.Index, rt *shard.Router, local []*shard.LocalBackend, queries []string) {
+	t.Helper()
+	ctx := context.Background()
+	singleBefore := single.Evaluator().Cost().Total()
+	shardBefore := shardCostTotal(local)
+	for _, q := range queries {
+		want, err := single.QueryContext(ctx, q)
+		if err != nil {
+			t.Fatalf("%s: single index on %s: %v", phase, q, err)
+		}
+		got, _, err := rt.Query(ctx, q)
+		if err != nil {
+			t.Fatalf("%s: router on %s: %v", phase, q, err)
+		}
+		if len(got.Nodes) != len(want.Nodes) {
+			t.Fatalf("%s: %s: router %d nodes, single %d nodes",
+				phase, q, len(got.Nodes), len(want.Nodes))
+		}
+		for i := range want.Nodes {
+			if got.Nodes[i] != want.Nodes[i] {
+				t.Fatalf("%s: %s: position %d: router %+v, single %+v",
+					phase, q, i, got.Nodes[i], want.Nodes[i])
+			}
+		}
+	}
+	singleDelta := single.Evaluator().Cost().Total() - singleBefore
+	shardDelta := shardCostTotal(local) - shardBefore
+	if singleDelta <= 0 {
+		t.Fatalf("%s: single index recorded no evaluation cost", phase)
+	}
+	if shardDelta < singleDelta {
+		t.Fatalf("%s: shard cost sum %d below single-index cost %d — shards skipped work",
+			phase, shardDelta, singleDelta)
+	}
+}
+
+// deleteTargetPath picks a grandchild-of-root element tag as the delete
+// target: a two-step path every dataset has, matched (and removed) on both
+// sides through their own evaluators.
+func deleteTargetPath(t *testing.T, g *xmlgraph.Graph) string {
+	t.Helper()
+	root := g.Root()
+	for _, ce := range g.Out(root) {
+		if strings.HasPrefix(ce.Label, "@") {
+			continue
+		}
+		for _, ge := range g.Out(ce.To) {
+			if strings.HasPrefix(ge.Label, "@") {
+				continue
+			}
+			if par, label, ok := g.HierarchyParent(ge.To); ok && par == ce.To && label == ge.Label {
+				return "//" + ce.Label + "/" + ge.Label
+			}
+		}
+	}
+	t.Fatal("no grandchild-of-root element to delete")
+	return ""
+}
+
+func TestShardDifferentialAllDatasets(t *testing.T) {
+	ctx := context.Background()
+	for _, name := range datasetNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			ds, err := datagen.LoadDataset(name, shardDiffScale)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := ds.Graph
+			single, err := apex.FromGraph(g, &apex.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			local, plan, err := shard.BuildLocal(g, shardDiffShards, &apex.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plan.NumUnits() == 0 {
+				t.Fatal("partition found no units")
+			}
+			rt := shard.NewRouter(shard.Backends(local), 0)
+			queries := shardDiffQueries(g)
+
+			// Phase 1: the initial per-shard APEX0 indexes.
+			assertShardAgree(t, "build", single, rt, local, queries)
+
+			// Phase 2: after adaptation. Both sides restructure for the same
+			// explicit workload, one AdaptTo per shard.
+			wl := make([]string, 0, 60)
+			for _, q := range workload.New(g, shardDiffSeed).QType1(60) {
+				wl = append(wl, q.String())
+			}
+			if err := single.AdaptTo(wl, 0.01); err != nil {
+				t.Fatal(err)
+			}
+			if err := rt.Adapt(-1, wl, 0.01); err != nil {
+				t.Fatal(err)
+			}
+			assertShardAgree(t, "adapted", single, rt, local, queries)
+
+			// Phase 3: after an insert under the root. The fragment's labels
+			// are new to every index, and the router broadcast must keep the
+			// shard node tables aligned with the single index's.
+			const frag = `<difftest><diffchild>diffvalue</diffchild></difftest>`
+			if err := single.Insert("/", frag); err != nil {
+				t.Fatal(err)
+			}
+			if err := rt.Insert(ctx, "/", frag); err != nil {
+				t.Fatal(err)
+			}
+			queries = append(queries, "//difftest/diffchild")
+			assertShardAgree(t, "inserted", single, rt, local, queries)
+
+			// Phase 4: after deleting every match of a grandchild-of-root
+			// element path, resolved independently on each side.
+			target := deleteTargetPath(t, g)
+			if err := single.Delete(target); err != nil {
+				t.Fatalf("single delete %s: %v", target, err)
+			}
+			if _, err := rt.Delete(ctx, target); err != nil {
+				t.Fatalf("router delete %s: %v", target, err)
+			}
+			assertShardAgree(t, "deleted", single, rt, local, queries)
+		})
+	}
+}

@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestShardShape runs a scaled-down sharded-serving experiment and checks
+// the acceptance shape: no request errors at any shard count, the mid-run
+// single-shard adapt invalidates only that shard's cached partials (so the
+// hit rate stays high instead of collapsing by a factor of N), and the
+// report's headline fields are populated from the 1- and 4-shard runs.
+func TestShardShape(t *testing.T) {
+	env := NewEnv(DefaultConfig())
+	rep, err := env.Shard("Flix01.xml", []int{1, 4}, 2, 6, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Runs) != 2 {
+		t.Fatalf("%d runs, want 2", len(rep.Runs))
+	}
+	for _, run := range rep.Runs {
+		if run.Errors != 0 {
+			t.Fatalf("%d shards: %d request errors", run.Shards, run.Errors)
+		}
+		if run.Invalidated == 0 {
+			t.Fatalf("%d shards: the mid-run adapt invalidated nothing", run.Shards)
+		}
+		if run.HitRate < 0.5 {
+			t.Fatalf("%d shards: hit rate %.2f, want >= 0.5", run.Shards, run.HitRate)
+		}
+		if run.ColdQPS <= 0 || run.SteadyQPS <= 0 {
+			t.Fatalf("%d shards: throughput not measured: %+v", run.Shards, run)
+		}
+		if run.P50 <= 0 || run.P99 < run.P50 {
+			t.Fatalf("%d shards: percentiles out of order: p50=%v p99=%v", run.Shards, run.P50, run.P99)
+		}
+	}
+	if rep.HitRate4 != rep.Runs[1].HitRate {
+		t.Fatalf("HitRate4 = %v, want the 4-shard run's %v", rep.HitRate4, rep.Runs[1].HitRate)
+	}
+	if rep.ColdSpeedup4 <= 0 {
+		t.Fatalf("ColdSpeedup4 = %v, want a measured ratio", rep.ColdSpeedup4)
+	}
+
+	out := RenderShard(rep)
+	if !strings.Contains(out, "hit-rate@4") {
+		t.Fatalf("render:\n%s", out)
+	}
+	var buf bytes.Buffer
+	if err := WriteShardJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var back ShardReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.HitRate4 != rep.HitRate4 || len(back.Runs) != len(rep.Runs) {
+		t.Fatalf("JSON round-trip mismatch: %+v vs %+v", back, rep)
+	}
+}

@@ -22,13 +22,14 @@ func RunBench(args []string, stdout io.Writer) error {
 		q2       = fs.Int("q2", 100, "number of QTYPE2 queries")
 		q3       = fs.Int("q3", 200, "number of QTYPE3 queries")
 		seed     = fs.Int64("seed", 1, "random seed")
-		exps     = fs.String("experiments", "table1,table2,fig13,fig14,fig15", "comma-separated experiment list (also: ablations, adapt-stall, asr, concurrency, explain, join-kernel, recovery, serve)")
+		exps     = fs.String("experiments", "table1,table2,fig13,fig14,fig15", "comma-separated experiment list (also: ablations, adapt-stall, asr, concurrency, explain, join-kernel, recovery, serve, shard)")
 		paper    = fs.Bool("paper", false, "run the full-size paper protocol (slow)")
 		csvDir   = fs.String("csv", "", "also write figure series as CSV files into this directory")
 		concJSON = fs.String("concurrency-json", "", "write the concurrency sweep report to this JSON file")
 		adptJSON = fs.String("adapt-json", "", "write the adapt-stall report to this JSON file")
 		joinJSON = fs.String("join-json", "", "write the join-kernel ablation report to this JSON file")
 		srvJSON  = fs.String("serve-json", "", "write the serving-layer report to this JSON file")
+		shrdJSON = fs.String("shard-json", "", "write the sharded-serving report to this JSON file")
 		recJSON  = fs.String("recovery-json", "", "write the crash-recovery report to this JSON file")
 		metJSON  = fs.String("metrics-json", "", "write a process metrics snapshot (counters/gauges/histograms) to this JSON file after the run")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -263,6 +264,27 @@ func RunBench(args []string, stdout io.Writer) error {
 		}
 		return csvOut("serve.json", func(w io.Writer) error {
 			return bench.WriteServeJSON(w, rep)
+		})
+	})
+	run("shard", func() error {
+		rep, err := env.Shard("shakes_all.xml", []int{1, 2, 4, 8}, 4, 8, 32)
+		if err != nil {
+			return err
+		}
+		fprintf(stdout, "%s\n", bench.RenderShard(rep))
+		if *shrdJSON != "" {
+			f, err := os.Create(*shrdJSON)
+			if err != nil {
+				return err
+			}
+			if err := bench.WriteShardJSON(f, rep); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+		return csvOut("shard.json", func(w io.Writer) error {
+			return bench.WriteShardJSON(w, rep)
 		})
 	})
 	run("recovery", func() error {

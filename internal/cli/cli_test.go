@@ -235,3 +235,32 @@ func TestSplitList(t *testing.T) {
 		t.Fatalf("split = %v", got)
 	}
 }
+
+func TestRunBenchShardJSON(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "BENCH_SHARD.json")
+	var out bytes.Buffer
+	err := RunBench([]string{
+		"-scale", "0.01", "-q1", "40", "-q2", "8", "-q3", "10",
+		"-experiments", "shard", "-shard-json", outPath,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "hit-rate@4") {
+		t.Fatalf("shard experiment output missing headline:\n%s", out.String())
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "hit_rate_4shards") {
+		t.Fatalf("artifact lacks the headline field:\n%s", data)
+	}
+}
+
+func TestRunServeBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := RunServe([]string{"-nosuchflag"}, &out); err == nil {
+		t.Fatal("bad flag should fail")
+	}
+}

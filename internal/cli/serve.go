@@ -15,6 +15,9 @@ import (
 	"apex"
 	"apex/internal/datagen"
 	"apex/internal/server"
+	"apex/internal/shard"
+	"apex/internal/storage"
+	"apex/internal/xmlgraph"
 )
 
 // RunServe implements apexd: load (or build) an index and serve it over
@@ -49,6 +52,9 @@ func runServe(ctx context.Context, args []string, stdout io.Writer) error {
 		dir         = fs.String("dir", "", "durable index directory (WAL + checkpoints); recovered if it has a manifest, seeded otherwise")
 		ckptEvery   = fs.Duration("checkpoint-interval", 0, "fold journaled writes into a checkpoint this often (with -dir; 0 disables)")
 		noSync      = fs.Bool("no-sync", false, "skip WAL fsyncs (with -dir; faster writes, crash may lose the latest ones)")
+		shards      = fs.Int("shards", 1, "partition the document into N shards served by scatter-gather (with -in or -dataset)")
+		backends    = fs.String("backends", "", "comma-separated apexd base URLs to route over (no local index)")
+		shardTO     = fs.Duration("shard-timeout", 0, "per-shard gather timeout in sharded/router mode (0 = whole-query timeout only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,12 +68,6 @@ func runServe(ctx context.Context, args []string, stdout io.Writer) error {
 			optsSet = true
 		}
 	})
-	ix, err := serveIndex(*dir, *noSync, optsSet, *indexPath, *in, *dataset, *scale, *idattr, *idref, *idrefs, *minSup, *parallelism, stdout)
-	if err != nil {
-		return err
-	}
-	defer ix.Close()
-
 	cfg := server.Config{
 		MaxInflight:  *maxInflight,
 		QueryTimeout: *timeout,
@@ -93,6 +93,45 @@ func runServe(ctx context.Context, args []string, stdout io.Writer) error {
 		defer f.Close()
 		cfg.AccessLog = f
 	}
+
+	// Router over remote daemons: no local index at all, just scatter-gather
+	// over the listed apexd base URLs (reads and adapts; the HTTP API has no
+	// write endpoints, so this mode is read-only).
+	if *backends != "" {
+		if *shards > 1 || *indexPath != "" || *in != "" || *dataset != "" || *dir != "" {
+			return fmt.Errorf("apexd: -backends is exclusive with -shards and the index-source flags")
+		}
+		bs := make([]shard.Backend, 0)
+		for _, base := range splitList(*backends) {
+			if base == "" {
+				continue
+			}
+			bs = append(bs, shard.NewHTTPBackend(fmt.Sprintf("shard-%d", len(bs)), base, nil))
+		}
+		if len(bs) == 0 {
+			return fmt.Errorf("apexd: -backends lists no URLs")
+		}
+		rt := shard.NewRouter(bs, *shardTO)
+		return serveRouter(ctx, rt, nil, cfg, *addr, 0, stdout)
+	}
+
+	// Document-partitioned local shards behind one router.
+	if *shards > 1 {
+		local, err := serveShards(*dir, *noSync, optsSet, *in, *dataset, *scale,
+			*idattr, *idref, *idrefs, *minSup, *parallelism, *indexPath, *shards, stdout)
+		if err != nil {
+			return err
+		}
+		defer shard.CloseShards(local)
+		rt := shard.NewRouter(shard.Backends(local), *shardTO)
+		return serveRouter(ctx, rt, local, cfg, *addr, *ckptEvery, stdout)
+	}
+
+	ix, err := serveIndex(*dir, *noSync, optsSet, *indexPath, *in, *dataset, *scale, *idattr, *idref, *idrefs, *minSup, *parallelism, stdout)
+	if err != nil {
+		return err
+	}
+	defer ix.Close()
 
 	if ix.Durable() && *ckptEvery > 0 {
 		go func() {
@@ -206,6 +245,147 @@ func serveIndex(dir string, noSync, optsSet bool, indexPath, in, dataset string,
 	default:
 		return nil, err
 	}
+}
+
+// serveShards resolves the N local shard backends. Without -dir the
+// document from -in or -dataset is partitioned and indexed in memory. With
+// -dir, an existing SHARDS.json is authoritative — every shard-i
+// subdirectory is recovered independently (the -shards value must agree
+// with the recorded layout) — and a fresh directory is seeded from the
+// build source, each shard checkpointing into its own subdirectory.
+func serveShards(dir string, noSync, optsSet bool, in, dataset string, scale float64, idattr, idref, idrefs string, minSup float64, parallelism int, indexPath string, n int, stdout io.Writer) ([]*shard.LocalBackend, error) {
+	if indexPath != "" {
+		return nil, fmt.Errorf("apexd: -shards partitions a document, not a saved index; use -in or -dataset")
+	}
+	opts := &apex.Options{
+		IDAttrs:     []string{idattr},
+		IDREFAttrs:  splitList(idref),
+		IDREFSAttrs: splitList(idrefs),
+		MinSup:      minSup,
+		Parallelism: parallelism,
+		NoSync:      noSync,
+	}
+	build := func() ([]*shard.LocalBackend, error) {
+		g, err := buildServeGraph(in, dataset, scale, opts, stdout)
+		if err != nil {
+			return nil, err
+		}
+		local, plan, err := shard.BuildLocal(g, n, opts)
+		if err != nil {
+			return nil, err
+		}
+		fprintf(stdout, "apexd: partitioned %d units over %d shards (%d replica units)\n",
+			plan.NumUnits(), n, plan.Replicated())
+		return local, nil
+	}
+	if dir == "" {
+		if (in == "") == (dataset == "") {
+			return nil, fmt.Errorf("apexd: -shards needs exactly one of -in, -dataset")
+		}
+		return build()
+	}
+	layout, err := storage.LoadShardLayout(dir)
+	switch {
+	case err == nil:
+		if layout.Shards != n {
+			return nil, fmt.Errorf("apexd: %s holds %d shards but -shards=%d", dir, layout.Shards, n)
+		}
+		var recoverOpts *apex.Options
+		if optsSet {
+			recoverOpts = opts
+		}
+		local, err := shard.RecoverShards(dir, recoverOpts)
+		if err != nil {
+			return nil, err
+		}
+		fprintf(stdout, "apexd: recovered %d shards from %s\n", n, dir)
+		return local, nil
+	case os.IsNotExist(err):
+		if (in == "") == (dataset == "") {
+			return nil, fmt.Errorf("apexd: %s has no shard layout yet; seed it with -in or -dataset", dir)
+		}
+		local, err := build()
+		if err != nil {
+			return nil, err
+		}
+		if err := shard.PersistShards(dir, local); err != nil {
+			return nil, err
+		}
+		fprintf(stdout, "apexd: wrote initial shard checkpoints in %s\n", dir)
+		return local, nil
+	default:
+		return nil, err
+	}
+}
+
+// buildServeGraph parses the document graph the shards partition.
+func buildServeGraph(in, dataset string, scale float64, opts *apex.Options, stdout io.Writer) (*xmlgraph.Graph, error) {
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		g, err := xmlgraph.Build(f, &xmlgraph.BuildOptions{
+			IDAttrs:     opts.IDAttrs,
+			IDREFAttrs:  opts.IDREFAttrs,
+			IDREFSAttrs: opts.IDREFSAttrs,
+		})
+		if err != nil {
+			return nil, err
+		}
+		fprintf(stdout, "apexd: parsed %s\n", in)
+		return g, nil
+	}
+	ds, err := datagen.LoadDataset(dataset, scale)
+	if err != nil {
+		return nil, err
+	}
+	fprintf(stdout, "apexd: loaded dataset %s (scale %g)\n", dataset, scale)
+	return ds.Graph, nil
+}
+
+// serveRouter runs the scatter-gather front end until ctx cancels. With
+// durable local shards it also runs the periodic checkpoint ticker and folds
+// a final checkpoint per shard on drain, mirroring the single-index path.
+func serveRouter(ctx context.Context, rt *shard.Router, local []*shard.LocalBackend, cfg server.Config, addr string, ckptEvery time.Duration, stdout io.Writer) error {
+	durable := len(local) > 0 && local[0].Index().Durable()
+	if durable && ckptEvery > 0 {
+		go func() {
+			t := time.NewTicker(ckptEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					for _, b := range local {
+						if err := b.Index().Checkpoint(); err != nil {
+							fprintf(stdout, "apexd: checkpoint %s: %v\n", b.Name(), err)
+						}
+					}
+				}
+			}
+		}()
+	}
+	srv := server.NewRouterServer(rt, cfg)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fprintf(stdout, "apexd: routing %d shards on http://%s\n", rt.NumShards(), ln.Addr())
+	if err := srv.Serve(ctx, ln); err != nil {
+		return err
+	}
+	if durable {
+		for _, b := range local {
+			if err := b.Index().Checkpoint(); err != nil {
+				return fmt.Errorf("apexd: final checkpoint %s: %w", b.Name(), err)
+			}
+		}
+	}
+	fprintf(stdout, "apexd: drained, bye\n")
+	return nil
 }
 
 // buildServeIndex builds an index from -in or -dataset.

@@ -236,3 +236,212 @@ func TestRunServeDurableLifecycle(t *testing.T) {
 		t.Fatalf("no ignore notice:\n%s", out.String())
 	}
 }
+
+func TestRunServeShardedValidation(t *testing.T) {
+	var out bytes.Buffer
+	cases := [][]string{
+		{"-backends", "http://h1:1", "-shards", "2"},
+		{"-backends", "http://h1:1", "-in", "a.xml"},
+		{"-backends", ","},
+		{"-shards", "2", "-index", "x.apex"},
+		{"-shards", "2"},
+		{"-shards", "2", "-in", "a.xml", "-dataset", "Flix01.xml"},
+		{"-shards", "2", "-dir", t.TempDir()},
+	}
+	for _, args := range cases {
+		if err := runServe(context.Background(), args, &out); err == nil {
+			t.Fatalf("%v: want error", args)
+		}
+	}
+}
+
+// TestRunServeShardedEndToEnd boots apexd in sharded mode over a document
+// file, round-trips a query and a single-shard adapt, and checks the stats
+// payload reports one row per shard.
+func TestRunServeShardedEndToEnd(t *testing.T) {
+	doc := filepath.Join(t.TempDir(), "site.xml")
+	xml := `<site>
+  <customers><customer id="c1"><name>ada</name></customer><customer id="c2"><name>grace</name></customer></customers>
+  <orders><order ref="c1"><total>10</total></order></orders>
+  <catalog><item id="i1"><price>5</price></item></catalog>
+</site>`
+	if err := os.WriteFile(doc, []byte(xml), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := &syncBuffer{}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- runServe(ctx, []string{
+			"-addr", "127.0.0.1:0", "-in", doc, "-idref", "ref",
+			"-shards", "2", "-shard-timeout", "2s",
+		}, out)
+	}()
+	base := serveAddr(t, out)
+
+	var qr struct {
+		Generations []uint64 `json:"generations"`
+		Count       int      `json:"count"`
+	}
+	resp, err := http.Post(base+"/query", "application/json", strings.NewReader(`{"query":"//customer/name"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&qr)
+	resp.Body.Close()
+	if err != nil || qr.Count != 2 || len(qr.Generations) != 2 {
+		t.Fatalf("sharded query = %+v (err=%v), want 2 nodes over a 2-entry generation vector", qr, err)
+	}
+
+	resp, err = http.Post(base+"/adapt", "application/json",
+		strings.NewReader(`{"shard":0,"queries":["//customer/name"],"min_sup":0.01}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("single-shard adapt status = %d", resp.StatusCode)
+	}
+
+	var st struct {
+		Shards []struct {
+			Name string `json:"name"`
+		} `json:"shards"`
+	}
+	resp, err = http.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil || len(st.Shards) != 2 {
+		t.Fatalf("stats shards = %+v (err=%v), want 2 rows", st.Shards, err)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("runServe returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("runServe did not drain")
+	}
+	if !strings.Contains(out.String(), "partitioned") || !strings.Contains(out.String(), "routing 2 shards") {
+		t.Fatalf("missing sharded banners:\n%s", out.String())
+	}
+}
+
+// TestRunServeShardedDurable seeds a sharded durable directory, restarts
+// from it alone, and rejects a -shards flag that disagrees with the stored
+// layout.
+func TestRunServeShardedDurable(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "shards")
+	run := func(args ...string) (*syncBuffer, context.CancelFunc, chan error) {
+		out := &syncBuffer{}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() { done <- runServe(ctx, args, out) }()
+		return out, cancel, done
+	}
+	stop := func(cancel context.CancelFunc, done chan error) {
+		t.Helper()
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("runServe returned %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("runServe did not drain")
+		}
+	}
+
+	out, cancel, done := run("-addr", "127.0.0.1:0", "-dir", dir,
+		"-dataset", "shakes_11.xml", "-scale", "0.05", "-shards", "2")
+	serveAddr(t, out)
+	stop(cancel, done)
+	if !strings.Contains(out.String(), "wrote initial shard checkpoints") {
+		t.Fatalf("no seed banner:\n%s", out.String())
+	}
+
+	// Restart from the directory alone, then query the recovered shards.
+	out, cancel, done = run("-addr", "127.0.0.1:0", "-dir", dir, "-shards", "2")
+	base := serveAddr(t, out)
+	var qr struct {
+		Count int `json:"count"`
+	}
+	resp, err := http.Post(base+"/query", "application/json", strings.NewReader(`{"query":"//ACT/SCENE"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&qr)
+	resp.Body.Close()
+	if err != nil || qr.Count == 0 {
+		t.Fatalf("recovered sharded query: count=%d err=%v", qr.Count, err)
+	}
+	stop(cancel, done)
+	if !strings.Contains(out.String(), "recovered 2 shards") {
+		t.Fatalf("no recovery banner:\n%s", out.String())
+	}
+
+	var vout bytes.Buffer
+	if err := runServe(context.Background(), []string{"-dir", dir, "-shards", "3"}, &vout); err == nil ||
+		!strings.Contains(err.Error(), "-shards=3") {
+		t.Fatalf("layout mismatch = %v, want an error naming the flag", err)
+	}
+}
+
+// TestRunServeRouterBackends boots one single-index apexd and a second
+// apexd in -backends router mode pointing at it, and queries through the
+// router.
+func TestRunServeRouterBackends(t *testing.T) {
+	bout := &syncBuffer{}
+	bctx, bcancel := context.WithCancel(context.Background())
+	bdone := make(chan error, 1)
+	go func() {
+		bdone <- runServe(bctx, []string{
+			"-addr", "127.0.0.1:0", "-dataset", "shakes_11.xml", "-scale", "0.05",
+		}, bout)
+	}()
+	backend := serveAddr(t, bout)
+
+	rout := &syncBuffer{}
+	rctx, rcancel := context.WithCancel(context.Background())
+	rdone := make(chan error, 1)
+	go func() {
+		rdone <- runServe(rctx, []string{
+			"-addr", "127.0.0.1:0", "-backends", backend, "-shard-timeout", "5s",
+		}, rout)
+	}()
+	router := serveAddr(t, rout)
+
+	var qr struct {
+		Count       int      `json:"count"`
+		Generations []uint64 `json:"generations"`
+	}
+	resp, err := http.Post(router+"/query", "application/json", strings.NewReader(`{"query":"//ACT/SCENE"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&qr)
+	resp.Body.Close()
+	if err != nil || qr.Count == 0 || len(qr.Generations) != 1 {
+		t.Fatalf("routed query = %+v (err=%v), want nodes from the remote backend", qr, err)
+	}
+
+	for _, s := range []struct {
+		cancel context.CancelFunc
+		done   chan error
+	}{{rcancel, rdone}, {bcancel, bdone}} {
+		s.cancel()
+		select {
+		case err := <-s.done:
+			if err != nil {
+				t.Fatalf("runServe returned %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("runServe did not drain")
+		}
+	}
+}

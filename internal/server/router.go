@@ -1,0 +1,447 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"apex"
+	"apex/internal/metrics"
+	"apex/internal/query"
+	"apex/internal/shard"
+)
+
+// RouterServer serves a shard.Router over the same HTTP surface as Server,
+// with one structural difference in the cache: instead of a single cache
+// keyed by one publication generation, it keeps one cache per shard, each
+// keyed by that shard's own generation. The cache key is therefore a
+// per-shard generation vector in effect — a query's answer is assembled from
+// N per-shard partial results, and restructuring shard i moves only shard
+// i's generation, so only shard i's entries stop matching. The other N-1
+// shards keep serving their partials from cache while shard i alone
+// re-evaluates.
+type RouterServer struct {
+	rt     *shard.Router
+	cfg    Config
+	caches []*Cache // caches[i] holds shard i's partial results
+	sem    chan struct{}
+
+	logMu sync.Mutex
+
+	// testHookEvaluating mirrors Server's hook: runs on the /query path after
+	// admission, before the cache probe. Set before serving.
+	testHookEvaluating func()
+}
+
+// NewRouterServer wires a serving front end over rt. The configured cache
+// capacity is split evenly across the per-shard caches (at least one entry
+// each); a negative CacheSize disables caching entirely.
+func NewRouterServer(rt *shard.Router, cfg Config) *RouterServer {
+	n := rt.NumShards()
+	caches := make([]*Cache, n)
+	if size := cfg.cacheSize(); size > 0 {
+		per := size / n
+		if per < 1 {
+			per = 1
+		}
+		for i := range caches {
+			caches[i] = NewCache(per)
+		}
+	}
+	return &RouterServer{
+		rt:     rt,
+		cfg:    cfg,
+		caches: caches,
+		sem:    make(chan struct{}, cfg.maxInflight()),
+	}
+}
+
+// Router returns the underlying shard router.
+func (s *RouterServer) Router() *shard.Router { return s.rt }
+
+// ShardCache returns shard i's cache (nil when caching is disabled).
+func (s *RouterServer) ShardCache(i int) *Cache { return s.caches[i] }
+
+// CacheStats sums the per-shard cache counters. Capacity is the total across
+// shards; hits and misses count per-shard probes, so one query over N shards
+// moves the counters by N.
+func (s *RouterServer) CacheStats() CacheStats {
+	var agg CacheStats
+	for _, c := range s.caches {
+		st := c.Stats()
+		agg.Capacity += st.Capacity
+		agg.Entries += st.Entries
+		agg.Hits += st.Hits
+		agg.Misses += st.Misses
+		agg.Evictions += st.Evictions
+		agg.Invalidated += st.Invalidated
+	}
+	return agg
+}
+
+// Handler returns the routed endpoints — the same surface as Server.Handler,
+// served by scatter-gather:
+//
+//	POST /query    {"query": "//a/b"} → merged result (per-shard cache-first)
+//	POST /explain  {"query": "//a/b"} → per-shard traces (never cached)
+//	POST /adapt    {"min_sup": 0.005, "shard": 2} → restructure one or all shards
+//	POST /checkpoint  checkpoint every durable shard
+//	GET  /stats    per-shard index + generation rows, aggregate cache
+//	GET  /metrics  process metrics registry as JSON
+func (s *RouterServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /explain", s.handleExplain)
+	mux.HandleFunc("POST /adapt", s.handleAdapt)
+	mux.HandleFunc("POST /checkpoint", s.handleCheckpoint)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	metrics.Default.PublishExpvar("apex") // idempotent
+	return accessLogged(s.cfg.AccessLog, &s.logMu, mux)
+}
+
+// ListenAndServe serves Handler on addr until ctx is canceled, then drains —
+// the same lifecycle as the single-index server.
+func (s *RouterServer) ListenAndServe(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln)
+}
+
+// Serve is ListenAndServe over an existing listener (which it takes
+// ownership of).
+func (s *RouterServer) Serve(ctx context.Context, ln net.Listener) error {
+	return serveAndDrain(ctx, ln, s.Handler(), s.cfg.drainTimeout())
+}
+
+// routerQueryResponse is the body of a POST /query answer from the router.
+// Generations is the per-shard generation vector the answer was assembled
+// against; CachedShards counts how many partials came from cache (Cached is
+// true only when all of them did).
+type routerQueryResponse struct {
+	Query        string     `json:"query"`
+	Generations  []uint64   `json:"generations"`
+	Cached       bool       `json:"cached"`
+	CachedShards int        `json:"cached_shards"`
+	Count        int        `json:"count"`
+	WallNS       int64      `json:"wall_ns"`
+	Nodes        []nodeJSON `json:"nodes"`
+}
+
+// shardErrorResponse is the body of a failed scatter-gather: which shards
+// failed, and whether other shards had already answered (a partial result
+// existed but was discarded — the router never serves partial documents).
+type shardErrorResponse struct {
+	Error   string `json:"error"`
+	Shards  []int  `json:"shards"`
+	Partial bool   `json:"partial"`
+}
+
+// handleQuery is the scatter-gather hot path: probe every shard's cache
+// against that shard's current generation, evaluate only the missing shards,
+// and k-way merge the cached and fresh partials into one document-order
+// result.
+func (s *RouterServer) handleQuery(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	parsed, ok := decodeQuery(w, r)
+	if !ok {
+		return
+	}
+	qtype, canonical := parsed.Type.String(), parsed.String()
+	release, ok := admit(s.sem)
+	if !ok {
+		shed(w)
+		return
+	}
+	defer release()
+	if s.testHookEvaluating != nil {
+		s.testHookEvaluating()
+	}
+
+	// Probe per shard against the generation vector. need[i] marks the
+	// shards whose partials must be evaluated; hit[i] the ones served from
+	// cache (and therefore still owed a workload-log record).
+	n := s.rt.NumShards()
+	gens := s.rt.Generations()
+	partials := make([]*apex.Result, n)
+	need := make([]bool, n)
+	hit := make([]bool, n)
+	misses := 0
+	for i := 0; i < n; i++ {
+		if res, ok := s.caches[i].Get(gens[i], qtype, canonical); ok {
+			partials[i], hit[i] = res, true
+		} else {
+			need[i] = true
+			misses++
+		}
+	}
+
+	if misses > 0 {
+		ctx, cancel := evalContext(r, s.cfg.queryTimeout())
+		defer cancel()
+		fresh, freshGens, err := s.rt.Gather(ctx, canonical, need)
+		if err != nil {
+			s.gatherError(w, r, err)
+			return
+		}
+		for i := 0; i < n; i++ {
+			if need[i] {
+				partials[i] = fresh[i]
+				gens[i] = freshGens[i]
+				s.caches[i].Put(freshGens[i], qtype, canonical, fresh[i])
+			}
+		}
+	}
+	// Cache hits bypassed those shards' evaluators, but the query is still
+	// workload their next Adapt should mine.
+	if misses < n {
+		_ = s.rt.RecordWorkload(canonical, hit)
+	}
+
+	merged := shard.MergeResults(partials)
+	resp := routerQueryResponse{
+		Query:        canonical,
+		Generations:  gens,
+		Cached:       misses == 0,
+		CachedShards: n - misses,
+		Count:        merged.Len(),
+		WallNS:       time.Since(start).Nanoseconds(),
+		Nodes:        make([]nodeJSON, len(merged.Nodes)),
+	}
+	for i, nd := range merged.Nodes {
+		resp.Nodes[i] = nodeJSON{ID: nd.ID, Tag: nd.Tag, Value: nd.Value}
+	}
+	writeJSON(w, http.StatusOK, resp)
+	if misses == 0 {
+		mHitNS.Observe(time.Since(start).Nanoseconds())
+	} else {
+		mMissNS.Observe(time.Since(start).Nanoseconds())
+	}
+}
+
+// gatherError maps a scatter-gather failure to a status: a down shard
+// (transport failure or 5xx from a remote backend) is 502 with the failed
+// shard ids in the body; the client disconnecting is 499; a per-shard or
+// whole-request timeout is 504; anything else (unsupported query shape on
+// some shard) is 422.
+func (s *RouterServer) gatherError(w http.ResponseWriter, r *http.Request, err error) {
+	var ge *shard.GatherError
+	if !errors.As(err, &ge) {
+		evalError(w, err)
+		return
+	}
+	var down []int
+	timeout := false
+	for _, se := range ge.Errors {
+		var de *shard.DownError
+		switch {
+		case errors.As(se.Err, &de):
+			down = append(down, se.Shard)
+		case errors.Is(se.Err, context.DeadlineExceeded):
+			timeout = true
+		}
+	}
+	resp := shardErrorResponse{Error: ge.Error(), Shards: ge.Shards(), Partial: ge.Partial}
+	switch {
+	case len(down) > 0:
+		resp.Shards = down
+		writeJSON(w, http.StatusBadGateway, resp)
+	case r.Context().Err() != nil:
+		writeJSON(w, 499, shardErrorResponse{Error: "client canceled", Shards: ge.Shards(), Partial: ge.Partial})
+	case timeout:
+		writeJSON(w, http.StatusGatewayTimeout, resp)
+	default:
+		writeJSON(w, http.StatusUnprocessableEntity, resp)
+	}
+}
+
+// shardExplainJSON is one shard's row in a router EXPLAIN.
+type shardExplainJSON struct {
+	Shard  int          `json:"shard"`
+	Name   string       `json:"name"`
+	Count  int          `json:"count"`
+	Cached bool         `json:"cached"`
+	Trace  *query.Trace `json:"trace"`
+}
+
+// routerExplainResponse is the body of a POST /explain answer: one trace per
+// shard (the gather has no single plan — each shard runs its own).
+type routerExplainResponse struct {
+	Query  string             `json:"query"`
+	Shards []shardExplainJSON `json:"shards"`
+}
+
+// handleExplain fans the query out and reports every shard's trace, plus
+// whether that shard's partial is currently cached (without touching
+// recency or counters, like the single-index EXPLAIN).
+func (s *RouterServer) handleExplain(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	parsed, ok := decodeQuery(w, r)
+	if !ok {
+		return
+	}
+	qtype, canonical := parsed.Type.String(), parsed.String()
+	release, ok := admit(s.sem)
+	if !ok {
+		shed(w)
+		return
+	}
+	defer release()
+	ctx, cancel := evalContext(r, s.cfg.queryTimeout())
+	defer cancel()
+	rows := make([]shardExplainJSON, s.rt.NumShards())
+	for i := range rows {
+		b := s.rt.Backend(i)
+		res, tr, err := b.Explain(ctx, canonical)
+		if err != nil {
+			s.gatherError(w, r, &shard.GatherError{
+				Errors: []*shard.ShardError{{Shard: i, Name: b.Name(), Err: err}},
+			})
+			return
+		}
+		rows[i] = shardExplainJSON{
+			Shard:  i,
+			Name:   b.Name(),
+			Count:  res.Len(),
+			Cached: s.caches[i].Peek(b.Generation(), qtype, canonical),
+			Trace:  tr,
+		}
+	}
+	writeJSON(w, http.StatusOK, routerExplainResponse{Query: canonical, Shards: rows})
+	mExplainNS.Observe(time.Since(start).Nanoseconds())
+}
+
+// routerAdaptRequest is the body of POST /adapt on the router. A nil Shard
+// broadcasts; an explicit shard index restructures only that shard — the
+// generation-vector cache then invalidates only that shard's entries.
+type routerAdaptRequest struct {
+	MinSup  float64  `json:"min_sup"`
+	Queries []string `json:"queries"`
+	Shard   *int     `json:"shard"`
+}
+
+// routerAdaptResponse is the body of a POST /adapt answer.
+type routerAdaptResponse struct {
+	Generations []uint64 `json:"generations"`
+	Invalidated int      `json:"invalidated"`
+}
+
+// handleAdapt restructures one shard or all of them, then sweeps exactly the
+// caches whose shard moved: a single-shard adapt leaves the other N-1
+// shards' cached partials valid and untouched.
+func (s *RouterServer) handleAdapt(w http.ResponseWriter, r *http.Request) {
+	var req routerAdaptRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad adapt request: " + err.Error()})
+		return
+	}
+	target := -1
+	if req.Shard != nil {
+		target = *req.Shard
+		if target < 0 || target >= s.rt.NumShards() {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "adapt: no such shard"})
+			return
+		}
+	}
+	if err := s.rt.Adapt(target, req.Queries, req.MinSup); err != nil {
+		var ge *shard.GatherError
+		if errors.As(err, &ge) {
+			s.gatherError(w, r, ge)
+			return
+		}
+		// "no logged queries" is a state conflict, not a malformed request.
+		writeJSON(w, http.StatusConflict, errorResponse{Error: err.Error()})
+		return
+	}
+	invalidated := 0
+	for i, c := range s.caches {
+		if target >= 0 && i != target {
+			continue
+		}
+		invalidated += c.Sweep(s.rt.Backend(i).Generation())
+	}
+	writeJSON(w, http.StatusOK, routerAdaptResponse{
+		Generations: s.rt.Generations(),
+		Invalidated: invalidated,
+	})
+}
+
+// shardStatsJSON is one shard's row in the router /stats payload. Error is
+// set (and Index zero) when the shard could not be reached.
+type shardStatsJSON struct {
+	Shard      int        `json:"shard"`
+	Name       string     `json:"name"`
+	Generation uint64     `json:"generation"`
+	Index      apex.Stats `json:"index"`
+	Cache      CacheStats `json:"cache"`
+	Error      string     `json:"error,omitempty"`
+}
+
+// routerStatsResponse is the body of GET /stats on the router.
+type routerStatsResponse struct {
+	Shards      []shardStatsJSON `json:"shards"`
+	Cache       CacheStats       `json:"cache"` // aggregate across shards
+	Inflight    int              `json:"inflight"`
+	MaxInflight int              `json:"max_inflight"`
+}
+
+func (s *RouterServer) handleStats(w http.ResponseWriter, r *http.Request) {
+	rows := make([]shardStatsJSON, s.rt.NumShards())
+	for i := range rows {
+		b := s.rt.Backend(i)
+		rows[i] = shardStatsJSON{
+			Shard:      i,
+			Name:       b.Name(),
+			Generation: b.Generation(),
+			Cache:      s.caches[i].Stats(),
+		}
+		if st, err := b.Stats(); err != nil {
+			rows[i].Error = err.Error()
+		} else {
+			rows[i].Index = st
+		}
+	}
+	writeJSON(w, http.StatusOK, routerStatsResponse{
+		Shards:      rows,
+		Cache:       s.CacheStats(),
+		Inflight:    len(s.sem),
+		MaxInflight: cap(s.sem),
+	})
+}
+
+// indexed is the local-backend surface the checkpoint path needs.
+type indexed interface{ Index() *apex.Index }
+
+// handleCheckpoint checkpoints every durable shard. Remote or non-durable
+// shards make the endpoint a 409 — checkpointing is an owner's operation.
+func (s *RouterServer) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	for i := 0; i < s.rt.NumShards(); i++ {
+		b := s.rt.Backend(i)
+		lb, ok := b.(indexed)
+		if !ok || !lb.Index().Durable() {
+			writeJSON(w, http.StatusConflict, errorResponse{Error: "checkpoint: shard " + b.Name() + " is not a local durable index"})
+			return
+		}
+	}
+	for i := 0; i < s.rt.NumShards(); i++ {
+		b := s.rt.Backend(i)
+		if err := b.(indexed).Index().Checkpoint(); err != nil {
+			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: "shard " + b.Name() + ": " + err.Error()})
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, routerAdaptResponse{Generations: s.rt.Generations()})
+}
+
+func (s *RouterServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := metrics.Default.WriteJSON(w); err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+	}
+}

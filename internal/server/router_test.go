@@ -1,0 +1,508 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"apex"
+	"apex/internal/query"
+	"apex/internal/shard"
+	"apex/internal/xmlgraph"
+)
+
+// fakeShard is a scriptable shard.Backend for driving the router's failure
+// paths without real indexes: it can answer, fail, or block until its
+// context dies, and it records every context outcome it observed.
+type fakeShard struct {
+	name  string
+	gen   uint64
+	res   *apex.Result
+	err   error         // returned from Query when set
+	block bool          // block until ctx is done, then return ctx.Err()
+	saw   atomic.Int64  // queries received
+	ended atomic.Int64  // blocked queries released by ctx cancellation
+	start chan struct{} // closed once on first query, when non-nil
+	once  sync.Once
+}
+
+func (f *fakeShard) Name() string       { return f.name }
+func (f *fakeShard) Generation() uint64 { return f.gen }
+
+func (f *fakeShard) Query(ctx context.Context, canonical string) (*apex.Result, uint64, error) {
+	f.saw.Add(1)
+	if f.start != nil {
+		f.once.Do(func() { close(f.start) })
+	}
+	if f.block {
+		<-ctx.Done()
+		f.ended.Add(1)
+		return nil, f.gen, ctx.Err()
+	}
+	if f.err != nil {
+		return nil, f.gen, f.err
+	}
+	res := f.res
+	if res == nil {
+		res = &apex.Result{}
+	}
+	return res, f.gen, nil
+}
+
+func (f *fakeShard) Match(ctx context.Context, canonical string) ([]xmlgraph.NID, error) {
+	return nil, nil
+}
+
+func (f *fakeShard) Explain(ctx context.Context, canonical string) (*apex.Result, *query.Trace, error) {
+	res, _, err := f.Query(ctx, canonical)
+	return res, &query.Trace{}, err
+}
+
+func (f *fakeShard) RecordWorkload(string) error     { return nil }
+func (f *fakeShard) Adapt(float64) error             { return nil }
+func (f *fakeShard) AdaptTo([]string, float64) error { return nil }
+func (f *fakeShard) Stats() (apex.Stats, error)      { return apex.Stats{}, nil }
+
+// newFakeRouterServer wires a RouterServer over scripted shards.
+func newFakeRouterServer(t *testing.T, cfg Config, perShardTimeout time.Duration, fakes ...*fakeShard) (*RouterServer, *httptest.Server) {
+	t.Helper()
+	backends := make([]shard.Backend, len(fakes))
+	for i, f := range fakes {
+		backends[i] = f
+	}
+	srv := NewRouterServer(shard.NewRouter(backends, perShardTimeout), cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// TestRouterShardTimeout pins the partial-failure contract for a slow
+// shard: with a per-shard timeout set, a shard that never answers turns
+// into a 504 carrying its shard id — the request returns, it does not hang
+// on the stuck shard.
+func TestRouterShardTimeout(t *testing.T) {
+	ok := &fakeShard{name: "shard-0", res: &apex.Result{Nodes: []apex.Node{{ID: 1, Tag: "a"}}}}
+	stuck := &fakeShard{name: "shard-1", block: true}
+	_, ts := newFakeRouterServer(t, Config{}, 50*time.Millisecond, ok, stuck)
+
+	done := make(chan struct{})
+	var code int
+	var body shardErrorResponse
+	go func() {
+		defer close(done)
+		code = postJSON(t, ts.URL+"/query", `{"query":"//a"}`, &body)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("request hung on the stuck shard")
+	}
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("slow-shard status = %d, want 504", code)
+	}
+	if len(body.Shards) != 1 || body.Shards[0] != 1 {
+		t.Fatalf("failed shards = %v, want [1]", body.Shards)
+	}
+	if !body.Partial {
+		t.Fatal("partial=false although shard 0 answered")
+	}
+	if stuck.ended.Load() != 1 {
+		t.Fatalf("stuck shard released %d times, want 1", stuck.ended.Load())
+	}
+}
+
+// TestRouterDownShard pins the down-shard contract: a backend failing with
+// a DownError (transport failure, 5xx) answers 502 with the shard id in the
+// JSON body.
+func TestRouterDownShard(t *testing.T) {
+	ok := &fakeShard{name: "shard-0", res: &apex.Result{}}
+	down := &fakeShard{name: "shard-1"}
+	down.err = &shard.DownError{Err: errors.New("connection refused")}
+	ok2 := &fakeShard{name: "shard-2", res: &apex.Result{}}
+	_, ts := newFakeRouterServer(t, Config{}, 0, ok, down, ok2)
+
+	var body shardErrorResponse
+	code := postJSON(t, ts.URL+"/query", `{"query":"//a"}`, &body)
+	if code != http.StatusBadGateway {
+		t.Fatalf("down-shard status = %d, want 502", code)
+	}
+	if len(body.Shards) != 1 || body.Shards[0] != 1 {
+		t.Fatalf("down shards = %v, want [1]", body.Shards)
+	}
+	if !strings.Contains(body.Error, "shard 1") {
+		t.Fatalf("error body %q does not name shard 1", body.Error)
+	}
+}
+
+// TestRouterShedsWhenSaturated pins that the router keeps the single-index
+// admission contract: beyond MaxInflight, /query answers 429 instead of
+// queueing behind the convoy.
+func TestRouterShedsWhenSaturated(t *testing.T) {
+	a := &fakeShard{name: "shard-0", res: &apex.Result{}}
+	b := &fakeShard{name: "shard-1", res: &apex.Result{}}
+	srv, ts := newFakeRouterServer(t, Config{MaxInflight: 1}, 0, a, b)
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	srv.testHookEvaluating = func() {
+		once.Do(func() { close(entered) })
+		<-release
+	}
+	done := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader(`{"query":"//a"}`))
+		if err != nil {
+			done <- 0
+			return
+		}
+		resp.Body.Close()
+		done <- resp.StatusCode
+	}()
+	<-entered // the one admission slot is now held
+
+	resp, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader(`{"query":"//a"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated status = %d, want 429", resp.StatusCode)
+	}
+	close(release)
+	if code := <-done; code != http.StatusOK {
+		t.Fatalf("blocked request finished with %d, want 200", code)
+	}
+}
+
+// TestRouterClientCancelStopsGather pins mid-gather cancellation: when the
+// client goes away, every still-running shard evaluation observes its
+// context dying, and the handler answers 499.
+func TestRouterClientCancelStopsGather(t *testing.T) {
+	fakes := []*fakeShard{
+		{name: "shard-0", block: true, start: make(chan struct{})},
+		{name: "shard-1", block: true, start: make(chan struct{})},
+		{name: "shard-2", block: true, start: make(chan struct{})},
+	}
+	srv, _ := newFakeRouterServer(t, Config{}, 0, fakes...)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest(http.MethodPost, "/query", strings.NewReader(`{"query":"//a"}`)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Handler().ServeHTTP(rec, req)
+	}()
+	for _, f := range fakes {
+		<-f.start // every shard is now mid-evaluation
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler did not return after client cancellation")
+	}
+	if rec.Code != 499 {
+		t.Fatalf("canceled status = %d, want 499", rec.Code)
+	}
+	for i, f := range fakes {
+		if f.ended.Load() != 1 {
+			t.Fatalf("shard %d evaluation was not stopped by the cancellation", i)
+		}
+	}
+}
+
+// siteDoc has four root subtrees so a 4-shard partition gives every shard
+// its own unit, plus cross-subtree references to exercise the closure.
+const siteDoc = `<site>
+  <customers><customer id="c1"><name>ada</name></customer></customers>
+  <orders><order ref="c1"><total>10</total></order></orders>
+  <catalog><item id="i1"><price>5</price></item></catalog>
+  <reviews><review ref="i1"><stars>4</stars></review></reviews>
+</site>`
+
+// newSiteRouterServer builds 4 real local shards over siteDoc.
+func newSiteRouterServer(t *testing.T, cfg Config) (*RouterServer, *httptest.Server) {
+	t.Helper()
+	g, err := xmlgraph.Build(strings.NewReader(siteDoc), &xmlgraph.BuildOptions{
+		IDAttrs:    []string{"id"},
+		IDREFAttrs: []string{"ref"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, _, err := shard.BuildLocal(g, 4, &apex.Options{IDAttrs: []string{"id"}, IDREFAttrs: []string{"ref"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewRouterServer(shard.NewRouter(shard.Backends(local), 0), cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// TestRouterGenerationVectorCache pins the tentpole cache property: after
+// an adapt routed to shard 2 of 4, cached partials keyed to shards 0, 1,
+// and 3 still hit, shard 2's entries miss exactly once each, and the
+// invalidation counters move on shard 2's cache alone.
+func TestRouterGenerationVectorCache(t *testing.T) {
+	srv, ts := newSiteRouterServer(t, Config{})
+	queries := []string{"//customers/customer/name", "//orders/order/total"}
+
+	// First sight: every query misses on all four shards.
+	for _, q := range queries {
+		var qr routerQueryResponse
+		if code := postJSON(t, ts.URL+"/query", fmt.Sprintf(`{"query":%q}`, q), &qr); code != http.StatusOK {
+			t.Fatalf("query %s: status %d", q, code)
+		}
+		if qr.Cached || qr.CachedShards != 0 {
+			t.Fatalf("first sight of %s reported cached=%v shards=%d", q, qr.Cached, qr.CachedShards)
+		}
+	}
+	// Second sight: every probe hits.
+	for _, q := range queries {
+		var qr routerQueryResponse
+		postJSON(t, ts.URL+"/query", fmt.Sprintf(`{"query":%q}`, q), &qr)
+		if !qr.Cached || qr.CachedShards != 4 {
+			t.Fatalf("replay of %s reported cached=%v shards=%d, want full hit", q, qr.Cached, qr.CachedShards)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		st := srv.ShardCache(i).Stats()
+		if st.Hits != 2 || st.Misses != 2 || st.Entries != 2 || st.Invalidated != 0 {
+			t.Fatalf("shard %d cache = %+v, want 2 hits / 2 misses / 2 entries", i, st)
+		}
+	}
+
+	// Adapt shard 2 only.
+	var ar routerAdaptResponse
+	code := postJSON(t, ts.URL+"/adapt",
+		`{"shard": 2, "queries": ["//catalog/item/price"], "min_sup": 0.01}`, &ar)
+	if code != http.StatusOK {
+		t.Fatalf("adapt status = %d", code)
+	}
+	if ar.Invalidated != 2 {
+		t.Fatalf("adapt invalidated %d entries, want exactly shard 2's 2", ar.Invalidated)
+	}
+	for i := 0; i < 4; i++ {
+		want := int64(0)
+		if i == 2 {
+			want = 2
+		}
+		if got := srv.ShardCache(i).Stats().Invalidated; got != want {
+			t.Fatalf("shard %d invalidated = %d, want %d", i, got, want)
+		}
+	}
+
+	// Replay: shards 0, 1, 3 keep hitting; shard 2 misses once per query.
+	for _, q := range queries {
+		var qr routerQueryResponse
+		postJSON(t, ts.URL+"/query", fmt.Sprintf(`{"query":%q}`, q), &qr)
+		if qr.Cached || qr.CachedShards != 3 {
+			t.Fatalf("post-adapt replay of %s reported cached=%v shards=%d, want 3 of 4", q, qr.Cached, qr.CachedShards)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		st := srv.ShardCache(i).Stats()
+		wantHits, wantMisses := int64(4), int64(2)
+		if i == 2 {
+			wantHits, wantMisses = 2, 4
+		}
+		if st.Hits != wantHits || st.Misses != wantMisses {
+			t.Fatalf("shard %d cache after adapt = %d hits / %d misses, want %d / %d",
+				i, st.Hits, st.Misses, wantHits, wantMisses)
+		}
+	}
+	// And the shard-2 re-misses were repopulated: a final replay is a full hit.
+	var qr routerQueryResponse
+	postJSON(t, ts.URL+"/query", fmt.Sprintf(`{"query":%q}`, queries[0]), &qr)
+	if !qr.Cached || qr.CachedShards != 4 {
+		t.Fatalf("final replay reported cached=%v shards=%d, want full hit", qr.Cached, qr.CachedShards)
+	}
+}
+
+// TestRouterQueryMergesShards sanity-checks the end-to-end read path over
+// real shards: the merged result is in global document order with no
+// duplicates despite closure replication.
+func TestRouterQueryMergesShards(t *testing.T) {
+	_, ts := newSiteRouterServer(t, Config{})
+	var qr routerQueryResponse
+	if code := postJSON(t, ts.URL+"/query", `{"query":"//customer"}`, &qr); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if qr.Count != 1 {
+		t.Fatalf("//customer count = %d, want 1 (replicas must deduplicate)", qr.Count)
+	}
+	var prev int32 = -1
+	for _, n := range qr.Nodes {
+		if n.ID <= prev {
+			t.Fatalf("merged result out of document order: %v", qr.Nodes)
+		}
+		prev = n.ID
+	}
+	if len(qr.Generations) != 4 {
+		t.Fatalf("generation vector has %d entries, want 4", len(qr.Generations))
+	}
+}
+
+// TestRouterStatsAndExplain covers the remaining router surface: per-shard
+// stats rows and the per-shard EXPLAIN fan-out.
+func TestRouterStatsAndExplain(t *testing.T) {
+	_, ts := newSiteRouterServer(t, Config{})
+	postJSON(t, ts.URL+"/query", `{"query":"//customer"}`, nil)
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st routerStatsResponse
+	decodeBody(t, resp, &st)
+	if len(st.Shards) != 4 {
+		t.Fatalf("stats has %d shard rows, want 4", len(st.Shards))
+	}
+	for i, row := range st.Shards {
+		if row.Shard != i || row.Error != "" {
+			t.Fatalf("stats row %d = %+v", i, row)
+		}
+	}
+	if st.Cache.Misses != 4 {
+		t.Fatalf("aggregate misses = %d, want 4 (one per shard)", st.Cache.Misses)
+	}
+
+	var er routerExplainResponse
+	if code := postJSON(t, ts.URL+"/explain", `{"query":"//customer"}`, &er); code != http.StatusOK {
+		t.Fatalf("explain status %d", code)
+	}
+	if len(er.Shards) != 4 {
+		t.Fatalf("explain has %d shard rows, want 4", len(er.Shards))
+	}
+	total := 0
+	for _, row := range er.Shards {
+		if row.Trace == nil {
+			t.Fatalf("shard %d explain row has no trace", row.Shard)
+		}
+		total += row.Count
+	}
+	if total < 1 {
+		t.Fatal("no shard reported the customer row in EXPLAIN")
+	}
+}
+
+func decodeBody(t *testing.T, resp *http.Response, out any) {
+	t.Helper()
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRouterAdminEndpoints covers the router's operational surface: the
+// lifecycle (Serve over a real listener, drained by context cancel),
+// broadcast adapt, adapt validation, metrics, and the checkpoint endpoint
+// on both non-durable and durable shard sets.
+func TestRouterAdminEndpoints(t *testing.T) {
+	srv, ts := newSiteRouterServer(t, Config{})
+	if srv.Router().NumShards() != 4 {
+		t.Fatalf("Router() reports %d shards", srv.Router().NumShards())
+	}
+
+	// Mining an empty workload log is a state conflict, not a bad request.
+	if code := postJSON(t, ts.URL+"/adapt", `{"shard": 0, "min_sup": 0.5}`, nil); code != http.StatusConflict {
+		t.Fatalf("empty-log adapt status = %d", code)
+	}
+
+	// Seed the caches, then broadcast-adapt: every shard's cache is swept.
+	for _, q := range []string{"//customer/name", "//catalog/item/price"} {
+		if code := postJSON(t, ts.URL+"/query", `{"query":"`+q+`"}`, nil); code != http.StatusOK {
+			t.Fatalf("query status = %d", code)
+		}
+	}
+	var ar routerAdaptResponse
+	if code := postJSON(t, ts.URL+"/adapt", `{"queries":["//customer/name"],"min_sup":0.01}`, &ar); code != http.StatusOK {
+		t.Fatalf("broadcast adapt status = %d", code)
+	}
+	if ar.Invalidated != 8 || len(ar.Generations) != 4 {
+		t.Fatalf("broadcast adapt = %+v, want all 4 shards' 2 entries swept", ar)
+	}
+
+	if code := postJSON(t, ts.URL+"/adapt", `{"shard": 9}`, nil); code != http.StatusBadRequest {
+		t.Fatalf("out-of-range shard adapt status = %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/adapt", `{"shard": `, nil); code != http.StatusBadRequest {
+		t.Fatalf("malformed adapt status = %d", code)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %v status=%d", err, resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Ephemeral shards cannot checkpoint.
+	if code := postJSON(t, ts.URL+"/checkpoint", ``, nil); code != http.StatusConflict {
+		t.Fatalf("checkpoint of ephemeral shards status = %d", code)
+	}
+
+	// The same handler behind ListenAndServe drains on context cancel.
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { done <- srv.Serve(ctx, ln) }()
+	resp, err = http.Get("http://" + ln.Addr().String() + "/stats")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats over listener: %v status=%d", err, resp.StatusCode)
+	}
+	resp.Body.Close()
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not drain")
+	}
+}
+
+// TestRouterCheckpointDurable persists each shard into its own durable
+// subdirectory and drives POST /checkpoint through the router.
+func TestRouterCheckpointDurable(t *testing.T) {
+	g, err := xmlgraph.Build(strings.NewReader(siteDoc), &xmlgraph.BuildOptions{
+		IDAttrs:    []string{"id"},
+		IDREFAttrs: []string{"ref"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, _, err := shard.BuildLocal(g, 2, &apex.Options{IDAttrs: []string{"id"}, IDREFAttrs: []string{"ref"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := shard.PersistShards(t.TempDir(), local); err != nil {
+		t.Fatal(err)
+	}
+	defer shard.CloseShards(local)
+	srv := NewRouterServer(shard.NewRouter(shard.Backends(local), 0), Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var cp routerAdaptResponse
+	if code := postJSON(t, ts.URL+"/checkpoint", ``, &cp); code != http.StatusOK {
+		t.Fatalf("durable checkpoint status = %d", code)
+	}
+	if len(cp.Generations) != 2 {
+		t.Fatalf("checkpoint generations = %v", cp.Generations)
+	}
+}

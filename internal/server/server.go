@@ -150,7 +150,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	metrics.Default.PublishExpvar("apex") // idempotent
-	return s.accessLogged(mux)
+	return accessLogged(s.cfg.AccessLog, &s.logMu, mux)
 }
 
 // ListenAndServe serves Handler on addr until ctx is canceled (cmd/apexd
@@ -168,7 +168,14 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 // Serve is ListenAndServe over an existing listener (which it takes
 // ownership of), letting callers bind port 0 and learn the address first.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
-	srv := &http.Server{Handler: s.Handler()}
+	return serveAndDrain(ctx, ln, s.Handler(), s.cfg.drainTimeout())
+}
+
+// serveAndDrain runs h on ln until ctx cancels, then drains in-flight
+// requests for at most drain — the lifecycle shared by the single-index
+// server and the shard router.
+func serveAndDrain(ctx context.Context, ln net.Listener, h http.Handler, drain time.Duration) error {
+	srv := &http.Server{Handler: h}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	select {
@@ -176,7 +183,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		return err // listener failed before shutdown was requested
 	case <-ctx.Done():
 	}
-	dctx, cancel := context.WithTimeout(context.Background(), s.cfg.drainTimeout())
+	dctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := srv.Shutdown(dctx); err != nil {
 		return fmt.Errorf("server: drain: %w", err)
@@ -259,7 +266,7 @@ type errorResponse struct {
 // result is stored under the generation it actually ran against.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	parsed, ok := s.decodeQuery(w, r)
+	parsed, ok := decodeQuery(w, r)
 	if !ok {
 		return
 	}
@@ -286,7 +293,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	res, gen, err := s.ix.QueryGen(ctx, canonical)
 	if err != nil {
-		s.evalError(w, err)
+		evalError(w, err)
 		return
 	}
 	s.cache.Put(gen, qtype, canonical, res)
@@ -299,7 +306,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // EXPLAIN view — without touching the cache's recency or counters.
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	parsed, ok := s.decodeQuery(w, r)
+	parsed, ok := decodeQuery(w, r)
 	if !ok {
 		return
 	}
@@ -314,7 +321,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	res, tr, err := s.ix.ExplainContext(ctx, canonical)
 	if err != nil {
-		s.evalError(w, err)
+		evalError(w, err)
 		return
 	}
 	gen := s.ix.Generation()
@@ -392,8 +399,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 // decodeQuery parses the request body and the query text, answering 400 on
-// either failure.
-func (s *Server) decodeQuery(w http.ResponseWriter, r *http.Request) (query.Query, bool) {
+// either failure. Shared by the single-index server and the shard router.
+func decodeQuery(w http.ResponseWriter, r *http.Request) (query.Query, bool) {
 	var req queryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad query request: " + err.Error()})
@@ -409,11 +416,14 @@ func (s *Server) decodeQuery(w http.ResponseWriter, r *http.Request) (query.Quer
 
 // admit takes one admission slot without blocking; the false return is the
 // load-shedding path.
-func (s *Server) admit() (release func(), ok bool) {
+func (s *Server) admit() (release func(), ok bool) { return admit(s.sem) }
+
+// admit is the shared bounded-admission primitive.
+func admit(sem chan struct{}) (release func(), ok bool) {
 	select {
-	case s.sem <- struct{}{}:
+	case sem <- struct{}{}:
 		mInflight.Add(1)
-		return func() { <-s.sem; mInflight.Add(-1) }, true
+		return func() { <-sem; mInflight.Add(-1) }, true
 	default:
 		mShed.Inc()
 		return nil, false
@@ -430,8 +440,13 @@ func shed(w http.ResponseWriter) {
 // disconnecting or the configured timeout expiring cancels the join loop at
 // its next checkpoint.
 func (s *Server) evalContext(r *http.Request) (context.Context, context.CancelFunc) {
-	if t := s.cfg.queryTimeout(); t > 0 {
-		return context.WithTimeout(r.Context(), t)
+	return evalContext(r, s.cfg.queryTimeout())
+}
+
+// evalContext is the shared request-context derivation.
+func evalContext(r *http.Request, timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout > 0 {
+		return context.WithTimeout(r.Context(), timeout)
 	}
 	return context.WithCancel(r.Context())
 }
@@ -439,7 +454,7 @@ func (s *Server) evalContext(r *http.Request) (context.Context, context.CancelFu
 // evalError maps an evaluation error to its status: deadline → 504,
 // client-gone → 499 (nginx's convention; Go has no constant), anything else
 // (unsupported query shape, bad dereference) → 422.
-func (s *Server) evalError(w http.ResponseWriter, err error) {
+func evalError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "query timeout: " + err.Error()})
@@ -473,11 +488,12 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 // accessLogged wraps next with the structured access log and the request
 // counter. One JSON object per line, written atomically under a lock so
-// concurrent requests do not interleave.
-func (s *Server) accessLogged(next http.Handler) http.Handler {
+// concurrent requests do not interleave. Shared by the single-index server
+// and the shard router.
+func accessLogged(log io.Writer, mu *sync.Mutex, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		mRequests.Inc()
-		if s.cfg.AccessLog == nil {
+		if log == nil {
 			next.ServeHTTP(w, r)
 			return
 		}
@@ -495,9 +511,9 @@ func (s *Server) accessLogged(next http.Handler) http.Handler {
 		if err != nil {
 			return
 		}
-		s.logMu.Lock()
-		_, _ = s.cfg.AccessLog.Write(append(line, '\n'))
-		s.logMu.Unlock()
+		mu.Lock()
+		_, _ = log.Write(append(line, '\n'))
+		mu.Unlock()
 	})
 }
 

@@ -1,0 +1,120 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+
+	"apex"
+	"apex/internal/query"
+	"apex/internal/xmlgraph"
+)
+
+// Backend is one shard behind the router: an index that answers canonical
+// queries and reports the publication generation each answer was computed
+// against. The two implementations are LocalBackend (an in-process
+// apex.Index, the `apexd -shards N` mode) and HTTPBackend (a remote apexd,
+// the `apexd -backends` mode).
+type Backend interface {
+	// Name identifies the shard in errors and stats (e.g. "shard-2").
+	Name() string
+	// Generation returns the last known publication generation: exact for a
+	// local shard, last-observed for a remote one.
+	Generation() uint64
+	// Query evaluates one canonical query and returns the result in document
+	// order together with the generation it evaluated against.
+	Query(ctx context.Context, canonical string) (*apex.Result, uint64, error)
+	// Match resolves a canonical query to shard-local node ids without
+	// touching the workload log — the write paths' target resolution.
+	Match(ctx context.Context, canonical string) ([]xmlgraph.NID, error)
+	// Explain evaluates with a structured trace.
+	Explain(ctx context.Context, canonical string) (*apex.Result, *query.Trace, error)
+	// RecordWorkload logs a query served from the router's cache so the
+	// shard's next Adapt still mines it. Remote backends may drop this (the
+	// remote daemon logs what it serves itself).
+	RecordWorkload(canonical string) error
+	// Adapt mines the shard's own workload log; AdaptTo restructures for an
+	// explicit workload.
+	Adapt(minSup float64) error
+	AdaptTo(queries []string, minSup float64) error
+	// Stats snapshots the shard's index structure.
+	Stats() (apex.Stats, error)
+}
+
+// Writer is the optional write side of a Backend. Only local shards
+// implement it: the HTTP API has no insert/delete endpoints, so a router
+// over remote backends is read-and-adapt only.
+type Writer interface {
+	Root() xmlgraph.NID
+	InsertAtNode(parent xmlgraph.NID, fragment string) error
+	DeleteNodes(targets []xmlgraph.NID) error
+}
+
+// LocalBackend serves one in-process shard index.
+type LocalBackend struct {
+	name string
+	ix   *apex.Index
+}
+
+// NewLocalBackend wraps ix as the shard named name.
+func NewLocalBackend(name string, ix *apex.Index) *LocalBackend {
+	return &LocalBackend{name: name, ix: ix}
+}
+
+// Index returns the wrapped shard index.
+func (b *LocalBackend) Index() *apex.Index { return b.ix }
+
+func (b *LocalBackend) Name() string       { return b.name }
+func (b *LocalBackend) Generation() uint64 { return b.ix.Generation() }
+
+func (b *LocalBackend) Query(ctx context.Context, canonical string) (*apex.Result, uint64, error) {
+	return b.ix.QueryGen(ctx, canonical)
+}
+
+func (b *LocalBackend) Match(ctx context.Context, canonical string) ([]xmlgraph.NID, error) {
+	parsed, err := query.Parse(canonical)
+	if err != nil {
+		return nil, err
+	}
+	// The published evaluator bypasses the workload log: target resolution
+	// is coordination, not workload.
+	return b.ix.Evaluator().EvaluateContext(ctx, parsed)
+}
+
+func (b *LocalBackend) Explain(ctx context.Context, canonical string) (*apex.Result, *query.Trace, error) {
+	return b.ix.ExplainContext(ctx, canonical)
+}
+
+func (b *LocalBackend) RecordWorkload(canonical string) error {
+	return b.ix.RecordWorkload(canonical)
+}
+
+func (b *LocalBackend) Adapt(minSup float64) error { return b.ix.Adapt(minSup) }
+func (b *LocalBackend) AdaptTo(queries []string, minSup float64) error {
+	return b.ix.AdaptTo(queries, minSup)
+}
+func (b *LocalBackend) Stats() (apex.Stats, error) { return b.ix.Stats(), nil }
+
+func (b *LocalBackend) Root() xmlgraph.NID { return b.ix.Graph().Root() }
+func (b *LocalBackend) InsertAtNode(parent xmlgraph.NID, fragment string) error {
+	return b.ix.InsertAtNode(parent, fragment)
+}
+func (b *LocalBackend) DeleteNodes(targets []xmlgraph.NID) error {
+	return b.ix.DeleteNodes(targets)
+}
+
+// DownError marks a shard that could not be reached or failed outside its
+// protocol (transport error, 5xx) — the signal the serving layer surfaces as
+// 502 with the shard id in the body.
+type DownError struct {
+	Status int // HTTP status when the shard answered with one, else 0
+	Err    error
+}
+
+func (e *DownError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("backend down: %v", e.Err)
+	}
+	return fmt.Sprintf("backend down: status %d", e.Status)
+}
+
+func (e *DownError) Unwrap() error { return e.Err }

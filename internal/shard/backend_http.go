@@ -1,0 +1,184 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+
+	"apex"
+	"apex/internal/query"
+	"apex/internal/xmlgraph"
+)
+
+// HTTPBackend is a shard served by a remote apexd. Its generation is the
+// last one observed in a response — exact whenever writes flow through this
+// router, which is the deployment the router mode documents. It is not a
+// Writer: the HTTP API has no insert/delete endpoints.
+type HTTPBackend struct {
+	name   string
+	base   string
+	client *http.Client
+	gen    atomic.Uint64
+}
+
+// NewHTTPBackend wires a backend for the apexd at base (e.g.
+// "http://10.0.0.1:8080"); a nil client uses http.DefaultClient.
+func NewHTTPBackend(name, base string, client *http.Client) *HTTPBackend {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return &HTTPBackend{name: name, base: strings.TrimRight(base, "/"), client: client}
+}
+
+func (b *HTTPBackend) Name() string       { return b.name }
+func (b *HTTPBackend) Generation() uint64 { return b.gen.Load() }
+
+// remoteNode mirrors the server's wire shape for one result node.
+type remoteNode struct {
+	ID    int32  `json:"id"`
+	Tag   string `json:"tag"`
+	Value string `json:"value"`
+}
+
+func (b *HTTPBackend) Query(ctx context.Context, canonical string) (*apex.Result, uint64, error) {
+	var out struct {
+		Generation uint64       `json:"generation"`
+		Nodes      []remoteNode `json:"nodes"`
+	}
+	if err := b.post(ctx, "/query", map[string]string{"query": canonical}, &out); err != nil {
+		return nil, b.gen.Load(), err
+	}
+	b.observe(out.Generation)
+	res := &apex.Result{Nodes: make([]apex.Node, len(out.Nodes))}
+	for i, n := range out.Nodes {
+		res.Nodes[i] = apex.Node{ID: n.ID, Tag: n.Tag, Value: n.Value}
+	}
+	return res, out.Generation, nil
+}
+
+func (b *HTTPBackend) Match(ctx context.Context, canonical string) ([]xmlgraph.NID, error) {
+	res, _, err := b.Query(ctx, canonical)
+	if err != nil {
+		return nil, err
+	}
+	nids := make([]xmlgraph.NID, len(res.Nodes))
+	for i, n := range res.Nodes {
+		nids[i] = xmlgraph.NID(n.ID)
+	}
+	return nids, nil
+}
+
+func (b *HTTPBackend) Explain(ctx context.Context, canonical string) (*apex.Result, *query.Trace, error) {
+	var out struct {
+		Generation uint64       `json:"generation"`
+		Trace      *query.Trace `json:"trace"`
+		Count      int          `json:"count"`
+	}
+	if err := b.post(ctx, "/explain", map[string]string{"query": canonical}, &out); err != nil {
+		return nil, nil, err
+	}
+	b.observe(out.Generation)
+	// /explain does not carry nodes; the router's explain fan-out reports
+	// traces and counts, not materialized rows.
+	return &apex.Result{}, out.Trace, nil
+}
+
+// RecordWorkload is a no-op: the remote daemon logs the queries it serves
+// (including its own cache hits) in its own workload log.
+func (b *HTTPBackend) RecordWorkload(string) error { return nil }
+
+func (b *HTTPBackend) Adapt(minSup float64) error { return b.adapt(nil, minSup) }
+func (b *HTTPBackend) AdaptTo(queries []string, minSup float64) error {
+	return b.adapt(queries, minSup)
+}
+
+func (b *HTTPBackend) adapt(queries []string, minSup float64) error {
+	var out struct {
+		Generation uint64 `json:"generation"`
+	}
+	body := map[string]any{"min_sup": minSup}
+	if len(queries) > 0 {
+		body["queries"] = queries
+	}
+	if err := b.post(context.Background(), "/adapt", body, &out); err != nil {
+		return err
+	}
+	b.observe(out.Generation)
+	return nil
+}
+
+func (b *HTTPBackend) Stats() (apex.Stats, error) {
+	req, err := http.NewRequest(http.MethodGet, b.base+"/stats", nil)
+	if err != nil {
+		return apex.Stats{}, err
+	}
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return apex.Stats{}, &DownError{Err: err}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apex.Stats{}, &DownError{Status: resp.StatusCode}
+	}
+	var out struct {
+		Generation uint64     `json:"generation"`
+		Index      apex.Stats `json:"index"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return apex.Stats{}, &DownError{Err: err}
+	}
+	b.observe(out.Generation)
+	return out.Index, nil
+}
+
+// observe folds a response generation into the last-known one (generations
+// only move forward, so keep the maximum under concurrent responses).
+func (b *HTTPBackend) observe(gen uint64) {
+	for {
+		cur := b.gen.Load()
+		if gen <= cur || b.gen.CompareAndSwap(cur, gen) {
+			return
+		}
+	}
+}
+
+// post sends one JSON request and decodes a 200 response into out.
+// Transport failures and 5xx answers are DownErrors (the shard, not the
+// query, is the problem); other statuses surface the remote error text.
+func (b *HTTPBackend) post(ctx context.Context, path string, body any, out any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.base+path, bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := b.client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err() // timeout/cancel, not a down shard
+		}
+		return &DownError{Err: err}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 500 {
+		return &DownError{Status: resp.StatusCode}
+	}
+	if resp.StatusCode != http.StatusOK {
+		var er struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&er)
+		if er.Error == "" {
+			er.Error = fmt.Sprintf("status %d", resp.StatusCode)
+		}
+		return fmt.Errorf("%s%s: %s", b.name, path, er.Error)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -1,0 +1,85 @@
+package shard
+
+import (
+	"fmt"
+
+	"apex"
+	"apex/internal/storage"
+	"apex/internal/xmlgraph"
+)
+
+// BuildLocal partitions g into n shard indexes (each built over its shard
+// graph with opts) and returns them as local backends in shard order,
+// together with the partition plan.
+func BuildLocal(g *xmlgraph.Graph, n int, opts *apex.Options) ([]*LocalBackend, *Plan, error) {
+	plan, err := Partition(g, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	backends := make([]*LocalBackend, n)
+	for i := 0; i < n; i++ {
+		ix, err := apex.FromGraph(plan.ShardGraph(i), opts)
+		if err != nil {
+			return nil, nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		backends[i] = NewLocalBackend(fmt.Sprintf("shard-%d", i), ix)
+	}
+	return backends, plan, nil
+}
+
+// PersistShards attaches a durable directory to every shard: dir/shard-i
+// becomes shard i's own manifest+WAL+segment directory (each one a complete
+// durable index directory), and SHARDS.json at the root records the layout
+// so recovery knows how many shards to expect.
+func PersistShards(dir string, backends []*LocalBackend) error {
+	if err := storage.WriteShardLayout(dir, len(backends)); err != nil {
+		return err
+	}
+	for i, b := range backends {
+		if err := b.Index().Persist(storage.ShardDir(dir, i)); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// RecoverShards reopens a sharded durable directory: the layout record pins
+// the shard count and every shard-i subdirectory is recovered independently
+// (checkpoint + WAL tail, exactly like a single durable index). A missing
+// shard directory is an error — a partial document must not serve.
+func RecoverShards(dir string, opts *apex.Options) ([]*LocalBackend, error) {
+	layout, err := storage.LoadShardLayout(dir)
+	if err != nil {
+		return nil, err
+	}
+	backends := make([]*LocalBackend, layout.Shards)
+	for i := range backends {
+		ix, err := apex.OpenDirIndex(storage.ShardDir(dir, i), opts)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		backends[i] = NewLocalBackend(fmt.Sprintf("shard-%d", i), ix)
+	}
+	return backends, nil
+}
+
+// Backends converts local backends to the router's interface slice.
+func Backends(local []*LocalBackend) []Backend {
+	bs := make([]Backend, len(local))
+	for i, b := range local {
+		bs[i] = b
+	}
+	return bs
+}
+
+// CloseShards releases every shard's durability attachment, keeping the
+// first error.
+func CloseShards(local []*LocalBackend) error {
+	var first error
+	for _, b := range local {
+		if err := b.Index().Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

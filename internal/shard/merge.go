@@ -1,0 +1,103 @@
+package shard
+
+import (
+	"apex"
+	"apex/internal/xmlgraph"
+)
+
+// The gather's merge kernel. Each shard returns its result in document
+// order, and document order is monotone in NID throughout this module
+// (builders allocate orders in NID order, AppendFragment appends past the
+// maximum), so per-shard runs are ascending in node ID and the global
+// document-order result is their k-way merge. Reference-closure replication
+// means the same node can arrive from several shards; the merge drops
+// duplicates as it goes.
+
+// MergeNIDRuns merges ascending NID runs into one ascending, duplicate-free
+// run. Runs may be empty or nil; duplicates may occur both across and within
+// runs. The input slices are not modified.
+func MergeNIDRuns(runs [][]xmlgraph.NID) []xmlgraph.NID {
+	total, live := 0, 0
+	for _, r := range runs {
+		total += len(r)
+		if len(r) > 0 {
+			live++
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	if live == 1 {
+		for _, r := range runs {
+			if len(r) > 0 {
+				return dedupNIDs(r)
+			}
+		}
+	}
+	out := make([]xmlgraph.NID, 0, total)
+	cur := make([]int, len(runs))
+	for {
+		best := -1
+		var min xmlgraph.NID
+		for i, r := range runs {
+			if cur[i] >= len(r) {
+				continue
+			}
+			if v := r[cur[i]]; best < 0 || v < min {
+				best, min = i, v
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		if len(out) == 0 || out[len(out)-1] != min {
+			out = append(out, min)
+		}
+		cur[best]++
+	}
+}
+
+// dedupNIDs collapses adjacent duplicates of one ascending run into a copy.
+func dedupNIDs(r []xmlgraph.NID) []xmlgraph.NID {
+	out := make([]xmlgraph.NID, 0, len(r))
+	for _, v := range r {
+		if len(out) == 0 || out[len(out)-1] != v {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// MergeNodeRuns is MergeNIDRuns over materialized result nodes, keyed by
+// Node.ID. Duplicate IDs across runs are the same node — every shard shares
+// the global node table — so keeping whichever copy arrives first is exact.
+func MergeNodeRuns(runs [][]apex.Node) []apex.Node {
+	total := 0
+	for _, r := range runs {
+		total += len(r)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]apex.Node, 0, total)
+	cur := make([]int, len(runs))
+	for {
+		best := -1
+		var min int32
+		for i, r := range runs {
+			if cur[i] >= len(r) {
+				continue
+			}
+			if v := r[cur[i]].ID; best < 0 || v < min {
+				best, min = i, v
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		if len(out) == 0 || out[len(out)-1].ID != min {
+			out = append(out, runs[best][cur[best]])
+		}
+		cur[best]++
+	}
+}

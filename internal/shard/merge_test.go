@@ -1,0 +1,166 @@
+package shard
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"apex"
+	"apex/internal/xmlgraph"
+)
+
+// mergeModel is the reference semantics the merge must agree with:
+// concatenate every run, sort, and collapse duplicates.
+func mergeModel(runs [][]xmlgraph.NID) []xmlgraph.NID {
+	var all []xmlgraph.NID
+	for _, r := range runs {
+		all = append(all, r...)
+	}
+	if len(all) == 0 {
+		return nil
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	out := all[:0]
+	for _, v := range all {
+		if len(out) == 0 || out[len(out)-1] != v {
+			out = append(out, v)
+		}
+	}
+	return append([]xmlgraph.NID(nil), out...)
+}
+
+// runSet is a quick.Generator producing random sorted runs — including
+// empty runs, nil runs, and duplicate-heavy value ranges (values drawn from
+// a small domain so cross-run and within-run collisions are common).
+type runSet [][]xmlgraph.NID
+
+func (runSet) Generate(r *rand.Rand, size int) reflect.Value {
+	nRuns := r.Intn(6)
+	runs := make(runSet, nRuns)
+	for i := range runs {
+		switch r.Intn(4) {
+		case 0: // nil run
+		case 1: // empty but non-nil
+			runs[i] = []xmlgraph.NID{}
+		default:
+			n := r.Intn(size + 1)
+			run := make([]xmlgraph.NID, n)
+			for j := range run {
+				// Small domain → many duplicates.
+				run[j] = xmlgraph.NID(r.Intn(size/2 + 1))
+			}
+			sort.Slice(run, func(a, b int) bool { return run[a] < run[b] })
+			runs[i] = run
+		}
+	}
+	return reflect.ValueOf(runs)
+}
+
+func TestMergeNIDRunsQuick(t *testing.T) {
+	property := func(runs runSet) bool {
+		got := MergeNIDRuns(runs)
+		want := mergeModel(runs)
+		if len(got) == 0 && len(want) == 0 {
+			return true
+		}
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeNIDRunsEdges(t *testing.T) {
+	if got := MergeNIDRuns(nil); got != nil {
+		t.Fatalf("merge of no runs = %v, want nil", got)
+	}
+	if got := MergeNIDRuns([][]xmlgraph.NID{nil, {}, nil}); got != nil {
+		t.Fatalf("merge of empty runs = %v, want nil", got)
+	}
+	// Single live run takes the dedup fast path; it must still collapse
+	// within-run duplicates and must not alias the input.
+	in := []xmlgraph.NID{1, 1, 2, 5, 5, 5}
+	got := MergeNIDRuns([][]xmlgraph.NID{nil, in})
+	want := []xmlgraph.NID{1, 2, 5}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("single-run dedup = %v, want %v", got, want)
+	}
+	got[0] = 99
+	if in[0] != 1 {
+		t.Fatal("merge aliased its input run")
+	}
+}
+
+// TestMergeNodeRunsAgrees pins MergeNodeRuns to MergeNIDRuns: same IDs in,
+// same order out, one node per distinct ID.
+func TestMergeNodeRunsAgrees(t *testing.T) {
+	property := func(runs runSet) bool {
+		nodeRuns := make([][]apex.Node, len(runs))
+		for i, r := range runs {
+			for _, v := range r {
+				nodeRuns[i] = append(nodeRuns[i], apex.Node{ID: int32(v), Tag: "n"})
+			}
+		}
+		got := MergeNodeRuns(nodeRuns)
+		want := MergeNIDRuns(runs)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if xmlgraph.NID(got[i].ID) != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzShardMerge decodes the fuzz input into sorted runs and checks the
+// merge against the sort-dedup-of-concatenation model. Each byte pair is
+// one value; 0xFF in the high byte starts a new run, so the fuzzer can
+// shape run boundaries and duplicate density freely.
+func FuzzShardMerge(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 1, 0xFF, 0, 0, 2, 0, 3})
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0, 0xFF, 0, 0, 7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var runs [][]xmlgraph.NID
+		cur := []xmlgraph.NID{}
+		for len(data) >= 2 {
+			if data[0] == 0xFF {
+				runs = append(runs, cur)
+				cur = []xmlgraph.NID{}
+				data = data[1:]
+				continue
+			}
+			v := binary.BigEndian.Uint16(data[:2])
+			cur = append(cur, xmlgraph.NID(v))
+			data = data[2:]
+		}
+		runs = append(runs, cur)
+		for _, r := range runs {
+			sort.Slice(r, func(i, j int) bool { return r[i] < r[j] })
+		}
+		got := MergeNIDRuns(runs)
+		want := mergeModel(runs)
+		if len(got) == 0 && len(want) == 0 {
+			return
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("merge = %v, model = %v (runs %v)", got, want, runs)
+		}
+		// The output must be strictly ascending — the invariant every
+		// consumer (result assembly, delete target sets) relies on.
+		for i := 1; i < len(got); i++ {
+			if got[i] <= got[i-1] {
+				t.Fatalf("merge output not strictly ascending at %d: %v", i, got)
+			}
+		}
+	})
+}

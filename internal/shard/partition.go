@@ -1,0 +1,248 @@
+// Package shard partitions one APEX data graph into N document-partitioned
+// shard indexes behind a scatter-gather router — the horizontal-scale-out
+// layer the single-index paper leaves out.
+//
+// The partitioning scheme keeps shard-local query evaluation exactly as
+// sound as single-index evaluation:
+//
+//   - The unit of placement is a root subtree: each hierarchy child of the
+//     document root heads one unit, and every node belongs to the unit its
+//     first-parent chain leads to. Units are assigned to shards by a
+//     deterministic greedy bin-packing (largest unit first, least-loaded
+//     shard wins, lowest shard index breaks ties).
+//
+//   - Every shard graph keeps the FULL global node table — same NIDs, same
+//     document orders, same registered identifiers — but only the edges of
+//     its own units. Nodes that lose all their edges become isolated; they
+//     can never enter an extent, so they never appear in results, yet NID
+//     arithmetic, fragment splicing, and IDREF resolution behave exactly as
+//     on the global graph.
+//
+//   - Reference edges (the @attr → element edges ID/IDREF attributes
+//     introduce) may cross units. A shard therefore owns the reference
+//     CLOSURE of its units: any unit reachable from an owned unit through a
+//     reference edge is replicated into the shard, to a fixpoint. Every
+//     witness path that starts inside an owned unit then stays shard-local,
+//     which makes each shard's result set a subset of the global one
+//     (subgraph monotonicity) and the union over shards equal to it (the
+//     first edge of any global witness lies in somebody's owned unit).
+//     Replication means two shards may report the same node; the k-way
+//     gather deduplicates on merge.
+//
+// Results merge by node ID: document order is monotone in NID everywhere in
+// this module (builders assign orders in allocation order, AppendFragment
+// appends past the maximum), so a k-way merge of per-shard ID-sorted runs is
+// the global document-order result. TestDocumentOrderMonotoneInNID pins the
+// invariant.
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"apex/internal/xmlgraph"
+)
+
+// Plan is one computed document partition: the unit structure of the graph
+// plus the unit→shard assignment and per-shard reference closures.
+type Plan struct {
+	g *xmlgraph.Graph
+	// N is the number of shards.
+	N int
+	// unitOf maps every node to its unit index (-1 for the root).
+	unitOf []int
+	// heads holds each unit's head node (a hierarchy child of the root).
+	heads []xmlgraph.NID
+	// sizes holds each unit's node count.
+	sizes []int
+	// owner maps each unit to the shard that owns it (serves as the
+	// authoritative copy); closure may replicate it into other shards.
+	owner []int
+	// member[s][u] reports whether shard s carries unit u (owned or
+	// replicated via reference closure).
+	member [][]bool
+}
+
+// Partition computes a document partition of g into n shards. n must be at
+// least 1; n larger than the number of root subtrees leaves the surplus
+// shards empty (they answer every query with zero rows), which keeps shard
+// counts configuration, not data-dependent.
+func Partition(g *xmlgraph.Graph, n int) (*Plan, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("shard: partition into %d shards", n)
+	}
+	root := g.Root()
+	if root == xmlgraph.NullNID {
+		return nil, fmt.Errorf("shard: graph has no root")
+	}
+	p := &Plan{g: g, N: n, unitOf: make([]int, g.NumNodes())}
+	for i := range p.unitOf {
+		p.unitOf[i] = -1
+	}
+
+	// Unit discovery: one unit per hierarchy child of the root, populated by
+	// walking containment edges (the same first-in-edge test RemoveSubtree
+	// uses to collect a document subtree).
+	for _, he := range g.Out(root) {
+		if par, label, ok := g.HierarchyParent(he.To); !ok || par != root || label != he.Label {
+			continue // a reference edge back into some unit, not a new head
+		}
+		if p.unitOf[he.To] >= 0 {
+			continue // duplicate root out-edge labels cannot re-head a unit
+		}
+		u := len(p.heads)
+		p.heads = append(p.heads, he.To)
+		p.sizes = append(p.sizes, 0)
+		stack := []xmlgraph.NID{he.To}
+		p.unitOf[he.To] = u
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			p.sizes[u]++
+			for _, out := range g.Out(v) {
+				c := out.To
+				if par, label, ok := g.HierarchyParent(c); ok && par == v && label == out.Label && p.unitOf[c] < 0 && c != root {
+					p.unitOf[c] = u
+					stack = append(stack, c)
+				}
+			}
+		}
+	}
+
+	// Deterministic greedy assignment: largest unit first onto the
+	// least-loaded shard, lowest head NID (then lowest shard index) breaking
+	// ties, so the same graph always partitions the same way.
+	order := make([]int, len(p.heads))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if p.sizes[a] != p.sizes[b] {
+			return p.sizes[a] > p.sizes[b]
+		}
+		return p.heads[a] < p.heads[b]
+	})
+	p.owner = make([]int, len(p.heads))
+	load := make([]int, n)
+	for _, u := range order {
+		best := 0
+		for s := 1; s < n; s++ {
+			if load[s] < load[best] {
+				best = s
+			}
+		}
+		p.owner[u] = best
+		load[best] += p.sizes[u]
+	}
+
+	p.closeOverReferences()
+	return p, nil
+}
+
+// closeOverReferences computes each shard's unit membership: its owned units
+// plus, to a fixpoint, every unit a reference edge leads to from a member
+// unit. A reference edge that targets the document root is degenerate — the
+// root transitively reaches everything — so it collapses the shard to a full
+// replica rather than silently dropping completeness.
+func (p *Plan) closeOverReferences() {
+	g, root := p.g, p.g.Root()
+	// refs[u] lists the units reachable from unit u through one
+	// non-hierarchy edge; refsRoot[u] marks a reference straight to the root.
+	refs := make([][]int, len(p.heads))
+	refsRoot := make([]bool, len(p.heads))
+	g.EachEdge(func(e xmlgraph.Edge) {
+		if g.IsHierarchyEdge(e) {
+			return
+		}
+		from := p.unitOf[e.From]
+		if from < 0 {
+			return // dangling or root-attached oddity; root edges are kept anyway
+		}
+		if e.To == root {
+			refsRoot[from] = true
+			return
+		}
+		if to := p.unitOf[e.To]; to >= 0 && to != from {
+			refs[from] = append(refs[from], to)
+		}
+	})
+
+	p.member = make([][]bool, p.N)
+	for s := 0; s < p.N; s++ {
+		member := make([]bool, len(p.heads))
+		var queue []int
+		for u, owner := range p.owner {
+			if owner == s {
+				member[u] = true
+				queue = append(queue, u)
+			}
+		}
+		full := false
+		for len(queue) > 0 && !full {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			if refsRoot[u] {
+				full = true
+				break
+			}
+			for _, v := range refs[u] {
+				if !member[v] {
+					member[v] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+		if full {
+			for u := range member {
+				member[u] = true
+			}
+		}
+		p.member[s] = member
+	}
+}
+
+// NumUnits returns the number of root subtrees the plan distributes.
+func (p *Plan) NumUnits() int { return len(p.heads) }
+
+// Owner returns the shard that owns unit u.
+func (p *Plan) Owner(u int) int { return p.owner[u] }
+
+// UnitOf returns the unit of node v (-1 for the root or an unreached node).
+func (p *Plan) UnitOf(v xmlgraph.NID) int {
+	if int(v) >= len(p.unitOf) || v < 0 {
+		return -1
+	}
+	return p.unitOf[v]
+}
+
+// Replicated counts the unit replicas the reference closures added beyond
+// the owned copies — the storage price of shard-local dereferencing.
+func (p *Plan) Replicated() int {
+	extra := 0
+	for s := range p.member {
+		for u, in := range p.member[s] {
+			if in && p.owner[u] != s {
+				extra++
+			}
+		}
+	}
+	return extra
+}
+
+// ShardGraph materializes shard s: the full node table with exactly the
+// edges of the shard's member units (hierarchy edges first, preserving the
+// first-in-edge containment invariant), plus the root's edges into member
+// unit heads.
+func (p *Plan) ShardGraph(s int) *xmlgraph.Graph {
+	g, root := p.g, p.g.Root()
+	member := p.member[s]
+	return g.EdgeSubgraph(func(e xmlgraph.Edge) bool {
+		if e.From == root {
+			u := p.unitOf[e.To]
+			return u >= 0 && member[u]
+		}
+		u := p.unitOf[e.From]
+		return u >= 0 && member[u]
+	})
+}

@@ -1,0 +1,178 @@
+package shard
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"apex/internal/datagen"
+	"apex/internal/xmlgraph"
+)
+
+// refDoc is a small document with cross-subtree references: order/@ref
+// points at a customer in another root subtree, so the reference closure
+// must replicate customer units into the shard that owns orders.
+const refDoc = `<site>
+  <customers>
+    <customer id="c1"><name>ada</name></customer>
+    <customer id="c2"><name>grace</name></customer>
+  </customers>
+  <orders>
+    <order ref="c1"><total>10</total></order>
+    <order ref="c2"><total>20</total></order>
+  </orders>
+  <catalog>
+    <item id="i1"><price>5</price></item>
+  </catalog>
+</site>`
+
+func refGraph(t *testing.T) *xmlgraph.Graph {
+	t.Helper()
+	g, err := xmlgraph.Build(strings.NewReader(refDoc), &xmlgraph.BuildOptions{
+		IDAttrs:    []string{"id"},
+		IDREFAttrs: []string{"ref"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestPartitionCoversEveryEdge pins the union property the scatter-gather
+// relies on: every edge of the global graph appears in at least one shard
+// graph, every shard graph's edges are a subset of the global ones, and
+// every shard keeps the full node table (same NIDs, same orders).
+func TestPartitionCoversEveryEdge(t *testing.T) {
+	g := refGraph(t)
+	type edge = xmlgraph.Edge
+	global := map[edge]bool{}
+	g.EachEdge(func(e edge) { global[e] = true })
+
+	for _, n := range []int{1, 2, 3, 4, 7} {
+		p, err := Partition(g, n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		covered := map[edge]bool{}
+		for s := 0; s < n; s++ {
+			sg := p.ShardGraph(s)
+			if sg.NumNodes() != g.NumNodes() {
+				t.Fatalf("n=%d shard %d: %d nodes, want the full table of %d", n, s, sg.NumNodes(), g.NumNodes())
+			}
+			for v := 0; v < g.NumNodes(); v++ {
+				if got, want := sg.Node(xmlgraph.NID(v)), g.Node(xmlgraph.NID(v)); got != want {
+					t.Fatalf("n=%d shard %d: node %d = %+v, want %+v", n, s, v, got, want)
+				}
+			}
+			sg.EachEdge(func(e edge) {
+				if !global[e] {
+					t.Fatalf("n=%d shard %d: edge %+v not in the global graph", n, s, e)
+				}
+				covered[e] = true
+			})
+		}
+		if len(covered) != len(global) {
+			t.Fatalf("n=%d: shards cover %d of %d global edges", n, len(covered), len(global))
+		}
+	}
+}
+
+// TestPartitionReferenceClosure pins shard self-containment: within any
+// shard, a reference edge leaving a member unit must land in a member unit
+// — that is what makes shard-local dereferencing exact.
+func TestPartitionReferenceClosure(t *testing.T) {
+	g := refGraph(t)
+	p, err := Partition(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := g.Root()
+	g.EachEdge(func(e xmlgraph.Edge) {
+		if g.IsHierarchyEdge(e) || e.From == root {
+			return
+		}
+		fu, tu := p.UnitOf(e.From), p.UnitOf(e.To)
+		if fu < 0 || tu < 0 {
+			return
+		}
+		for s := 0; s < p.N; s++ {
+			if p.member[s][fu] && !p.member[s][tu] {
+				t.Fatalf("shard %d carries unit %d but not unit %d, reachable via reference %+v", s, fu, tu, e)
+			}
+		}
+	})
+	// The orders unit references both customer units, so at least one shard
+	// must hold replicas beyond its owned units in a 3-way split of 3 units.
+	if p.Replicated() == 0 {
+		t.Fatal("expected reference-closure replicas for the cross-subtree refs, got none")
+	}
+}
+
+// TestPartitionDeterministic pins that the same graph always partitions the
+// same way — the property that lets recovery re-derive an identical layout.
+func TestPartitionDeterministic(t *testing.T) {
+	g := refGraph(t)
+	a, err := Partition(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Partition(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.owner, b.owner) || !reflect.DeepEqual(a.unitOf, b.unitOf) {
+		t.Fatalf("partition not deterministic: owners %v vs %v", a.owner, b.owner)
+	}
+}
+
+// TestPartitionSurplusShards pins that more shards than units is
+// configuration, not an error: surplus shards own nothing and their graphs
+// carry no edges.
+func TestPartitionSurplusShards(t *testing.T) {
+	g := refGraph(t)
+	p, err := Partition(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := 0
+	for s := 0; s < 8; s++ {
+		if p.ShardGraph(s).NumEdges() == 0 {
+			empty++
+		}
+	}
+	if empty < 8-p.NumUnits() {
+		t.Fatalf("%d empty shards for %d units over 8 shards", empty, p.NumUnits())
+	}
+}
+
+// TestDocumentOrderMonotoneInNID pins the invariant the k-way merge keys on:
+// document order is monotone in node ID, on freshly built graphs and across
+// AppendFragment, so merging per-shard ID-sorted runs yields the global
+// document-order result.
+func TestDocumentOrderMonotoneInNID(t *testing.T) {
+	check := func(name string, g *xmlgraph.Graph) {
+		last := int32(-1)
+		for v := 0; v < g.NumNodes(); v++ {
+			o := g.Node(xmlgraph.NID(v)).Order
+			if o < last {
+				t.Fatalf("%s: node %d has order %d below its predecessor's %d", name, v, o, last)
+			}
+			last = o
+		}
+	}
+	g := refGraph(t)
+	check("refDoc", g)
+	if _, err := g.AppendFragment(g.Root(), `<customers><customer id="c9"><name>alan</name></customer></customers>`,
+		&xmlgraph.BuildOptions{IDAttrs: []string{"id"}, IDREFAttrs: []string{"ref"}}); err != nil {
+		t.Fatal(err)
+	}
+	check("refDoc+fragment", g)
+
+	for _, name := range []string{"shakes_11.xml", "Flix01.xml", "Ged01.xml"} {
+		ds, err := datagen.LoadDataset(name, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(name, ds.Graph)
+	}
+}

@@ -1,0 +1,344 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"apex"
+	"apex/internal/query"
+	"apex/internal/xmlgraph"
+)
+
+// ShardError attributes one failure to one shard.
+type ShardError struct {
+	Shard int
+	Name  string
+	Err   error
+}
+
+func (e *ShardError) Error() string {
+	return fmt.Sprintf("shard %d (%s): %v", e.Shard, e.Name, e.Err)
+}
+
+func (e *ShardError) Unwrap() error { return e.Err }
+
+// GatherError aggregates the per-shard failures of one scatter-gather.
+// Partial reports whether at least one shard answered — the serving layer
+// distinguishes "partial result available but incomplete" from "nothing
+// answered" when mapping to a status.
+type GatherError struct {
+	Errors  []*ShardError
+	Partial bool
+}
+
+func (e *GatherError) Error() string {
+	msgs := make([]string, len(e.Errors))
+	for i, se := range e.Errors {
+		msgs[i] = se.Error()
+	}
+	return "gather: " + strings.Join(msgs, "; ")
+}
+
+// Shards lists the failed shard indexes in ascending order.
+func (e *GatherError) Shards() []int {
+	ids := make([]int, len(e.Errors))
+	for i, se := range e.Errors {
+		ids[i] = se.Shard
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Router scatter-gathers queries over N shard backends and coordinates the
+// write paths by node id (every shard keeps the full global node table, so a
+// NID resolved once is valid everywhere).
+type Router struct {
+	backends []Backend
+	timeout  time.Duration // per-shard gather bound; 0 = none
+}
+
+// NewRouter wires a router over backends with the given per-shard timeout
+// (0 disables; the caller's context still bounds the whole gather).
+func NewRouter(backends []Backend, perShardTimeout time.Duration) *Router {
+	return &Router{backends: backends, timeout: perShardTimeout}
+}
+
+// NumShards returns the number of backends.
+func (r *Router) NumShards() int { return len(r.backends) }
+
+// Backend returns shard i.
+func (r *Router) Backend(i int) Backend { return r.backends[i] }
+
+// Generations snapshots the per-shard generation vector — the cache key the
+// serving layer stores per-shard partial results under.
+func (r *Router) Generations() []uint64 {
+	gens := make([]uint64, len(r.backends))
+	for i, b := range r.backends {
+		gens[i] = b.Generation()
+	}
+	return gens
+}
+
+// Canonicalize parses q and returns its class and canonical rendering — the
+// form every backend receives, so per-shard cache keys agree with the
+// single-index server's.
+func Canonicalize(q string) (qtype, canonical string, err error) {
+	parsed, err := query.Parse(q)
+	if err != nil {
+		return "", "", err
+	}
+	return parsed.Type.String(), parsed.String(), nil
+}
+
+// Gather evaluates canonical on every shard i with need[i] (nil = all),
+// each bounded by the per-shard timeout, all concurrently under ctx.
+// Canceling ctx mid-gather stops the remaining shard evaluations at their
+// next checkpoint. Results and generations are positional; shards that were
+// not needed, or that failed, leave nil results. When any shard fails the
+// error is a *GatherError carrying every per-shard failure.
+func (r *Router) Gather(ctx context.Context, canonical string, need []bool) ([]*apex.Result, []uint64, error) {
+	results := make([]*apex.Result, len(r.backends))
+	gens := make([]uint64, len(r.backends))
+	shardErrs := make([]*ShardError, len(r.backends))
+	var wg sync.WaitGroup
+	answered := false
+	var mu sync.Mutex
+	for i, b := range r.backends {
+		if need != nil && !need[i] {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, b Backend) {
+			defer wg.Done()
+			sctx, cancel := r.shardContext(ctx)
+			defer cancel()
+			res, gen, err := b.Query(sctx, canonical)
+			if err != nil {
+				shardErrs[i] = &ShardError{Shard: i, Name: b.Name(), Err: err}
+				return
+			}
+			results[i], gens[i] = res, gen
+			mu.Lock()
+			answered = true
+			mu.Unlock()
+		}(i, b)
+	}
+	wg.Wait()
+	var failed []*ShardError
+	for _, se := range shardErrs {
+		if se != nil {
+			failed = append(failed, se)
+		}
+	}
+	if len(failed) > 0 {
+		return results, gens, &GatherError{Errors: failed, Partial: answered}
+	}
+	return results, gens, nil
+}
+
+// shardContext derives one shard call's context from the gather context.
+func (r *Router) shardContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	if r.timeout > 0 {
+		return context.WithTimeout(ctx, r.timeout)
+	}
+	return context.WithCancel(ctx)
+}
+
+// Query canonicalizes q, gathers it from every shard, and k-way merges the
+// per-shard document-order runs into the global document-order result,
+// dropping the duplicates reference-closure replication introduces. The
+// returned generation vector is what each shard's answer was computed
+// against.
+func (r *Router) Query(ctx context.Context, q string) (*apex.Result, []uint64, error) {
+	_, canonical, err := Canonicalize(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	results, gens, err := r.Gather(ctx, canonical, nil)
+	if err != nil {
+		return nil, gens, err
+	}
+	return MergeResults(results), gens, nil
+}
+
+// MergeResults k-way merges per-shard results (nil entries allowed) into one
+// document-order, duplicate-free result.
+func MergeResults(results []*apex.Result) *apex.Result {
+	runs := make([][]apex.Node, 0, len(results))
+	for _, res := range results {
+		if res != nil {
+			runs = append(runs, res.Nodes)
+		}
+	}
+	return &apex.Result{Nodes: MergeNodeRuns(runs)}
+}
+
+// RecordWorkload logs canonical on every shard whose answer the caller
+// served from a cache (nil = all): a cache hit bypasses the shards entirely,
+// but the query is still workload every shard's next Adapt should mine.
+func (r *Router) RecordWorkload(canonical string, shards []bool) error {
+	for i, b := range r.backends {
+		if shards != nil && !shards[i] {
+			continue
+		}
+		if err := b.RecordWorkload(canonical); err != nil {
+			return &ShardError{Shard: i, Name: b.Name(), Err: err}
+		}
+	}
+	return nil
+}
+
+// Adapt restructures shard `shard`, or every shard when shard is negative.
+// Explicit queries run AdaptTo uniformly; with none, each shard mines its
+// own workload log. Broadcast failures are collected per shard and returned
+// as a *GatherError after every shard was attempted.
+func (r *Router) Adapt(shard int, queries []string, minSup float64) error {
+	one := func(i int) error {
+		b := r.backends[i]
+		var err error
+		if len(queries) > 0 {
+			err = b.AdaptTo(queries, minSup)
+		} else {
+			err = b.Adapt(minSup)
+		}
+		if err != nil {
+			return &ShardError{Shard: i, Name: b.Name(), Err: err}
+		}
+		return nil
+	}
+	if shard >= 0 {
+		if shard >= len(r.backends) {
+			return fmt.Errorf("shard: adapt shard %d of %d", shard, len(r.backends))
+		}
+		return one(shard)
+	}
+	var failed []*ShardError
+	ok := false
+	for i := range r.backends {
+		if err := one(i); err != nil {
+			failed = append(failed, err.(*ShardError))
+		} else {
+			ok = true
+		}
+	}
+	if len(failed) > 0 {
+		return &GatherError{Errors: failed, Partial: ok}
+	}
+	return nil
+}
+
+// writers asserts every backend is writable (local); the HTTP API has no
+// insert/delete endpoints, so a router over remote shards is read-only.
+func (r *Router) writers() ([]Writer, error) {
+	ws := make([]Writer, len(r.backends))
+	for i, b := range r.backends {
+		w, ok := b.(Writer)
+		if !ok {
+			return nil, fmt.Errorf("shard: %s is not writable (remote backends serve reads and adapts only)", b.Name())
+		}
+		ws[i] = w
+	}
+	return ws, nil
+}
+
+// Insert appends fragment under the single element matched by parentQuery
+// ("/" addresses the document root) and broadcasts the resolved-NID insert
+// to every shard: full node tables stay aligned because AppendFragment
+// allocates the same NIDs everywhere, and replicating the fragment keeps
+// every shard's reference closure self-contained.
+func (r *Router) Insert(ctx context.Context, parentQuery, fragment string) error {
+	ws, err := r.writers()
+	if err != nil {
+		return err
+	}
+	var parent xmlgraph.NID
+	if parentQuery == "/" {
+		parent = ws[0].Root()
+	} else {
+		qtype, canonical, err := Canonicalize(parentQuery)
+		if err != nil {
+			return err
+		}
+		if qtype != query.QTYPE1.String() {
+			return fmt.Errorf("shard: insert parent must be a path query, got %s", qtype)
+		}
+		matches, err := r.match(ctx, canonical)
+		if err != nil {
+			return err
+		}
+		if len(matches) != 1 {
+			return fmt.Errorf("shard: insert parent %q matches %d nodes, want exactly 1", canonical, len(matches))
+		}
+		parent = matches[0]
+	}
+	for i, w := range ws {
+		if err := w.InsertAtNode(parent, fragment); err != nil {
+			return &ShardError{Shard: i, Name: r.backends[i].Name(), Err: err}
+		}
+	}
+	return nil
+}
+
+// Delete removes the subtrees matched by targetQuery: the shards' match
+// sets are unioned into the global target set (the k-way merge again —
+// per-shard matches are ID-sorted document-order runs) and the same NIDs
+// are removed on every shard. Matching nothing anywhere is an error, as on
+// a single index.
+func (r *Router) Delete(ctx context.Context, targetQuery string) (int, error) {
+	ws, err := r.writers()
+	if err != nil {
+		return 0, err
+	}
+	qtype, canonical, err := Canonicalize(targetQuery)
+	if err != nil {
+		return 0, err
+	}
+	if qtype != query.QTYPE1.String() {
+		return 0, fmt.Errorf("shard: delete target must be a path query, got %s", qtype)
+	}
+	targets, err := r.match(ctx, canonical)
+	if err != nil {
+		return 0, err
+	}
+	if len(targets) == 0 {
+		return 0, fmt.Errorf("shard: delete target %q matches nothing", canonical)
+	}
+	for i, w := range ws {
+		if err := w.DeleteNodes(targets); err != nil {
+			return 0, &ShardError{Shard: i, Name: r.backends[i].Name(), Err: err}
+		}
+	}
+	return len(targets), nil
+}
+
+// match resolves canonical on every shard and unions the ID-sorted runs.
+func (r *Router) match(ctx context.Context, canonical string) ([]xmlgraph.NID, error) {
+	runs := make([][]xmlgraph.NID, len(r.backends))
+	shardErrs := make([]*ShardError, len(r.backends))
+	var wg sync.WaitGroup
+	for i, b := range r.backends {
+		wg.Add(1)
+		go func(i int, b Backend) {
+			defer wg.Done()
+			sctx, cancel := r.shardContext(ctx)
+			defer cancel()
+			nids, err := b.Match(sctx, canonical)
+			if err != nil {
+				shardErrs[i] = &ShardError{Shard: i, Name: b.Name(), Err: err}
+				return
+			}
+			runs[i] = nids
+		}(i, b)
+	}
+	wg.Wait()
+	for _, se := range shardErrs {
+		if se != nil {
+			return nil, se
+		}
+	}
+	return MergeNIDRuns(runs), nil
+}

@@ -1,0 +1,364 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"apex"
+	"apex/internal/query"
+	"apex/internal/xmlgraph"
+)
+
+// newLocalRouter builds the refDoc fixture both ways: a single index and a
+// 3-shard router over the same graph.
+func newLocalRouter(t *testing.T, n int) (*apex.Index, *Router, []*LocalBackend) {
+	t.Helper()
+	g := refGraph(t)
+	single, err := apex.FromGraph(g, &apex.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, plan, err := BuildLocal(g, n, &apex.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumUnits() == 0 {
+		t.Fatal("no units")
+	}
+	return single, NewRouter(Backends(local), 50*time.Millisecond), local
+}
+
+func assertRouterAgrees(t *testing.T, single *apex.Index, rt *Router, queries ...string) {
+	t.Helper()
+	ctx := context.Background()
+	for _, q := range queries {
+		want, err := single.QueryContext(ctx, q)
+		if err != nil {
+			t.Fatalf("single %s: %v", q, err)
+		}
+		got, gens, err := rt.Query(ctx, q)
+		if err != nil {
+			t.Fatalf("router %s: %v", q, err)
+		}
+		if len(gens) != rt.NumShards() {
+			t.Fatalf("%s: %d generations for %d shards", q, len(gens), rt.NumShards())
+		}
+		if len(got.Nodes) != len(want.Nodes) {
+			t.Fatalf("%s: router %d nodes, single %d", q, len(got.Nodes), len(want.Nodes))
+		}
+		for i := range want.Nodes {
+			if got.Nodes[i] != want.Nodes[i] {
+				t.Fatalf("%s: position %d: %+v vs %+v", q, i, got.Nodes[i], want.Nodes[i])
+			}
+		}
+	}
+}
+
+func TestRouterLocalEndToEnd(t *testing.T) {
+	single, rt, _ := newLocalRouter(t, 3)
+	if rt.NumShards() != 3 {
+		t.Fatalf("NumShards = %d", rt.NumShards())
+	}
+	if got := rt.Backend(1).Name(); got != "shard-1" {
+		t.Fatalf("Backend(1).Name = %q", got)
+	}
+	queries := []string{"//customer/name", "//order", "//catalog/item/price", "//customers//name"}
+	assertRouterAgrees(t, single, rt, queries...)
+
+	// Cache-hit bookkeeping and per-shard stats/explain round-trip.
+	if err := rt.RecordWorkload("//customer/name", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Backend(0).Stats(); err != nil {
+		t.Fatal(err)
+	}
+	if _, trace, err := rt.Backend(0).Explain(context.Background(), "//customer/name"); err != nil || trace == nil {
+		t.Fatalf("explain: trace=%v err=%v", trace, err)
+	}
+
+	// Broadcast AdaptTo advances every shard's generation; the sides agree
+	// after restructuring. Then a single-shard mine of its own workload log.
+	before := rt.Generations()
+	wl := []string{"//customer/name", "//customer/name", "//order/total"}
+	if err := single.AdaptTo(wl, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Adapt(-1, wl, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range rt.Generations() {
+		if g <= before[i] {
+			t.Fatalf("shard %d generation %d did not advance past %d", i, g, before[i])
+		}
+	}
+	assertRouterAgrees(t, single, rt, queries...)
+	if err := rt.Adapt(1, nil, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Adapt(7, nil, 0.5); err == nil {
+		t.Fatal("adapt of out-of-range shard: want error")
+	}
+
+	// Writes broadcast by resolved NID: root insert, addressed insert, delete.
+	ctx := context.Background()
+	if err := single.Insert("/", `<audits><audit>a1</audit></audits>`); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Insert(ctx, "/", `<audits><audit>a1</audit></audits>`); err != nil {
+		t.Fatal(err)
+	}
+	if err := single.Insert("//catalog", `<item id="i2"><price>9</price></item>`); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Insert(ctx, "//catalog", `<item id="i2"><price>9</price></item>`); err != nil {
+		t.Fatal(err)
+	}
+	assertRouterAgrees(t, single, rt, append(queries, "//audits/audit")...)
+
+	if err := single.Delete("//order/total"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := rt.Delete(ctx, "//order/total")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("deleted %d targets, want 2", n)
+	}
+	assertRouterAgrees(t, single, rt, queries...)
+}
+
+func TestRouterWriteValidation(t *testing.T) {
+	_, rt, _ := newLocalRouter(t, 2)
+	ctx := context.Background()
+	if err := rt.Insert(ctx, "//customer", "<x/>"); err == nil {
+		t.Fatal("ambiguous insert parent: want error")
+	}
+	if err := rt.Insert(ctx, "//customers//name", "<x/>"); err == nil {
+		t.Fatal("qtype2 insert parent: want error")
+	}
+	if err := rt.Insert(ctx, "///", "<x/>"); err == nil {
+		t.Fatal("unparsable insert parent: want error")
+	}
+	if _, err := rt.Delete(ctx, "//customers//name"); err == nil {
+		t.Fatal("qtype2 delete target: want error")
+	}
+	if _, err := rt.Delete(ctx, "///"); err == nil {
+		t.Fatal("unparsable delete target: want error")
+	}
+	if _, err := rt.Delete(ctx, "//zzz/yyy"); err == nil {
+		t.Fatal("delete matching nothing: want error")
+	}
+	if _, _, err := rt.Query(ctx, "///"); err == nil {
+		t.Fatal("unparsable query: want error")
+	}
+}
+
+// brokenBackend fails every call; withWrites additionally implements Writer
+// (failing too) so the write paths get past the writers() assertion.
+type brokenBackend struct {
+	name string
+	err  error
+}
+
+func (b *brokenBackend) Name() string       { return b.name }
+func (b *brokenBackend) Generation() uint64 { return 0 }
+func (b *brokenBackend) Query(context.Context, string) (*apex.Result, uint64, error) {
+	return nil, 0, b.err
+}
+func (b *brokenBackend) Match(context.Context, string) ([]xmlgraph.NID, error) { return nil, b.err }
+func (b *brokenBackend) Explain(context.Context, string) (*apex.Result, *query.Trace, error) {
+	return nil, nil, b.err
+}
+func (b *brokenBackend) RecordWorkload(string) error     { return b.err }
+func (b *brokenBackend) Adapt(float64) error             { return b.err }
+func (b *brokenBackend) AdaptTo([]string, float64) error { return b.err }
+func (b *brokenBackend) Stats() (apex.Stats, error)      { return apex.Stats{}, b.err }
+
+type brokenWriter struct{ brokenBackend }
+
+func (b *brokenWriter) Root() xmlgraph.NID                      { return 0 }
+func (b *brokenWriter) InsertAtNode(xmlgraph.NID, string) error { return b.err }
+func (b *brokenWriter) DeleteNodes([]xmlgraph.NID) error        { return b.err }
+
+func TestRouterPartialFailure(t *testing.T) {
+	_, _, local := newLocalRouter(t, 1)
+	boom := errors.New("boom")
+	rt := NewRouter([]Backend{local[0], &brokenBackend{name: "shard-1", err: boom}}, 0)
+	ctx := context.Background()
+
+	_, _, err := rt.Query(ctx, "//customer/name")
+	var ge *GatherError
+	if !errors.As(err, &ge) {
+		t.Fatalf("gather over a broken shard = %v, want *GatherError", err)
+	}
+	if !ge.Partial {
+		t.Fatal("healthy shard answered: Partial must be true")
+	}
+	if ids := ge.Shards(); len(ids) != 1 || ids[0] != 1 {
+		t.Fatalf("failed shards = %v, want [1]", ids)
+	}
+	if !strings.Contains(ge.Error(), "shard 1 (shard-1)") {
+		t.Fatalf("gather error %q does not attribute the shard", ge.Error())
+	}
+
+	var se *ShardError
+	if err := rt.RecordWorkload("//customer/name", nil); !errors.As(err, &se) || se.Shard != 1 {
+		t.Fatalf("record workload = %v, want shard 1 failure", err)
+	}
+	if !errors.Is(se, boom) {
+		t.Fatal("ShardError must unwrap to the cause")
+	}
+	if err := rt.Adapt(-1, nil, 0.5); !errors.As(err, &ge) || !ge.Partial {
+		t.Fatalf("broadcast adapt = %v, want partial *GatherError", err)
+	}
+
+	// A non-writer backend blocks the write paths up front.
+	if err := rt.Insert(ctx, "/", "<x/>"); err == nil || !strings.Contains(err.Error(), "not writable") {
+		t.Fatalf("insert over a read-only backend = %v", err)
+	}
+	if _, err := rt.Delete(ctx, "//order/total"); err == nil || !strings.Contains(err.Error(), "not writable") {
+		t.Fatalf("delete over a read-only backend = %v", err)
+	}
+
+	// Failing writers surface per-shard errors from resolution and broadcast.
+	wrt := NewRouter([]Backend{local[0], &brokenWriter{brokenBackend{name: "shard-1", err: boom}}}, 0)
+	if err := wrt.Insert(ctx, "//catalog", "<x/>"); !errors.As(err, &se) {
+		t.Fatalf("insert with a failing matcher = %v, want *ShardError", err)
+	}
+	if err := wrt.Insert(ctx, "/", "<x/>"); !errors.As(err, &se) {
+		t.Fatalf("insert with a failing writer = %v, want *ShardError", err)
+	}
+	if _, err := wrt.Delete(ctx, "//order/total"); !errors.As(err, &se) {
+		t.Fatalf("delete with a failing matcher = %v, want *ShardError", err)
+	}
+}
+
+func TestDownErrorForms(t *testing.T) {
+	cause := errors.New("connection refused")
+	de := &DownError{Err: cause}
+	if !strings.Contains(de.Error(), "connection refused") || !errors.Is(de, cause) {
+		t.Fatalf("DownError = %q", de.Error())
+	}
+	if got := (&DownError{Status: 503}).Error(); !strings.Contains(got, "503") {
+		t.Fatalf("status form = %q", got)
+	}
+}
+
+func TestPersistRecoverShards(t *testing.T) {
+	dir := t.TempDir()
+	single, _, local := newLocalRouter(t, 2)
+	if err := PersistShards(dir, local); err != nil {
+		t.Fatal(err)
+	}
+	if err := CloseShards(local); err != nil {
+		t.Fatal(err)
+	}
+	recovered, err := RecoverShards(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer CloseShards(recovered)
+	rt := NewRouter(Backends(recovered), 0)
+	assertRouterAgrees(t, single, rt, "//customer/name", "//order/total", "//catalog/item/price")
+
+	if _, err := RecoverShards(t.TempDir(), nil); err == nil {
+		t.Fatal("recover without a shard layout: want error")
+	}
+}
+
+func TestHTTPBackend(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"generation":7,"nodes":[{"id":3,"tag":"a","value":"x"},{"id":5,"tag":"b","value":""}]}`))
+	})
+	mux.HandleFunc("/explain", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"generation":8,"trace":null,"count":2}`))
+	})
+	mux.HandleFunc("/adapt", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"generation":9}`))
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"generation":6,"index":{}}`))
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	b := NewHTTPBackend("shard-0", ts.URL+"/", nil)
+	if b.Name() != "shard-0" {
+		t.Fatalf("name %q", b.Name())
+	}
+	ctx := context.Background()
+	res, gen, err := b.Query(ctx, "//a")
+	if err != nil || gen != 7 || len(res.Nodes) != 2 || res.Nodes[0] != (apex.Node{ID: 3, Tag: "a", Value: "x"}) {
+		t.Fatalf("query: res=%+v gen=%d err=%v", res, gen, err)
+	}
+	nids, err := b.Match(ctx, "//a")
+	if err != nil || len(nids) != 2 || nids[0] != 3 || nids[1] != 5 {
+		t.Fatalf("match: %v %v", nids, err)
+	}
+	if _, _, err := b.Explain(ctx, "//a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Adapt(0.01); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AdaptTo([]string{"//a"}, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Stats(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RecordWorkload("//a"); err != nil {
+		t.Fatal(err)
+	}
+	// Generations only move forward: the max of everything observed (9 from
+	// adapt; the later stats response's 6 must not regress it).
+	if got := b.Generation(); got != 9 {
+		t.Fatalf("generation = %d, want the max observed 9", got)
+	}
+}
+
+func TestHTTPBackendErrors(t *testing.T) {
+	status := http.StatusInternalServerError
+	body := ""
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(status)
+		w.Write([]byte(body))
+	}))
+	b := NewHTTPBackend("shard-0", ts.URL, ts.Client())
+	ctx := context.Background()
+
+	var de *DownError
+	if _, _, err := b.Query(ctx, "//a"); !errors.As(err, &de) || de.Status != 500 {
+		t.Fatalf("5xx = %v, want DownError", err)
+	}
+	if _, err := b.Stats(); !errors.As(err, &de) || de.Status != 500 {
+		t.Fatalf("5xx stats = %v, want DownError", err)
+	}
+
+	status, body = http.StatusUnprocessableEntity, `{"error":"no such label"}`
+	if _, _, err := b.Query(ctx, "//a"); err == nil || !strings.Contains(err.Error(), "no such label") {
+		t.Fatalf("422 = %v, want the remote error text", err)
+	}
+	status, body = http.StatusNotFound, ""
+	if _, _, err := b.Query(ctx, "//a"); err == nil || !strings.Contains(err.Error(), "status 404") {
+		t.Fatalf("bodyless 404 = %v", err)
+	}
+
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, _, err := b.Query(canceled, "//a"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled context = %v, want context.Canceled, not a down shard", err)
+	}
+
+	ts.Close()
+	if _, _, err := b.Query(ctx, "//a"); !errors.As(err, &de) || de.Err == nil {
+		t.Fatalf("transport failure = %v, want DownError wrapping the cause", err)
+	}
+}

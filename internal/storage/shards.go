@@ -1,0 +1,74 @@
+package storage
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// One durable router directory holds N shard checkpoint directories under a
+// single layout manifest:
+//
+//	dir/SHARDS.json   — the layout record below
+//	dir/shard-0/      — shard 0's manifest + WAL + segment files
+//	dir/shard-1/      — ...
+//
+// Each shard subdirectory is a complete, independently recoverable durable
+// index directory (MANIFEST.json, WAL, checkpoint files); the layout record
+// only pins how many there are, so recovery fails loudly when a shard
+// directory goes missing instead of silently serving a partial document.
+
+// ShardsFileName is the layout record at the root of a sharded directory.
+const ShardsFileName = "SHARDS.json"
+
+// shardLayoutVersion versions the SHARDS.json shape.
+const shardLayoutVersion = 1
+
+// ShardLayout records how a durable directory is split into shard
+// subdirectories.
+type ShardLayout struct {
+	Version int `json:"version"`
+	Shards  int `json:"shards"`
+}
+
+// ShardDir names shard i's subdirectory under a sharded root.
+func ShardDir(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%d", i))
+}
+
+// WriteShardLayout durably records an n-shard layout at the root of dir
+// (written and fsynced the same way the manifest swap is).
+func WriteShardLayout(dir string, n int) error {
+	if n < 1 {
+		return fmt.Errorf("storage: shard layout with %d shards", n)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(ShardLayout{Version: shardLayoutVersion, Shards: n}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return WriteFileDurable(dir, ShardsFileName, append(data, '\n'))
+}
+
+// LoadShardLayout reads the layout record; os.IsNotExist errors pass through
+// so callers can distinguish "not a sharded directory" from corruption.
+func LoadShardLayout(dir string) (*ShardLayout, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ShardsFileName))
+	if err != nil {
+		return nil, err
+	}
+	var l ShardLayout
+	if err := json.Unmarshal(data, &l); err != nil {
+		return nil, fmt.Errorf("storage: %s: %w", ShardsFileName, err)
+	}
+	if l.Version != shardLayoutVersion {
+		return nil, fmt.Errorf("storage: %s: unsupported version %d", ShardsFileName, l.Version)
+	}
+	if l.Shards < 1 {
+		return nil, fmt.Errorf("storage: %s: invalid shard count %d", ShardsFileName, l.Shards)
+	}
+	return &l, nil
+}

@@ -22,3 +22,4 @@ fuzz_one FuzzBuild ./internal/xmlgraph/
 fuzz_one FuzzEdgeSetModel ./internal/core/
 fuzz_one FuzzWALReplay ./internal/storage/
 fuzz_one FuzzSegmentDecode ./internal/storage/
+fuzz_one FuzzShardMerge ./internal/shard/

@@ -2,7 +2,7 @@
 # and `lint` mirror the GitHub Actions jobs in .github/workflows/ci.yml
 # exactly, so a green local run means a green CI run.
 
-.PHONY: all build test ci race lint cover cover-check bench bench-concurrent bench-join bench-adapt bench-serve bench-shard bench-check serve experiments fuzz fuzz-smoke clean
+.PHONY: all build test ci race lint cover cover-check bench bench-concurrent bench-join bench-adapt bench-serve bench-shard bench-footprint bench-check serve experiments fuzz fuzz-smoke clean
 
 # Minimum total statement coverage enforced by `make cover-check` and the
 # CI coverage job. Ratchet upward when coverage rises; never lower it.
@@ -93,6 +93,15 @@ bench-shard:
 	go test -run 'TestShardDifferentialAllDatasets|TestRouter' -v ./internal/bench/ ./internal/server/
 	go run ./cmd/apexbench -experiments shard -shard-json BENCH_SHARD.json
 
+# The extent-footprint experiment: bytes per edge under the flat and
+# block-compressed serving forms on all nine datasets, the ~10× max-dataset
+# resident size, and the join-latency delta between forms, recorded to
+# BENCH_FOOTPRINT.json. The codec property tests and the per-block
+# allocation gate run first.
+bench-footprint:
+	go test -run 'TestBlockCursorMatchesFlatMergeJoin|TestMergeJoinBlocksZeroAlloc|TestCompressedMergeJoinAllocsNotWorse' -v ./internal/extentblock/ ./internal/query/
+	go run ./cmd/apexbench -experiments footprint -footprint-json BENCH_FOOTPRINT.json
+
 # The crash-recovery experiment: restart from the last checkpoint plus WAL
 # tail raced against a cold rebuild that re-applies the same writes,
 # recorded to BENCH_RECOVERY.json. The crash-injection harness runs first.
@@ -106,13 +115,14 @@ bench-recovery:
 # regressed more than 20% against the checked-in bench/baselines/.
 bench-check:
 	mkdir -p bench-artifacts
-	go run ./cmd/apexbench -experiments concurrency,adapt-stall,join-kernel,serve,recovery,shard \
+	go run ./cmd/apexbench -experiments concurrency,adapt-stall,join-kernel,serve,recovery,shard,footprint \
 		-concurrency-json bench-artifacts/BENCH_CONCURRENCY.json \
 		-adapt-json bench-artifacts/BENCH_ADAPT.json \
 		-join-json bench-artifacts/BENCH_JOIN.json \
 		-serve-json bench-artifacts/BENCH_SERVE.json \
 		-recovery-json bench-artifacts/BENCH_RECOVERY.json \
-		-shard-json bench-artifacts/BENCH_SHARD.json
+		-shard-json bench-artifacts/BENCH_SHARD.json \
+		-footprint-json bench-artifacts/BENCH_FOOTPRINT.json
 	go run ./cmd/benchcheck -baselines bench/baselines -current bench-artifacts
 
 # Run the query-serving daemon over a synthetic dataset (Ctrl-C drains).

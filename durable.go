@@ -191,16 +191,21 @@ func (ix *Index) checkpointLocked(legacy *storage.FileRef) error {
 	if err := idx.EncodeStructure(&sbuf); err != nil {
 		return fmt.Errorf("apex: checkpoint: structure: %w", err)
 	}
-	cols, err := idx.FrozenExtents()
+	// Stream the extents one at a time: EachFrozenExtent decodes (or hands
+	// over) a single extent's columns per call, so a compressed index never
+	// materializes more than one flat extent while checkpointing.
+	var segbuf bytes.Buffer
+	sw, err := storage.NewSegmentWriter(&segbuf)
+	if err != nil {
+		return fmt.Errorf("apex: checkpoint: segment: %w", err)
+	}
+	err = idx.EachFrozenExtent(func(c core.ExtentColumns) error {
+		return sw.Append(storage.SegmentExtent{ID: c.ID, ByFrom: c.ByFrom, ByTo: c.ByTo, Ends: c.Ends})
+	})
 	if err != nil {
 		return fmt.Errorf("apex: checkpoint: %w", err)
 	}
-	exts := make([]storage.SegmentExtent, len(cols))
-	for i, c := range cols {
-		exts[i] = storage.SegmentExtent{ID: c.ID, ByFrom: c.ByFrom, ByTo: c.ByTo, Ends: c.Ends}
-	}
-	var segbuf bytes.Buffer
-	if _, err := storage.WriteSegment(&segbuf, exts); err != nil {
+	if _, err := sw.Close(); err != nil {
 		return fmt.Errorf("apex: checkpoint: segment: %w", err)
 	}
 
@@ -486,19 +491,30 @@ func rebuildFromState(st *storage.RecoveredState, o Options) (*Index, error) {
 		return nil, fmt.Errorf("apex: recover: %s: %w", st.Manifest.Graph.Name, err)
 	}
 
-	extents := make(map[int]*core.EdgeSet, len(st.Segments))
+	// Segments arrive flat or block-compressed depending on the options the
+	// manifest recorded (storage.OpenDir decoded them accordingly); either
+	// way each becomes a frozen EdgeSet served as-is. If the caller's
+	// options override the recorded form, the decode's publication pass
+	// converts every extent once.
+	extents := make(map[int]*core.EdgeSet, len(st.Segments)+len(st.Packed))
 	for _, seg := range st.Segments {
 		if _, dup := extents[seg.ID]; dup {
 			return nil, fmt.Errorf("apex: recover: duplicate extent %d across segments", seg.ID)
 		}
 		extents[seg.ID] = core.NewFrozenEdgeSet(seg.ByFrom, seg.ByTo, seg.Ends)
 	}
+	for _, seg := range st.Packed {
+		if _, dup := extents[seg.ID]; dup {
+			return nil, fmt.Errorf("apex: recover: duplicate extent %d across segments", seg.ID)
+		}
+		extents[seg.ID] = core.NewCompressedEdgeSet(seg.ByFrom, seg.ByTo, seg.Ends)
+	}
 
 	sf, err := os.Open(st.StructurePath())
 	if err != nil {
 		return nil, err
 	}
-	idx, err := core.DecodeStructure(bufio.NewReader(sf), g, extents)
+	idx, err := core.DecodeStructureCompress(bufio.NewReader(sf), g, extents, o.CompressExtents)
 	sf.Close()
 	if err != nil {
 		return nil, fmt.Errorf("apex: recover: %s: %w", st.Manifest.Structure.Name, err)

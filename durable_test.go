@@ -2,6 +2,7 @@ package apex
 
 import (
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -109,6 +110,68 @@ func TestPersistRecoverCleanRestart(t *testing.T) {
 	}
 	if got := mustQueryLen(t, re, "//people/person/name"); got != 3 {
 		t.Fatalf("//people/person/name = %d nodes, want 3", got)
+	}
+}
+
+// TestPersistRecoverCompressed: a checkpoint written under CompressExtents
+// stores packed segments, recovery loads them straight into the compressed
+// serving form, and the recovered index is indistinguishable from the
+// persisted one — including a WAL tail replayed on top.
+func TestPersistRecoverCompressed(t *testing.T) {
+	dir := t.TempDir()
+	// Enough repeated structure that the hot extents clear the pack
+	// threshold and actually serve compressed.
+	var doc strings.Builder
+	doc.WriteString("<site><people>")
+	for i := 0; i < 50; i++ {
+		fmt.Fprintf(&doc, `<person id="q%d"><name>n%d</name></person>`, i, i)
+	}
+	doc.WriteString("</people><items>")
+	for i := 0; i < 50; i++ {
+		fmt.Fprintf(&doc, `<item id="j%d"><title>t%d</title></item>`, i, i)
+	}
+	doc.WriteString("</items></site>")
+	ix, err := Open(strings.NewReader(doc.String()),
+		&Options{IDREFAttrs: []string{"ref"}, CompressExtents: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyOps(t, ix, 2)
+	if err := ix.Persist(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Insert("//items", `<item id="i3"><title>chair</title></item>`); err != nil {
+		t.Fatal(err)
+	}
+	want := ix.Fingerprint()
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The manifest's recorded options must select the packed decode path.
+	st, err := storage.OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Packed) == 0 || len(st.Segments) != 0 {
+		t.Fatalf("recovered state: %d packed, %d flat segments; want packed only",
+			len(st.Packed), len(st.Segments))
+	}
+
+	re, err := RecoverDir(dir, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.Fingerprint(); got != want {
+		t.Fatalf("recovered fingerprint differs:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+	rs := re.Stats()
+	if rs.CompressedExtents == 0 || rs.ExtentBytes == 0 {
+		t.Fatalf("recovered index not serving compressed extents: %+v", rs)
+	}
+	if got := mustQueryLen(t, re, "//people/person/name"); got != 51 {
+		t.Fatalf("//people/person/name = %d nodes, want 51", got)
 	}
 }
 

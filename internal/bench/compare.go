@@ -113,6 +113,31 @@ var headlines = map[string]headlineSpec{
 			return rep.HitRate4, nil
 		},
 	},
+	"BENCH_FOOTPRINT.json": {
+		Metric:         "mean compressed bytes per edge",
+		HigherIsBetter: false,
+		Extract: func(data []byte) (float64, error) {
+			var rep FootprintReport
+			if err := json.Unmarshal(data, &rep); err != nil {
+				return 0, err
+			}
+			if len(rep.Rows) == 0 {
+				return 0, fmt.Errorf("no footprint rows")
+			}
+			for _, r := range rep.Rows {
+				if !r.Agreed {
+					return 0, fmt.Errorf("forms disagreed on %s", r.Dataset)
+				}
+			}
+			if rep.MeanCompressedBPE > 12 {
+				return 0, fmt.Errorf("compressed footprint %.2f B/edge exceeds the 12 B/edge bar", rep.MeanCompressedBPE)
+			}
+			if rep.GeomeanLatencyRatio > 1.15 {
+				return 0, fmt.Errorf("compressed serving latency %.2fx flat exceeds the 1.15x bar", rep.GeomeanLatencyRatio)
+			}
+			return rep.MeanCompressedBPE, nil
+		},
+	},
 	"BENCH_RECOVERY.json": {
 		Metric:         "restart speedup",
 		HigherIsBetter: true,

@@ -1,0 +1,269 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"time"
+
+	"apex/internal/core"
+	"apex/internal/datagen"
+	"apex/internal/query"
+)
+
+// The footprint experiment measures what the block-compressed serving form
+// buys and what it costs: bytes per frozen-extent edge under both forms on
+// every Table 1 dataset, the resident size of the largest dataset's index
+// at ten times the default benchmark scale, and the merge-join latency
+// delta between the forms on the same adapted index and queries. The
+// logical cost counters are form-independent by construction, so each row
+// also asserts the two forms agreed on results and cost.
+
+// FootprintRow is one dataset's flat-versus-compressed measurement.
+type FootprintRow struct {
+	Dataset string `json:"dataset"`
+	Edges   int    `json:"edges"`
+	Extents int    `json:"extents"`
+	Blocks  int    `json:"blocks"`
+	// FlatBytes and CompressedBytes are the frozen serving columns' sizes.
+	FlatBytes       int `json:"flat_bytes"`
+	CompressedBytes int `json:"compressed_bytes"`
+	// FlatBPE and CompressedBPE are the per-edge quotients; Ratio is
+	// compressed over flat (lower is better).
+	FlatBPE       float64 `json:"flat_bytes_per_edge"`
+	CompressedBPE float64 `json:"compressed_bytes_per_edge"`
+	Ratio         float64 `json:"ratio"`
+	// FlatElapsed and CompressedElapsed time one QTYPE1 workload pass under
+	// each form (merge kernel, fast path disabled, parallelism 1);
+	// LatencyRatio is compressed over flat.
+	FlatElapsed       time.Duration `json:"flat_elapsed_ns"`
+	CompressedElapsed time.Duration `json:"compressed_elapsed_ns"`
+	LatencyRatio      float64       `json:"latency_ratio"`
+	// Agreed records that both forms returned identical result volumes and
+	// logical cost totals.
+	Agreed bool `json:"agreed"`
+}
+
+// FootprintMax is the max-dataset-in-RAM measurement: the footprint preset
+// (the largest Table 1 file at ~10× the default scale) built once, with the
+// index's resident serving bytes under each form.
+type FootprintMax struct {
+	Dataset         string  `json:"dataset"`
+	Scale           float64 `json:"scale"`
+	GraphNodes      int     `json:"graph_nodes"`
+	Edges           int     `json:"edges"`
+	FlatBytes       int     `json:"flat_bytes"`
+	CompressedBytes int     `json:"compressed_bytes"`
+	CompressedBPE   float64 `json:"compressed_bytes_per_edge"`
+	// HeapFlat and HeapCompressed snapshot the process heap after a GC with
+	// the index resident in each form — the end-to-end view the per-column
+	// accounting approximates.
+	HeapFlat       uint64 `json:"heap_flat_bytes"`
+	HeapCompressed uint64 `json:"heap_compressed_bytes"`
+}
+
+// FootprintReport is the full sweep plus the 10× measurement.
+type FootprintReport struct {
+	Scale float64        `json:"scale"`
+	Rows  []FootprintRow `json:"rows"`
+	Max   *FootprintMax  `json:"max,omitempty"`
+	// MeanCompressedBPE is the headline: the arithmetic mean of the
+	// compressed bytes-per-edge across all rows (acceptance bar: 12).
+	MeanCompressedBPE float64 `json:"mean_compressed_bytes_per_edge"`
+	// GeomeanLatencyRatio summarizes the serving cost of compression
+	// (acceptance bar: within 15% of flat).
+	GeomeanLatencyRatio float64 `json:"geomean_latency_ratio"`
+}
+
+// Footprint runs the sweep over the named datasets (all nine when names is
+// empty), then the 10× max-dataset measurement unless skipMax is set (tests
+// skip it to stay fast).
+func (e *Env) Footprint(names []string, skipMax bool) (FootprintReport, error) {
+	if len(names) == 0 {
+		names = datagen.DatasetNames()
+	}
+	rep := FootprintReport{Scale: e.cfg.Scale}
+	var bpeSum, logLatSum float64
+	var latN int
+	for _, name := range names {
+		s, err := e.site(name)
+		if err != nil {
+			return rep, err
+		}
+		idx := s.buildAPEX(e.cfg.FixedMinSup)
+		row := FootprintRow{Dataset: name}
+
+		flat := idx.Footprint()
+		row.Edges, row.Extents = flat.Edges, flat.Extents
+		row.FlatBytes = flat.Bytes
+
+		flatPass, err := footprintPass(idx, s, s.q1)
+		if err != nil {
+			return rep, err
+		}
+		row.FlatElapsed = flatPass.elapsed
+
+		idx.SetCompressExtents(true)
+		idx.FreezeExtents()
+		comp := idx.Footprint()
+		row.CompressedBytes = comp.Bytes
+		row.Blocks = comp.Blocks
+		compPass, err := footprintPass(idx, s, s.q1)
+		if err != nil {
+			return rep, err
+		}
+		row.CompressedElapsed = compPass.elapsed
+		idx.SetCompressExtents(false)
+		idx.FreezeExtents()
+
+		if row.Edges > 0 {
+			row.FlatBPE = float64(row.FlatBytes) / float64(row.Edges)
+			row.CompressedBPE = float64(row.CompressedBytes) / float64(row.Edges)
+		}
+		if row.FlatBytes > 0 {
+			row.Ratio = float64(row.CompressedBytes) / float64(row.FlatBytes)
+		}
+		if row.FlatElapsed > 0 {
+			row.LatencyRatio = float64(row.CompressedElapsed) / float64(row.FlatElapsed)
+			logLatSum += math.Log(row.LatencyRatio)
+			latN++
+		}
+		row.Agreed = flatPass.results == compPass.results && flatPass.cost == compPass.cost
+		if !row.Agreed {
+			return rep, fmt.Errorf("bench: footprint forms disagree on %s: flat(results=%d cost=%d) compressed(results=%d cost=%d)",
+				name, flatPass.results, flatPass.cost, compPass.results, compPass.cost)
+		}
+		bpeSum += row.CompressedBPE
+		rep.Rows = append(rep.Rows, row)
+	}
+	if len(rep.Rows) > 0 {
+		rep.MeanCompressedBPE = bpeSum / float64(len(rep.Rows))
+	}
+	if latN > 0 {
+		rep.GeomeanLatencyRatio = math.Exp(logLatSum / float64(latN))
+	}
+	if !skipMax {
+		max, err := footprintMax()
+		if err != nil {
+			return rep, err
+		}
+		rep.Max = max
+	}
+	return rep, nil
+}
+
+type footprintPassResult struct {
+	elapsed time.Duration
+	results int64
+	cost    int64
+}
+
+// footprintPass times one warm QTYPE1 workload pass under the index's
+// current serving form. The fast path is disabled so the measurement is
+// join latency — the acceptance criterion for the compressed form — with
+// every query exercising the merge kernel's block cursor rather than the
+// frozen-ends copy.
+func footprintPass(idx *core.APEX, s *siteData, qs []query.Query) (footprintPassResult, error) {
+	ev := query.NewAPEXEvaluator(idx, s.dt)
+	ev.SetParallelism(1)
+	ev.DisableFastPath = true
+	pass := func() (int64, error) {
+		var results int64
+		for _, q := range qs {
+			res, err := ev.Evaluate(q)
+			if err != nil {
+				return 0, err
+			}
+			results += int64(len(res))
+		}
+		return results, nil
+	}
+	if _, err := pass(); err != nil { // warm-up
+		return footprintPassResult{}, err
+	}
+	ev.ResetCost()
+	// Best of three passes: the per-dataset batches are short, so a single
+	// pass is noisy enough to flip the latency ratio between runs.
+	var res footprintPassResult
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		results, err := pass()
+		elapsed := time.Since(start)
+		if err != nil {
+			return footprintPassResult{}, err
+		}
+		if i == 0 || elapsed < res.elapsed {
+			res.elapsed = elapsed
+		}
+		res.results = results
+	}
+	res.cost = ev.Cost().Total()
+	return res, nil
+}
+
+// footprintMax builds the ~10× preset once and reports the index's resident
+// size under both serving forms.
+func footprintMax() (*FootprintMax, error) {
+	ds, err := datagen.LoadFootprintDataset()
+	if err != nil {
+		return nil, err
+	}
+	idx := core.BuildAPEX0(ds.Graph)
+	m := &FootprintMax{
+		Dataset:    ds.Name,
+		Scale:      datagen.FootprintScale,
+		GraphNodes: ds.Graph.NumNodes(),
+	}
+	flat := idx.Footprint()
+	m.Edges, m.FlatBytes = flat.Edges, flat.Bytes
+	m.HeapFlat = heapInUse()
+	idx.SetCompressExtents(true)
+	idx.FreezeExtents()
+	comp := idx.Footprint()
+	m.CompressedBytes = comp.Bytes
+	if comp.Edges > 0 {
+		m.CompressedBPE = float64(comp.Bytes) / float64(comp.Edges)
+	}
+	m.HeapCompressed = heapInUse()
+	runtime.KeepAlive(idx)
+	return m, nil
+}
+
+func heapInUse() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapInuse
+}
+
+// RenderFootprint prints the sweep as a table.
+func RenderFootprint(rep FootprintReport) string {
+	var b []byte
+	b = fmt.Appendf(b, "Extent footprint (scale=%g)\n", rep.Scale)
+	b = fmt.Appendf(b, "%-16s %9s %8s %10s %10s %7s %7s %8s %7s\n",
+		"dataset", "edges", "blocks", "flat", "packed", "B/edge", "ratio", "lat", "agreed")
+	for _, r := range rep.Rows {
+		b = fmt.Appendf(b, "%-16s %9d %8d %10d %10d %7.2f %6.2fx %7.2fx %7v\n",
+			r.Dataset, r.Edges, r.Blocks, r.FlatBytes, r.CompressedBytes,
+			r.CompressedBPE, r.Ratio, r.LatencyRatio, r.Agreed)
+	}
+	b = fmt.Appendf(b, "mean compressed B/edge: %.2f   geomean latency ratio: %.2fx\n",
+		rep.MeanCompressedBPE, rep.GeomeanLatencyRatio)
+	if rep.Max != nil {
+		m := rep.Max
+		b = fmt.Appendf(b, "max-in-RAM %s@%g: %d nodes, %d edges, flat=%d packed=%d (%.2f B/edge), heap %d -> %d\n",
+			m.Dataset, m.Scale, m.GraphNodes, m.Edges, m.FlatBytes, m.CompressedBytes,
+			m.CompressedBPE, m.HeapFlat, m.HeapCompressed)
+	}
+	return string(b)
+}
+
+// WriteFootprintJSON records the report (the CI benchmark job uploads it as
+// BENCH_FOOTPRINT.json).
+func WriteFootprintJSON(w io.Writer, rep FootprintReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -1,0 +1,41 @@
+package bench
+
+import "testing"
+
+// TestFootprintShape pins the footprint experiment's claims at test scale:
+// both serving forms agree on every dataset, compression shrinks every row,
+// and the mean compressed footprint clears the 12 B/edge acceptance bar
+// (flat is 20). The 10× max-dataset measurement is skipped to keep the
+// package's tests fast; the CI bench job runs it.
+func TestFootprintShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape tests are not -short")
+	}
+	env := NewEnv(shapeConfig())
+	rep, err := env.Footprint([]string{"shakes_11.xml", "Flix02.xml", "Ged02.xml"}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rep.Rows))
+	}
+	for _, r := range rep.Rows {
+		if !r.Agreed {
+			t.Fatalf("%s: forms disagreed", r.Dataset)
+		}
+		if r.CompressedBytes >= r.FlatBytes {
+			t.Fatalf("%s: compression did not shrink: %d >= %d", r.Dataset, r.CompressedBytes, r.FlatBytes)
+		}
+		if r.Blocks == 0 {
+			t.Fatalf("%s: no blocks recorded", r.Dataset)
+		}
+	}
+	// At this reduced scale more extents sit under the pack threshold and
+	// stay flat, so the bound is looser than the 12 B/edge acceptance bar
+	// benchcheck enforces on the full-scale BENCH_FOOTPRINT.json.
+	if rep.MeanCompressedBPE <= 0 || rep.MeanCompressedBPE >= 16 {
+		t.Fatalf("mean compressed footprint %.2f B/edge outside (0, 16)", rep.MeanCompressedBPE)
+	}
+	t.Logf("mean compressed B/edge = %.2f, geomean latency ratio = %.2fx",
+		rep.MeanCompressedBPE, rep.GeomeanLatencyRatio)
+}

@@ -27,6 +27,10 @@ type APEX struct {
 	// recollected versus the totals — pinning that incremental maintenance
 	// touches strictly less than everything.
 	lastFreeze FreezeStats
+	// compress selects the frozen extent form FreezeExtents publishes:
+	// block-compressed columns when true, flat columns when false. See
+	// SetCompressExtents.
+	compress bool
 }
 
 // Graph returns the underlying data graph.
@@ -52,6 +56,18 @@ func (a *APEX) Workers() int {
 	return a.workers
 }
 
+// SetCompressExtents selects the frozen form the next FreezeExtents pass
+// publishes: block-compressed delta/bit-packed columns (true) or flat sorted
+// slices (false, the default). Flipping the flag does not convert anything
+// by itself — FreezeExtents treats a frozen extent in the wrong form as
+// needing republication, so the next publication point converts every extent
+// (and only form flips pay that full pass; steady-state freezes stay
+// dirty-guided). Not safe to call while a maintenance pass is running.
+func (a *APEX) SetCompressExtents(on bool) { a.compress = on }
+
+// CompressExtents reports the frozen form publications use.
+func (a *APEX) CompressExtents() bool { return a.compress }
+
 // XRoot returns the root node of G_APEX (incoming pseudo-label 'xroot').
 func (a *APEX) XRoot() *XNode { return a.xroot }
 
@@ -72,8 +88,15 @@ func BuildAPEX0(g *xmlgraph.Graph) *APEX { return BuildAPEX0Workers(g, 1) }
 // propagation already use the worker pool. The built structure is
 // bit-identical to the serial build for every workers value.
 func BuildAPEX0Workers(g *xmlgraph.Graph, workers int) *APEX {
+	return BuildAPEX0Opts(g, workers, false)
+}
+
+// BuildAPEX0Opts is BuildAPEX0Workers with the frozen extent form chosen up
+// front, so the build's own publication pass already freezes into the
+// requested form instead of freezing flat and converting afterwards.
+func BuildAPEX0Opts(g *xmlgraph.Graph, workers int, compress bool) *APEX {
 	start := time.Now()
-	a := &APEX{g: g, head: newHNode()}
+	a := &APEX{g: g, head: newHNode(), compress: compress}
 	a.SetWorkers(workers)
 	a.xroot = a.newXNode("xroot")
 	rootPair := xmlgraph.EdgePair{From: xmlgraph.NullNID, To: g.Root()}
@@ -122,7 +145,10 @@ func (a *APEX) FreezeExtents() FreezeStats {
 		}
 		seen[x] = true
 		st.Total++
-		if !x.Extent.Frozen() {
+		// An extent needs publication when it is thawed, or frozen in the
+		// wrong form (the compress flag flipped, or a recovered segment
+		// loaded in a different form than the index is configured for).
+		if x.Extent.FormStale(a.compress) {
 			toFreeze = append(toFreeze, x.Extent)
 		}
 	}
@@ -154,7 +180,7 @@ func (a *APEX) FreezeExtents() FreezeStats {
 	}
 	walkH(a.head)
 	st.Refrozen = len(toFreeze)
-	freezeAll(toFreeze, a.Workers())
+	freezeAll(toFreeze, a.Workers(), a.compress)
 	a.lastFreeze = st
 	observeSince(mFreezeNS, start)
 	mFrozenExtents.Add(int64(st.Refrozen))
@@ -265,6 +291,71 @@ func (a *APEX) Stats() Stats {
 		}
 	}
 	return s
+}
+
+// FootprintStats aggregates the serving-form memory of every live extent —
+// the columns a query can touch, summed over the xroot-reachable summary
+// graph and the hash tree's remainder nodes.
+type FootprintStats struct {
+	// Extents and Edges count the frozen extents and their pairs.
+	Extents int
+	Edges   int
+	// Bytes is the actual serving-column footprint; FlatBytes is what the
+	// same columns would occupy in the flat frozen form (the compression
+	// denominator). Equal when nothing is compressed.
+	Bytes     int
+	FlatBytes int
+	// Blocks counts packed blocks and Compressed the extents in compressed
+	// form; both are zero for a flat index.
+	Blocks     int
+	Compressed int
+}
+
+// BytesPerEdge is the headline footprint number: serving bytes per extent
+// pair (0 for an empty index).
+func (f FootprintStats) BytesPerEdge() float64 {
+	if f.Edges == 0 {
+		return 0
+	}
+	return float64(f.Bytes) / float64(f.Edges)
+}
+
+// Footprint sums the serving-form footprint of every live extent, walking
+// the same node set FreezeExtents publishes (summary graph plus hash-tree
+// remainder nodes). Mutable extents contribute edges but no bytes — call it
+// between publication points for meaningful numbers.
+func (a *APEX) Footprint() FootprintStats {
+	var f FootprintStats
+	seen := make(map[*XNode]bool)
+	consider := func(x *XNode) {
+		if x == nil || seen[x] {
+			return
+		}
+		seen[x] = true
+		f.Extents++
+		f.Edges += x.Extent.Len()
+		f.Bytes += x.Extent.FootprintBytes()
+		f.FlatBytes += x.Extent.FlatFootprintBytes()
+		f.Blocks += x.Extent.FootprintBlocks()
+		if x.Extent.Compressed() {
+			f.Compressed++
+		}
+	}
+	a.EachNode(consider)
+	var walkH func(h *HNode)
+	walkH = func(h *HNode) {
+		for _, e := range h.entries {
+			consider(e.XNode)
+			if e.Next != nil {
+				walkH(e.Next)
+			}
+		}
+		if h.remainder != nil {
+			consider(h.remainder.XNode)
+		}
+	}
+	walkH(a.head)
+	return f
 }
 
 // EachNode visits every live G_APEX node once, in BFS order from xroot.

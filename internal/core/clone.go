@@ -29,6 +29,7 @@ func (a *APEX) CloneWithGraph(g *xmlgraph.Graph) *APEX {
 		run:        a.run,
 		workers:    a.workers,
 		lastFreeze: a.lastFreeze,
+		compress:   a.compress,
 	}
 	xmap := make(map[*XNode]*XNode)
 	var cloneX func(x *XNode) *XNode

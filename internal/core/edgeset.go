@@ -12,22 +12,28 @@ import (
 	"sort"
 	"strings"
 
+	"apex/internal/extentblock"
 	"apex/internal/xmlgraph"
 )
 
 // EdgeSet is a set of <parentNid, nid> pairs — the extent representation of
 // Definition 7. The zero value is not usable; call NewEdgeSet.
 //
-// An EdgeSet has two states:
+// An EdgeSet has three states:
 //
 //   - Mutable (building): membership is a map, pairs accumulate in a slice.
 //     This is the state builds, updates, and refreshes work in.
-//   - Frozen (serving): the pairs live in two deduplicated sorted columns —
-//     byFrom ordered by (From, To) and byTo ordered by (To, From) — plus a
-//     precomputed distinct-ends slice. The map and staging slice are
-//     dropped; Contains becomes a binary search, scans read the sorted
+//   - Frozen flat (serving): the pairs live in two deduplicated sorted
+//     columns — byFrom ordered by (From, To) and byTo ordered by (To, From)
+//     — plus a precomputed distinct-ends slice. The map and staging slice
+//     are dropped; Contains becomes a binary search, scans read the sorted
 //     column, and the merge-join kernel in internal/query consumes byFrom
 //     and ends directly.
+//   - Frozen compressed (serving): the same three columns packed into
+//     delta-encoded, bit-packed blocks with a per-block skip index
+//     (internal/extentblock), selected by APEX.SetCompressExtents. Logical
+//     content and ordering are identical to the flat form; the merge kernel
+//     switches to block cursors and everything else decodes on demand.
 //
 // Extents are append-only between adaptation rounds, so the index freezes
 // every extent once at each publication point (after BuildAPEX0, Update,
@@ -43,9 +49,16 @@ type EdgeSet struct {
 	// structure-sharing clone, see CloneShared): thawing such a set must copy
 	// before mutating, because the original may still be serving readers.
 	shared bool
-	byFrom []xmlgraph.EdgePair // sorted by (From, To), deduplicated
-	byTo   []xmlgraph.EdgePair // sorted by (To, From), deduplicated
-	ends   []xmlgraph.NID      // distinct To values, ascending
+	byFrom []xmlgraph.EdgePair // sorted by (From, To), deduplicated; nil while compressed
+	byTo   []xmlgraph.EdgePair // sorted by (To, From), deduplicated; nil while compressed
+	ends   []xmlgraph.NID      // distinct To values, ascending; nil while compressed
+
+	// Compressed frozen form: block-packed equivalents of the three flat
+	// columns. Exactly one of (byFrom, byTo, ends) and (cFrom, cTo, cEnds)
+	// is populated while frozen.
+	cFrom *extentblock.PairColumn
+	cTo   *extentblock.PairColumn
+	cEnds *extentblock.NIDColumn
 }
 
 // NewEdgeSet returns an empty edge set.
@@ -67,12 +80,63 @@ func (s *EdgeSet) Add(p xmlgraph.EdgePair) bool {
 	return true
 }
 
-// Freeze publishes the set in its columnar serving form. Idempotent; a
-// frozen set stays frozen until the next Add.
+// Freeze publishes the set in its flat columnar serving form. Idempotent; a
+// frozen set (flat or compressed) stays frozen until the next Add. The
+// publication points use FreezeAs instead, which also honors the index's
+// compression setting.
 func (s *EdgeSet) Freeze() {
 	if s == nil || s.frozen {
 		return
 	}
+	s.sortColumns()
+	s.frozen = true
+	s.shared = false // freshly built columns are private
+}
+
+// PackThreshold is the minimum pair count at which FreezeAs(true) actually
+// block-packs an extent. Below it the per-block metadata (two pair-column
+// block headers plus the ends header) outweighs the bit-packed savings —
+// a one-pair extent would cost ~3× its flat 20 bytes — so tiny extents
+// serve flat even under CompressExtents. Every consumer dispatches on the
+// actual per-set form, so the mix is invisible to queries.
+const PackThreshold = 32
+
+// FreezeAs publishes the set in the requested serving form, converting an
+// already-frozen set whose form disagrees (the adaptation path when
+// CompressExtents flips, and the recovery path when segment form and options
+// disagree). Conversion builds fresh columns, so a structure-sharing clone's
+// aliased original is never disturbed.
+func (s *EdgeSet) FreezeAs(compress bool) {
+	if s == nil {
+		return
+	}
+	if !s.frozen {
+		s.sortColumns()
+		s.frozen = true
+		s.shared = false
+	}
+	switch want := compress && s.Len() >= PackThreshold; {
+	case want && !s.Compressed():
+		s.packColumns()
+		s.shared = false
+	case !want && s.Compressed():
+		s.unpackColumns()
+		s.shared = false
+	}
+}
+
+// FormStale reports whether republishing under the given compression policy
+// would change the set's serving form — the dirty check FreezeExtents uses
+// when Options.CompressExtents flips or recovery loads a mismatched form.
+func (s *EdgeSet) FormStale(compress bool) bool {
+	if !s.Frozen() {
+		return true
+	}
+	return s.Compressed() != (compress && s.Len() >= PackThreshold)
+}
+
+// sortColumns builds the flat columns from the mutable staging state.
+func (s *EdgeSet) sortColumns() {
 	s.byFrom = append([]xmlgraph.EdgePair(nil), s.pairs...)
 	sort.Slice(s.byFrom, func(i, j int) bool { return lessFromTo(s.byFrom[i], s.byFrom[j]) })
 	s.byTo = append([]xmlgraph.EdgePair(nil), s.pairs...)
@@ -85,19 +149,39 @@ func (s *EdgeSet) Freeze() {
 	}
 	s.m = nil
 	s.pairs = nil
-	s.frozen = true
-	s.shared = false // freshly built columns are private
+}
+
+// packColumns converts the flat frozen columns to the block-compressed form.
+func (s *EdgeSet) packColumns() {
+	s.cFrom = extentblock.Pack(s.byFrom, false)
+	s.cTo = extentblock.Pack(s.byTo, true)
+	s.cEnds = extentblock.PackNIDs(s.ends)
+	s.byFrom, s.byTo, s.ends = nil, nil, nil
+}
+
+// unpackColumns decodes the block-compressed columns back to the flat form.
+func (s *EdgeSet) unpackColumns() {
+	s.byFrom = s.cFrom.AppendAll(make([]xmlgraph.EdgePair, 0, s.cFrom.Len()))
+	s.byTo = s.cTo.AppendAll(make([]xmlgraph.EdgePair, 0, s.cTo.Len()))
+	s.ends = s.cEnds.AppendAll(make([]xmlgraph.NID, 0, s.cEnds.Len()))
+	s.cFrom, s.cTo, s.cEnds = nil, nil, nil
 }
 
 // thaw rebuilds the mutable state from the frozen columns. The staging order
-// after a thaw is the (From, To) sorted order. A shared set copies its column
-// first: the aliased original may be serving concurrent readers, and the
-// staging slice is about to be appended to.
+// after a thaw is the (From, To) sorted order. A shared flat set copies its
+// column first: the aliased original may be serving concurrent readers, and
+// the staging slice is about to be appended to. A compressed set decodes,
+// which is inherently a private copy.
 func (s *EdgeSet) thaw() {
-	if s.shared {
+	switch {
+	case s.Compressed():
+		s.pairs = s.cFrom.AppendAll(make([]xmlgraph.EdgePair, 0, s.cFrom.Len()))
+		s.cFrom, s.cTo, s.cEnds = nil, nil, nil
+		s.shared = false
+	case s.shared:
 		s.pairs = append([]xmlgraph.EdgePair(nil), s.byFrom...)
 		s.shared = false
-	} else {
+	default:
 		s.pairs = s.byFrom
 	}
 	s.m = make(map[xmlgraph.EdgePair]struct{}, len(s.pairs))
@@ -118,7 +202,11 @@ func (s *EdgeSet) CloneShared() *EdgeSet {
 		return nil
 	}
 	if s.frozen {
-		return &EdgeSet{frozen: true, shared: true, byFrom: s.byFrom, byTo: s.byTo, ends: s.ends}
+		return &EdgeSet{
+			frozen: true, shared: true,
+			byFrom: s.byFrom, byTo: s.byTo, ends: s.ends,
+			cFrom: s.cFrom, cTo: s.cTo, cEnds: s.cEnds,
+		}
 	}
 	c := &EdgeSet{
 		m:     make(map[xmlgraph.EdgePair]struct{}, len(s.m)),
@@ -130,15 +218,37 @@ func (s *EdgeSet) CloneShared() *EdgeSet {
 	return c
 }
 
-// Frozen reports whether the set is in its columnar serving form.
+// Frozen reports whether the set is in a columnar serving form (flat or
+// compressed).
 func (s *EdgeSet) Frozen() bool { return s != nil && s.frozen }
 
+// Compressed reports whether the set is in the block-compressed frozen form.
+func (s *EdgeSet) Compressed() bool { return s != nil && s.cFrom != nil }
+
+// CompressedColumns exposes the block-packed columns of a compressed frozen
+// set — the merge kernel's block-cursor inputs. ok is false for mutable and
+// flat-frozen sets.
+func (s *EdgeSet) CompressedColumns() (byFrom, byTo *extentblock.PairColumn, ends *extentblock.NIDColumn, ok bool) {
+	if !s.Compressed() {
+		return nil, nil, nil, false
+	}
+	return s.cFrom, s.cTo, s.cEnds, true
+}
+
 // FrozenColumns exposes the three serving columns of a frozen set for
-// serialization. The slices are the set's own backing store — read-only.
-// ok is false while the set is mutable.
+// serialization. For a flat set the slices are the set's own backing store —
+// read-only; a compressed set decodes fresh private slices (the checkpoint
+// writer consumes one extent at a time, so the transient flat copy is
+// bounded by the largest extent, never the whole index). ok is false while
+// the set is mutable.
 func (s *EdgeSet) FrozenColumns() (byFrom, byTo []xmlgraph.EdgePair, ends []xmlgraph.NID, ok bool) {
 	if s == nil || !s.frozen {
 		return nil, nil, nil, false
+	}
+	if s.Compressed() {
+		return s.cFrom.AppendAll(make([]xmlgraph.EdgePair, 0, s.cFrom.Len())),
+			s.cTo.AppendAll(make([]xmlgraph.EdgePair, 0, s.cTo.Len())),
+			s.cEnds.AppendAll(make([]xmlgraph.NID, 0, s.cEnds.Len())), true
 	}
 	return s.byFrom, s.byTo, s.ends, true
 }
@@ -150,6 +260,15 @@ func (s *EdgeSet) FrozenColumns() (byFrom, byTo []xmlgraph.EdgePair, ends []xmlg
 // cross-column consistency before this is reached — and cedes the slices.
 func NewFrozenEdgeSet(byFrom, byTo []xmlgraph.EdgePair, ends []xmlgraph.NID) *EdgeSet {
 	return &EdgeSet{frozen: true, byFrom: byFrom, byTo: byTo, ends: ends}
+}
+
+// NewCompressedEdgeSet constructs a set directly in its block-compressed
+// frozen form from externally packed columns — the segment loader's path
+// when CompressExtents is on, which feeds decoded segment pairs straight
+// into block packers without ever materializing the flat slices. The caller
+// owns validation, exactly as for NewFrozenEdgeSet.
+func NewCompressedEdgeSet(byFrom, byTo *extentblock.PairColumn, ends *extentblock.NIDColumn) *EdgeSet {
+	return &EdgeSet{frozen: true, cFrom: byFrom, cTo: byTo, cEnds: ends}
 }
 
 func lessFromTo(a, b xmlgraph.EdgePair) bool {
@@ -167,7 +286,9 @@ func lessToFrom(a, b xmlgraph.EdgePair) bool {
 }
 
 // Contains reports membership of pair: a map hit while mutable, a binary
-// search over the (To, From) column while frozen.
+// search over the (To, From) column while frozen — over the block directory
+// plus one in-place block scan in the compressed form, never decoding into
+// a buffer.
 func (s *EdgeSet) Contains(p xmlgraph.EdgePair) bool {
 	if s == nil {
 		return false
@@ -175,6 +296,9 @@ func (s *EdgeSet) Contains(p xmlgraph.EdgePair) bool {
 	if !s.frozen {
 		_, ok := s.m[p]
 		return ok
+	}
+	if s.Compressed() {
+		return s.cTo.Contains(p)
 	}
 	i := sort.Search(len(s.byTo), func(i int) bool { return !lessToFrom(s.byTo[i], p) })
 	return i < len(s.byTo) && s.byTo[i] == p
@@ -184,6 +308,9 @@ func (s *EdgeSet) Contains(p xmlgraph.EdgePair) bool {
 func (s *EdgeSet) Len() int {
 	if s == nil {
 		return 0
+	}
+	if s.Compressed() {
+		return s.cFrom.Len()
 	}
 	if s.frozen {
 		return len(s.byFrom)
@@ -203,11 +330,16 @@ func (s *EdgeSet) Each(fn func(xmlgraph.EdgePair)) {
 }
 
 // Pairs returns the pairs — the frozen (From, To) column, or the staging
-// slice in insertion order while mutable. The slice is the set's own backing
-// store: callers must treat it as read-only.
+// slice in insertion order while mutable. For flat forms the slice is the
+// set's own backing store (callers must treat it as read-only); a compressed
+// set decodes a fresh copy per call, so hot paths should use the block
+// cursors (CompressedColumns) instead.
 func (s *EdgeSet) Pairs() []xmlgraph.EdgePair {
 	if s == nil {
 		return nil
+	}
+	if s.Compressed() {
+		return s.cFrom.AppendAll(make([]xmlgraph.EdgePair, 0, s.cFrom.Len()))
 	}
 	if s.frozen {
 		return s.byFrom
@@ -215,12 +347,16 @@ func (s *EdgeSet) Pairs() []xmlgraph.EdgePair {
 	return s.pairs
 }
 
-// PairsByFrom returns the pairs sorted by (From, To) — the frozen column
-// when available (no copy, read-only), a freshly sorted copy otherwise. The
-// merge-join kernel requires this order.
+// PairsByFrom returns the pairs sorted by (From, To) — the flat frozen
+// column when available (no copy, read-only), a freshly built copy
+// otherwise. The merge-join kernel requires this order; on compressed sets
+// it consumes the block cursors instead of this decoded copy.
 func (s *EdgeSet) PairsByFrom() []xmlgraph.EdgePair {
 	if s == nil {
 		return nil
+	}
+	if s.Compressed() {
+		return s.cFrom.AppendAll(make([]xmlgraph.EdgePair, 0, s.cFrom.Len()))
 	}
 	if s.frozen {
 		return s.byFrom
@@ -230,12 +366,16 @@ func (s *EdgeSet) PairsByFrom() []xmlgraph.EdgePair {
 	return res
 }
 
-// Ends returns the distinct end nids of all pairs. Frozen sets serve the
-// precomputed ascending slice (no copy, read-only); mutable sets pay one map
-// pass per call, in first-seen order.
+// Ends returns the distinct end nids of all pairs. Flat frozen sets serve
+// the precomputed ascending slice (no copy, read-only); compressed sets
+// decode a fresh ascending copy; mutable sets pay one map pass per call, in
+// first-seen order.
 func (s *EdgeSet) Ends() []xmlgraph.NID {
 	if s == nil {
 		return nil
+	}
+	if s.Compressed() {
+		return s.cEnds.AppendAll(make([]xmlgraph.NID, 0, s.cEnds.Len()))
 	}
 	if s.frozen {
 		return s.ends
@@ -251,11 +391,59 @@ func (s *EdgeSet) Ends() []xmlgraph.NID {
 	return res
 }
 
+// EndsAppend appends the distinct end nids to dst and returns the grown
+// slice. The appended ids never alias the set's own storage — for every
+// form they are copied into dst's backing array — which is the ownership
+// rule the query fast path relies on: the caller owns the result
+// unconditionally, whatever the extent does next. Frozen sets (either form)
+// append in ascending order without heap allocation beyond dst's growth.
+func (s *EdgeSet) EndsAppend(dst []xmlgraph.NID) []xmlgraph.NID {
+	if s == nil {
+		return dst
+	}
+	if s.Compressed() {
+		return s.cEnds.AppendAll(dst)
+	}
+	if s.frozen {
+		return append(dst, s.ends...)
+	}
+	return append(dst, s.Ends()...)
+}
+
+// FrozenEnds exposes the flat precomputed ends slice (read-only, the set's
+// own backing store). ok is false for mutable and compressed sets, whose
+// ends are not held as one flat slice.
+func (s *EdgeSet) FrozenEnds() ([]xmlgraph.NID, bool) {
+	if s == nil || !s.frozen || s.Compressed() {
+		return nil, false
+	}
+	return s.ends, true
+}
+
+// EndsLen returns the number of distinct end nids of a frozen set without
+// decoding anything. Mutable sets return 0 — the count is only precomputed
+// at publication points.
+func (s *EdgeSet) EndsLen() int {
+	if s == nil || !s.frozen {
+		return 0
+	}
+	if s.Compressed() {
+		return s.cEnds.Len()
+	}
+	return len(s.ends)
+}
+
 // Sorted returns a copy of the pairs ordered by (From, To); used by tests,
 // dumps, and the serializer.
 func (s *EdgeSet) Sorted() []xmlgraph.EdgePair {
 	if s == nil {
 		return nil
+	}
+	if s.Compressed() {
+		if s.cFrom.Len() == 0 {
+			return nil
+		}
+		return s.cFrom.AppendAll(make([]xmlgraph.EdgePair, 0, s.cFrom.Len()))
 	}
 	if s.frozen {
 		if len(s.byFrom) == 0 {
@@ -267,6 +455,46 @@ func (s *EdgeSet) Sorted() []xmlgraph.EdgePair {
 	sort.Slice(res, func(i, j int) bool { return lessFromTo(res[i], res[j]) })
 	return res
 }
+
+// FootprintBytes approximates the serving-form heap bytes of a frozen set:
+// the two pair columns plus the ends column, packed words and block
+// directories included for the compressed form. Mutable sets return 0 —
+// footprint is a property of the published form.
+func (s *EdgeSet) FootprintBytes() int {
+	if s == nil || !s.frozen {
+		return 0
+	}
+	if s.Compressed() {
+		return s.cFrom.Bytes() + s.cTo.Bytes() + s.cEnds.Bytes()
+	}
+	return len(s.byFrom)*pairBytes + len(s.byTo)*pairBytes + len(s.ends)*nidBytes
+}
+
+// FlatFootprintBytes is what the set's frozen columns would occupy in the
+// flat form, whatever form it is actually in — the denominator of the
+// compression-ratio accounting.
+func (s *EdgeSet) FlatFootprintBytes() int {
+	if s == nil || !s.frozen {
+		return 0
+	}
+	return 2*s.Len()*pairBytes + s.EndsLen()*nidBytes
+}
+
+// FootprintBlocks returns the number of packed blocks across the set's
+// three columns (0 for flat and mutable forms).
+func (s *EdgeSet) FootprintBlocks() int {
+	if !s.Compressed() {
+		return 0
+	}
+	return s.cFrom.NumBlocks() + s.cTo.NumBlocks() + s.cEnds.NumBlocks()
+}
+
+// pairBytes and nidBytes size the flat column elements (EdgePair is two
+// int32 NIDs).
+const (
+	pairBytes = 8
+	nidBytes  = 4
+)
 
 // Equal reports whether s and t contain the same pairs, in any mix of
 // frozen and mutable states.

@@ -1,0 +1,146 @@
+// Compressed-form EdgeSet tests: the block-packed serving form must be
+// observationally identical to the flat one, convert both ways without
+// loss, share columns across clones until thaw, and actually shrink the
+// footprint on realistic extents.
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"apex/internal/xmlgraph"
+)
+
+// TestEdgeSetCompressedRoundTrip drives the form conversions —
+// mutable → compressed → flat → compressed → thaw — checking every
+// observable against the naive map model at each state.
+func TestEdgeSetCompressedRoundTrip(t *testing.T) {
+	f := func(first, second [][2]int16) bool {
+		s := NewEdgeSet()
+		model := make(map[xmlgraph.EdgePair]bool)
+		for _, q := range first {
+			p := pair(xmlgraph.NID(q[0]), xmlgraph.NID(q[1]))
+			s.Add(p)
+			model[p] = true
+		}
+		s.FreezeAs(true)
+		if !s.Frozen() || s.Compressed() != (len(model) >= PackThreshold) {
+			return false
+		}
+		if checkAgainstModel(s, model) != nil {
+			return false
+		}
+		s.FreezeAs(false) // convert back to flat
+		if !s.Frozen() || s.Compressed() {
+			return false
+		}
+		if checkAgainstModel(s, model) != nil {
+			return false
+		}
+		s.FreezeAs(true) // and compressed again
+		if checkAgainstModel(s, model) != nil {
+			return false
+		}
+		for _, q := range second { // Add thaws the compressed form
+			p := pair(xmlgraph.NID(q[0]), xmlgraph.NID(q[1]))
+			if s.Add(p) == model[p] {
+				return false
+			}
+			model[p] = true
+		}
+		if s.Compressed() && len(second) > 0 {
+			return false
+		}
+		return checkAgainstModel(s, model) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEdgeSetCompressedCloneShared pins copy-on-thaw for the compressed
+// columns: a clone serves the shared columns until its first Add, and
+// thawing the clone never disturbs the original.
+func TestEdgeSetCompressedCloneShared(t *testing.T) {
+	s := NewEdgeSet()
+	for i := 0; i < 1000; i++ {
+		s.Add(pair(xmlgraph.NID(i%97), xmlgraph.NID(i)))
+	}
+	s.FreezeAs(true)
+	want := s.Sorted()
+
+	c := s.CloneShared()
+	if !c.Compressed() {
+		t.Fatal("clone of compressed set is not compressed")
+	}
+	cf, _, _, _ := c.CompressedColumns()
+	sf, _, _, _ := s.CompressedColumns()
+	if cf != sf {
+		t.Fatal("clone does not share the compressed byFrom column")
+	}
+	if !c.Add(pair(5000, 5000)) {
+		t.Fatal("Add to clone should report new")
+	}
+	if c.Compressed() || c.Frozen() {
+		t.Fatal("clone still frozen after Add")
+	}
+	if !s.Compressed() || s.Len() != len(want) {
+		t.Fatal("original disturbed by clone thaw")
+	}
+	got := s.Sorted()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("original pairs changed at %d after clone thaw", i)
+		}
+	}
+	if !c.Contains(pair(5000, 5000)) || !c.Contains(want[0]) {
+		t.Fatal("thawed clone lost pairs")
+	}
+}
+
+// TestEdgeSetCompressedEqualAcrossForms checks Equal is form-independent.
+func TestEdgeSetCompressedEqualAcrossForms(t *testing.T) {
+	a, b := NewEdgeSet(), NewEdgeSet()
+	for i := 0; i < 500; i++ {
+		p := pair(xmlgraph.NID(i%31), xmlgraph.NID(i))
+		a.Add(p)
+		b.Add(p)
+	}
+	a.FreezeAs(true)
+	b.FreezeAs(false)
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Fatal("equal sets unequal across forms")
+	}
+	b.Add(pair(9000, 9000))
+	if a.Equal(b) || b.Equal(a) {
+		t.Fatal("unequal sets equal across forms")
+	}
+}
+
+// TestEdgeSetFootprintShrinks checks the point of the codec: on a dense
+// extent with clustered ids, the compressed footprint lands well under the
+// flat 20 B/edge — the acceptance bar is 12 — and the accounting helpers
+// agree with the column sizes.
+func TestEdgeSetFootprintShrinks(t *testing.T) {
+	s := NewEdgeSet()
+	const n = 100000
+	for i := 0; i < n; i++ {
+		s.Add(pair(xmlgraph.NID(i/8), xmlgraph.NID(i)))
+	}
+	s.FreezeAs(true)
+	flat := s.FlatFootprintBytes()
+	comp := s.FootprintBytes()
+	perEdge := float64(comp) / float64(s.Len())
+	t.Logf("footprint: flat=%d compressed=%d (%.2f B/edge, %d blocks)",
+		flat, comp, perEdge, s.FootprintBlocks())
+	if perEdge > 12 {
+		t.Fatalf("compressed footprint %.2f B/edge exceeds the 12 B/edge bar", perEdge)
+	}
+	if comp >= flat {
+		t.Fatalf("compression did not shrink: %d >= %d", comp, flat)
+	}
+	s.FreezeAs(false)
+	if got := s.FootprintBytes(); got != s.FlatFootprintBytes() {
+		t.Fatalf("flat FootprintBytes = %d, want FlatFootprintBytes %d", got, s.FlatFootprintBytes())
+	}
+}

@@ -17,7 +17,7 @@ func TestFreezeAllParallelFreezesEverySet(t *testing.T) {
 			sets[i].Add(xmlgraph.EdgePair{From: xmlgraph.NID(i), To: xmlgraph.NID(100 + j)})
 		}
 	}
-	freezeAll(sets, 4)
+	freezeAll(sets, 4, false)
 	for i, s := range sets {
 		if !s.Frozen() {
 			t.Fatalf("set %d not frozen after parallel freezeAll", i)
@@ -48,7 +48,7 @@ func TestFreezeAllSerialFallbacks(t *testing.T) {
 			sets[i] = NewEdgeSet()
 			sets[i].Add(xmlgraph.EdgePair{From: 1, To: xmlgraph.NID(i)})
 		}
-		freezeAll(sets, tc.workers)
+		freezeAll(sets, tc.workers, false)
 		for i, s := range sets {
 			if !s.Frozen() {
 				t.Fatalf("%s: set %d not frozen", tc.name, i)

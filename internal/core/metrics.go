@@ -36,6 +36,14 @@ var (
 	mNodes       = metrics.Default.Gauge("core.gapex.nodes")
 	mEdges       = metrics.Default.Gauge("core.gapex.edges")
 	mExtentEdges = metrics.Default.Gauge("core.gapex.extent_edges")
+
+	// Serving-form footprint of the live extents: total column bytes, the
+	// pairs they hold, and how many packed blocks back them (0 while extents
+	// are flat). bytes/edges is the headline bytes-per-edge number surfaced
+	// by /stats and Explain.
+	mExtentBytes  = metrics.Default.Gauge("apex.extent_bytes")
+	mExtentPairs  = metrics.Default.Gauge("apex.extent_edges")
+	mExtentBlocks = metrics.Default.Gauge("apex.extent_blocks")
 )
 
 // observeSince records the elapsed nanoseconds since start.
@@ -52,4 +60,8 @@ func (a *APEX) observeStructure() {
 	mEdges.Set(int64(st.Edges))
 	mExtentEdges.Set(int64(st.ExtentEdges))
 	a.EachNode(func(x *XNode) { mExtentSize.Observe(int64(x.Extent.Len())) })
+	fp := a.Footprint()
+	mExtentBytes.Set(int64(fp.Bytes))
+	mExtentPairs.Set(int64(fp.Edges))
+	mExtentBlocks.Set(int64(fp.Blocks))
 }

@@ -69,16 +69,17 @@ func (a *APEX) outgoingByLabelParallel(ends []xmlgraph.NID) map[string][]xmlgrap
 // FreezeExtents fans the per-extent sorts out to the worker pool.
 const freezeAllThreshold = 8
 
-// freezeAll freezes every set, fanning out over at most workers goroutines.
-// Each Freeze touches only its own set, so the only coordination is an atomic
-// work cursor; the result is identical to freezing serially.
-func freezeAll(sets []*EdgeSet, workers int) {
+// freezeAll freezes every set into the requested form (FreezeAs), fanning
+// out over at most workers goroutines. Each freeze touches only its own set,
+// so the only coordination is an atomic work cursor; the result is identical
+// to freezing serially.
+func freezeAll(sets []*EdgeSet, workers int, compress bool) {
 	if workers > len(sets) {
 		workers = len(sets)
 	}
 	if workers <= 1 || len(sets) < freezeAllThreshold {
 		for _, s := range sets {
-			s.Freeze()
+			s.FreezeAs(compress)
 		}
 		return
 	}
@@ -93,7 +94,7 @@ func freezeAll(sets []*EdgeSet, workers int) {
 				if i >= len(sets) {
 					return
 				}
-				sets[i].Freeze()
+				sets[i].FreezeAs(compress)
 			}
 		}()
 	}

@@ -186,10 +186,41 @@ func (a *APEX) FrozenExtents() ([]ExtentColumns, error) {
 	return res, nil
 }
 
+// EachFrozenExtent streams every live node's extent columns to fn, ordered
+// by node ID — FrozenExtents without holding every decoded column at once.
+// With compressed extents each call decodes exactly one extent into fresh
+// slices that fn may retain or discard; flat extents pass their backing
+// columns directly (read-only). Checkpoints use this to bound transient
+// memory to one extent while writing segments.
+func (a *APEX) EachFrozenExtent(fn func(ExtentColumns) error) error {
+	nodes, _ := a.wireNodes()
+	ordered := make([]*XNode, len(nodes))
+	copy(ordered, nodes)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].ID < ordered[j].ID })
+	seen := make(map[int]bool, len(ordered))
+	for _, x := range ordered {
+		if seen[x.ID] {
+			return fmt.Errorf("core: frozen extents: duplicate node id %d", x.ID)
+		}
+		seen[x.ID] = true
+		byFrom, byTo, ends, ok := x.Extent.FrozenColumns()
+		if !ok {
+			return fmt.Errorf("core: frozen extents: node %d (%s) extent not frozen", x.ID, x.Path)
+		}
+		if err := fn(ExtentColumns{ID: x.ID, ByFrom: byFrom, ByTo: byTo, Ends: ends}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // decodeWire rebuilds the two index structures from the flattened form.
 // extents supplies pre-built frozen extents by node ID for the
 // structure-only framing; nil means the inlined Extent pairs are used.
-func decodeWire(g *xmlgraph.Graph, wire gobAPEX, extents map[int]*EdgeSet) (*APEX, error) {
+// compress selects the frozen form the rebuilt index publishes — supplied
+// extents already in that form pass through untouched; mismatched ones are
+// converted by the publication pass at the end.
+func decodeWire(g *xmlgraph.Graph, wire gobAPEX, extents map[int]*EdgeSet, compress bool) (*APEX, error) {
 	nodes := make([]*XNode, len(wire.Nodes))
 	for i, gx := range wire.Nodes {
 		x := newXNodeValue(gx.ID, gx.Path)
@@ -261,11 +292,13 @@ func decodeWire(g *xmlgraph.Graph, wire gobAPEX, extents map[int]*EdgeSet) (*APE
 	if xroot == nil {
 		return nil, fmt.Errorf("core: decode: missing xroot")
 	}
-	a := &APEX{g: g, head: head, xroot: xroot, nextID: wire.NextID, run: wire.Run}
+	a := &APEX{g: g, head: head, xroot: xroot, nextID: wire.NextID, run: wire.Run, compress: compress}
 	// A decoded index goes straight into serving, so publish the columnar
 	// extent form exactly like the build and maintenance paths do. In the
-	// structure-only framing every extent arrives frozen and this pass only
-	// rebuilds the hash-tree subtree caches.
+	// structure-only framing every extent arrives frozen in the right form
+	// and this pass only rebuilds the hash-tree subtree caches; extents in
+	// the wrong form (segment files written under a different compress
+	// setting) are converted here.
 	a.FreezeExtents()
 	return a, nil
 }
@@ -281,7 +314,7 @@ func Decode(r io.Reader) (*APEX, error) {
 	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
 		return nil, fmt.Errorf("core: decode: %w", err)
 	}
-	return decodeWire(g, wire, nil)
+	return decodeWire(g, wire, nil, false)
 }
 
 // DecodeStructure reads a skeleton written by EncodeStructure and stitches
@@ -290,9 +323,17 @@ func Decode(r io.Reader) (*APEX, error) {
 // structure and segment files disagree, which is corruption, not a state to
 // repair silently.
 func DecodeStructure(r io.Reader, g *xmlgraph.Graph, extents map[int]*EdgeSet) (*APEX, error) {
+	return DecodeStructureCompress(r, g, extents, false)
+}
+
+// DecodeStructureCompress is DecodeStructure with the frozen extent form the
+// rebuilt index serves chosen by the caller (from the recovered options).
+// Supplied extents already in that form are served as-is; mismatched ones
+// are converted by the decode's publication pass.
+func DecodeStructureCompress(r io.Reader, g *xmlgraph.Graph, extents map[int]*EdgeSet, compress bool) (*APEX, error) {
 	var wire gobAPEX
 	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
 		return nil, fmt.Errorf("core: decode structure: %w", err)
 	}
-	return decodeWire(g, wire, extents)
+	return decodeWire(g, wire, extents, compress)
 }

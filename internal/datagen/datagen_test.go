@@ -20,6 +20,31 @@ func TestGenerateDeterministic(t *testing.T) {
 	}
 }
 
+// TestFootprintPresetDeterministic pins the ~10× footprint dataset: two
+// loads must agree node for node, and the preset must actually be an order
+// of magnitude above the default 0.05-scale benchmark load.
+func TestFootprintPresetDeterministic(t *testing.T) {
+	a, err := LoadFootprintDataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadFootprintDataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Graph.Stats() != b.Graph.Stats() {
+		t.Fatalf("footprint preset not deterministic: %v vs %v", a.Graph.Stats(), b.Graph.Stats())
+	}
+	small, err := LoadDataset(FootprintDataset, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Graph.NumNodes() < 8*small.Graph.NumNodes() {
+		t.Fatalf("footprint preset too small: %d nodes vs %d at default scale",
+			a.Graph.NumNodes(), small.Graph.NumNodes())
+	}
+}
+
 func TestGenerateParses(t *testing.T) {
 	for _, s := range []*Schema{PlaysSchema(), FlixMLSchema(), GedMLSchema()} {
 		g, err := GenerateGraph(s, 7, 800)

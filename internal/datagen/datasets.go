@@ -45,6 +45,20 @@ func DatasetNames() []string {
 	return names
 }
 
+// The footprint experiment's "max dataset in RAM" target: the largest Table
+// 1 file at ten times the default benchmark scale (0.05 → 0.5). Generation
+// is a pure function of (seed, budget), so the preset is deterministic.
+const (
+	FootprintDataset = "Ged03.xml"
+	FootprintScale   = 0.5
+)
+
+// LoadFootprintDataset generates the deterministic ~10× dataset the
+// footprint experiment measures resident index size on.
+func LoadFootprintDataset() (*Dataset, error) {
+	return LoadDataset(FootprintDataset, FootprintScale)
+}
+
 // LoadDataset generates one of the nine Table 1 files at the given scale
 // (1.0 ≈ the paper's sizes; benchmarks default to a smaller scale). Unknown
 // names are an error.

@@ -1,0 +1,332 @@
+// Package extentblock is the block codec behind the compressed frozen form
+// of core.EdgeSet: fixed-size blocks of delta-encoded, bit-packed (From, To)
+// pairs with a per-block skip index, plus a matching delta-encoded column
+// for the distinct-ends slice.
+//
+// A PairColumn holds a (major, minor)-sorted pair column — byFrom columns
+// use major=From, byTo columns use major=To — cut into blocks of at most
+// BlockSize pairs. Each block stores its first pair absolutely in the block
+// metadata; the remaining pairs are two bit-packed groups, the non-negative
+// major deltas at one per-block width and the zigzag-encoded minor deltas at
+// another. The metadata also records the block's major range (its first and
+// last major key), which is the skip index: a merge cursor can discard a
+// whole block against its candidate set without decoding it, and membership
+// probes binary-search the block directory before decoding a single block.
+//
+// The same codec serves the serving path (internal/core freezes extents into
+// these columns) and the storage path (internal/storage decodes segment
+// files straight into them), so the package depends only on the graph types.
+package extentblock
+
+import (
+	"math/bits"
+
+	"apex/internal/xmlgraph"
+)
+
+// BlockSize is the maximum number of pairs per block. 256 keeps the decode
+// scratch (256 pairs = 2 KiB) stack- and pool-friendly while amortizing the
+// per-block metadata to well under one bit per pair.
+const BlockSize = 256
+
+// pairMetaBytes approximates the in-memory size of one pairBlockMeta for
+// footprint accounting (8 + 3*4 + 2 + 2*1 = 24, and the struct packs to 24).
+const pairMetaBytes = 24
+
+// pairBlockMeta is the directory entry of one block.
+type pairBlockMeta struct {
+	// bitOff is the block's starting bit in the column's packed words.
+	bitOff uint64
+	// majFirst/minFirst are the absolute first pair (major, minor). majFirst
+	// is also the block's minimum major, the lower bound of the skip index.
+	majFirst int32
+	minFirst int32
+	// majHi is the block's maximum major, the upper bound of the skip index.
+	majHi int32
+	// count is the number of pairs in the block (1..BlockSize).
+	count uint16
+	// wMaj/wMin are the bit widths of the packed major-delta and
+	// zigzag-minor-delta groups.
+	wMaj uint8
+	wMin uint8
+}
+
+// PairColumn is an immutable compressed pair column.
+type PairColumn struct {
+	majorIsTo bool
+	n         int
+	words     []uint64
+	meta      []pairBlockMeta
+}
+
+// MajorIsTo reports the column's orientation: false for a byFrom column
+// (sorted by (From, To)), true for a byTo column (sorted by (To, From)).
+func (c *PairColumn) MajorIsTo() bool { return c.majorIsTo }
+
+// Len returns the number of pairs in the column.
+func (c *PairColumn) Len() int {
+	if c == nil {
+		return 0
+	}
+	return c.n
+}
+
+// NumBlocks returns the number of blocks.
+func (c *PairColumn) NumBlocks() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.meta)
+}
+
+// BlockLen returns the number of pairs in block b.
+func (c *PairColumn) BlockLen(b int) int { return int(c.meta[b].count) }
+
+// BlockMajorRange returns block b's inclusive major-key range — the skip
+// index a block cursor tests before decoding.
+func (c *PairColumn) BlockMajorRange(b int) (lo, hi xmlgraph.NID) {
+	m := &c.meta[b]
+	return xmlgraph.NID(m.majFirst), xmlgraph.NID(m.majHi)
+}
+
+// Bytes approximates the column's in-memory footprint: the packed words plus
+// the block directory.
+func (c *PairColumn) Bytes() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.words)*8 + len(c.meta)*pairMetaBytes
+}
+
+// major and minor of a pair under the column's orientation.
+func (c *PairColumn) keys(p xmlgraph.EdgePair) (maj, min int32) {
+	if c.majorIsTo {
+		return int32(p.To), int32(p.From)
+	}
+	return int32(p.From), int32(p.To)
+}
+
+func (c *PairColumn) pair(maj, min int64) xmlgraph.EdgePair {
+	if c.majorIsTo {
+		return xmlgraph.EdgePair{From: xmlgraph.NID(min), To: xmlgraph.NID(maj)}
+	}
+	return xmlgraph.EdgePair{From: xmlgraph.NID(maj), To: xmlgraph.NID(min)}
+}
+
+// AppendBlock appends block b's pairs to dst in column order. Passing a dst
+// with at least BlockSize free capacity keeps the call allocation-free; the
+// merge kernel reuses one pooled scratch buffer across every block it
+// decodes.
+func (c *PairColumn) AppendBlock(dst []xmlgraph.EdgePair, b int) []xmlgraph.EdgePair {
+	m := &c.meta[b]
+	maj, min := int64(m.majFirst), int64(m.minFirst)
+	dst = append(dst, c.pair(maj, min))
+	majOff := m.bitOff
+	minOff := majOff + uint64(m.count-1)*uint64(m.wMaj)
+	for i := 1; i < int(m.count); i++ {
+		dMaj := readBits(c.words, majOff, m.wMaj)
+		majOff += uint64(m.wMaj)
+		zz := readBits(c.words, minOff, m.wMin)
+		minOff += uint64(m.wMin)
+		maj += int64(dMaj)
+		if dMaj == 0 {
+			min += unzigzag(zz)
+		} else {
+			// A major advance restarts the minor delta chain from the
+			// block-absolute encoding (delta against minFirst).
+			min = int64(m.minFirst) + unzigzag(zz)
+		}
+		dst = append(dst, c.pair(maj, min))
+	}
+	return dst
+}
+
+// AppendAll appends every pair of the column to dst, in column order.
+func (c *PairColumn) AppendAll(dst []xmlgraph.EdgePair) []xmlgraph.EdgePair {
+	if c == nil {
+		return dst
+	}
+	for b := range c.meta {
+		dst = c.AppendBlock(dst, b)
+	}
+	return dst
+}
+
+// Contains reports whether the column holds p, by binary search over the
+// block directory followed by an in-place scan of one block (no decode
+// buffer is materialized, so probes never allocate).
+func (c *PairColumn) Contains(p xmlgraph.EdgePair) bool {
+	if c == nil || len(c.meta) == 0 {
+		return false
+	}
+	maj, min := c.keys(p)
+	// Last block whose first pair is <= (maj, min).
+	lo, hi := 0, len(c.meta)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		m := &c.meta[mid]
+		if m.majFirst < maj || (m.majFirst == maj && m.minFirst <= min) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return false
+	}
+	m := &c.meta[lo-1]
+	if maj > m.majHi {
+		return false
+	}
+	cmaj, cmin := int64(m.majFirst), int64(m.minFirst)
+	if cmaj == int64(maj) && cmin == int64(min) {
+		return true
+	}
+	majOff := m.bitOff
+	minOff := majOff + uint64(m.count-1)*uint64(m.wMaj)
+	for i := 1; i < int(m.count); i++ {
+		dMaj := readBits(c.words, majOff, m.wMaj)
+		majOff += uint64(m.wMaj)
+		zz := readBits(c.words, minOff, m.wMin)
+		minOff += uint64(m.wMin)
+		cmaj += int64(dMaj)
+		if dMaj == 0 {
+			cmin += unzigzag(zz)
+		} else {
+			cmin = int64(m.minFirst) + unzigzag(zz)
+		}
+		if cmaj > int64(maj) || (cmaj == int64(maj) && cmin > int64(min)) {
+			return false
+		}
+		if cmaj == int64(maj) && cmin == int64(min) {
+			return true
+		}
+	}
+	return false
+}
+
+// PairPacker builds a PairColumn incrementally. Append pairs in strict
+// (major, minor) order — the callers' columns are already sorted and
+// deduplicated (core freezes sorted columns; the segment decoder enforces
+// strict order before emitting) — then Finish.
+type PairPacker struct {
+	col    PairColumn
+	bitLen uint64
+	buf    [BlockSize]xmlgraph.EdgePair
+	cnt    int
+}
+
+// NewPairPacker starts a packer for the given orientation.
+func NewPairPacker(majorIsTo bool) *PairPacker {
+	p := &PairPacker{}
+	p.col.majorIsTo = majorIsTo
+	return p
+}
+
+// Append adds one pair.
+func (p *PairPacker) Append(pr xmlgraph.EdgePair) {
+	p.buf[p.cnt] = pr
+	p.cnt++
+	if p.cnt == BlockSize {
+		p.flush()
+	}
+}
+
+// Finish seals and returns the column. The packer must not be reused.
+func (p *PairPacker) Finish() *PairColumn {
+	p.flush()
+	return &p.col
+}
+
+func (p *PairPacker) flush() {
+	if p.cnt == 0 {
+		return
+	}
+	c := &p.col
+	var majs, mins [BlockSize]int32
+	for i := 0; i < p.cnt; i++ {
+		majs[i], mins[i] = c.keys(p.buf[i])
+	}
+	m := pairBlockMeta{
+		bitOff:   p.bitLen,
+		majFirst: majs[0],
+		minFirst: mins[0],
+		majHi:    majs[p.cnt-1],
+		count:    uint16(p.cnt),
+	}
+	// First pass: widths. Minor deltas chain within a major run and restart
+	// against minFirst on a major advance, so a run of equal majors stays at
+	// tiny widths even when the block's absolute minors are far apart.
+	var dMajs [BlockSize]uint64
+	var zzs [BlockSize]uint64
+	for i := 1; i < p.cnt; i++ {
+		dMaj := uint64(int64(majs[i]) - int64(majs[i-1]))
+		var dMin int64
+		if dMaj == 0 {
+			dMin = int64(mins[i]) - int64(mins[i-1])
+		} else {
+			dMin = int64(mins[i]) - int64(mins[0])
+		}
+		dMajs[i] = dMaj
+		zzs[i] = zigzag(dMin)
+		if w := uint8(bits.Len64(dMaj)); w > m.wMaj {
+			m.wMaj = w
+		}
+		if w := uint8(bits.Len64(zzs[i])); w > m.wMin {
+			m.wMin = w
+		}
+	}
+	for i := 1; i < p.cnt; i++ {
+		p.appendBits(dMajs[i], m.wMaj)
+	}
+	for i := 1; i < p.cnt; i++ {
+		p.appendBits(zzs[i], m.wMin)
+	}
+	c.meta = append(c.meta, m)
+	c.n += p.cnt
+	p.cnt = 0
+}
+
+// appendBits writes the low w bits of v at the packer's current bit length.
+func (p *PairPacker) appendBits(v uint64, w uint8) {
+	if w == 0 {
+		return
+	}
+	off, shift := p.bitLen/64, p.bitLen%64
+	for uint64(len(p.col.words)) <= (p.bitLen+uint64(w)-1)/64 {
+		p.col.words = append(p.col.words, 0)
+	}
+	p.col.words[off] |= v << shift
+	if shift+uint64(w) > 64 {
+		p.col.words[off+1] |= v >> (64 - shift)
+	}
+	p.bitLen += uint64(w)
+}
+
+// Pack builds a PairColumn from a sorted, deduplicated pair slice.
+func Pack(pairs []xmlgraph.EdgePair, majorIsTo bool) *PairColumn {
+	p := NewPairPacker(majorIsTo)
+	for _, pr := range pairs {
+		p.Append(pr)
+	}
+	return p.Finish()
+}
+
+// readBits extracts w bits starting at bit off.
+func readBits(words []uint64, off uint64, w uint8) uint64 {
+	if w == 0 {
+		return 0
+	}
+	i, shift := off/64, off%64
+	v := words[i] >> shift
+	if shift+uint64(w) > 64 {
+		v |= words[i+1] << (64 - shift)
+	}
+	if w == 64 {
+		return v
+	}
+	return v & (1<<uint64(w) - 1)
+}
+
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }

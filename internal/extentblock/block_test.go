@@ -1,0 +1,289 @@
+package extentblock
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"apex/internal/xmlgraph"
+)
+
+// sortPairs orders and deduplicates pairs under the given orientation —
+// the exact shape core.EdgeSet.Freeze produces.
+func sortPairs(pairs []xmlgraph.EdgePair, majorIsTo bool) []xmlgraph.EdgePair {
+	out := append([]xmlgraph.EdgePair(nil), pairs...)
+	less := func(a, b xmlgraph.EdgePair) bool {
+		if majorIsTo {
+			if a.To != b.To {
+				return a.To < b.To
+			}
+			return a.From < b.From
+		}
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return a.To < b.To
+	}
+	sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
+	dedup := out[:0]
+	for i, p := range out {
+		if i == 0 || p != out[i-1] {
+			dedup = append(dedup, p)
+		}
+	}
+	return dedup
+}
+
+// randomPairs draws a pair set whose NID distribution covers the corners:
+// NullNID froms, dense runs, and sparse far-apart ids.
+func randomPairs(rng *rand.Rand, n int) []xmlgraph.EdgePair {
+	pairs := make([]xmlgraph.EdgePair, n)
+	for i := range pairs {
+		var from xmlgraph.NID
+		switch rng.Intn(4) {
+		case 0:
+			from = xmlgraph.NullNID
+		case 1:
+			from = xmlgraph.NID(rng.Intn(8))
+		case 2:
+			from = xmlgraph.NID(rng.Intn(1 << 20))
+		default:
+			from = xmlgraph.NID(rng.Int31())
+		}
+		var to xmlgraph.NID
+		switch rng.Intn(3) {
+		case 0:
+			to = xmlgraph.NID(rng.Intn(16))
+		case 1:
+			to = xmlgraph.NID(rng.Intn(1 << 12))
+		default:
+			to = xmlgraph.NID(rng.Int31())
+		}
+		pairs[i] = xmlgraph.EdgePair{From: from, To: to}
+	}
+	return pairs
+}
+
+func TestPairColumnRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{0, 1, 2, BlockSize - 1, BlockSize, BlockSize + 1, 3 * BlockSize, 2000} {
+		for _, majorIsTo := range []bool{false, true} {
+			pairs := sortPairs(randomPairs(rng, n), majorIsTo)
+			col := Pack(pairs, majorIsTo)
+			if col.Len() != len(pairs) {
+				t.Fatalf("n=%d majorIsTo=%v: Len=%d want %d", n, majorIsTo, col.Len(), len(pairs))
+			}
+			got := col.AppendAll(nil)
+			if len(got) == 0 {
+				got = nil
+			}
+			if len(pairs) == 0 {
+				pairs = nil
+			}
+			if !reflect.DeepEqual(got, pairs) {
+				t.Fatalf("n=%d majorIsTo=%v: round trip diverged", n, majorIsTo)
+			}
+		}
+	}
+}
+
+func TestPairColumnRoundTripQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	prop := func(raw []uint32, majorIsTo bool) bool {
+		pairs := make([]xmlgraph.EdgePair, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			from := xmlgraph.NID(raw[i] % (1 << 31))
+			if raw[i]%7 == 0 {
+				from = xmlgraph.NullNID
+			}
+			pairs = append(pairs, xmlgraph.EdgePair{From: from, To: xmlgraph.NID(raw[i+1] % (1 << 31))})
+		}
+		pairs = sortPairs(pairs, majorIsTo)
+		col := Pack(pairs, majorIsTo)
+		got := col.AppendAll(nil)
+		if len(got) != len(pairs) {
+			return false
+		}
+		for i := range got {
+			if got[i] != pairs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPairColumnContains(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, majorIsTo := range []bool{false, true} {
+		pairs := sortPairs(randomPairs(rng, 1500), majorIsTo)
+		col := Pack(pairs, majorIsTo)
+		for _, p := range pairs {
+			if !col.Contains(p) {
+				t.Fatalf("majorIsTo=%v: Contains(%v) = false for a member", majorIsTo, p)
+			}
+		}
+		for i := 0; i < 2000; i++ {
+			p := xmlgraph.EdgePair{From: xmlgraph.NID(rng.Int31n(1 << 21)), To: xmlgraph.NID(rng.Int31n(1 << 13))}
+			want := false
+			for _, q := range pairs {
+				if q == p {
+					want = true
+					break
+				}
+			}
+			if got := col.Contains(p); got != want {
+				t.Fatalf("majorIsTo=%v: Contains(%v) = %v, want %v", majorIsTo, p, got, want)
+			}
+		}
+		if col.Contains(xmlgraph.EdgePair{From: -2, To: -2}) {
+			t.Fatal("Contains matched a pair below every block")
+		}
+	}
+}
+
+func TestPairColumnBlockGeometry(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pairs := sortPairs(randomPairs(rng, 5*BlockSize+17), false)
+	col := Pack(pairs, false)
+	wantBlocks := (len(pairs) + BlockSize - 1) / BlockSize
+	if col.NumBlocks() != wantBlocks {
+		t.Fatalf("NumBlocks=%d want %d", col.NumBlocks(), wantBlocks)
+	}
+	var total int
+	var buf [BlockSize]xmlgraph.EdgePair
+	for b := 0; b < col.NumBlocks(); b++ {
+		dec := col.AppendBlock(buf[:0], b)
+		if len(dec) != col.BlockLen(b) {
+			t.Fatalf("block %d: decoded %d pairs, BlockLen says %d", b, len(dec), col.BlockLen(b))
+		}
+		lo, hi := col.BlockMajorRange(b)
+		for _, p := range dec {
+			if p.From < lo || p.From > hi {
+				t.Fatalf("block %d: pair %v outside skip range [%d, %d]", b, p, lo, hi)
+			}
+		}
+		if dec[0].From != lo || dec[len(dec)-1].From != hi {
+			t.Fatalf("block %d: skip range [%d, %d] not tight for %v..%v", b, lo, hi, dec[0], dec[len(dec)-1])
+		}
+		total += len(dec)
+	}
+	if total != col.Len() {
+		t.Fatalf("blocks held %d pairs, Len says %d", total, col.Len())
+	}
+	if col.Bytes() <= 0 || col.Bytes() >= 16*len(pairs) {
+		t.Fatalf("Bytes() = %d not in (0, %d)", col.Bytes(), 16*len(pairs))
+	}
+}
+
+func TestPairPackerMatchesPack(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pairs := sortPairs(randomPairs(rng, 700), true)
+	p := NewPairPacker(true)
+	for _, pr := range pairs {
+		p.Append(pr)
+	}
+	streamed := p.Finish()
+	batch := Pack(pairs, true)
+	if !reflect.DeepEqual(streamed.AppendAll(nil), batch.AppendAll(nil)) {
+		t.Fatal("streaming packer and batch Pack disagree")
+	}
+	if streamed.Bytes() != batch.Bytes() {
+		t.Fatalf("streaming packer bytes %d != batch bytes %d", streamed.Bytes(), batch.Bytes())
+	}
+}
+
+func TestNIDColumnRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range []int{0, 1, BlockSize, BlockSize + 1, 4*BlockSize + 3} {
+		ids := make([]xmlgraph.NID, 0, n)
+		v := xmlgraph.NID(-1) // include NullNID as a legal first value
+		for len(ids) < n {
+			ids = append(ids, v)
+			v += 1 + xmlgraph.NID(rng.Intn(1<<16))
+		}
+		col := PackNIDs(ids)
+		if col.Len() != len(ids) {
+			t.Fatalf("n=%d: Len=%d", n, col.Len())
+		}
+		got := col.AppendAll(nil)
+		if len(got) != len(ids) {
+			t.Fatalf("n=%d: decoded %d ids", n, len(got))
+		}
+		for i := range got {
+			if got[i] != ids[i] {
+				t.Fatalf("n=%d: id %d decoded as %d want %d", n, i, got[i], ids[i])
+			}
+		}
+	}
+}
+
+func TestNilColumns(t *testing.T) {
+	var pc *PairColumn
+	var nc *NIDColumn
+	if pc.Len() != 0 || pc.NumBlocks() != 0 || pc.Bytes() != 0 || pc.Contains(xmlgraph.EdgePair{}) {
+		t.Fatal("nil PairColumn not empty")
+	}
+	if got := pc.AppendAll(nil); got != nil {
+		t.Fatal("nil PairColumn decoded pairs")
+	}
+	if nc.Len() != 0 || nc.NumBlocks() != 0 || nc.Bytes() != 0 {
+		t.Fatal("nil NIDColumn not empty")
+	}
+	if got := nc.AppendAll(nil); got != nil {
+		t.Fatal("nil NIDColumn decoded ids")
+	}
+}
+
+// FuzzBlockCodec derives a sorted pair set from raw bytes, packs it under
+// both orientations, and requires an exact round trip plus Contains
+// agreement — the codec-level guarantee everything above (EdgeSet freeze,
+// merge kernel, segment load) builds on.
+func FuzzBlockCodec(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 1, 2, 3, 4, 255, 255, 255, 255})
+	f.Add([]byte{7, 0, 0, 0, 7, 0, 0, 1, 7, 0, 0, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pairs := make([]xmlgraph.EdgePair, 0, len(data)/4)
+		for i := 0; i+3 < len(data); i += 4 {
+			from := xmlgraph.NID(uint32(data[i])<<8|uint32(data[i+1])) - 1 // -1 reaches NullNID
+			to := xmlgraph.NID(uint32(data[i+2])<<8 | uint32(data[i+3]))
+			pairs = append(pairs, xmlgraph.EdgePair{From: from, To: to})
+		}
+		for _, majorIsTo := range []bool{false, true} {
+			sorted := sortPairs(pairs, majorIsTo)
+			col := Pack(sorted, majorIsTo)
+			got := col.AppendAll(nil)
+			if len(got) != len(sorted) {
+				t.Fatalf("round trip length %d want %d", len(got), len(sorted))
+			}
+			for i := range got {
+				if got[i] != sorted[i] {
+					t.Fatalf("round trip pair %d = %v want %v", i, got[i], sorted[i])
+				}
+			}
+			for i := 0; i < len(sorted); i += 1 + len(sorted)/16 {
+				if !col.Contains(sorted[i]) {
+					t.Fatalf("Contains(%v) = false for a member", sorted[i])
+				}
+			}
+			if len(sorted) > 0 {
+				probe := xmlgraph.EdgePair{From: sorted[0].From, To: sorted[0].To + 1<<20}
+				want := false
+				for _, q := range sorted {
+					if q == probe {
+						want = true
+					}
+				}
+				if col.Contains(probe) != want {
+					t.Fatalf("Contains(%v) disagreed with the flat scan", probe)
+				}
+			}
+		}
+	})
+}

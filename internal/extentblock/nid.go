@@ -1,0 +1,147 @@
+package extentblock
+
+import (
+	"math/bits"
+
+	"apex/internal/xmlgraph"
+)
+
+// nidMetaBytes approximates the in-memory size of one nidBlockMeta
+// (8 + 4 + 2 + 1, padded to 16).
+const nidMetaBytes = 16
+
+// nidBlockMeta is the directory entry of one NIDColumn block.
+type nidBlockMeta struct {
+	bitOff uint64
+	first  int32
+	count  uint16
+	w      uint8
+}
+
+// NIDColumn is an immutable compressed column of strictly ascending node
+// ids — the frozen distinct-ends slice of an extent. The first id of each
+// block is absolute; the rest are bit-packed ascending deltas.
+type NIDColumn struct {
+	n     int
+	words []uint64
+	meta  []nidBlockMeta
+}
+
+// Len returns the number of ids in the column.
+func (c *NIDColumn) Len() int {
+	if c == nil {
+		return 0
+	}
+	return c.n
+}
+
+// NumBlocks returns the number of blocks.
+func (c *NIDColumn) NumBlocks() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.meta)
+}
+
+// Bytes approximates the column's in-memory footprint.
+func (c *NIDColumn) Bytes() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.words)*8 + len(c.meta)*nidMetaBytes
+}
+
+// AppendBlock appends block b's ids to dst, ascending.
+func (c *NIDColumn) AppendBlock(dst []xmlgraph.NID, b int) []xmlgraph.NID {
+	m := &c.meta[b]
+	v := int64(m.first)
+	dst = append(dst, xmlgraph.NID(v))
+	off := m.bitOff
+	for i := 1; i < int(m.count); i++ {
+		v += int64(readBits(c.words, off, m.w))
+		off += uint64(m.w)
+		dst = append(dst, xmlgraph.NID(v))
+	}
+	return dst
+}
+
+// AppendAll appends every id of the column to dst, ascending.
+func (c *NIDColumn) AppendAll(dst []xmlgraph.NID) []xmlgraph.NID {
+	if c == nil {
+		return dst
+	}
+	for b := range c.meta {
+		dst = c.AppendBlock(dst, b)
+	}
+	return dst
+}
+
+// NIDPacker builds a NIDColumn incrementally from strictly ascending ids.
+type NIDPacker struct {
+	col    NIDColumn
+	bitLen uint64
+	buf    [BlockSize]xmlgraph.NID
+	cnt    int
+}
+
+// NewNIDPacker starts a packer.
+func NewNIDPacker() *NIDPacker { return &NIDPacker{} }
+
+// Append adds one id.
+func (p *NIDPacker) Append(v xmlgraph.NID) {
+	p.buf[p.cnt] = v
+	p.cnt++
+	if p.cnt == BlockSize {
+		p.flush()
+	}
+}
+
+// Finish seals and returns the column. The packer must not be reused.
+func (p *NIDPacker) Finish() *NIDColumn {
+	p.flush()
+	return &p.col
+}
+
+func (p *NIDPacker) flush() {
+	if p.cnt == 0 {
+		return
+	}
+	m := nidBlockMeta{bitOff: p.bitLen, first: int32(p.buf[0]), count: uint16(p.cnt)}
+	var deltas [BlockSize]uint64
+	for i := 1; i < p.cnt; i++ {
+		deltas[i] = uint64(int64(p.buf[i]) - int64(p.buf[i-1]))
+		if w := uint8(bits.Len64(deltas[i])); w > m.w {
+			m.w = w
+		}
+	}
+	for i := 1; i < p.cnt; i++ {
+		p.appendBits(deltas[i], m.w)
+	}
+	p.col.meta = append(p.col.meta, m)
+	p.col.n += p.cnt
+	p.cnt = 0
+}
+
+func (p *NIDPacker) appendBits(v uint64, w uint8) {
+	if w == 0 {
+		return
+	}
+	off, shift := p.bitLen/64, p.bitLen%64
+	for uint64(len(p.col.words)) <= (p.bitLen+uint64(w)-1)/64 {
+		p.col.words = append(p.col.words, 0)
+	}
+	p.col.words[off] |= v << shift
+	if shift+uint64(w) > 64 {
+		p.col.words[off+1] |= v >> (64 - shift)
+	}
+	p.bitLen += uint64(w)
+}
+
+// PackNIDs builds a NIDColumn from a strictly ascending id slice.
+func PackNIDs(ids []xmlgraph.NID) *NIDColumn {
+	p := NewNIDPacker()
+	for _, v := range ids {
+		p.Append(v)
+	}
+	return p.Finish()
+}

@@ -98,6 +98,9 @@ func (e *APEXEvaluator) SetParallelism(n int) { e.pool = newWorkerPool(n) }
 // Name implements Evaluator.
 func (e *APEXEvaluator) Name() string { return "APEX" }
 
+// Index returns the evaluator's underlying APEX index.
+func (e *APEXEvaluator) Index() *core.APEX { return e.idx }
+
 // Cost implements Evaluator. The returned value is a point-in-time snapshot
 // of the atomic counters; it does not track later evaluations.
 func (e *APEXEvaluator) Cost() *Cost {
@@ -147,6 +150,11 @@ func (e *APEXEvaluator) EvaluateTrace(q Query) ([]xmlgraph.NID, *Trace, error) {
 // EvaluateContext's checkpoint semantics.
 func (e *APEXEvaluator) EvaluateTraceContext(ctx context.Context, q Query) ([]xmlgraph.NID, *Trace, error) {
 	t := &Trace{Query: q.String(), Type: q.Type.String(), Index: e.Name()}
+	t.ExtentForm = "flat"
+	if e.idx.CompressExtents() {
+		t.ExtentForm = "compressed"
+	}
+	t.BytesPerEdge = e.idx.Footprint().BytesPerEdge()
 	nids, err := e.evaluateTimed(ctx, q, t)
 	if err != nil {
 		return nil, nil, err

@@ -1,0 +1,204 @@
+// Block-cursor merge kernel tests: the compressed path must be
+// position-identical to the flat gallop merge on any input, discard whole
+// blocks through the skip index, and decode through pooled scratch without
+// per-block heap allocations.
+package query
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"apex/internal/core"
+	"apex/internal/extentblock"
+	"apex/internal/xmlgraph"
+)
+
+// randomJoinInput builds a sorted, deduped byFrom pair slice and an
+// ascending allowed set from raw fuzz values, bounded so seen bitmaps stay
+// small.
+func randomJoinInput(rawPairs []uint32, rawAllowed []uint16) ([]xmlgraph.EdgePair, []xmlgraph.NID, int) {
+	const nodeSpace = 1 << 14
+	pairs := make([]xmlgraph.EdgePair, 0, len(rawPairs))
+	for _, v := range rawPairs {
+		pairs = append(pairs, xmlgraph.EdgePair{
+			From: xmlgraph.NID(v % nodeSpace),
+			To:   xmlgraph.NID((v >> 14) % nodeSpace),
+		})
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].From != pairs[j].From {
+			return pairs[i].From < pairs[j].From
+		}
+		return pairs[i].To < pairs[j].To
+	})
+	pairs = dedupPairs(pairs)
+	allowed := make([]xmlgraph.NID, 0, len(rawAllowed))
+	for _, v := range rawAllowed {
+		allowed = append(allowed, xmlgraph.NID(v)%nodeSpace)
+	}
+	sort.Slice(allowed, func(i, j int) bool { return allowed[i] < allowed[j] })
+	allowed = dedupNIDs(allowed)
+	return pairs, allowed, nodeSpace
+}
+
+func dedupPairs(pairs []xmlgraph.EdgePair) []xmlgraph.EdgePair {
+	w := 0
+	for i, p := range pairs {
+		if i == 0 || p != pairs[i-1] {
+			pairs[w] = p
+			w++
+		}
+	}
+	return pairs[:w]
+}
+
+func dedupNIDs(ids []xmlgraph.NID) []xmlgraph.NID {
+	w := 0
+	for i, v := range ids {
+		if i == 0 || v != ids[i-1] {
+			ids[w] = v
+			w++
+		}
+	}
+	return ids[:w]
+}
+
+// TestBlockCursorMatchesFlatMergeJoin is the gallop-equivalence property:
+// on any sorted pair set and allowed set, mergeJoinBlocks over the packed
+// column produces exactly the ids mergeJoinInto produces over the flat
+// slice, in the same order. Only the physical skip accounting may differ.
+func TestBlockCursorMatchesFlatMergeJoin(t *testing.T) {
+	prop := func(rawPairs []uint32, rawAllowed []uint16) bool {
+		pairs, allowed, nodeSpace := randomJoinInput(rawPairs, rawAllowed)
+
+		var flatSkips int64
+		seenFlat := make([]bool, nodeSpace)
+		flat := mergeJoinInto(pairs, allowed, nil, seenFlat, &flatSkips)
+
+		col := extentblock.Pack(pairs, false)
+		scratch := &blockScratch{pairs: make([]xmlgraph.EdgePair, 0, extentblock.BlockSize)}
+		var blockPairSkips, blockSkips int64
+		seenBlk := make([]bool, nodeSpace)
+		blk := mergeJoinBlocks(col, 0, col.NumBlocks(), allowed, nil, seenBlk, scratch, &blockPairSkips, &blockSkips)
+
+		if len(flat) != len(blk) {
+			t.Logf("result length mismatch: flat=%d block=%d (pairs=%d allowed=%d)",
+				len(flat), len(blk), len(pairs), len(allowed))
+			return false
+		}
+		for i := range flat {
+			if flat[i] != blk[i] {
+				t.Logf("result[%d] mismatch: flat=%d block=%d", i, flat[i], blk[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(31))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMergeJoinBlocksSkipIndex pins the whole-block discard: with candidates
+// confined to the last block's major range, every earlier block is skipped
+// undecoded and counted on the block-skip tally, not the pair-skip one.
+func TestMergeJoinBlocksSkipIndex(t *testing.T) {
+	const n = 4 * extentblock.BlockSize
+	pairs := make([]xmlgraph.EdgePair, n)
+	for i := range pairs {
+		pairs[i] = xmlgraph.EdgePair{From: xmlgraph.NID(2 * i), To: xmlgraph.NID(2*i + 1)}
+	}
+	col := extentblock.Pack(pairs, false)
+	if col.NumBlocks() != 4 {
+		t.Fatalf("NumBlocks = %d, want 4", col.NumBlocks())
+	}
+	lastLo, _ := col.BlockMajorRange(3)
+	allowed := []xmlgraph.NID{lastLo}
+	scratch := &blockScratch{pairs: make([]xmlgraph.EdgePair, 0, extentblock.BlockSize)}
+	seen := make([]bool, 2*n+2)
+	var skips, blockSkips int64
+	out := mergeJoinBlocks(col, 0, col.NumBlocks(), allowed, nil, seen, scratch, &skips, &blockSkips)
+	if len(out) != 1 || out[0] != lastLo+1 {
+		t.Fatalf("out = %v, want [%d]", out, lastLo+1)
+	}
+	if blockSkips != 3 {
+		t.Fatalf("blockSkips = %d, want 3 (blocks discarded via skip index)", blockSkips)
+	}
+}
+
+// TestMergeJoinBlocksZeroAlloc is the per-block allocation gate: with the
+// output and seen buffers pre-sized and the scratch warmed, merging any
+// number of blocks must not touch the heap — decode lands in the pooled
+// scratch, and the gallop runs in place.
+func TestMergeJoinBlocksZeroAlloc(t *testing.T) {
+	const n = 8 * extentblock.BlockSize
+	pairs := make([]xmlgraph.EdgePair, n)
+	for i := range pairs {
+		pairs[i] = xmlgraph.EdgePair{From: xmlgraph.NID(i), To: xmlgraph.NID(i % 997)}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].From != pairs[j].From {
+			return pairs[i].From < pairs[j].From
+		}
+		return pairs[i].To < pairs[j].To
+	})
+	col := extentblock.Pack(pairs, false)
+	allowed := make([]xmlgraph.NID, 0, n/3)
+	for i := 0; i < n; i += 3 {
+		allowed = append(allowed, xmlgraph.NID(i))
+	}
+	scratch := &blockScratch{pairs: make([]xmlgraph.EdgePair, 0, extentblock.BlockSize)}
+	out := make([]xmlgraph.NID, 0, n)
+	seen := make([]bool, n)
+	var skips, blockSkips int64
+	allocs := testing.AllocsPerRun(10, func() {
+		for i := range seen {
+			seen[i] = false
+		}
+		out = mergeJoinBlocks(col, 0, col.NumBlocks(), allowed, out[:0], seen, scratch, &skips, &blockSkips)
+	})
+	if allocs != 0 {
+		t.Fatalf("mergeJoinBlocks allocates %.0f times per run, want 0", allocs)
+	}
+}
+
+// TestUnionEndsOwnership pins unionEndsInto's copy rule (the fast-path fix):
+// the returned slice must never alias an extent's frozen storage, under
+// either frozen form, so scribbling over it cannot corrupt served columns.
+func TestUnionEndsOwnership(t *testing.T) {
+	g := xmlgraph.NewGraph()
+	root := g.AddNode(xmlgraph.KindElement, "r", "")
+	g.SetRoot(root)
+	var kids []xmlgraph.NID
+	for i := 0; i < 40; i++ {
+		kid := g.AddNode(xmlgraph.KindElement, "a", "")
+		g.AddEdge(root, "a", kid)
+		kids = append(kids, kid)
+	}
+	for _, compress := range []bool{false, true} {
+		idx := core.BuildAPEX0Opts(g, 1, compress)
+		ev := NewAPEXEvaluator(idx, nil)
+		nodes, _ := idx.LookupAll(xmlgraph.LabelPath{"a"})
+		if len(nodes) != 1 || !nodes[0].Extent.Frozen() {
+			t.Fatalf("compress=%v: want one frozen extent for label a", compress)
+		}
+		var c Cost
+		got := ev.unionEndsInto(nodes, nil, &c)
+		if len(got) != len(kids) {
+			t.Fatalf("compress=%v: got %d ends, want %d", compress, len(got), len(kids))
+		}
+		want := nodes[0].Extent.EndsAppend(nil)
+		for i := range got {
+			got[i] = -7 // scribble over the returned slice
+		}
+		again := nodes[0].Extent.EndsAppend(nil)
+		for i := range want {
+			if again[i] != want[i] {
+				t.Fatalf("compress=%v: extent storage changed after caller scribble: %v -> %v",
+					compress, want[i], again[i])
+			}
+		}
+	}
+}

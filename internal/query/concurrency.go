@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"apex/internal/extentblock"
 	"apex/internal/xmlgraph"
 )
 
@@ -133,10 +134,15 @@ func (p *workerPool) release(n int) {
 	}
 }
 
-// span is one contiguous slice of extent pairs, the unit of work the
-// parallel scans hand to the pool.
+// span is one contiguous run of extent pairs, the unit of work the parallel
+// scans hand to the pool: either a slice of a flat frozen column, or a block
+// range [blockLo, blockHi) of a compressed one (col non-nil), which the
+// worker decodes block by block through its pooled scratch.
 type span struct {
-	pairs []xmlgraph.EdgePair
+	pairs   []xmlgraph.EdgePair
+	col     *extentblock.PairColumn
+	blockLo int
+	blockHi int
 }
 
 // chunkPairs splits a pair slice into spans of roughly chunk pairs each.

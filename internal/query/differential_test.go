@@ -100,6 +100,53 @@ func assertAgree(t *testing.T, phase string, ap *query.APEXEvaluator, base []que
 	}
 }
 
+// assertCompressedAgree pins the block-compressed serving form against the
+// flat one: every query is evaluated under flat extents, the extents are
+// republished compressed, and the same queries must return
+// position-identical results with an identical logical cost — the codec and
+// block cursor change the physical layout only, never what is counted. The
+// flat form is restored before returning so later phases start from the
+// default.
+func assertCompressedAgree(t *testing.T, phase string, ap *query.APEXEvaluator, qs []query.Query) {
+	t.Helper()
+	idx := ap.Index()
+	flatNids := make([][]xmlgraph.NID, len(qs))
+	flatCost := make([]query.Cost, len(qs))
+	for i, q := range qs {
+		nids, tr, err := ap.EvaluateTrace(q)
+		if err != nil {
+			t.Fatalf("%s: flat APEX on %s: %v", phase, q, err)
+		}
+		flatNids[i], flatCost[i] = nids, tr.Total
+	}
+	idx.SetCompressExtents(true)
+	idx.FreezeExtents()
+	defer func() {
+		idx.SetCompressExtents(false)
+		idx.FreezeExtents()
+	}()
+	for i, q := range qs {
+		nids, tr, err := ap.EvaluateTrace(q)
+		if err != nil {
+			t.Fatalf("%s: compressed APEX on %s: %v", phase, q, err)
+		}
+		if len(nids) != len(flatNids[i]) {
+			t.Fatalf("%s: %s: flat %d nodes, compressed %d nodes",
+				phase, q, len(flatNids[i]), len(nids))
+		}
+		for j := range nids {
+			if nids[j] != flatNids[i][j] {
+				t.Fatalf("%s: %s: forms diverge at position %d: flat %d, compressed %d",
+					phase, q, j, flatNids[i][j], nids[j])
+			}
+		}
+		if tr.Total != flatCost[i] {
+			t.Fatalf("%s: %s: logical cost differs between forms:\nflat:       %+v\ncompressed: %+v",
+				phase, q, flatCost[i], tr.Total)
+		}
+	}
+}
+
 // removeOriginalSubtree deletes one pre-existing element subtree (not the
 // root, not an attribute): the first removable child-of-root subtree.
 func removeOriginalSubtree(t *testing.T, g *xmlgraph.Graph) {
@@ -136,11 +183,13 @@ func TestDifferentialAllDatasets(t *testing.T) {
 			idx := core.BuildAPEX0(g)
 			ap := query.NewAPEXEvaluator(idx, dt)
 			assertAgree(t, "apex0", ap, baselines(g, dt), qs)
+			assertCompressedAgree(t, "apex0", ap, qs)
 
 			// Phase 2: after adaptation (mine the workload, update).
 			idx.ExtractFrequentPaths(wl, 0.01)
 			idx.Update()
 			assertAgree(t, "adapted", ap, baselines(g, dt), qs)
+			assertCompressedAgree(t, "adapted", ap, qs)
 
 			// Phase 3: after an insert plus refresh. The fragment introduces
 			// labels the initial build never saw.
@@ -156,6 +205,7 @@ func TestDifferentialAllDatasets(t *testing.T) {
 			ap = query.NewAPEXEvaluator(idx, dt)
 			qs = append(qs, mustParse(t, "//difftest/diffchild"))
 			assertAgree(t, "inserted", ap, baselines(g, dt), qs)
+			assertCompressedAgree(t, "inserted", ap, qs)
 
 			// Phase 4: after deleting an original subtree plus refresh.
 			removeOriginalSubtree(t, g)
@@ -166,6 +216,7 @@ func TestDifferentialAllDatasets(t *testing.T) {
 			}
 			ap = query.NewAPEXEvaluator(idx, dt)
 			assertAgree(t, "deleted", ap, baselines(g, dt), qs)
+			assertCompressedAgree(t, "deleted", ap, qs)
 		})
 	}
 }

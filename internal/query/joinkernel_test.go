@@ -63,6 +63,44 @@ func TestMergeJoinAllocsNotWorse(t *testing.T) {
 	}
 }
 
+// TestCompressedMergeJoinAllocsNotWorse is the allocation gate for the
+// block-compressed serving form: once the scratch pools are warm, running
+// the same join workload over compressed extents must not allocate more
+// than over flat extents — block decode lands in pooled scratch, never the
+// heap, so compression costs decode cycles but not garbage.
+func TestCompressedMergeJoinAllocsNotWorse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement is not short")
+	}
+	if raceDetectorEnabled {
+		t.Skip("race detector drops sync.Pool items, inflating the compressed side's allocation count")
+	}
+	ev, qs := kernelFixture(t, "Flix02.xml")
+	idx := ev.Index()
+	run := func() float64 {
+		for _, q := range qs {
+			if _, err := ev.Evaluate(q); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return testing.AllocsPerRun(5, func() {
+			for _, q := range qs {
+				if _, err := ev.Evaluate(q); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+	flat := run()
+	idx.SetCompressExtents(true)
+	idx.FreezeExtents()
+	compressed := run()
+	t.Logf("allocs per workload pass: flat=%.0f compressed=%.0f", flat, compressed)
+	if compressed > flat {
+		t.Fatalf("compressed extents allocate more than flat in steady state: %.0f > %.0f", compressed, flat)
+	}
+}
+
 // BenchmarkJoinKernel times a join-heavy QTYPE1 workload pass under each
 // kernel; run with -benchmem to see the allocation gap.
 func BenchmarkJoinKernel(b *testing.B) {

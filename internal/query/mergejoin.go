@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"apex/internal/core"
+	"apex/internal/extentblock"
 	"apex/internal/xmlgraph"
 )
 
@@ -40,6 +41,22 @@ var joinScratchPool = sync.Pool{New: func() any { return new(joinScratch) }}
 // workerBufPool recycles the per-worker match buffers of the parallel merge
 // scan.
 var workerBufPool = sync.Pool{New: func() any { return new([]xmlgraph.NID) }}
+
+// blockScratch is the decode buffer a merge cursor reuses across every
+// compressed block it visits: one block's pairs or ends at a time, never
+// reallocated (capacity is exactly extentblock.BlockSize). Pooled so
+// steady-state joins over compressed extents allocate nothing per block.
+type blockScratch struct {
+	pairs []xmlgraph.EdgePair
+	nids  []xmlgraph.NID
+}
+
+var blockScratchPool = sync.Pool{New: func() any {
+	return &blockScratch{
+		pairs: make([]xmlgraph.EdgePair, 0, extentblock.BlockSize),
+		nids:  make([]xmlgraph.NID, 0, extentblock.BlockSize),
+	}
+}}
 
 // seenPool recycles node-id bitmaps used to deduplicate join output while it
 // is collected, so each position sorts only distinct ids instead of one
@@ -121,29 +138,67 @@ func (e *APEXEvaluator) fastPathEnds(nodes []*core.XNode, c *Cost) []xmlgraph.NI
 }
 
 // unionEndsInto appends the distinct end ids of the nodes' extents to out,
-// ascending. A single frozen extent serves its precomputed slice with a
-// plain copy; multiple extents dedup through a pooled bitmap so only the
-// distinct ids are sorted (each frozen Ends slice is already distinct, but
-// extents overlap across nodes).
+// ascending. Ownership rule: every id is copied into out's backing array via
+// EdgeSet.EndsAppend — the result never aliases an extent's frozen storage,
+// so the pooled scratch this typically lands in can be truncated and reused
+// after the extent columns are republished or thawed. (The old fast path
+// spelled append(out, Ends()...) — the same copy, but only by accident of
+// append's semantics; EndsAppend makes the contract explicit and tested.)
+// A single frozen extent's ends are already distinct and ascending, so the
+// copy alone is the union; multiple extents dedup through a pooled bitmap so
+// only the distinct ids are sorted (extents overlap across nodes).
 func (e *APEXEvaluator) unionEndsInto(nodes []*core.XNode, out []xmlgraph.NID, c *Cost) []xmlgraph.NID {
 	for _, x := range nodes {
 		c.ExtentEdges += int64(x.Extent.Len())
 	}
 	if len(nodes) == 1 && nodes[0].Extent.Frozen() {
-		return append(out, nodes[0].Extent.Ends()...)
+		return nodes[0].Extent.EndsAppend(out)
 	}
 	sp := getSeen(e.idx.Graph().NumNodes())
 	seen := *sp
 	for _, x := range nodes {
-		for _, n := range x.Extent.Ends() {
+		out = appendUnseenEnds(x, out, seen)
+	}
+	putSeen(sp, out)
+	slices.Sort(out)
+	return out
+}
+
+// appendUnseenEnds appends x's end ids not yet marked in seen, marking each.
+// Flat frozen extents iterate their precomputed column in place; compressed
+// ones decode one block at a time through pooled scratch; mutable extents
+// (not reachable from the serving path, but kept correct) pay Ends' map
+// pass.
+func appendUnseenEnds(x *core.XNode, out []xmlgraph.NID, seen []bool) []xmlgraph.NID {
+	if ends, ok := x.Extent.FrozenEnds(); ok {
+		for _, n := range ends {
 			if !seen[n] {
 				seen[n] = true
 				out = append(out, n)
 			}
 		}
+		return out
 	}
-	putSeen(sp, out)
-	slices.Sort(out)
+	if _, _, col, ok := x.Extent.CompressedColumns(); ok {
+		scratch := blockScratchPool.Get().(*blockScratch)
+		for b := 0; b < col.NumBlocks(); b++ {
+			dec := col.AppendBlock(scratch.nids[:0], b)
+			for _, n := range dec {
+				if !seen[n] {
+					seen[n] = true
+					out = append(out, n)
+				}
+			}
+		}
+		blockScratchPool.Put(scratch)
+		return out
+	}
+	for _, n := range x.Extent.Ends() {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
 	return out
 }
 
@@ -170,39 +225,66 @@ func (e *APEXEvaluator) mergePosition(nodes []*core.XNode, allowed []xmlgraph.NI
 	numNodes := e.idx.Graph().NumNodes()
 	if extra == 0 {
 		sp := getSeen(numNodes)
-		var skips int64
+		var skips, blockSkips int64
+		var scratch *blockScratch
 		for _, x := range nodes {
-			out = mergeJoinInto(x.Extent.PairsByFrom(), allowed, out, *sp, &skips)
+			if byFrom, _, _, ok := x.Extent.CompressedColumns(); ok {
+				if scratch == nil {
+					scratch = blockScratchPool.Get().(*blockScratch)
+				}
+				out = mergeJoinBlocks(byFrom, 0, byFrom.NumBlocks(), allowed, out, *sp, scratch, &skips, &blockSkips)
+			} else {
+				out = mergeJoinInto(x.Extent.PairsByFrom(), allowed, out, *sp, &skips)
+			}
+		}
+		if scratch != nil {
+			blockScratchPool.Put(scratch)
 		}
 		putSeen(sp, out)
 		mGallopSkips.Add(skips)
+		mBlockSkips.Add(blockSkips)
 		slices.Sort(out)
 		return out
 	}
 	defer e.pool.release(extra)
 
 	var cursor atomic.Int64
-	var skips atomic.Int64
+	var skips, blockSkips atomic.Int64
 	outs := make([][]xmlgraph.NID, extra+1)
 	bufs := make([]*[]xmlgraph.NID, extra+1)
 	work := func(w int) {
 		bufs[w] = workerBufPool.Get().(*[]xmlgraph.NID)
 		buf := (*bufs[w])[:0]
 		sp := getSeen(numNodes)
-		var s int64
+		var s, bs int64
+		var scratch *blockScratch
 		for {
 			t := int(cursor.Add(1)) - 1
 			if t >= len(spans) {
 				break
 			}
-			pairs := spans[t].pairs
-			// Narrow the probe side to the span's From range before merging.
+			sp2 := spans[t]
+			if sp2.col != nil {
+				if scratch == nil {
+					scratch = blockScratchPool.Get().(*blockScratch)
+				}
+				// Narrow the probe side to the span's From range before merging.
+				lo, _ := sp2.col.BlockMajorRange(sp2.blockLo)
+				k := gallopNIDs(allowed, 0, lo)
+				buf = mergeJoinBlocks(sp2.col, sp2.blockLo, sp2.blockHi, allowed[k:], buf, *sp, scratch, &s, &bs)
+				continue
+			}
+			pairs := sp2.pairs
 			k := gallopNIDs(allowed, 0, pairs[0].From)
 			buf = mergeJoinInto(pairs, allowed[k:], buf, *sp, &s)
+		}
+		if scratch != nil {
+			blockScratchPool.Put(scratch)
 		}
 		putSeen(sp, buf)
 		outs[w] = buf
 		skips.Add(s)
+		blockSkips.Add(bs)
 	}
 	var wg sync.WaitGroup
 	for w := 1; w <= extra; w++ {
@@ -215,6 +297,7 @@ func (e *APEXEvaluator) mergePosition(nodes []*core.XNode, allowed []xmlgraph.NI
 	work(0)
 	wg.Wait()
 	mGallopSkips.Add(skips.Load())
+	mBlockSkips.Add(blockSkips.Load())
 	for w, buf := range outs {
 		out = append(out, buf...)
 		*bufs[w] = buf[:0]
@@ -223,12 +306,30 @@ func (e *APEXEvaluator) mergePosition(nodes []*core.XNode, allowed []xmlgraph.NI
 	return sortDedupNIDs(out)
 }
 
-// mergeSpans chunks the sorted pairs of the nodes' extents into parallel
-// work units of roughly chunk pairs, extending each cut to the end of its
-// From run.
+// mergeSpans chunks the nodes' extents into parallel work units of roughly
+// chunk pairs. Flat extents are sliced with each cut extended to the end of
+// its From run (a worker's probe cursor stays monotone within its slice);
+// compressed extents are split on block boundaries — a From run may span a
+// block cut, which is still correct because each worker narrows its own
+// probe cursor and the final sortDedupNIDs removes cross-worker duplicates.
 func mergeSpans(nodes []*core.XNode, chunk int) []span {
 	var spans []span
+	blockChunk := (chunk + extentblock.BlockSize - 1) / extentblock.BlockSize
+	if blockChunk < 1 {
+		blockChunk = 1
+	}
 	for _, x := range nodes {
+		if byFrom, _, _, ok := x.Extent.CompressedColumns(); ok {
+			nb := byFrom.NumBlocks()
+			for lo := 0; lo < nb; lo += blockChunk {
+				hi := lo + blockChunk
+				if hi > nb {
+					hi = nb
+				}
+				spans = append(spans, span{col: byFrom, blockLo: lo, blockHi: hi})
+			}
+			continue
+		}
 		pairs := x.Extent.PairsByFrom()
 		for len(pairs) > chunk {
 			cut := chunk
@@ -262,7 +363,16 @@ const gallopStreak = 8
 // T(l) extent is exactly where that pays). skips accumulates the elements a
 // gallop stepped over without an individual comparison.
 func mergeJoinInto(pairs []xmlgraph.EdgePair, allowed []xmlgraph.NID, out []xmlgraph.NID, seen []bool, skips *int64) []xmlgraph.NID {
-	i, k := 0, 0
+	out, _ = mergeJoinIntoAt(pairs, allowed, 0, out, seen, skips)
+	return out
+}
+
+// mergeJoinIntoAt is mergeJoinInto with the allowed-side cursor threaded
+// through: the merge starts probing at allowed[k0] and the final cursor is
+// returned, so a block cursor can merge one decoded block after another
+// against a single monotone pass over allowed.
+func mergeJoinIntoAt(pairs []xmlgraph.EdgePair, allowed []xmlgraph.NID, k0 int, out []xmlgraph.NID, seen []bool, skips *int64) ([]xmlgraph.NID, int) {
+	i, k := 0, k0
 	for i < len(pairs) && k < len(allowed) {
 		f, a := pairs[i].From, allowed[k]
 		switch {
@@ -293,6 +403,35 @@ func mergeJoinInto(pairs []xmlgraph.EdgePair, allowed []xmlgraph.NID, out []xmlg
 				}
 			}
 		}
+	}
+	return out, k
+}
+
+// mergeJoinBlocks merge-joins blocks [blockLo, blockHi) of a compressed
+// byFrom column against allowed (ascending), appending matching Tos to out
+// through the seen bitmap exactly like mergeJoinInto. The skip index goes
+// first: a block whose From range ends before the next surviving candidate
+// is discarded whole, without decoding (blockSkips counts them); a block
+// past the last candidate ends the scan. Surviving blocks decode into the
+// pooled scratch — one block, reused — and run the ordinary gallop merge
+// with the allowed cursor carried across blocks.
+func mergeJoinBlocks(col *extentblock.PairColumn, blockLo, blockHi int, allowed []xmlgraph.NID, out []xmlgraph.NID, seen []bool, scratch *blockScratch, skips, blockSkips *int64) []xmlgraph.NID {
+	if len(allowed) == 0 {
+		return out
+	}
+	last := allowed[len(allowed)-1]
+	k := 0
+	for b := blockLo; b < blockHi && k < len(allowed); b++ {
+		lo, hi := col.BlockMajorRange(b)
+		if hi < allowed[k] {
+			*blockSkips++
+			continue
+		}
+		if lo > last {
+			break
+		}
+		pairs := col.AppendBlock(scratch.pairs[:0], b)
+		out, k = mergeJoinIntoAt(pairs, allowed, k, out, seen, skips)
 	}
 	return out
 }

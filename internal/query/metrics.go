@@ -20,6 +20,11 @@ var (
 	mKernelMerge = metrics.Default.Counter("query.apex.kernel.merge_total")
 	mKernelHash  = metrics.Default.Counter("query.apex.kernel.hash_total")
 	mGallopSkips = metrics.Default.Counter("query.apex.merge.gallop_skips_total")
+	// mBlockSkips counts whole compressed blocks the merge kernel discarded
+	// via the per-block skip index without decoding — the block-level
+	// analogue of the gallop skips above (which keep counting individual
+	// pairs stepped over inside decoded blocks and flat columns).
+	mBlockSkips = metrics.Default.Counter("query.apex.merge.block_skips_total")
 
 	// Worker-pool pressure: extra workers currently lent out, total grants,
 	// and how often a scan wanted extra workers but the pool was drained.

@@ -1,0 +1,5 @@
+//go:build !race
+
+package query_test
+
+const raceDetectorEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package query_test
+
+// raceDetectorEnabled reports whether this test binary was built with
+// -race. Allocation-count tests that depend on sync.Pool reuse skip under
+// the race detector, which drops pooled items on purpose.
+const raceDetectorEnabled = true

@@ -28,6 +28,13 @@ type Trace struct {
 	// Rewritings lists the G_APEX label-path rewritings evaluated (QTYPE2
 	// and QMIXED), capped at maxTraceRewritings.
 	Rewritings []string `json:"rewritings,omitempty"`
+	// ExtentForm is the serving form of the frozen extents consulted by the
+	// evaluation: "flat" or "compressed". BytesPerEdge is the index-wide
+	// frozen-extent footprint at trace time. Both are context about the
+	// physical layout, not logical cost — they sit outside Total and the
+	// stage-sum invariant.
+	ExtentForm   string  `json:"extent_form,omitempty"`
+	BytesPerEdge float64 `json:"bytes_per_edge,omitempty"`
 	// Stages are the per-stage cost deltas, in execution order.
 	Stages []TraceStage `json:"stages"`
 	// Total is the evaluation's cost delta — exactly what the evaluation
@@ -106,6 +113,9 @@ func (t *Trace) Text() string {
 	fmt.Fprintf(&b, "  class=%s index=%s strategy=%s", t.Type, t.Index, t.Strategy)
 	if t.Covered != "" {
 		fmt.Fprintf(&b, " covered=%s", t.Covered)
+	}
+	if t.ExtentForm != "" {
+		fmt.Fprintf(&b, " extents=%s(%.1fB/edge)", t.ExtentForm, t.BytesPerEdge)
 	}
 	fmt.Fprintf(&b, "\n  results=%d wall=%v\n", t.Results, t.Wall().Round(time.Microsecond))
 	if len(t.Rewritings) > 0 {

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"encoding/json"
 	"fmt"
 	"path/filepath"
 
@@ -20,12 +21,15 @@ var (
 )
 
 // RecoveredState is what a durable index directory yields on open: the
-// manifest, the decoded segment extents, and the journaled operations that
+// manifest, the decoded segment extents — flat in Segments, or compressed in
+// Packed when the manifest's persisted options select CompressExtents
+// (exactly one of the two is populated) — and the journaled operations that
 // post-date the checkpoint, in append order.
 type RecoveredState struct {
 	Dir      string
 	Manifest *Manifest
 	Segments []SegmentExtent
+	Packed   []PackedSegmentExtent
 	Tail     []WALRecord
 	TailInfo WALReplayInfo
 }
@@ -65,8 +69,29 @@ func OpenDir(dir string) (*RecoveredState, error) {
 		return nil, err
 	}
 	st := &RecoveredState{Dir: dir, Manifest: m}
+	// The persisted facade options decide the decode target. The storage
+	// layer cannot import the facade's Options type, so it sniffs just the
+	// field it acts on; unknown or absent options mean flat, the historical
+	// form.
+	var opts struct {
+		CompressExtents bool
+	}
+	if len(m.Options) > 0 {
+		if err := json.Unmarshal(m.Options, &opts); err != nil {
+			return nil, fmt.Errorf("storage: recovery: manifest options: %w", err)
+		}
+	}
 	for _, ref := range m.Segments {
-		exts, err := ReadSegmentFile(filepath.Join(dir, ref.Name))
+		path := filepath.Join(dir, ref.Name)
+		if opts.CompressExtents {
+			exts, err := ReadSegmentFilePacked(path)
+			if err != nil {
+				return nil, fmt.Errorf("storage: recovery: %w", err)
+			}
+			st.Packed = append(st.Packed, exts...)
+			continue
+		}
+		exts, err := ReadSegmentFile(path)
 		if err != nil {
 			return nil, fmt.Errorf("storage: recovery: %w", err)
 		}

@@ -118,14 +118,20 @@ func lessToFrom(a, b xmlgraph.EdgePair) bool {
 	return a.From < b.From
 }
 
+// pairHash is one pair's contribution to the order-independent column
+// checksum (Fibonacci hashing spreads adjacent pairs).
+func pairHash(p xmlgraph.EdgePair) uint64 {
+	v := uint64(uint32(p.From))<<32 | uint64(uint32(p.To))
+	v *= 0x9e3779b97f4a7c15
+	return v ^ (v >> 29)
+}
+
 // pairChecksum is an order-independent accumulator used to cross-check that
 // the two independently decoded columns hold the same pair multiset.
 func pairChecksum(pairs []xmlgraph.EdgePair) uint64 {
 	var sum uint64
 	for _, p := range pairs {
-		v := uint64(uint32(p.From))<<32 | uint64(uint32(p.To))
-		v *= 0x9e3779b97f4a7c15 // Fibonacci hashing spreads adjacent pairs
-		sum += v ^ (v >> 29)
+		sum += pairHash(p)
 	}
 	return sum
 }
@@ -162,79 +168,131 @@ func EncodeSegmentBlock(ext SegmentExtent) ([]byte, error) {
 	return b, nil
 }
 
+// scanBlockHeader reads one block's extent id and pair count.
+func scanBlockHeader(c *byteCursor) (id int, n uint64, err error) {
+	rawID, err := c.uvarint()
+	if err != nil {
+		return 0, 0, fmt.Errorf("storage: segment: block id: %w", err)
+	}
+	if rawID > math.MaxInt32 {
+		return 0, 0, fmt.Errorf("storage: segment: implausible extent id %d", rawID)
+	}
+	n, err = c.uvarint()
+	if err != nil {
+		return 0, 0, fmt.Errorf("storage: segment: pair count: %w", err)
+	}
+	// Each pair costs at least one byte per column; reject counts the
+	// remaining payload cannot possibly hold before allocating.
+	if n > uint64(len(c.b)) {
+		return 0, 0, fmt.Errorf("storage: segment: pair count %d exceeds payload", n)
+	}
+	return int(rawID), n, nil
+}
+
+// scanPairColumn walks one delta-encoded pair column of n pairs, emitting
+// each decoded pair in column order. It enforces strict order (no duplicate
+// pairs) and the NID range; consumers choose whether to materialize a flat
+// slice or feed a block packer.
+func scanPairColumn(c *byteCursor, n uint64, byTo bool, emit func(i int, p xmlgraph.EdgePair)) error {
+	if n == 0 {
+		return nil
+	}
+	maj, err := c.varint() // major key: From for byFrom, To for byTo
+	if err != nil {
+		return err
+	}
+	min, err := c.varint()
+	if err != nil {
+		return err
+	}
+	set := func(i int, major, minor int64) error {
+		if major < int64(xmlgraph.NullNID) || major > math.MaxInt32 || minor < int64(xmlgraph.NullNID) || minor > math.MaxInt32 {
+			return fmt.Errorf("storage: segment: nid out of range at pair %d", i)
+		}
+		if byTo {
+			emit(i, xmlgraph.EdgePair{From: xmlgraph.NID(minor), To: xmlgraph.NID(major)})
+		} else {
+			emit(i, xmlgraph.EdgePair{From: xmlgraph.NID(major), To: xmlgraph.NID(minor)})
+		}
+		return nil
+	}
+	if err := set(0, maj, min); err != nil {
+		return err
+	}
+	for i := 1; i < int(n); i++ {
+		d, err := c.uvarint()
+		if err != nil {
+			return err
+		}
+		maj += int64(d)
+		if d == 0 {
+			dm, err := c.uvarint()
+			if err != nil {
+				return err
+			}
+			if dm == 0 {
+				return fmt.Errorf("storage: segment: duplicate pair at %d", i)
+			}
+			min += int64(dm)
+		} else {
+			if min, err = c.varint(); err != nil {
+				return err
+			}
+		}
+		if err := set(i, maj, min); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scanEndsColumn walks the delta-encoded ends column, emitting each id in
+// ascending order after validating strict ascent and the NID range.
+func scanEndsColumn(c *byteCursor, extID int, ne uint64, emit func(i int, v xmlgraph.NID)) error {
+	if ne == 0 {
+		return nil
+	}
+	v, err := c.varint()
+	if err != nil {
+		return fmt.Errorf("storage: segment: ends column: %w", err)
+	}
+	for i := 0; i < int(ne); i++ {
+		if i > 0 {
+			d, err := c.uvarint()
+			if err != nil {
+				return fmt.Errorf("storage: segment: ends column: %w", err)
+			}
+			if d == 0 {
+				return fmt.Errorf("storage: segment: extent %d ends not strictly ascending", extID)
+			}
+			v += int64(d)
+		}
+		if v < int64(xmlgraph.NullNID) || v > math.MaxInt32 {
+			return fmt.Errorf("storage: segment: extent %d end nid out of range", extID)
+		}
+		emit(i, xmlgraph.NID(v))
+	}
+	return nil
+}
+
 // DecodeSegmentBlock parses one block payload, validating column order,
 // cross-column consistency, and the ends column.
 func DecodeSegmentBlock(payload []byte) (SegmentExtent, error) {
 	c := &byteCursor{b: payload}
 	var ext SegmentExtent
-	id, err := c.uvarint()
+	id, n, err := scanBlockHeader(c)
 	if err != nil {
-		return ext, fmt.Errorf("storage: segment: block id: %w", err)
+		return ext, err
 	}
-	if id > math.MaxInt32 {
-		return ext, fmt.Errorf("storage: segment: implausible extent id %d", id)
-	}
-	ext.ID = int(id)
-	n, err := c.uvarint()
-	if err != nil {
-		return ext, fmt.Errorf("storage: segment: pair count: %w", err)
-	}
-	// Each pair costs at least one byte per column; reject counts the
-	// remaining payload cannot possibly hold before allocating.
-	if n > uint64(len(c.b)) {
-		return ext, fmt.Errorf("storage: segment: pair count %d exceeds payload", n)
-	}
+	ext.ID = id
 
 	decodeColumn := func(byTo bool) ([]xmlgraph.EdgePair, error) {
 		if n == 0 {
 			return nil, nil
 		}
 		pairs := make([]xmlgraph.EdgePair, n)
-		maj, err := c.varint() // major key: From for byFrom, To for byTo
-		if err != nil {
+		if err := scanPairColumn(c, n, byTo, func(i int, p xmlgraph.EdgePair) { pairs[i] = p }); err != nil {
 			return nil, err
-		}
-		min, err := c.varint()
-		if err != nil {
-			return nil, err
-		}
-		set := func(i int, major, minor int64) error {
-			if major < int64(xmlgraph.NullNID) || major > math.MaxInt32 || minor < int64(xmlgraph.NullNID) || minor > math.MaxInt32 {
-				return fmt.Errorf("storage: segment: nid out of range at pair %d", i)
-			}
-			if byTo {
-				pairs[i] = xmlgraph.EdgePair{From: xmlgraph.NID(minor), To: xmlgraph.NID(major)}
-			} else {
-				pairs[i] = xmlgraph.EdgePair{From: xmlgraph.NID(major), To: xmlgraph.NID(minor)}
-			}
-			return nil
-		}
-		if err := set(0, maj, min); err != nil {
-			return nil, err
-		}
-		for i := 1; i < int(n); i++ {
-			d, err := c.uvarint()
-			if err != nil {
-				return nil, err
-			}
-			maj += int64(d)
-			if d == 0 {
-				dm, err := c.uvarint()
-				if err != nil {
-					return nil, err
-				}
-				if dm == 0 {
-					return nil, fmt.Errorf("storage: segment: duplicate pair at %d", i)
-				}
-				min += int64(dm)
-			} else {
-				if min, err = c.varint(); err != nil {
-					return nil, err
-				}
-			}
-			if err := set(i, maj, min); err != nil {
-				return nil, err
-			}
 		}
 		return pairs, nil
 	}
@@ -258,25 +316,8 @@ func DecodeSegmentBlock(payload []byte) (SegmentExtent, error) {
 	}
 	if ne > 0 {
 		ext.Ends = make([]xmlgraph.NID, ne)
-		v, err := c.varint()
-		if err != nil {
-			return ext, fmt.Errorf("storage: segment: ends column: %w", err)
-		}
-		for i := 0; i < int(ne); i++ {
-			if i > 0 {
-				d, err := c.uvarint()
-				if err != nil {
-					return ext, fmt.Errorf("storage: segment: ends column: %w", err)
-				}
-				if d == 0 {
-					return ext, fmt.Errorf("storage: segment: extent %d ends not strictly ascending", ext.ID)
-				}
-				v += int64(d)
-			}
-			if v < int64(xmlgraph.NullNID) || v > math.MaxInt32 {
-				return ext, fmt.Errorf("storage: segment: extent %d end nid out of range", ext.ID)
-			}
-			ext.Ends[i] = xmlgraph.NID(v)
+		if err := scanEndsColumn(c, ext.ID, ne, func(i int, v xmlgraph.NID) { ext.Ends[i] = v }); err != nil {
+			return ext, err
 		}
 	}
 	// The stored ends must be exactly the distinct To values of byTo.
@@ -298,36 +339,96 @@ func DecodeSegmentBlock(payload []byte) (SegmentExtent, error) {
 	return ext, nil
 }
 
+// SegmentWriter streams framed extent blocks to a segment file one at a
+// time, so checkpoints hold a single encoded extent in memory instead of the
+// whole extent list. Append extents in node-ID order; Close flushes and
+// returns the total bytes written.
+type SegmentWriter struct {
+	bw    *bufio.Writer
+	total int64
+}
+
+// NewSegmentWriter writes the segment header and returns a writer ready for
+// Append.
+func NewSegmentWriter(w io.Writer) (*SegmentWriter, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(segMagic); err != nil {
+		return nil, err
+	}
+	return &SegmentWriter{bw: bw, total: int64(len(segMagic))}, nil
+}
+
+// Append encodes and frames one extent block.
+func (sw *SegmentWriter) Append(ext SegmentExtent) error {
+	payload, err := EncodeSegmentBlock(ext)
+	if err != nil {
+		return err
+	}
+	var frame [8]byte
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := sw.bw.Write(frame[:]); err != nil {
+		return err
+	}
+	if _, err := sw.bw.Write(payload); err != nil {
+		return err
+	}
+	sw.total += int64(8 + len(payload))
+	mSegBlocksWritten.Inc()
+	return nil
+}
+
+// Close flushes buffered frames and returns the total segment length.
+func (sw *SegmentWriter) Close() (int64, error) {
+	if err := sw.bw.Flush(); err != nil {
+		return sw.total, err
+	}
+	mSegBytesWritten.Add(sw.total)
+	return sw.total, nil
+}
+
 // WriteSegment writes a segment file body (header + framed blocks) to w,
 // returning the bytes written.
 func WriteSegment(w io.Writer, extents []SegmentExtent) (int64, error) {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(segMagic); err != nil {
+	sw, err := NewSegmentWriter(w)
+	if err != nil {
 		return 0, err
 	}
-	total := int64(len(segMagic))
-	var frame [8]byte
 	for _, ext := range extents {
-		payload, err := EncodeSegmentBlock(ext)
-		if err != nil {
-			return total, err
+		if err := sw.Append(ext); err != nil {
+			return sw.total, err
 		}
-		binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
-		binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
-		if _, err := bw.Write(frame[:]); err != nil {
-			return total, err
-		}
-		if _, err := bw.Write(payload); err != nil {
-			return total, err
-		}
-		total += int64(8 + len(payload))
-		mSegBlocksWritten.Inc()
 	}
-	if err := bw.Flush(); err != nil {
-		return total, err
+	return sw.Close()
+}
+
+// eachSegmentBlock walks a segment image's framed blocks, verifying the
+// header and each block's length and CRC before handing the payload to fn.
+func eachSegmentBlock(data []byte, fn func(payload []byte) error) error {
+	if len(data) < len(segMagic) || string(data[:len(segMagic)]) != segMagic {
+		return errors.New("storage: segment: bad magic")
 	}
-	mSegBytesWritten.Add(total)
-	return total, nil
+	data = data[len(segMagic):]
+	for len(data) > 0 {
+		if len(data) < 8 {
+			return errors.New("storage: segment: torn block frame")
+		}
+		n := binary.LittleEndian.Uint32(data[0:4])
+		crc := binary.LittleEndian.Uint32(data[4:8])
+		if n > maxSegmentBlockLen || uint64(n) > uint64(len(data)-8) {
+			return fmt.Errorf("storage: segment: block length %d exceeds file", n)
+		}
+		payload := data[8 : 8+n]
+		if crc32.ChecksumIEEE(payload) != crc {
+			return errors.New("storage: segment: block CRC mismatch")
+		}
+		if err := fn(payload); err != nil {
+			return err
+		}
+		mSegBlocksRead.Inc()
+		data = data[8+n:]
+	}
+	return nil
 }
 
 // DecodeSegment parses a full segment image (as written by WriteSegment),
@@ -335,31 +436,17 @@ func WriteSegment(w io.Writer, extents []SegmentExtent) (int64, error) {
 // error: segments are immutable and manifest-verified, so damage here is
 // corruption, never an expected torn tail.
 func DecodeSegment(data []byte) ([]SegmentExtent, error) {
-	if len(data) < len(segMagic) || string(data[:len(segMagic)]) != segMagic {
-		return nil, errors.New("storage: segment: bad magic")
-	}
-	data = data[len(segMagic):]
 	var extents []SegmentExtent
-	for len(data) > 0 {
-		if len(data) < 8 {
-			return nil, errors.New("storage: segment: torn block frame")
-		}
-		n := binary.LittleEndian.Uint32(data[0:4])
-		crc := binary.LittleEndian.Uint32(data[4:8])
-		if n > maxSegmentBlockLen || uint64(n) > uint64(len(data)-8) {
-			return nil, fmt.Errorf("storage: segment: block length %d exceeds file", n)
-		}
-		payload := data[8 : 8+n]
-		if crc32.ChecksumIEEE(payload) != crc {
-			return nil, errors.New("storage: segment: block CRC mismatch")
-		}
+	err := eachSegmentBlock(data, func(payload []byte) error {
 		ext, err := DecodeSegmentBlock(payload)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		extents = append(extents, ext)
-		mSegBlocksRead.Inc()
-		data = data[8+n:]
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return extents, nil
 }

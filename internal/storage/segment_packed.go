@@ -1,0 +1,156 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+
+	"apex/internal/extentblock"
+	"apex/internal/xmlgraph"
+)
+
+// The packed decode path loads segment blocks straight into the
+// block-compressed serving columns (extentblock), so a recovery under
+// Options.CompressExtents never materializes an extent's flat pair slices —
+// the transient memory per extent is one 256-pair block, and the decoded
+// columns are served as-is. Every validation of the flat decoder survives:
+// strict column order and NID ranges (enforced by the shared scanners), the
+// order-independent cross-column checksum (accumulated incrementally), and
+// the exact ends-vs-byTo consistency check (run blockwise over the packed
+// columns after decode).
+
+// PackedSegmentExtent is one frozen extent decoded into its compressed
+// serving columns.
+type PackedSegmentExtent struct {
+	ID     int
+	ByFrom *extentblock.PairColumn
+	ByTo   *extentblock.PairColumn
+	Ends   *extentblock.NIDColumn
+}
+
+// DecodeSegmentBlockPacked parses one block payload into compressed columns,
+// with the same validation as DecodeSegmentBlock.
+func DecodeSegmentBlockPacked(payload []byte) (PackedSegmentExtent, error) {
+	c := &byteCursor{b: payload}
+	var ext PackedSegmentExtent
+	id, n, err := scanBlockHeader(c)
+	if err != nil {
+		return ext, err
+	}
+	ext.ID = id
+
+	var sumFrom, sumTo uint64
+	pf := extentblock.NewPairPacker(false)
+	if err := scanPairColumn(c, n, false, func(_ int, p xmlgraph.EdgePair) {
+		pf.Append(p)
+		sumFrom += pairHash(p)
+	}); err != nil {
+		return ext, fmt.Errorf("storage: segment: extent %d byFrom: %w", ext.ID, err)
+	}
+	pt := extentblock.NewPairPacker(true)
+	if err := scanPairColumn(c, n, true, func(_ int, p xmlgraph.EdgePair) {
+		pt.Append(p)
+		sumTo += pairHash(p)
+	}); err != nil {
+		return ext, fmt.Errorf("storage: segment: extent %d byTo: %w", ext.ID, err)
+	}
+	if sumFrom != sumTo {
+		return ext, fmt.Errorf("storage: segment: extent %d columns disagree", ext.ID)
+	}
+	ext.ByFrom, ext.ByTo = pf.Finish(), pt.Finish()
+
+	ne, err := c.uvarint()
+	if err != nil {
+		return ext, fmt.Errorf("storage: segment: ends count: %w", err)
+	}
+	if ne > n {
+		return ext, fmt.Errorf("storage: segment: extent %d has %d ends for %d pairs", ext.ID, ne, n)
+	}
+	pe := extentblock.NewNIDPacker()
+	if err := scanEndsColumn(c, ext.ID, ne, func(_ int, v xmlgraph.NID) { pe.Append(v) }); err != nil {
+		return ext, err
+	}
+	ext.Ends = pe.Finish()
+	if err := checkPackedEnds(ext); err != nil {
+		return ext, err
+	}
+	if len(c.b) != 0 {
+		return ext, fmt.Errorf("storage: segment: extent %d has %d trailing bytes", ext.ID, len(c.b))
+	}
+	return ext, nil
+}
+
+// checkPackedEnds verifies the stored ends are exactly the distinct To
+// values of byTo — the same elementwise check the flat decoder runs, walked
+// blockwise over the packed columns (one block of each in scratch at a
+// time).
+func checkPackedEnds(ext PackedSegmentExtent) error {
+	var pbuf [extentblock.BlockSize]xmlgraph.EdgePair
+	var ebuf [extentblock.BlockSize]xmlgraph.NID
+	eb, ei := 0, 0
+	var ends []xmlgraph.NID
+	nextEnd := func() (xmlgraph.NID, bool) {
+		for ei >= len(ends) {
+			if eb >= ext.Ends.NumBlocks() {
+				return 0, false
+			}
+			ends = ext.Ends.AppendBlock(ebuf[:0], eb)
+			eb++
+			ei = 0
+		}
+		v := ends[ei]
+		ei++
+		return v, true
+	}
+	matched := 0
+	var prev xmlgraph.NID
+	first := true
+	for b := 0; b < ext.ByTo.NumBlocks(); b++ {
+		for _, p := range ext.ByTo.AppendBlock(pbuf[:0], b) {
+			if first || p.To != prev {
+				e, ok := nextEnd()
+				if !ok || e != p.To {
+					return fmt.Errorf("storage: segment: extent %d ends column inconsistent with byTo", ext.ID)
+				}
+				matched++
+			}
+			prev, first = p.To, false
+		}
+	}
+	if matched != ext.Ends.Len() {
+		return fmt.Errorf("storage: segment: extent %d ends column has %d extra entries", ext.ID, ext.Ends.Len()-matched)
+	}
+	return nil
+}
+
+// DecodeSegmentPacked parses a full segment image into compressed extents,
+// in file order, with the same framing and CRC validation as DecodeSegment.
+func DecodeSegmentPacked(data []byte) ([]PackedSegmentExtent, error) {
+	var extents []PackedSegmentExtent
+	err := eachSegmentBlock(data, func(payload []byte) error {
+		ext, err := DecodeSegmentBlockPacked(payload)
+		if err != nil {
+			return err
+		}
+		extents = append(extents, ext)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return extents, nil
+}
+
+// ReadSegmentFilePacked loads and decodes a segment file into compressed
+// extents.
+func ReadSegmentFilePacked(path string) ([]PackedSegmentExtent, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	mSegBytesRead.Add(int64(len(data)))
+	exts, err := DecodeSegmentPacked(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return exts, nil
+}

@@ -1,0 +1,127 @@
+// Packed-decode tests: decoding a segment block straight into compressed
+// columns must be equivalent to the flat decode — same pairs, same ends,
+// same validations — on every frozen form, and must reject the same
+// corruption the flat decoder rejects.
+package storage
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"apex/internal/xmlgraph"
+)
+
+// assertPackedMatchesFlat decodes payload both ways and compares the packed
+// columns, fully expanded, against the flat slices.
+func assertPackedMatchesFlat(t *testing.T, payload []byte) {
+	t.Helper()
+	flat, err := DecodeSegmentBlock(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := DecodeSegmentBlockPacked(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if packed.ID != flat.ID {
+		t.Fatalf("ID: packed %d, flat %d", packed.ID, flat.ID)
+	}
+	byFrom := packed.ByFrom.AppendAll(nil)
+	byTo := packed.ByTo.AppendAll(nil)
+	ends := packed.Ends.AppendAll(nil)
+	if len(byFrom) != len(flat.ByFrom) || len(byTo) != len(flat.ByTo) || len(ends) != len(flat.Ends) {
+		t.Fatalf("lengths: packed (%d,%d,%d), flat (%d,%d,%d)",
+			len(byFrom), len(byTo), len(ends), len(flat.ByFrom), len(flat.ByTo), len(flat.Ends))
+	}
+	for i := range byFrom {
+		if byFrom[i] != flat.ByFrom[i] {
+			t.Fatalf("byFrom[%d]: packed %v, flat %v", i, byFrom[i], flat.ByFrom[i])
+		}
+	}
+	for i := range byTo {
+		if byTo[i] != flat.ByTo[i] {
+			t.Fatalf("byTo[%d]: packed %v, flat %v", i, byTo[i], flat.ByTo[i])
+		}
+	}
+	for i := range ends {
+		if ends[i] != flat.Ends[i] {
+			t.Fatalf("ends[%d]: packed %d, flat %d", i, ends[i], flat.Ends[i])
+		}
+	}
+}
+
+// TestPackedDecodeMatchesFlatForms covers the same frozen forms the flat
+// round-trip test pins, through the packed decoder.
+func TestPackedDecodeMatchesFlatForms(t *testing.T) {
+	const maxNID = math.MaxInt32
+	forms := map[string][]xmlgraph.EdgePair{
+		"empty":       {},
+		"single":      {{From: 3, To: 9}},
+		"single-null": {{From: xmlgraph.NullNID, To: 0}},
+		"same-from-run": {
+			{From: 2, To: 1}, {From: 2, To: 2}, {From: 2, To: 3},
+			{From: 2, To: 4}, {From: 2, To: 5}, {From: 2, To: 1000000},
+		},
+		"adversarial-gaps": {
+			{From: xmlgraph.NullNID, To: 0},
+			{From: xmlgraph.NullNID, To: maxNID},
+			{From: 0, To: maxNID},
+			{From: maxNID, To: 0},
+			{From: maxNID, To: maxNID},
+		},
+	}
+	for name, pairs := range forms {
+		t.Run(name, func(t *testing.T) {
+			payload, err := EncodeSegmentBlock(frozenExtentOf(t, 17, pairs))
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertPackedMatchesFlat(t, payload)
+		})
+	}
+}
+
+// TestPackedDecodeMatchesFlatRandom: randomized multisets, spanning multiple
+// codec blocks, decode identically both ways.
+func TestPackedDecodeMatchesFlatRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 30; trial++ {
+		n := rng.Intn(2000) // up to ~8 codec blocks
+		pairs := make([]xmlgraph.EdgePair, n)
+		for i := range pairs {
+			from := xmlgraph.NID(rng.Intn(300)) - 1 // includes NullNID
+			pairs[i] = xmlgraph.EdgePair{From: from, To: xmlgraph.NID(rng.Intn(4000))}
+		}
+		payload, err := EncodeSegmentBlock(frozenExtentOf(t, trial, pairs))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		assertPackedMatchesFlat(t, payload)
+	}
+}
+
+// TestPackedDecodeRejectsDamage: the packed decoder keeps the flat
+// decoder's validations — a payload whose ends column disagrees with byTo
+// must be rejected, not served.
+func TestPackedDecodeRejectsDamage(t *testing.T) {
+	ext := frozenExtentOf(t, 3, []xmlgraph.EdgePair{
+		{From: 1, To: 10}, {From: 2, To: 20}, {From: 3, To: 30},
+	})
+	ext.Ends = []xmlgraph.NID{10, 20} // drop one end
+	payload, err := EncodeSegmentBlock(ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeSegmentBlockPacked(payload); err == nil {
+		t.Fatal("packed decoder accepted an ends column inconsistent with byTo")
+	}
+	ext.Ends = []xmlgraph.NID{10, 20, 30, 31} // extra end
+	payload, err = EncodeSegmentBlock(ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeSegmentBlockPacked(payload); err == nil {
+		t.Fatal("packed decoder accepted an extra ends entry")
+	}
+}

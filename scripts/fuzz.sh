@@ -20,6 +20,7 @@ fuzz_one() {
 fuzz_one FuzzParse ./internal/query/
 fuzz_one FuzzBuild ./internal/xmlgraph/
 fuzz_one FuzzEdgeSetModel ./internal/core/
+fuzz_one FuzzBlockCodec ./internal/extentblock/
 fuzz_one FuzzWALReplay ./internal/storage/
 fuzz_one FuzzSegmentDecode ./internal/storage/
 fuzz_one FuzzShardMerge ./internal/shard/

@@ -2,7 +2,7 @@
 # and `lint` mirror the GitHub Actions jobs in .github/workflows/ci.yml
 # exactly, so a green local run means a green CI run.
 
-.PHONY: all build test ci race lint cover cover-check bench bench-concurrent bench-join bench-adapt bench-serve bench-shard bench-footprint bench-check serve experiments fuzz fuzz-smoke clean
+.PHONY: all build test ci race lint cover cover-check bench bench-concurrent bench-join bench-adapt bench-serve bench-shard bench-footprint bench-planner bench-check serve experiments fuzz fuzz-smoke clean
 
 # Minimum total statement coverage enforced by `make cover-check` and the
 # CI coverage job. Ratchet upward when coverage rises; never lower it.
@@ -109,20 +109,29 @@ bench-recovery:
 	go test -run 'TestCrashInjection|TestRecover|TestPersist' -v .
 	go run ./cmd/apexbench -experiments recovery -recovery-json BENCH_RECOVERY.json
 
+# The planner ablation: the same adapted indexes and query batches with the
+# cost-based join planner on and off, on the deep/skewed presets, recorded
+# to BENCH_PLANNER.json. The planner parity and race suites run first.
+bench-planner:
+	go test -run 'TestPlannerParityAllDatasets|TestBackwardExecution|TestHashPositionMatchesMerge' -v ./internal/query/
+	go test -race -run TestPlanStatsRacingPublications -v .
+	go run ./cmd/apexbench -experiments planner -planner-json BENCH_PLANNER.json
+
 # The benchmark regression gate the CI bench job enforces: regenerate every
 # BENCH_*.json artifact, then fail if any headline metric (speedups, cache
 # hit rate, refreeze fraction — machine-portable ratios, not wall times)
 # regressed more than 20% against the checked-in bench/baselines/.
 bench-check:
 	mkdir -p bench-artifacts
-	go run ./cmd/apexbench -experiments concurrency,adapt-stall,join-kernel,serve,recovery,shard,footprint \
+	go run ./cmd/apexbench -experiments concurrency,adapt-stall,join-kernel,serve,recovery,shard,footprint,planner \
 		-concurrency-json bench-artifacts/BENCH_CONCURRENCY.json \
 		-adapt-json bench-artifacts/BENCH_ADAPT.json \
 		-join-json bench-artifacts/BENCH_JOIN.json \
 		-serve-json bench-artifacts/BENCH_SERVE.json \
 		-recovery-json bench-artifacts/BENCH_RECOVERY.json \
 		-shard-json bench-artifacts/BENCH_SHARD.json \
-		-footprint-json bench-artifacts/BENCH_FOOTPRINT.json
+		-footprint-json bench-artifacts/BENCH_FOOTPRINT.json \
+		-planner-json bench-artifacts/BENCH_PLANNER.json
 	go run ./cmd/benchcheck -baselines bench/baselines -current bench-artifacts
 
 # Run the query-serving daemon over a synthetic dataset (Ctrl-C drains).

@@ -387,7 +387,10 @@ func (ix *Index) publish(idx *core.APEX, dt *storage.DataTable) {
 	ix.mu.Lock()
 	ev.CarryCostFrom(ix.eval)
 	ix.idx, ix.dt, ix.eval = idx, dt, ev
-	ix.gen.Add(1)
+	// Stamp the evaluator with the generation it serves: its plan cache is
+	// keyed by this identity (plus the core epoch), so plans can never cross
+	// a publication boundary.
+	ev.SetGeneration(int64(ix.gen.Add(1)))
 	ix.mu.Unlock()
 }
 
@@ -888,6 +891,22 @@ func (ix *Index) Stats() Stats {
 		CompressedExtents: fp.Compressed,
 		BytesPerEdge:      fp.BytesPerEdge(),
 	}
+}
+
+// PlanStats is the query planner's observability record: plan/leg cache
+// behavior, the decision mix (forward vs backward executions, fallbacks,
+// shared-prefix reuse), and the publication identities the caches are keyed
+// under.
+type PlanStats = query.PlanStats
+
+// PlanStats snapshots the published evaluator's planner counters. The
+// counters restart at zero on every maintenance publication (a fresh
+// evaluator is published per generation), so deltas within one generation
+// measure steady-state cache behavior.
+func (ix *Index) PlanStats() PlanStats {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.eval.PlanStats()
 }
 
 // QueryCost snapshots the accumulated logical cost counters of the query

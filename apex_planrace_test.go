@@ -1,0 +1,98 @@
+package apex
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestPlanStatsRacingPublications races planned query evaluation against
+// maintenance publications on one Index: readers keep joining deep paths
+// (priming and probing each published evaluator's plan cache) while a writer
+// adapts and mutates data. The race detector asserts the planner's locking;
+// afterwards, quiescent checks pin generation stamping and result
+// correctness against a fresh evaluation.
+func TestPlanStatsRacingPublications(t *testing.T) {
+	ix, err := Open(strings.NewReader(concurrentDoc(8)), &Options{
+		IDREFAttrs: []string{"shelf"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	queries := []string{
+		"//library/shelf/book/title",
+		"//shelf/book/year",
+		"//library/shelf/book",
+		"//library//year",
+	}
+	const (
+		readers      = 6
+		perGoro      = 120
+		writerRounds = 20
+	)
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < perGoro; i++ {
+				q := queries[(r+i)%len(queries)]
+				if _, err := ix.Query(q); err != nil {
+					t.Errorf("Query(%s): %v", q, err)
+					return
+				}
+				if i%13 == 0 {
+					st := ix.PlanStats()
+					if st.PlanHits < 0 || st.PlanMisses < 0 {
+						t.Errorf("negative plan counters: %+v", st)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < writerRounds; i++ {
+			if err := ix.AdaptTo([]string{"//shelf/book/title", "//library/shelf/book"}, 0.01); err != nil {
+				t.Errorf("AdaptTo: %v", err)
+				return
+			}
+			frag := fmt.Sprintf(`<extra><title>X%d</title></extra>`, i)
+			if err := ix.Insert("//library/shelf", frag); err != nil && !strings.Contains(err.Error(), "matches") {
+				t.Errorf("Insert: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Quiescent: the published evaluator carries the facade's generation, and
+	// a planned evaluation still agrees with a planner-off one.
+	st := ix.PlanStats()
+	if got, want := st.Generation, int64(ix.Generation()); got != want {
+		t.Fatalf("PlanStats generation = %d, facade generation = %d", got, want)
+	}
+	for _, q := range queries {
+		res, err := ix.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev := ix.Evaluator()
+		ev.DisablePlanner = true
+		off, err := ix.Query(q)
+		ev.DisablePlanner = false
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Len() != off.Len() {
+			t.Fatalf("%s: planner-on %d nodes, planner-off %d nodes", q, res.Len(), off.Len())
+		}
+	}
+}

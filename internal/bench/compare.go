@@ -138,6 +138,29 @@ var headlines = map[string]headlineSpec{
 			return rep.MeanCompressedBPE, nil
 		},
 	},
+	"BENCH_PLANNER.json": {
+		Metric:         "geomean planner speedup",
+		HigherIsBetter: true,
+		Extract: func(data []byte) (float64, error) {
+			var rep PlannerReport
+			if err := json.Unmarshal(data, &rep); err != nil {
+				return 0, err
+			}
+			if len(rep.Rows) == 0 {
+				return 0, fmt.Errorf("no planner rows")
+			}
+			if !rep.Agreed {
+				return 0, fmt.Errorf("planner settings disagreed on results or cost")
+			}
+			if rep.GeomeanSpeedup < 1.3 {
+				return 0, fmt.Errorf("planner speedup %.2fx is below the 1.3x bar", rep.GeomeanSpeedup)
+			}
+			if rep.CacheHitRate < 0.9 {
+				return 0, fmt.Errorf("steady-state plan-cache hit rate %.1f%% is below the 90%% bar", 100*rep.CacheHitRate)
+			}
+			return rep.GeomeanSpeedup, nil
+		},
+	},
 	"BENCH_RECOVERY.json": {
 		Metric:         "restart speedup",
 		HigherIsBetter: true,

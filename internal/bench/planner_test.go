@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPlannerShape pins the planner ablation's claims at test scale: both
+// settings agree on results and logical cost on every row (the experiment
+// hard-errors otherwise), the steady-state cache hit rate is perfect on a
+// closed replay workload, and the planner actually engages (forward plans
+// recorded, not all fallbacks). Speedup magnitudes are left to the
+// full-scale BENCH_PLANNER.json benchcheck gate — at shape scale the
+// batches are too small for stable ratios.
+func TestPlannerShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape tests are not -short")
+	}
+	env := NewEnv(shapeConfig())
+	rep, err := env.Planner([]string{"shakes_11.xml", "Ged02.xml"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) == 0 {
+		t.Fatal("no planner rows")
+	}
+	if !rep.Agreed {
+		t.Fatal("planner settings disagreed")
+	}
+	var forward int64
+	for _, r := range rep.Rows {
+		if !r.Agreed {
+			t.Fatalf("%s/%s: row not agreed", r.Dataset, r.Workload)
+		}
+		if r.On.Results != r.Off.Results || r.On.CostTotal != r.Off.CostTotal {
+			t.Fatalf("%s/%s: on(results=%d cost=%d) off(results=%d cost=%d)",
+				r.Dataset, r.Workload, r.On.Results, r.On.CostTotal, r.Off.Results, r.Off.CostTotal)
+		}
+		if r.CacheHitRate < 0.9 {
+			t.Fatalf("%s/%s: steady-state hit rate %.2f below 0.9", r.Dataset, r.Workload, r.CacheHitRate)
+		}
+		if r.Speedup <= 0 || r.On.QPS <= 0 || r.Off.QPS <= 0 {
+			t.Fatalf("%s/%s: degenerate timing: %+v", r.Dataset, r.Workload, r)
+		}
+		forward += r.Forward
+	}
+	if forward == 0 {
+		t.Fatal("planner never produced a forward plan")
+	}
+	if rep.GeomeanSpeedup <= 0 {
+		t.Fatalf("geomean %.2f", rep.GeomeanSpeedup)
+	}
+
+	table := RenderPlanner(rep)
+	for _, want := range []string{"Planner ablation", "geomean speedup", "agreed=true"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, table)
+		}
+	}
+	var sb strings.Builder
+	if err := WritePlannerJSON(&sb, rep); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "\"geomean_speedup\"") {
+		t.Fatalf("JSON artifact missing geomean field:\n%s", sb.String())
+	}
+}

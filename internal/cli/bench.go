@@ -22,12 +22,13 @@ func RunBench(args []string, stdout io.Writer) error {
 		q2       = fs.Int("q2", 100, "number of QTYPE2 queries")
 		q3       = fs.Int("q3", 200, "number of QTYPE3 queries")
 		seed     = fs.Int64("seed", 1, "random seed")
-		exps     = fs.String("experiments", "table1,table2,fig13,fig14,fig15", "comma-separated experiment list (also: ablations, adapt-stall, asr, concurrency, explain, footprint, join-kernel, recovery, serve, shard)")
+		exps     = fs.String("experiments", "table1,table2,fig13,fig14,fig15", "comma-separated experiment list (also: ablations, adapt-stall, asr, concurrency, explain, footprint, join-kernel, planner, recovery, serve, shard)")
 		paper    = fs.Bool("paper", false, "run the full-size paper protocol (slow)")
 		csvDir   = fs.String("csv", "", "also write figure series as CSV files into this directory")
 		concJSON = fs.String("concurrency-json", "", "write the concurrency sweep report to this JSON file")
 		adptJSON = fs.String("adapt-json", "", "write the adapt-stall report to this JSON file")
 		joinJSON = fs.String("join-json", "", "write the join-kernel ablation report to this JSON file")
+		planJSON = fs.String("planner-json", "", "write the planner ablation report to this JSON file")
 		srvJSON  = fs.String("serve-json", "", "write the serving-layer report to this JSON file")
 		shrdJSON = fs.String("shard-json", "", "write the sharded-serving report to this JSON file")
 		recJSON  = fs.String("recovery-json", "", "write the crash-recovery report to this JSON file")
@@ -245,6 +246,27 @@ func RunBench(args []string, stdout io.Writer) error {
 		}
 		return csvOut("joinkernel.json", func(w io.Writer) error {
 			return bench.WriteJoinKernelJSON(w, rep)
+		})
+	})
+	run("planner", func() error {
+		rep, err := env.Planner(nil)
+		if err != nil {
+			return err
+		}
+		fprintf(stdout, "%s\n", bench.RenderPlanner(rep))
+		if *planJSON != "" {
+			f, err := os.Create(*planJSON)
+			if err != nil {
+				return err
+			}
+			if err := bench.WritePlannerJSON(f, rep); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+		return csvOut("planner.json", func(w io.Writer) error {
+			return bench.WritePlannerJSON(w, rep)
 		})
 	})
 	run("serve", func() error {

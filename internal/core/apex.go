@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"apex/internal/xmlgraph"
@@ -31,6 +32,16 @@ type APEX struct {
 	// block-compressed columns when true, flat columns when false. See
 	// SetCompressExtents.
 	compress bool
+	// epoch counts publication points on this index instance — it is bumped
+	// once at the end of every FreezeExtents pass. Query-side caches that
+	// hold planner decisions or rewriting legs stamp the epoch they were
+	// computed under and flush on mismatch, so in-place maintenance (Update,
+	// RefreshData, a compression flip) can never serve a stale plan. Atomic
+	// because queries read it concurrently with a publication bump.
+	epoch atomic.Int64
+	// statsView is the aggregate extent-statistics snapshot recorded by the
+	// most recent FreezeExtents pass; see StatsView.
+	statsView StatsView
 }
 
 // Graph returns the underlying data graph.
@@ -123,6 +134,25 @@ type FreezeStats struct {
 // LastFreeze returns the stats of the most recent FreezeExtents pass.
 func (a *APEX) LastFreeze() FreezeStats { return a.lastFreeze }
 
+// Epoch returns the publication epoch of this index instance: the number of
+// FreezeExtents passes that have completed on it. Every maintenance entry
+// point (build, update, refresh, decode) ends in FreezeExtents, so a changed
+// epoch means the structures a query-side cache captured may be gone.
+func (a *APEX) Epoch() int64 { return a.epoch.Load() }
+
+// StatsView is the aggregate extent-statistics snapshot of one publication
+// point, summed from the O(1) ExtentStats each frozen extent carries. The
+// planner and /stats read it with zero graph traversal.
+type StatsView struct {
+	Extents    int // live extents considered by the freeze walk
+	Pairs      int // total extent pairs across them
+	Compressed int // extents serving in block-compressed form
+	Blocks     int // packed blocks across all compressed extents
+}
+
+// StatsView returns the snapshot recorded by the most recent FreezeExtents.
+func (a *APEX) StatsView() StatsView { return a.statsView }
+
 // FreezeExtents publishes every extent in its columnar serving form (sorted,
 // deduplicated, distinct-ends precomputed — see EdgeSet.Freeze). It walks
 // both the live summary graph and the hash tree, because lookups can land on
@@ -181,7 +211,22 @@ func (a *APEX) FreezeExtents() FreezeStats {
 	walkH(a.head)
 	st.Refrozen = len(toFreeze)
 	freezeAll(toFreeze, a.Workers(), a.compress)
+	// Record the aggregate stats snapshot from the per-extent statistics the
+	// freeze just published — one O(1) read per extent, no column access —
+	// then bump the epoch so plan caches keyed on it invalidate by identity.
+	var sv StatsView
+	for x := range seen {
+		es := x.Extent.Stats()
+		sv.Extents++
+		sv.Pairs += es.Pairs
+		sv.Blocks += es.Blocks
+		if es.Packed {
+			sv.Compressed++
+		}
+	}
+	a.statsView = sv
 	a.lastFreeze = st
+	a.epoch.Add(1)
 	observeSince(mFreezeNS, start)
 	mFrozenExtents.Add(int64(st.Refrozen))
 	mFreezeConsidered.Add(int64(st.Total))

@@ -30,7 +30,11 @@ func (a *APEX) CloneWithGraph(g *xmlgraph.Graph) *APEX {
 		workers:    a.workers,
 		lastFreeze: a.lastFreeze,
 		compress:   a.compress,
+		statsView:  a.statsView,
 	}
+	// Carry the epoch forward so publication counts stay monotone across
+	// shadow rebuilds; the clone's own FreezeExtents bumps it before publish.
+	c.epoch.Store(a.epoch.Load())
 	xmap := make(map[*XNode]*XNode)
 	var cloneX func(x *XNode) *XNode
 	cloneX = func(x *XNode) *XNode {

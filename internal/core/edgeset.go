@@ -59,6 +59,14 @@ type EdgeSet struct {
 	cFrom *extentblock.PairColumn
 	cTo   *extentblock.PairColumn
 	cEnds *extentblock.NIDColumn
+
+	// starts is the distinct From count, computed once when the columns are
+	// built and carried across form conversions — the per-extent statistic
+	// the query planner's backward-direction estimate reads without touching
+	// any column. 0 while mutable (the count is a publication-time artifact)
+	// and for compressed sets loaded straight from segments, where counting
+	// would mean a full decode (stats consumers treat 0 as unknown).
+	starts int
 }
 
 // NewEdgeSet returns an empty edge set.
@@ -147,8 +155,20 @@ func (s *EdgeSet) sortColumns() {
 			s.ends = append(s.ends, p.To)
 		}
 	}
+	s.starts = countStarts(s.byFrom)
 	s.m = nil
 	s.pairs = nil
+}
+
+// countStarts counts the distinct From values of a (From, To)-sorted column.
+func countStarts(byFrom []xmlgraph.EdgePair) int {
+	n := 0
+	for i, p := range byFrom {
+		if i == 0 || p.From != byFrom[i-1].From {
+			n++
+		}
+	}
+	return n
 }
 
 // packColumns converts the flat frozen columns to the block-compressed form.
@@ -190,6 +210,7 @@ func (s *EdgeSet) thaw() {
 	}
 	s.byFrom, s.byTo, s.ends = nil, nil, nil
 	s.frozen = false
+	s.starts = 0
 }
 
 // CloneShared returns a copy of the set for shadow maintenance. A frozen set
@@ -259,7 +280,7 @@ func (s *EdgeSet) FrozenColumns() (byFrom, byTo []xmlgraph.EdgePair, ends []xmlg
 // ascending. The caller owns validation — the decoder enforces order and
 // cross-column consistency before this is reached — and cedes the slices.
 func NewFrozenEdgeSet(byFrom, byTo []xmlgraph.EdgePair, ends []xmlgraph.NID) *EdgeSet {
-	return &EdgeSet{frozen: true, byFrom: byFrom, byTo: byTo, ends: ends}
+	return &EdgeSet{frozen: true, byFrom: byFrom, byTo: byTo, ends: ends, starts: countStarts(byFrom)}
 }
 
 // NewCompressedEdgeSet constructs a set directly in its block-compressed
@@ -431,6 +452,62 @@ func (s *EdgeSet) EndsLen() int {
 		return s.cEnds.Len()
 	}
 	return len(s.ends)
+}
+
+// StartsLen returns the number of distinct From nids of a frozen set without
+// decoding anything, or 0 when the count is unknown (mutable sets, and
+// compressed sets loaded straight from segments).
+func (s *EdgeSet) StartsLen() int {
+	if s == nil || !s.frozen {
+		return 0
+	}
+	return s.starts
+}
+
+// PairsByTo returns the pairs sorted by (To, From) — the flat frozen column
+// when available (no copy, read-only), a freshly built copy otherwise. The
+// planner's backward join pass requires this order; on compressed sets it
+// consumes the (To, From) block cursor instead of this decoded copy.
+func (s *EdgeSet) PairsByTo() []xmlgraph.EdgePair {
+	if s == nil {
+		return nil
+	}
+	if s.Compressed() {
+		return s.cTo.AppendAll(make([]xmlgraph.EdgePair, 0, s.cTo.Len()))
+	}
+	if s.frozen {
+		return s.byTo
+	}
+	res := append([]xmlgraph.EdgePair(nil), s.pairs...)
+	sort.Slice(res, func(i, j int) bool { return lessToFrom(res[i], res[j]) })
+	return res
+}
+
+// ExtentStats is the O(1) per-extent statistics record the query planner
+// reads at plan time: everything here is precomputed at freeze/publication
+// and never touches a column. Starts is 0 when unknown (segment-loaded
+// compressed extents); consumers fall back to Pairs as an upper bound.
+type ExtentStats struct {
+	Pairs  int  // total (From, To) pairs
+	Starts int  // distinct From values; 0 = unknown
+	Ends   int  // distinct To values
+	Packed bool // block-compressed serving form
+	Blocks int  // packed blocks across the three columns (0 when flat)
+}
+
+// Stats returns the set's precomputed statistics. All fields are zero for
+// mutable sets — statistics are a property of the published serving form.
+func (s *EdgeSet) Stats() ExtentStats {
+	if s == nil || !s.frozen {
+		return ExtentStats{}
+	}
+	return ExtentStats{
+		Pairs:  s.Len(),
+		Starts: s.starts,
+		Ends:   s.EndsLen(),
+		Packed: s.Compressed(),
+		Blocks: s.FootprintBlocks(),
+	}
 }
 
 // Sorted returns a copy of the pairs ordered by (From, To); used by tests,

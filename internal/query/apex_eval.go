@@ -3,6 +3,7 @@ package query
 import (
 	"context"
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
@@ -54,6 +55,19 @@ type APEXEvaluator struct {
 	// columnar extents (ablation: isolates the kernel; also exercised by
 	// the differential harness with both settings).
 	DisableMergeJoin bool
+	// DisablePlanner falls back to the fixed left-to-right merge join and
+	// uncached leg enumeration instead of the cost-based plan (ablation:
+	// isolates the planner; the planner also stands down whenever any other
+	// ablation flag is set, so those flags keep isolating what they always
+	// isolated).
+	DisablePlanner bool
+
+	// plan is the cost-based planner state: the epoch-stamped plan and leg
+	// caches plus the decision counters behind PlanStats.
+	plan *planState
+	// generation is the facade publication generation this evaluator
+	// serves, stamped at publish time (0 for standalone evaluators).
+	generation atomic.Int64
 
 	// spanSize is the number of extent pairs per parallel work unit;
 	// parallelThreshold is the minimum scan size before fanning out to the
@@ -87,6 +101,7 @@ func NewAPEXEvaluator(idx *core.APEX, dt *storage.DataTable) *APEXEvaluator {
 		maxRewriteLen:     idx.Graph().DocDepth() + 2,
 		spanSize:          defaultSpanSize,
 		parallelThreshold: defaultParallelThreshold,
+		plan:              newPlanState(),
 	}
 }
 
@@ -222,7 +237,7 @@ func (e *APEXEvaluator) evalPath(ctx context.Context, p xmlgraph.LabelPath, t *T
 	tr := newTracer(t, &c)
 	c.Queries++
 	tr.stage("plan", "path length %d", len(p))
-	out := e.evalPathSet(ctx, p, &c, tr)
+	out := e.evalPathSet(ctx, p, &c, tr, nil)
 	e.idx.Graph().SortByDocumentOrder(out)
 	c.ResultNodes += int64(len(out))
 	tr.stage("finalize", "sort by document order")
@@ -236,8 +251,12 @@ func (e *APEXEvaluator) evalPath(ctx context.Context, p xmlgraph.LabelPath, t *T
 // tally identical logical Cost counters — one ExtentEdges per extent pair
 // consulted, one JoinProbes per pair at a join position — so the cost model
 // is kernel-independent; the merge kernel's savings show up in wall time,
-// allocations, and the gallop-skip metrics instead.
-func (e *APEXEvaluator) evalPathSet(ctx context.Context, p xmlgraph.LabelPath, c *Cost, tr *tracer) []xmlgraph.NID {
+// allocations, and the gallop-skip metrics instead. Under the cost-based
+// planner (the default when no ablation flag is set) the join runs the
+// planned executor, which tallies the same model from the plan's statistics;
+// memo, when non-nil, shares forward join frontiers across the rewriting
+// legs of one QTYPE2/QMIXED evaluation.
+func (e *APEXEvaluator) evalPathSet(ctx context.Context, p xmlgraph.LabelPath, c *Cost, tr *tracer, memo *prefixMemo) []xmlgraph.NID {
 	if len(p) == 0 {
 		return nil
 	}
@@ -271,6 +290,9 @@ func (e *APEXEvaluator) evalPathSet(ctx context.Context, p xmlgraph.LabelPath, c
 		return e.evalPathJoinHash(ctx, p, c, tr)
 	}
 	mKernelMerge.Inc()
+	if e.plannerEnabled() {
+		return e.evalPathJoinPlanned(ctx, p, nodes, c, tr, memo)
+	}
 	return e.evalPathJoinMerge(ctx, p, c, tr)
 }
 
@@ -314,13 +336,14 @@ func (e *APEXEvaluator) evalPathJoinHash(ctx context.Context, p xmlgraph.LabelPa
 }
 
 // sortedNIDs flattens a node set into an ascending slice (the common
-// currency of the two kernels).
+// currency of the two kernels). slices.Sort, not sort.Slice: the comparator
+// closure showed up in join-heavy profiles.
 func sortedNIDs(m map[xmlgraph.NID]bool) []xmlgraph.NID {
 	out := make([]xmlgraph.NID, 0, len(m))
 	for n := range m {
 		out = append(out, n)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -357,7 +380,17 @@ func (e *APEXEvaluator) evalPair(ctx context.Context, a, b string, t *Trace) []x
 	c.Queries++
 	tr.stage("plan", "descendant pair %s//%s", a, b)
 	res := make(map[xmlgraph.NID]bool)
-	legs := e.enumerateLegs(a, b, &c)
+	var legs []string
+	var memo *prefixMemo
+	if e.plannerEnabled() {
+		// Cached enumeration, cheapest leg first, with forward frontiers
+		// shared across legs; the union is order-independent, so neither
+		// changes results or logical cost.
+		legs = e.orderLegs(e.legsFor(a, b, &c))
+		memo = newPrefixMemo()
+	} else {
+		legs = e.enumerateLegs(a, b, &c)
+	}
 	tr.stage("rewrite-enum", "%d rewritings", len(legs))
 	for _, s := range legs {
 		checkCancel(ctx)
@@ -368,10 +401,13 @@ func (e *APEXEvaluator) evalPair(ctx context.Context, a, b string, t *Trace) []x
 			prefix = "rw[" + s + "]/"
 		}
 		tr.withPrefix(prefix, func() {
-			for _, n := range e.evalPathSet(ctx, xmlgraph.ParseLabelPath(s), &c, tr) {
+			for _, n := range e.evalPathSet(ctx, xmlgraph.ParseLabelPath(s), &c, tr, memo) {
 				res[n] = true
 			}
 		})
+	}
+	if tr != nil && memo != nil {
+		tr.stage("plan", "legs=%d(%d shared)", len(legs), memo.shared)
 	}
 	out := make([]xmlgraph.NID, 0, len(res))
 	for n := range res {
@@ -455,17 +491,45 @@ func (e *APEXEvaluator) evalMixed(ctx context.Context, segments []xmlgraph.Label
 		return nil
 	}
 	// Per-gap legs: sequences last(s_i) … first(s_{i+1}).
+	planned := e.plannerEnabled()
+	var memo *prefixMemo
+	if planned {
+		memo = newPrefixMemo()
+	}
 	legs := make([][]string, len(segments)-1)
 	for i := 0; i < len(segments)-1; i++ {
 		a := segments[i][len(segments[i])-1]
 		b := segments[i+1][0]
-		legs[i] = e.enumerateLegs(a, b, &c)
+		if planned {
+			legs[i] = e.legsFor(a, b, &c)
+		} else {
+			legs[i] = e.enumerateLegs(a, b, &c)
+		}
 		if tr != nil {
 			tr.stage(fmt.Sprintf("rewrite-enum[%d]", i), "%s//%s: %d legs", a, b, len(legs[i]))
 		}
 		if len(legs[i]) == 0 {
 			tr.finish()
 			return nil // no connection exists for this gap
+		}
+	}
+	if planned {
+		// Cheapest legs first — but only when the cartesian product fits
+		// under the rewriting cap: past the cap the combination order decides
+		// which combos run at all, and reordering there would change results.
+		product := 1
+		underCap := true
+		for _, ls := range legs {
+			product *= len(ls)
+			if product > MaxMixedRewritings {
+				underCap = false
+				break
+			}
+		}
+		if underCap {
+			for i := range legs {
+				legs[i] = e.orderLegs(legs[i])
+			}
 		}
 	}
 	// Combine: s1 ⊕ mid(leg1) ⊕ s2 ⊕ mid(leg2) ⊕ … where mid strips the
@@ -487,7 +551,7 @@ func (e *APEXEvaluator) evalMixed(ctx context.Context, segments []xmlgraph.Label
 				prefix = "rw[" + s + "]/"
 			}
 			tr.withPrefix(prefix, func() {
-				for _, n := range e.evalPathSet(ctx, acc, &c, tr) {
+				for _, n := range e.evalPathSet(ctx, acc, &c, tr, memo) {
 					res[n] = true
 				}
 			})
@@ -501,6 +565,9 @@ func (e *APEXEvaluator) evalMixed(ctx context.Context, segments []xmlgraph.Label
 		}
 	}
 	build(0, segments[0])
+	if tr != nil && memo != nil {
+		tr.stage("plan", "combos=%d shared=%d", combos, memo.shared)
+	}
 	out := make([]xmlgraph.NID, 0, len(res))
 	for n := range res {
 		out = append(out, n)
@@ -527,7 +594,7 @@ func (e *APEXEvaluator) evalPathValue(ctx context.Context, p xmlgraph.LabelPath,
 	tr := newTracer(t, &c)
 	c.Queries++
 	tr.stage("plan", "path length %d + value predicate", len(p))
-	cands := e.evalPathSet(ctx, p, &c, tr)
+	cands := e.evalPathSet(ctx, p, &c, tr, nil)
 	checkCancel(ctx)
 	out := e.validateValues(cands, value, &c)
 	tr.stage("validate", "candidates=%d matched=%d", len(cands), len(out))

@@ -207,6 +207,13 @@ func appendUnseenEnds(x *core.XNode, out []xmlgraph.NID, seen []bool) []xmlgraph
 // over From-aligned spans of the sorted pairs (a From run never splits
 // across workers, so every worker's probe cursor stays monotone).
 func (e *APEXEvaluator) mergePosition(nodes []*core.XNode, allowed []xmlgraph.NID, out []xmlgraph.NID, c *Cost) []xmlgraph.NID {
+	return e.mergePositionOpt(nodes, allowed, out, c, true)
+}
+
+// mergePositionOpt is mergePosition with the parallel fan-out under caller
+// control: the planner decides per stage, from the statistics, whether the
+// scan is worth the pool dispatch (allowFanout false pins it serial).
+func (e *APEXEvaluator) mergePositionOpt(nodes []*core.XNode, allowed []xmlgraph.NID, out []xmlgraph.NID, c *Cost, allowFanout bool) []xmlgraph.NID {
 	total := 0
 	for _, x := range nodes {
 		n := x.Extent.Len()
@@ -216,7 +223,7 @@ func (e *APEXEvaluator) mergePosition(nodes []*core.XNode, allowed []xmlgraph.NI
 	}
 	extra := 0
 	var spans []span
-	if total >= e.parallelThreshold {
+	if allowFanout && total >= e.parallelThreshold {
 		spans = mergeSpans(nodes, e.spanSize)
 		if len(spans) > 1 {
 			extra = e.pool.acquire(len(spans) - 1)

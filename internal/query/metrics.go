@@ -26,6 +26,21 @@ var (
 	// pairs stepped over inside decoded blocks and flat columns).
 	mBlockSkips = metrics.Default.Counter("query.apex.merge.block_skips_total")
 
+	// Cost-based planner: plan/leg cache effectiveness, which executor each
+	// planned join ran (forward from the chosen anchor, backward over the
+	// (To,From) view, or a fallback to the legacy left-to-right merge when
+	// the anchor seed came up empty), per-stage hash-kernel picks, and how
+	// many rewriting legs reused a shared prefix frontier.
+	mPlanHits       = metrics.Default.Counter("query.apex.plan.cache_hits_total")
+	mPlanMisses     = metrics.Default.Counter("query.apex.plan.cache_misses_total")
+	mLegHits        = metrics.Default.Counter("query.apex.plan.leg_cache_hits_total")
+	mLegMisses      = metrics.Default.Counter("query.apex.plan.leg_cache_misses_total")
+	mPlanForward    = metrics.Default.Counter("query.apex.plan.forward_total")
+	mPlanBackward   = metrics.Default.Counter("query.apex.plan.backward_total")
+	mPlanFallbacks  = metrics.Default.Counter("query.apex.plan.fallback_total")
+	mPlanShared     = metrics.Default.Counter("query.apex.plan.shared_prefix_total")
+	mPlanHashStages = metrics.Default.Counter("query.apex.plan.hash_stages_total")
+
 	// Worker-pool pressure: extra workers currently lent out, total grants,
 	// and how often a scan wanted extra workers but the pool was drained.
 	mPoolInUse     = metrics.Default.Gauge("query.pool.extra_workers_in_use")

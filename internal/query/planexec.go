@@ -1,0 +1,393 @@
+package query
+
+import (
+	"context"
+	"fmt"
+	"slices"
+
+	"apex/internal/core"
+	"apex/internal/extentblock"
+	"apex/internal/xmlgraph"
+)
+
+// The planned join executor. It runs the physical plan the planner selected
+// while tallying the logical cost model from the plan's statistics, so
+// planner-on and planner-off report identical QueryCost for every query:
+//
+//   - every physical kernel call receives a discarded Cost — shortcuts
+//     (skipped leading positions) and detours (the backward bind pass) are
+//     invisible to the model;
+//   - a position's logical cost is tallied from its recorded statistics,
+//     and only for positions the legacy kernel provably reaches: a nonempty
+//     exact candidate set at position j proves every earlier position was
+//     nonempty too (emptiness is monotone under the join recurrence);
+//   - when nothing proves how far the legacy kernel would have gotten (the
+//     anchor's exact candidate set is empty), the executor abandons the
+//     plan and replays the legacy join outright for its exact early-exit
+//     tally — which is also the cheap case, since the legacy join exits at
+//     the first empty position.
+
+// evalPathJoinPlanned is the planner-enabled replacement for
+// evalPathJoinMerge: fetch or build the plan, then execute it forward or
+// backward. nodesN are the evaluation's own LookupAll(p) results.
+func (e *APEXEvaluator) evalPathJoinPlanned(ctx context.Context, p xmlgraph.LabelPath, nodesN []*core.XNode, c *Cost, tr *tracer, memo *prefixMemo) []xmlgraph.NID {
+	pl := e.planFor(p, nodesN)
+	if pl.anchor == 0 {
+		e.plan.fallbacks.Add(1)
+		mPlanFallbacks.Inc()
+		return e.evalPathJoinMerge(ctx, p, c, tr)
+	}
+	if pl.backward {
+		return e.evalPathBackward(ctx, pl, c, tr)
+	}
+	return e.evalPathForward(ctx, p, pl, c, tr, memo)
+}
+
+// tallyPositions adds the legacy kernel's logical cost of positions
+// [lo, hi] from the plan's statistics: each position pays its refined
+// prefix lookup (HashLookups += j) and one ExtentEdges per extent pair,
+// with join positions (j ≥ 2) adding one JoinProbes per pair — exactly what
+// the legacy merge kernel tallies at every position it reaches.
+func tallyPositions(c *Cost, stats []posStats, lo, hi int) {
+	for j := lo; j <= hi; j++ {
+		c.HashLookups += int64(j)
+		c.ExtentEdges += stats[j-1].Pairs
+		if j >= 2 {
+			c.JoinProbes += stats[j-1].Pairs
+		}
+	}
+}
+
+// evalPathForward executes a forward plan: seed the candidate set from the
+// anchor position's precomputed distinct-ends columns (or from a memoized
+// shared prefix of an earlier rewriting leg), then run the remaining stages
+// with their planned kernels.
+func (e *APEXEvaluator) evalPathForward(ctx context.Context, p xmlgraph.LabelPath, pl *pathPlan, c *Cost, tr *tracer, memo *prefixMemo) []xmlgraph.NID {
+	var phys Cost // physical-kernel tallies, discarded: the model comes from stats
+	start := pl.anchor
+	var seed []xmlgraph.NID
+	if memo != nil {
+		// Consume the longest memoized shared prefix beyond the anchor.
+		for m := pl.n - 1; m > pl.anchor; m-- {
+			if fr, ok := memo.get(p[:m].String()); ok {
+				seed, start = fr, m
+				memo.shared++
+				e.plan.shared.Add(1)
+				mPlanShared.Inc()
+				break
+			}
+		}
+	}
+	sc := joinScratchPool.Get().(*joinScratch)
+	allowed, spare := sc.a[:0], sc.b[:0]
+	defer func() {
+		sc.a, sc.b = allowed, spare
+		joinScratchPool.Put(sc)
+	}()
+	if seed == nil {
+		allowed = e.unionEndsInto(pl.nodes[pl.anchor-1], allowed, &phys)
+		if len(allowed) == 0 {
+			// The anchor's exact candidate set is empty: some earlier
+			// position already emptied under the legacy kernel, but which
+			// one is not knowable from statistics. Replay the legacy join
+			// for its exact tally profile.
+			e.plan.fallbacks.Add(1)
+			mPlanFallbacks.Inc()
+			return e.evalPathJoinMerge(ctx, p, c, tr)
+		}
+	} else {
+		allowed = append(allowed, seed...)
+	}
+	tallyPositions(c, pl.stats, 1, start)
+	if tr != nil {
+		tr.stage("plan", "anchor=%d start=%d dir=forward kernels=%s", pl.anchor, start, pl.kernelString())
+	}
+	e.plan.forward.Add(1)
+	mPlanForward.Inc()
+	if memo != nil && seed == nil {
+		memo.put(p[:pl.anchor].String(), allowed)
+	}
+	for j := start + 1; j <= pl.n; j++ {
+		checkCancel(ctx)
+		st := pl.stages[j-pl.anchor-1]
+		tallyPositions(c, pl.stats, j, j)
+		if st.kernel == kernelHash {
+			spare = e.hashPosition(pl.nodes[j-1], allowed, spare[:0], &phys)
+		} else {
+			spare = e.mergePositionOpt(pl.nodes[j-1], allowed, spare[:0], &phys, st.fanout)
+		}
+		allowed, spare = spare, allowed
+		if tr != nil {
+			tr.stage(fmt.Sprintf("join[%d]", j), "candidates=%d kernel=%c", len(allowed), st.kernel.letter())
+		}
+		if len(allowed) == 0 {
+			return nil
+		}
+		if memo != nil && j < pl.n {
+			memo.put(p[:j].String(), allowed)
+		}
+	}
+	return append([]xmlgraph.NID(nil), allowed...)
+}
+
+// evalPathBackward executes a backward plan. The plan's gate proved every
+// position through n-1 has a nonempty exact candidate set, so the legacy
+// kernel reaches and tallies all n positions whatever the result — the
+// whole logical cost is tallied up front and the physical execution is free
+// to exit the moment anything empties.
+//
+// The bind pass computes V_n = ends(E_n) and V_j = {From : (From,To) ∈
+// E_{j+1}, To ∈ V_{j+1}} over the (To,From) columnar view; the forward
+// stages then intersect each output with its bind. By induction the running
+// set equals (legacy candidate set ∩ V_j) at every position, and V_n
+// contains every legacy result at position n, so the final result is exact.
+func (e *APEXEvaluator) evalPathBackward(ctx context.Context, pl *pathPlan, c *Cost, tr *tracer) []xmlgraph.NID {
+	tallyPositions(c, pl.stats, 1, pl.n)
+	if tr != nil {
+		tr.stage("plan", "anchor=%d dir=backward kernels=%s", pl.anchor, pl.kernelString())
+	}
+	e.plan.backward.Add(1)
+	mPlanBackward.Inc()
+	var phys Cost
+	n := pl.n
+	vs := make([][]xmlgraph.NID, n+1)
+	vs[n] = e.unionEndsInto(pl.nodes[n-1], nil, &phys)
+	if len(vs[n]) == 0 {
+		return nil
+	}
+	for j := n - 1; j >= pl.anchor; j-- {
+		checkCancel(ctx)
+		vs[j] = e.backwardPosition(pl.nodes[j], vs[j+1]) // pl.nodes[j] holds position j+1
+		if len(vs[j]) == 0 {
+			return nil
+		}
+	}
+	if tr != nil {
+		tr.stage("bind", "suffix bind %d..%d candidates", len(vs[pl.anchor]), len(vs[n]))
+	}
+	allowed := e.unionEndsInto(pl.nodes[pl.anchor-1], nil, &phys)
+	allowed = intersectSorted(allowed, vs[pl.anchor], allowed[:0])
+	if len(allowed) == 0 {
+		return nil
+	}
+	for j := pl.anchor + 1; j <= n; j++ {
+		checkCancel(ctx)
+		st := pl.stages[j-pl.anchor-1]
+		var next []xmlgraph.NID
+		if st.kernel == kernelHash {
+			next = e.hashPosition(pl.nodes[j-1], allowed, nil, &phys)
+		} else {
+			next = e.mergePositionOpt(pl.nodes[j-1], allowed, nil, &phys, st.fanout)
+		}
+		allowed = intersectSorted(next, vs[j], next[:0])
+		if tr != nil {
+			tr.stage(fmt.Sprintf("join[%d]", j), "candidates=%d kernel=%c bound=%d", len(allowed), st.kernel.letter(), len(vs[j]))
+		}
+		if len(allowed) == 0 {
+			return nil
+		}
+	}
+	return allowed
+}
+
+// backwardPosition computes one bind step: the distinct Froms of the nodes'
+// extent pairs whose To survives in toSet, via the (To,From) columns (block
+// cursors on compressed extents). Serial — bind sets are small by the
+// backward gate's selectivity requirement.
+func (e *APEXEvaluator) backwardPosition(nodes []*core.XNode, toSet []xmlgraph.NID) []xmlgraph.NID {
+	sp := getSeen(e.idx.Graph().NumNodes())
+	var out []xmlgraph.NID
+	var skips, blockSkips int64
+	var scratch *blockScratch
+	for _, x := range nodes {
+		if _, byTo, _, ok := x.Extent.CompressedColumns(); ok {
+			if scratch == nil {
+				scratch = blockScratchPool.Get().(*blockScratch)
+			}
+			out = mergeJoinBlocksBack(byTo, toSet, out, *sp, scratch, &skips, &blockSkips)
+		} else {
+			out = mergeJoinBackInto(x.Extent.PairsByTo(), toSet, out, *sp, &skips)
+		}
+	}
+	if scratch != nil {
+		blockScratchPool.Put(scratch)
+	}
+	putSeen(sp, out)
+	mGallopSkips.Add(skips)
+	mBlockSkips.Add(blockSkips)
+	slices.Sort(out)
+	return out
+}
+
+// hashPosition is the planned bitmap hash-probe stage: mark the candidate
+// set in a node-id bitmap, stream every extent pair once probing the
+// bitmap, collect distinct surviving Tos, sort. No cursor state and no
+// gallop — the kernel the planner picks when many small extents would keep
+// restarting a merge cursor against a large candidate set. Tallies the same
+// logical counters as mergePosition (planned callers discard them).
+func (e *APEXEvaluator) hashPosition(nodes []*core.XNode, allowed []xmlgraph.NID, out []xmlgraph.NID, c *Cost) []xmlgraph.NID {
+	mPlanHashStages.Inc()
+	numNodes := e.idx.Graph().NumNodes()
+	mark := getSeen(numNodes)
+	for _, n := range allowed {
+		(*mark)[n] = true
+	}
+	sp := getSeen(numNodes)
+	var scratch *blockScratch
+	for _, x := range nodes {
+		np := x.Extent.Len()
+		c.ExtentEdges += int64(np)
+		c.JoinProbes += int64(np)
+		if byFrom, _, _, ok := x.Extent.CompressedColumns(); ok {
+			if scratch == nil {
+				scratch = blockScratchPool.Get().(*blockScratch)
+			}
+			for b := 0; b < byFrom.NumBlocks(); b++ {
+				for _, pr := range byFrom.AppendBlock(scratch.pairs[:0], b) {
+					if (*mark)[pr.From] && !(*sp)[pr.To] {
+						(*sp)[pr.To] = true
+						out = append(out, pr.To)
+					}
+				}
+			}
+			continue
+		}
+		for _, pr := range x.Extent.PairsByFrom() {
+			if pr.From >= 0 && (*mark)[pr.From] && !(*sp)[pr.To] {
+				(*sp)[pr.To] = true
+				out = append(out, pr.To)
+			}
+		}
+	}
+	if scratch != nil {
+		blockScratchPool.Put(scratch)
+	}
+	putSeen(mark, allowed)
+	putSeen(sp, out)
+	slices.Sort(out)
+	return out
+}
+
+// intersectSorted intersects two ascending id slices into out. out may
+// alias a's backing array from index 0: the write cursor never passes the
+// read cursor.
+func intersectSorted(a, b, out []xmlgraph.NID) []xmlgraph.NID {
+	i, k := 0, 0
+	for i < len(a) && k < len(b) {
+		switch {
+		case a[i] == b[k]:
+			out = append(out, a[i])
+			i++
+			k++
+		case a[i] < b[k]:
+			i++
+		default:
+			k++
+		}
+	}
+	return out
+}
+
+// mergeJoinBackInto is mergeJoinInto's backward mirror: pairs sorted by
+// (To, From) merged against toSet (ascending), emitting the From of every
+// matching pair, deduplicated through seen. The xroot extent's synthetic
+// NullNID parent is skipped — a bind set only ever filters real node ids.
+func mergeJoinBackInto(pairs []xmlgraph.EdgePair, toSet []xmlgraph.NID, out []xmlgraph.NID, seen []bool, skips *int64) []xmlgraph.NID {
+	out, _ = mergeJoinBackIntoAt(pairs, toSet, 0, out, seen, skips)
+	return out
+}
+
+// mergeJoinBackIntoAt is mergeJoinBackInto with the toSet cursor threaded
+// through, so a block cursor can merge decoded (To,From) blocks one after
+// another against a single monotone pass over toSet.
+func mergeJoinBackIntoAt(pairs []xmlgraph.EdgePair, toSet []xmlgraph.NID, k0 int, out []xmlgraph.NID, seen []bool, skips *int64) ([]xmlgraph.NID, int) {
+	i, k := 0, k0
+	for i < len(pairs) && k < len(toSet) {
+		t, a := pairs[i].To, toSet[k]
+		switch {
+		case t == a:
+			if f := pairs[i].From; f >= 0 && !seen[f] {
+				seen[f] = true
+				out = append(out, f)
+			}
+			i++
+		case t < a:
+			i++
+			for s := 1; i < len(pairs) && pairs[i].To < a; i++ {
+				if s++; s >= gallopStreak {
+					j := gallopPairsTo(pairs, i, a)
+					*skips += int64(j - i)
+					i = j
+					break
+				}
+			}
+		default:
+			k++
+			for s := 1; k < len(toSet) && toSet[k] < t; k++ {
+				if s++; s >= gallopStreak {
+					j := gallopNIDs(toSet, k, t)
+					*skips += int64(j - k)
+					k = j
+					break
+				}
+			}
+		}
+	}
+	return out, k
+}
+
+// mergeJoinBlocksBack is mergeJoinBlocks' backward mirror over a compressed
+// (To,From) column: the skip index discards whole blocks whose To range
+// misses the bind set before any decode.
+func mergeJoinBlocksBack(col *extentblock.PairColumn, toSet []xmlgraph.NID, out []xmlgraph.NID, seen []bool, scratch *blockScratch, skips, blockSkips *int64) []xmlgraph.NID {
+	if len(toSet) == 0 {
+		return out
+	}
+	last := toSet[len(toSet)-1]
+	k := 0
+	for b := 0; b < col.NumBlocks() && k < len(toSet); b++ {
+		lo, hi := col.BlockMajorRange(b)
+		if hi < toSet[k] {
+			*blockSkips++
+			continue
+		}
+		if lo > last {
+			break
+		}
+		pairs := col.AppendBlock(scratch.pairs[:0], b)
+		out, k = mergeJoinBackIntoAt(pairs, toSet, k, out, seen, skips)
+	}
+	return out
+}
+
+// gallopPairsTo is gallopPairs over the To key of a (To, From)-sorted
+// column: the first index ≥ lo with pairs[index].To ≥ target. Precondition:
+// pairs[lo].To < target.
+func gallopPairsTo(pairs []xmlgraph.EdgePair, lo int, target xmlgraph.NID) int {
+	n := len(pairs)
+	bound := 1
+	for lo+bound < n && pairs[lo+bound].To < target {
+		bound <<= 1
+	}
+	base := lo + bound>>1
+	hi := lo + bound
+	if hi > n {
+		hi = n
+	}
+	return base + sortSearchPairsTo(pairs, base, hi, target)
+}
+
+// sortSearchPairsTo is the binary search inside gallopPairsTo's final
+// doubling window.
+func sortSearchPairsTo(pairs []xmlgraph.EdgePair, base, hi int, target xmlgraph.NID) int {
+	lo, n := 0, hi-base
+	for lo < n {
+		mid := (lo + n) / 2
+		if pairs[base+mid].To < target {
+			lo = mid + 1
+		} else {
+			n = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,116 @@
+package query
+
+import (
+	"slices"
+	"testing"
+
+	"apex/internal/core"
+	"apex/internal/xmlgraph"
+)
+
+// TestMergeJoinBackGallop drives the backward merge against a brute-force
+// reference on inputs long enough to trigger galloping on both cursors —
+// sparse bind sets over dense pair runs (pairs cursor gallops) and dense
+// bind sets over sparse pairs (bind cursor gallops) — including a synthetic
+// NullNID parent, which the bind pass must skip.
+func TestMergeJoinBackGallop(t *testing.T) {
+	type tc struct {
+		name  string
+		pairs []xmlgraph.EdgePair
+		toSet []xmlgraph.NID
+	}
+	var cases []tc
+
+	dense := tc{name: "sparse bind over dense pairs"}
+	for to := xmlgraph.NID(0); to < 4000; to++ {
+		dense.pairs = append(dense.pairs, xmlgraph.EdgePair{From: to % 53, To: to})
+	}
+	for a := xmlgraph.NID(5); a < 4000; a += 97 {
+		dense.toSet = append(dense.toSet, a)
+	}
+	cases = append(cases, dense)
+
+	sparse := tc{name: "dense bind over sparse pairs"}
+	sparse.pairs = append(sparse.pairs, xmlgraph.EdgePair{From: xmlgraph.NullNID, To: 0})
+	for i := xmlgraph.NID(0); i < 120; i++ {
+		sparse.pairs = append(sparse.pairs, xmlgraph.EdgePair{From: i % 7, To: i * 37})
+	}
+	for a := xmlgraph.NID(0); a < 1500; a++ {
+		sparse.toSet = append(sparse.toSet, a)
+	}
+	cases = append(cases, sparse)
+
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			inSet := make(map[xmlgraph.NID]bool, len(c.toSet))
+			for _, a := range c.toSet {
+				inSet[a] = true
+			}
+			var want []xmlgraph.NID
+			seenRef := map[xmlgraph.NID]bool{}
+			for _, pr := range c.pairs {
+				if pr.From >= 0 && inSet[pr.To] && !seenRef[pr.From] {
+					seenRef[pr.From] = true
+					want = append(want, pr.From)
+				}
+			}
+			slices.Sort(want)
+
+			seen := make([]bool, 64)
+			var skips int64
+			got := mergeJoinBackInto(c.pairs, c.toSet, nil, seen, &skips)
+			slices.Sort(got)
+			if !slices.Equal(got, want) {
+				t.Fatalf("got %v, want %v", got, want)
+			}
+			if skips == 0 {
+				t.Fatal("expected galloping to skip at least one element")
+			}
+		})
+	}
+}
+
+func TestIntersectSortedAliasing(t *testing.T) {
+	a := []xmlgraph.NID{1, 3, 5, 7, 9, 11}
+	b := []xmlgraph.NID{2, 3, 4, 7, 11, 12}
+	got := intersectSorted(a, b, a[:0]) // in-place: out aliases a
+	if want := []xmlgraph.NID{3, 7, 11}; !slices.Equal(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	if got = intersectSorted([]xmlgraph.NID{1, 2}, []xmlgraph.NID{3, 4}, nil); len(got) != 0 {
+		t.Fatalf("disjoint intersection returned %v", got)
+	}
+}
+
+func TestPlanAccessors(t *testing.T) {
+	pl := &pathPlan{backward: true, stages: []stageDecision{{kernel: kernelMerge}, {kernel: kernelHash}}}
+	if got := pl.dir(); got != "backward" {
+		t.Fatalf("dir() = %q", got)
+	}
+	pl.backward = false
+	if got := pl.dir(); got != "forward" {
+		t.Fatalf("dir() = %q", got)
+	}
+	if got := pl.kernelString(); got != "m,h" {
+		t.Fatalf("kernelString() = %q", got)
+	}
+
+	g := playGraph(t)
+	idx := core.BuildAPEX0(g)
+	ev := NewAPEXEvaluator(idx, nil)
+	ev.SetGeneration(42)
+	if got := ev.Generation(); got != 42 {
+		t.Fatalf("Generation() = %d", got)
+	}
+	if st := ev.PlanStats(); st.Generation != 42 {
+		t.Fatalf("PlanStats().Generation = %d", st.Generation)
+	}
+
+	if hr := (PlanStats{}).HitRate(); hr != 0 {
+		t.Fatalf("empty HitRate() = %v", hr)
+	}
+	full := PlanStats{PlanHits: 3, LegHits: 1}
+	if hr := full.HitRate(); hr != 1 {
+		t.Fatalf("all-hits HitRate() = %v", hr)
+	}
+}

@@ -1,0 +1,578 @@
+package query
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"apex/internal/core"
+	"apex/internal/xmlgraph"
+)
+
+// The cost-based join planner. Before a QTYPE1/QTYPE3 join executes, the
+// planner reads the O(1) per-extent statistics core records at freeze time
+// (pair count, distinct From/To counts — see core.ExtentStats) for every
+// join position and decides, from statistics alone:
+//
+//   - the anchor position: the deepest prefix position whose hash-tree
+//     lookup covers its whole prefix. A covered position's extents are
+//     exactly T(p[:j]), so their precomputed distinct-ends column IS the
+//     running candidate set after position j — the join can start there and
+//     skip the leading positions' scans entirely;
+//   - the direction: when the suffix binds far fewer nodes than the anchor,
+//     a backward (To→From) pass over the (To,From) columnar view narrows
+//     every remaining position before the forward merges run;
+//   - the kernel per forward stage: the gallop merge wins on skew, the
+//     bitmap hash-probe wins when many small extents would keep restarting
+//     the merge cursor;
+//   - the parallel fan-out per stage: tiny extents skip the pool dispatch.
+//
+// Decisions are cached per canonical path in a bounded LRU stamped with the
+// index's publication epoch — the facade already publishes a fresh evaluator
+// per generation, and the epoch stamp covers in-place republication (Update,
+// RefreshData, compression flips) on a reused evaluator, so a plan can never
+// outlive the extent columns it describes.
+//
+// Cost parity: planner-on and planner-off tally identical logical QueryCost
+// for every query (the differential property test pins this). The planned
+// executor tallies each position's cost from the plan's statistics — which
+// record exactly what the legacy kernel would have counted — and only for
+// positions the legacy kernel provably reaches; physical kernels run against
+// a discarded Cost so no physical shortcut or detour shows up in the model.
+
+// kernel identifies the physical join kernel of one planned forward stage.
+type kernel byte
+
+const (
+	kernelMerge kernel = iota // gallop sort-merge over the (From,To) column
+	kernelHash                // bitmap hash-probe over the same column
+)
+
+func (k kernel) letter() byte {
+	if k == kernelHash {
+		return 'h'
+	}
+	return 'm'
+}
+
+// posStats are one join position's planning inputs, summed over the
+// position's LookupAll node set from the O(1) ExtentStats each frozen extent
+// carries. Pairs and Ends are exactly what the legacy kernel would tally and
+// produce at this position; Starts is 0 when unknown (segment-loaded
+// compressed extents never counted their distinct Froms).
+type posStats struct {
+	Pairs   int64
+	Ends    int64
+	Starts  int64
+	Extents int64
+	Covered bool // the lookup covered the whole prefix: extents are exactly T(p[:j])
+}
+
+// stageDecision is the planned physical execution of one forward stage.
+type stageDecision struct {
+	kernel kernel
+	fanout bool // worth dispatching the parallel span fan-out
+}
+
+// pathPlan is one cached planning decision for a canonical path, together
+// with the per-position statistics and LookupAll node sets it was derived
+// from (valid for exactly one publication epoch, enforced by the cache).
+// anchor <= 1 means planning found no win and the legacy kernel runs as-is.
+type pathPlan struct {
+	n        int
+	anchor   int
+	backward bool
+	stages   []stageDecision // positions anchor+1..n
+	stats    []posStats      // positions 1..n
+	nodes    [][]*core.XNode // positions 1..n: LookupAll(p[:j]) results
+	// totalPairs is the Σ-pairs work estimate — the cheapest-first ordering
+	// key for QTYPE2/QMIXED rewriting legs.
+	totalPairs int64
+}
+
+// kernelString renders the per-stage kernel choices for the Explain plan
+// stage ("m,m,h").
+func (pl *pathPlan) kernelString() string {
+	if len(pl.stages) == 0 {
+		return "-"
+	}
+	var b strings.Builder
+	for i, st := range pl.stages {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteByte(st.kernel.letter())
+	}
+	return b.String()
+}
+
+func (pl *pathPlan) dir() string {
+	if pl.backward {
+		return "backward"
+	}
+	return "forward"
+}
+
+// backwardFactor is how much smaller the estimated suffix bind must be than
+// the anchor's candidate set before the backward pass pays for its extra
+// To→From sweep.
+const backwardFactor = 8
+
+// selectPlan chooses anchor, direction, kernels, and fan-out from statistics
+// alone — a pure function, table-tested on synthetic stats.
+//
+// Anchor: among positions a whose prefix positions 1..a are all covered with
+// nonempty candidate sets, minimize the estimated remaining work
+// ends_a + Σ_{j>a} pairs_j (the seed copy plus the stages still to run).
+// Deeper valid anchors dominate — each stage costs at least its pairs — but
+// the scan keeps the explicit argmin so the decision is a cost comparison.
+// Position n is never a candidate: a covered full path takes the fast path
+// before the join is reached.
+//
+// Backward: sound only when the anchor scan proved every position 1..n-1
+// covered and nonempty — then the legacy kernel provably reaches and tallies
+// all n positions whatever the suffix holds, which is the cost-parity
+// precondition for tallying everything up front. The backward plan
+// re-anchors at the position with the smallest exact candidate set (the bind
+// pass shrinks every later stage, so a small seed beats a deep one) and
+// engages when the estimated suffix bind is backwardFactor× smaller than the
+// forward plan's seed.
+//
+// Kernel: per forward stage, the gallop merge is estimated at
+// minSide·log(skew) plus a cursor restart per extent, the bitmap probe at
+// marking the candidate set plus one probe per pair; the smaller estimate
+// wins. The candidate-set estimate entering stage j is bounded by every
+// preceding position's distinct ends.
+func selectPlan(stats []posStats, parallelThreshold int) (anchor int, backward bool, stages []stageDecision) {
+	n := len(stats)
+	if n == 0 {
+		return 0, false, nil
+	}
+	// Suffix pair sums: suffix[a] = Σ_{j>a} pairs_j.
+	suffix := make([]int64, n+1)
+	for j := n - 1; j >= 1; j-- {
+		suffix[j] = suffix[j+1] + stats[j].Pairs
+	}
+	best := int64(-1)
+	reachedEnd := false
+	for a := 1; a <= n-1; a++ {
+		s := stats[a-1]
+		if !s.Covered || s.Ends == 0 {
+			break // a deeper anchor would seed from a non-exact or empty set
+		}
+		if cost := s.Ends + suffix[a]; best < 0 || cost <= best {
+			best, anchor = cost, a
+		}
+		reachedEnd = a == n-1
+	}
+	if anchor == 0 {
+		return 0, false, nil
+	}
+
+	if reachedEnd && n >= 3 {
+		// Backward candidate anchor: the smallest exact candidate set (ties
+		// to the deepest, for fewer forward stages). At n-1 the bind pass
+		// would filter nothing the final join doesn't already touch, so the
+		// re-anchor must leave at least two stages.
+		ab := 1
+		for a := 2; a <= n-1; a++ {
+			if stats[a-1].Ends <= stats[ab-1].Ends {
+				ab = a
+			}
+		}
+		if ab <= n-2 {
+			// Estimate the suffix bind: V_n is at most ends_n, and each
+			// backward step is bounded by the next position's distinct
+			// Froms when that count is known. The first bind step is charged
+			// in full — it merges position n's extents against their own
+			// ends, where galloping skips nothing — so a heavy final
+			// position disqualifies backward however selective its bind.
+			vEst := stats[n-1].Ends
+			for j := n - 1; j > ab; j-- {
+				if s := stats[j].Starts; s > 0 && s < vEst {
+					vEst = s
+				}
+			}
+			if (stats[n-1].Pairs*2+vEst)*backwardFactor <= stats[anchor-1].Ends {
+				anchor, backward = ab, true
+			}
+		}
+	}
+
+	est := stats[anchor-1].Ends // candidate-set size entering the next stage
+	stages = make([]stageDecision, 0, n-anchor)
+	for j := anchor + 1; j <= n; j++ {
+		s := stats[j-1]
+		stages = append(stages, stageDecision{
+			kernel: chooseStageKernel(est, s.Pairs, s.Extents),
+			fanout: s.Pairs >= int64(parallelThreshold),
+		})
+		if s.Ends < est {
+			est = s.Ends
+		}
+	}
+	return anchor, backward, stages
+}
+
+// chooseStageKernel picks the physical kernel for one forward stage joining
+// an estimated allowed-set of `allowed` ids against `pairs` extent pairs
+// spread over `extents` extents. Pure; table-tested.
+func chooseStageKernel(allowed, pairs, extents int64) kernel {
+	minSide, maxSide := allowed, pairs
+	if minSide > maxSide {
+		minSide, maxSide = maxSide, minSide
+	}
+	mergeCost := minSide*ilog2(2+maxSide/(minSide+1)) + extents*ilog2(2+allowed)
+	hashCost := allowed/2 + 2*pairs
+	if hashCost < mergeCost {
+		return kernelHash
+	}
+	return kernelMerge
+}
+
+// ilog2 returns floor(log2(v)) for v ≥ 1 (0 otherwise).
+func ilog2(v int64) int64 {
+	var n int64
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// lruCache is a minimal string-keyed bounded LRU shared by the plan and leg
+// caches. Not safe for concurrent use; callers hold the evaluator's plan
+// mutex.
+type lruCache[V any] struct {
+	cap       int
+	m         map[string]*list.Element
+	l         *list.List
+	evictions int64
+}
+
+type lruItem[V any] struct {
+	key string
+	val V
+}
+
+func newLRU[V any](capacity int) *lruCache[V] {
+	return &lruCache[V]{cap: capacity, m: make(map[string]*list.Element), l: list.New()}
+}
+
+func (c *lruCache[V]) get(k string) (V, bool) {
+	if el, ok := c.m[k]; ok {
+		c.l.MoveToFront(el)
+		return el.Value.(*lruItem[V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+func (c *lruCache[V]) put(k string, v V) {
+	if el, ok := c.m[k]; ok {
+		el.Value.(*lruItem[V]).val = v
+		c.l.MoveToFront(el)
+		return
+	}
+	c.m[k] = c.l.PushFront(&lruItem[V]{key: k, val: v})
+	for c.l.Len() > c.cap {
+		back := c.l.Back()
+		delete(c.m, back.Value.(*lruItem[V]).key)
+		c.l.Remove(back)
+		c.evictions++
+	}
+}
+
+func (c *lruCache[V]) flush() {
+	c.m = make(map[string]*list.Element)
+	c.l.Init()
+}
+
+// Cache bounds: plans are small (a few slices per path), legs can hold many
+// rewriting strings; both caps are far above any workload in the repo's
+// datasets, so evictions signal churn rather than steady-state behavior.
+const (
+	planCacheCap = 4096
+	legCacheCap  = 512
+)
+
+// legEntry is one cached enumerateLegs result: the sorted rewriting legs and
+// the logical cost the enumeration tallied, replayed verbatim on every hit
+// so a cache hit is invisible to the cost model.
+type legEntry struct {
+	legs  []string
+	edges int64 // IndexEdgeLookups the DFS performed
+}
+
+// planState is the evaluator's planning machinery: the two epoch-stamped
+// caches plus the decision/hit counters surfaced through PlanStats.
+type planState struct {
+	mu      sync.Mutex
+	epoch   int64 // core publication epoch the caches were built under
+	plans   *lruCache[*pathPlan]
+	legs    *lruCache[legEntry]
+	flushes atomic.Int64
+
+	planHits   atomic.Int64
+	planMisses atomic.Int64
+	legHits    atomic.Int64
+	legMisses  atomic.Int64
+	forward    atomic.Int64
+	backward   atomic.Int64
+	fallbacks  atomic.Int64
+	shared     atomic.Int64
+}
+
+func newPlanState() *planState {
+	return &planState{plans: newLRU[*pathPlan](planCacheCap), legs: newLRU[legEntry](legCacheCap)}
+}
+
+// syncEpochLocked flushes both caches when the index republished in place
+// since they were filled. Caller holds ps.mu.
+func (ps *planState) syncEpochLocked(cur int64) {
+	if ps.epoch != cur {
+		ps.plans.flush()
+		ps.legs.flush()
+		if ps.epoch != 0 || cur != 0 {
+			ps.flushes.Add(1)
+		}
+		ps.epoch = cur
+	}
+}
+
+// PlanStats is the planner's observability record: cache behavior, decision
+// mix, and the publication identities the caches are keyed under. Surfaced
+// through the facade and the server's /stats.
+type PlanStats struct {
+	Generation int64 `json:"generation"`
+	Epoch      int64 `json:"epoch"`
+
+	PlanHits      int64 `json:"plan_hits"`
+	PlanMisses    int64 `json:"plan_misses"`
+	PlanEvictions int64 `json:"plan_evictions"`
+	LegHits       int64 `json:"leg_hits"`
+	LegMisses     int64 `json:"leg_misses"`
+	LegEvictions  int64 `json:"leg_evictions"`
+	Flushes       int64 `json:"flushes"`
+
+	Forward      int64 `json:"forward_plans"`
+	Backward     int64 `json:"backward_plans"`
+	Fallbacks    int64 `json:"fallbacks"`
+	SharedPrefix int64 `json:"shared_prefix_hits"`
+}
+
+// HitRate is the combined plan+leg cache hit rate (0 when nothing was
+// looked up) — the steady-state serve-replay headline.
+func (s PlanStats) HitRate() float64 {
+	total := s.PlanHits + s.PlanMisses + s.LegHits + s.LegMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.PlanHits+s.LegHits) / float64(total)
+}
+
+// PlanStats snapshots the evaluator's planner counters.
+func (e *APEXEvaluator) PlanStats() PlanStats {
+	ps := e.plan
+	ps.mu.Lock()
+	planEv, legEv := ps.plans.evictions, ps.legs.evictions
+	epoch := ps.epoch
+	ps.mu.Unlock()
+	return PlanStats{
+		Generation:    e.generation.Load(),
+		Epoch:         epoch,
+		PlanHits:      ps.planHits.Load(),
+		PlanMisses:    ps.planMisses.Load(),
+		PlanEvictions: planEv,
+		LegHits:       ps.legHits.Load(),
+		LegMisses:     ps.legMisses.Load(),
+		LegEvictions:  legEv,
+		Flushes:       ps.flushes.Load(),
+		Forward:       ps.forward.Load(),
+		Backward:      ps.backward.Load(),
+		Fallbacks:     ps.fallbacks.Load(),
+		SharedPrefix:  ps.shared.Load(),
+	}
+}
+
+// SetGeneration stamps the facade publication generation this evaluator
+// serves (surfaced in PlanStats; the facade publishes a fresh evaluator per
+// generation, which is the plan cache's primary invalidation-by-identity).
+func (e *APEXEvaluator) SetGeneration(gen int64) { e.generation.Store(gen) }
+
+// Generation returns the stamped publication generation.
+func (e *APEXEvaluator) Generation() int64 { return e.generation.Load() }
+
+// plannerEnabled reports whether the planned executor may run: every
+// ablation flag forces the corresponding legacy path so the flags keep
+// isolating exactly what they always isolated.
+func (e *APEXEvaluator) plannerEnabled() bool {
+	return !e.DisablePlanner && !e.DisableFastPath && !e.DisableRefinement && !e.DisableMergeJoin
+}
+
+// planFor returns the cached plan for p, building and caching it on a miss.
+// nodesN, when non-nil, are the already-performed LookupAll(p) results the
+// caller tallied (reused as position n's node set on a build). Planning
+// itself tallies nothing: its prefix lookups are physical work outside the
+// paper's per-query cost model, and a cache hit skips them entirely.
+func (e *APEXEvaluator) planFor(p xmlgraph.LabelPath, nodesN []*core.XNode) *pathPlan {
+	key := p.String()
+	ps := e.plan
+	ps.mu.Lock()
+	ps.syncEpochLocked(e.idx.Epoch())
+	if pl, ok := ps.plans.get(key); ok {
+		ps.mu.Unlock()
+		ps.planHits.Add(1)
+		mPlanHits.Inc()
+		return pl
+	}
+	pl := e.buildPlan(p, nodesN)
+	ps.plans.put(key, pl)
+	ps.mu.Unlock()
+	ps.planMisses.Add(1)
+	mPlanMisses.Inc()
+	return pl
+}
+
+// buildPlan performs the per-position prefix lookups, collects each
+// position's statistics from the O(1) per-extent records, and runs the pure
+// selection.
+func (e *APEXEvaluator) buildPlan(p xmlgraph.LabelPath, nodesN []*core.XNode) *pathPlan {
+	n := len(p)
+	pl := &pathPlan{
+		n:     n,
+		stats: make([]posStats, n),
+		nodes: make([][]*core.XNode, n),
+	}
+	for j := 1; j <= n; j++ {
+		prefix := p[:j]
+		var nodes []*core.XNode
+		var covered xmlgraph.LabelPath
+		if j == n && nodesN != nil {
+			// Reuse the evaluation's own lookup; a join only runs when the
+			// full path is not covered.
+			nodes, covered = nodesN, nil
+		} else {
+			nodes, covered = e.idx.LookupAll(prefix)
+		}
+		st := &pl.stats[j-1]
+		st.Covered = j < n && covered.Equal(prefix)
+		st.Extents = int64(len(nodes))
+		startsKnown := true
+		for _, x := range nodes {
+			es := x.Extent.Stats()
+			st.Pairs += int64(es.Pairs)
+			st.Ends += int64(es.Ends)
+			if es.Starts == 0 && es.Pairs > 0 {
+				startsKnown = false
+			}
+			st.Starts += int64(es.Starts)
+		}
+		if !startsKnown {
+			st.Starts = 0
+		}
+		pl.nodes[j-1] = nodes
+		pl.totalPairs += st.Pairs
+	}
+	pl.anchor, pl.backward, pl.stages = selectPlan(pl.stats, e.parallelThreshold)
+	return pl
+}
+
+// legsFor is the cached enumerateLegs: rewriting legs per (a, b), keyed
+// under the same epoch stamp as plans, with the enumeration's logical cost
+// replayed on every hit so planner-on and planner-off tally identically.
+func (e *APEXEvaluator) legsFor(a, b string, c *Cost) []string {
+	key := a + "\x00" + b
+	ps := e.plan
+	ps.mu.Lock()
+	ps.syncEpochLocked(e.idx.Epoch())
+	if ent, ok := ps.legs.get(key); ok {
+		ps.mu.Unlock()
+		ps.legHits.Add(1)
+		mLegHits.Inc()
+		c.HashLookups++
+		c.IndexEdgeLookups += ent.edges
+		return ent.legs
+	}
+	ps.mu.Unlock()
+	var local Cost
+	legs := e.enumerateLegs(a, b, &local)
+	c.merge(&local)
+	ps.mu.Lock()
+	ps.syncEpochLocked(e.idx.Epoch())
+	ps.legs.put(key, legEntry{legs: legs, edges: local.IndexEdgeLookups})
+	ps.mu.Unlock()
+	ps.legMisses.Add(1)
+	mLegMisses.Inc()
+	return legs
+}
+
+// orderLegs returns the rewriting legs cheapest-first by their plans'
+// Σ-pairs work estimate (ties lexicographic, so the order is deterministic).
+// The union over legs is order-independent, so reordering never changes
+// results or cost — it front-loads the cheap legs whose planned executions
+// prime the shared-prefix memo for the expensive ones.
+func (e *APEXEvaluator) orderLegs(legs []string) []string {
+	if len(legs) < 2 {
+		return legs
+	}
+	type legCost struct {
+		s    string
+		cost int64
+	}
+	lcs := make([]legCost, len(legs))
+	for i, s := range legs {
+		lcs[i] = legCost{s: s, cost: e.planFor(xmlgraph.ParseLabelPath(s), nil).totalPairs}
+	}
+	ordered := make([]string, len(legs))
+	// Insertion sort: leg lists are short and mostly sorted already.
+	for i, lc := range lcs {
+		j := i
+		for j > 0 && (lcs[j-1].cost > lc.cost || (lcs[j-1].cost == lc.cost && lcs[j-1].s > lc.s)) {
+			lcs[j] = lcs[j-1]
+			j--
+		}
+		lcs[j] = lc
+	}
+	for i, lc := range lcs {
+		ordered[i] = lc.s
+	}
+	return ordered
+}
+
+// prefixMemo shares forward join frontiers across the rewriting legs of one
+// QTYPE2/QMIXED evaluation: a planned forward execution stores each nonempty
+// candidate set under its exact prefix, and a later leg with the same prefix
+// seeds from the memo instead of recomputing positions 1..m. Only exact
+// forward frontiers are stored (never backward V-filtered sets), so a
+// memoized set always equals what the legacy kernel would have computed.
+// Per-evaluation and single-goroutine; no locking.
+type prefixMemo struct {
+	m      map[string][]xmlgraph.NID
+	shared int64
+}
+
+const maxMemoEntries = 64
+
+func newPrefixMemo() *prefixMemo {
+	return &prefixMemo{m: make(map[string][]xmlgraph.NID)}
+}
+
+func (pm *prefixMemo) get(key string) ([]xmlgraph.NID, bool) {
+	if pm == nil {
+		return nil, false
+	}
+	v, ok := pm.m[key]
+	return v, ok
+}
+
+func (pm *prefixMemo) put(key string, frontier []xmlgraph.NID) {
+	if pm == nil || len(frontier) == 0 || len(pm.m) >= maxMemoEntries {
+		return
+	}
+	if _, ok := pm.m[key]; ok {
+		return
+	}
+	pm.m[key] = append([]xmlgraph.NID(nil), frontier...)
+}

@@ -1,0 +1,91 @@
+// Planner differential harness: on every seed dataset, the cost-based
+// planner must be invisible to everything except wall time — position-
+// identical results and an identical logical QueryCost against the legacy
+// left-to-right kernel, on the same mixed random workloads the engine
+// differential uses, before and after adaptation.
+package query_test
+
+import (
+	"testing"
+
+	"apex/internal/core"
+	"apex/internal/datagen"
+	"apex/internal/query"
+	"apex/internal/storage"
+	"apex/internal/workload"
+)
+
+// assertPlannerParity evaluates every query with the planner on and off and
+// requires identical results and an identical logical cost tally.
+func assertPlannerParity(t *testing.T, phase string, ap *query.APEXEvaluator, qs []query.Query) {
+	t.Helper()
+	for _, q := range qs {
+		ap.DisablePlanner = false
+		on, trOn, err := ap.EvaluateTrace(q)
+		if err != nil {
+			t.Fatalf("%s: planner-on on %s: %v", phase, q, err)
+		}
+		ap.DisablePlanner = true
+		off, trOff, err := ap.EvaluateTrace(q)
+		ap.DisablePlanner = false
+		if err != nil {
+			t.Fatalf("%s: planner-off on %s: %v", phase, q, err)
+		}
+		if len(on) != len(off) {
+			t.Fatalf("%s: %s: planner-on %d nodes, planner-off %d nodes",
+				phase, q, len(on), len(off))
+		}
+		for i := range on {
+			if on[i] != off[i] {
+				t.Fatalf("%s: %s: results diverge at position %d: on %d, off %d",
+					phase, q, i, on[i], off[i])
+			}
+		}
+		if trOn.Total != trOff.Total {
+			t.Fatalf("%s: %s: logical cost differs:\non:  %+v\noff: %+v",
+				phase, q, trOn.Total, trOff.Total)
+		}
+	}
+}
+
+func TestPlannerParityAllDatasets(t *testing.T) {
+	for _, name := range datagen.DatasetNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			ds, err := datagen.LoadDataset(name, diffScale)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := ds.Graph
+			dt, err := storage.BuildDataTable(g, 0, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			qs := diffQueries(g)
+			wl := workload.SampleWorkload(workload.New(g, diffSeed).QType1(60), 0.5, diffSeed)
+
+			// Phase 1: the initial index. One evaluator throughout — the
+			// parity sweep doubles as a plan-cache consistency check, since
+			// the planner-on runs alternate cold and cached plans.
+			idx := core.BuildAPEX0(g)
+			ap := query.NewAPEXEvaluator(idx, dt)
+			assertPlannerParity(t, "apex0", ap, qs)
+
+			// Phase 2: adapted — mined required paths deepen coverage, which
+			// is what unlocks deep anchors and backward plans.
+			idx.ExtractFrequentPaths(wl, 0.01)
+			idx.Update()
+			assertPlannerParity(t, "adapted", ap, qs)
+
+			// Phase 3: compressed extents, same evaluator (epoch flush).
+			idx.SetCompressExtents(true)
+			idx.FreezeExtents()
+			assertPlannerParity(t, "compressed", ap, qs)
+
+			if st := ap.PlanStats(); st.Forward+st.Backward+st.Fallbacks == 0 {
+				t.Errorf("planner never engaged on %s: %+v", name, st)
+			}
+		})
+	}
+}

@@ -1,0 +1,515 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"apex/internal/core"
+	"apex/internal/storage"
+	"apex/internal/xmlgraph"
+)
+
+// TestSelectPlan table-tests the pure plan selection: anchor position,
+// direction, and per-stage kernels from synthetic statistics.
+func TestSelectPlan(t *testing.T) {
+	cov := func(pairs, ends, starts int64) posStats {
+		return posStats{Pairs: pairs, Ends: ends, Starts: starts, Extents: 1, Covered: true}
+	}
+	unc := func(pairs, ends int64) posStats {
+		return posStats{Pairs: pairs, Ends: ends, Extents: 1}
+	}
+	cases := []struct {
+		name         string
+		stats        []posStats
+		wantAnchor   int
+		wantBackward bool
+	}{
+		{name: "empty", stats: nil, wantAnchor: 0},
+		{name: "single position", stats: []posStats{unc(10, 10)}, wantAnchor: 0},
+		{
+			// Position 1 not covered: no exact seed exists anywhere.
+			name:       "uncovered prefix",
+			stats:      []posStats{unc(100, 50), unc(100, 50), unc(100, 50)},
+			wantAnchor: 0,
+		},
+		{
+			// Deepest covered position wins: seeding at 2 skips position 1's
+			// scan and position 2's merge.
+			name:       "anchor at deepest covered",
+			stats:      []posStats{cov(100, 50, 40), cov(80, 40, 30), unc(60, 30)},
+			wantAnchor: 2,
+		},
+		{
+			// An empty covered position cannot seed (and proves nothing about
+			// where the legacy kernel exits) — anchoring stops before it.
+			name:       "empty covered position stops the scan",
+			stats:      []posStats{cov(100, 50, 40), cov(0, 0, 0), unc(60, 30)},
+			wantAnchor: 1,
+		},
+		{
+			// Suffix binds ~2 nodes against a 10k-node forward seed: go
+			// backward, re-anchored at position 1's small exact set.
+			name: "backward on selective suffix",
+			stats: []posStats{
+				cov(1000, 500, 400),
+				cov(15000, 9000, 8000),
+				cov(20000, 10000, 9000),
+				unc(40, 2),
+			},
+			wantAnchor:   1,
+			wantBackward: true,
+		},
+		{
+			// Same shape but the suffix binds as much as the anchor: stay
+			// forward from the deepest covered position.
+			name: "forward when suffix is not selective",
+			stats: []posStats{
+				cov(1000, 500, 400),
+				cov(15000, 9000, 8000),
+				cov(20000, 10000, 9000),
+				unc(13000, 8000),
+			},
+			wantAnchor:   3,
+			wantBackward: false,
+		},
+		{
+			// Backward needs every intermediate position covered: the bind
+			// pass cannot prove cost parity across an uncovered gap.
+			name: "no backward across uncovered intermediate",
+			stats: []posStats{
+				cov(20000, 10000, 9000),
+				cov(15000, 9000, 8000),
+				unc(500, 400),
+				unc(40, 2),
+			},
+			wantAnchor:   2,
+			wantBackward: false,
+		},
+		{
+			// One remaining stage is below the backward minimum (the bind
+			// pass would sweep the same extents the single join touches).
+			name: "no backward with one stage left",
+			stats: []posStats{
+				cov(20000, 10000, 9000),
+				cov(15000, 9000, 8000),
+				unc(40, 2),
+			},
+			wantAnchor:   2,
+			wantBackward: false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			anchor, backward, stages := selectPlan(tc.stats, defaultParallelThreshold)
+			if anchor != tc.wantAnchor {
+				t.Fatalf("anchor = %d, want %d", anchor, tc.wantAnchor)
+			}
+			if backward != tc.wantBackward {
+				t.Fatalf("backward = %v, want %v", backward, tc.wantBackward)
+			}
+			if anchor > 0 && len(stages) != len(tc.stats)-anchor {
+				t.Fatalf("got %d stages, want %d", len(stages), len(tc.stats)-anchor)
+			}
+		})
+	}
+}
+
+// TestSelectPlanFanout pins the fan-out threshold decision per stage.
+func TestSelectPlanFanout(t *testing.T) {
+	stats := []posStats{
+		{Pairs: 10, Ends: 5, Starts: 5, Extents: 1, Covered: true},
+		{Pairs: 10, Ends: 5, Extents: 1},    // tiny: serial
+		{Pairs: 5000, Ends: 50, Extents: 1}, // big: fan out at threshold 4096
+	}
+	anchor, _, stages := selectPlan(stats, 4096)
+	if anchor != 1 {
+		t.Fatalf("anchor = %d, want 1", anchor)
+	}
+	if stages[0].fanout {
+		t.Fatal("stage over 10 pairs should not dispatch the pool")
+	}
+	if !stages[1].fanout {
+		t.Fatal("stage over 5000 pairs should dispatch the pool")
+	}
+}
+
+// TestChooseStageKernel pins the kernel cost comparison at its extremes: a
+// huge candidate set against many small extents goes to the hash probe
+// (bitmap mark once, stream pairs once), skewed single-extent merges stay on
+// the gallop merge.
+func TestChooseStageKernel(t *testing.T) {
+	cases := []struct {
+		allowed, pairs, extents int64
+		want                    kernel
+	}{
+		// Many near-empty extents each restarting a merge cursor against a
+		// comparable candidate set: the single bitmap mark + stream wins.
+		{allowed: 1024, pairs: 2048, extents: 4096, want: kernelHash},
+		// Skewed single extent: galloping skips most of the big side.
+		{allowed: 100, pairs: 100000, extents: 1, want: kernelMerge},
+		{allowed: 8, pairs: 64, extents: 1, want: kernelMerge},
+		// Huge candidate set against few pairs: marking the bitmap alone
+		// costs more than the merge, however many extents.
+		{allowed: 100000, pairs: 3000, extents: 600, want: kernelMerge},
+	}
+	for _, tc := range cases {
+		if got := chooseStageKernel(tc.allowed, tc.pairs, tc.extents); got != tc.want {
+			t.Errorf("chooseStageKernel(%d, %d, %d) = %c, want %c",
+				tc.allowed, tc.pairs, tc.extents, got.letter(), tc.want.letter())
+		}
+	}
+}
+
+// TestLRUCacheEviction pins the bounded-LRU mechanics the plan and leg caches
+// share: recency order, capacity eviction, and the eviction counter.
+func TestLRUCacheEviction(t *testing.T) {
+	c := newLRU[int](2)
+	c.put("a", 1)
+	c.put("b", 2)
+	if _, ok := c.get("a"); !ok { // refresh a: b is now the eviction victim
+		t.Fatal("a missing before capacity was reached")
+	}
+	c.put("c", 3)
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted as least recently used")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a should have survived: it was refreshed before c arrived")
+	}
+	if c.evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", c.evictions)
+	}
+	c.flush()
+	if _, ok := c.get("a"); ok {
+		t.Fatal("flush must empty the cache")
+	}
+}
+
+// plannedFixture builds an APEX0 evaluator over the Hamlet fixture — deep
+// enough (//ACT/SCENE/SPEECH/LINE is length 4, required paths only reach
+// length 2) that QTYPE1 joins engage the planner.
+func plannedFixture(t *testing.T) (*xmlgraph.Graph, *core.APEX, *APEXEvaluator) {
+	t.Helper()
+	g := playGraph(t)
+	dt, err := storage.BuildDataTable(g, 0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := core.BuildAPEX0(g)
+	return g, idx, NewAPEXEvaluator(idx, dt)
+}
+
+// TestPlannerMatchesLegacyOnFixture is the quick in-package parity check (the
+// nine-dataset property test lives in the differential harness): identical
+// results and identical logical cost with the planner on and off.
+func TestPlannerMatchesLegacyOnFixture(t *testing.T) {
+	_, _, ap := plannedFixture(t)
+	queries := []string{
+		"//ACT/SCENE/SPEECH",
+		"//ACT/SCENE/SPEECH/LINE",
+		"//ACT/SCENE/SPEECH/SPEAKER",
+		"//PLAY/ACT/SCENE/SPEECH/LINE",
+		"//ACT//LINE",
+		"//SCENE/SPEECH/nosuch",
+		"//nosuch/SCENE/SPEECH",
+	}
+	for _, s := range queries {
+		q := MustParse(s)
+		on, trOn, err := ap.EvaluateTrace(q)
+		if err != nil {
+			t.Fatalf("planner-on %s: %v", s, err)
+		}
+		ap.DisablePlanner = true
+		off, trOff, err := ap.EvaluateTrace(q)
+		ap.DisablePlanner = false
+		if err != nil {
+			t.Fatalf("planner-off %s: %v", s, err)
+		}
+		if len(on) != len(off) {
+			t.Fatalf("%s: planner-on %d nodes, planner-off %d nodes", s, len(on), len(off))
+		}
+		for i := range on {
+			if on[i] != off[i] {
+				t.Fatalf("%s: results diverge at %d: on=%d off=%d", s, i, on[i], off[i])
+			}
+		}
+		if trOn.Total != trOff.Total {
+			t.Fatalf("%s: logical cost differs:\non:  %+v\noff: %+v", s, trOn.Total, trOff.Total)
+		}
+	}
+	st := ap.PlanStats()
+	if st.Forward+st.Backward+st.Fallbacks == 0 {
+		t.Fatal("no planned executions recorded: the fixture never reached the planner")
+	}
+	if st.PlanMisses == 0 {
+		t.Fatal("no plan-cache misses recorded")
+	}
+}
+
+// TestPlanCacheHitsOnRepeat verifies the plan cache answers repeated joins:
+// second and later evaluations of the same path must hit, not rebuild.
+func TestPlanCacheHitsOnRepeat(t *testing.T) {
+	_, _, ap := plannedFixture(t)
+	q := MustParse("//ACT/SCENE/SPEECH/LINE")
+	for i := 0; i < 5; i++ {
+		if _, err := ap.Evaluate(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := ap.PlanStats()
+	if st.PlanMisses != 1 {
+		t.Fatalf("plan misses = %d, want exactly 1 for a repeated identical join", st.PlanMisses)
+	}
+	if st.PlanHits < 4 {
+		t.Fatalf("plan hits = %d, want >= 4", st.PlanHits)
+	}
+	if hr := st.HitRate(); hr < 0.8 {
+		t.Fatalf("hit rate = %.2f, want >= 0.8", hr)
+	}
+}
+
+// TestPlanTraceStages asserts every planner decision surfaces in the Explain
+// trace: a plan stage naming anchor, direction, and kernels, and per-stage
+// join records — while the stage-sum invariant keeps holding.
+func TestPlanTraceStages(t *testing.T) {
+	_, _, ap := plannedFixture(t)
+	_, tr, err := ap.EvaluateTrace(MustParse("//ACT/SCENE/SPEECH/LINE"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var planDetail string
+	for _, s := range tr.Stages {
+		if s.Name == "plan" && strings.Contains(s.Detail, "anchor=") {
+			planDetail = s.Detail
+		}
+	}
+	if planDetail == "" {
+		t.Fatalf("no plan stage with an anchor decision in trace: %+v", tr.Stages)
+	}
+	for _, want := range []string{"anchor=", "dir=", "kernels="} {
+		if !strings.Contains(planDetail, want) {
+			t.Fatalf("plan stage %q missing %q", planDetail, want)
+		}
+	}
+	if got := tr.StageSum(); got != tr.Total {
+		t.Fatalf("stage sum %+v != total %+v", got, tr.Total)
+	}
+}
+
+// TestPlanEpochStaleness reuses one evaluator across in-place republications
+// — workload adaptation, a data refresh, and a compression flip — and
+// requires correct results plus a recorded cache flush each time. This is
+// the invalidation path the facade's per-generation evaluator swap does not
+// cover.
+func TestPlanEpochStaleness(t *testing.T) {
+	g, idx, ap := plannedFixture(t)
+	q := MustParse("//ACT/SCENE/SPEECH/LINE")
+	check := func(phase string, wantFlushes int64) {
+		t.Helper()
+		got, err := ap.Evaluate(q)
+		if err != nil {
+			t.Fatalf("%s: %v", phase, err)
+		}
+		want := g.EvalPartialPath(q.Path)
+		if len(got) != len(want) {
+			t.Fatalf("%s: got %d nodes, want %d", phase, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: diverges at %d: got %d want %d", phase, i, got[i], want[i])
+			}
+		}
+		if st := ap.PlanStats(); st.Flushes < wantFlushes {
+			t.Fatalf("%s: flushes = %d, want >= %d", phase, st.Flushes, wantFlushes)
+		}
+	}
+	check("initial", 0)
+
+	// Adaptation: Update republishes the extents in place.
+	idx.ExtractFrequentPaths([]xmlgraph.LabelPath{
+		xmlgraph.ParseLabelPath("ACT.SCENE.SPEECH"),
+		xmlgraph.ParseLabelPath("ACT.SCENE.SPEECH"),
+	}, 0.5)
+	idx.Update()
+	check("adapted", 1)
+
+	// Data mutation: new nodes, new extent columns, same evaluator.
+	if _, err := g.AppendFragment(g.Root(),
+		`<ACT><SCENE><SPEECH><LINE>new line</LINE></SPEECH></SCENE></ACT>`, nil); err != nil {
+		t.Fatal(err)
+	}
+	idx.RefreshData()
+	check("refreshed", 2)
+
+	// Compression flip: same pairs, different physical columns.
+	idx.SetCompressExtents(true)
+	idx.FreezeExtents()
+	check("compressed", 3)
+}
+
+// TestLegCacheParity pins the cached leg enumeration: repeated QTYPE2
+// evaluations must hit the leg cache and tally exactly the logical cost the
+// uncached enumeration would have.
+func TestLegCacheParity(t *testing.T) {
+	_, _, ap := plannedFixture(t)
+	q := MustParse("//ACT//LINE")
+	_, tr1, err := ap.EvaluateTrace(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tr2, err := ap.EvaluateTrace(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr1.Total != tr2.Total {
+		t.Fatalf("leg-cache hit changed the logical cost:\nmiss: %+v\nhit:  %+v", tr1.Total, tr2.Total)
+	}
+	st := ap.PlanStats()
+	if st.LegMisses != 1 || st.LegHits < 1 {
+		t.Fatalf("leg cache counters = %d misses / %d hits, want 1 miss and >= 1 hit", st.LegMisses, st.LegHits)
+	}
+	ap.DisablePlanner = true
+	_, trOff, err := ap.EvaluateTrace(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trOff.Total != tr1.Total {
+		t.Fatalf("cached enumeration diverges from the legacy tally:\non:  %+v\noff: %+v", tr1.Total, trOff.Total)
+	}
+}
+
+// backwardFixture builds a document engineered so the backward plan fires on
+// //a/b/c/e: 20 <a> parents fan out to 200 <b><c> chains, exactly one of
+// which carries the rare <e> leaf. With a.b.c mined as a required path,
+// positions 1..3 are covered and nonempty while the suffix binds a single
+// node — the re-anchored backward pass's home ground.
+func backwardFixture(t *testing.T) (*core.APEX, *APEXEvaluator) {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString("<R>")
+	for i := 0; i < 20; i++ {
+		b.WriteString("<a>")
+		for j := 0; j < 10; j++ {
+			if i == 0 && j == 0 {
+				b.WriteString("<b><c><e>rare</e></c></b>")
+			} else {
+				b.WriteString("<b><c>common</c></b>")
+			}
+		}
+		b.WriteString("</a>")
+	}
+	b.WriteString("</R>")
+	g, err := xmlgraph.BuildString(b.String(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt, err := storage.BuildDataTable(g, 0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := []xmlgraph.LabelPath{
+		xmlgraph.ParseLabelPath("a.b.c"),
+		xmlgraph.ParseLabelPath("a.b.c"),
+	}
+	idx := core.BuildAPEX(g, w, 0.5)
+	return idx, NewAPEXEvaluator(idx, dt)
+}
+
+// TestBackwardExecution drives the backward executor end to end, under both
+// extent forms, and pins it against the legacy kernel on results and logical
+// cost.
+func TestBackwardExecution(t *testing.T) {
+	idx, ap := backwardFixture(t)
+	q := MustParse("//a/b/c/e")
+	for _, compressed := range []bool{false, true} {
+		if compressed {
+			idx.SetCompressExtents(true)
+			idx.FreezeExtents()
+		}
+		on, trOn, err := ap.EvaluateTrace(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ap.DisablePlanner = true
+		off, trOff, err := ap.EvaluateTrace(q)
+		ap.DisablePlanner = false
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(on) != 1 || len(off) != 1 || on[0] != off[0] {
+			t.Fatalf("compressed=%v: planner-on %v, planner-off %v, want one shared node", compressed, on, off)
+		}
+		if trOn.Total != trOff.Total {
+			t.Fatalf("compressed=%v: logical cost differs:\non:  %+v\noff: %+v", compressed, trOn.Total, trOff.Total)
+		}
+		found := false
+		for _, s := range trOn.Stages {
+			if s.Name == "plan" && strings.Contains(s.Detail, "dir=backward") {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("compressed=%v: no backward plan stage in trace: %+v", compressed, trOn.Stages)
+		}
+	}
+	if st := ap.PlanStats(); st.Backward == 0 {
+		t.Fatalf("backward executions = 0, stats: %+v", st)
+	}
+}
+
+// TestHashPositionMatchesMerge pins the planned bitmap hash-probe stage
+// against the merge kernel on every join position of the fixture, under both
+// extent forms: identical candidate sets in identical (sorted) order.
+func TestHashPositionMatchesMerge(t *testing.T) {
+	_, idx, ap := plannedFixture(t)
+	p := xmlgraph.ParseLabelPath("ACT.SCENE.SPEECH.LINE")
+	for _, compressed := range []bool{false, true} {
+		if compressed {
+			idx.SetCompressExtents(true)
+			idx.FreezeExtents()
+		}
+		var c Cost
+		nodes1, _ := idx.LookupAll(p[:1])
+		allowed := ap.unionEndsInto(nodes1, nil, &c)
+		for j := 2; j <= len(p); j++ {
+			nodesJ, _ := idx.LookupAll(p[:j])
+			var ch, cm Cost
+			hashed := ap.hashPosition(nodesJ, allowed, nil, &ch)
+			merged := ap.mergePositionOpt(nodesJ, allowed, nil, &cm, false)
+			if len(hashed) != len(merged) {
+				t.Fatalf("compressed=%v position %d: hash %d ids, merge %d ids", compressed, j, len(hashed), len(merged))
+			}
+			for i := range hashed {
+				if hashed[i] != merged[i] {
+					t.Fatalf("compressed=%v position %d: kernels diverge at %d: hash %d, merge %d",
+						compressed, j, i, hashed[i], merged[i])
+				}
+			}
+			if ch.ExtentEdges != cm.ExtentEdges || ch.JoinProbes != cm.JoinProbes {
+				t.Fatalf("compressed=%v position %d: kernel tallies differ: hash %+v, merge %+v", compressed, j, ch, cm)
+			}
+			allowed = merged
+		}
+	}
+}
+
+// TestOrderLegsDeterministic pins the cheapest-first leg ordering: stable
+// under repetition and a permutation of the whole leg set, ties broken
+// lexicographically.
+func TestOrderLegsDeterministic(t *testing.T) {
+	_, _, ap := plannedFixture(t)
+	legs := ap.enumerateLegs("ACT", "LINE", &Cost{})
+	if len(legs) == 0 {
+		t.Fatal("fixture has no ACT//LINE legs")
+	}
+	a := ap.orderLegs(append([]string(nil), legs...))
+	rev := make([]string, len(legs))
+	for i, s := range legs {
+		rev[len(legs)-1-i] = s
+	}
+	b := ap.orderLegs(rev)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("ordering depends on input order:\n%v\n%v", a, b)
+	}
+}

@@ -245,6 +245,7 @@ type statsResponse struct {
 	Generation  uint64                `json:"generation"`
 	Index       apex.Stats            `json:"index"`
 	Cache       CacheStats            `json:"cache"`
+	PlanCache   apex.PlanStats        `json:"plan_cache"`
 	Inflight    int                   `json:"inflight"`
 	MaxInflight int                   `json:"max_inflight"`
 	Durability  *apex.DurabilityStats `json:"durability,omitempty"`
@@ -367,6 +368,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Generation:  s.ix.Generation(),
 		Index:       s.ix.Stats(),
 		Cache:       s.cache.Stats(),
+		PlanCache:   s.ix.PlanStats(),
 		Inflight:    len(s.sem),
 		MaxInflight: cap(s.sem),
 	}

@@ -2,7 +2,7 @@
 # and `lint` mirror the GitHub Actions jobs in .github/workflows/ci.yml
 # exactly, so a green local run means a green CI run.
 
-.PHONY: all build test ci race lint cover cover-check bench bench-concurrent bench-join bench-adapt bench-serve bench-shard bench-footprint bench-planner bench-check serve experiments fuzz fuzz-smoke clean
+.PHONY: all build test ci race lint cover cover-check bench bench-concurrent bench-join bench-adapt bench-serve bench-shard bench-footprint bench-planner bench-drift bench-check serve experiments fuzz fuzz-smoke clean
 
 # Minimum total statement coverage enforced by `make cover-check` and the
 # CI coverage job. Ratchet upward when coverage rises; never lower it.
@@ -117,13 +117,24 @@ bench-planner:
 	go test -race -run TestPlanStatsRacingPublications -v .
 	go run ./cmd/apexbench -experiments planner -planner-json BENCH_PLANNER.json
 
+# The workload-shift drift experiment: hot paths move to a disjoint family
+# mid-run, with the background adaptation controller on versus off,
+# recorded to BENCH_DRIFT.json. The controller unit suite and the race
+# proof (ticks vs manual adapts vs queries) run first. Raise DRIFT_PHASE
+# for soak runs (scripts/soak.sh drives the nightly 10-minute horizon).
+DRIFT_PHASE = 6s
+bench-drift:
+	go test -run 'TestHysteresis|TestSuppressedWhileManualAdaptInFlight|TestTuneMinSup' -v ./internal/controller/
+	go test -race -run TestControllerTicksRacingManualAdaptAndQueries -v ./internal/server/
+	go run ./cmd/apexbench -experiments drift -drift-phase $(DRIFT_PHASE) -drift-json BENCH_DRIFT.json
+
 # The benchmark regression gate the CI bench job enforces: regenerate every
 # BENCH_*.json artifact, then fail if any headline metric (speedups, cache
 # hit rate, refreeze fraction — machine-portable ratios, not wall times)
 # regressed more than 20% against the checked-in bench/baselines/.
 bench-check:
 	mkdir -p bench-artifacts
-	go run ./cmd/apexbench -experiments concurrency,adapt-stall,join-kernel,serve,recovery,shard,footprint,planner \
+	go run ./cmd/apexbench -experiments concurrency,adapt-stall,join-kernel,serve,recovery,shard,footprint,planner,drift \
 		-concurrency-json bench-artifacts/BENCH_CONCURRENCY.json \
 		-adapt-json bench-artifacts/BENCH_ADAPT.json \
 		-join-json bench-artifacts/BENCH_JOIN.json \
@@ -131,7 +142,8 @@ bench-check:
 		-recovery-json bench-artifacts/BENCH_RECOVERY.json \
 		-shard-json bench-artifacts/BENCH_SHARD.json \
 		-footprint-json bench-artifacts/BENCH_FOOTPRINT.json \
-		-planner-json bench-artifacts/BENCH_PLANNER.json
+		-planner-json bench-artifacts/BENCH_PLANNER.json \
+		-drift-json bench-artifacts/BENCH_DRIFT.json
 	go run ./cmd/benchcheck -baselines bench/baselines -current bench-artifacts
 
 # Run the query-serving daemon over a synthetic dataset (Ctrl-C drains).

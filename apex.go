@@ -529,6 +529,17 @@ func (ix *Index) RecordWorkload(q string) error {
 	return nil
 }
 
+// WorkloadSnapshot returns a copy of the pending workload log without
+// consuming it. Adapt remains the only consumer; the background controller
+// mines the snapshot every tick to score drift against the serving profile.
+func (ix *Index) WorkloadSnapshot() []xmlgraph.LabelPath {
+	ix.logMu.Lock()
+	defer ix.logMu.Unlock()
+	out := make([]xmlgraph.LabelPath, len(ix.workload))
+	copy(out, ix.workload)
+	return out
+}
+
 // logQuery records a path query in the workload log for Adapt, evicting the
 // oldest entries when the MaxWorkloadLog bound is hit. Callers hold the read
 // side of mu.
@@ -860,6 +871,10 @@ type Stats struct {
 	RequiredPaths []string
 	// LoggedQueries is the size of the pending workload log.
 	LoggedQueries int
+	// Extents counts the live frozen extents — with ExtentBytes it gives
+	// the bytes-per-extent estimate the adaptation controller's memory-
+	// budget projection uses.
+	Extents int
 	// ExtentBytes is the serving-form memory of every live extent column;
 	// ExtentBlocks the packed blocks backing them and CompressedExtents the
 	// extents in block-compressed form (both zero when CompressExtents is
@@ -886,6 +901,7 @@ func (ix *Index) Stats() Stats {
 		ExtentEdges:       st.ExtentEdges,
 		RequiredPaths:     ix.idx.RequiredPaths(),
 		LoggedQueries:     logged,
+		Extents:           fp.Extents,
 		ExtentBytes:       fp.Bytes,
 		ExtentBlocks:      fp.Blocks,
 		CompressedExtents: fp.Compressed,
@@ -916,6 +932,15 @@ func (ix *Index) QueryCost() string {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	return ix.eval.Cost().String()
+}
+
+// QueryCostTotal is the sum of those counters — one number whose deltas
+// measure the logical work per evaluated query, machine-portably (the drift
+// experiment compares it across controller-on/off runs).
+func (ix *Index) QueryCostTotal() int64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.eval.Cost().Total()
 }
 
 // ResetQueryCost zeroes the cost counters.

@@ -161,6 +161,50 @@ var headlines = map[string]headlineSpec{
 			return rep.GeomeanSpeedup, nil
 		},
 	},
+	"BENCH_DRIFT.json": {
+		Metric:         "off/on settled cost degradation",
+		HigherIsBetter: true,
+		Extract: func(data []byte) (float64, error) {
+			var rep DriftReport
+			if err := json.Unmarshal(data, &rep); err != nil {
+				return 0, err
+			}
+			// Hard invariants first — wall-clock p99 is too noisy on shared
+			// runners to gate, so the contract is the deterministic logical
+			// story: the controller must adapt once the workload shifts
+			// (without thrashing), pull family B onto the fast path, and
+			// hold the settled cost per evaluated query near the pre-shift
+			// level, while the controller-off run demonstrably degrades.
+			if rep.On.Adapts < 1 {
+				return 0, fmt.Errorf("controller never adapted after the workload shift")
+			}
+			if rep.On.Adapts > rep.ThrashBound {
+				return 0, fmt.Errorf("controller thrashed: %d adapts exceed the %d bound", rep.On.Adapts, rep.ThrashBound)
+			}
+			if rep.Off.Adapts != 0 {
+				return 0, fmt.Errorf("controller-off run reported %d adapts", rep.Off.Adapts)
+			}
+			if rep.On.BRequiredPaths < 1 {
+				return 0, fmt.Errorf("controller-on index never required a shifted-family path")
+			}
+			if rep.Off.BRequiredPaths != 0 {
+				return 0, fmt.Errorf("controller-off index requires %d shifted-family paths", rep.Off.BRequiredPaths)
+			}
+			if rep.On.SettledP99Ratio > 1.2 {
+				return 0, fmt.Errorf("controller-on settled p99 is %.2fx pre-shift, above the 1.2x bar", rep.On.SettledP99Ratio)
+			}
+			if rep.On.SettledCostRatio > 1.5 {
+				return 0, fmt.Errorf("controller-on settled cost/eval is %.2fx pre-shift, above the 1.5x bar", rep.On.SettledCostRatio)
+			}
+			if rep.Off.SettledCostRatio < 2.0 {
+				return 0, fmt.Errorf("controller-off settled cost/eval only degraded %.2fx — the shift never hurt", rep.Off.SettledCostRatio)
+			}
+			if rep.OffOnCostRatio <= 0 {
+				return 0, fmt.Errorf("no cost ratio recorded")
+			}
+			return rep.OffOnCostRatio, nil
+		},
+	},
 	"BENCH_RECOVERY.json": {
 		Metric:         "restart speedup",
 		HigherIsBetter: true,

@@ -167,3 +167,61 @@ func TestCheckedInBaselinesAreValid(t *testing.T) {
 		}
 	}
 }
+
+// driftArtifact builds a healthy drift report; mutate overrides fields to
+// violate individual gate invariants.
+func driftArtifact(t *testing.T, mutate func(*DriftReport)) []byte {
+	t.Helper()
+	rep := DriftReport{
+		ThrashBound: driftThrashBound,
+		On: DriftRun{
+			Controller: true, Adapts: 1, BRequiredPaths: 4,
+			SettledP99Ratio: 0.95, SettledCostRatio: 1.2,
+		},
+		Off: DriftRun{
+			SettledP99Ratio: 1.0, SettledCostRatio: 4.1,
+		},
+		OffOnCostRatio: 4.1 / 1.2,
+	}
+	if mutate != nil {
+		mutate(&rep)
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestCompareDriftGateInvariants(t *testing.T) {
+	healthy := driftArtifact(t, nil)
+	c, err := CompareArtifact("BENCH_DRIFT.json", healthy, healthy, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Regressed || c.Current < 3.4 || c.Current > 3.42 {
+		t.Fatalf("healthy drift comparison = %+v", c)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*DriftReport)
+		want   string
+	}{
+		{"never adapted", func(r *DriftReport) { r.On.Adapts = 0 }, "never adapted"},
+		{"thrashed", func(r *DriftReport) { r.On.Adapts = driftThrashBound + 1 }, "thrashed"},
+		{"off adapted", func(r *DriftReport) { r.Off.Adapts = 1 }, "controller-off run reported"},
+		{"no B paths", func(r *DriftReport) { r.On.BRequiredPaths = 0 }, "never required"},
+		{"off B paths", func(r *DriftReport) { r.Off.BRequiredPaths = 2 }, "controller-off index requires"},
+		{"p99 over bar", func(r *DriftReport) { r.On.SettledP99Ratio = 1.3 }, "above the 1.2x bar"},
+		{"cost over bar", func(r *DriftReport) { r.On.SettledCostRatio = 1.6 }, "above the 1.5x bar"},
+		{"off never hurt", func(r *DriftReport) { r.Off.SettledCostRatio = 1.1 }, "never hurt"},
+		{"no ratio", func(r *DriftReport) { r.OffOnCostRatio = 0 }, "no cost ratio"},
+	}
+	for _, tc := range cases {
+		_, err := CompareArtifact("BENCH_DRIFT.json", healthy, driftArtifact(t, tc.mutate), 0.20)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}

@@ -1,0 +1,446 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"apex"
+	"apex/internal/controller"
+	"apex/internal/datagen"
+	"apex/internal/query"
+	"apex/internal/server"
+	"apex/internal/workload"
+)
+
+// The drift experiment is the proof behind self-driving adaptation: a live
+// workload whose hot paths shift mid-run, replayed against apexd twice —
+// once with the background controller on, once off. Before the shift both
+// runs serve family A from an index adapted to family A. At the shift the
+// clients move to a disjoint family B: the controller-on daemon detects the
+// drift in its workload log, tunes MinSup against the memory budget, and
+// republishes, pulling family B onto the fast path; the controller-off
+// daemon keeps serving B through structural joins forever.
+//
+// Two instruments capture the divergence. Client-observed p99 over the
+// settled tail of the post-shift window (the region after the controller
+// had time to act) is the operational headline. The logical cost per
+// evaluated query — machine-portable, deterministic — is the gate's anchor:
+// fast-path lookups cost O(path), joins scan extents, so the off-run's
+// settled cost must exceed the on-run's by construction.
+
+// DriftPhaseStats aggregates one replay window.
+type DriftPhaseStats struct {
+	Seconds     float64       `json:"seconds"`
+	Requests    int64         `json:"requests"`
+	Errors      int64         `json:"errors"`
+	CacheHits   int64         `json:"cache_hits"`
+	CacheMisses int64         `json:"cache_misses"`
+	HitRate     float64       `json:"hit_rate"`
+	CostPerEval float64       `json:"cost_per_eval"`
+	P50         time.Duration `json:"p50_ns"`
+	P99         time.Duration `json:"p99_ns"`
+}
+
+// DriftRun is one full soak (pre-shift, post-shift, settled tail) with the
+// controller on or off.
+type DriftRun struct {
+	Controller bool `json:"controller"`
+
+	Pre     DriftPhaseStats `json:"pre"`
+	Post    DriftPhaseStats `json:"post"`    // full post-shift window
+	Settled DriftPhaseStats `json:"settled"` // tail of the post-shift window
+
+	// SettledP99Ratio is Settled.P99 / Pre.P99 — the "p99 stays flat"
+	// number. SettledCostRatio is the same ratio over logical cost per
+	// evaluated query.
+	SettledP99Ratio  float64 `json:"settled_p99_ratio"`
+	SettledCostRatio float64 `json:"settled_cost_ratio"`
+
+	// Adapts counts controller-triggered republications; BRequiredPaths
+	// how many of family B's paths the final index maintains (the
+	// deterministic proof the controller actually retargeted the index).
+	Adapts          int               `json:"adapts"`
+	BRequiredPaths  int               `json:"b_required_paths"`
+	FinalGeneration uint64            `json:"final_generation"`
+	ControllerState *controller.State `json:"controller_state,omitempty"`
+}
+
+// DriftReport is the BENCH_DRIFT.json artifact.
+type DriftReport struct {
+	Dataset      string  `json:"dataset"`
+	Scale        float64 `json:"scale"`
+	Clients      int     `json:"clients"`
+	PhaseSeconds float64 `json:"phase_seconds"`
+	FamilySize   int     `json:"family_size"`   // path groups per family
+	VariantsA    int     `json:"variants_a"`    // distinct QTYPE3 queries, family A
+	VariantsB    int     `json:"variants_b"`    // distinct QTYPE3 queries, family B
+	ThrashBound  int     `json:"thrash_bound"`  // max tolerated adapts
+	MemoryBudget int64   `json:"memory_budget"` // bytes handed to the tuner
+
+	On  DriftRun `json:"on"`
+	Off DriftRun `json:"off"`
+
+	// OffOnCostRatio compares how the two runs degraded: the off-run's
+	// settled cost ratio over the on-run's. > 1 means the controller
+	// measurably protected the workload.
+	OffOnCostRatio float64 `json:"off_on_cost_ratio"`
+}
+
+// driftThrashBound is the most controller adapts one shift may trigger
+// before the run counts as thrashing.
+const driftThrashBound = 3
+
+// driftFamily is one hot-path family: a few path groups, each with many
+// distinct value variants.
+type driftFamily struct {
+	name  string
+	paths []string // dotted label paths (required-path membership checks)
+	hot   []string // QTYPE1 query strings, one per group (cacheable)
+	q3    []string // QTYPE3 query strings, groups interleaved (evaluation stream)
+}
+
+// driftFamilies carves the generator's QTYPE3 population into two disjoint
+// hot-path families of famSize path groups each, preferring groups with the
+// most distinct value variants (so the evaluation stream cycles without
+// repeating). Groups alternate between the families to balance them.
+func driftFamilies(qs []query.Query, famSize, minVariants int) (a, b driftFamily, err error) {
+	byPath := make(map[string][]string) // dotted path -> distinct query strings
+	seen := make(map[string]bool)
+	for _, q := range qs {
+		if len(q.Path) < 2 {
+			continue
+		}
+		s := q.String()
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		key := q.Path.String()
+		byPath[key] = append(byPath[key], s)
+	}
+	keys := make([]string, 0, len(byPath))
+	for k, v := range byPath {
+		if len(v) >= minVariants {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if len(byPath[keys[i]]) != len(byPath[keys[j]]) {
+			return len(byPath[keys[i]]) > len(byPath[keys[j]])
+		}
+		return keys[i] < keys[j]
+	})
+	if len(keys) < 2*famSize {
+		return a, b, fmt.Errorf("bench: drift: only %d path groups with >=%d variants, need %d",
+			len(keys), minVariants, 2*famSize)
+	}
+	a, b = driftFamily{name: "A"}, driftFamily{name: "B"}
+	groups := map[*driftFamily][][]string{}
+	for i := 0; i < 2*famSize; i++ {
+		fam := &a
+		if i%2 == 1 {
+			fam = &b
+		}
+		fam.paths = append(fam.paths, keys[i])
+		fam.hot = append(fam.hot, query.Query{Type: query.QTYPE1, Path: strings.Split(keys[i], ".")}.String())
+		groups[fam] = append(groups[fam], byPath[keys[i]])
+	}
+	interleave := func(lists [][]string) []string {
+		var out []string
+		for i := 0; ; i++ {
+			any := false
+			for _, l := range lists {
+				if i < len(l) {
+					out = append(out, l[i])
+					any = true
+				}
+			}
+			if !any {
+				return out
+			}
+		}
+	}
+	a.q3, b.q3 = interleave(groups[&a]), interleave(groups[&b])
+	return a, b, nil
+}
+
+// driftHarness is one daemon under the drift workload.
+type driftHarness struct {
+	ix      *apex.Index
+	srv     *server.Server
+	ts      *httptest.Server
+	clients int
+	pace    time.Duration
+}
+
+// runPhase replays fam against the harness for dur: each client alternates
+// one hot QTYPE1 query (absorbed by the cache) with one QTYPE3 variant
+// (strided round-robin over the family pool, wrapping freely — the pool
+// outsizes the result cache, so the cycle always evaluates). Returns the
+// window's client-side stats.
+func (h *driftHarness) runPhase(fam driftFamily, dur time.Duration) DriftPhaseStats {
+	cost0 := h.ix.QueryCostTotal()
+	cache0 := h.srv.Cache().Stats()
+	start := time.Now()
+	deadline := start.Add(dur)
+
+	var mu sync.Mutex
+	var all []time.Duration
+	var errs int64
+	var wg sync.WaitGroup
+	for c := 0; c < h.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := h.ts.Client()
+			local := make([]time.Duration, 0, 4096)
+			var localErrs int64
+			q3 := c // stride h.clients over the variant pool
+			for n := 0; time.Now().Before(deadline); n++ {
+				var q string
+				if n%2 == 0 {
+					q = fam.hot[(n/2)%len(fam.hot)]
+				} else {
+					q = fam.q3[q3%len(fam.q3)]
+					q3 += h.clients
+				}
+				body, _ := json.Marshal(map[string]string{"query": q})
+				t0 := time.Now()
+				resp, err := client.Post(h.ts.URL+"/query", "application/json", bytes.NewReader(body))
+				if err != nil {
+					localErrs++
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					localErrs++
+					continue
+				}
+				local = append(local, time.Since(t0))
+				if h.pace > 0 {
+					time.Sleep(h.pace)
+				}
+			}
+			mu.Lock()
+			all = append(all, local...)
+			errs += localErrs
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+
+	cache1 := h.srv.Cache().Stats()
+	st := DriftPhaseStats{
+		Seconds:     time.Since(start).Seconds(),
+		Requests:    int64(len(all)) + errs,
+		Errors:      errs,
+		CacheHits:   cache1.Hits - cache0.Hits,
+		CacheMisses: cache1.Misses - cache0.Misses,
+		P50:         percentileDuration(all, 0.50),
+		P99:         percentileDuration(all, 0.99),
+	}
+	if total := st.CacheHits + st.CacheMisses; total > 0 {
+		st.HitRate = float64(st.CacheHits) / float64(total)
+	}
+	if st.CacheMisses > 0 {
+		st.CostPerEval = float64(h.ix.QueryCostTotal()-cost0) / float64(st.CacheMisses)
+	}
+	return st
+}
+
+// driftRun soaks one daemon: pre-shift on family A, shift to family B, and
+// a settled tail. The post-shift window is split so the settled stats start
+// only after the controller had time to detect and adapt (60% in), keeping
+// the detection-and-rebuild transient out of the "stays flat" claim — the
+// transient itself is visible in Post.
+func driftRun(ds *datagen.Dataset, famA, famB driftFamily, clients int, phase time.Duration, withController bool, budget int64) (DriftRun, error) {
+	// A small workload log keeps the mining window tight: after the shift
+	// it turns over to pure family-B traffic quickly, so the first adapt
+	// already converges on the new profile instead of a mixed tail that
+	// would trigger a second, later adapt inside the settled window.
+	ix, err := apex.FromGraph(ds.Graph, &apex.Options{MaxWorkloadLog: 512})
+	if err != nil {
+		return DriftRun{}, err
+	}
+	// Both runs start adapted to family A: pre-shift is the healthy state.
+	if err := ix.AdaptTo(famA.hot, 0.01); err != nil {
+		return DriftRun{}, err
+	}
+	// The cache must absorb the hot QTYPE1 set (requested every other
+	// round, so LRU keeps it resident) but not the QTYPE3 stream — each
+	// family's variant pool outsizes the capacity and cycles, so every
+	// variant is evicted before its next visit and evaluation cost stays
+	// on the wire all run long.
+	srv := server.New(ix, server.Config{CacheSize: 16, MaxInflight: 8 * clients})
+
+	run := DriftRun{Controller: withController}
+	var ctl *controller.Controller
+	if withController {
+		interval := phase / 24
+		if interval < 50*time.Millisecond {
+			interval = 50 * time.Millisecond
+		}
+		if interval > 10*time.Second {
+			interval = 10 * time.Second
+		}
+		ctl = controller.New(controller.NewIndexTarget("index", ix), controller.Config{
+			Interval:       interval,
+			DriftThreshold: 0.2,
+			DriftTicks:     2,
+			CooldownTicks:  4,
+			MinWindow:      64,
+			MemoryBudget:   budget,
+			MinSupFloor:    0.01,
+			MinSupCeil:     0.2,
+		})
+		srv.SetController(ctl)
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		go ctl.Run(ctx)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	h := &driftHarness{ix: ix, srv: srv, ts: ts, clients: clients, pace: 200 * time.Microsecond}
+
+	run.Pre = h.runPhase(famA, phase)
+	adaptWindow := phase * 6 / 10
+	transient := h.runPhase(famB, adaptWindow)
+	run.Settled = h.runPhase(famB, phase-adaptWindow)
+	run.Post = mergePhases(transient, run.Settled)
+
+	if run.Pre.P99 > 0 {
+		run.SettledP99Ratio = float64(run.Settled.P99) / float64(run.Pre.P99)
+	}
+	if run.Pre.CostPerEval > 0 {
+		run.SettledCostRatio = run.Settled.CostPerEval / run.Pre.CostPerEval
+	}
+	required := make(map[string]bool)
+	for _, p := range ix.Stats().RequiredPaths {
+		required[p] = true
+	}
+	for _, p := range famB.paths {
+		if required[p] {
+			run.BRequiredPaths++
+		}
+	}
+	run.FinalGeneration = ix.Generation()
+	if ctl != nil {
+		st := ctl.State()
+		run.Adapts = int(st.Triggered)
+		run.ControllerState = &st
+	}
+	return run, nil
+}
+
+// mergePhases folds two consecutive windows into one (percentiles are
+// request-weighted approximations good enough for the transient view).
+func mergePhases(a, b DriftPhaseStats) DriftPhaseStats {
+	out := DriftPhaseStats{
+		Seconds:     a.Seconds + b.Seconds,
+		Requests:    a.Requests + b.Requests,
+		Errors:      a.Errors + b.Errors,
+		CacheHits:   a.CacheHits + b.CacheHits,
+		CacheMisses: a.CacheMisses + b.CacheMisses,
+	}
+	if total := out.CacheHits + out.CacheMisses; total > 0 {
+		out.HitRate = float64(out.CacheHits) / float64(total)
+	}
+	if out.CacheMisses > 0 {
+		out.CostPerEval = (a.CostPerEval*float64(a.CacheMisses) + b.CostPerEval*float64(b.CacheMisses)) /
+			float64(out.CacheMisses)
+	}
+	if a.P50 > b.P50 {
+		out.P50 = a.P50
+	} else {
+		out.P50 = b.P50
+	}
+	if a.P99 > b.P99 {
+		out.P99 = a.P99
+	} else {
+		out.P99 = b.P99
+	}
+	return out
+}
+
+// Drift runs the workload-shift soak on one dataset: controller-on and
+// controller-off runs over identical family workloads and phase lengths.
+// phase is the pre-shift window; the post-shift window matches it.
+func (e *Env) Drift(name string, clients int, phase time.Duration) (DriftReport, error) {
+	ds, err := datagen.LoadDataset(name, e.cfg.Scale)
+	if err != nil {
+		return DriftReport{}, err
+	}
+	gen := workload.New(ds.Graph, e.cfg.Seed+7)
+	famA, famB, err := driftFamilies(gen.QType3(6000), 4, 6)
+	if err != nil {
+		return DriftReport{}, err
+	}
+
+	// Budget: generous enough to admit both families' paths, finite so the
+	// tuner's projection actually runs against it.
+	probe, err := apex.FromGraph(ds.Graph, &apex.Options{})
+	if err != nil {
+		return DriftReport{}, err
+	}
+	budget := int64(probe.Stats().ExtentBytes) * 8
+
+	rep := DriftReport{
+		Dataset:      name,
+		Scale:        e.cfg.Scale,
+		Clients:      clients,
+		PhaseSeconds: phase.Seconds(),
+		FamilySize:   len(famA.paths),
+		VariantsA:    len(famA.q3),
+		VariantsB:    len(famB.q3),
+		ThrashBound:  driftThrashBound,
+		MemoryBudget: budget,
+	}
+	if rep.On, err = driftRun(ds, famA, famB, clients, phase, true, budget); err != nil {
+		return rep, err
+	}
+	if rep.Off, err = driftRun(ds, famA, famB, clients, phase, false, budget); err != nil {
+		return rep, err
+	}
+	if rep.On.SettledCostRatio > 0 {
+		rep.OffOnCostRatio = rep.Off.SettledCostRatio / rep.On.SettledCostRatio
+	}
+	return rep, nil
+}
+
+// RenderDrift formats the drift report.
+func RenderDrift(rep DriftReport) string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "workload-shift soak (%s, scale %g): %d clients, %gs per phase, %d+%d hot paths, %d/%d variants\n",
+		rep.Dataset, rep.Scale, rep.Clients, rep.PhaseSeconds, rep.FamilySize, rep.FamilySize, rep.VariantsA, rep.VariantsB)
+	row := func(r DriftRun) {
+		mode := "off"
+		if r.Controller {
+			mode = "on "
+		}
+		fmt.Fprintf(&b, "  controller %s: pre p99=%v cost/eval=%.0f | settled p99=%v (x%.2f) cost/eval=%.0f (x%.2f) | adapts=%d B-paths=%d gen=%d\n",
+			mode, r.Pre.P99, r.Pre.CostPerEval, r.Settled.P99, r.SettledP99Ratio,
+			r.Settled.CostPerEval, r.SettledCostRatio, r.Adapts, r.BRequiredPaths, r.FinalGeneration)
+	}
+	row(rep.On)
+	row(rep.Off)
+	fmt.Fprintf(&b, "  off/on settled cost degradation: x%.2f\n", rep.OffOnCostRatio)
+	return b.String()
+}
+
+// WriteDriftJSON writes the report as indented JSON (the BENCH_DRIFT.json
+// artifact the regression gate reads).
+func WriteDriftJSON(w io.Writer, rep DriftReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

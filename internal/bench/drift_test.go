@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"apex/internal/datagen"
+	"apex/internal/workload"
+)
+
+func TestDriftFamiliesDisjointAndInterleaved(t *testing.T) {
+	ds, err := datagen.LoadDataset("Ged02.xml", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.New(ds.Graph, 8)
+	a, b, err := driftFamilies(gen.QType3(6000), 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.paths) != 4 || len(b.paths) != 4 {
+		t.Fatalf("family sizes = %d/%d, want 4/4", len(a.paths), len(b.paths))
+	}
+	seen := map[string]bool{}
+	for _, p := range a.paths {
+		seen[p] = true
+	}
+	for _, p := range b.paths {
+		if seen[p] {
+			t.Fatalf("path %q appears in both families", p)
+		}
+	}
+	if len(a.hot) != 4 || len(b.hot) != 4 {
+		t.Fatalf("hot sets = %d/%d, want 4/4", len(a.hot), len(b.hot))
+	}
+	// Every family needs at least famSize×minVariants distinct variants,
+	// and no variant may repeat inside a pool (the cache-eviction argument
+	// depends on the pool being distinct queries).
+	for _, fam := range []driftFamily{a, b} {
+		if len(fam.q3) < 4*6 {
+			t.Fatalf("family %s pool has %d variants, want >= 24", fam.name, len(fam.q3))
+		}
+		uniq := map[string]bool{}
+		for _, q := range fam.q3 {
+			if uniq[q] {
+				t.Fatalf("family %s repeats variant %q", fam.name, q)
+			}
+			uniq[q] = true
+		}
+	}
+}
+
+func TestDriftFamiliesInsufficientGroups(t *testing.T) {
+	ds, err := datagen.LoadDataset("Ged02.xml", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.New(ds.Graph, 8)
+	if _, _, err := driftFamilies(gen.QType3(200), 4, 10_000); err == nil {
+		t.Fatal("expected an error when no path group has enough variants")
+	}
+}
+
+func TestMergePhases(t *testing.T) {
+	a := DriftPhaseStats{
+		Seconds: 1, Requests: 100, Errors: 1,
+		CacheHits: 40, CacheMisses: 60, CostPerEval: 100,
+		P50: 1 * time.Millisecond, P99: 8 * time.Millisecond,
+	}
+	b := DriftPhaseStats{
+		Seconds: 2, Requests: 50, Errors: 0,
+		CacheHits: 10, CacheMisses: 40, CostPerEval: 200,
+		P50: 2 * time.Millisecond, P99: 4 * time.Millisecond,
+	}
+	m := mergePhases(a, b)
+	if m.Requests != 150 || m.Errors != 1 || m.CacheHits != 50 || m.CacheMisses != 100 {
+		t.Fatalf("merged counts = %+v", m)
+	}
+	// Miss-weighted cost: (100·60 + 200·40) / 100 = 140.
+	if m.CostPerEval != 140 {
+		t.Fatalf("merged cost/eval = %g, want 140", m.CostPerEval)
+	}
+	if m.HitRate != 50.0/150.0 {
+		t.Fatalf("merged hit rate = %g", m.HitRate)
+	}
+	// Percentiles take the worse window.
+	if m.P50 != 2*time.Millisecond || m.P99 != 8*time.Millisecond {
+		t.Fatalf("merged percentiles = %v/%v", m.P50, m.P99)
+	}
+}
+
+// TestDriftExperimentShortEndToEnd runs the full soak at a phase length
+// far too short for the controller to debounce and adapt — the point is
+// exercising the harness (family carving, replay, phase accounting,
+// report serialization), not the adaptation outcome the real experiment
+// and its CI gate prove.
+func TestDriftExperimentShortEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays live traffic for ~2s")
+	}
+	env := NewEnv(DefaultConfig())
+	rep, err := env.Drift("Ged02.xml", 2, 400*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FamilySize != 4 || rep.VariantsA == 0 || rep.VariantsB == 0 {
+		t.Fatalf("report families = %+v", rep)
+	}
+	if rep.MemoryBudget <= 0 {
+		t.Fatalf("memory budget = %d", rep.MemoryBudget)
+	}
+	for _, run := range []DriftRun{rep.On, rep.Off} {
+		for _, ph := range []DriftPhaseStats{run.Pre, run.Post, run.Settled} {
+			if ph.Requests == 0 {
+				t.Fatalf("empty phase in run %+v", run)
+			}
+			if ph.Errors != 0 {
+				t.Fatalf("%d replay errors in run (controller=%v)", ph.Errors, run.Controller)
+			}
+		}
+	}
+	if rep.Off.Adapts != 0 || rep.Off.BRequiredPaths != 0 || rep.Off.ControllerState != nil {
+		t.Fatalf("controller-off run shows controller activity: %+v", rep.Off)
+	}
+	if rep.On.ControllerState == nil {
+		t.Fatal("controller-on run carries no controller state")
+	}
+
+	text := RenderDrift(rep)
+	if !strings.Contains(text, "controller on") || !strings.Contains(text, "controller off") {
+		t.Fatalf("render missing runs:\n%s", text)
+	}
+	var buf bytes.Buffer
+	if err := WriteDriftJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var back DriftReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Dataset != rep.Dataset || back.On.Pre.Requests != rep.On.Pre.Requests {
+		t.Fatalf("JSON round-trip diverged: %+v vs %+v", back, rep)
+	}
+}

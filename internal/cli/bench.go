@@ -22,7 +22,7 @@ func RunBench(args []string, stdout io.Writer) error {
 		q2       = fs.Int("q2", 100, "number of QTYPE2 queries")
 		q3       = fs.Int("q3", 200, "number of QTYPE3 queries")
 		seed     = fs.Int64("seed", 1, "random seed")
-		exps     = fs.String("experiments", "table1,table2,fig13,fig14,fig15", "comma-separated experiment list (also: ablations, adapt-stall, asr, concurrency, explain, footprint, join-kernel, planner, recovery, serve, shard)")
+		exps     = fs.String("experiments", "table1,table2,fig13,fig14,fig15", "comma-separated experiment list (also: ablations, adapt-stall, asr, concurrency, drift, explain, footprint, join-kernel, planner, recovery, serve, shard)")
 		paper    = fs.Bool("paper", false, "run the full-size paper protocol (slow)")
 		csvDir   = fs.String("csv", "", "also write figure series as CSV files into this directory")
 		concJSON = fs.String("concurrency-json", "", "write the concurrency sweep report to this JSON file")
@@ -32,6 +32,8 @@ func RunBench(args []string, stdout io.Writer) error {
 		srvJSON  = fs.String("serve-json", "", "write the serving-layer report to this JSON file")
 		shrdJSON = fs.String("shard-json", "", "write the sharded-serving report to this JSON file")
 		recJSON  = fs.String("recovery-json", "", "write the crash-recovery report to this JSON file")
+		drftJSON = fs.String("drift-json", "", "write the workload-shift drift report to this JSON file")
+		drftPh   = fs.Duration("drift-phase", 6*time.Second, "drift experiment: duration of each workload phase (raise for soak runs)")
 		ftpJSON  = fs.String("footprint-json", "", "write the extent-footprint report to this JSON file")
 		ftpFast  = fs.Bool("footprint-skip-max", false, "skip the footprint experiment's 10x max-dataset measurement")
 		metJSON  = fs.String("metrics-json", "", "write a process metrics snapshot (counters/gauges/histograms) to this JSON file after the run")
@@ -330,6 +332,27 @@ func RunBench(args []string, stdout io.Writer) error {
 		}
 		return csvOut("recovery.json", func(w io.Writer) error {
 			return bench.WriteRecoveryJSON(w, rep)
+		})
+	})
+	run("drift", func() error {
+		rep, err := env.Drift("Ged02.xml", 4, *drftPh)
+		if err != nil {
+			return err
+		}
+		fprintf(stdout, "%s\n", bench.RenderDrift(rep))
+		if *drftJSON != "" {
+			f, err := os.Create(*drftJSON)
+			if err != nil {
+				return err
+			}
+			if err := bench.WriteDriftJSON(f, rep); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+		return csvOut("drift.json", func(w io.Writer) error {
+			return bench.WriteDriftJSON(w, rep)
 		})
 	})
 	run("footprint", func() error {

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"apex"
+	"apex/internal/controller"
 	"apex/internal/datagen"
 	"apex/internal/server"
 	"apex/internal/shard"
@@ -55,6 +56,10 @@ func runServe(ctx context.Context, args []string, stdout io.Writer) error {
 		shards      = fs.Int("shards", 1, "partition the document into N shards served by scatter-gather (with -in or -dataset)")
 		backends    = fs.String("backends", "", "comma-separated apexd base URLs to route over (no local index)")
 		shardTO     = fs.Duration("shard-timeout", 0, "per-shard gather timeout in sharded/router mode (0 = whole-query timeout only)")
+		ctlEvery    = fs.Duration("controller-interval", 0, "tick period of the self-driving adaptation controller (0 disables)")
+		driftThresh = fs.Float64("drift-threshold", 0.25, "drift score a controller tick must reach to count toward an adapt")
+		driftTicks  = fs.Int("drift-ticks", 3, "consecutive over-threshold ticks before the controller adapts (hysteresis)")
+		memBudget   = fs.Int64("memory-budget", 0, "extent-memory budget in bytes the controller tunes minsup against (0 = unbounded)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -97,9 +102,22 @@ func runServe(ctx context.Context, args []string, stdout io.Writer) error {
 	// Router over remote daemons: no local index at all, just scatter-gather
 	// over the listed apexd base URLs (reads and adapts; the HTTP API has no
 	// write endpoints, so this mode is read-only).
+	var ctlCfg *controller.Config
+	if *ctlEvery > 0 {
+		ctlCfg = &controller.Config{
+			Interval:       *ctlEvery,
+			DriftThreshold: *driftThresh,
+			DriftTicks:     *driftTicks,
+			MemoryBudget:   *memBudget,
+		}
+	}
+
 	if *backends != "" {
 		if *shards > 1 || *indexPath != "" || *in != "" || *dataset != "" || *dir != "" {
 			return fmt.Errorf("apexd: -backends is exclusive with -shards and the index-source flags")
+		}
+		if ctlCfg != nil {
+			return fmt.Errorf("apexd: -controller-interval drives a local index; the remote daemons run their own controllers")
 		}
 		bs := make([]shard.Backend, 0)
 		for _, base := range splitList(*backends) {
@@ -112,7 +130,7 @@ func runServe(ctx context.Context, args []string, stdout io.Writer) error {
 			return fmt.Errorf("apexd: -backends lists no URLs")
 		}
 		rt := shard.NewRouter(bs, *shardTO)
-		return serveRouter(ctx, rt, nil, cfg, *addr, 0, stdout)
+		return serveRouter(ctx, rt, nil, cfg, nil, *addr, 0, stdout)
 	}
 
 	// Document-partitioned local shards behind one router.
@@ -124,7 +142,7 @@ func runServe(ctx context.Context, args []string, stdout io.Writer) error {
 		}
 		defer shard.CloseShards(local)
 		rt := shard.NewRouter(shard.Backends(local), *shardTO)
-		return serveRouter(ctx, rt, local, cfg, *addr, *ckptEvery, stdout)
+		return serveRouter(ctx, rt, local, cfg, ctlCfg, *addr, *ckptEvery, stdout)
 	}
 
 	ix, err := serveIndex(*dir, *noSync, optsSet, *indexPath, *in, *dataset, *scale, *idattr, *idref, *idrefs, *minSup, *parallelism, stdout)
@@ -151,6 +169,13 @@ func runServe(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 
 	srv := server.New(ix, cfg)
+	if ctlCfg != nil {
+		ctl := controller.New(controller.NewIndexTarget("index", ix), *ctlCfg)
+		srv.SetController(ctl)
+		go ctl.Run(ctx)
+		fprintf(stdout, "apexd: adaptation controller on (interval %s, threshold %g, K %d)\n",
+			*ctlEvery, *driftThresh, *driftTicks)
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -348,7 +373,10 @@ func buildServeGraph(in, dataset string, scale float64, opts *apex.Options, stdo
 // serveRouter runs the scatter-gather front end until ctx cancels. With
 // durable local shards it also runs the periodic checkpoint ticker and folds
 // a final checkpoint per shard on drain, mirroring the single-index path.
-func serveRouter(ctx context.Context, rt *shard.Router, local []*shard.LocalBackend, cfg server.Config, addr string, ckptEvery time.Duration, stdout io.Writer) error {
+// A non-nil ctlCfg attaches one adaptation controller per local shard, each
+// ticking independently (a drifted shard adapts alone; the generation-
+// vector cache invalidates only its entries).
+func serveRouter(ctx context.Context, rt *shard.Router, local []*shard.LocalBackend, cfg server.Config, ctlCfg *controller.Config, addr string, ckptEvery time.Duration, stdout io.Writer) error {
 	durable := len(local) > 0 && local[0].Index().Durable()
 	if durable && ckptEvery > 0 {
 		go func() {
@@ -369,6 +397,16 @@ func serveRouter(ctx context.Context, rt *shard.Router, local []*shard.LocalBack
 		}()
 	}
 	srv := server.NewRouterServer(rt, cfg)
+	if ctlCfg != nil && len(local) == rt.NumShards() {
+		ctls := make([]*controller.Controller, len(local))
+		for i, b := range local {
+			ctls[i] = controller.New(controller.NewIndexTarget(b.Name(), b.Index()), *ctlCfg)
+			go ctls[i].Run(ctx)
+		}
+		srv.SetControllers(ctls)
+		fprintf(stdout, "apexd: adaptation controllers on for %d shards (interval %s)\n",
+			len(ctls), ctlCfg.Interval)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err

@@ -1,0 +1,460 @@
+package controller
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"apex"
+	"apex/internal/metrics"
+	"apex/internal/xmlgraph"
+)
+
+// Controller instruments on the process-wide registry. Under the router one
+// process runs one controller per shard; the counters aggregate across them
+// (per-controller detail lives in State and GET /controller).
+var (
+	mTicks      = metrics.Default.Counter("controller.ticks_total")
+	mTriggered  = metrics.Default.Counter("controller.adapts_triggered_total")
+	mSuppressed = metrics.Default.Counter("controller.adapts_suppressed_total")
+	mFailed     = metrics.Default.Counter("controller.adapts_failed_total")
+	mScore      = metrics.Default.Gauge("controller.drift_score_permille")
+	mStreak     = metrics.Default.Gauge("controller.streak")
+	mMinSup     = metrics.Default.Gauge("controller.last_minsup_micro")
+)
+
+// Target is the index surface the controller drives. IndexTarget adapts
+// *apex.Index; tests substitute fakes.
+type Target interface {
+	// Name identifies the target in state dumps ("index", a shard name).
+	Name() string
+	// Generation is the target's current publication generation.
+	Generation() uint64
+	// Workload returns a copy of the pending workload log without
+	// consuming it.
+	Workload() []xmlgraph.LabelPath
+	// View snapshots the required paths and extent footprint.
+	View() View
+	// Adapt mines the target's own workload log at minSup and publishes.
+	Adapt(minSup float64) error
+}
+
+// IndexTarget drives one apex.Index.
+type IndexTarget struct {
+	name string
+	ix   *apex.Index
+}
+
+// NewIndexTarget names an index for the controller.
+func NewIndexTarget(name string, ix *apex.Index) *IndexTarget {
+	return &IndexTarget{name: name, ix: ix}
+}
+
+func (t *IndexTarget) Name() string                   { return t.name }
+func (t *IndexTarget) Generation() uint64             { return t.ix.Generation() }
+func (t *IndexTarget) Workload() []xmlgraph.LabelPath { return t.ix.WorkloadSnapshot() }
+func (t *IndexTarget) Adapt(minSup float64) error     { return t.ix.Adapt(minSup) }
+func (t *IndexTarget) View() View {
+	st := t.ix.Stats()
+	return View{RequiredPaths: st.RequiredPaths, Extents: st.Extents, ExtentBytes: int64(st.ExtentBytes)}
+}
+
+// Gate is the single-flight rebuild gate shared by the controller and the
+// manual /adapt endpoint: the controller only ever tries the gate (a busy
+// gate means an adapt is already running, so the tick counts a suppression
+// and moves on), while an operator's POST /adapt blocks on it — operator
+// and controller never race two shadow rebuilds, and the index's own
+// maintenance mutex never sees contention from this layer.
+type Gate struct{ mu sync.Mutex }
+
+// Acquire blocks until the gate is free; the returned func releases it.
+func (g *Gate) Acquire() func() {
+	g.mu.Lock()
+	return g.mu.Unlock
+}
+
+// TryAcquire takes the gate only if it is free.
+func (g *Gate) TryAcquire() (release func(), ok bool) {
+	if !g.mu.TryLock() {
+		return nil, false
+	}
+	return g.mu.Unlock, true
+}
+
+// Config parameterizes a Controller. The zero value uses the documented
+// defaults.
+type Config struct {
+	// Interval is the tick period (0 = 30s).
+	Interval time.Duration
+	// DriftThreshold is the blended score a tick must reach to count
+	// toward the trigger streak (0 = 0.25).
+	DriftThreshold float64
+	// DriftTicks is K: consecutive over-threshold ticks before an adapt
+	// triggers (0 = 3).
+	DriftTicks int
+	// MemoryBudget bounds the projected extent memory the MinSup tuner
+	// targets, in bytes (0 = unbounded).
+	MemoryBudget int64
+	// MinSupFloor and MinSupCeil bound the tuner (0 = 0.001 and 0.1).
+	MinSupFloor, MinSupCeil float64
+	// MissWeight blends the join-path miss rate into the drift score:
+	// score = (1−w)·drift + w·missRate (0 = 0.3; negative disables).
+	MissWeight float64
+	// CooldownTicks is how many ticks after a successful adapt the
+	// controller stays quiet (0 = 2).
+	CooldownTicks int
+	// MinWindow is the smallest workload log the controller will mine —
+	// below it a tick is a no-op (0 = 8).
+	MinWindow int
+
+	// MissRates, when non-nil, replaces the default miss-rate source (the
+	// process-wide query.apex.fastpath_total / joinpath_total counters)
+	// with an injected one returning cumulative fast-path and join-path
+	// query counts. Tests and the bench harness use it; per-shard
+	// controllers share the process counters either way.
+	MissRates func() (fast, join int64)
+}
+
+func (c Config) interval() time.Duration {
+	if c.Interval <= 0 {
+		return 30 * time.Second
+	}
+	return c.Interval
+}
+
+func (c Config) threshold() float64 {
+	if c.DriftThreshold <= 0 {
+		return 0.25
+	}
+	return c.DriftThreshold
+}
+
+func (c Config) driftTicks() int {
+	if c.DriftTicks <= 0 {
+		return 3
+	}
+	return c.DriftTicks
+}
+
+func (c Config) floorCeil() (float64, float64) {
+	floor, ceil := c.MinSupFloor, c.MinSupCeil
+	if floor <= 0 {
+		floor = 0.001
+	}
+	if ceil <= 0 {
+		ceil = 0.1
+	}
+	if ceil < floor {
+		ceil = floor
+	}
+	return floor, ceil
+}
+
+func (c Config) missWeight() float64 {
+	switch {
+	case c.MissWeight < 0:
+		return 0
+	case c.MissWeight == 0:
+		return 0.3
+	case c.MissWeight > 1:
+		return 1
+	}
+	return c.MissWeight
+}
+
+func (c Config) cooldownTicks() int {
+	if c.CooldownTicks <= 0 {
+		return 2
+	}
+	return c.CooldownTicks
+}
+
+func (c Config) minWindow() int {
+	if c.MinWindow <= 0 {
+		return 8
+	}
+	return c.MinWindow
+}
+
+// AdaptEvent is one controller-triggered adaptation in the timeline.
+type AdaptEvent struct {
+	Time           time.Time `json:"time"`
+	Generation     uint64    `json:"generation"` // after publication
+	MinSup         float64   `json:"min_sup"`
+	Score          float64   `json:"score"`
+	Drift          float64   `json:"drift"`
+	MissRate       float64   `json:"miss_rate"`
+	NewPaths       int       `json:"new_paths"`
+	ProjectedBytes int64     `json:"projected_bytes"`
+	Clamped        string    `json:"clamped,omitempty"`
+}
+
+// maxEvents bounds the adapt timeline kept in State.
+const maxEvents = 64
+
+// State is the controller's observable decision state — served in /stats
+// and GET /controller, dumped by the soak harness.
+type State struct {
+	Name           string       `json:"name"`
+	IntervalMS     int64        `json:"interval_ms"`
+	DriftThreshold float64      `json:"drift_threshold"`
+	DriftTicks     int          `json:"drift_ticks"`
+	MemoryBudget   int64        `json:"memory_budget,omitempty"`
+	MinSup         float64      `json:"min_sup"` // last tuned (or configured floor)
+	Generation     uint64       `json:"generation"`
+	Ticks          int64        `json:"ticks"`
+	Triggered      int64        `json:"adapts_triggered"`
+	Suppressed     int64        `json:"adapts_suppressed"`
+	Failed         int64        `json:"adapts_failed"`
+	Streak         int          `json:"streak"`
+	Cooldown       int          `json:"cooldown"`
+	LastDrift      float64      `json:"last_drift"`
+	LastMissRate   float64      `json:"last_miss_rate"`
+	LastScore      float64      `json:"last_score"`
+	LastReason     string       `json:"last_reason,omitempty"`
+	LastTick       time.Time    `json:"last_tick"`
+	BaselinePaths  int          `json:"baseline_paths"`
+	ProfilePaths   int          `json:"profile_paths"`
+	LastError      string       `json:"last_error,omitempty"`
+	Events         []AdaptEvent `json:"events,omitempty"`
+}
+
+// TickResult is what one Tick decided — the unit the hysteresis tests
+// assert on.
+type TickResult struct {
+	// Reason is why the tick stopped where it did: "window" (log too
+	// small), "cooldown", "below-threshold", "accumulating" (streak <
+	// K), "suppressed" (gate busy), "failed", or "adapted".
+	Reason   string
+	Drift    float64
+	MissRate float64
+	Score    float64
+	Adapted  bool
+	MinSup   float64
+}
+
+// Controller runs the drift → tune → adapt loop for one Target.
+type Controller struct {
+	cfg    Config
+	target Target
+	gate   *Gate
+	miss   func() (fast, join int64)
+
+	mu       sync.Mutex
+	baseline Profile
+	minSup   float64
+	streak   int
+	cooldown int
+
+	ticks, triggered, suppressed, failed int64
+	lastFast, lastJoin                   int64
+	lastDrift, lastMiss, lastScore       float64
+	lastReason, lastError                string
+	lastTick                             time.Time
+	profilePaths                         int
+	events                               []AdaptEvent
+}
+
+// New wires a controller over target. The gate is created here; callers
+// that also serve a manual adapt endpoint route it through Controller.
+// ManualAdapt so both paths share the single flight.
+func New(target Target, cfg Config) *Controller {
+	c := &Controller{
+		cfg:    cfg,
+		target: target,
+		gate:   &Gate{},
+		miss:   cfg.MissRates,
+	}
+	if c.miss == nil {
+		c.miss = defaultMissRates
+	}
+	floor, _ := cfg.floorCeil()
+	c.minSup = floor
+	// Until the first controller-driven adapt, the serving index's own
+	// required paths are the baseline the mined profile drifts against.
+	c.baseline = BaselineFromPaths(target.View().RequiredPaths)
+	c.lastFast, c.lastJoin = c.miss()
+	return c
+}
+
+// defaultMissRates reads the process-wide fast-path/join-path counters the
+// query package maintains.
+func defaultMissRates() (fast, join int64) {
+	return metrics.Default.Counter("query.apex.fastpath_total").Value(),
+		metrics.Default.Counter("query.apex.joinpath_total").Value()
+}
+
+// Run ticks the controller every cfg.Interval until ctx is canceled.
+func (c *Controller) Run(ctx context.Context) {
+	t := time.NewTicker(c.cfg.interval())
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case now := <-t.C:
+			c.Tick(now)
+		}
+	}
+}
+
+// ManualAdapt serializes an operator-initiated adapt through the same gate
+// the controller's ticks try: the manual path blocks until any in-flight
+// rebuild finishes, runs fn, and on success rebaselines the controller to
+// the freshly rebuilt index and starts a cooldown (the operator just
+// retargeted the index; drift is measured against the new shape).
+func (c *Controller) ManualAdapt(fn func() error) error {
+	release := c.gate.Acquire()
+	defer release()
+	err := fn()
+	if err == nil {
+		c.mu.Lock()
+		c.baseline = BaselineFromPaths(c.target.View().RequiredPaths)
+		c.streak = 0
+		c.cooldown = c.cfg.cooldownTicks()
+		c.mu.Unlock()
+	}
+	return err
+}
+
+// Tick runs one controller step at the given time. Exported so tests and
+// the soak harness can drive the state machine deterministically; Run calls
+// it on the ticker.
+func (c *Controller) Tick(now time.Time) TickResult {
+	mTicks.Inc()
+	c.mu.Lock()
+	c.ticks++
+	c.lastTick = now
+
+	// Miss-rate over the window since the previous tick, whatever this
+	// tick decides — keeping the deltas per-tick keeps the signal fresh.
+	fast, join := c.miss()
+	dFast, dJoin := fast-c.lastFast, join-c.lastJoin
+	c.lastFast, c.lastJoin = fast, join
+	missRate := 0.0
+	if dFast+dJoin > 0 {
+		missRate = float64(dJoin) / float64(dFast+dJoin)
+	}
+
+	floor, ceil := c.cfg.floorCeil()
+	workload := c.target.Workload()
+	full := Mine(workload, floor)
+	operating := full.Above(c.minSup)
+	drift := Drift(c.baseline, operating)
+	w := c.cfg.missWeight()
+	score := (1-w)*drift + w*missRate
+	c.lastDrift, c.lastMiss, c.lastScore = drift, missRate, score
+	c.profilePaths = len(operating.Support)
+	mScore.Set(int64(score * 1000))
+
+	done := func(reason string) TickResult {
+		c.lastReason = reason
+		mStreak.Set(int64(c.streak))
+		minSup := c.minSup
+		c.mu.Unlock()
+		return TickResult{Reason: reason, Drift: drift, MissRate: missRate, Score: score, MinSup: minSup}
+	}
+
+	if len(workload) < c.cfg.minWindow() {
+		c.streak = 0
+		return done("window")
+	}
+	if c.cooldown > 0 {
+		c.cooldown--
+		c.streak = 0
+		return done("cooldown")
+	}
+	if score < c.cfg.threshold() {
+		c.streak = 0
+		return done("below-threshold")
+	}
+	c.streak++
+	if c.streak < c.cfg.driftTicks() {
+		return done("accumulating")
+	}
+
+	// K consecutive over-threshold ticks: tune MinSup against the budget
+	// and adapt, unless a manual adapt already holds the gate.
+	release, ok := c.gate.TryAcquire()
+	if !ok {
+		c.suppressed++
+		mSuppressed.Inc()
+		return done("suppressed")
+	}
+	tuning := TuneMinSup(full, c.target.View(), c.cfg.MemoryBudget, floor, ceil)
+	c.minSup = tuning.MinSup
+	mMinSup.Set(int64(tuning.MinSup * 1e6))
+	// The shadow rebuild runs without c.mu so /stats and /controller keep
+	// answering; the gate alone serializes rebuilds.
+	c.mu.Unlock()
+	err := c.target.Adapt(tuning.MinSup)
+	c.mu.Lock()
+	release()
+	if err != nil {
+		c.failed++
+		mFailed.Inc()
+		c.lastError = err.Error()
+		// Keep the streak at the trigger point: the drift is still there,
+		// so the next tick retries instead of re-debouncing K ticks.
+		c.streak = c.cfg.driftTicks()
+		return done("failed")
+	}
+	c.triggered++
+	mTriggered.Inc()
+	c.lastError = ""
+	// Rebaseline on what was actually mined and adopted: the index now
+	// serves the shape this profile described.
+	c.baseline = full.Above(tuning.MinSup)
+	c.streak = 0
+	c.cooldown = c.cfg.cooldownTicks()
+	ev := AdaptEvent{
+		Time:           now,
+		Generation:     c.target.Generation(),
+		MinSup:         tuning.MinSup,
+		Score:          score,
+		Drift:          drift,
+		MissRate:       missRate,
+		NewPaths:       tuning.NewPaths,
+		ProjectedBytes: tuning.ProjectedBytes,
+		Clamped:        tuning.Clamped,
+	}
+	c.events = append(c.events, ev)
+	if len(c.events) > maxEvents {
+		c.events = c.events[len(c.events)-maxEvents:]
+	}
+	res := done("adapted")
+	res.Adapted = true
+	return res
+}
+
+// State snapshots the controller's decision state.
+func (c *Controller) State() State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	events := make([]AdaptEvent, len(c.events))
+	copy(events, c.events)
+	return State{
+		Name:           c.target.Name(),
+		IntervalMS:     c.cfg.interval().Milliseconds(),
+		DriftThreshold: c.cfg.threshold(),
+		DriftTicks:     c.cfg.driftTicks(),
+		MemoryBudget:   c.cfg.MemoryBudget,
+		MinSup:         c.minSup,
+		Generation:     c.target.Generation(),
+		Ticks:          c.ticks,
+		Triggered:      c.triggered,
+		Suppressed:     c.suppressed,
+		Failed:         c.failed,
+		Streak:         c.streak,
+		Cooldown:       c.cooldown,
+		LastDrift:      c.lastDrift,
+		LastMissRate:   c.lastMiss,
+		LastScore:      c.lastScore,
+		LastReason:     c.lastReason,
+		LastTick:       c.lastTick,
+		BaselinePaths:  len(c.baseline.Support),
+		ProfilePaths:   c.profilePaths,
+		LastError:      c.lastError,
+		Events:         events,
+	}
+}

@@ -1,0 +1,300 @@
+package controller
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"apex/internal/xmlgraph"
+)
+
+// fakeTarget is a scriptable Target for the hysteresis state-machine tests.
+type fakeTarget struct {
+	mu       sync.Mutex
+	gen      uint64
+	workload []xmlgraph.LabelPath
+	view     View
+	adaptErr error
+	adapts   []float64
+	blockCh  chan struct{} // when non-nil, Adapt blocks until closed
+}
+
+func (f *fakeTarget) Name() string { return "fake" }
+
+func (f *fakeTarget) Generation() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.gen
+}
+
+func (f *fakeTarget) Workload() []xmlgraph.LabelPath {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]xmlgraph.LabelPath(nil), f.workload...)
+}
+
+func (f *fakeTarget) View() View {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.view
+}
+
+func (f *fakeTarget) Adapt(minSup float64) error {
+	f.mu.Lock()
+	block := f.blockCh
+	f.mu.Unlock()
+	if block != nil {
+		<-block
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.adaptErr != nil {
+		return f.adaptErr
+	}
+	f.adapts = append(f.adapts, minSup)
+	f.gen++
+	return nil
+}
+
+func (f *fakeTarget) setWorkload(paths ...xmlgraph.LabelPath) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.workload = paths
+}
+
+func (f *fakeTarget) adaptCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.adapts)
+}
+
+// repeat builds a workload of n copies of the given path.
+func repeat(n int, labels ...string) []xmlgraph.LabelPath {
+	out := make([]xmlgraph.LabelPath, n)
+	for i := range out {
+		out[i] = xmlgraph.LabelPath(labels)
+	}
+	return out
+}
+
+// testConfig keeps the knobs small and the miss signal quiet so the drift
+// term alone drives the score (threshold 0.25, K = 3, no cooldown noise).
+func testConfig() Config {
+	return Config{
+		DriftThreshold: 0.25,
+		DriftTicks:     3,
+		MinWindow:      4,
+		MissWeight:     -1, // drift only
+		MissRates:      func() (int64, int64) { return 0, 0 },
+	}
+}
+
+func newTestController(cfg Config) (*Controller, *fakeTarget) {
+	ft := &fakeTarget{view: View{
+		RequiredPaths: []string{"a", "b", "a.b"},
+		Extents:       10,
+		ExtentBytes:   1000,
+	}}
+	return New(ft, cfg), ft
+}
+
+func tickN(c *Controller, n int) []TickResult {
+	out := make([]TickResult, n)
+	at := time.Unix(1000, 0)
+	for i := range out {
+		out[i] = c.Tick(at.Add(time.Duration(i) * time.Second))
+	}
+	return out
+}
+
+func TestHysteresisStateMachine(t *testing.T) {
+	cases := []struct {
+		name        string
+		workload    []xmlgraph.LabelPath // set before ticking
+		ticks       int
+		wantReasons []string
+		wantAdapts  int
+	}{
+		{
+			name:        "window too small never arms",
+			workload:    repeat(2, "x", "y"),
+			ticks:       3,
+			wantReasons: []string{"window", "window", "window"},
+			wantAdapts:  0,
+		},
+		{
+			name:        "drift below threshold resets the streak",
+			workload:    repeat(10, "a", "b"), // matches the baseline: drift 0
+			ticks:       3,
+			wantReasons: []string{"below-threshold", "below-threshold", "below-threshold"},
+			wantAdapts:  0,
+		},
+		{
+			name:        "K-tick debounce: adapt fires on the Kth tick, then cools down",
+			workload:    repeat(10, "x", "y"), // disjoint from baseline: drift 1
+			ticks:       5,
+			wantReasons: []string{"accumulating", "accumulating", "adapted", "cooldown", "cooldown"},
+			wantAdapts:  1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, ft := newTestController(testConfig())
+			ft.setWorkload(tc.workload...)
+			results := tickN(c, tc.ticks)
+			for i, want := range tc.wantReasons {
+				if results[i].Reason != want {
+					t.Fatalf("tick %d reason = %q, want %q (results: %+v)", i, results[i].Reason, want, results)
+				}
+			}
+			if got := ft.adaptCount(); got != tc.wantAdapts {
+				t.Fatalf("adapts = %d, want %d", got, tc.wantAdapts)
+			}
+		})
+	}
+}
+
+func TestStreakResetOnDip(t *testing.T) {
+	c, ft := newTestController(testConfig())
+	drifted := repeat(10, "x", "y")
+	steady := repeat(10, "a", "b")
+
+	ft.setWorkload(drifted...)
+	tickN(c, 2) // streak 2 of 3
+	ft.setWorkload(steady...)
+	if r := c.Tick(time.Unix(2000, 0)); r.Reason != "below-threshold" {
+		t.Fatalf("dip tick reason = %q", r.Reason)
+	}
+	ft.setWorkload(drifted...)
+	// The dip must have reset the streak: two more ticks may not adapt.
+	rs := tickN(c, 2)
+	if rs[1].Reason != "accumulating" || ft.adaptCount() != 0 {
+		t.Fatalf("streak survived the dip: %+v, adapts=%d", rs, ft.adaptCount())
+	}
+	if r := c.Tick(time.Unix(3000, 0)); !r.Adapted {
+		t.Fatalf("third consecutive tick after reset did not adapt: %+v", r)
+	}
+}
+
+func TestAdaptRebaselinesProfile(t *testing.T) {
+	c, ft := newTestController(testConfig())
+	ft.setWorkload(repeat(10, "x", "y")...)
+	tickN(c, 3)
+	if ft.adaptCount() != 1 {
+		t.Fatalf("adapts = %d, want 1", ft.adaptCount())
+	}
+	// Same workload after the adapt: the controller rebaselined onto the
+	// mined profile, so drift is now zero — no further adapts even past
+	// the cooldown.
+	rs := tickN(c, 4)
+	for _, r := range rs[2:] { // first two are cooldown
+		if r.Reason != "below-threshold" {
+			t.Fatalf("post-adapt tick = %+v, want below-threshold", r)
+		}
+	}
+	if ft.adaptCount() != 1 {
+		t.Fatalf("controller thrashing: adapts = %d", ft.adaptCount())
+	}
+}
+
+func TestFailedAdaptRetriesWithoutRedebouncing(t *testing.T) {
+	c, ft := newTestController(testConfig())
+	ft.setWorkload(repeat(10, "x", "y")...)
+	ft.adaptErr = errors.New("journal: disk full")
+	rs := tickN(c, 3)
+	if rs[2].Reason != "failed" {
+		t.Fatalf("tick 3 = %+v, want failed", rs[2])
+	}
+	ft.mu.Lock()
+	ft.adaptErr = nil
+	ft.mu.Unlock()
+	// The streak is held at K, so the very next over-threshold tick
+	// retries instead of debouncing another K ticks.
+	if r := c.Tick(time.Unix(2000, 0)); !r.Adapted {
+		t.Fatalf("retry tick = %+v, want adapted", r)
+	}
+	st := c.State()
+	if st.Failed != 1 || st.Triggered != 1 {
+		t.Fatalf("state = failed %d triggered %d, want 1 and 1", st.Failed, st.Triggered)
+	}
+}
+
+func TestSuppressedWhileManualAdaptInFlight(t *testing.T) {
+	c, ft := newTestController(testConfig())
+	ft.setWorkload(repeat(10, "x", "y")...)
+	tickN(c, 2) // streak 2 of 3
+
+	// Hold the gate like an in-flight POST /adapt.
+	started, finish := make(chan struct{}), make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- c.ManualAdapt(func() error {
+			close(started)
+			<-finish
+			return nil
+		})
+	}()
+	<-started
+
+	if r := c.Tick(time.Unix(2000, 0)); r.Reason != "suppressed" {
+		t.Fatalf("tick during manual adapt = %+v, want suppressed", r)
+	}
+	if st := c.State(); st.Suppressed != 1 {
+		t.Fatalf("suppressed counter = %d, want 1", st.Suppressed)
+	}
+	close(finish)
+	if err := <-done; err != nil {
+		t.Fatalf("manual adapt: %v", err)
+	}
+	// The successful manual adapt rebaselined and started a cooldown.
+	if r := c.Tick(time.Unix(2001, 0)); r.Reason != "cooldown" {
+		t.Fatalf("tick after manual adapt = %+v, want cooldown", r)
+	}
+	if ft.adaptCount() != 0 {
+		t.Fatalf("controller adapted during/after manual flight: %d", ft.adaptCount())
+	}
+}
+
+func TestMissRateSignalAloneCanTrigger(t *testing.T) {
+	// Drift is zero (workload matches baseline) but every query since the
+	// last tick took the join path: with MissWeight 1 the score is the
+	// miss rate.
+	var fast, join int64
+	cfg := testConfig()
+	cfg.MissWeight = 1
+	cfg.MissRates = func() (int64, int64) { return fast, join }
+	c, ft := newTestController(cfg)
+	ft.setWorkload(repeat(10, "a", "b")...)
+
+	// The signal is a per-tick delta of cumulative counters, so the join
+	// traffic must keep flowing across ticks.
+	var rs []TickResult
+	for i := 0; i < 3; i++ {
+		join += 100
+		rs = append(rs, c.Tick(time.Unix(int64(2000+i), 0)))
+	}
+	if !rs[2].Adapted {
+		t.Fatalf("miss-rate trigger: %+v", rs)
+	}
+	if rs[2].MissRate != 1 {
+		t.Fatalf("miss rate = %v, want 1", rs[2].MissRate)
+	}
+}
+
+func TestStateSnapshot(t *testing.T) {
+	c, ft := newTestController(testConfig())
+	ft.setWorkload(repeat(10, "x", "y")...)
+	tickN(c, 3)
+	st := c.State()
+	if st.Name != "fake" || st.Ticks != 3 || st.Triggered != 1 || len(st.Events) != 1 {
+		t.Fatalf("state = %+v", st)
+	}
+	ev := st.Events[0]
+	if ev.Generation != 1 || ev.MinSup <= 0 || ev.Score < c.cfg.threshold() {
+		t.Fatalf("event = %+v", ev)
+	}
+	if st.LastReason != "adapted" {
+		t.Fatalf("last reason = %q", st.LastReason)
+	}
+}

@@ -1,0 +1,150 @@
+// Package controller closes APEX's adaptation loop: the paper's premise is
+// that the frequent-path set drifts with the workload, and until now acting
+// on that drift took an operator's POST /adapt. The controller runs inside
+// the daemon, periodically mines the bounded workload log into a
+// frequent-path profile, scores how far that profile has drifted from the
+// profile the serving index was built from (weighted Jaccard distance over
+// the supported-path sets, blended with a join-path miss-rate signal from
+// the query.apex.* counters), and — after the score has stayed over the
+// threshold for K consecutive ticks — tunes MinSup against an extent-memory
+// budget and runs the shadow adapt off the critical path.
+//
+// Hysteresis is the load-bearing property: a single noisy tick never
+// triggers a rebuild, a successful adapt rebaselines the profile and starts
+// a cooldown, and the single-flight gate shared with the manual /adapt
+// endpoint guarantees operator and controller never race two rebuilds.
+package controller
+
+import (
+	"sort"
+	"strings"
+
+	"apex/internal/xmlgraph"
+)
+
+// Profile is a mined frequent-path profile: dotted label paths (length ≥ 2)
+// mapped to their support, the fraction of workload queries containing the
+// path as a contiguous subpath. Length-1 paths are excluded — the index
+// keeps every single label regardless of workload (Definition 6), so they
+// carry no drift signal and would dilute the distance.
+type Profile struct {
+	// Support maps dotted label paths to support in [0, 1].
+	Support map[string]float64
+	// Queries is the workload size the supports were computed over.
+	Queries int
+}
+
+// Mine counts contiguous subpaths of length ≥ 2 across the workload —
+// the same counting discipline as core.ExtractFrequentPaths (support is the
+// number of queries containing the subpath, so repeated windows within one
+// query count once) — and keeps the paths whose support reaches minSup.
+func Mine(workload []xmlgraph.LabelPath, minSup float64) Profile {
+	p := Profile{Support: make(map[string]float64), Queries: len(workload)}
+	if len(workload) == 0 {
+		return p
+	}
+	counts := make(map[string]int)
+	for _, q := range workload {
+		seen := make(map[string]bool)
+		q.Subpaths(func(s xmlgraph.LabelPath) {
+			if len(s) < 2 {
+				return
+			}
+			key := s.String()
+			if seen[key] {
+				return
+			}
+			seen[key] = true
+			counts[key]++
+		})
+	}
+	threshold := minSup * float64(len(workload))
+	for path, n := range counts {
+		if sup := float64(n); sup >= threshold {
+			p.Support[path] = sup / float64(len(workload))
+		}
+	}
+	return p
+}
+
+// Above returns the sub-profile of paths whose support reaches minSup — the
+// operating view of a profile mined at the floor.
+func (p Profile) Above(minSup float64) Profile {
+	out := Profile{Support: make(map[string]float64, len(p.Support)), Queries: p.Queries}
+	for path, sup := range p.Support {
+		if sup >= minSup {
+			out.Support[path] = sup
+		}
+	}
+	return out
+}
+
+// Paths returns the profile's paths, sorted, for stable reporting.
+func (p Profile) Paths() []string {
+	out := make([]string, 0, len(p.Support))
+	for path := range p.Support {
+		out = append(out, path)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BaselineFromPaths builds the profile stood in for the serving index when
+// no mined baseline exists yet (process start): the index's required paths
+// of length ≥ 2 at uniform weight. The weights are normalized inside Drift,
+// so a uniform baseline compares cleanly against a mined profile.
+func BaselineFromPaths(required []string) Profile {
+	p := Profile{Support: make(map[string]float64)}
+	for _, path := range required {
+		if strings.Contains(path, ".") {
+			p.Support[path] = 1
+		}
+	}
+	return p
+}
+
+// Drift is the weighted Jaccard distance between two profiles:
+// 1 − Σ_p min(a_p, b_p) / Σ_p max(a_p, b_p) over the union of paths, with
+// each profile's weights normalized to sum to one first. Normalizing makes
+// the metric a pure shape comparison — a uniform required-path baseline and
+// a mined support profile land on the same scale — and keeps the distance
+// in [0, 1]: 0 for identical shapes, 1 for disjoint path sets.
+func Drift(a, b Profile) float64 {
+	an, bn := normalize(a.Support), normalize(b.Support)
+	if len(an) == 0 && len(bn) == 0 {
+		return 0
+	}
+	if len(an) == 0 || len(bn) == 0 {
+		return 1
+	}
+	var sumMin, sumMax float64
+	for path, aw := range an {
+		bw := bn[path]
+		sumMin += min(aw, bw)
+		sumMax += max(aw, bw)
+	}
+	for path, bw := range bn {
+		if _, ok := an[path]; !ok {
+			sumMax += bw
+		}
+	}
+	if sumMax == 0 {
+		return 0
+	}
+	return 1 - sumMin/sumMax
+}
+
+func normalize(w map[string]float64) map[string]float64 {
+	var total float64
+	for _, v := range w {
+		total += v
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(w))
+	for k, v := range w {
+		out[k] = v / total
+	}
+	return out
+}

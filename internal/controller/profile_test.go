@@ -1,0 +1,146 @@
+package controller
+
+import (
+	"math"
+	"testing"
+
+	"apex/internal/xmlgraph"
+)
+
+func lp(labels ...string) xmlgraph.LabelPath { return xmlgraph.LabelPath(labels) }
+
+func TestMineCountsQueriesNotWindows(t *testing.T) {
+	// "a.b" appears twice inside the first query but must count once for
+	// it (support = #queries containing the subpath, Definition 6).
+	wl := []xmlgraph.LabelPath{
+		lp("a", "b", "a", "b"),
+		lp("a", "b"),
+		lp("c", "d"),
+		lp("e"), // length-1: no length-2 windows, still a query
+	}
+	p := Mine(wl, 0.25)
+	if p.Queries != 4 {
+		t.Fatalf("Queries = %d, want 4", p.Queries)
+	}
+	if got := p.Support["a.b"]; math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("support(a.b) = %v, want 0.5", got)
+	}
+	if got := p.Support["c.d"]; math.Abs(got-0.25) > 1e-9 {
+		t.Fatalf("support(c.d) = %v, want 0.25", got)
+	}
+	if _, ok := p.Support["a"]; ok {
+		t.Fatalf("length-1 path leaked into the profile: %v", p.Support)
+	}
+	// At minSup 0.3, c.d (support 0.25) must be pruned.
+	p = Mine(wl, 0.3)
+	if _, ok := p.Support["c.d"]; ok {
+		t.Fatalf("c.d survived minSup 0.3: %v", p.Support)
+	}
+	if _, ok := p.Support["a.b"]; !ok {
+		t.Fatalf("a.b pruned at minSup 0.3: %v", p.Support)
+	}
+}
+
+func TestMineEmptyWorkload(t *testing.T) {
+	p := Mine(nil, 0.01)
+	if p.Queries != 0 || len(p.Support) != 0 {
+		t.Fatalf("Mine(nil) = %+v, want empty", p)
+	}
+}
+
+func TestDriftBounds(t *testing.T) {
+	a := Profile{Support: map[string]float64{"a.b": 0.8, "a.b.c": 0.4}}
+	same := Profile{Support: map[string]float64{"a.b": 0.4, "a.b.c": 0.2}}
+	disjoint := Profile{Support: map[string]float64{"x.y": 1}}
+	empty := Profile{Support: map[string]float64{}}
+
+	if d := Drift(a, a); d != 0 {
+		t.Fatalf("Drift(a, a) = %v, want 0", d)
+	}
+	// Same shape at half the absolute support: normalization makes them
+	// identical.
+	if d := Drift(a, same); math.Abs(d) > 1e-9 {
+		t.Fatalf("Drift(a, scaled a) = %v, want 0", d)
+	}
+	if d := Drift(a, disjoint); math.Abs(d-1) > 1e-9 {
+		t.Fatalf("Drift(a, disjoint) = %v, want 1", d)
+	}
+	if d := Drift(empty, empty); d != 0 {
+		t.Fatalf("Drift(empty, empty) = %v, want 0", d)
+	}
+	if d := Drift(a, empty); d != 1 {
+		t.Fatalf("Drift(a, empty) = %v, want 1", d)
+	}
+	// Partial overlap lands strictly between.
+	half := Profile{Support: map[string]float64{"a.b": 0.8, "x.y": 0.4}}
+	if d := Drift(a, half); d <= 0 || d >= 1 {
+		t.Fatalf("Drift(a, half-overlap) = %v, want in (0, 1)", d)
+	}
+}
+
+func TestBaselineFromPathsKeepsOnlyMinedShapes(t *testing.T) {
+	p := BaselineFromPaths([]string{"a", "b", "a.b", "a.b.c"})
+	if len(p.Support) != 2 {
+		t.Fatalf("baseline = %v, want the two length>=2 paths", p.Support)
+	}
+	for _, want := range []string{"a.b", "a.b.c"} {
+		if p.Support[want] != 1 {
+			t.Fatalf("baseline missing %s: %v", want, p.Support)
+		}
+	}
+}
+
+func TestAbove(t *testing.T) {
+	p := Profile{Support: map[string]float64{"a.b": 0.5, "c.d": 0.1}, Queries: 10}
+	got := p.Above(0.2)
+	if len(got.Support) != 1 || got.Support["a.b"] != 0.5 || got.Queries != 10 {
+		t.Fatalf("Above(0.2) = %+v", got)
+	}
+}
+
+func TestTuneMinSupBudgetSearch(t *testing.T) {
+	// Profile with three breakpoints; none already required. Each new
+	// path is priced at 100 B (1000 B over 10 extents).
+	p := Profile{Support: map[string]float64{
+		"hot.a":  0.9,
+		"warm.b": 0.5,
+		"cool.c": 0.2,
+	}}
+	view := View{RequiredPaths: []string{"x", "x.y"}, Extents: 10, ExtentBytes: 1000}
+	floor, ceil := 0.01, 0.95
+
+	cases := []struct {
+		name       string
+		budget     int64
+		wantMinSup float64
+		wantNew    int
+		wantClamp  string
+	}{
+		{"unbounded budget hits the floor", 0, floor, 3, "floor"},
+		{"roomy budget hits the floor", 10_000, floor, 3, "floor"},
+		{"budget for two paths lands on their breakpoint", 1200, 0.5, 2, ""},
+		{"budget for one path", 1100, 0.9, 1, ""},
+		{"budget for none clamps at the ceiling", 1000, ceil, 0, "ceiling"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := TuneMinSup(p, view, tc.budget, floor, ceil)
+			if got.MinSup != tc.wantMinSup || got.NewPaths != tc.wantNew || got.Clamped != tc.wantClamp {
+				t.Fatalf("TuneMinSup(budget=%d) = %+v, want minSup=%v newPaths=%d clamp=%q",
+					tc.budget, got, tc.wantMinSup, tc.wantNew, tc.wantClamp)
+			}
+			if tc.budget > 0 && tc.wantClamp != "ceiling" && got.ProjectedBytes > tc.budget {
+				t.Fatalf("projection %d exceeds budget %d", got.ProjectedBytes, tc.budget)
+			}
+		})
+	}
+}
+
+func TestTuneMinSupIgnoresAlreadyRequiredPaths(t *testing.T) {
+	p := Profile{Support: map[string]float64{"x.y": 0.9, "new.p": 0.9}}
+	view := View{RequiredPaths: []string{"x", "x.y"}, Extents: 4, ExtentBytes: 400}
+	got := TuneMinSup(p, view, 10_000, 0.01, 0.5)
+	if got.NewPaths != 1 {
+		t.Fatalf("NewPaths = %d, want 1 (x.y is already required)", got.NewPaths)
+	}
+}

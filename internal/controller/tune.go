@@ -1,0 +1,103 @@
+package controller
+
+import "sort"
+
+// View is the serving-structure snapshot a tuning decision is anchored on:
+// the paths the index already maintains and the extent footprint they cost.
+type View struct {
+	// RequiredPaths is the index's current required-path list (dotted).
+	RequiredPaths []string
+	// Extents and ExtentBytes are the live extent count and their serving-
+	// form memory; their ratio is the bytes-per-extent estimate the budget
+	// projection uses.
+	Extents     int
+	ExtentBytes int64
+}
+
+// Tuning is one MinSup decision against a memory budget.
+type Tuning struct {
+	// MinSup is the chosen support threshold.
+	MinSup float64 `json:"min_sup"`
+	// NewPaths counts the mined paths the choice would add beyond the
+	// index's current required set.
+	NewPaths int `json:"new_paths"`
+	// ProjectedBytes estimates the extent memory after adapting at MinSup.
+	ProjectedBytes int64 `json:"projected_bytes"`
+	// Clamped reports when the search hit a bound: "floor" when even the
+	// most permissive MinSup fits the budget (or no budget is set),
+	// "ceiling" when not even the most restrictive one does.
+	Clamped string `json:"clamped,omitempty"`
+}
+
+// TuneMinSup picks the smallest MinSup in [floor, ceil] whose projected
+// extent memory fits budget (0 or negative budget = unbounded). Smaller
+// MinSup admits more frequent paths — better fast-path coverage, more
+// extents — so the projection is monotone: projected bytes shrink as MinSup
+// grows. The projection prices each admitted path not already required at
+// the current bytes-per-extent average from view.
+//
+// The search walks the profile's distinct support values (the projection is
+// a step function with breakpoints exactly there) by binary search; between
+// breakpoints every MinSup admits the same path set, so candidates beyond
+// the breakpoints add nothing.
+func TuneMinSup(p Profile, view View, budget int64, floor, ceil float64) Tuning {
+	if floor <= 0 {
+		floor = 0.001
+	}
+	if ceil < floor {
+		ceil = floor
+	}
+	required := make(map[string]bool, len(view.RequiredPaths))
+	for _, path := range view.RequiredPaths {
+		required[path] = true
+	}
+	bytesPerExtent := float64(0)
+	if view.Extents > 0 {
+		bytesPerExtent = float64(view.ExtentBytes) / float64(view.Extents)
+	}
+	project := func(minSup float64) (newPaths int, bytes int64) {
+		for path, sup := range p.Support {
+			if sup >= minSup && !required[path] {
+				newPaths++
+			}
+		}
+		return newPaths, view.ExtentBytes + int64(bytesPerExtent*float64(newPaths))
+	}
+	at := func(minSup float64, clamped string) Tuning {
+		n, b := project(minSup)
+		return Tuning{MinSup: minSup, NewPaths: n, ProjectedBytes: b, Clamped: clamped}
+	}
+
+	if budget <= 0 {
+		return at(floor, "floor")
+	}
+	if t := at(floor, "floor"); t.ProjectedBytes <= budget {
+		return t
+	}
+	// Candidate thresholds: the distinct support values in (floor, ceil],
+	// ascending, then the ceiling itself. Binary-search the first that fits.
+	supports := make([]float64, 0, len(p.Support))
+	seen := make(map[float64]bool)
+	for _, sup := range p.Support {
+		if sup > floor && sup <= ceil && !seen[sup] {
+			seen[sup] = true
+			supports = append(supports, sup)
+		}
+	}
+	sort.Float64s(supports)
+	lo, hi := 0, len(supports)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if _, b := project(supports[mid]); b <= budget {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo < len(supports) {
+		return at(supports[lo], "")
+	}
+	// Not even the most restrictive breakpoint fits; the ceiling is the
+	// best the controller can do — the adapt still prunes toward budget.
+	return at(ceil, "ceiling")
+}

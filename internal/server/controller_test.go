@@ -1,0 +1,127 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"apex/internal/controller"
+)
+
+// TestControllerEndpointAndStats covers the observable surface: GET
+// /controller is 404 until a controller is attached, then serves its state,
+// and /stats embeds the same snapshot.
+func TestControllerEndpointAndStats(t *testing.T) {
+	ix, s, ts := newTestServer(t, Config{})
+	if code := getStatus(t, ts.URL+"/controller"); code != http.StatusNotFound {
+		t.Fatalf("GET /controller without a controller = %d, want 404", code)
+	}
+
+	ctl := controller.New(controller.NewIndexTarget("index", ix), controller.Config{
+		Interval:   time.Minute,
+		MissWeight: -1,
+		MissRates:  func() (int64, int64) { return 0, 0 },
+	})
+	s.SetController(ctl)
+	ctl.Tick(time.Now())
+
+	var st controller.State
+	if code := getJSON(t, ts.URL+"/controller", &st); code != http.StatusOK {
+		t.Fatalf("GET /controller = %d", code)
+	}
+	if st.Name != "index" || st.Ticks != 1 {
+		t.Fatalf("controller state = %+v", st)
+	}
+
+	var stats struct {
+		Controller *controller.State `json:"controller"`
+	}
+	if code := getJSON(t, ts.URL+"/stats", &stats); code != http.StatusOK {
+		t.Fatalf("GET /stats = %d", code)
+	}
+	if stats.Controller == nil || stats.Controller.Ticks != 1 {
+		t.Fatalf("/stats controller = %+v", stats.Controller)
+	}
+}
+
+// TestControllerTicksRacingManualAdaptAndQueries is the race-detector
+// proof: controller ticks, manual POST /adapt, and query traffic share one
+// server — the single-flight gate and the index's own publication
+// discipline must keep every interleaving clean.
+func TestControllerTicksRacingManualAdaptAndQueries(t *testing.T) {
+	ix, s, ts := newTestServer(t, Config{})
+	ctl := controller.New(controller.NewIndexTarget("index", ix), controller.Config{
+		Interval:       time.Millisecond,
+		DriftThreshold: 0.01,
+		DriftTicks:     1,
+		CooldownTicks:  1,
+		MinWindow:      1,
+	})
+	s.SetController(ctl)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go ctl.Run(ctx)
+
+	deadline := time.Now().Add(300 * time.Millisecond)
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				if code := postJSON(t, ts.URL+"/query", `{"query":"//movie/title"}`, nil); code != http.StatusOK {
+					t.Errorf("query status = %d", code)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for time.Now().Before(deadline) {
+			// 200 (log mined) and 409 (log empty — a controller adapt
+			// just consumed it) are both legitimate; anything else is a
+			// serialization bug.
+			code := postJSON(t, ts.URL+"/adapt", `{"min_sup":0.5}`, nil)
+			if code != http.StatusOK && code != http.StatusConflict {
+				t.Errorf("manual adapt status = %d", code)
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+	wg.Wait()
+	cancel()
+
+	st := ctl.State()
+	if st.Ticks == 0 {
+		t.Fatal("controller never ticked")
+	}
+	// The index must still answer coherently after the churn.
+	if code := postJSON(t, ts.URL+"/query", `{"query":"//movie/title"}`, nil); code != http.StatusOK {
+		t.Fatalf("post-race query status = %d", code)
+	}
+}
+
+func getStatus(t *testing.T, url string) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeBody(t, resp, out)
+	return resp.StatusCode
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"apex"
+	"apex/internal/controller"
 	"apex/internal/metrics"
 	"apex/internal/query"
 	"apex/internal/shard"
@@ -29,6 +30,7 @@ type RouterServer struct {
 	cfg    Config
 	caches []*Cache // caches[i] holds shard i's partial results
 	sem    chan struct{}
+	ctls   []*controller.Controller // ctls[i] drives shard i (nil = none)
 
 	logMu sync.Mutex
 
@@ -62,6 +64,25 @@ func NewRouterServer(rt *shard.Router, cfg Config) *RouterServer {
 
 // Router returns the underlying shard router.
 func (s *RouterServer) Router() *shard.Router { return s.rt }
+
+// SetControllers attaches one background adaptation controller per shard
+// (nil entries leave that shard manual-only). Set before serving; callers
+// own the Run loops. Manual adapts of shard i then serialize through
+// ctls[i]'s gate, and GET /controller serves every attached state.
+func (s *RouterServer) SetControllers(ctls []*controller.Controller) {
+	if len(ctls) != s.rt.NumShards() {
+		panic("server: SetControllers wants one controller slot per shard")
+	}
+	s.ctls = ctls
+}
+
+// shardController returns shard i's controller, nil when not attached.
+func (s *RouterServer) shardController(i int) *controller.Controller {
+	if s.ctls == nil {
+		return nil
+	}
+	return s.ctls[i]
+}
 
 // ShardCache returns shard i's cache (nil when caching is disabled).
 func (s *RouterServer) ShardCache(i int) *Cache { return s.caches[i] }
@@ -99,6 +120,7 @@ func (s *RouterServer) Handler() http.Handler {
 	mux.HandleFunc("POST /adapt", s.handleAdapt)
 	mux.HandleFunc("POST /checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /controller", s.handleController)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	metrics.Default.PublishExpvar("apex") // idempotent
 	return accessLogged(s.cfg.AccessLog, &s.logMu, mux)
@@ -326,50 +348,126 @@ type routerAdaptRequest struct {
 	Shard   *int     `json:"shard"`
 }
 
-// routerAdaptResponse is the body of a POST /adapt answer.
-type routerAdaptResponse struct {
-	Generations []uint64 `json:"generations"`
-	Invalidated int      `json:"invalidated"`
+// shardAdaptJSON is one shard's outcome in a POST /adapt answer: a
+// broadcast adapt is N independent shadow rebuilds, and a shard that fails
+// (an empty workload log, a journaling error) does not undo the shards that
+// already published — so the response reports every shard's own truth
+// instead of first-error-wins.
+type shardAdaptJSON struct {
+	Shard       int    `json:"shard"`
+	Name        string `json:"name"`
+	OK          bool   `json:"ok"`
+	Generation  uint64 `json:"generation"`
+	Invalidated int    `json:"invalidated"`
+	Error       string `json:"error,omitempty"`
 }
 
-// handleAdapt restructures one shard or all of them, then sweeps exactly the
-// caches whose shard moved: a single-shard adapt leaves the other N-1
-// shards' cached partials valid and untouched.
+// routerAdaptResponse is the body of a POST /adapt answer. Generations and
+// Invalidated aggregate across shards; Shards carries the per-shard
+// outcomes (present on broadcasts and mixed results).
+type routerAdaptResponse struct {
+	Generations []uint64         `json:"generations"`
+	Invalidated int              `json:"invalidated"`
+	Shards      []shardAdaptJSON `json:"shards,omitempty"`
+}
+
+// adaptShard restructures one shard — through its controller's single-
+// flight gate when one is attached — and sweeps that shard's cache on
+// success.
+func (s *RouterServer) adaptShard(i int, req routerAdaptRequest) shardAdaptJSON {
+	b := s.rt.Backend(i)
+	do := func() error {
+		if len(req.Queries) > 0 {
+			return b.AdaptTo(req.Queries, req.MinSup)
+		}
+		return b.Adapt(req.MinSup)
+	}
+	var err error
+	if ctl := s.shardController(i); ctl != nil {
+		err = ctl.ManualAdapt(do)
+	} else {
+		err = do()
+	}
+	row := shardAdaptJSON{Shard: i, Name: b.Name(), Generation: b.Generation()}
+	if err != nil {
+		row.Error = err.Error()
+		return row
+	}
+	row.OK = true
+	row.Invalidated = s.caches[i].Sweep(row.Generation)
+	return row
+}
+
+// handleAdapt restructures one shard or all of them, then sweeps exactly
+// the caches whose shard moved: a single-shard adapt leaves the other N-1
+// shards' cached partials valid and untouched. A broadcast reports
+// per-shard outcomes: 200 when every shard adapted, 207 when some did
+// (each published rebuild stands — the failed shards' rows say why they
+// didn't), 409 when none did.
 func (s *RouterServer) handleAdapt(w http.ResponseWriter, r *http.Request) {
 	var req routerAdaptRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad adapt request: " + err.Error()})
 		return
 	}
-	target := -1
 	if req.Shard != nil {
-		target = *req.Shard
+		target := *req.Shard
 		if target < 0 || target >= s.rt.NumShards() {
 			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "adapt: no such shard"})
 			return
 		}
-	}
-	if err := s.rt.Adapt(target, req.Queries, req.MinSup); err != nil {
-		var ge *shard.GatherError
-		if errors.As(err, &ge) {
-			s.gatherError(w, r, ge)
+		row := s.adaptShard(target, req)
+		if !row.OK {
+			// "no logged queries" is a state conflict, not a malformed
+			// request.
+			writeJSON(w, http.StatusConflict, errorResponse{Error: "shard " + row.Name + ": " + row.Error})
 			return
 		}
-		// "no logged queries" is a state conflict, not a malformed request.
-		writeJSON(w, http.StatusConflict, errorResponse{Error: err.Error()})
+		writeJSON(w, http.StatusOK, routerAdaptResponse{
+			Generations: s.rt.Generations(),
+			Invalidated: row.Invalidated,
+			Shards:      []shardAdaptJSON{row},
+		})
 		return
 	}
-	invalidated := 0
-	for i, c := range s.caches {
-		if target >= 0 && i != target {
-			continue
+
+	rows := make([]shardAdaptJSON, s.rt.NumShards())
+	invalidated, succeeded := 0, 0
+	for i := range rows {
+		rows[i] = s.adaptShard(i, req)
+		if rows[i].OK {
+			succeeded++
+			invalidated += rows[i].Invalidated
 		}
-		invalidated += c.Sweep(s.rt.Backend(i).Generation())
 	}
-	writeJSON(w, http.StatusOK, routerAdaptResponse{
+	status := http.StatusOK
+	switch {
+	case succeeded == 0:
+		status = http.StatusConflict
+	case succeeded < len(rows):
+		status = http.StatusMultiStatus
+	}
+	writeJSON(w, status, routerAdaptResponse{
 		Generations: s.rt.Generations(),
 		Invalidated: invalidated,
+		Shards:      rows,
 	})
+}
+
+// handleController serves every attached shard controller's decision state.
+// 404 when self-driving adaptation is not enabled on any shard.
+func (s *RouterServer) handleController(w http.ResponseWriter, r *http.Request) {
+	var states []controller.State
+	for i := 0; i < s.rt.NumShards(); i++ {
+		if ctl := s.shardController(i); ctl != nil {
+			states = append(states, ctl.State())
+		}
+	}
+	if len(states) == 0 {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "controller: self-driving adaptation is not enabled"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string][]controller.State{"controllers": states})
 }
 
 // shardStatsJSON is one shard's row in the router /stats payload. Error is

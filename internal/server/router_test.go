@@ -506,3 +506,70 @@ func TestRouterCheckpointDurable(t *testing.T) {
 		t.Fatalf("checkpoint generations = %v", cp.Generations)
 	}
 }
+
+// TestRouterBroadcastAdaptMixedOutcome pins the per-shard status contract:
+// a broadcast adapt where some shards have workload to mine and some don't
+// used to answer first-error-wins 409 while silently leaving the successful
+// shards rebuilt. Now the response carries every shard's own outcome — 207
+// for a mixed result, 409 only when no shard adapted — and the rebuilt
+// shards' new generations stand.
+func TestRouterBroadcastAdaptMixedOutcome(t *testing.T) {
+	srv, ts := newSiteRouterServer(t, Config{})
+	before := srv.Router().Generations()
+
+	// No shard has logged queries yet: every row fails, 409.
+	var ar routerAdaptResponse
+	if code := postJSON(t, ts.URL+"/adapt", `{"min_sup":0.01}`, &ar); code != http.StatusConflict {
+		t.Fatalf("all-fail broadcast adapt status = %d, want 409", code)
+	}
+	if len(ar.Shards) != 4 {
+		t.Fatalf("all-fail rows = %+v, want 4", ar.Shards)
+	}
+	for _, row := range ar.Shards {
+		if row.OK || row.Error == "" {
+			t.Fatalf("all-fail row = %+v, want error", row)
+		}
+	}
+
+	// Log workload into every shard, then consume shard 0's log with a
+	// single-shard adapt: the next broadcast is a genuine mixed outcome.
+	for _, q := range []string{"//customers/customer/name", "//orders/order/total"} {
+		if code := postJSON(t, ts.URL+"/query", `{"query":"`+q+`"}`, nil); code != http.StatusOK {
+			t.Fatalf("query status = %d", code)
+		}
+	}
+	if code := postJSON(t, ts.URL+"/adapt", `{"shard":0,"min_sup":0.01}`, nil); code != http.StatusOK {
+		t.Fatalf("single-shard adapt status = %d", code)
+	}
+
+	ar = routerAdaptResponse{} // omitempty fields would survive re-decoding
+	if code := postJSON(t, ts.URL+"/adapt", `{"min_sup":0.01}`, &ar); code != http.StatusMultiStatus {
+		t.Fatalf("mixed broadcast adapt status = %d, want 207", code)
+	}
+	if len(ar.Shards) != 4 {
+		t.Fatalf("mixed rows = %+v, want 4", ar.Shards)
+	}
+	okCount := 0
+	for _, row := range ar.Shards {
+		if row.OK {
+			okCount++
+			if row.Error != "" {
+				t.Fatalf("ok row carries an error: %+v", row)
+			}
+		} else if row.Shard != 0 {
+			t.Fatalf("shard %d failed, want only shard 0 (empty log): %+v", row.Shard, row)
+		}
+	}
+	if okCount != 3 {
+		t.Fatalf("mixed broadcast adapted %d shards, want 3", okCount)
+	}
+	// The successful shards' publications stand: generations 1..3 moved
+	// twice (query-era base, then broadcast), shard 0 moved only for its
+	// single-shard adapt.
+	after := srv.Router().Generations()
+	for i := 1; i < 4; i++ {
+		if after[i] <= before[i] {
+			t.Fatalf("shard %d generation did not move: %v -> %v", i, before, after)
+		}
+	}
+}

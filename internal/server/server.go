@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"apex"
+	"apex/internal/controller"
 	"apex/internal/metrics"
 	"apex/internal/query"
 )
@@ -102,6 +103,7 @@ type Server struct {
 	cfg   Config
 	cache *Cache
 	sem   chan struct{}
+	ctl   *controller.Controller
 
 	logMu sync.Mutex
 
@@ -124,6 +126,17 @@ func New(ix *apex.Index, cfg Config) *Server {
 // Cache returns the server's result cache (nil when disabled).
 func (s *Server) Cache() *Cache { return s.cache }
 
+// SetController attaches the background adaptation controller. Set before
+// serving; the caller owns the controller's Run loop. Once attached, manual
+// POST /adapt requests serialize through the controller's single-flight
+// gate (a controller tick that fires mid-request is suppressed, never
+// raced), GET /controller serves its decision state, and /stats embeds it.
+func (s *Server) SetController(ctl *controller.Controller) { s.ctl = ctl }
+
+// Controller returns the attached controller (nil when self-driving
+// adaptation is off).
+func (s *Server) Controller() *controller.Controller { return s.ctl }
+
 // Handler returns the routed endpoints:
 //
 //	POST /query    {"query": "//a/b"} → result (cache-first)
@@ -142,6 +155,7 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("POST /checkpoint", s.handleCheckpoint)
 	}
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /controller", s.handleController)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -249,6 +263,7 @@ type statsResponse struct {
 	Inflight    int                   `json:"inflight"`
 	MaxInflight int                   `json:"max_inflight"`
 	Durability  *apex.DurabilityStats `json:"durability,omitempty"`
+	Controller  *controller.State     `json:"controller,omitempty"`
 }
 
 // checkpointResponse is the body of a POST /checkpoint answer.
@@ -344,11 +359,20 @@ func (s *Server) handleAdapt(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad adapt request: " + err.Error()})
 		return
 	}
+	do := func() error {
+		if len(req.Queries) > 0 {
+			return s.ix.AdaptTo(req.Queries, req.MinSup)
+		}
+		return s.ix.Adapt(req.MinSup)
+	}
 	var err error
-	if len(req.Queries) > 0 {
-		err = s.ix.AdaptTo(req.Queries, req.MinSup)
+	if s.ctl != nil {
+		// Serialize with the background controller: the manual adapt
+		// blocks until any controller-triggered rebuild publishes, and
+		// controller ticks that fire while this one runs are suppressed.
+		err = s.ctl.ManualAdapt(do)
 	} else {
-		err = s.ix.Adapt(req.MinSup)
+		err = do()
 	}
 	if err != nil {
 		// "no logged queries" is a state conflict, not a malformed request.
@@ -375,7 +399,23 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if st, ok := s.ix.DurabilityStats(); ok {
 		resp.Durability = &st
 	}
+	if s.ctl != nil {
+		cs := s.ctl.State()
+		resp.Controller = &cs
+	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleController serves the adaptation controller's decision state: the
+// drift/miss scores of the last tick, the hysteresis streak, the tuned
+// MinSup, and the bounded adapt timeline. 404 when self-driving adaptation
+// is not enabled.
+func (s *Server) handleController(w http.ResponseWriter, r *http.Request) {
+	if s.ctl == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "controller: self-driving adaptation is not enabled"})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.ctl.State())
 }
 
 // handleCheckpoint folds the journaled writes into a fresh checkpoint on

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Workload-shift soak: the drift experiment at a long horizon. The replay
+# serves family A for one full phase, shifts every client to a disjoint
+# family B, and holds the post-shift load just as long — controller on,
+# then controller off — so the run proves the background controller
+# detects the drift, re-adapts once, and keeps the settled cost per
+# evaluated query flat while the controller-off daemon degrades.
+#
+# Usage: scripts/soak.sh [phase] [outdir]
+#   phase   duration of each workload phase (default 5m; the nightly job
+#           uses this for a 10+ minute per-run horizon)
+#   outdir  where BENCH_DRIFT.json and the console log land
+#
+# The same invariants the per-PR gate enforces (adapt count within the
+# thrash bound, shifted-family paths required, bounded settled cost) are
+# re-checked against the checked-in baseline at the end.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+phase="${1:-5m}"
+outdir="${2:-soak-artifacts}"
+mkdir -p "$outdir"
+
+go run ./cmd/apexbench -experiments drift -drift-phase "$phase" \
+	-drift-json "$outdir/BENCH_DRIFT.json" | tee "$outdir/drift-soak.txt"
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+cp bench/baselines/BENCH_DRIFT.json "$tmp/"
+go run ./cmd/benchcheck -baselines "$tmp" -current "$outdir"
